@@ -1,0 +1,124 @@
+// Command hambench regenerates the tables and figures of the HPCA'17 paper
+// "Exploring Hyperdimensional Associative Memory".
+//
+// Usage:
+//
+//	hambench [flags] <experiment>...
+//	hambench -list
+//	hambench all
+//
+// Experiments: fig1, table1, table2, fig4, fig5, fig7, table3, fig9, fig10,
+// fig11, fig12, fig13 (the paper's artifacts), plus ablate-blocksize,
+// ablate-errormodel, ablate-stages and standby (this reproduction's
+// ablations; see DESIGN.md for the per-experiment index).
+//
+// Flags:
+//
+//	-quick       run the reduced protocol (small corpora; for smoke runs)
+//	-train N     training characters per language (overrides scale)
+//	-test N      test sentences per language (overrides scale)
+//	-seed N      experiment seed (default 2017)
+//	-csv         emit CSV instead of aligned tables
+//	-list        print the available experiment ids and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hdam/internal/experiments"
+	"hdam/internal/report"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the reduced protocol")
+	trainChars := flag.Int("train", 0, "training characters per language (0 = scale default)")
+	testPerLang := flag.Int("test", 0, "test sentences per language (0 = scale default)")
+	seed := flag.Uint64("seed", 2017, "experiment seed")
+	csv := flag.Bool("csv", false, "emit CSV")
+	outDir := flag.String("out", "", "also write each experiment's tables as CSV files into this directory")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.RunOrder {
+			fmt.Println(id)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hambench [flags] <experiment>... | all   (-list for ids)")
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = experiments.RunOrder
+	}
+
+	scale := experiments.FullScale()
+	if *quick {
+		scale = experiments.QuickScale()
+	}
+	if *trainChars > 0 {
+		scale.TrainChars = *trainChars
+	}
+	if *testPerLang > 0 {
+		scale.TestPerLang = *testPerLang
+	}
+	env := experiments.NewEnv(scale, *seed)
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, id := range args {
+		start := time.Now()
+		tables, err := experiments.Run(id, env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hambench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for k, t := range tables {
+			var renderErr error
+			if *csv {
+				renderErr = t.RenderCSV(os.Stdout)
+			} else {
+				renderErr = t.Render(os.Stdout)
+			}
+			if renderErr != nil {
+				fmt.Fprintf(os.Stderr, "hambench: rendering %s: %v\n", id, renderErr)
+				os.Exit(1)
+			}
+			fmt.Println()
+			if *outDir != "" {
+				name := id
+				if len(tables) > 1 {
+					name = fmt.Sprintf("%s-%d", id, k)
+				}
+				if err := writeCSV(filepath.Join(*outDir, name+".csv"), t); err != nil {
+					fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s finished in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeCSV writes one table to a CSV file.
+func writeCSV(path string, t *report.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.RenderCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,78 @@
+// Command hamgen generates and inspects the synthetic multilingual corpus
+// that substitutes for the paper's Wortschatz/Europarl data (DESIGN.md §1).
+//
+// Usage:
+//
+//	hamgen -list                         # list the 21 languages
+//	hamgen -lang french -chars 500       # print 500 chars of French-like text
+//	hamgen -lang german -sentences 5     # print 5 labeled test sentences
+//	hamgen -corpus out/ -chars 100000    # write per-language training files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+
+	"hdam"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list languages and families")
+	langName := flag.String("lang", "", "language to sample from")
+	chars := flag.Int("chars", 400, "characters of running text")
+	sentences := flag.Int("sentences", 0, "emit N labeled sentences instead of running text")
+	corpus := flag.String("corpus", "", "write per-language training files into this directory")
+	seed := flag.Uint64("seed", 2017, "generation seed")
+	flag.Parse()
+
+	langs := hdam.Languages()
+
+	switch {
+	case *list:
+		for _, l := range langs {
+			fmt.Printf("%-11s %s\n", l.Name, l.Family)
+		}
+	case *corpus != "":
+		if err := os.MkdirAll(*corpus, 0o755); err != nil {
+			fatal(err)
+		}
+		for i, l := range langs {
+			rng := rand.New(rand.NewPCG(*seed, uint64(i)))
+			path := filepath.Join(*corpus, l.Name+".txt")
+			if err := os.WriteFile(path, []byte(l.GenerateText(*chars, rng)), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d chars)\n", path, *chars)
+		}
+	case *langName != "":
+		var chosen *hdam.Language
+		for _, l := range langs {
+			if l.Name == *langName {
+				chosen = l
+				break
+			}
+		}
+		if chosen == nil {
+			fatal(fmt.Errorf("unknown language %q (use -list)", *langName))
+		}
+		rng := rand.New(rand.NewPCG(*seed, 7))
+		if *sentences > 0 {
+			for i := 0; i < *sentences; i++ {
+				fmt.Printf("%s\t%s\n", chosen.Name, chosen.GenerateSentence(120, rng))
+			}
+		} else {
+			fmt.Println(chosen.GenerateText(*chars, rng))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: hamgen -list | -lang <name> [-chars N | -sentences N] | -corpus <dir>")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hamgen: %v\n", err)
+	os.Exit(1)
+}

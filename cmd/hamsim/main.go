@@ -1,0 +1,180 @@
+// Command hamsim explores the circuit-behavioral models behind R-HAM and
+// A-HAM: match-line discharge waveforms, sense-bank timing, TCAM sense
+// margins, LTA resolution, and measured misread rates — the interactive
+// counterpart of the HSPICE runs in the paper's §IV-B.
+//
+// Usage:
+//
+//	hamsim ml -cells 4 -ron 500e3 -vdd 1.0        # discharge curves (Fig. 4)
+//	hamsim sense                                   # sense-bank sampling times
+//	hamsim lta -dim 10000 -bits 14 -stages 14      # LTA resolution (Fig. 7)
+//	hamsim lta -dim 10000 -pv 0.35 -droop 0.10     # variation corner (Fig. 13)
+//	hamsim tcam -cells 10000                       # device sense margins
+//	hamsim misread -vos                            # measured block misread rate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"os"
+	"strings"
+
+	"hdam/internal/analog"
+	"hdam/internal/core"
+	"hdam/internal/hv"
+	"hdam/internal/rham"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "ml":
+		runML(args)
+	case "sense":
+		runSense(args)
+	case "lta":
+		runLTA(args)
+	case "tcam":
+		runTCAM(args)
+	case "misread":
+		runMisread(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hamsim <ml|sense|lta|tcam|misread> [flags]")
+	os.Exit(2)
+}
+
+func runML(args []string) {
+	fs := flag.NewFlagSet("ml", flag.ExitOnError)
+	cells := fs.Int("cells", 4, "cells per match line")
+	ron := fs.Float64("ron", 500e3, "memristor ON resistance (Ω)")
+	vdd := fs.Float64("vdd", 1.0, "supply voltage (V)")
+	msat := fs.Float64("msat", 12, "current-saturation knee (mismatches)")
+	fs.Parse(args)
+
+	ml := analog.MatchLine{
+		Cells: *cells, VDD: *vdd, RonOhm: *ron,
+		CapPerCellF: 1.2e-15, SatMismatches: *msat,
+	}
+	vref := 0.5
+	fmt.Printf("match line: %d cells, VDD=%.2f V, R_ON=%.3g Ω, m_sat=%.1f\n",
+		*cells, *vdd, *ron, *msat)
+	fmt.Printf("%-10s %-16s %s\n", "distance", "cross time (ns)", "discharge curve (V/VDD over 3×T1)")
+	tmax := 3 * ml.CrossTime(1, vref)
+	for m := 0; m <= *cells; m++ {
+		ct := ml.CrossTime(m, vref)
+		ctStr := "∞"
+		if !math.IsInf(ct, 1) {
+			ctStr = fmt.Sprintf("%.3f", ct*1e9)
+		}
+		curve := ml.Curve(m, tmax, 32)
+		fmt.Printf("%-10d %-16s %s\n", m, ctStr, spark(curve))
+	}
+}
+
+// spark renders a waveform as a unicode sparkline.
+func spark(vs []float64) string {
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var sb strings.Builder
+	for _, v := range vs {
+		i := int(v * float64(len(levels)-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(levels) {
+			i = len(levels) - 1
+		}
+		sb.WriteRune(levels[i])
+	}
+	return sb.String()
+}
+
+func runSense(args []string) {
+	fs := flag.NewFlagSet("sense", flag.ExitOnError)
+	vdd := fs.Float64("vdd", 1.0, "block supply voltage (V)")
+	fs.Parse(args)
+	ml := analog.RHAMBlock(*vdd)
+	sb := analog.NewSenseBank(ml, 0.5)
+	fmt.Printf("sense bank for a 4-bit block at VDD=%.2f V (vref=0.5 V)\n", *vdd)
+	for j, t := range sb.SampleTimes() {
+		fmt.Printf("  amplifier %d (detects distance ≥ %d): samples at %.3f ns\n", j+1, j+1, t*1e9)
+	}
+	fmt.Println("readback check:")
+	for m := 0; m <= 4; m++ {
+		code := sb.Read(m)
+		fmt.Printf("  distance %d → code %v → decoded %d\n", m, code, analog.Distance(code))
+	}
+}
+
+func runLTA(args []string) {
+	fs := flag.NewFlagSet("lta", flag.ExitOnError)
+	dim := fs.Int("dim", 10000, "hypervector dimensionality")
+	bitsN := fs.Int("bits", 0, "LTA resolution bits (0 = paper pairing)")
+	stages := fs.Int("stages", 0, "stage count (0 = paper pairing)")
+	pv := fs.Float64("pv", 0, "process variation 3σ fraction (0–0.35)")
+	droop := fs.Float64("droop", 0, "supply droop fraction (0, 0.05, 0.10)")
+	mc := fs.Int("mc", 5000, "Monte-Carlo samples")
+	fs.Parse(args)
+
+	b := *bitsN
+	if b == 0 {
+		b = analog.BitsFor(*dim)
+	}
+	n := *stages
+	if n == 0 {
+		n = analog.StagesFor(*dim)
+	}
+	l := analog.LTA{Bits: b, Stages: n}
+	v := analog.Variation{Process3Sigma: *pv, SupplyDrop: *droop}
+	fmt.Printf("LTA %d bits × %d stages at D=%d (%d cells/stage)\n", b, n, *dim, l.StageCells(*dim))
+	fmt.Printf("  closed-form minimum detectable distance: %d bits\n", l.MinDetectable(*dim, v))
+	r := l.MonteCarlo(*dim, v, *mc, 2017)
+	fmt.Printf("  Monte-Carlo (%d samples): median %d, 3σ %d bits\n",
+		r.Runs(), r.Quantile(0.5), r.Quantile(0.9987))
+}
+
+func runTCAM(args []string) {
+	fs := flag.NewFlagSet("tcam", flag.ExitOnError)
+	cells := fs.Int("cells", 10000, "cells sharing the match line")
+	ron := fs.Float64("ron", 500e3, "ON resistance (Ω)")
+	roff := fs.Float64("roff", 100e9, "OFF resistance (Ω)")
+	fs.Parse(args)
+	cell := analog.TCAMCell{RonOhm: *ron, RoffOhm: *roff}
+	fmt.Println(cell)
+	fmt.Printf("  sense margin with 1 mismatch among %d cells: %.1f×\n", *cells, cell.SenseMargin(*cells))
+	fmt.Printf("  largest row keeping ≥10× margin: %d cells\n", cell.MaxRowForMargin(10))
+}
+
+func runMisread(args []string) {
+	fs := flag.NewFlagSet("misread", flag.ExitOnError)
+	vos := fs.Bool("vos", false, "measure the 0.78 V overscaled corner")
+	trials := fs.Int("trials", 20000, "read trials")
+	fs.Parse(args)
+
+	// A minimal 2-class memory is enough to instantiate the circuit path.
+	rng := rand.New(rand.NewPCG(1, 1))
+	mem := core.MustMemory(
+		[]*hv.Vector{hv.Random(100, rng), hv.Random(100, rng)},
+		[]string{"a", "b"})
+	h, err := rham.NewCircuit(rham.Config{D: 100, C: 2}, mem, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hamsim: %v\n", err)
+		os.Exit(1)
+	}
+	corner := "nominal 1.0 V"
+	if *vos {
+		corner = "overscaled 0.78 V"
+	}
+	rate := h.MisreadRate(*vos, *trials)
+	fmt.Printf("block misread rate at the %s corner: %.4f (%d trials)\n", corner, rate, *trials)
+	fmt.Printf("fast functional path injects VOS misreads at %.2f\n", rham.DefaultVOSErrRate)
+}

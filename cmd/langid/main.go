@@ -1,0 +1,198 @@
+// Command langid trains the paper's 21-language recognizer and classifies
+// text from stdin (one sample per line), reporting the predicted language
+// per line and, when lines carry a "<language>\t<text>" prefix, the overall
+// accuracy.
+//
+// Usage:
+//
+//	echo "the quick brown fox" | langid
+//	langid -design aham -dim 10000 -train 200000 < samples.txt
+//
+// Flags:
+//
+//	-dim N       hypervector dimensionality (default 10,000)
+//	-train N     training characters per language (default 200,000)
+//	-design S    search hardware: exact | dham | rham | aham (default exact)
+//	-seed N      pipeline seed
+//	-demo        classify generated demo sentences instead of stdin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strings"
+	"time"
+
+	"hdam"
+)
+
+func main() {
+	dim := flag.Int("dim", hdam.Dim, "hypervector dimensionality")
+	train := flag.Int("train", 200_000, "training characters per language")
+	design := flag.String("design", "exact", "search hardware: exact | dham | rham | aham")
+	seed := flag.Uint64("seed", 2017, "pipeline seed")
+	demo := flag.Bool("demo", false, "classify generated demo sentences")
+	saveTo := flag.String("save", "", "write the trained memory to this file after training")
+	loadFrom := flag.String("load", "", "load a trained memory instead of training")
+	flag.Parse()
+
+	langs := hdam.Languages()
+	p := hdam.DefaultLanguageParams()
+	p.Dim = *dim
+	p.TrainChars = *train
+	p.Seed = *seed
+	p.TestPerLang = 1 // the test set is not used in CLI mode
+
+	var tr *hdam.Trained
+	if *loadFrom != "" {
+		f, err := os.Open(*loadFrom)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "langid: %v\n", err)
+			os.Exit(1)
+		}
+		mem, err := hdam.LoadMemory(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "langid: loading memory: %v\n", err)
+			os.Exit(1)
+		}
+		if mem.Dim() != p.Dim {
+			p.Dim = mem.Dim()
+		}
+		// Rebuild the encoder half of the pipeline; the item memory is
+		// deterministic in the seed, so it matches the saved prototypes.
+		tr = rebuildTrained(mem, p)
+		fmt.Fprintf(os.Stderr, "loaded %d classes at D=%d from %s\n", mem.Classes(), mem.Dim(), *loadFrom)
+	} else {
+		fmt.Fprintf(os.Stderr, "training %d languages at D=%d on %d chars each...\n",
+			len(langs), p.Dim, p.TrainChars)
+		start := time.Now()
+		var err error
+		tr, err = hdam.TrainLanguages(langs, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "langid: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trained in %s\n", time.Since(start).Round(time.Millisecond))
+		if *saveTo != "" {
+			f, err := os.Create(*saveTo)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "langid: %v\n", err)
+				os.Exit(1)
+			}
+			if err := hdam.SaveMemory(f, tr.Memory); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "langid: saving memory: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "langid: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "saved trained memory to %s\n", *saveTo)
+		}
+	}
+
+	searcher, err := buildSearcher(*design, tr, p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "langid: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *demo {
+		runDemo(tr, searcher, langs, *seed)
+		return
+	}
+
+	classified, correct, labeled := 0, 0, 0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		want, text := "", line
+		if i := strings.IndexByte(line, '\t'); i >= 0 {
+			want, text = line[:i], line[i+1:]
+		}
+		q, n := tr.Encoder.EncodeText(text, *seed+uint64(classified))
+		if n == 0 {
+			fmt.Printf("?\t%s\n", text)
+			continue
+		}
+		got := tr.Memory.Label(searcher.Search(q).Index)
+		fmt.Printf("%s\t%s\n", got, text)
+		classified++
+		if want != "" {
+			labeled++
+			if got == want {
+				correct++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "langid: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if labeled > 0 {
+		fmt.Fprintf(os.Stderr, "accuracy: %d/%d (%.1f%%)\n",
+			correct, labeled, 100*float64(correct)/float64(labeled))
+	}
+}
+
+func buildSearcher(design string, tr *hdam.Trained, p hdam.LanguageParams) (hdam.Searcher, error) {
+	c := tr.Memory.Classes()
+	switch design {
+	case "exact":
+		return hdam.NewExactSearcher(tr.Memory), nil
+	case "dham":
+		return hdam.NewDHAM(hdam.DHAMConfig{D: p.Dim, C: c}, tr.Memory)
+	case "rham":
+		return hdam.NewRHAM(hdam.RHAMConfig{D: p.Dim, C: c}, tr.Memory)
+	case "aham":
+		return hdam.NewAHAM(hdam.AHAMConfig{D: p.Dim, C: c}, tr.Memory)
+	default:
+		return nil, fmt.Errorf("unknown design %q (exact|dham|rham|aham)", design)
+	}
+}
+
+func runDemo(tr *hdam.Trained, searcher hdam.Searcher, langs []*hdam.Language, seed uint64) {
+	rng := rand.New(rand.NewPCG(seed^0xde30, 0))
+	correct, total := 0, 0
+	for _, l := range langs {
+		for k := 0; k < 3; k++ {
+			s := l.GenerateSentence(120, rng)
+			q, _ := tr.Encoder.EncodeText(s, seed+uint64(total))
+			got := tr.Memory.Label(searcher.Search(q).Index)
+			mark := "✗"
+			if got == l.Name {
+				mark = "✓"
+				correct++
+			}
+			total++
+			fmt.Printf("%s true=%-11s pred=%-11s %q\n", mark, l.Name, got, clip(s, 48))
+		}
+	}
+	fmt.Printf("demo accuracy: %d/%d (%.1f%%) using %s\n",
+		correct, total, 100*float64(correct)/float64(total), searcher.Name())
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+// rebuildTrained reconstructs the encoder half of a pipeline around a
+// loaded memory; item memories are deterministic in the seed, so the
+// encoder matches the one that produced the saved prototypes.
+func rebuildTrained(mem *hdam.Memory, p hdam.LanguageParams) *hdam.Trained {
+	im := hdam.NewItemMemory(p.Dim, p.Seed)
+	im.Preload(hdam.LatinAlphabet)
+	return &hdam.Trained{Memory: mem, Encoder: hdam.NewEncoder(im, p.NGram), Params: p}
+}

@@ -1,0 +1,39 @@
+// Package hdam is a from-scratch Go implementation of hyperdimensional
+// associative memory (HAM) as described in Imani, Rahimi, Kong, Rosing and
+// Rabaey, "Exploring Hyperdimensional Associative Memory", HPCA 2017.
+//
+// The package is the public façade over the repository's internal modules.
+// It exposes, in one import:
+//
+//   - the HD computing substrate — binary hypervectors with binding (XOR),
+//     bundling (majority) and permutation (rotation), item memories and
+//     n-gram text encoding (hv, itemmem, encoder);
+//   - the language-recognition application the paper evaluates on —
+//     training one hypervector per language from text and classifying
+//     unseen sentences by nearest Hamming distance (lang, textgen);
+//   - the three hardware designs the paper proposes — digital D-HAM,
+//     resistive R-HAM and analog A-HAM — each as a functional simulator
+//     (classifying exactly as the hardware would, approximations included)
+//     plus a calibrated energy/delay/area cost model (dham, rham, aham);
+//   - software reference searchers for robustness studies (assoc) and the
+//     experiment drivers regenerating every table and figure of the paper's
+//     evaluation (experiments).
+//
+// # Quick start
+//
+//	im := hdam.NewItemMemory(hdam.Dim, 42)
+//	im.Preload(hdam.LatinAlphabet)
+//	enc := hdam.NewEncoder(im, 3) // trigrams
+//
+//	catHV, _ := enc.EncodeText("cats purr and chase mice around the house", 1)
+//	dogHV, _ := enc.EncodeText("dogs bark and fetch sticks in the park", 2)
+//	mem, _ := hdam.NewMemory([]*hdam.Vector{catHV, dogHV}, []string{"cat", "dog"})
+//
+//	q, _ := enc.EncodeText("the dog fetched the stick", 3)
+//	ham, _ := hdam.NewDHAM(hdam.DHAMConfig{D: hdam.Dim, C: 2}, mem)
+//	fmt.Println(mem.Label(ham.Search(q).Index)) // "dog"
+//
+// See examples/ for complete programs and cmd/hambench for the experiment
+// harness; DESIGN.md maps every module to the part of the paper it
+// implements.
+package hdam

@@ -1,0 +1,74 @@
+package hdam_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"hdam"
+)
+
+// ExampleBind shows that binding is a self-inverse association operator:
+// binding a bound pair with one member recovers the other exactly.
+func ExampleBind() {
+	rng := rand.New(rand.NewPCG(1, 1))
+	a := hdam.RandomVector(hdam.Dim, rng)
+	b := hdam.RandomVector(hdam.Dim, rng)
+	pair := hdam.Bind(a, b)
+	recovered := hdam.Bind(pair, b)
+	fmt.Println("recovered A exactly:", recovered.Equal(a))
+	fmt.Println("pair is unrelated to A:", hdam.Hamming(pair, a) > hdam.Dim/3)
+	// Output:
+	// recovered A exactly: true
+	// pair is unrelated to A: true
+}
+
+// ExampleBundle shows that majority bundling preserves similarity to every
+// member — the property class prototypes are built on.
+func ExampleBundle() {
+	rng := rand.New(rand.NewPCG(2, 2))
+	a := hdam.RandomVector(hdam.Dim, rng)
+	b := hdam.RandomVector(hdam.Dim, rng)
+	c := hdam.RandomVector(hdam.Dim, rng)
+	set := hdam.Bundle(7, a, b, c)
+	fmt.Println("closer to a member than chance:", hdam.Hamming(set, a) < hdam.Dim/2-500)
+	// Output:
+	// closer to a member than chance: true
+}
+
+// ExampleNewMemory builds a two-class associative memory from text and
+// classifies a query with the digital design.
+func ExampleNewMemory() {
+	im := hdam.NewItemMemory(hdam.Dim, 42)
+	im.Preload(hdam.LatinAlphabet)
+	enc := hdam.NewEncoder(im, 3)
+
+	cat, _ := enc.EncodeText("cats purr and chase mice around the warm house", 1)
+	dog, _ := enc.EncodeText("dogs bark and fetch sticks in the green park", 2)
+	mem, _ := hdam.NewMemory([]*hdam.Vector{cat, dog}, []string{"cat", "dog"})
+
+	q, _ := enc.EncodeText("the dog fetched the stick", 3)
+	ham, _ := hdam.NewDHAM(hdam.DHAMConfig{D: hdam.Dim, C: 2}, mem)
+	fmt.Println(mem.Label(ham.Search(q).Index))
+	// Output:
+	// dog
+}
+
+// ExampleDHAMConfig_Cost evaluates the calibrated cost model at the
+// paper's reference configuration.
+func ExampleDHAMConfig_Cost() {
+	cost, _ := (hdam.DHAMConfig{D: 10000, C: 100}).Cost()
+	cam, _ := cost.Find("cam")
+	fmt.Printf("CAM share of energy: %.0f%%\n", 100*float64(cam.Energy)/float64(cost.Energy))
+	// Output:
+	// CAM share of energy: 81%
+}
+
+// ExampleAHAMConfig_MinDetectable reproduces the paper's LTA resolution
+// anchors: 14 bits with the multistage design, 43 single-stage.
+func ExampleAHAMConfig_MinDetectable() {
+	multi, _ := (hdam.AHAMConfig{D: 10000, C: 21}).MinDetectable()
+	single, _ := (hdam.AHAMConfig{D: 10000, C: 21, Bits: 10, Stages: 1}).MinDetectable()
+	fmt.Println(multi, single)
+	// Output:
+	// 14 43
+}

@@ -1,0 +1,83 @@
+// Design-space exploration: the paper's §IV-C/§IV-D study as a library.
+//
+// Sweeps dimensionality and class count through the calibrated cost models
+// of the three HAM designs and prints energy, delay, EDP and area — the raw
+// material of the paper's Figs. 9, 10 and 12 — plus the approximation
+// tradeoff: how each design converts a distance-error budget into EDP.
+//
+// Run:
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hdam"
+)
+
+func main() {
+	fmt.Println("== Scaling dimensionality (C = 21, Fig. 9) ==")
+	fmt.Printf("%-7s %-7s %14s %12s %16s\n", "D", "design", "energy (pJ)", "delay (ns)", "EDP (pJ·ns)")
+	for _, d := range []int{512, 1000, 2000, 4000, 10000} {
+		printRow(fmt.Sprint(d), hdam.DHAMConfig{D: d, C: 21}, hdam.RHAMConfig{D: d, C: 21}, hdam.AHAMConfig{D: d, C: 21})
+	}
+
+	fmt.Println("\n== Scaling classes (D = 10,000, Fig. 10) ==")
+	fmt.Printf("%-7s %-7s %14s %12s %16s\n", "C", "design", "energy (pJ)", "delay (ns)", "EDP (pJ·ns)")
+	for _, c := range []int{6, 12, 25, 50, 100} {
+		printRow(fmt.Sprint(c), hdam.DHAMConfig{D: 10000, C: c}, hdam.RHAMConfig{D: 10000, C: c}, hdam.AHAMConfig{D: 10000, C: c})
+	}
+
+	fmt.Println("\n== Spending a distance-error budget (D=10,000, C=100, Fig. 11) ==")
+	fmt.Printf("%-10s %20s %20s %20s\n", "budget", "D-HAM EDP", "R-HAM vs D-HAM", "A-HAM vs D-HAM")
+	for _, e := range []int{0, 1000, 2000, 3000, 4000} {
+		dCfg, err := (hdam.DHAMConfig{D: 10000, C: 100}).WithErrorBudget(e)
+		check(err)
+		rCfg, err := (hdam.RHAMConfig{D: 10000, C: 100}).WithErrorBudget(e)
+		check(err)
+		dCost, err := dCfg.Cost()
+		check(err)
+		rCost, err := rCfg.Cost()
+		check(err)
+		// A-HAM spends the budget on LTA bit-width (14 bits at the maximum
+		// accuracy budget, 11 at the moderate one).
+		bits := 14
+		if e >= 3000 {
+			bits = 11
+		} else if e >= 2000 {
+			bits = 12
+		}
+		aCost, err := (hdam.AHAMConfig{D: 10000, C: 100, Bits: bits}).Cost()
+		check(err)
+		fmt.Printf("%-10d %20s %19.1f× %19.0f×\n",
+			e, dCost.EDP(),
+			float64(dCost.EDP())/float64(rCost.EDP()),
+			float64(dCost.EDP())/float64(aCost.EDP()))
+	}
+	fmt.Println("\npaper anchors: R-HAM 7.3×/9.6× and A-HAM 746×/1347× at the 1,000/3,000-bit budgets")
+}
+
+func printRow(x string, dc hdam.DHAMConfig, rc hdam.RHAMConfig, ac hdam.AHAMConfig) {
+	d, err := dc.Cost()
+	check(err)
+	r, err := rc.Cost()
+	check(err)
+	a, err := ac.Cost()
+	check(err)
+	for _, row := range []struct {
+		name string
+		c    hdam.Cost
+	}{{"D-HAM", d}, {"R-HAM", r}, {"A-HAM", a}} {
+		fmt.Printf("%-7s %-7s %14.1f %12.2f %16.1f\n",
+			x, row.name, float64(row.c.Energy), float64(row.c.Delay), float64(row.c.EDP()))
+		x = ""
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

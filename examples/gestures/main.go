@@ -1,0 +1,79 @@
+// Gesture recognition: the paper's other application domain (§II cites
+// EMG-based hand-gesture recognition [7] as a further consumer of the same
+// associative memory).
+//
+// Synthetic 4-channel EMG windows are encoded spatiotemporally — channel
+// roles bound to amplitude levels, consecutive samples bound through
+// permutation — and classified by each HAM design. The point: the hardware
+// never changes between applications; only the class hypervectors do.
+//
+// Run:
+//
+//	go run ./examples/gestures
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"hdam"
+	"hdam/internal/assoc"
+	"hdam/internal/emg"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(11, 11))
+	gen := emg.Generator{}
+	enc := emg.NewEncoder(hdam.Dim, 8, 3, 7)
+
+	fmt.Println("gesture activation profiles (per-channel means):")
+	for g := 0; g < emg.NumGestures; g++ {
+		fmt.Printf("  %-12s %v\n", emg.Gesture(g), emg.Profile(emg.Gesture(g)))
+	}
+
+	train := gen.Dataset(12, 32, rng)
+	test := gen.Dataset(20, 32, rng)
+	fmt.Printf("\ntraining on %d windows, testing on %d...\n", len(train), len(test))
+	mem, err := enc.Train(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	min1, _ := mem.MinClassSeparation()
+	fmt.Printf("gesture prototype separation: %d bits minimum\n\n", min1)
+
+	dh, err := hdam.NewDHAM(hdam.DHAMConfig{D: hdam.Dim, C: emg.NumGestures, SampledD: 9000}, mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rh, err := hdam.NewRHAM(hdam.RHAMConfig{D: hdam.Dim, C: emg.NumGestures, BlocksOff: 250, VOSBlocks: 1000}, mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ah, err := hdam.NewAHAM(hdam.AHAMConfig{D: hdam.Dim, C: emg.NumGestures}, mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var lastConfusion [][]int
+	for _, s := range []hdam.Searcher{assoc.NewExact(mem), dh, rh, ah} {
+		acc, conf := enc.Evaluate(s, test)
+		fmt.Printf("%-45s accuracy %.1f%%\n", s.Name(), 100*acc)
+		lastConfusion = conf
+	}
+
+	fmt.Println("\nconfusion matrix (A-HAM; rows = truth, cols = predicted):")
+	labels := emg.GestureLabels()
+	fmt.Printf("%14s", "")
+	for _, l := range labels {
+		fmt.Printf("%12s", l)
+	}
+	fmt.Println()
+	for i, row := range lastConfusion {
+		fmt.Printf("%14s", labels[i])
+		for _, n := range row {
+			fmt.Printf("%12d", n)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,94 @@
+// Quickstart: the smallest complete HDAM program.
+//
+// It shows the three HD operations (bind, bundle, permute), builds a tiny
+// two-class associative memory from raw text, and classifies a query with
+// each of the paper's three hardware designs — demonstrating that the
+// digital, resistive and analog searches agree when class margins are wide.
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"hdam"
+)
+
+func main() {
+	// --- 1. Hypervector arithmetic -------------------------------------
+	rng := rand.New(rand.NewPCG(7, 7))
+	a := hdam.RandomVector(hdam.Dim, rng)
+	b := hdam.RandomVector(hdam.Dim, rng)
+
+	fmt.Println("== HD arithmetic (D = 10,000) ==")
+	fmt.Printf("δ(A, B) unrelated vectors:     %5d (≈ D/2)\n", hdam.Hamming(a, b))
+	fmt.Printf("δ(A⊕B, A) binding decorrelates:%5d (≈ D/2)\n", hdam.Hamming(hdam.Bind(a, b), a))
+	fmt.Printf("δ((A⊕B)⊕B, A) and inverts:     %5d (exact recovery)\n",
+		hdam.Hamming(hdam.Bind(hdam.Bind(a, b), b), a))
+	c := hdam.RandomVector(hdam.Dim, rng)
+	bundle := hdam.Bundle(1, a, b, c)
+	fmt.Printf("δ([A+B+C], A) bundling keeps:  %5d (< D/2: similar)\n", hdam.Hamming(bundle, a))
+	fmt.Printf("δ(ρ(A), A) permutation rotates:%5d (≈ D/2)\n", hdam.Hamming(hdam.Permute(a, 1), a))
+
+	// --- 2. Encode text into class hypervectors ------------------------
+	im := hdam.NewItemMemory(hdam.Dim, 42)
+	im.Preload(hdam.LatinAlphabet)
+	enc := hdam.NewEncoder(im, 3) // trigrams, as in the paper
+
+	catText := "cats purr and chase mice around the house they nap in sunbeams and knead blankets"
+	dogText := "dogs bark and fetch sticks in the park they wag their tails and chase the mailman"
+	catHV, _ := enc.EncodeText(catText, 1)
+	dogHV, _ := enc.EncodeText(dogText, 2)
+
+	mem, err := hdam.NewMemory([]*hdam.Vector{catHV, dogHV}, []string{"cat", "dog"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- 3. Search with each hardware design ---------------------------
+	query := "the dog wagged its tail and fetched the stick"
+	q, _ := enc.EncodeText(query, 3)
+
+	dh, err := hdam.NewDHAM(hdam.DHAMConfig{D: hdam.Dim, C: 2, SampledD: 9000}, mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rh, err := hdam.NewRHAM(hdam.RHAMConfig{D: hdam.Dim, C: 2, BlocksOff: 250, VOSBlocks: 1000}, mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ah, err := hdam.NewAHAM(hdam.AHAMConfig{D: hdam.Dim, C: 2}, mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n== Classifying %q ==\n", query)
+	for _, s := range []hdam.Searcher{dh, rh, ah} {
+		r := s.Search(q)
+		fmt.Printf("%-40s → %-3s (observed distance %d)\n", s.Name(), mem.Label(r.Index), r.Distance)
+	}
+
+	// --- 4. What does each design cost? --------------------------------
+	fmt.Println("\n== Cost at the paper's reference point (D=10,000, C=100) ==")
+	for _, pair := range []struct {
+		name string
+		cost hdam.Cost
+	}{
+		{"D-HAM", mustCost(hdam.DHAMConfig{D: 10000, C: 100}.Cost())},
+		{"R-HAM", mustCost(hdam.RHAMConfig{D: 10000, C: 100}.Cost())},
+		{"A-HAM", mustCost(hdam.AHAMConfig{D: 10000, C: 100}.Cost())},
+	} {
+		fmt.Printf("%-6s %s\n", pair.name, pair.cost)
+	}
+}
+
+func mustCost(c hdam.Cost, err error) hdam.Cost {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}

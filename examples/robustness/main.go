@@ -1,0 +1,79 @@
+// Robustness: the paper's Fig. 1 / §II-B claim, live.
+//
+// HD representations are holographic with i.i.d. components, so a HAM
+// tolerates large errors in its distance computation. This example trains a
+// reduced model, then degrades the search three ways — random distance
+// errors (Fig. 1), dimension sampling (§III-A1) and comparator quantization
+// (A-HAM's LTA, §III-D2) — and prints accuracy against severity.
+//
+// Run:
+//
+//	go run ./examples/robustness
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"time"
+
+	"hdam"
+)
+
+func main() {
+	langs := hdam.Languages()
+	p := hdam.DefaultLanguageParams()
+	p.TrainChars = 120_000
+	p.TestPerLang = 40
+
+	fmt.Printf("training (D=%d, %d langs)...\n", p.Dim, len(langs))
+	start := time.Now()
+	tr, err := hdam.TrainLanguages(langs, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := hdam.MakeTestSet(langs, p)
+	ts.Encode(tr)
+	fmt.Printf("ready in %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	base := hdam.Evaluate(hdam.NewExactSearcher(tr.Memory), tr.Memory, ts)
+	fmt.Printf("baseline (exact search): %s\n\n", base)
+
+	rng := rand.New(rand.NewPCG(9, 9))
+
+	fmt.Println("-- errors injected into every distance computation (Fig. 1) --")
+	for _, e := range []int{0, 1000, 2000, 3000, 4000, 4500} {
+		rep := hdam.Evaluate(hdam.NewNoisySearcher(tr.Memory, e, rng), tr.Memory, ts)
+		fmt.Printf("  %4d error bits → %s\n", e, rep)
+	}
+
+	fmt.Println("\n-- structured sampling: distance over d < D dimensions (§III-A1) --")
+	for _, d := range []int{10000, 9000, 7000, 5000, 2500, 1000} {
+		dh, err := hdam.NewDHAM(hdam.DHAMConfig{D: p.Dim, C: len(langs), SampledD: d}, tr.Memory)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := hdam.Evaluate(dh, tr.Memory, ts)
+		fmt.Printf("  d = %5d → %s\n", d, rep)
+	}
+
+	fmt.Println("\n-- LTA resolution: winners within Δ are indistinguishable (§III-D2) --")
+	for _, corner := range []struct {
+		label string
+		v     hdam.Variation
+	}{
+		{"nominal", hdam.Variation{}},
+		{"25% process 3σ", hdam.Variation{Process3Sigma: 0.25}},
+		{"35% process 3σ", hdam.Variation{Process3Sigma: 0.35}},
+		{"35% process + 10% supply droop", hdam.Variation{Process3Sigma: 0.35, SupplyDrop: 0.10}},
+	} {
+		ah, err := hdam.NewAHAM(hdam.AHAMConfig{D: p.Dim, C: len(langs), Variation: corner.v}, tr.Memory)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := hdam.Evaluate(ah, tr.Memory, ts)
+		fmt.Printf("  %-32s Δ=%4d → %s\n", corner.label, ah.MinDetect(), rep)
+	}
+	fmt.Println("\npaper: accuracy holds to 1,000 error bits, moderate at 3,000, collapses at 4,000;")
+	fmt.Println("       A-HAM at 35% process variation: 94.3% (nominal) … 89.2% (−10% supply)")
+}

@@ -1,0 +1,3 @@
+module hdam
+
+go 1.22

@@ -1,0 +1,224 @@
+package hdam
+
+import (
+	"io"
+	"math/rand/v2"
+
+	"hdam/internal/aham"
+	"hdam/internal/analog"
+	"hdam/internal/assoc"
+	"hdam/internal/circuit"
+	"hdam/internal/core"
+	"hdam/internal/dham"
+	"hdam/internal/encoder"
+	"hdam/internal/hv"
+	"hdam/internal/itemmem"
+	"hdam/internal/lang"
+	"hdam/internal/rham"
+	"hdam/internal/textgen"
+)
+
+// Dim is the paper's default hypervector dimensionality (10,000).
+const Dim = hv.Dim
+
+// LatinAlphabet is the 27-symbol alphabet of the language application: the
+// 26 lower-case Latin letters plus space.
+const LatinAlphabet = itemmem.LatinAlphabet
+
+// ---- Hypervector substrate ----
+
+// Vector is a binary hypervector (see internal/hv).
+type Vector = hv.Vector
+
+// Accumulator bundles hypervectors by component-wise majority.
+type Accumulator = hv.Accumulator
+
+// Mask selects a component subset for sampled distances.
+type Mask = hv.Mask
+
+// NewVector returns an all-zero hypervector.
+func NewVector(dim int) *Vector { return hv.New(dim) }
+
+// RandomVector returns a hypervector of i.i.d. fair coin flips.
+func RandomVector(dim int, rng *rand.Rand) *Vector { return hv.Random(dim, rng) }
+
+// Bind is component-wise XOR: the paper's A ⊕ B association operator.
+func Bind(a, b *Vector) *Vector { return hv.Bind(a, b) }
+
+// Bundle combines vectors by component-wise majority (ties broken by seed).
+func Bundle(seed uint64, vs ...*Vector) *Vector { return hv.MajorityOf(seed, vs...) }
+
+// Permute rotates the hypervector coordinates by k (the paper's ρ).
+func Permute(v *Vector, k int) *Vector { return hv.Permute(v, k) }
+
+// Hamming is the Hamming distance δ — the similarity metric of all HAM
+// reasoning.
+func Hamming(a, b *Vector) int { return hv.Hamming(a, b) }
+
+// NewAccumulator returns an empty majority accumulator.
+func NewAccumulator(dim int, seed uint64) *Accumulator { return hv.NewAccumulator(dim, seed) }
+
+// ---- Item memory and encoding ----
+
+// ItemMemory assigns fixed seed hypervectors to symbols.
+type ItemMemory = itemmem.ItemMemory
+
+// Encoder turns text into hypervectors via letter n-grams.
+type Encoder = encoder.Encoder
+
+// NewItemMemory returns a deterministic item memory.
+func NewItemMemory(dim int, seed uint64) *ItemMemory { return itemmem.New(dim, seed) }
+
+// NewEncoder returns an n-gram text encoder (the paper uses n = 3).
+func NewEncoder(im *ItemMemory, n int) *Encoder { return encoder.New(im, n) }
+
+// ---- Associative memory core ----
+
+// Memory holds the learned class hypervectors.
+type Memory = core.Memory
+
+// Result is the outcome of one associative search.
+type Result = core.Result
+
+// Searcher finds the nearest class the way one hardware design would.
+type Searcher = core.Searcher
+
+// NewMemory builds an associative memory from class vectors and labels.
+func NewMemory(classes []*Vector, labels []string) (*Memory, error) {
+	return core.NewMemory(classes, labels)
+}
+
+// NewExactSearcher returns the ideal nearest-Hamming search.
+func NewExactSearcher(mem *Memory) Searcher { return assoc.NewExact(mem) }
+
+// NewSampledSearcher returns a search over a component subset (d < D).
+func NewSampledSearcher(mem *Memory, mask *Mask) Searcher { return assoc.NewSampled(mem, mask) }
+
+// NewNoisySearcher returns a search with e error bits injected into every
+// distance computation (the paper's Fig. 1 robustness study).
+func NewNoisySearcher(mem *Memory, errorBits int, rng *rand.Rand) Searcher {
+	return assoc.NewNoisy(mem, errorBits, rng)
+}
+
+// ---- The three HAM designs ----
+
+// DHAMConfig configures the digital design (§III-A).
+type DHAMConfig = dham.Config
+
+// RHAMConfig configures the resistive design (§III-C).
+type RHAMConfig = rham.Config
+
+// AHAMConfig configures the analog design (§III-D).
+type AHAMConfig = aham.Config
+
+// DHAM is the digital HAM functional simulator.
+type DHAM = dham.HAM
+
+// RHAM is the resistive HAM functional simulator.
+type RHAM = rham.HAM
+
+// AHAM is the analog HAM functional simulator.
+type AHAM = aham.HAM
+
+// Variation is a process/voltage corner for A-HAM's LTA blocks.
+type Variation = analog.Variation
+
+// Cost is an energy/delay/area estimate with a per-module breakdown.
+type Cost = circuit.Cost
+
+// NewDHAM builds a digital HAM over a trained memory.
+func NewDHAM(cfg DHAMConfig, mem *Memory) (*DHAM, error) { return dham.New(cfg, mem) }
+
+// NewRHAM builds a resistive HAM over a trained memory.
+func NewRHAM(cfg RHAMConfig, mem *Memory) (*RHAM, error) { return rham.New(cfg, mem) }
+
+// NewAHAM builds an analog HAM over a trained memory.
+func NewAHAM(cfg AHAMConfig, mem *Memory) (*AHAM, error) { return aham.New(cfg, mem) }
+
+// ---- Language recognition application ----
+
+// Language is a synthetic language model (substitute for the paper's
+// Wortschatz/Europarl corpora; see DESIGN.md §1).
+type Language = textgen.Language
+
+// LanguageParams configures the language pipeline.
+type LanguageParams = lang.Params
+
+// Trained bundles the learned language memory and encoder.
+type Trained = lang.Trained
+
+// TestSet is a labeled evaluation set.
+type TestSet = lang.TestSet
+
+// EvalReport scores one evaluation run.
+type EvalReport = lang.Report
+
+// Languages returns the 21 synthetic European languages with default
+// divergence.
+func Languages() []*Language { return textgen.Catalog(textgen.DefaultConfig()) }
+
+// DefaultLanguageParams is the paper's protocol: D = 10,000 trigram
+// encoding, ~1 MB training text and 1,000 test sentences per language.
+func DefaultLanguageParams() LanguageParams { return lang.DefaultParams() }
+
+// TrainLanguages learns one hypervector per language.
+func TrainLanguages(langs []*Language, p LanguageParams) (*Trained, error) {
+	return lang.Train(langs, p)
+}
+
+// MakeTestSet draws labeled test sentences from an independent stream.
+func MakeTestSet(langs []*Language, p LanguageParams) *TestSet {
+	return lang.MakeTestSet(langs, p)
+}
+
+// Evaluate classifies every encoded query with the searcher and scores it.
+func Evaluate(s Searcher, mem *Memory, ts *TestSet) EvalReport {
+	return lang.Evaluate(s, mem, ts)
+}
+
+// ---- Structural (circuit-level) simulators ----
+
+// DHAMDatapath is the bit-true digital datapath simulator with switching-
+// activity measurement.
+type DHAMDatapath = dham.Datapath
+
+// RHAMCircuit is the sense-amplifier-level resistive simulator.
+type RHAMCircuit = rham.CircuitHAM
+
+// AHAMCircuit is the current-domain analog simulator; one instance is one
+// "chip" with frozen process variation.
+type AHAMCircuit = aham.CircuitHAM
+
+// NewDHAMDatapath builds the bit-true D-HAM datapath over a trained memory.
+func NewDHAMDatapath(cfg DHAMConfig, mem *Memory) (*DHAMDatapath, error) {
+	return dham.NewDatapath(cfg, mem)
+}
+
+// NewRHAMCircuit builds the circuit-level R-HAM simulator; jitterNs ≤ 0
+// selects the default sampling-clock jitter.
+func NewRHAMCircuit(cfg RHAMConfig, mem *Memory, jitterNs float64) (*RHAMCircuit, error) {
+	return rham.NewCircuit(cfg, mem, jitterNs)
+}
+
+// NewAHAMCircuit builds one analog chip instance; the seed freezes its
+// mirror gains and comparator offsets.
+func NewAHAMCircuit(cfg AHAMConfig, mem *Memory, seed uint64) (*AHAMCircuit, error) {
+	return aham.NewCircuit(cfg, mem, seed)
+}
+
+// ---- Batch search and persistence ----
+
+// SearchAll classifies a batch of queries; set parallel for concurrency-
+// safe searchers (exact, D-HAM, A-HAM closed-form).
+func SearchAll(s Searcher, queries []*Vector, parallel bool) []Result {
+	return core.SearchAll(s, queries, parallel)
+}
+
+// SaveMemory serializes a trained memory.
+func SaveMemory(w io.Writer, mem *Memory) error {
+	_, err := mem.WriteTo(w)
+	return err
+}
+
+// LoadMemory deserializes a memory written by SaveMemory.
+func LoadMemory(r io.Reader) (*Memory, error) { return core.ReadMemory(r) }

@@ -1,0 +1,131 @@
+package hdam
+
+// Integration test: the paper's full pipeline at reduced scale, pushed
+// through every searcher this repository implements — software references,
+// the three functional hardware simulators and the three structural
+// circuit-level simulators — asserting they agree wherever their physics
+// says they must.
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/assoc"
+)
+
+func TestIntegrationAllSearchersAgreeOnLanguageTask(t *testing.T) {
+	langs := Languages()[:8]
+	p := DefaultLanguageParams()
+	p.TrainChars = 25_000
+	p.TestPerLang = 6
+	tr, err := TrainLanguages(langs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := MakeTestSet(langs, p)
+	ts.Encode(tr)
+	c := tr.Memory.Classes()
+
+	exact := NewExactSearcher(tr.Memory)
+
+	dh, err := NewDHAM(DHAMConfig{D: p.Dim, C: c}, tr.Memory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := NewDHAMDatapath(DHAMConfig{D: p.Dim, C: c}, tr.Memory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := NewRHAM(RHAMConfig{D: p.Dim, C: c, VOSErrRate: 1e-12}, tr.Memory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewRHAMCircuit(RHAMConfig{D: p.Dim, C: c}, tr.Memory, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ah, err := NewAHAM(AHAMConfig{D: p.Dim, C: c}, tr.Memory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := NewAHAMCircuit(AHAMConfig{D: p.Dim, C: c}, tr.Memory, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact-equivalence group: with no approximation knobs on, the digital
+	// designs and the noiseless resistive design must match the ideal
+	// search result for result index AND observed distance.
+	for i, q := range ts.Queries {
+		want := exact.Search(q)
+		for _, s := range []Searcher{dh, dp, rh} {
+			if got := s.Search(q); got != want {
+				t.Fatalf("query %d: %s returned %+v, exact %+v", i, s.Name(), got, want)
+			}
+		}
+		// The R-HAM circuit path reads every block through physical sense
+		// amplifiers whose nominal input noise very occasionally flips one
+		// block by ±1 across the ~2,500 reads per row: the winner must
+		// match and the observed distance stay within a few bits.
+		got := rc.Search(q)
+		if got.Index != want.Index {
+			t.Fatalf("query %d: %s winner %d, exact %d", i, rc.Name(), got.Index, want.Index)
+		}
+		if diff := got.Distance - want.Distance; diff < -5 || diff > 5 {
+			t.Fatalf("query %d: %s distance %d, exact %d", i, rc.Name(), got.Distance, want.Distance)
+		}
+	}
+
+	// Accuracy group: the analog designs quantize near-ties, so only the
+	// classification quality is asserted. Margins here are far above Δ, so
+	// they should match the exact accuracy.
+	baseline := Evaluate(exact, tr.Memory, ts).Accuracy()
+	for _, s := range []Searcher{ah, ac} {
+		acc := Evaluate(s, tr.Memory, ts).Accuracy()
+		if acc < baseline-0.02 {
+			t.Errorf("%s accuracy %.3f below exact %.3f", s.Name(), acc, baseline)
+		}
+	}
+
+	// Software robustness group sanity: moderate injected error keeps the
+	// task solvable, destructive error does not.
+	rng := rand.New(rand.NewPCG(1, 1))
+	mild := Evaluate(assoc.NewNoisy(tr.Memory, 1000, rng), tr.Memory, ts).Accuracy()
+	if mild < baseline-0.1 {
+		t.Errorf("1,000-bit error accuracy %.3f far below baseline %.3f", mild, baseline)
+	}
+	harsh := Evaluate(assoc.NewNoisy(tr.Memory, 4800, rng), tr.Memory, ts).Accuracy()
+	if harsh > baseline-0.2 {
+		t.Errorf("4,800-bit error accuracy %.3f did not collapse (baseline %.3f)", harsh, baseline)
+	}
+}
+
+func TestIntegrationPersistencePreservesBehavior(t *testing.T) {
+	langs := Languages()[:4]
+	p := DefaultLanguageParams()
+	p.TrainChars = 10_000
+	p.TestPerLang = 4
+	tr, err := TrainLanguages(langs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := MakeTestSet(langs, p)
+	ts.Encode(tr)
+
+	var buf bytes.Buffer
+	if err := SaveMemory(&buf, tr.Memory); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMemory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := NewExactSearcher(tr.Memory)
+	rest := NewExactSearcher(loaded)
+	for i, q := range ts.Queries {
+		if orig.Search(q) != rest.Search(q) {
+			t.Fatalf("query %d: loaded memory classifies differently", i)
+		}
+	}
+}

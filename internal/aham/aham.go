@@ -1,0 +1,136 @@
+// Package aham implements A-HAM, the paper's analog hyperdimensional
+// associative memory (§III-D): a memristive TCAM crossbar whose match-line
+// discharge *currents* encode row distances, compared by a binary tree of
+// loser-takes-all (LTA) blocks that propagates the row with the smallest
+// current — the nearest Hamming distance — without ever digitizing the
+// distances.
+//
+// Physics limits what the LTA can resolve: quantization (finite bit
+// resolution), ML voltage droop on wide rows, mirror error when a row is
+// split into stages, and process/voltage variation (§III-D1/2, Figs. 7 and
+// 13). Those effects live in internal/analog; this package binds them to a
+// functional searcher — rows closer together than the minimum detectable
+// distance are indistinguishable and the winner among them is decided by
+// the comparator's random offsets — and to the calibrated cost model.
+package aham
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"hdam/internal/analog"
+	"hdam/internal/assoc"
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// Config describes one A-HAM design point.
+type Config struct {
+	// D is the hypervector dimensionality.
+	D int
+	// C is the number of stored classes.
+	C int
+	// Bits is the LTA comparator resolution; 0 selects the paper's pairing
+	// analog.BitsFor(D) (10 bits up to D=1,024, 14 bits at D=10,000).
+	// The moderate-accuracy operating point uses 11 bits at D=10,000.
+	Bits int
+	// Stages is the multistage split; 0 selects analog.StagesFor(D)
+	// (≈700 memristive bits per stage, 14 stages at D=10,000). Set 1 to
+	// model the single-stage design of Fig. 7's upper curve.
+	Stages int
+	// Variation is the process/voltage corner (Fig. 13).
+	Variation analog.Variation
+	// Seed drives the tie-breaking among rows the LTA cannot distinguish.
+	Seed uint64
+}
+
+// normalize fills defaults and validates.
+func (c Config) normalize() (Config, error) {
+	if c.D <= 0 {
+		return c, fmt.Errorf("aham: dimension %d", c.D)
+	}
+	if c.C < 2 {
+		return c, fmt.Errorf("aham: need at least 2 classes, got %d", c.C)
+	}
+	if c.Bits == 0 {
+		c.Bits = analog.BitsFor(c.D)
+	}
+	if c.Bits < 1 || c.Bits > 24 {
+		return c, fmt.Errorf("aham: LTA bits %d out of [1,24]", c.Bits)
+	}
+	if c.Stages == 0 {
+		c.Stages = analog.StagesFor(c.D)
+	}
+	if c.Stages < 1 || c.Stages > c.D {
+		return c, fmt.Errorf("aham: %d stages for D=%d", c.Stages, c.D)
+	}
+	return c, nil
+}
+
+// LTA returns the analog comparator model of this design point.
+func (c Config) LTA() analog.LTA { return analog.LTA{Bits: c.Bits, Stages: c.Stages} }
+
+// MinDetectable returns the minimum Hamming-distance difference the design
+// can resolve between two rows (Fig. 7 / Fig. 13).
+func (c Config) MinDetectable() (int, error) {
+	c, err := c.normalize()
+	if err != nil {
+		return 0, err
+	}
+	return c.LTA().MinDetectable(c.D, c.Variation), nil
+}
+
+// HAM is the A-HAM functional simulator bound to a trained memory.
+type HAM struct {
+	cfg       Config
+	mem       *core.Memory
+	minDetect int
+	rng       *rand.Rand
+}
+
+// New builds an A-HAM instance over a trained associative memory.
+func New(cfg Config, mem *core.Memory) (*HAM, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if mem.Dim() != cfg.D {
+		return nil, fmt.Errorf("aham: memory dim %d, config D=%d", mem.Dim(), cfg.D)
+	}
+	if mem.Classes() != cfg.C {
+		return nil, fmt.Errorf("aham: memory has %d classes, config C=%d", mem.Classes(), cfg.C)
+	}
+	md := cfg.LTA().MinDetectable(cfg.D, cfg.Variation)
+	return &HAM{
+		cfg:       cfg,
+		mem:       mem,
+		minDetect: md,
+		rng:       rand.New(rand.NewPCG(cfg.Seed, 0x41484141)),
+	}, nil
+}
+
+// Search classifies a query as the analog hardware does: the LTA tree
+// returns the row with the smallest discharge current, but rows whose
+// distances differ by less than the minimum detectable distance are a
+// toss-up decided by comparator offsets (modeled as a seeded uniform choice
+// among the near-tie set).
+func (h *HAM) Search(q *hv.Vector) core.Result {
+	ds := h.mem.Distances(q)
+	win := assoc.QuantizedWinner(ds, h.minDetect, h.rng)
+	return core.Result{Index: win, Distance: ds[win]}
+}
+
+// MinDetect returns the resolved minimum detectable distance of this
+// instance.
+func (h *HAM) MinDetect() int { return h.minDetect }
+
+// Name implements core.Searcher.
+func (h *HAM) Name() string {
+	return fmt.Sprintf("A-HAM D=%d C=%d bits=%d stages=%d Δ=%d",
+		h.cfg.D, h.cfg.C, h.cfg.Bits, h.cfg.Stages, h.minDetect)
+}
+
+// Config returns the design point (with defaults resolved).
+func (h *HAM) Config() Config { return h.cfg }
+
+var _ core.Searcher = (*HAM)(nil)

@@ -1,0 +1,220 @@
+package aham
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/analog"
+	"hdam/internal/core"
+	"hdam/internal/dham"
+	"hdam/internal/hv"
+)
+
+func testMemory(c, dim int, seed uint64) *core.Memory {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	cs := make([]*hv.Vector, c)
+	ls := make([]string, c)
+	for i := range cs {
+		cs[i] = hv.Random(dim, rng)
+		ls[i] = string(rune('A' + i))
+	}
+	return core.MustMemory(cs, ls)
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg, err := (Config{D: 10000, C: 21}).normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Bits != 14 || cfg.Stages != 14 {
+		t.Fatalf("defaults at D=10,000: bits=%d stages=%d, want 14/14", cfg.Bits, cfg.Stages)
+	}
+	cfg, _ = (Config{D: 512, C: 21}).normalize()
+	if cfg.Bits != 10 || cfg.Stages != 1 {
+		t.Fatalf("defaults at D=512: bits=%d stages=%d, want 10/1", cfg.Bits, cfg.Stages)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bads := []Config{
+		{D: 0, C: 5},
+		{D: 100, C: 1},
+		{D: 100, C: 5, Bits: 25},
+		{D: 100, C: 5, Bits: -1},
+		{D: 100, C: 5, Stages: 101},
+	}
+	for i, cfg := range bads {
+		if _, err := cfg.Cost(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestMinDetectable(t *testing.T) {
+	md, err := (Config{D: 10000, C: 21}).MinDetectable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md < 13 || md > 16 {
+		t.Fatalf("default Δ at D=10,000 is %d, want ≈14", md)
+	}
+	single, _ := (Config{D: 10000, C: 21, Bits: 10, Stages: 1}).MinDetectable()
+	if single < 38 || single > 48 {
+		t.Fatalf("single-stage Δ %d, want ≈43", single)
+	}
+}
+
+func TestSearchClassifiesWithWideMargins(t *testing.T) {
+	// Random class vectors are thousands of bits apart, far above Δ=14, so
+	// A-HAM must classify exactly like the ideal search.
+	mem := testMemory(21, hv.Dim, 1)
+	h, err := New(Config{D: hv.Dim, C: 21}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	for i := 0; i < 42; i++ {
+		q := hv.FlipBits(mem.Class(i%21), 2500, rng)
+		if r := h.Search(q); r.Index != i%21 {
+			t.Fatalf("query near %d classified %d", i%21, r.Index)
+		}
+	}
+}
+
+func TestSearchConfusesWithinResolution(t *testing.T) {
+	// Two classes closer than Δ must sometimes swap.
+	dim := 10000
+	rng := rand.New(rand.NewPCG(3, 3))
+	c0 := hv.Random(dim, rng)
+	c1 := hv.FlipBits(c0, 5, rng) // separation 5 < Δ=14
+	far := hv.Random(dim, rng)
+	mem := core.MustMemory([]*hv.Vector{c0, c1, far}, []string{"a", "b", "c"})
+	h, err := New(Config{D: dim, C: 3}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MinDetect() < 10 {
+		t.Fatalf("Δ = %d unexpectedly small", h.MinDetect())
+	}
+	q := hv.FlipBits(c0, 2, rng)
+	saw := map[int]bool{}
+	for i := 0; i < 300; i++ {
+		saw[h.Search(q).Index] = true
+	}
+	if !saw[0] || !saw[1] {
+		t.Fatalf("LTA never confused rows separated below Δ: %v", saw)
+	}
+	if saw[2] {
+		t.Fatal("LTA confused a far row")
+	}
+}
+
+func TestVariationDegradesResolution(t *testing.T) {
+	base, _ := (Config{D: 10000, C: 21}).MinDetectable()
+	worst, _ := (Config{D: 10000, C: 21,
+		Variation: analog.Variation{Process3Sigma: 0.35, SupplyDrop: 0.10}}).MinDetectable()
+	if worst <= base {
+		t.Fatalf("worst-corner Δ %d not above nominal %d", worst, base)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	mem := testMemory(5, 1000, 4)
+	if _, err := New(Config{D: 999, C: 5}, mem); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := New(Config{D: 1000, C: 4}, mem); err == nil {
+		t.Error("class mismatch accepted")
+	}
+	h, err := New(Config{D: 1000, C: 5}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() == "" || h.Config().Bits == 0 {
+		t.Error("accessors broken")
+	}
+}
+
+// --- cost model calibration ---
+
+func TestScalingDimension(t *testing.T) {
+	// §IV-C1 for A-HAM: 20× dimensions → ×1.9 energy, ×1.7 delay (±20%).
+	lo := Config{D: 512, C: 21}.MustCost()
+	hi := Config{D: 10000, C: 21}.MustCost()
+	if r := float64(hi.Energy) / float64(lo.Energy); math.Abs(r-1.9)/1.9 > 0.20 {
+		t.Errorf("D-scaling energy ratio %.2f, want ≈ 1.9", r)
+	}
+	if r := float64(hi.Delay) / float64(lo.Delay); math.Abs(r-1.7)/1.7 > 0.20 {
+		t.Errorf("D-scaling delay ratio %.2f, want ≈ 1.7", r)
+	}
+}
+
+func TestScalingClasses(t *testing.T) {
+	// §IV-C2 for A-HAM: 16.6× classes → ×15.9 energy, ×4.4 delay (±15%).
+	lo := Config{D: 10000, C: 6}.MustCost()
+	hi := Config{D: 10000, C: 100}.MustCost()
+	if r := float64(hi.Energy) / float64(lo.Energy); math.Abs(r-15.9)/15.9 > 0.15 {
+		t.Errorf("C-scaling energy ratio %.2f, want ≈ 15.9", r)
+	}
+	if r := float64(hi.Delay) / float64(lo.Delay); math.Abs(r-4.4)/4.4 > 0.15 {
+		t.Errorf("C-scaling delay ratio %.2f, want ≈ 4.4", r)
+	}
+}
+
+func TestEDPRatiosVersusDHAM(t *testing.T) {
+	// Fig. 11 headline: A-HAM EDP ≈746× (max accuracy) and ≈1347×
+	// (moderate) below D-HAM at D=10,000, C=100. The model reproduces the
+	// orders of magnitude; we assert within a factor 1.6 band.
+	dMax := dham.Config{D: 10000, C: 100, SampledD: 9000}.MustCost()
+	dMod := dham.Config{D: 10000, C: 100, SampledD: 7000}.MustCost()
+	aMax := Config{D: 10000, C: 100, Bits: 14}.MustCost()
+	aMod := Config{D: 10000, C: 100, Bits: 11}.MustCost()
+
+	maxRatio := float64(dMax.EDP()) / float64(aMax.EDP())
+	modRatio := float64(dMod.EDP()) / float64(aMod.EDP())
+	if maxRatio < 746/1.6 || maxRatio > 746*1.6 {
+		t.Errorf("max-accuracy EDP ratio %.0f, want ≈ 746", maxRatio)
+	}
+	if modRatio < 1347/1.8 || modRatio > 1347*1.8 {
+		t.Errorf("moderate EDP ratio %.0f, want ≈ 1347", modRatio)
+	}
+	if modRatio <= maxRatio {
+		t.Errorf("moderate ratio %.0f not above max-accuracy ratio %.0f", modRatio, maxRatio)
+	}
+	gain := float64(aMax.EDP()) / float64(aMod.EDP())
+	if gain < 1.4 || gain > 2.6 {
+		t.Errorf("A-HAM max→moderate EDP gain %.2f, want ≈ 2.4", gain)
+	}
+}
+
+func TestLTADominatesEnergyAndArea(t *testing.T) {
+	// §III-D3: "LTA blocks are the main source of A-HAM energy consumption
+	// in large sizes"; §IV-E: LTA ≈69% of total area.
+	cost := Config{D: 10000, C: 100}.MustCost()
+	lta, _ := cost.Find("lta")
+	if share := float64(lta.Energy) / float64(cost.Energy); share < 0.55 {
+		t.Errorf("LTA energy share %.2f, want dominant (≈0.70)", share)
+	}
+	if share := float64(lta.Area) / float64(cost.Area); math.Abs(share-0.69) > 0.08 {
+		t.Errorf("LTA area share %.2f, want ≈ 0.69", share)
+	}
+}
+
+func TestAreaVersusDHAM(t *testing.T) {
+	// Fig. 12: A-HAM ≈3× smaller than D-HAM.
+	dA := dham.Config{D: 10000, C: 100}.MustCost().Area
+	aA := Config{D: 10000, C: 100}.MustCost().Area
+	ratio := float64(dA) / float64(aA)
+	if math.Abs(ratio-3.0) > 0.5 {
+		t.Errorf("area ratio %.2f, want ≈ 3", ratio)
+	}
+}
+
+func TestModerateBitsCheaper(t *testing.T) {
+	max := Config{D: 10000, C: 100, Bits: 14}.MustCost()
+	mod := Config{D: 10000, C: 100, Bits: 11}.MustCost()
+	if mod.Energy >= max.Energy || mod.Delay >= max.Delay {
+		t.Fatal("reducing LTA bits must reduce both energy and delay")
+	}
+}

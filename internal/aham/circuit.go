@@ -1,0 +1,206 @@
+package aham
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand/v2"
+
+	"hdam/internal/analog"
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// CircuitHAM is the current-domain structural A-HAM simulator: where HAM
+// quantizes distances through the closed-form resolution model, CircuitHAM
+// instantiates the actual analog datapath of Fig. 6/8 —
+//
+//   - every row is split into the configured stages; each stage's mismatch
+//     count drives a saturating ML current (the stabilizer holds the ML
+//     voltage only up to a linearity limit, so current compresses at high
+//     mismatch counts);
+//   - per-stage current mirrors sum the partial currents into the row
+//     current, each mirror carrying a *static* gain error drawn once at
+//     construction (process variation is frozen per chip);
+//   - a single-elimination tree of C−1 LTA comparators selects the row
+//     with the smallest current; each comparator has a static input offset
+//     and a finite resolution quantum — differences below the quantum are
+//     decided by the offset's sign, not the data.
+//
+// Because mirror gains and comparator offsets are frozen at construction,
+// a CircuitHAM instance is a *chip*: the same query always classifies the
+// same way, and variation shows up as disagreement between chips (seeds) —
+// exactly how silicon behaves, and the property the Monte-Carlo analysis
+// of Fig. 13 samples over.
+type CircuitHAM struct {
+	cfg Config
+	mem *core.Memory
+
+	stageOf    []int       // component index → stage index
+	mirrorGain [][]float64 // [row][stage] static mirror gain (≈1)
+	cmpOffset  []float64   // per tree comparator, distance units, static
+	quantum    float64     // LTA resolution quantum, distance units
+	seed       uint64      // chip seed; also salts the droop-noise hash
+}
+
+// Structural analog constants.
+const (
+	// droopNoiseK sets the data-dependent ML-droop error of one stage:
+	// when the stabilizer cannot hold the ML voltage, the stage current
+	// deviates from linear by an amount that grows with the square of the
+	// stage's mismatch count — σ_droop(m) = m²/droopNoiseK distance units.
+	// At a single 10,000-cell stage carrying ~4,700 mismatches this is
+	// ≈11 bits (3σ ≈ 33), reproducing the closed-form model's finding
+	// that a wide stage cannot be rescued by more comparator bits
+	// (§III-D1, Fig. 7); at a 715-cell stage it is negligible.
+	droopNoiseK = 2.0e6
+	// mirrorGainSigma is the 1σ static gain error of a stage-summing
+	// current mirror; with ~300 mismatches per 715-cell stage it
+	// contributes ≈1 distance bit per stage, matching the closed-form
+	// model's mirrorErr (§III-D2).
+	mirrorGainSigma = 0.005
+)
+
+// NewCircuit builds a chip instance. The seed freezes this chip's mirror
+// gains and comparator offsets; build several seeds to sample variation.
+func NewCircuit(cfg Config, mem *core.Memory, seed uint64) (*CircuitHAM, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if mem.Dim() != cfg.D {
+		return nil, fmt.Errorf("aham: memory dim %d, config D=%d", mem.Dim(), cfg.D)
+	}
+	if mem.Classes() != cfg.C {
+		return nil, fmt.Errorf("aham: memory has %d classes, config C=%d", mem.Classes(), cfg.C)
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xc1_2c_17))
+	stageCells := (cfg.D + cfg.Stages - 1) / cfg.Stages
+	h := &CircuitHAM{
+		cfg:     cfg,
+		mem:     mem,
+		stageOf: make([]int, cfg.D),
+		quantum: float64(cfg.D) / math.Exp2(float64(cfg.Bits)),
+	}
+	for i := 0; i < cfg.D; i++ {
+		h.stageOf[i] = i / stageCells
+	}
+	h.mirrorGain = make([][]float64, cfg.C)
+	for r := range h.mirrorGain {
+		gains := make([]float64, cfg.Stages)
+		for s := range gains {
+			gains[s] = 1 + rng.NormFloat64()*mirrorGainSigma
+		}
+		h.mirrorGain[r] = gains
+	}
+	// Comparator offsets: the variation corner's spread plus the intrinsic
+	// device mismatch every comparator has — about half a resolution
+	// quantum, which is what makes the quantum the effective floor.
+	sigma := analog.LTA{Bits: cfg.Bits, Stages: cfg.Stages}.OffsetSigma(cfg.D, cfg.Variation)
+	intrinsic := h.quantum / 2
+	h.cmpOffset = make([]float64, cfg.C) // tree of ≤ C−1 comparators; index by slot
+	for i := range h.cmpOffset {
+		h.cmpOffset[i] = rng.NormFloat64()*sigma + rng.NormFloat64()*intrinsic
+	}
+	h.seed = seed
+	return h, nil
+}
+
+// stageMismatches counts per-stage mismatches between q and class c.
+func (h *CircuitHAM) stageMismatches(q, c *hv.Vector) []int {
+	out := make([]int, h.cfg.Stages)
+	qw, cw := q.Words(), c.Words()
+	for wi := range qw {
+		x := qw[wi] ^ cw[wi]
+		for x != 0 {
+			b := wi*64 + bits.TrailingZeros64(x)
+			if b < h.cfg.D {
+				out[h.stageOf[b]]++
+			}
+			x &= x - 1
+		}
+	}
+	return out
+}
+
+// rowCurrent computes the summed, mirror-scaled row current in distance
+// units, including the data-dependent droop deviation of each stage. The
+// droop noise is a pure function of (chip, row, stage, mismatch count), so
+// one chip always reads one pattern the same way.
+func (h *CircuitHAM) rowCurrent(row int, stages []int) float64 {
+	var u float64
+	for s, m := range stages {
+		f := float64(m)
+		if m > 0 {
+			sigma := float64(m) * float64(m) / droopNoiseK
+			f += droopNoise(h.seed, uint64(row), uint64(s), uint64(m)) * sigma
+		}
+		u += h.mirrorGain[row][s] * f
+	}
+	return u
+}
+
+// droopNoise returns a deterministic standard-normal deviate for the
+// (chip, row, stage, mismatch) tuple.
+func droopNoise(seed, row, stage, m uint64) float64 {
+	h := seed ^ row*0x9e3779b97f4a7c15 ^ stage*0xc2b2ae3d27d4eb4f ^ m*0x165667b19e3779f9
+	rng := rand.New(rand.NewPCG(h, h^0xdeadbeef))
+	return rng.NormFloat64()
+}
+
+// compare is one LTA comparator: it returns true when row a's current is
+// read as smaller than row b's. Differences below the quantum are resolved
+// by the comparator's static offset.
+func (h *CircuitHAM) compare(slot int, ua, ub float64) bool {
+	diff := ua - ub + h.cmpOffset[slot%len(h.cmpOffset)]
+	if math.Abs(diff) < h.quantum {
+		// Below the resolution quantum the data is invisible; the offset
+		// polarity decides.
+		return h.cmpOffset[slot%len(h.cmpOffset)] <= 0
+	}
+	return diff < 0
+}
+
+// Search runs the full analog datapath: currents, mirrors, LTA tournament.
+func (h *CircuitHAM) Search(q *hv.Vector) core.Result {
+	currents := make([]float64, h.cfg.C)
+	for r := 0; r < h.cfg.C; r++ {
+		currents[r] = h.rowCurrent(r, h.stageMismatches(q, h.mem.Class(r)))
+	}
+	// Single-elimination tournament, fixed bracket, one comparator slot
+	// per match (slot index = position in the flattened tree).
+	contenders := make([]int, h.cfg.C)
+	for i := range contenders {
+		contenders[i] = i
+	}
+	slot := 0
+	for len(contenders) > 1 {
+		next := contenders[:0]
+		for i := 0; i+1 < len(contenders); i += 2 {
+			a, b := contenders[i], contenders[i+1]
+			if h.compare(slot, currents[a], currents[b]) {
+				next = append(next, a)
+			} else {
+				next = append(next, b)
+			}
+			slot++
+		}
+		if len(contenders)%2 == 1 {
+			next = append(next, contenders[len(contenders)-1])
+		}
+		contenders = next
+	}
+	win := contenders[0]
+	return core.Result{Index: win, Distance: hv.Hamming(q, h.mem.Class(win))}
+}
+
+// Name implements core.Searcher.
+func (h *CircuitHAM) Name() string {
+	return fmt.Sprintf("A-HAM(circuit) D=%d C=%d bits=%d stages=%d",
+		h.cfg.D, h.cfg.C, h.cfg.Bits, h.cfg.Stages)
+}
+
+var _ core.Searcher = (*CircuitHAM)(nil)
+
+// Quantum exposes the comparator resolution quantum (distance units).
+func (h *CircuitHAM) Quantum() float64 { return h.quantum }

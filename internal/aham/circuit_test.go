@@ -1,0 +1,179 @@
+package aham
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/analog"
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+func TestCircuitClassifiesWideMargins(t *testing.T) {
+	mem := testMemory(21, hv.Dim, 60)
+	h, err := NewCircuit(Config{D: hv.Dim, C: 21}, mem, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(61, 61))
+	for i := 0; i < 42; i++ {
+		q := hv.FlipBits(mem.Class(i%21), 2500, rng)
+		if r := h.Search(q); r.Index != i%21 {
+			t.Fatalf("circuit path misclassified query near %d as %d", i%21, r.Index)
+		}
+	}
+}
+
+func TestCircuitDeterministicPerChip(t *testing.T) {
+	mem := testMemory(8, 2000, 62)
+	h, err := NewCircuit(Config{D: 2000, C: 8}, mem, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(63, 63))
+	q := hv.FlipBits(mem.Class(3), 500, rng)
+	first := h.Search(q)
+	for i := 0; i < 10; i++ {
+		if h.Search(q) != first {
+			t.Fatal("same chip classified the same query differently")
+		}
+	}
+}
+
+// operatingPair builds a memory whose two classes sit at realistic
+// operating distances from the query — d(q, c0) = base, d(q, c1) =
+// base+sep — the regime the resolution model describes (bundled queries
+// are ~D/2-ish from every prototype; classification rides on differential
+// margins while the analog errors scale with the absolute currents).
+func operatingPair(t *testing.T, dim, base, sep int, rng *rand.Rand) (*core.Memory, *hv.Vector) {
+	t.Helper()
+	q := hv.Random(dim, rng)
+	c0 := hv.FlipBits(q, base, rng)
+	c1 := hv.FlipBits(q, base+sep, rng)
+	return core.MustMemory([]*hv.Vector{c0, c1}, []string{"a", "b"}), q
+}
+
+func TestCircuitNearTiesVaryAcrossChips(t *testing.T) {
+	// Two classes separated by less than the resolution: different chip
+	// instances (different static mirror gains and offsets) must disagree
+	// about the winner, while each chip individually is deterministic —
+	// silicon behavior.
+	dim := 10000
+	rng := rand.New(rand.NewPCG(64, 64))
+	mem, q := operatingPair(t, dim, 4000, 3, rng)
+
+	winners := map[int]bool{}
+	for seed := uint64(0); seed < 40; seed++ {
+		h, err := NewCircuit(Config{D: dim, C: 2}, mem, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		winners[h.Search(q).Index] = true
+	}
+	if !winners[0] || !winners[1] {
+		t.Fatalf("near-tie winners identical across 40 chips: %v", winners)
+	}
+}
+
+func TestCircuitEmpiricalResolutionMatchesModel(t *testing.T) {
+	// Measure the separation at which chips start resolving reliably and
+	// compare against the closed-form minimum detectable distance.
+	dim := 10000
+	cfg := Config{D: dim, C: 2}
+	ncfg, _ := cfg.normalize()
+	model := analog.LTA{Bits: ncfg.Bits, Stages: ncfg.Stages}.MinDetectable(dim, analog.Variation{})
+
+	rng := rand.New(rand.NewPCG(65, 65))
+	resolves := func(sep int) float64 {
+		correct := 0
+		const chips = 40
+		for seed := uint64(0); seed < chips; seed++ {
+			mem, q := operatingPair(t, dim, 4000, sep, rng)
+			h, err := NewCircuit(cfg, mem, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Search(q).Index == 0 {
+				correct++
+			}
+		}
+		return float64(correct) / chips
+	}
+	// Well above the model resolution: reliable.
+	if p := resolves(6 * model); p < 0.95 {
+		t.Errorf("chips resolve separation %d only %.2f of the time", 6*model, p)
+	}
+	// Well below: unreliable (mirror errors and offsets decide).
+	if p := resolves(model / 4); p > 0.9 {
+		t.Errorf("chips resolve separation %d too reliably (%.2f) for a Δ=%d design", model/4, p, model)
+	}
+}
+
+func TestCircuitMultistageBeatsSingleStageAtScale(t *testing.T) {
+	// The Fig. 7 story, structurally: at D=10,000 with a 10-bit LTA the
+	// single-stage chip's quantum (≈10 bits of distance... but with droop
+	// compression it confuses separations the 14-stage chip resolves).
+	dim := 10000
+	const sep = 15 // between the multistage (≈14) and single-stage (≈43) resolutions
+	rng := rand.New(rand.NewPCG(66, 66))
+	resolve := func(stages, bitsN int) float64 {
+		correct := 0
+		const chips = 80
+		for seed := uint64(100); seed < 100+chips; seed++ {
+			mem, q := operatingPair(t, dim, 4000, sep, rng)
+			h, err := NewCircuit(Config{D: dim, C: 2, Stages: stages, Bits: bitsN}, mem, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Search(q).Index == 0 {
+				correct++
+			}
+		}
+		return float64(correct) / chips
+	}
+	single := resolve(1, 10)
+	multi := resolve(14, 14)
+	if multi < single+0.02 {
+		t.Fatalf("multistage resolution (%.2f) not clearly better than single-stage (%.2f) at separation %d",
+			multi, single, sep)
+	}
+	if multi < 0.9 {
+		t.Fatalf("multistage chip resolves %d-bit separation only %.2f of the time", sep, multi)
+	}
+}
+
+func TestCircuitValidation(t *testing.T) {
+	mem := testMemory(4, 1000, 67)
+	if _, err := NewCircuit(Config{D: 999, C: 4}, mem, 1); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := NewCircuit(Config{D: 1000, C: 5}, mem, 1); err == nil {
+		t.Error("class mismatch accepted")
+	}
+	if _, err := NewCircuit(Config{D: 0, C: 4}, mem, 1); err == nil {
+		t.Error("bad config accepted")
+	}
+	h, err := NewCircuit(Config{D: 1000, C: 4}, mem, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() == "" || h.Quantum() <= 0 {
+		t.Error("accessors broken")
+	}
+}
+
+func TestCircuitOddClassCount(t *testing.T) {
+	// The tournament must handle byes (odd contender counts).
+	mem := testMemory(5, 2000, 68)
+	h, err := NewCircuit(Config{D: 2000, C: 5}, mem, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(69, 69))
+	for i := 0; i < 15; i++ {
+		q := hv.FlipBits(mem.Class(i%5), 300, rng)
+		if r := h.Search(q); r.Index != i%5 {
+			t.Fatalf("odd-C tournament misclassified query near %d as %d", i%5, r.Index)
+		}
+	}
+}

@@ -1,0 +1,424 @@
+package analog
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestConductanceSaturates(t *testing.T) {
+	ml := ConventionalCAM(1.0)
+	// Strictly increasing, but with shrinking increments (current
+	// saturation, §III-C1): the first mismatch contributes most.
+	prev, prevInc := 0.0, math.Inf(1)
+	for m := 1; m <= ml.Cells; m++ {
+		g := ml.Conductance(m)
+		if g <= prev {
+			t.Fatalf("conductance not increasing at m=%d", m)
+		}
+		inc := g - prev
+		if inc >= prevInc {
+			t.Fatalf("conductance increments not shrinking at m=%d", m)
+		}
+		prev, prevInc = g, inc
+	}
+}
+
+func TestVoltageDischarge(t *testing.T) {
+	ml := RHAMBlock(1.0)
+	// m=0 holds VDD forever.
+	if v := ml.Voltage(0, 1e-9); v != 1.0 {
+		t.Fatalf("matching row discharged to %v", v)
+	}
+	// Monotone decay in t and in m.
+	if ml.Voltage(1, 1e-9) <= ml.Voltage(1, 2e-9) {
+		t.Fatal("voltage not decaying in time")
+	}
+	if ml.Voltage(1, 1e-9) <= ml.Voltage(2, 1e-9) {
+		t.Fatal("more mismatches should discharge faster")
+	}
+}
+
+func TestCrossTimeOrdering(t *testing.T) {
+	ml := RHAMBlock(1.0)
+	if !math.IsInf(ml.CrossTime(0, 0.5), 1) {
+		t.Fatal("distance 0 should never cross")
+	}
+	prev := math.Inf(1)
+	for m := 1; m <= 4; m++ {
+		ct := ml.CrossTime(m, 0.5)
+		if ct <= 0 || ct >= prev {
+			t.Fatalf("cross times not strictly decreasing at m=%d", m)
+		}
+		prev = ct
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	ml := RHAMBlock(1.0)
+	c := ml.Curve(2, 2e-9, 50)
+	if len(c) != 50 || c[0] != 1.0 {
+		t.Fatal("curve must start at VDD")
+	}
+	for i := 1; i < len(c); i++ {
+		if c[i] > c[i-1] {
+			t.Fatal("curve not monotone")
+		}
+	}
+}
+
+func TestRHAMBlockMoreUniformThanConventional(t *testing.T) {
+	// The design rationale of Fig. 4: the 4-bit high-R_ON block separates
+	// consecutive distances far better (relative to its fastest discharge)
+	// than the conventional 10-bit CAM separates distances 4 vs 5.
+	conv := ConventionalCAM(1.0)
+	blk := RHAMBlock(1.0)
+	convSpread := conv.TimingSpread(0.5, 6)
+	blkSpread := blk.TimingSpread(0.5, 4)
+	if blkSpread <= 2*convSpread {
+		t.Fatalf("4-bit block spread %.4f not clearly above conventional %.4f", blkSpread, convSpread)
+	}
+}
+
+func TestVOSSlowsDischarge(t *testing.T) {
+	// Overscaling the supply (Fig. 4(c)) stretches the absolute discharge
+	// times: same RC constants, lower starting voltage and lower vref keep
+	// the *shape*, so we model the functional effect (possible ±1 misread)
+	// separately; here we just confirm the waveform scales with VDD.
+	nom := RHAMBlock(1.0)
+	vos := RHAMBlock(0.78)
+	if nom.Voltage(2, 1e-9)/1.0 != vos.Voltage(2, 1e-9)/0.78 {
+		t.Fatal("normalized discharge should be VDD-invariant")
+	}
+}
+
+func TestMatchLineValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { MatchLine{}.Conductance(0) },
+		func() { RHAMBlock(1).Conductance(5) },
+		func() { RHAMBlock(1).Conductance(-1) },
+		func() { RHAMBlock(1).Voltage(1, -1) },
+		func() { RHAMBlock(1).CrossTime(1, 0) },
+		func() { RHAMBlock(1).CrossTime(1, 1.0) },
+		func() { RHAMBlock(1).Curve(1, 0, 10) },
+		func() { RHAMBlock(1).TimingSpread(0.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSenseBankReadsExactDistance(t *testing.T) {
+	sb := NewSenseBank(RHAMBlock(1.0), 0.5)
+	for m := 0; m <= 4; m++ {
+		code := sb.Read(m)
+		if got := Distance(code); got != m {
+			t.Fatalf("sense bank read %d for distance %d (code %v)", got, m, code)
+		}
+		// Thermometer property: ones then zeros.
+		seenZero := false
+		for _, b := range code {
+			if b == 1 && seenZero {
+				t.Fatalf("non-thermometer code %v for m=%d", code, m)
+			}
+			if b == 0 {
+				seenZero = true
+			}
+		}
+	}
+}
+
+func TestSenseBankSampleTimesOrdered(t *testing.T) {
+	sb := NewSenseBank(RHAMBlock(1.0), 0.5)
+	ts := sb.SampleTimes()
+	for j := 1; j < BlockBits; j++ {
+		if ts[j] >= ts[j-1] {
+			t.Fatalf("sample times not decreasing: %v", ts)
+		}
+	}
+}
+
+func TestSenseBankNeedsFourCells(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSenseBank(ConventionalCAM(1.0), 0.5)
+}
+
+func TestVOSBlockError(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	// Zero rate: identity.
+	for m := 0; m <= 4; m++ {
+		if VOSBlockError(m, 0, rng) != m {
+			t.Fatal("errRate 0 changed distance")
+		}
+	}
+	// Full rate: always ±1 within [0,4].
+	for m := 0; m <= 4; m++ {
+		for i := 0; i < 50; i++ {
+			got := VOSBlockError(m, 1, rng)
+			diff := got - m
+			if diff < -1 || diff > 1 || diff == 0 {
+				t.Fatalf("m=%d misread to %d", m, got)
+			}
+			if got < 0 || got > 4 {
+				t.Fatalf("misread out of range: %d", got)
+			}
+		}
+	}
+	// Panics.
+	for _, f := range []func(){
+		func() { VOSBlockError(5, 0.1, rng) },
+		func() { VOSBlockError(-1, 0.1, rng) },
+		func() { VOSBlockError(2, 1.5, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLTAFig7Anchors(t *testing.T) {
+	// §III-D2: a single-stage 10-bit LTA resolves 1 bit up to D = 512 and
+	// ≈ 43 bits at D = 10,000; 14 stages at 14 bits resolve ≈ 14 bits.
+	single := LTA{Bits: 10, Stages: 1}
+	if md := single.MinDetectable(256, Variation{}); md != 1 {
+		t.Errorf("D=256 single-stage resolution %d, want 1", md)
+	}
+	if md := single.MinDetectable(512, Variation{}); md != 1 {
+		t.Errorf("D=512 single-stage resolution %d, want 1", md)
+	}
+	if md := single.MinDetectable(10000, Variation{}); md < 38 || md > 48 {
+		t.Errorf("D=10,000 single-stage resolution %d, want ≈ 43", md)
+	}
+	multi := LTA{Bits: 14, Stages: 14}
+	if md := multi.MinDetectable(10000, Variation{}); md < 13 || md > 16 {
+		t.Errorf("D=10,000 14-stage resolution %d, want ≈ 14", md)
+	}
+}
+
+func TestLTAMonotoneInDimension(t *testing.T) {
+	l := LTA{Bits: 10, Stages: 1}
+	prev := 0
+	for _, d := range []int{256, 512, 1024, 2048, 4096, 10000} {
+		md := l.MinDetectable(d, Variation{})
+		if md < prev {
+			t.Fatalf("resolution improved with dimension at D=%d", d)
+		}
+		prev = md
+	}
+}
+
+func TestMultistageImproves(t *testing.T) {
+	v := Variation{}
+	single := LTA{Bits: 14, Stages: 1}.MinDetectable(10000, v)
+	multi := LTA{Bits: 14, Stages: 14}.MinDetectable(10000, v)
+	if multi >= single {
+		t.Fatalf("multistage (%d) not better than single (%d)", multi, single)
+	}
+}
+
+func TestStagesAndBitsFor(t *testing.T) {
+	if StagesFor(10000) != 14 {
+		t.Errorf("StagesFor(10000) = %d, want 14", StagesFor(10000))
+	}
+	if StagesFor(512) != 1 || StagesFor(1) != 1 {
+		t.Error("small dimensions must use one stage")
+	}
+	if BitsFor(512) != 10 || BitsFor(10000) != 14 {
+		t.Errorf("BitsFor: got %d/%d, want 10/14", BitsFor(512), BitsFor(10000))
+	}
+	if got := (LTA{Bits: 14, Stages: 14}).StageCells(10000); got != 715 {
+		t.Errorf("stage cells %d, want 715", got)
+	}
+}
+
+func TestVariationIncreasesResolution(t *testing.T) {
+	l := LTA{Bits: 14, Stages: 14}
+	base := l.MinDetectable(10000, Variation{})
+	pv := l.MinDetectable(10000, Variation{Process3Sigma: 0.35})
+	pvv := l.MinDetectable(10000, Variation{Process3Sigma: 0.35, SupplyDrop: 0.10})
+	if !(base < pv && pv < pvv) {
+		t.Fatalf("variation ordering broken: %d, %d, %d", base, pv, pvv)
+	}
+	// Worst corner must be dramatically worse (paper: accuracy falls to
+	// 89.2%): expect at least ~5× the nominal-corner resolution.
+	if pvv < 5*base {
+		t.Fatalf("worst corner %d not ≫ nominal %d", pvv, base)
+	}
+}
+
+func TestMonteCarloDeterministicAndOrdered(t *testing.T) {
+	l := LTA{Bits: 14, Stages: 14}
+	v := Variation{Process3Sigma: 0.2, SupplyDrop: 0.05}
+	r1 := l.MonteCarlo(10000, v, 5000, 99)
+	r2 := l.MonteCarlo(10000, v, 5000, 99)
+	if r1.Quantile(0.9987) != r2.Quantile(0.9987) {
+		t.Fatal("Monte Carlo not deterministic for fixed seed")
+	}
+	if r1.Runs() != 5000 {
+		t.Fatalf("runs = %d", r1.Runs())
+	}
+	if r1.Quantile(0) > r1.Quantile(0.5) || r1.Quantile(0.5) > r1.Quantile(1) {
+		t.Fatal("quantiles not ordered")
+	}
+	if r1.Mean() < l.MinDetectableFloat(10000) {
+		t.Fatal("mean below deterministic floor")
+	}
+	// The 3σ MC quantile should approximate the closed-form allowance.
+	closed := l.MinDetectable(10000, v)
+	mc := r1.Quantile(0.9987)
+	if math.Abs(float64(mc-closed)) > float64(closed)/4 {
+		t.Fatalf("MC 3σ %d far from closed form %d", mc, closed)
+	}
+}
+
+func TestVariationValidation(t *testing.T) {
+	l := LTA{Bits: 14, Stages: 14}
+	for _, f := range []func(){
+		func() { l.MinDetectable(10000, Variation{Process3Sigma: -0.1}) },
+		func() { l.MinDetectable(10000, Variation{Process3Sigma: 0.6}) },
+		func() { l.MinDetectable(10000, Variation{SupplyDrop: 0.3}) },
+		func() { LTA{Bits: 0, Stages: 1}.MinDetectable(100, Variation{}) },
+		func() { LTA{Bits: 10, Stages: 0}.MinDetectable(100, Variation{}) },
+		func() { l.MinDetectable(0, Variation{}) },
+		func() { l.MonteCarlo(100, Variation{}, 0, 1) },
+		func() { l.MonteCarlo(100, Variation{}, 10, 1).Quantile(1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTCAMCellMargins(t *testing.T) {
+	cell := DefaultTCAMCell()
+	if r := cell.OffOnRatio(); math.Abs(r-2e5) > 1 {
+		t.Fatalf("ratio %v, want 2e5", r)
+	}
+	// One mismatch among 10,000 matching cells still stands out by >10×
+	// with the paper's device corner.
+	if m := cell.SenseMargin(10000); m < 10 {
+		t.Fatalf("sense margin %v too small at 10,000 cells", m)
+	}
+	// A poor device (ratio 100) cannot support large rows.
+	weak := TCAMCell{RonOhm: 500e3, RoffOhm: 50e6}
+	if m := weak.SenseMargin(10000); m > 1 {
+		t.Fatalf("weak device margin %v unexpectedly high", m)
+	}
+	// MaxRowForMargin inverts SenseMargin.
+	maxRow := cell.MaxRowForMargin(10)
+	if got := cell.SenseMargin(maxRow); got < 10*0.99 {
+		t.Fatalf("margin at max row %d is %v, want ≥ 10", maxRow, got)
+	}
+	if got := cell.SenseMargin(maxRow * 2); got >= 10 {
+		t.Fatalf("margin at 2× max row is still %v", got)
+	}
+	// Currents are ordered: mismatch ≫ leak.
+	if cell.MismatchCurrent(1) <= cell.MatchLeak(1) {
+		t.Fatal("mismatch current not above leak")
+	}
+	if cell.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestTCAMCellPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { TCAMCell{}.OffOnRatio() },
+		func() { TCAMCell{RonOhm: 10, RoffOhm: 5}.OffOnRatio() },
+		func() { DefaultTCAMCell().MismatchCurrent(-1) },
+		func() { DefaultTCAMCell().MatchLeak(-1) },
+		func() { DefaultTCAMCell().SenseMargin(1) },
+		func() { DefaultTCAMCell().MaxRowForMargin(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStabilizerExtendsLinearRange(t *testing.T) {
+	// The §III-D1 design point: a conventional discharging ML loses
+	// linearity after a handful of mismatches; the stabilized, current-
+	// sensed ML stays linear for hundreds.
+	st := DefaultStabilizer()
+	stabRange := st.LinearRange(0.05)
+	conv := MatchLine{Cells: 1000, VDD: 1, RonOhm: 50e3, CapPerCellF: 1.2e-15, SatMismatches: 2.0}
+	convRange := UnstabilizedLinearRange(conv, 0.05)
+	if convRange > 7 {
+		t.Fatalf("unstabilized line linear to %d mismatches, expected ≲7 (paper: D>7 has minor impact)", convRange)
+	}
+	if stabRange < 20 {
+		t.Fatalf("stabilized line linear only to %d mismatches", stabRange)
+	}
+	if stabRange < 10*convRange {
+		t.Fatalf("stabilizer gain %d vs %d not dramatic", stabRange, convRange)
+	}
+}
+
+func TestStabilizerCurrentShape(t *testing.T) {
+	st := DefaultStabilizer()
+	if st.Current(0) != 0 {
+		t.Fatal("zero mismatches draw current")
+	}
+	// Monotone and bounded by compliance.
+	prev := -1.0
+	for m := 0; m <= 5000; m += 100 {
+		i := st.Current(m)
+		if i <= prev {
+			t.Fatalf("current not increasing at m=%d", m)
+		}
+		if i > st.ComplianceA {
+			t.Fatalf("current %g exceeds compliance", i)
+		}
+		prev = i
+	}
+	// Near-linear at small m: I(10) ≈ 10·I(1).
+	if r := st.Current(10) / (10 * st.Current(1)); math.Abs(r-1) > 0.01 {
+		t.Fatalf("small-m linearity off: ratio %v", r)
+	}
+}
+
+func TestStabilizerPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Stabilizer{}.Current(1) },
+		func() { Stabilizer{CellCurrentA: 1, ComplianceA: 0.5}.Current(1) },
+		func() { DefaultStabilizer().Current(-1) },
+		func() { DefaultStabilizer().LinearRange(0) },
+		func() { DefaultStabilizer().LinearRange(1) },
+		func() { UnstabilizedLinearRange(RHAMBlock(1), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

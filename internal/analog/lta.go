@@ -1,0 +1,123 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+)
+
+// LTA models the resolution of A-HAM's loser-takes-all current comparison
+// (§III-D): the ML discharging current of a row grows with its mismatch
+// count, the LTA tree selects the row with the smallest current, and two
+// physical effects limit how close two distances can be and still be told
+// apart:
+//
+//  1. quantization — an LTA of B bits resolves current differences no finer
+//     than full scale / 2^B, and the full-scale current grows with the
+//     number of cells a stage spans;
+//  2. ML voltage droop — for wide stages the stabilizer cannot hold the ML
+//     voltage, compressing the current-per-mismatch slope (the reason the
+//     single-stage design loses resolution at high D, Fig. 7);
+//  3. multistage mirroring — splitting the row into N stages restores the
+//     per-stage slope but every current mirror that sums partial currents
+//     adds a copy error worth ≈ 1 bit of distance (the reason the
+//     multistage curve floors near N, Fig. 7).
+type LTA struct {
+	// Bits is the comparator resolution in bits (paper: 10 for D ≤ 512,
+	// optimized to 14 (max accuracy) or 11 (moderate) at D = 10,000).
+	Bits int
+	// Stages is the number of search stages N; each spans ceil(D/N) cells
+	// (§III-D2, "each CAM stage [can] include ≈700 memristive bits").
+	Stages int
+}
+
+// Calibration constants (see Fig. 7 anchors in the package comment):
+const (
+	// droopRefCells sets the irreducible ML-droop error of a stage spanning
+	// s cells: droopErr(s) = (s/droopRefCells)² distance bits. It is
+	// *independent of the LTA bit width* — when the stabilizer cannot hold
+	// the ML voltage, extra comparator bits resolve nothing, which is why
+	// the paper finds that "even using the LTA with higher resolution
+	// (>10 bits) cannot provide the acceptable accuracy" at large D and
+	// turns to multistage search instead (§III-D2). Calibrated so a
+	// single-stage 10-bit LTA resolves ≈ 43 bits at D = 10,000.
+	droopRefCells = 1736.0
+	// mirrorErr is the distance-equivalent copy error of one stage-summing
+	// current mirror. Calibrated so 14 stages at 14 bits resolve ≈ 14 bits
+	// at D = 10,000 (§III-D2).
+	mirrorErr = 1.0
+)
+
+// validate panics on meaningless parameters.
+func (l LTA) validate() {
+	if l.Bits < 1 || l.Bits > 24 {
+		panic(fmt.Sprintf("analog: LTA bits %d out of [1,24]", l.Bits))
+	}
+	if l.Stages < 1 {
+		panic(fmt.Sprintf("analog: LTA stages %d < 1", l.Stages))
+	}
+}
+
+// MinDetectableFloat returns the minimum detectable Hamming distance of the
+// configuration at dimensionality D, before integer rounding and without
+// variation effects.
+func (l LTA) MinDetectableFloat(dim int) float64 {
+	l.validate()
+	if dim < 1 {
+		panic(fmt.Sprintf("analog: dimension %d", dim))
+	}
+	stageCells := math.Ceil(float64(dim) / float64(l.Stages))
+	quant := float64(dim) / math.Exp2(float64(l.Bits))
+	droop := stageCells / droopRefCells
+	return quant + droop*droop + float64(l.Stages-1)*mirrorErr
+}
+
+// MinDetectable returns the minimum detectable Hamming distance (≥ 1) at
+// dimensionality dim under the given variation corner. Fig. 7 is this
+// function at Variation{}, Fig. 13 sweeps the variation.
+func (l LTA) MinDetectable(dim int, v Variation) int {
+	base := l.MinDetectableFloat(dim)
+	base += l.offsetDistance(dim, v)
+	md := int(math.Ceil(base))
+	if md < 1 {
+		md = 1
+	}
+	return md
+}
+
+// StageCells returns how many memristive cells one stage spans.
+func (l LTA) StageCells(dim int) int {
+	l.validate()
+	return int(math.Ceil(float64(dim) / float64(l.Stages)))
+}
+
+// DefaultStageCells is the paper's analog stage width: "every CAM stage
+// [includes] ≈700 memristive bits" (§IV-E). 715 cells puts D = 10,000 at
+// exactly 14 stages.
+const DefaultStageCells = 715
+
+// StagesFor returns the multistage configuration the paper uses for a given
+// dimensionality: enough ≈700-bit stages to cover D (D = 10,000 → 14).
+func StagesFor(dim int) int {
+	if dim < 1 {
+		panic(fmt.Sprintf("analog: dimension %d", dim))
+	}
+	n := (dim + DefaultStageCells - 1) / DefaultStageCells
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// BitsFor returns the LTA bit width the paper pairs with a dimensionality
+// for maximum accuracy: 10 bits up to D = 1,024, then the ceil(log2 D) it
+// reports optimizing to 14 bits at D = 10,000.
+func BitsFor(dim int) int {
+	if dim < 1 {
+		panic(fmt.Sprintf("analog: dimension %d", dim))
+	}
+	b := int(math.Ceil(math.Log2(float64(dim))))
+	if b < 10 {
+		b = 10
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+// Package analog models the circuit-behavioral physics the resistive and
+// analog HAM designs rest on: match-line (ML) discharge timing in memristive
+// CAM rows (paper Fig. 4), the loser-takes-all (LTA) current comparator's
+// finite resolution (Fig. 7), and process/voltage variation sampled by a
+// deterministic Monte-Carlo engine (Fig. 13).
+//
+// The models are first-order device equations — an RC discharge with a
+// saturating mismatch conductance, and a current comparator with a
+// quantization floor plus variation-dependent offset — with constants
+// calibrated against the paper's reported curve features (43-bit single-
+// stage resolution at D = 10,000, 14-bit with 14 stages, ~700 memristive
+// bits per analog stage). Calibration notes accompany each constant.
+package analog
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatchLine models one CAM row (or R-HAM block) as an RC discharge: every
+// mismatching cell adds a pull-down path, so the ML voltage after search
+// start is V(t) = VDD · exp(−t·G(m)/C_ML), with the crucial non-ideality
+// that the total pull-down conductance G(m) *saturates* as mismatches
+// accumulate (§III-C1, §III-D1): the first mismatch drops the ML fastest
+// and later mismatches add progressively less current.
+type MatchLine struct {
+	// Cells is the number of CAM cells sharing the ML.
+	Cells int
+	// VDD is the precharge voltage (V).
+	VDD float64
+	// RonOhm is the memristor ON resistance of one mismatch path (Ω).
+	RonOhm float64
+	// CapPerCellF is the per-cell ML capacitance (F); total C_ML scales
+	// with Cells.
+	CapPerCellF float64
+	// SatMismatches is the saturation knee m_sat: G(m) = m·g₀/(1+(m−1)/m_sat).
+	// Small values model the heavily saturating conventional CAM of
+	// Fig. 4(a); large values the high-R_ON R-HAM blocks of Fig. 4(b).
+	SatMismatches float64
+}
+
+// validate panics on a physically meaningless configuration.
+func (ml MatchLine) validate() {
+	if ml.Cells <= 0 || ml.VDD <= 0 || ml.RonOhm <= 0 || ml.CapPerCellF <= 0 || ml.SatMismatches <= 0 {
+		panic(fmt.Sprintf("analog: invalid match line %+v", ml))
+	}
+}
+
+// Conductance returns the saturating total pull-down conductance for m
+// mismatched cells (S).
+func (ml MatchLine) Conductance(m int) float64 {
+	ml.validate()
+	if m < 0 || m > ml.Cells {
+		panic(fmt.Sprintf("analog: %d mismatches on a %d-cell line", m, ml.Cells))
+	}
+	if m == 0 {
+		return 0
+	}
+	g0 := 1 / ml.RonOhm
+	return float64(m) * g0 / (1 + float64(m-1)/ml.SatMismatches)
+}
+
+// capTotal returns the total ML capacitance (F).
+func (ml MatchLine) capTotal() float64 { return float64(ml.Cells) * ml.CapPerCellF }
+
+// Voltage returns the ML voltage at time t (seconds) after evaluation
+// starts, with m mismatched cells. A fully matching row (m = 0) holds VDD.
+func (ml MatchLine) Voltage(m int, t float64) float64 {
+	if t < 0 {
+		panic("analog: negative time")
+	}
+	g := ml.Conductance(m)
+	if g == 0 {
+		return ml.VDD
+	}
+	return ml.VDD * math.Exp(-t*g/ml.capTotal())
+}
+
+// CrossTime returns the time (seconds) at which the ML with m mismatches
+// crosses vref on the way down, or +Inf for m = 0 (a matching row never
+// discharges).
+func (ml MatchLine) CrossTime(m int, vref float64) float64 {
+	if vref <= 0 || vref >= ml.VDD {
+		panic(fmt.Sprintf("analog: vref %v outside (0, VDD)", vref))
+	}
+	g := ml.Conductance(m)
+	if g == 0 {
+		return math.Inf(1)
+	}
+	return ml.capTotal() / g * math.Log(ml.VDD/vref)
+}
+
+// Curve samples the normalized discharge waveform V(t)/VDD for m mismatches
+// at `steps` uniform instants in [0, tmax]. It regenerates the traces of
+// Fig. 4.
+func (ml MatchLine) Curve(m int, tmax float64, steps int) []float64 {
+	if steps < 2 || tmax <= 0 {
+		panic("analog: bad curve sampling")
+	}
+	out := make([]float64, steps)
+	for i := range out {
+		t := tmax * float64(i) / float64(steps-1)
+		out[i] = ml.Voltage(m, t) / ml.VDD
+	}
+	return out
+}
+
+// TimingSpread quantifies how distinguishable consecutive distances are on
+// this line: the minimum relative gap between the ML cross times of
+// consecutive mismatch counts in [1, upto], min_m (T(m)−T(m+1))/T(1).
+// R-HAM's design rule — blocks no wider than 4 bits, high-R_ON devices —
+// exists to keep this spread large (§III-C1).
+func (ml MatchLine) TimingSpread(vref float64, upto int) float64 {
+	if upto < 2 || upto > ml.Cells {
+		panic(fmt.Sprintf("analog: spread range %d outside [2,%d]", upto, ml.Cells))
+	}
+	t1 := ml.CrossTime(1, vref)
+	minGap := math.Inf(1)
+	for m := 1; m < upto; m++ {
+		gap := (ml.CrossTime(m, vref) - ml.CrossTime(m+1, vref)) / t1
+		if gap < minGap {
+			minGap = gap
+		}
+	}
+	return minGap
+}
+
+// ConventionalCAM returns the 10-bit, low-R_ON, strongly saturating match
+// line of Fig. 4(a): distances beyond ~4 become indistinguishable, which is
+// the limitation motivating R-HAM's short blocks.
+func ConventionalCAM(vdd float64) MatchLine {
+	return MatchLine{
+		Cells:         10,
+		VDD:           vdd,
+		RonOhm:        50e3, // low-R_ON device: fast but saturating
+		CapPerCellF:   1.2e-15,
+		SatMismatches: 2.0,
+	}
+}
+
+// RHAMBlock returns the 4-bit high-R_ON block of Fig. 4(b): the large ON
+// resistance stabilizes the ML so consecutive distances have near-uniform
+// timing gaps, at the cost of a slower search (§III-C1).
+func RHAMBlock(vdd float64) MatchLine {
+	return MatchLine{
+		Cells:         4,
+		VDD:           vdd,
+		RonOhm:        500e3, // large-R_ON device [23]
+		CapPerCellF:   1.2e-15,
+		SatMismatches: 12.0,
+	}
+}

@@ -1,0 +1,127 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Variation is one process/voltage variation corner for the LTA analog
+// blocks (Fig. 13): Gaussian transistor parameter spread (length and
+// threshold voltage) with the given 3σ fraction, plus a static supply
+// droop fraction below the nominal 1.8 V LTA rail.
+type Variation struct {
+	// Process3Sigma is the 3σ spread of transistor parameters as a fraction
+	// of nominal (paper sweep: 0 … 0.35).
+	Process3Sigma float64
+	// SupplyDrop is the LTA supply reduction as a fraction of nominal
+	// (paper: 0, 0.05 → 1.71 V, 0.10 → 1.68 V).
+	SupplyDrop float64
+}
+
+// validate panics on out-of-range corners.
+func (v Variation) validate() {
+	if v.Process3Sigma < 0 || v.Process3Sigma > 0.5 {
+		panic(fmt.Sprintf("analog: process 3σ %v out of [0,0.5]", v.Process3Sigma))
+	}
+	if v.SupplyDrop < 0 || v.SupplyDrop > 0.2 {
+		panic(fmt.Sprintf("analog: supply droop %v out of [0,0.2]", v.SupplyDrop))
+	}
+}
+
+// Variation sensitivity constants, calibrated against Fig. 13's qualitative
+// anchors: at the worst corner (35% process 3σ, 10% supply droop) the LTA's
+// minimum detectable distance must grow enough to pull classification below
+// the moderate band, while the nominal-supply corner stays near the maximum
+// accuracy (94.3% vs 89.2% in the paper).
+const (
+	// offsetMaxDist is the 3σ comparator offset, in Hamming-distance
+	// units at D = 10,000, at the full 35% process corner under nominal
+	// supply. Calibrated against the classifier's margin structure so the
+	// 35%-corner accuracies land in the paper's 94.3%/92.1%/89.2% band
+	// (Fig. 13; see EXPERIMENTS.md for the margin-vs-Δ calibration curve).
+	offsetMaxDist = 270.0
+	// supplySens is the exponential sensitivity of the offset to supply
+	// droop: offsets grow ×exp(supplySens·droop) as headroom shrinks
+	// ("in the lower voltages, the process variation has more destructive
+	// impact", §IV-F).
+	supplySens = 1.9
+)
+
+// offsetSigma returns the per-comparator offset σ in distance units for the
+// given corner and dimensionality.
+func (l LTA) offsetSigma(dim int, v Variation) float64 {
+	v.validate()
+	if v.Process3Sigma == 0 {
+		return 0
+	}
+	scale := float64(dim) / 10000.0
+	threeSigma := offsetMaxDist * (v.Process3Sigma / 0.35) * math.Exp(supplySens*v.SupplyDrop) * scale
+	return threeSigma / 3
+}
+
+// offsetDistance returns the deterministic 3σ offset allowance added to the
+// minimum detectable distance at this corner.
+func (l LTA) offsetDistance(dim int, v Variation) float64 {
+	return 3 * l.offsetSigma(dim, v)
+}
+
+// OffsetSigma exposes the per-comparator offset σ (in Hamming-distance
+// units) for structural simulators that instantiate individual LTA
+// comparators with static offsets drawn from the corner's distribution.
+func (l LTA) OffsetSigma(dim int, v Variation) float64 {
+	return l.offsetSigma(dim, v)
+}
+
+// MonteCarlo runs a seeded Monte-Carlo over LTA comparator instances — the
+// paper uses 5,000 HSPICE samples (§IV-B) — and returns the empirical
+// distribution of minimum detectable distances. Each sample draws a
+// comparator offset from the corner's Gaussian and adds it to the
+// quantization floor.
+func (l LTA) MonteCarlo(dim int, v Variation, runs int, seed uint64) MCResult {
+	l.validate()
+	if runs < 1 {
+		panic(fmt.Sprintf("analog: %d Monte-Carlo runs", runs))
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x600d_cafe))
+	sigma := l.offsetSigma(dim, v)
+	base := l.MinDetectableFloat(dim)
+	samples := make([]float64, runs)
+	for i := range samples {
+		samples[i] = base + math.Abs(rng.NormFloat64())*sigma
+	}
+	sort.Float64s(samples)
+	return MCResult{samples: samples}
+}
+
+// MCResult holds a sorted Monte-Carlo sample of detectable distances.
+type MCResult struct {
+	samples []float64
+}
+
+// Runs returns the sample count.
+func (r MCResult) Runs() int { return len(r.samples) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the minimum detectable
+// distance, rounded up to a whole bit and floored at 1.
+func (r MCResult) Quantile(q float64) int {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("analog: quantile %v", q))
+	}
+	idx := int(q * float64(len(r.samples)-1))
+	md := int(math.Ceil(r.samples[idx]))
+	if md < 1 {
+		md = 1
+	}
+	return md
+}
+
+// Mean returns the mean detectable distance of the sample.
+func (r MCResult) Mean() float64 {
+	var s float64
+	for _, x := range r.samples {
+		s += x
+	}
+	return s / float64(len(r.samples))
+}

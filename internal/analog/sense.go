@@ -1,0 +1,97 @@
+package analog
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// BlockBits is the R-HAM block width: the paper finds 4 bits is the largest
+// block for which the four sense amplifiers can still tell distances 0–3
+// apart by ML timing (§III-C1).
+const BlockBits = 4
+
+// SenseBank models the four clock-staggered sense amplifiers of one R-HAM
+// block (Fig. 3(c)): amplifier j samples the ML at a time tuned between the
+// cross times of distances j and j+1, so together they produce a 4-bit
+// thermometer code of the block's Hamming distance.
+type SenseBank struct {
+	ml         MatchLine
+	sampleTime [BlockBits]float64 // seconds; sampleTime[j] detects distance ≥ j+1
+	vref       float64
+}
+
+// NewSenseBank tunes a sense bank for the given match line: sampling times
+// are placed at the geometric midpoints between consecutive cross times,
+// mirroring the paper's buffer-delay tuning (≈ 0.1 ns steps).
+func NewSenseBank(ml MatchLine, vref float64) *SenseBank {
+	if ml.Cells != BlockBits {
+		panic(fmt.Sprintf("analog: sense bank needs a %d-cell block, got %d", BlockBits, ml.Cells))
+	}
+	sb := &SenseBank{ml: ml, vref: vref}
+	for j := 0; j < BlockBits; j++ {
+		// Distinguish distance j from j+1: sample between their cross times.
+		var hi float64 // slower (larger) cross time: distance j
+		if j == 0 {
+			hi = 2 * ml.CrossTime(1, vref) // distance 0 never crosses; use headroom
+		} else {
+			hi = ml.CrossTime(j, vref)
+		}
+		lo := ml.CrossTime(j+1, vref)
+		sb.sampleTime[j] = (hi + lo) / 2
+	}
+	return sb
+}
+
+// SampleTimes exposes the tuned per-amplifier sampling times (seconds).
+func (sb *SenseBank) SampleTimes() [BlockBits]float64 { return sb.sampleTime }
+
+// Read returns the thermometer code for a block with m mismatches: code[j]
+// is 1 when amplifier j+1 saw the ML below vref at its sample time, i.e.
+// when the distance is at least j+1. For the tuned bank, Read(m) yields
+// exactly m leading ones (m clamped to 4).
+func (sb *SenseBank) Read(m int) [BlockBits]int {
+	var code [BlockBits]int
+	for j := 0; j < BlockBits; j++ {
+		if sb.ml.Voltage(m, sb.sampleTime[j]) < sb.vref {
+			code[j] = 1
+		}
+	}
+	return code
+}
+
+// Distance decodes a thermometer code back to a block distance 0–4.
+func Distance(code [BlockBits]int) int {
+	d := 0
+	for _, b := range code {
+		d += b
+	}
+	return d
+}
+
+// VOSBlockError models the functional effect of overscaling a block's
+// supply to the VOS1 corner (§III-C2): timing margins shrink so the sense
+// bank may misread the block distance by at most ±1. errRate is the
+// per-block probability of a misread (calibrated to keep the cumulative
+// error within the paper's "≤ 1 bit per block" budget); the direction is
+// symmetric except at the 0/4 rails.
+func VOSBlockError(trueDist int, errRate float64, rng *rand.Rand) int {
+	if trueDist < 0 || trueDist > BlockBits {
+		panic(fmt.Sprintf("analog: block distance %d out of [0,%d]", trueDist, BlockBits))
+	}
+	if errRate < 0 || errRate > 1 {
+		panic(fmt.Sprintf("analog: error rate %v", errRate))
+	}
+	if rng.Float64() >= errRate {
+		return trueDist
+	}
+	if trueDist == 0 {
+		return 1
+	}
+	if trueDist == BlockBits {
+		return BlockBits - 1
+	}
+	if rng.Float64() < 0.5 {
+		return trueDist - 1
+	}
+	return trueDist + 1
+}

@@ -1,0 +1,90 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stabilizer models A-HAM's match-line stabilizer (§III-D1, the MB1/MB2
+// branch of Fig. 6(b)): instead of letting mismatches discharge the ML —
+// where the sagging voltage makes the current saturate after a handful of
+// mismatches — the stabilizer pins the ML at the supply and routes the
+// mismatch current through a sense branch. The row current then stays
+// proportional to the mismatch count up to the stabilizer's compliance
+// limit, which is what lets A-HAM read distances in the hundreds instead
+// of single digits.
+type Stabilizer struct {
+	// CellCurrentA is the current of one mismatching cell at the pinned ML
+	// voltage (A): V_ML / R_ON.
+	CellCurrentA float64
+	// ComplianceA is the maximum current the stabilizer branch can source
+	// (A); beyond it the ML voltage sags and linearity degrades smoothly.
+	ComplianceA float64
+}
+
+// DefaultStabilizer sizes the branch for the paper's device corner
+// (R_ON ≈ 500 kΩ at 1 V → 2 µA per mismatch) with compliance for roughly
+// a thousand simultaneous mismatches.
+func DefaultStabilizer() Stabilizer {
+	return Stabilizer{CellCurrentA: 2e-6, ComplianceA: 2e-3}
+}
+
+// validate panics on a meaningless configuration.
+func (s Stabilizer) validate() {
+	if s.CellCurrentA <= 0 || s.ComplianceA <= s.CellCurrentA {
+		panic(fmt.Sprintf("analog: invalid stabilizer cell=%g compliance=%g",
+			s.CellCurrentA, s.ComplianceA))
+	}
+}
+
+// Current returns the sensed row current (A) for m mismatching cells:
+// linear in m while far below compliance, with a smooth soft limit
+// I = I_max·(1 − exp(−m·i_cell/I_max)) as the branch runs out of headroom.
+func (s Stabilizer) Current(m int) float64 {
+	s.validate()
+	if m < 0 {
+		panic(fmt.Sprintf("analog: %d mismatches", m))
+	}
+	ideal := float64(m) * s.CellCurrentA
+	return s.ComplianceA * (1 - math.Exp(-ideal/s.ComplianceA))
+}
+
+// LinearRange returns the largest mismatch count for which the sensed
+// current stays within tol (fractional) of the ideal linear response.
+func (s Stabilizer) LinearRange(tol float64) int {
+	s.validate()
+	if tol <= 0 || tol >= 1 {
+		panic(fmt.Sprintf("analog: tolerance %v", tol))
+	}
+	m := 0
+	for {
+		next := m + 1
+		ideal := float64(next) * s.CellCurrentA
+		if (ideal-s.Current(next))/ideal > tol {
+			return m
+		}
+		m = next
+		if m > 1<<20 {
+			return m // compliance effectively unbounded at this tolerance
+		}
+	}
+}
+
+// UnstabilizedLinearRange computes the same figure for a conventional
+// discharging match line (the TCAM regime of §III-D1): its current
+// response is the saturating conductance of MatchLine, so linearity is
+// lost after a few mismatches — the paper notes "having D > 7 cells has
+// minor impact on the total ML discharging current".
+func UnstabilizedLinearRange(ml MatchLine, tol float64) int {
+	if tol <= 0 || tol >= 1 {
+		panic(fmt.Sprintf("analog: tolerance %v", tol))
+	}
+	ideal1 := ml.Conductance(1)
+	for m := 1; m < ml.Cells; m++ {
+		ideal := float64(m+1) * ideal1
+		if (ideal-ml.Conductance(m+1))/ideal > tol {
+			return m
+		}
+	}
+	return ml.Cells
+}

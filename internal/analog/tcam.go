@@ -1,0 +1,93 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+)
+
+// TCAMCell models the 2T-2R ternary CAM cell of the resistive designs: two
+// memristors hold the stored bit and its complement; a mismatching search
+// input connects the low-resistance path to the match line, a matching one
+// the high-resistance path. The cell's usefulness hinges on the sense
+// margin between those two cases, which is why the paper selects devices
+// with very large OFF/ON resistance ratios (§III-D2, [25][28]).
+type TCAMCell struct {
+	// RonOhm is the low (programmed ON) resistance.
+	RonOhm float64
+	// RoffOhm is the high (programmed OFF) resistance.
+	RoffOhm float64
+}
+
+// DefaultTCAMCell is the paper's device corner: R_ON ≈ 500 kΩ,
+// R_OFF ≈ 100 GΩ.
+func DefaultTCAMCell() TCAMCell { return TCAMCell{RonOhm: 500e3, RoffOhm: 100e9} }
+
+// validate panics on a meaningless device. (Fields are formatted
+// explicitly: %+v would re-enter String → validate.)
+func (c TCAMCell) validate() {
+	if c.RonOhm <= 0 || c.RoffOhm <= c.RonOhm {
+		panic(fmt.Sprintf("analog: invalid TCAM cell R_ON=%g R_OFF=%g", c.RonOhm, c.RoffOhm))
+	}
+}
+
+// OffOnRatio returns R_OFF / R_ON.
+func (c TCAMCell) OffOnRatio() float64 {
+	c.validate()
+	return c.RoffOhm / c.RonOhm
+}
+
+// MismatchCurrent returns the per-cell ML discharge current (A) for a
+// mismatching cell at the given ML voltage.
+func (c TCAMCell) MismatchCurrent(vml float64) float64 {
+	c.validate()
+	if vml < 0 {
+		panic(fmt.Sprintf("analog: negative ML voltage %v", vml))
+	}
+	return vml / c.RonOhm
+}
+
+// MatchLeak returns the parasitic current (A) through a matching cell —
+// the noise floor the sense circuitry must reject.
+func (c TCAMCell) MatchLeak(vml float64) float64 {
+	c.validate()
+	if vml < 0 {
+		panic(fmt.Sprintf("analog: negative ML voltage %v", vml))
+	}
+	return vml / c.RoffOhm
+}
+
+// SenseMargin quantifies how well one mismatch stands out over the leakage
+// of the `cells−1` matching cells sharing the line: the ratio of the
+// mismatch current to the total match leakage. Margins below ~10 make the
+// single-mismatch case indistinguishable from a fully matching row in the
+// presence of variation; the paper's device corner keeps the margin in the
+// thousands even for 10,000-cell rows.
+func (c TCAMCell) SenseMargin(cells int) float64 {
+	c.validate()
+	if cells < 2 {
+		panic(fmt.Sprintf("analog: sense margin over %d cells", cells))
+	}
+	const vml = 1.0
+	return c.MismatchCurrent(vml) / (float64(cells-1) * c.MatchLeak(vml))
+}
+
+// MaxRowForMargin returns the largest row (cell count) the device supports
+// while keeping at least the required sense margin. It inverts SenseMargin:
+// cells − 1 = ratio / margin.
+func (c TCAMCell) MaxRowForMargin(margin float64) int {
+	c.validate()
+	if margin <= 0 {
+		panic(fmt.Sprintf("analog: non-positive margin %v", margin))
+	}
+	n := int(math.Floor(c.OffOnRatio()/margin)) + 1
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// String summarizes the device.
+func (c TCAMCell) String() string {
+	return fmt.Sprintf("TCAM cell R_ON=%.3g Ω, R_OFF=%.3g Ω (ratio %.2g)",
+		c.RonOhm, c.RoffOhm, c.OffOnRatio())
+}

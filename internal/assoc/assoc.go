@@ -1,0 +1,242 @@
+// Package assoc provides software reference implementations of associative
+// search over a core.Memory: the exact nearest-Hamming search, the sampled
+// search (distance over d < D components), the distance-error-injecting
+// search used for the paper's robustness study (Fig. 1), and the
+// finite-resolution search that models a comparator unable to distinguish
+// near-ties (the behavioral essence of A-HAM's LTA blocks).
+//
+// These searchers are both baselines for the hardware models and the tools
+// the accuracy experiments are built from.
+package assoc
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// Exact performs the exact nearest-Hamming-distance search: the functional
+// ideal every HAM design approximates.
+type Exact struct {
+	mem *core.Memory
+}
+
+// NewExact returns an exact searcher over mem.
+func NewExact(mem *core.Memory) *Exact { return &Exact{mem: mem} }
+
+// Search returns the true nearest class.
+func (e *Exact) Search(q *hv.Vector) core.Result {
+	i, d := e.mem.Nearest(q)
+	return core.Result{Index: i, Distance: d}
+}
+
+// Name implements core.Searcher.
+func (e *Exact) Name() string { return "exact" }
+
+// Sampled computes distances over a fixed subset of components (d < D),
+// the structured-sampling approximation of D-HAM (§III-A1) and R-HAM's
+// block sampling (§III-C2).
+type Sampled struct {
+	mem  *core.Memory
+	mask *hv.Mask
+}
+
+// NewSampled returns a searcher that only examines the components selected
+// by mask.
+func NewSampled(mem *core.Memory, mask *hv.Mask) *Sampled {
+	if mask.Dim() != mem.Dim() {
+		panic(fmt.Sprintf("assoc: mask dim %d, memory dim %d", mask.Dim(), mem.Dim()))
+	}
+	return &Sampled{mem: mem, mask: mask}
+}
+
+// Search returns the nearest class under the sampled distance.
+func (s *Sampled) Search(q *hv.Vector) core.Result {
+	best, bestD := 0, s.mem.Dim()+1
+	for i := 0; i < s.mem.Classes(); i++ {
+		if d := s.mask.HammingMasked(q, s.mem.Class(i)); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return core.Result{Index: best, Distance: bestD}
+}
+
+// Name implements core.Searcher.
+func (s *Sampled) Name() string {
+	return fmt.Sprintf("sampled d=%d", s.mask.Ones())
+}
+
+// Noisy injects e bit errors into every Hamming-distance computation: for
+// each row, e randomly chosen comparison outcomes are inverted, so the
+// observed distance moves by ±1 per affected component. This is exactly the
+// experiment behind the paper's Fig. 1 ("classification accuracy with wide
+// range of errors in Hamming distance").
+type Noisy struct {
+	mem  *core.Memory
+	bits int
+	rng  *rand.Rand
+}
+
+// NewNoisy returns a searcher that corrupts each distance computation with
+// errorBits inverted comparison outcomes, drawn from rng.
+func NewNoisy(mem *core.Memory, errorBits int, rng *rand.Rand) *Noisy {
+	if errorBits < 0 || errorBits > mem.Dim() {
+		panic(fmt.Sprintf("assoc: error bits %d out of [0,%d]", errorBits, mem.Dim()))
+	}
+	return &Noisy{mem: mem, bits: errorBits, rng: rng}
+}
+
+// Search returns the nearest class under error-corrupted distances.
+//
+// Implementation note: inverting the XOR outcome at e distinct random
+// components is equivalent to measuring the true distance on the untouched
+// components plus (e − k) on the flipped ones, where k of the e components
+// truly mismatched. Sampling k hypergeometrically per row avoids touching
+// the vectors and keeps the search O(C · D/64).
+func (n *Noisy) Search(q *hv.Vector) core.Result {
+	ds := n.mem.Distances(q)
+	i, obs := NoisyWinner(ds, n.mem.Dim(), n.bits, n.rng)
+	return core.Result{Index: i, Distance: obs}
+}
+
+// Name implements core.Searcher.
+func (n *Noisy) Name() string { return fmt.Sprintf("noisy e=%d", n.bits) }
+
+// NoisyWinner applies e-bit distance corruption to a precomputed distance
+// vector and returns the winning index with its observed distance. Exposed
+// so experiments that sweep many error levels over the same queries can
+// reuse one distance matrix (Fig. 1).
+func NoisyWinner(ds []int, dim, errorBits int, rng *rand.Rand) (int, int) {
+	best, bestD := 0, dim+errorBits+1
+	for i, d := range ds {
+		obs := ObservedDistance(d, dim, errorBits, rng)
+		if obs < bestD {
+			best, bestD = i, obs
+		}
+	}
+	return best, bestD
+}
+
+// ObservedDistance returns the distance a counter reports when errorBits of
+// its D comparison outcomes are inverted and the true distance is d:
+// d + e − 2·Hypergeometric(D, d, e).
+func ObservedDistance(d, dim, errorBits int, rng *rand.Rand) int {
+	if errorBits == 0 {
+		return d
+	}
+	return d + errorBits - 2*hypergeometric(rng, dim, d, errorBits)
+}
+
+// hypergeometric samples the number of "successes" when drawing `draws`
+// components without replacement from a population of `total` components of
+// which `succ` are mismatches. Small draws are sampled exactly; large draws
+// use a clamped normal approximation, which is indistinguishable for the
+// population sizes involved here (D = 10,000) and keeps error sweeps O(1)
+// per row.
+func hypergeometric(rng *rand.Rand, total, succ, draws int) int {
+	if draws < 0 || succ < 0 || total <= 0 || draws > total || succ > total {
+		panic(fmt.Sprintf("assoc: bad hypergeometric parameters N=%d K=%d n=%d", total, succ, draws))
+	}
+	lo := draws + succ - total
+	if lo < 0 {
+		lo = 0
+	}
+	hi := draws
+	if succ < hi {
+		hi = succ
+	}
+	if lo == hi {
+		return lo
+	}
+	if draws <= 64 {
+		k := 0
+		for i := 0; i < draws; i++ {
+			if rng.IntN(total-i) < succ-k {
+				k++
+			}
+		}
+		return k
+	}
+	p := float64(succ) / float64(total)
+	mean := float64(draws) * p
+	variance := mean * (1 - p) * float64(total-draws) / float64(total-1)
+	k := int(math.Round(mean + rng.NormFloat64()*math.Sqrt(variance)))
+	if k < lo {
+		k = lo
+	}
+	if k > hi {
+		k = hi
+	}
+	return k
+}
+
+// Quantized models a winner-selection comparator with a finite minimum
+// detectable distance Δ: rows whose distances are within Δ of the minimum
+// are indistinguishable to the hardware, and the reported winner is an
+// arbitrary member of that near-tie set (chosen by rng, representing the
+// analog offsets that actually break the tie). Δ = 1 reduces to exact
+// search with random tie-breaking. This is the behavioral model of A-HAM's
+// LTA resolution (§III-D2, Fig. 7).
+type Quantized struct {
+	mem   *core.Memory
+	delta int
+	rng   *rand.Rand
+}
+
+// NewQuantized returns a searcher whose comparator cannot distinguish
+// distances closer than delta (delta ≥ 1).
+func NewQuantized(mem *core.Memory, delta int, rng *rand.Rand) *Quantized {
+	if delta < 1 {
+		panic(fmt.Sprintf("assoc: minimum detectable distance %d < 1", delta))
+	}
+	return &Quantized{mem: mem, delta: delta, rng: rng}
+}
+
+// Search returns a member of the near-tie set around the true minimum.
+func (qz *Quantized) Search(q *hv.Vector) core.Result {
+	ds := qz.mem.Distances(q)
+	win := QuantizedWinner(ds, qz.delta, qz.rng)
+	return core.Result{Index: win, Distance: ds[win]}
+}
+
+// QuantizedWinner picks the winner a comparator with minimum detectable
+// distance delta would report for a precomputed distance vector: a random
+// member of the set of rows within delta−1 of the true minimum. Exposed for
+// experiments sweeping delta over one distance matrix (Table III, Fig. 13).
+func QuantizedWinner(ds []int, delta int, rng *rand.Rand) int {
+	if delta < 1 {
+		panic(fmt.Sprintf("assoc: minimum detectable distance %d < 1", delta))
+	}
+	min := ds[0]
+	for _, d := range ds[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	// The comparator confuses any row within delta−1 of the minimum.
+	nties, win := 0, 0
+	for i, d := range ds {
+		if d-min < delta {
+			nties++
+			// Reservoir-sample one tie uniformly without allocating.
+			if nties == 1 || rng.IntN(nties) == 0 {
+				win = i
+			}
+		}
+	}
+	return win
+}
+
+// Name implements core.Searcher.
+func (qz *Quantized) Name() string { return fmt.Sprintf("quantized Δ=%d", qz.delta) }
+
+// Compile-time interface checks.
+var (
+	_ core.Searcher = (*Exact)(nil)
+	_ core.Searcher = (*Sampled)(nil)
+	_ core.Searcher = (*Noisy)(nil)
+	_ core.Searcher = (*Quantized)(nil)
+)

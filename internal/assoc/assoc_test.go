@@ -1,0 +1,245 @@
+package assoc
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+func testMemory(c, dim int, seed uint64) *core.Memory {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	cs := make([]*hv.Vector, c)
+	ls := make([]string, c)
+	for i := range cs {
+		cs[i] = hv.Random(dim, rng)
+		ls[i] = string(rune('A' + i))
+	}
+	return core.MustMemory(cs, ls)
+}
+
+func TestExactMatchesMemoryNearest(t *testing.T) {
+	mem := testMemory(21, hv.Dim, 1)
+	rng := rand.New(rand.NewPCG(2, 2))
+	e := NewExact(mem)
+	for i := 0; i < 50; i++ {
+		q := hv.FlipBits(mem.Class(i%21), 1500, rng)
+		r := e.Search(q)
+		wi, wd := mem.Nearest(q)
+		if r.Index != wi || r.Distance != wd {
+			t.Fatalf("exact search (%d,%d), want (%d,%d)", r.Index, r.Distance, wi, wd)
+		}
+		if r.Index != i%21 {
+			t.Fatalf("query near class %d classified as %d", i%21, r.Index)
+		}
+	}
+}
+
+func TestSampledFullMaskEqualsExact(t *testing.T) {
+	mem := testMemory(10, 2000, 3)
+	rng := rand.New(rand.NewPCG(4, 4))
+	e := NewExact(mem)
+	s := NewSampled(mem, hv.FullMask(2000))
+	for i := 0; i < 30; i++ {
+		q := hv.FlipBits(mem.Class(i%10), 300, rng)
+		if e.Search(q) != s.Search(q) {
+			t.Fatal("full-mask sampled search differs from exact")
+		}
+	}
+}
+
+func TestSampledStillClassifies(t *testing.T) {
+	// Paper §III-A1: distance over d=9,000 or 7,000 of 10,000 components
+	// preserves classification for well-separated classes.
+	mem := testMemory(21, hv.Dim, 5)
+	rng := rand.New(rand.NewPCG(6, 6))
+	for _, d := range []int{9000, 7000} {
+		s := NewSampled(mem, hv.PrefixMask(hv.Dim, d))
+		for i := 0; i < 42; i++ {
+			q := hv.FlipBits(mem.Class(i%21), 2000, rng)
+			if r := s.Search(q); r.Index != i%21 {
+				t.Fatalf("d=%d: query near %d classified %d", d, i%21, r.Index)
+			}
+		}
+	}
+}
+
+func TestSampledDistanceScales(t *testing.T) {
+	mem := testMemory(3, hv.Dim, 7)
+	rng := rand.New(rand.NewPCG(8, 8))
+	q := hv.FlipBits(mem.Class(0), 3000, rng)
+	s := NewSampled(mem, hv.RandomMask(hv.Dim, 5000, rng))
+	r := s.Search(q)
+	if r.Index != 0 {
+		t.Fatalf("wrong class %d", r.Index)
+	}
+	// Expected masked distance ≈ 3000·0.5 = 1500; allow generous slack.
+	if math.Abs(float64(r.Distance)-1500) > 200 {
+		t.Fatalf("sampled distance %d, want ≈ 1500", r.Distance)
+	}
+}
+
+func TestSampledMaskDimMismatchPanics(t *testing.T) {
+	mem := testMemory(2, 100, 9)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewSampled(mem, hv.FullMask(99))
+}
+
+func TestNoisyZeroErrorIsExact(t *testing.T) {
+	mem := testMemory(8, 2000, 10)
+	rng := rand.New(rand.NewPCG(11, 11))
+	n := NewNoisy(mem, 0, rng)
+	e := NewExact(mem)
+	for i := 0; i < 20; i++ {
+		q := hv.FlipBits(mem.Class(i%8), 400, rng)
+		if n.Search(q) != e.Search(q) {
+			t.Fatal("noisy e=0 differs from exact")
+		}
+	}
+}
+
+func TestNoisyObservedDistanceStatistics(t *testing.T) {
+	// With e error bits on a row of true distance d, the observed distance
+	// is d + e − 2·Hypergeom(D, d, e); its mean is d + e(1 − 2d/D).
+	dim := hv.Dim
+	mem := testMemory(1, dim, 12)
+	rng := rand.New(rand.NewPCG(13, 13))
+	q := hv.FlipBits(mem.Class(0), 4000, rng)
+	const e = 1000
+	n := NewNoisy(mem, e, rng)
+	var sum float64
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		sum += float64(n.Search(q).Distance)
+	}
+	mean := sum / trials
+	want := 4000 + e*(1-2*4000.0/float64(dim)) // = 4200
+	if math.Abs(mean-want) > 30 {
+		t.Fatalf("observed mean %.1f, want ≈ %.1f", mean, want)
+	}
+}
+
+func TestNoisyModerateErrorKeepsClassification(t *testing.T) {
+	// Well-separated random classes: 1,000 error bits shouldn't flip winners
+	// when the query is close to its class (paper Fig. 1 regime).
+	mem := testMemory(21, hv.Dim, 14)
+	rng := rand.New(rand.NewPCG(15, 15))
+	n := NewNoisy(mem, 1000, rng)
+	errs := 0
+	for i := 0; i < 210; i++ {
+		q := hv.FlipBits(mem.Class(i%21), 1000, rng)
+		if n.Search(q).Index != i%21 {
+			errs++
+		}
+	}
+	if errs > 2 {
+		t.Fatalf("%d/210 misclassifications at e=1000 with wide margins", errs)
+	}
+}
+
+func TestNoisyBoundsPanics(t *testing.T) {
+	mem := testMemory(2, 100, 16)
+	for _, e := range []int{-1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			NewNoisy(mem, e, rand.New(rand.NewPCG(1, 1)))
+		}()
+	}
+}
+
+func TestQuantizedDelta1IsExactUpToTies(t *testing.T) {
+	mem := testMemory(12, 4000, 17)
+	rng := rand.New(rand.NewPCG(18, 18))
+	qz := NewQuantized(mem, 1, rng)
+	e := NewExact(mem)
+	for i := 0; i < 30; i++ {
+		q := hv.FlipBits(mem.Class(i%12), 600, rng)
+		// Ties are measure-zero here; winners must agree.
+		if qz.Search(q).Index != e.Search(q).Index {
+			t.Fatal("Δ=1 quantized differs from exact on a non-tie")
+		}
+	}
+}
+
+func TestQuantizedConfusesNearTies(t *testing.T) {
+	// Two classes at tiny separation, a query equidistant-ish: with large Δ
+	// the winner must sometimes be the second row; with Δ=1 never.
+	dim := 1000
+	rng := rand.New(rand.NewPCG(19, 19))
+	c0 := hv.Random(dim, rng)
+	c1 := hv.FlipBits(c0, 10, rng) // separation 10
+	far := hv.Random(dim, rng)
+	mem := core.MustMemory([]*hv.Vector{c0, c1, far}, []string{"a", "b", "c"})
+	q := hv.FlipBits(c0, 3, rng) // d(c0)=3, d(c1)∈[7,13]
+
+	big := NewQuantized(mem, 50, rng)
+	sawSecond := false
+	for i := 0; i < 200; i++ {
+		if big.Search(q).Index == 1 {
+			sawSecond = true
+			break
+		}
+	}
+	if !sawSecond {
+		t.Fatal("Δ=50 never confused rows separated by < Δ")
+	}
+	small := NewQuantized(mem, 1, rng)
+	for i := 0; i < 50; i++ {
+		if small.Search(q).Index != 0 {
+			t.Fatal("Δ=1 misclassified a clear winner")
+		}
+	}
+}
+
+func TestQuantizedPanicsOnBadDelta(t *testing.T) {
+	mem := testMemory(2, 100, 20)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewQuantized(mem, 0, rand.New(rand.NewPCG(1, 1)))
+}
+
+func TestSearcherNames(t *testing.T) {
+	mem := testMemory(2, 100, 21)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, s := range []core.Searcher{
+		NewExact(mem),
+		NewSampled(mem, hv.PrefixMask(100, 70)),
+		NewNoisy(mem, 5, rng),
+		NewQuantized(mem, 3, rng),
+	} {
+		if s.Name() == "" {
+			t.Error("empty searcher name")
+		}
+	}
+}
+
+func TestHypergeometricMoments(t *testing.T) {
+	rng := rand.New(rand.NewPCG(22, 22))
+	const total, succ, draws, trials = 1000, 300, 100, 2000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		k := hypergeometric(rng, total, succ, draws)
+		if k < 0 || k > draws || k > succ {
+			t.Fatalf("impossible draw %d", k)
+		}
+		sum += float64(k)
+	}
+	mean := sum / trials
+	want := float64(draws) * float64(succ) / float64(total) // 30
+	if math.Abs(mean-want) > 1.0 {
+		t.Fatalf("hypergeometric mean %.2f, want %.2f", mean, want)
+	}
+}

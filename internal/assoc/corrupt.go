@@ -1,0 +1,65 @@
+package assoc
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// CorruptMemory returns a copy of mem in which every stored class
+// hypervector has `perClass` randomly chosen components flipped — the
+// memory-cell failure model behind the paper's robustness premise: because
+// hypervectors are holographic with i.i.d. components, "a failure in a
+// component is not contagious" (§II-B) and the associative memory needs no
+// asymmetric error protection. Experiments pair this with an exact search
+// to isolate the effect of storage faults from search faults.
+func CorruptMemory(mem *core.Memory, perClass int, rng *rand.Rand) (*core.Memory, error) {
+	if perClass < 0 || perClass > mem.Dim() {
+		return nil, fmt.Errorf("assoc: %d faults per class out of [0,%d]", perClass, mem.Dim())
+	}
+	classes := make([]*hv.Vector, mem.Classes())
+	labels := make([]string, mem.Classes())
+	for i := 0; i < mem.Classes(); i++ {
+		classes[i] = hv.FlipBits(mem.Class(i), perClass, rng)
+		labels[i] = mem.Label(i)
+	}
+	return core.NewMemory(classes, labels)
+}
+
+// CommonMode injects e component faults into the *query path*: the same e
+// components are misread for every row of the array (e.g. broken bitline
+// drivers or stuck query-buffer bits). Unlike Noisy — whose per-row counter
+// errors are independent — common-mode faults shift all row distances
+// together, so their differential effect on the winner is far smaller.
+// Comparing the two is the error-correlation ablation benchmark.
+type CommonMode struct {
+	mem  *core.Memory
+	bits int
+	rng  *rand.Rand
+}
+
+// NewCommonMode returns a searcher whose queries suffer e common-mode
+// component faults per search.
+func NewCommonMode(mem *core.Memory, errorBits int, rng *rand.Rand) *CommonMode {
+	if errorBits < 0 || errorBits > mem.Dim() {
+		panic(fmt.Sprintf("assoc: error bits %d out of [0,%d]", errorBits, mem.Dim()))
+	}
+	return &CommonMode{mem: mem, bits: errorBits, rng: rng}
+}
+
+// Search flips the same randomly chosen components of the query for all
+// rows, then performs the exact search.
+func (cm *CommonMode) Search(q *hv.Vector) core.Result {
+	if cm.bits > 0 {
+		q = hv.FlipBits(q, cm.bits, cm.rng)
+	}
+	i, d := cm.mem.Nearest(q)
+	return core.Result{Index: i, Distance: d}
+}
+
+// Name implements core.Searcher.
+func (cm *CommonMode) Name() string { return fmt.Sprintf("common-mode e=%d", cm.bits) }
+
+var _ core.Searcher = (*CommonMode)(nil)

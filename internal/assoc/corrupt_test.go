@@ -1,0 +1,139 @@
+package assoc
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+func TestCorruptMemoryDistanceShift(t *testing.T) {
+	mem := testMemory(5, hv.Dim, 40)
+	rng := rand.New(rand.NewPCG(41, 41))
+	corrupted, err := CorruptMemory(mem, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		d := hv.Hamming(mem.Class(i), corrupted.Class(i))
+		if d != 1000 {
+			t.Fatalf("class %d moved %d bits, want exactly 1000", i, d)
+		}
+		if corrupted.Label(i) != mem.Label(i) {
+			t.Fatal("labels not preserved")
+		}
+	}
+}
+
+func TestCorruptMemoryStillClassifies(t *testing.T) {
+	// The §II-B premise: 10% memory-cell faults leave classification
+	// intact when classes are well separated.
+	mem := testMemory(21, hv.Dim, 42)
+	rng := rand.New(rand.NewPCG(43, 43))
+	corrupted, err := CorruptMemory(mem, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExact(corrupted)
+	errs := 0
+	for i := 0; i < 105; i++ {
+		q := hv.FlipBits(mem.Class(i%21), 2000, rng)
+		if e.Search(q).Index != i%21 {
+			errs++
+		}
+	}
+	if errs > 1 {
+		t.Fatalf("%d/105 misclassifications with 10%% faulty cells", errs)
+	}
+}
+
+func TestCorruptMemoryBounds(t *testing.T) {
+	mem := testMemory(2, 100, 44)
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, err := CorruptMemory(mem, -1, rng); err == nil {
+		t.Error("negative fault count accepted")
+	}
+	if _, err := CorruptMemory(mem, 101, rng); err == nil {
+		t.Error("excess fault count accepted")
+	}
+	c, err := CorruptMemory(mem, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Class(0).Equal(mem.Class(0)) {
+		t.Error("zero faults changed the memory")
+	}
+}
+
+func TestCommonModeZeroIsExact(t *testing.T) {
+	mem := testMemory(8, 2000, 45)
+	rng := rand.New(rand.NewPCG(46, 46))
+	cm := NewCommonMode(mem, 0, rng)
+	e := NewExact(mem)
+	for i := 0; i < 20; i++ {
+		q := hv.FlipBits(mem.Class(i%8), 400, rng)
+		if cm.Search(q) != e.Search(q) {
+			t.Fatal("common-mode e=0 differs from exact")
+		}
+	}
+}
+
+func TestCommonModeGentlerThanIndependent(t *testing.T) {
+	// The error-correlation property: at the same e where independent
+	// per-row noise flips winners, common-mode faults should not — the
+	// differential shift between two rows is bounded by their disagreement
+	// on the faulty components.
+	dim := hv.Dim
+	rng := rand.New(rand.NewPCG(47, 47))
+	// Closely spaced classes make independent noise harmful.
+	base := hv.Random(dim, rng)
+	classes := make([]*hv.Vector, 6)
+	labels := make([]string, 6)
+	for i := range classes {
+		classes[i] = hv.FlipBits(base, 150, rng) // pairwise ≈ 300 apart
+		labels[i] = string(rune('a' + i))
+	}
+	mem := mustMem(t, classes, labels)
+
+	const e = 4500
+	const trials = 120
+	cm := NewCommonMode(mem, e, rng)
+	noisy := NewNoisy(mem, e, rng)
+	cmErrs, noisyErrs := 0, 0
+	for i := 0; i < trials; i++ {
+		want := i % 6
+		q := hv.FlipBits(mem.Class(want), 50, rng)
+		if cm.Search(q).Index != want {
+			cmErrs++
+		}
+		if noisy.Search(q).Index != want {
+			noisyErrs++
+		}
+	}
+	if noisyErrs < 5 {
+		t.Fatalf("independent noise caused only %d/%d errors; test not discriminating", noisyErrs, trials)
+	}
+	if cmErrs >= noisyErrs {
+		t.Fatalf("common-mode errors (%d) not below independent-noise errors (%d)", cmErrs, noisyErrs)
+	}
+}
+
+func TestCommonModePanics(t *testing.T) {
+	mem := testMemory(2, 100, 48)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewCommonMode(mem, 101, rand.New(rand.NewPCG(1, 1)))
+}
+
+func mustMem(t *testing.T, classes []*hv.Vector, labels []string) *core.Memory {
+	t.Helper()
+	m, err := core.NewMemory(classes, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,43 @@
+package circuit
+
+import "fmt"
+
+// Power is a standby (idle) power in microwatts.
+type Power float64
+
+// String renders the power with adaptive precision.
+func (p Power) String() string { return fmtUnit(float64(p), "µW") }
+
+// Standby leakage densities per technology class, 45 nm high-VTH corner.
+// The paper's motivation for the resistive designs includes that "like all
+// CMOS-based designs, these CAMs also have large idle power" (§III-A2):
+// SRAM/CAM cells leak continuously, whereas nonvolatile memristive cells
+// hold state with no supply and only the peripheral CMOS leaks.
+const (
+	// LeakPerCMOSCell is the standby leakage of one CMOS CAM/XOR cell, µW.
+	LeakPerCMOSCell = 2.5e-4
+	// LeakPerNVMCell is the standby leakage of one memristive cell, µW —
+	// effectively zero; a small access-device term remains.
+	LeakPerNVMCell = 1.0e-7
+	// LeakPerDigitalGate is the standby leakage of one digital gate
+	// equivalent (counters, comparators), µW.
+	LeakPerDigitalGate = 1.0e-4
+	// LeakPerAnalogBias is the static bias current draw of one analog
+	// block (LTA, sense amplifier) when left enabled, µW. Analog blocks
+	// are power-gated between searches; this is their *enabled* draw.
+	LeakPerAnalogBias = 5.0e-2
+)
+
+// StandbyBreakdown is the idle-power decomposition of one design.
+type StandbyBreakdown struct {
+	Array      Power // storage array leakage
+	Peripheral Power // counters/comparators or analog bias
+}
+
+// Total returns the summed standby power.
+func (s StandbyBreakdown) Total() Power { return s.Array + s.Peripheral }
+
+// String renders the breakdown.
+func (s StandbyBreakdown) String() string {
+	return fmt.Sprintf("standby %s (array %s + peripheral %s)", s.Total(), s.Array, s.Peripheral)
+}

@@ -1,0 +1,60 @@
+package circuit
+
+// Tech45 collects the 45 nm technology-level constants shared by the three
+// HAM cost models. Design-specific calibrated constants live in the design
+// packages (dham, rham, aham); what lives here is common physics: supply
+// voltages, the voltage-overscaling point, and the memristor device corner
+// the paper designs against.
+//
+// Calibration provenance (see DESIGN.md §1 and EXPERIMENTS.md):
+//   - VDD, VOS levels: paper §III-C2 (1 V nominal, 0.78 V overscaled for a
+//     ≤1-bit error per 4-bit block, 0.72 V for ≤2-bit errors) and §IV-B
+//     (A-HAM LTA blocks at 1.8 V).
+//   - Memristor corner: §III-D2 — R_ON ≈ 500 kΩ, R_OFF ≈ 100 GΩ, chosen for
+//     sense margin and low discharge current.
+type Tech45 struct {
+	// VDD is the nominal digital supply voltage.
+	VDD Voltage
+	// VOS1 is the overscaled crossbar supply at which a 4-bit R-HAM block
+	// is restricted to at most one bit of Hamming-distance error.
+	VOS1 Voltage
+	// VOS2 is the deeper overscaled supply admitting up to two bits of
+	// error per block; the paper notes its energy gain over VOS1 is
+	// marginal, which bounds R-HAM's saving curve (§III-C2).
+	VOS2 Voltage
+	// VLTA is the analog supply of the A-HAM LTA comparator blocks.
+	VLTA Voltage
+
+	// RonOhm and RoffOhm are the memristor ON/OFF resistances.
+	RonOhm  float64
+	RoffOhm float64
+	// MLCapF is the per-cell match-line capacitance contribution (farads);
+	// together with RonOhm it sets the ML discharge time constant.
+	MLCapF float64
+}
+
+// Default45 returns the technology corner every experiment uses.
+func Default45() Tech45 {
+	return Tech45{
+		VDD:     1.0,
+		VOS1:    0.78,
+		VOS2:    0.72,
+		VLTA:    1.8,
+		RonOhm:  500e3,
+		RoffOhm: 100e9,
+		MLCapF:  1.2e-15,
+	}
+}
+
+// EnergyScale returns the quadratic dynamic-energy scaling factor of
+// operating at voltage v instead of the nominal VDD: (v/VDD)². This is the
+// "quadratic saving" R-HAM's distributed voltage overscaling exploits
+// (§III-C2).
+func (t Tech45) EnergyScale(v Voltage) float64 {
+	r := float64(v) / float64(t.VDD)
+	return r * r
+}
+
+// OffOnRatio returns the memristor OFF/ON resistance ratio, the figure of
+// merit for CAM sense margin (§III-D2).
+func (t Tech45) OffOnRatio() float64 { return t.RoffOhm / t.RonOhm }

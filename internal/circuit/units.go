@@ -1,0 +1,107 @@
+// Package circuit provides the shared vocabulary of the hardware models:
+// physical unit types (energy, delay, area, voltage), the 45 nm technology
+// parameter set all three HAM designs draw their constants from, and the
+// cost-breakdown structures the evaluation reports are built on.
+//
+// The paper evaluates D-HAM with a TSMC 45 nm ASIC flow and R-HAM/A-HAM
+// with HSPICE in the same node; this package replaces those tools with
+// calibrated analytical models (see DESIGN.md §1 for the substitution
+// argument). Every constant is documented with the paper anchor it was
+// calibrated against.
+package circuit
+
+import "fmt"
+
+// Energy is an energy in picojoules.
+type Energy float64
+
+// Delay is a time in nanoseconds.
+type Delay float64
+
+// Area is a silicon area in square millimeters.
+type Area float64
+
+// Voltage is a supply voltage in volts.
+type Voltage float64
+
+// EDP is an energy-delay product in pJ·ns (the paper plots it as 1e-20 J·s;
+// 1 pJ·ns = 1e-21 J·s = 0.1 of the paper's unit).
+type EDP float64
+
+// String renders the energy with adaptive precision.
+func (e Energy) String() string { return fmtUnit(float64(e), "pJ") }
+
+// String renders the delay with adaptive precision.
+func (d Delay) String() string { return fmtUnit(float64(d), "ns") }
+
+// String renders the area with adaptive precision.
+func (a Area) String() string { return fmtUnit(float64(a), "mm²") }
+
+// String renders the voltage.
+func (v Voltage) String() string { return fmt.Sprintf("%.2f V", float64(v)) }
+
+// String renders the energy-delay product.
+func (p EDP) String() string { return fmtUnit(float64(p), "pJ·ns") }
+
+func fmtUnit(v float64, unit string) string {
+	switch {
+	case v == 0:
+		return "0 " + unit
+	case v < 0.01:
+		return fmt.Sprintf("%.2e %s", v, unit)
+	case v < 10:
+		return fmt.Sprintf("%.3f %s", v, unit)
+	case v < 1000:
+		return fmt.Sprintf("%.1f %s", v, unit)
+	default:
+		return fmt.Sprintf("%.0f %s", v, unit)
+	}
+}
+
+// Cost aggregates the three scalar costs of one design point plus a named
+// per-module breakdown (as in the paper's Table I and Fig. 12).
+type Cost struct {
+	Energy Energy
+	Delay  Delay
+	Area   Area
+	// Breakdown maps module name → its share; breakdown energies/areas sum
+	// to the totals (delay is a critical path, not a sum, so the breakdown
+	// records per-module path contributions).
+	Breakdown []Component
+}
+
+// Component is one named line of a cost breakdown.
+type Component struct {
+	Name   string
+	Energy Energy
+	Delay  Delay
+	Area   Area
+}
+
+// EDP returns the energy-delay product.
+func (c Cost) EDP() EDP { return EDP(float64(c.Energy) * float64(c.Delay)) }
+
+// Add accumulates a component into the cost: energy and area sum, delay is
+// added to the critical path (the HAM pipelines are sequential stages:
+// array → counters → comparators, so path delays add).
+func (c *Cost) Add(comp Component) {
+	c.Energy += comp.Energy
+	c.Delay += comp.Delay
+	c.Area += comp.Area
+	c.Breakdown = append(c.Breakdown, comp)
+}
+
+// Find returns the named component and whether it exists.
+func (c Cost) Find(name string) (Component, bool) {
+	for _, comp := range c.Breakdown {
+		if comp.Name == name {
+			return comp, true
+		}
+	}
+	return Component{}, false
+}
+
+// String renders a compact summary.
+func (c Cost) String() string {
+	return fmt.Sprintf("E=%s T=%s A=%s EDP=%s", c.Energy, c.Delay, c.Area, c.EDP())
+}

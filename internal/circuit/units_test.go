@@ -1,0 +1,67 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestUnitStrings(t *testing.T) {
+	cases := []struct {
+		got  string
+		want string
+	}{
+		{Energy(0).String(), "0 pJ"},
+		{Energy(0.001).String(), "1.00e-03 pJ"},
+		{Energy(5.5).String(), "5.500 pJ"},
+		{Energy(123.4).String(), "123.4 pJ"},
+		{Energy(6155.2).String(), "6155 pJ"},
+		{Delay(160).String(), "160.0 ns"},
+		{Area(15.2).String(), "15.2 mm²"},
+		{Voltage(0.78).String(), "0.78 V"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestCostAddAndEDP(t *testing.T) {
+	var c Cost
+	c.Add(Component{Name: "cam", Energy: 100, Delay: 10, Area: 1.5})
+	c.Add(Component{Name: "cnt", Energy: 50, Delay: 5, Area: 0.5})
+	if c.Energy != 150 || c.Delay != 15 || c.Area != 2.0 {
+		t.Fatalf("totals wrong: %+v", c)
+	}
+	if c.EDP() != 2250 {
+		t.Fatalf("EDP = %v, want 2250", c.EDP())
+	}
+	if comp, ok := c.Find("cam"); !ok || comp.Energy != 100 {
+		t.Fatal("Find failed")
+	}
+	if _, ok := c.Find("missing"); ok {
+		t.Fatal("Find found a missing component")
+	}
+	if !strings.Contains(c.String(), "EDP") {
+		t.Fatal("String missing EDP")
+	}
+}
+
+func TestTech45(t *testing.T) {
+	tech := Default45()
+	if tech.VDD != 1.0 || tech.VOS1 != 0.78 {
+		t.Fatal("wrong voltage corner")
+	}
+	// VOS at 0.78 V: quadratic scale 0.6084.
+	if s := tech.EnergyScale(tech.VOS1); math.Abs(s-0.6084) > 1e-12 {
+		t.Fatalf("energy scale %v, want 0.6084", s)
+	}
+	if s := tech.EnergyScale(tech.VDD); s != 1 {
+		t.Fatalf("nominal scale %v", s)
+	}
+	// Paper §III-D2: R_ON 500 kΩ, R_OFF 100 GΩ → ratio 2e5.
+	if r := tech.OffOnRatio(); math.Abs(r-2e5) > 1 {
+		t.Fatalf("OFF/ON ratio %v, want 2e5", r)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"hdam/internal/hv"
+)
+
+// SearchAll classifies a batch of queries with the searcher, fanning out
+// across GOMAXPROCS goroutines when the searcher is safe for concurrent
+// use. Searchers that keep per-search randomness (R-HAM's VOS injection,
+// quantized searchers) are not concurrency-safe; pass parallel=false for
+// those and the batch runs sequentially in input order.
+func SearchAll(s Searcher, queries []*hv.Vector, parallel bool) []Result {
+	out := make([]Result, len(queries))
+	if !parallel || len(queries) < 2 {
+		for i, q := range queries {
+			out[i] = s.Search(q)
+		}
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(queries) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = s.Search(queries[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Ranked is one class with its distance, for top-k queries.
+type Ranked struct {
+	Index    int
+	Label    string
+	Distance int
+}
+
+// TopK returns the k nearest classes to q in ascending distance order,
+// ties broken by index. k is clamped to the class count. Top-k retrieval
+// is the natural extension of the HAM's top-1 search for applications that
+// want a shortlist (e.g. language families, cleanup candidates).
+func (m *Memory) TopK(q *hv.Vector, k int) []Ranked {
+	if k < 1 {
+		panic(fmt.Sprintf("core: top-%d", k))
+	}
+	m.checkQuery(q)
+	if k > len(m.classes) {
+		k = len(m.classes)
+	}
+	all := make([]Ranked, len(m.classes))
+	for i, c := range m.classes {
+		all[i] = Ranked{Index: i, Label: m.labels[i], Distance: hv.Hamming(q, c)}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Distance != all[b].Distance {
+			return all[a].Distance < all[b].Distance
+		}
+		return all[a].Index < all[b].Index
+	})
+	return all[:k]
+}
+
+// Margin returns the difference between the runner-up distance and the
+// winner distance for q: the classification margin every robustness result
+// in the paper ultimately rides on. Zero means a tie.
+func (m *Memory) Margin(q *hv.Vector) int {
+	if len(m.classes) < 2 {
+		panic("core: margin needs at least two classes")
+	}
+	top := m.TopK(q, 2)
+	return top[1].Distance - top[0].Distance
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"hdam/internal/hv"
+)
+
+// exactSearcher is a minimal concurrency-safe searcher for batch tests.
+type exactSearcher struct{ m *Memory }
+
+func (e exactSearcher) Search(q *hv.Vector) Result {
+	i, d := e.m.Nearest(q)
+	return Result{Index: i, Distance: d}
+}
+func (e exactSearcher) Name() string { return "exact" }
+
+func TestSearchAllParallelMatchesSequential(t *testing.T) {
+	cs, ls := randClasses(9, 2000, 80)
+	m := MustMemory(cs, ls)
+	rng := rand.New(rand.NewPCG(81, 81))
+	queries := make([]*hv.Vector, 57)
+	for i := range queries {
+		queries[i] = hv.FlipBits(m.Class(i%9), 300, rng)
+	}
+	s := exactSearcher{m}
+	seq := SearchAll(s, queries, false)
+	par := SearchAll(s, queries, true)
+	if len(seq) != len(par) {
+		t.Fatal("length mismatch")
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("query %d: %v vs %v", i, seq[i], par[i])
+		}
+		if seq[i].Index != i%9 {
+			t.Fatalf("query %d misclassified", i)
+		}
+	}
+	if got := SearchAll(s, nil, true); len(got) != 0 {
+		t.Fatal("empty batch")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	rng := rand.New(rand.NewPCG(82, 82))
+	cs, ls := randClasses(6, hv.Dim, 82)
+	m := MustMemory(cs, ls)
+	q := hv.FlipBits(m.Class(2), 500, rng)
+	top := m.TopK(q, 3)
+	if len(top) != 3 {
+		t.Fatalf("%d results", len(top))
+	}
+	if top[0].Index != 2 || top[0].Distance != 500 {
+		t.Fatalf("top-1 = %+v", top[0])
+	}
+	if top[0].Label != m.Label(2) {
+		t.Fatal("label missing")
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Distance < top[i-1].Distance {
+			t.Fatal("not sorted")
+		}
+	}
+	// k clamps to class count.
+	if got := m.TopK(q, 100); len(got) != 6 {
+		t.Fatalf("clamped top-k has %d entries", len(got))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for k=0")
+			}
+		}()
+		m.TopK(q, 0)
+	}()
+}
+
+func TestTopKTieBreaksByIndex(t *testing.T) {
+	a := hv.New(64)
+	b := a.Clone() // identical → equal distances
+	c := hv.Not(a)
+	m := MustMemory([]*hv.Vector{c, b, a.Clone()}, []string{"far", "t1", "t2"})
+	top := m.TopK(hv.New(64), 2)
+	if top[0].Index != 1 || top[1].Index != 2 {
+		t.Fatalf("tie order wrong: %+v", top)
+	}
+}
+
+func TestMargin(t *testing.T) {
+	rng := rand.New(rand.NewPCG(83, 83))
+	cs, ls := randClasses(5, hv.Dim, 83)
+	m := MustMemory(cs, ls)
+	q := hv.FlipBits(m.Class(0), 100, rng)
+	margin := m.Margin(q)
+	top := m.TopK(q, 2)
+	if margin != top[1].Distance-top[0].Distance {
+		t.Fatalf("margin %d inconsistent with top-2 %+v", margin, top)
+	}
+	if margin < 3000 {
+		t.Fatalf("margin %d implausibly small for random classes", margin)
+	}
+	single := MustMemory(cs[:1], ls[:1])
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for single-class margin")
+		}
+	}()
+	single.Margin(q)
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	cs, ls := randClasses(7, 1234, 84)
+	ls[3] = "ünïcode-label"
+	m := MustMemory(cs, ls)
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadMemory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim() != m.Dim() || got.Classes() != m.Classes() {
+		t.Fatal("shape mismatch after round trip")
+	}
+	for i := 0; i < m.Classes(); i++ {
+		if !got.Class(i).Equal(m.Class(i)) || got.Label(i) != m.Label(i) {
+			t.Fatalf("class %d mismatch after round trip", i)
+		}
+	}
+}
+
+func TestReadMemoryRejectsCorrupt(t *testing.T) {
+	cs, ls := randClasses(2, 100, 85)
+	m := MustMemory(cs, ls)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("NOPE"), good[4:]...),
+		"truncated": good[:len(good)-5],
+		"no header": good[:6],
+	}
+	for name, data := range cases {
+		if _, err := ReadMemory(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Implausible dimension.
+	bad := append([]byte{}, good...)
+	bad[4], bad[5], bad[6], bad[7] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := ReadMemory(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("implausible dimension accepted: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/hv"
+)
+
+func randClasses(n, dim int, seed uint64) ([]*hv.Vector, []string) {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	cs := make([]*hv.Vector, n)
+	ls := make([]string, n)
+	for i := range cs {
+		cs[i] = hv.Random(dim, rng)
+		ls[i] = string(rune('a' + i))
+	}
+	return cs, ls
+}
+
+func TestNewMemoryValidation(t *testing.T) {
+	cs, ls := randClasses(3, 100, 1)
+	if _, err := NewMemory(nil, nil); err == nil {
+		t.Error("empty memory accepted")
+	}
+	if _, err := NewMemory(cs, ls[:2]); err == nil {
+		t.Error("label count mismatch accepted")
+	}
+	if _, err := NewMemory(cs, []string{"a", "a", "b"}); err == nil {
+		t.Error("duplicate labels accepted")
+	}
+	if _, err := NewMemory(cs, []string{"a", "", "b"}); err == nil {
+		t.Error("empty label accepted")
+	}
+	bad := append([]*hv.Vector{hv.New(99)}, cs[1:]...)
+	if _, err := NewMemory(bad, ls); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	m, err := NewMemory(cs, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != 100 || m.Classes() != 3 {
+		t.Error("wrong shape")
+	}
+}
+
+func TestMemoryImmutableFromCaller(t *testing.T) {
+	cs, ls := randClasses(2, 64, 2)
+	m := MustMemory(cs, ls)
+	before := m.Class(0).Clone()
+	cs[0].Flip(0) // caller mutates their slice; memory must be unaffected
+	if !m.Class(0).Equal(before) {
+		t.Fatal("memory shares storage with caller")
+	}
+}
+
+func TestNearestAndDistances(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	cs, ls := randClasses(5, hv.Dim, 3)
+	m := MustMemory(cs, ls)
+	// Query near class 2.
+	q := hv.FlipBits(cs[2], 700, rng)
+	idx, d := m.Nearest(q)
+	if idx != 2 || d != 700 {
+		t.Fatalf("nearest = (%d, %d), want (2, 700)", idx, d)
+	}
+	ds := m.Distances(q)
+	if ds[2] != 700 {
+		t.Fatalf("distances[2] = %d, want 700", ds[2])
+	}
+	for i, dd := range ds {
+		if i != 2 && dd <= 700 {
+			t.Fatalf("class %d distance %d unexpectedly small", i, dd)
+		}
+	}
+}
+
+func TestNearestTieBreaksLowIndex(t *testing.T) {
+	a := hv.New(64)
+	b := hv.New(64)
+	b.Set(0, 1)
+	c := b.Clone() // same distance to query as b... but memory needs distinct labels only
+	m := MustMemory([]*hv.Vector{b, a, c}, []string{"x", "y", "z"})
+	q := hv.New(64)
+	q.Set(1, 1) // distance 2 to b and c, 1 to a
+	idx, _ := m.Nearest(q)
+	if idx != 1 {
+		t.Fatalf("nearest = %d, want 1", idx)
+	}
+	q2 := hv.New(64)
+	q2.Set(0, 1) // distance 0 to b and c, 1 to a → tie between 0 and 2 → 0
+	idx, d := m.Nearest(q2)
+	if idx != 0 || d != 0 {
+		t.Fatalf("nearest = (%d,%d), want (0,0)", idx, d)
+	}
+}
+
+func TestMinClassSeparation(t *testing.T) {
+	v0 := hv.New(64)
+	v1 := hv.New(64)
+	v1.Set(0, 1)
+	v1.Set(1, 1) // δ(v0,v1)=2
+	v2 := hv.New(64)
+	for i := 0; i < 10; i++ {
+		v2.Set(i, 1)
+	} // δ(v0,v2)=10, δ(v1,v2)=8
+	m := MustMemory([]*hv.Vector{v0, v1, v2}, []string{"a", "b", "c"})
+	m1, m2 := m.MinClassSeparation()
+	if m1 != 2 || m2 != 8 {
+		t.Fatalf("separation = (%d,%d), want (2,8)", m1, m2)
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cs, ls := randClasses(2, 64, 4)
+	m := MustMemory(cs, ls)
+	for _, f := range []func(){
+		func() { m.Class(2) },
+		func() { m.Class(-1) },
+		func() { m.Label(2) },
+		func() { m.Distances(hv.New(65)) },
+		func() { m.Nearest(hv.New(65)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLabelsCopy(t *testing.T) {
+	cs, ls := randClasses(2, 64, 5)
+	m := MustMemory(cs, ls)
+	got := m.Labels()
+	got[0] = "mutated"
+	if m.Label(0) == "mutated" {
+		t.Fatal("Labels returned internal slice")
+	}
+}

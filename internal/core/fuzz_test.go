@@ -1,0 +1,37 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMemory ensures arbitrary bytes never panic the deserializer and
+// that accepted memories are structurally valid.
+func FuzzReadMemory(f *testing.F) {
+	cs, ls := randClasses(3, 128, 90)
+	m := MustMemory(cs, ls)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("HAM1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadMemory(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got.Dim() <= 0 || got.Classes() <= 0 {
+			t.Fatal("accepted memory with invalid shape")
+		}
+		for i := 0; i < got.Classes(); i++ {
+			if got.Class(i).Dim() != got.Dim() {
+				t.Fatal("accepted memory with mixed dimensions")
+			}
+			if got.Label(i) == "" {
+				t.Fatal("accepted memory with empty label")
+			}
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hdam/internal/hv"
+)
+
+// Serialization of trained associative memories: magic, version, shape,
+// labels, then the packed class hypervectors. Training on megabytes of
+// text takes minutes; persisting the learned memory makes the CLI and
+// downstream services restart instantly (the hardware analogue: the
+// nonvolatile crossbar keeps its contents across power cycles).
+
+// memoryMagic identifies the serialization format.
+var memoryMagic = [4]byte{'H', 'A', 'M', '1'}
+
+// WriteTo serializes the memory. It returns the byte count written.
+func (m *Memory) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.Write(memoryMagic[:])); err != nil {
+		return n, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(m.dim))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(m.classes)))
+	if err := count(bw.Write(hdr[:])); err != nil {
+		return n, err
+	}
+	for i, c := range m.classes {
+		label := []byte(m.labels[i])
+		var ln [2]byte
+		binary.LittleEndian.PutUint16(ln[:], uint16(len(label)))
+		if err := count(bw.Write(ln[:])); err != nil {
+			return n, err
+		}
+		if err := count(bw.Write(label)); err != nil {
+			return n, err
+		}
+		data, err := c.MarshalBinary()
+		if err != nil {
+			return n, fmt.Errorf("core: encoding class %d: %w", i, err)
+		}
+		if err := count(bw.Write(data)); err != nil {
+			return n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadMemory deserializes a memory written by WriteTo.
+func ReadMemory(r io.Reader) (*Memory, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if magic != memoryMagic {
+		return nil, errors.New("core: not a HAM memory file")
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: reading header: %w", err)
+	}
+	dim := int(binary.LittleEndian.Uint32(hdr[0:]))
+	classes := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if dim <= 0 || dim > 1<<24 {
+		return nil, fmt.Errorf("core: implausible dimension %d", dim)
+	}
+	if classes <= 0 || classes > 1<<20 {
+		return nil, fmt.Errorf("core: implausible class count %d", classes)
+	}
+	vecBytes := 4 + 8*((dim+63)/64)
+	cs := make([]*hv.Vector, classes)
+	ls := make([]string, classes)
+	for i := 0; i < classes; i++ {
+		var ln [2]byte
+		if _, err := io.ReadFull(br, ln[:]); err != nil {
+			return nil, fmt.Errorf("core: reading label %d: %w", i, err)
+		}
+		label := make([]byte, binary.LittleEndian.Uint16(ln[:]))
+		if _, err := io.ReadFull(br, label); err != nil {
+			return nil, fmt.Errorf("core: reading label %d: %w", i, err)
+		}
+		ls[i] = string(label)
+		buf := make([]byte, vecBytes)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("core: reading class %d: %w", i, err)
+		}
+		var v hv.Vector
+		if err := v.UnmarshalBinary(buf); err != nil {
+			return nil, fmt.Errorf("core: decoding class %d: %w", i, err)
+		}
+		if v.Dim() != dim {
+			return nil, fmt.Errorf("core: class %d dim %d, header says %d", i, v.Dim(), dim)
+		}
+		cs[i] = &v
+	}
+	return NewMemory(cs, ls)
+}

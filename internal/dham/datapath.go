@@ -1,0 +1,153 @@
+package dham
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// Datapath is the bit-true structural D-HAM simulator. Where HAM answers
+// queries through the sampled-distance shortcut, Datapath walks the actual
+// digital array of Fig. 2 cycle by cycle: it evaluates every XOR gate,
+// remembers each gate's previous output and counts 0→1 toggles — the
+// switching events the energy model charges for — then runs the population
+// counters and the comparator tree.
+//
+// Its purpose is validation by measurement: the 25% XOR switching activity
+// Table II asserts for D-HAM, and the CAM array's dominance of the
+// switched-capacitance budget behind Table I's 81% energy share, are
+// *measured* here over real query streams instead of assumed.
+type Datapath struct {
+	cfg Config
+	mem *core.Memory
+
+	// prevXOR[r] holds the previous query's XOR outputs for row r, packed.
+	prevXOR [][]uint64
+	// prevCount[r] is the previous counter value of row r.
+	prevCount []int
+	// mask selects the sampled d columns.
+	mask *hv.Mask
+
+	stats DatapathStats
+}
+
+// DatapathStats accumulates switching-event counts over the queries a
+// Datapath has processed.
+type DatapathStats struct {
+	// Searches is the number of queries processed.
+	Searches int
+	// XOREvaluations is the number of XOR gate evaluations (C·d per query).
+	XOREvaluations int64
+	// XORToggles counts 0→1 transitions on XOR outputs between consecutive
+	// queries — the switching activity of the CAM array.
+	XORToggles int64
+	// CounterBitToggles counts bit flips in the counter result registers.
+	CounterBitToggles int64
+	// ComparatorOps counts comparator evaluations (C−1 per query).
+	ComparatorOps int64
+}
+
+// XORActivity returns the measured 0→1 switching activity of the XOR
+// array: toggles per gate evaluation. For i.i.d. random query streams it
+// converges to Table II's 25%.
+func (s DatapathStats) XORActivity() float64 {
+	if s.XOREvaluations == 0 {
+		return 0
+	}
+	return float64(s.XORToggles) / float64(s.XOREvaluations)
+}
+
+// NewDatapath builds the structural simulator for a design point.
+func NewDatapath(cfg Config, mem *core.Memory) (*Datapath, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if mem.Dim() != cfg.D {
+		return nil, fmt.Errorf("dham: memory dim %d, config D=%d", mem.Dim(), cfg.D)
+	}
+	if mem.Classes() != cfg.C {
+		return nil, fmt.Errorf("dham: memory has %d classes, config C=%d", mem.Classes(), cfg.C)
+	}
+	words := (cfg.D + 63) / 64
+	prev := make([][]uint64, cfg.C)
+	for i := range prev {
+		prev[i] = make([]uint64, words)
+	}
+	return &Datapath{
+		cfg:       cfg,
+		mem:       mem,
+		prevXOR:   prev,
+		prevCount: make([]int, cfg.C),
+		mask:      hv.PrefixMask(cfg.D, cfg.SampledD),
+	}, nil
+}
+
+// Search processes one query through the array, updating toggle statistics
+// and returning the winner chosen by the comparator tree (lowest index on
+// ties, as a deterministic tree resolves).
+func (d *Datapath) Search(q *hv.Vector) core.Result {
+	if q.Dim() != d.cfg.D {
+		panic(fmt.Sprintf("dham: query dim %d, array dim %d", q.Dim(), d.cfg.D))
+	}
+	qw := q.Words()
+	best, bestD := 0, d.cfg.D+1
+	for r := 0; r < d.cfg.C; r++ {
+		cw := d.mem.Class(r).Words()
+		prev := d.prevXOR[r]
+		count := 0
+		for w := range qw {
+			// Gate the sampled-out columns off: they neither evaluate nor
+			// toggle (their gates are power-gated, §III-A1).
+			maskW := d.maskWord(w)
+			x := (qw[w] ^ cw[w]) & maskW
+			count += bits.OnesCount64(x)
+			d.stats.XORToggles += int64(bits.OnesCount64(^prev[w] & x & maskW))
+			prev[w] = x
+		}
+		d.stats.XOREvaluations += int64(d.cfg.SampledD)
+		// Counter register toggles: Hamming distance between consecutive
+		// counter values' binary codes.
+		d.stats.CounterBitToggles += int64(bits.OnesCount(uint(d.prevCount[r]) ^ uint(count)))
+		d.prevCount[r] = count
+		if count < bestD {
+			best, bestD = r, count
+		}
+	}
+	d.stats.ComparatorOps += int64(d.cfg.C - 1)
+	d.stats.Searches++
+	return core.Result{Index: best, Distance: bestD}
+}
+
+// maskWord returns the sampling mask for packed word w.
+func (d *Datapath) maskWord(w int) uint64 {
+	full := d.cfg.SampledD / 64
+	switch {
+	case w < full:
+		return ^uint64(0)
+	case w == full:
+		r := d.cfg.SampledD % 64
+		if r == 0 {
+			return 0
+		}
+		return (uint64(1) << uint(r)) - 1
+	default:
+		return 0
+	}
+}
+
+// Stats returns the accumulated switching statistics.
+func (d *Datapath) Stats() DatapathStats { return d.stats }
+
+// ResetStats clears the statistics (the gate states persist, as in
+// hardware).
+func (d *Datapath) ResetStats() { d.stats = DatapathStats{} }
+
+// Name implements core.Searcher.
+func (d *Datapath) Name() string {
+	return fmt.Sprintf("D-HAM(datapath) D=%d C=%d d=%d", d.cfg.D, d.cfg.C, d.cfg.SampledD)
+}
+
+var _ core.Searcher = (*Datapath)(nil)

@@ -1,0 +1,121 @@
+package dham
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/hv"
+)
+
+func TestDatapathMatchesFunctionalSearch(t *testing.T) {
+	mem := testMemory(12, 2000, 70)
+	for _, d := range []int{2000, 1500} {
+		dp, err := NewDatapath(Config{D: 2000, C: 12, SampledD: d}, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := New(Config{D: 2000, C: 12, SampledD: d}, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(71, 71))
+		for i := 0; i < 30; i++ {
+			q := hv.FlipBits(mem.Class(i%12), 400, rng)
+			if dp.Search(q) != fast.Search(q) {
+				t.Fatalf("d=%d: datapath disagrees with functional search", d)
+			}
+		}
+	}
+}
+
+func TestDatapathMeasuresTableIIActivity(t *testing.T) {
+	// Table II's D-HAM column: 25% switching activity on the XOR outputs,
+	// measured here over an i.i.d. random query stream.
+	mem := testMemory(10, hv.Dim, 72)
+	dp, err := NewDatapath(Config{D: hv.Dim, C: 10}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(73, 73))
+	for i := 0; i < 60; i++ {
+		dp.Search(hv.Random(hv.Dim, rng))
+	}
+	// Discard the cold-start bias (first query toggles from all-zero), then
+	// measure steady state.
+	dp.ResetStats()
+	for i := 0; i < 200; i++ {
+		dp.Search(hv.Random(hv.Dim, rng))
+	}
+	act := dp.Stats().XORActivity()
+	if math.Abs(act-0.25) > 0.005 {
+		t.Fatalf("measured XOR activity %.4f, want 0.25 (Table II)", act)
+	}
+}
+
+func TestDatapathSamplingGatesWork(t *testing.T) {
+	mem := testMemory(4, 1000, 74)
+	dp, err := NewDatapath(Config{D: 1000, C: 4, SampledD: 700}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(75, 75))
+	const n = 20
+	for i := 0; i < n; i++ {
+		dp.Search(hv.Random(1000, rng))
+	}
+	s := dp.Stats()
+	if s.Searches != n {
+		t.Fatalf("searches %d", s.Searches)
+	}
+	// Exactly C·d gate evaluations per query.
+	if want := int64(n * 4 * 700); s.XOREvaluations != want {
+		t.Fatalf("evaluations %d, want %d", s.XOREvaluations, want)
+	}
+	if want := int64(n * 3); s.ComparatorOps != want {
+		t.Fatalf("comparator ops %d, want %d", s.ComparatorOps, want)
+	}
+}
+
+func TestDatapathCounterTogglesNonzero(t *testing.T) {
+	mem := testMemory(3, 512, 76)
+	dp, err := NewDatapath(Config{D: 512, C: 3}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(77, 77))
+	for i := 0; i < 10; i++ {
+		dp.Search(hv.Random(512, rng))
+	}
+	if dp.Stats().CounterBitToggles == 0 {
+		t.Fatal("counter registers never toggled across random queries")
+	}
+}
+
+func TestDatapathValidation(t *testing.T) {
+	mem := testMemory(3, 512, 78)
+	if _, err := NewDatapath(Config{D: 500, C: 3}, mem); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := NewDatapath(Config{D: 512, C: 4}, mem); err == nil {
+		t.Error("class mismatch accepted")
+	}
+	dp, err := NewDatapath(Config{D: 512, C: 3}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Name() == "" {
+		t.Error("empty name")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on query dim mismatch")
+			}
+		}()
+		dp.Search(hv.New(100))
+	}()
+	if (DatapathStats{}).XORActivity() != 0 {
+		t.Error("empty stats activity not zero")
+	}
+}

@@ -1,0 +1,111 @@
+// Package dham implements D-HAM, the paper's digital CMOS hyperdimensional
+// associative memory (§III-A): a C×D CAM of XOR comparators feeding C
+// population counters and a binary tree of C−1 comparators that selects the
+// row with the nearest Hamming distance.
+//
+// The package has two faces:
+//
+//   - a functional simulator (Searcher) that classifies exactly as the
+//     hardware would — an exact nearest-distance search over the d ≤ D
+//     dimensions that structured sampling leaves enabled (§III-A1);
+//   - a calibrated cost model (Cost) reproducing the paper's Table I energy
+//     and area partitioning and the §IV-C scaling behavior.
+package dham
+
+import (
+	"fmt"
+
+	"hdam/internal/assoc"
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// Config describes one D-HAM design point.
+type Config struct {
+	// D is the hypervector dimensionality the array is built for.
+	D int
+	// C is the number of stored classes (rows).
+	C int
+	// SampledD is the number of dimensions actually compared (d ≤ D).
+	// d < D is the structured-sampling approximation: trailing columns are
+	// gated off, trading exactly D−d bits of worst-case distance error for
+	// energy (§III-A1). Zero means "no sampling" (d = D).
+	SampledD int
+}
+
+// normalize fills defaults and validates.
+func (c Config) normalize() (Config, error) {
+	if c.D <= 0 {
+		return c, fmt.Errorf("dham: dimension %d", c.D)
+	}
+	if c.C < 2 {
+		return c, fmt.Errorf("dham: need at least 2 classes, got %d", c.C)
+	}
+	if c.SampledD == 0 {
+		c.SampledD = c.D
+	}
+	if c.SampledD < 1 || c.SampledD > c.D {
+		return c, fmt.Errorf("dham: sampled d=%d out of [1,%d]", c.SampledD, c.D)
+	}
+	return c, nil
+}
+
+// ErrorBits returns the worst-case Hamming-distance error the sampling
+// configuration admits: D − d ignored comparisons.
+func (c Config) ErrorBits() int { return c.D - c.SampledD }
+
+// WithErrorBudget returns the configuration that exploits an allowed
+// distance error of e bits: sampling d = D − e dimensions, the way D-HAM
+// spends its error budget in Figs. 1/11.
+func (c Config) WithErrorBudget(e int) (Config, error) {
+	if e < 0 || e >= c.D {
+		return c, fmt.Errorf("dham: error budget %d out of [0,%d)", e, c.D)
+	}
+	c.SampledD = c.D - e
+	return c.normalize()
+}
+
+// HAM is the D-HAM functional simulator bound to a trained memory.
+type HAM struct {
+	cfg    Config
+	mem    *core.Memory
+	search *assoc.Sampled
+}
+
+// New builds a D-HAM instance over a trained associative memory. The
+// memory's dimensionality must match the configuration.
+func New(cfg Config, mem *core.Memory) (*HAM, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if mem.Dim() != cfg.D {
+		return nil, fmt.Errorf("dham: memory dim %d, config D=%d", mem.Dim(), cfg.D)
+	}
+	if mem.Classes() != cfg.C {
+		return nil, fmt.Errorf("dham: memory has %d classes, config C=%d", mem.Classes(), cfg.C)
+	}
+	return &HAM{
+		cfg:    cfg,
+		mem:    mem,
+		search: assoc.NewSampled(mem, hv.PrefixMask(cfg.D, cfg.SampledD)),
+	}, nil
+}
+
+// Search classifies a query exactly as the digital hardware does: an exact
+// popcount over the enabled d dimensions, minimum chosen by a deterministic
+// comparator tree (ties → lowest row index).
+func (h *HAM) Search(q *hv.Vector) core.Result { return h.search.Search(q) }
+
+// Name implements core.Searcher.
+func (h *HAM) Name() string {
+	if h.cfg.SampledD == h.cfg.D {
+		return fmt.Sprintf("D-HAM D=%d C=%d", h.cfg.D, h.cfg.C)
+	}
+	return fmt.Sprintf("D-HAM D=%d C=%d d=%d", h.cfg.D, h.cfg.C, h.cfg.SampledD)
+}
+
+// Config returns the design point.
+func (h *HAM) Config() Config { return h.cfg }
+
+var _ core.Searcher = (*HAM)(nil)

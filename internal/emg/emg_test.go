@@ -1,0 +1,203 @@
+package emg
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/aham"
+	"hdam/internal/assoc"
+	"hdam/internal/core"
+	"hdam/internal/dham"
+	"hdam/internal/hv"
+	"hdam/internal/rham"
+)
+
+func TestGestureStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < NumGestures; i++ {
+		s := Gesture(i).String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate gesture name %q", s)
+		}
+		seen[s] = true
+	}
+	if Gesture(99).String() != "gesture(99)" {
+		t.Error("unknown gesture string wrong")
+	}
+	labels := GestureLabels()
+	if len(labels) != NumGestures || labels[0] != "rest" {
+		t.Fatalf("labels wrong: %v", labels)
+	}
+}
+
+func TestGenerateWindowShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	w := Generator{}.Generate(ClosedFist, 64, rng)
+	if len(w.Samples) != 64 || w.Label != ClosedFist {
+		t.Fatalf("window shape wrong: %d samples, label %v", len(w.Samples), w.Label)
+	}
+	for _, s := range w.Samples {
+		for ch, x := range s {
+			if x < 0 || x > 1 {
+				t.Fatalf("channel %d sample %v out of [0,1]", ch, x)
+			}
+		}
+	}
+}
+
+func TestGenerateMatchesProfiles(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for g := 0; g < NumGestures; g++ {
+		w := Generator{NoiseSigma: 0.02}.Generate(Gesture(g), 512, rng)
+		var mean [Channels]float64
+		for _, s := range w.Samples {
+			for ch := 0; ch < Channels; ch++ {
+				mean[ch] += s[ch]
+			}
+		}
+		p := Profile(Gesture(g))
+		for ch := 0; ch < Channels; ch++ {
+			mean[ch] /= float64(len(w.Samples))
+			// Envelope averages to ≈(1−depth/2)·profile; allow slack.
+			if math.Abs(mean[ch]-p[ch]*0.9) > 0.08 {
+				t.Errorf("gesture %v ch%d mean %.3f, profile %.3f", Gesture(g), ch, mean[ch], p[ch])
+			}
+		}
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	for _, f := range []func(){
+		func() { Generator{}.Generate(Gesture(-1), 10, rng) },
+		func() { Generator{}.Generate(Gesture(NumGestures), 10, rng) },
+		func() { Generator{}.Generate(Rest, 0, rng) },
+		func() { Generator{}.Dataset(0, 10, rng) },
+		func() { Profile(Gesture(-1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEncoderSpatialSeparation(t *testing.T) {
+	e := NewEncoder(hv.Dim, 8, 3, 7)
+	// Identical samples encode identically; different gestures' mean
+	// samples encode far apart.
+	s1 := Profile(ClosedFist)
+	s2 := Profile(OpenHand)
+	v1 := e.EncodeSample(s1)
+	if !v1.Equal(e.EncodeSample(s1)) {
+		t.Fatal("spatial encoding not deterministic")
+	}
+	d := hv.Hamming(v1, e.EncodeSample(s2))
+	if d < 500 {
+		t.Fatalf("distinct gestures' samples too close: δ=%d", d)
+	}
+	// Nearby samples encode close (level memory locality).
+	s3 := s1
+	s3[0] += 0.05
+	if hv.Hamming(v1, e.EncodeSample(s3)) >= d {
+		t.Fatal("small amplitude change moved the encoding more than a gesture change")
+	}
+}
+
+func TestEndToEndGestureRecognition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	gen := Generator{}
+	e := NewEncoder(hv.Dim, 8, 3, 7)
+	train := gen.Dataset(10, 32, rng)
+	test := gen.Dataset(6, 32, rng)
+	mem, err := e.Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Classes() != NumGestures {
+		t.Fatalf("%d classes", mem.Classes())
+	}
+	acc, confusion := e.Evaluate(assoc.NewExact(mem), test)
+	if acc < 0.9 {
+		t.Fatalf("exact-search gesture accuracy %.3f, want ≥ 0.9", acc)
+	}
+	total := 0
+	for _, row := range confusion {
+		for _, n := range row {
+			total += n
+		}
+	}
+	if total != len(test) {
+		t.Fatalf("confusion matrix sums to %d, want %d", total, len(test))
+	}
+}
+
+func TestGestureRecognitionOnAllHAMDesigns(t *testing.T) {
+	// The paper's premise: the same associative memory serves every HD
+	// application. Run the gesture workload through all three designs.
+	rng := rand.New(rand.NewPCG(5, 5))
+	gen := Generator{}
+	e := NewEncoder(hv.Dim, 8, 3, 9)
+	mem, err := e.Train(gen.Dataset(8, 32, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := gen.Dataset(4, 32, rng)
+
+	dh, err := dham.New(dham.Config{D: hv.Dim, C: NumGestures, SampledD: 9000}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := rham.New(rham.Config{D: hv.Dim, C: NumGestures, BlocksOff: 250, VOSBlocks: 1000}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ah, err := aham.New(aham.Config{D: hv.Dim, C: NumGestures}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []core.Searcher{dh, rh, ah} {
+		acc, _ := e.Evaluate(s, test)
+		if acc < 0.85 {
+			t.Errorf("%s gesture accuracy %.3f, want ≥ 0.85", s.Name(), acc)
+		}
+	}
+}
+
+func TestEncoderPanicsAndErrors(t *testing.T) {
+	e := NewEncoder(1000, 4, 3, 1)
+	rng := rand.New(rand.NewPCG(6, 6))
+	short := Generator{}.Generate(Rest, 2, rng)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("short window accepted")
+			}
+		}()
+		e.EncodeWindow(short)
+	}()
+	if _, err := e.Train(nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+	bad := []Window{{Samples: make([][Channels]float64, 8), Label: Gesture(99)}}
+	if _, err := e.Train(bad); err == nil {
+		t.Error("unknown label accepted")
+	}
+	onlyRest := []Window{Generator{}.Generate(Rest, 8, rng)}
+	if _, err := e.Train(onlyRest); err == nil {
+		t.Error("missing gesture classes accepted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad level count accepted")
+			}
+		}()
+		NewEncoder(1000, 1, 3, 1)
+	}()
+}

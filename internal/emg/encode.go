@@ -1,0 +1,125 @@
+package emg
+
+import (
+	"fmt"
+
+	"hdam/internal/core"
+	"hdam/internal/encoder"
+	"hdam/internal/hv"
+	"hdam/internal/itemmem"
+)
+
+// Encoder is the spatiotemporal EMG encoder of the cited case study:
+//
+//   - spatial: each sample becomes a record hypervector — for every
+//     channel, a fixed channel (role) hypervector is bound to the level
+//     hypervector of the quantized amplitude, and the bound pairs are
+//     bundled by majority;
+//   - temporal: n consecutive spatial records are bound into an
+//     order-sensitive n-gram via permutation, exactly like the letter
+//     trigrams of the language application;
+//   - a window is the majority bundle of all its temporal n-grams.
+type Encoder struct {
+	dim    int
+	levels *itemmem.LevelMemory
+	rec    *encoder.RecordEncoder
+	seq    *encoder.SequenceEncoder
+	seed   uint64
+
+	channelNames [Channels]string
+}
+
+// NewEncoder builds an EMG encoder with the given dimensionality,
+// amplitude quantization levels and temporal n-gram size.
+func NewEncoder(dim, levels, ngram int, seed uint64) *Encoder {
+	if levels < 2 {
+		panic(fmt.Sprintf("emg: %d quantization levels", levels))
+	}
+	e := &Encoder{
+		dim:    dim,
+		levels: itemmem.NewLevelMemory(dim, levels, seed^0x1e7e15),
+		rec:    encoder.NewRecordEncoder(dim, seed),
+		seq:    encoder.NewSequenceEncoder(dim, ngram),
+		seed:   seed,
+	}
+	for ch := 0; ch < Channels; ch++ {
+		e.channelNames[ch] = fmt.Sprintf("ch%d", ch)
+	}
+	return e
+}
+
+// Dim returns the hypervector dimensionality.
+func (e *Encoder) Dim() int { return e.dim }
+
+// EncodeSample builds the spatial record hypervector of one sample.
+func (e *Encoder) EncodeSample(sample [Channels]float64) *hv.Vector {
+	fields := make(map[string]*hv.Vector, Channels)
+	for ch := 0; ch < Channels; ch++ {
+		fields[e.channelNames[ch]] = e.levels.Quantize(sample[ch], 0, 1)
+	}
+	return e.rec.Encode(fields)
+}
+
+// EncodeWindow builds the window hypervector: the majority bundle of the
+// temporal n-grams over the window's spatial records.
+func (e *Encoder) EncodeWindow(w Window) *hv.Vector {
+	n := e.seq.N()
+	if len(w.Samples) < n {
+		panic(fmt.Sprintf("emg: window of %d samples shorter than n-gram %d", len(w.Samples), n))
+	}
+	records := make([]*hv.Vector, len(w.Samples))
+	for t, s := range w.Samples {
+		records[t] = e.EncodeSample(s)
+	}
+	acc := hv.NewAccumulator(e.dim, e.seed)
+	for t := 0; t+n <= len(records); t++ {
+		acc.Add(e.seq.Encode(records[t : t+n]))
+	}
+	return acc.Majority()
+}
+
+// Train bundles the window hypervectors of a labeled training set into one
+// prototype per gesture and returns the associative memory holding them.
+func (e *Encoder) Train(windows []Window) (*core.Memory, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("emg: empty training set")
+	}
+	accs := make([]*hv.Accumulator, NumGestures)
+	for i := range accs {
+		accs[i] = hv.NewAccumulator(e.dim, e.seed+uint64(i))
+	}
+	counts := make([]int, NumGestures)
+	for _, w := range windows {
+		if w.Label < 0 || int(w.Label) >= NumGestures {
+			return nil, fmt.Errorf("emg: window with unknown label %d", w.Label)
+		}
+		accs[w.Label].Add(e.EncodeWindow(w))
+		counts[w.Label]++
+	}
+	classes := make([]*hv.Vector, NumGestures)
+	for i, acc := range accs {
+		if counts[i] == 0 {
+			return nil, fmt.Errorf("emg: no training windows for gesture %s", Gesture(i))
+		}
+		classes[i] = acc.Majority()
+	}
+	return core.NewMemory(classes, GestureLabels())
+}
+
+// Evaluate classifies every window with the searcher and returns the
+// accuracy plus the confusion matrix.
+func (e *Encoder) Evaluate(s core.Searcher, windows []Window) (float64, [][]int) {
+	confusion := make([][]int, NumGestures)
+	for i := range confusion {
+		confusion[i] = make([]int, NumGestures)
+	}
+	correct := 0
+	for _, w := range windows {
+		got := s.Search(e.EncodeWindow(w)).Index
+		confusion[w.Label][got]++
+		if got == int(w.Label) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(windows)), confusion
+}

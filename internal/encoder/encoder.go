@@ -1,0 +1,119 @@
+// Package encoder implements the paper's text encoding module: it projects
+// a stream of letters onto a single hypervector by forming letter n-grams
+// with permutation and binding, then bundling all n-gram hypervectors with
+// component-wise majority (§II-A1).
+//
+// A trigram a-b-c is encoded as ρ(ρ(A) ⊕ B) ⊕ C = ρ²(A) ⊕ ρ(B) ⊕ C, where
+// ρ is a cyclic rotation by one and ⊕ is component-wise XOR. Because ρ
+// distributes over ⊕, the encoder slides over the text with one rotation
+// and two XORs per character instead of recomputing every n-gram.
+package encoder
+
+import (
+	"fmt"
+
+	"hdam/internal/hv"
+	"hdam/internal/itemmem"
+)
+
+// Encoder turns text into hypervectors using letter n-grams over an item
+// memory. The zero value is unusable; use New.
+type Encoder struct {
+	im  *itemmem.ItemMemory
+	n   int
+	dim int
+
+	// rotN caches ρⁿ(item) per symbol: the vector XOR-ed out when the oldest
+	// letter leaves the sliding window.
+	rotN map[rune]*hv.Vector
+}
+
+// New returns an n-gram encoder over the given item memory. The paper uses
+// n = 3 (trigrams) for language recognition.
+func New(im *itemmem.ItemMemory, n int) *Encoder {
+	if n < 1 {
+		panic(fmt.Sprintf("encoder: n-gram size %d < 1", n))
+	}
+	return &Encoder{im: im, n: n, dim: im.Dim(), rotN: make(map[rune]*hv.Vector)}
+}
+
+// N returns the n-gram order.
+func (e *Encoder) N() int { return e.n }
+
+// Dim returns the hypervector dimensionality.
+func (e *Encoder) Dim() int { return e.dim }
+
+// ItemMemory returns the underlying item memory.
+func (e *Encoder) ItemMemory() *itemmem.ItemMemory { return e.im }
+
+// rotatedN returns ρⁿ(item vector of r), memoized.
+func (e *Encoder) rotatedN(r rune) *hv.Vector {
+	if v, ok := e.rotN[r]; ok {
+		return v
+	}
+	v := e.im.Get(r)
+	for i := 0; i < e.n; i++ {
+		v = hv.Rotate1(v)
+	}
+	e.rotN[r] = v
+	return v
+}
+
+// NGram encodes a single n-gram directly from its definition:
+// ρ^{n-1}(g[0]) ⊕ ρ^{n-2}(g[1]) ⊕ … ⊕ g[n-1]. It exists as the reference
+// implementation that the sliding-window path is tested against.
+func (e *Encoder) NGram(gram []rune) *hv.Vector {
+	if len(gram) != e.n {
+		panic(fmt.Sprintf("encoder: gram length %d, want %d", len(gram), e.n))
+	}
+	acc := hv.New(e.dim)
+	for _, r := range gram {
+		acc = hv.Rotate1(acc)
+		hv.BindInto(acc, acc, e.im.Get(r))
+	}
+	return acc
+}
+
+// AccumulateText normalizes text, slides an n-gram window across it and adds
+// every n-gram hypervector into acc. Use it to build a class (language)
+// hypervector from many megabytes of training text, or a query hypervector
+// from one test sentence. It returns the number of n-grams added.
+func (e *Encoder) AccumulateText(acc *hv.Accumulator, text string) int {
+	if acc.Dim() != e.dim {
+		panic(fmt.Sprintf("encoder: accumulator dim %d, encoder dim %d", acc.Dim(), e.dim))
+	}
+	letters := Normalize(text)
+	if len(letters) < e.n {
+		return 0
+	}
+	// Build the first gram with the reference path.
+	gram := e.NGram(letters[:e.n])
+	acc.Add(gram)
+	count := 1
+	// Slide: G' = ρ(G) ⊕ ρⁿ(oldest) ⊕ newest.
+	cur := gram.Clone()
+	tmp := hv.New(e.dim)
+	for i := e.n; i < len(letters); i++ {
+		oldest := letters[i-e.n]
+		newest := letters[i]
+		hv.Rotate1Into(tmp, cur)
+		hv.BindInto(tmp, tmp, e.rotatedN(oldest))
+		hv.BindInto(tmp, tmp, e.im.Get(newest))
+		cur, tmp = tmp, cur
+		acc.Add(cur)
+		count++
+	}
+	return count
+}
+
+// EncodeText encodes one text sample into a single hypervector (the paper's
+// "text hypervector"): all n-gram hypervectors bundled by majority. seed
+// controls tie-breaking for even n-gram counts.
+func (e *Encoder) EncodeText(text string, seed uint64) (*hv.Vector, int) {
+	acc := hv.NewAccumulator(e.dim, seed)
+	n := e.AccumulateText(acc, text)
+	if n == 0 {
+		return hv.New(e.dim), 0
+	}
+	return acc.Majority(), n
+}

@@ -1,0 +1,173 @@
+package encoder
+
+import (
+	"strings"
+	"testing"
+
+	"hdam/internal/hv"
+	"hdam/internal/itemmem"
+)
+
+func newTestEncoder(dim, n int) *Encoder {
+	im := itemmem.New(dim, 1234)
+	im.Preload(itemmem.LatinAlphabet)
+	return New(im, n)
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"abc", "abc"},
+		{"AbC", "abc"},
+		{"a  b", "a b"},
+		{"  a b  ", "a b"},
+		{"a,b.c!", "a b c"},
+		{"a\nb\tc", "a b c"},
+		{"héllo", "h llo"},
+		{"123", ""},
+		{"", ""},
+		{"...", ""},
+	}
+	for _, c := range cases {
+		got := string(Normalize(c.in))
+		if got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNGramMatchesPaperFormula(t *testing.T) {
+	// ρ(ρ(A) ⊕ B) ⊕ C == ρ²(A) ⊕ ρ(B) ⊕ C (paper §II-A1).
+	e := newTestEncoder(1000, 3)
+	A := e.im.Get('a')
+	B := e.im.Get('b')
+	C := e.im.Get('c')
+	nested := hv.Bind(hv.Rotate1(hv.Bind(hv.Rotate1(A), B)), C)
+	flat := hv.Bind(hv.Bind(hv.Rotate1(hv.Rotate1(A)), hv.Rotate1(B)), C)
+	if !nested.Equal(flat) {
+		t.Fatal("the distributivity identity the encoding relies on fails")
+	}
+	if got := e.NGram([]rune("abc")); !got.Equal(nested) {
+		t.Fatal("NGram does not match the paper's trigram formula")
+	}
+}
+
+func TestNGramOrderSensitive(t *testing.T) {
+	// a-b-c must differ from a-c-b (sequence, not set; paper §II-A1).
+	e := newTestEncoder(hv.Dim, 3)
+	abc := e.NGram([]rune("abc"))
+	acb := e.NGram([]rune("acb"))
+	if d := hv.Hamming(abc, acb); d < 4700 {
+		t.Fatalf("δ(abc, acb) = %d, want ≈ 5000 (uncorrelated)", d)
+	}
+}
+
+func TestSlidingWindowMatchesReference(t *testing.T) {
+	// The incremental slide must produce exactly the same bundle as encoding
+	// every n-gram from scratch.
+	for _, n := range []int{1, 2, 3, 4, 5} {
+		e := newTestEncoder(512, n)
+		text := "the quick brown fox jumps over the lazy dog"
+		letters := Normalize(text)
+
+		want := hv.NewAccumulator(512, 7)
+		for i := 0; i+n <= len(letters); i++ {
+			want.Add(e.NGram(letters[i : i+n]))
+		}
+		got := hv.NewAccumulator(512, 7)
+		cnt := e.AccumulateText(got, text)
+		if cnt != len(letters)-n+1 {
+			t.Fatalf("n=%d: count %d, want %d", n, cnt, len(letters)-n+1)
+		}
+		if !got.Majority().Equal(want.Majority()) {
+			t.Fatalf("n=%d: sliding window disagrees with reference", n)
+		}
+	}
+}
+
+func TestAccumulateShortText(t *testing.T) {
+	e := newTestEncoder(256, 3)
+	acc := hv.NewAccumulator(256, 0)
+	if n := e.AccumulateText(acc, "ab"); n != 0 {
+		t.Fatalf("text shorter than n produced %d grams", n)
+	}
+	if n := e.AccumulateText(acc, ""); n != 0 {
+		t.Fatalf("empty text produced %d grams", n)
+	}
+	if n := e.AccumulateText(acc, "abc"); n != 1 {
+		t.Fatalf("3-letter text produced %d grams, want 1", n)
+	}
+}
+
+func TestEncodeTextDeterministic(t *testing.T) {
+	e := newTestEncoder(hv.Dim, 3)
+	v1, n1 := e.EncodeText("hello world", 1)
+	v2, n2 := e.EncodeText("hello world", 1)
+	if n1 != n2 || !v1.Equal(v2) {
+		t.Fatal("EncodeText is not deterministic")
+	}
+	empty, n := e.EncodeText("", 1)
+	if n != 0 || empty.Ones() != 0 {
+		t.Fatal("empty text should produce the zero vector")
+	}
+}
+
+func TestSimilarTextsCloserThanDissimilar(t *testing.T) {
+	// Texts sharing trigram statistics must be closer than unrelated texts —
+	// the property language identification rests on.
+	e := newTestEncoder(hv.Dim, 3)
+	a1, _ := e.EncodeText(strings.Repeat("the cat sat on the mat ", 20), 1)
+	a2, _ := e.EncodeText(strings.Repeat("the mat sat on the cat ", 20), 2)
+	b, _ := e.EncodeText(strings.Repeat("zyx wvu tsr qpo nml kji ", 20), 3)
+	dSame := hv.Hamming(a1, a2)
+	dDiff := hv.Hamming(a1, b)
+	if dSame >= dDiff {
+		t.Fatalf("related texts distance %d ≥ unrelated %d", dSame, dDiff)
+	}
+	if dDiff < 4500 {
+		t.Fatalf("unrelated texts distance %d, want near 5000", dDiff)
+	}
+}
+
+func TestNewPanicsOnBadN(t *testing.T) {
+	im := itemmem.New(100, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for n=0")
+		}
+	}()
+	New(im, 0)
+}
+
+func TestNGramWrongLengthPanics(t *testing.T) {
+	e := newTestEncoder(100, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for wrong gram length")
+		}
+	}()
+	e.NGram([]rune("ab"))
+}
+
+func TestAccumulatorDimMismatchPanics(t *testing.T) {
+	e := newTestEncoder(100, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for accumulator dim mismatch")
+		}
+	}()
+	e.AccumulateText(hv.NewAccumulator(101, 0), "abc")
+}
+
+func BenchmarkAccumulateText(b *testing.B) {
+	e := newTestEncoder(hv.Dim, 3)
+	text := strings.Repeat("the quick brown fox jumps over the lazy dog ", 100)
+	acc := hv.NewAccumulator(hv.Dim, 0)
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.AccumulateText(acc, text)
+	}
+}

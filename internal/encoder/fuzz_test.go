@@ -1,0 +1,72 @@
+package encoder
+
+import (
+	"testing"
+
+	"hdam/internal/itemmem"
+)
+
+// FuzzNormalize checks the normalizer's invariants on arbitrary input:
+// output stays inside the 27-symbol alphabet, never contains double
+// spaces, and never starts or ends with a space.
+func FuzzNormalize(f *testing.F) {
+	for _, seed := range []string{
+		"", "hello world", "ÜBER døden 123!?", "  a  b  ", "\x00\xff\xfe",
+		"ñandú çedilla ß", "a\tb\nc\rd", "ALLCAPS", "....", "日本語テキスト",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		out := Normalize(input)
+		for i, r := range out {
+			if !(r >= 'a' && r <= 'z') && r != ' ' {
+				t.Fatalf("rune %q escaped the alphabet", r)
+			}
+			if r == ' ' {
+				if i == 0 || i == len(out)-1 {
+					t.Fatal("leading or trailing space")
+				}
+				if out[i-1] == ' ' {
+					t.Fatal("double space")
+				}
+			}
+		}
+		// Idempotence: normalizing normalized text is identity.
+		again := Normalize(string(out))
+		if string(again) != string(out) {
+			t.Fatalf("normalize not idempotent: %q → %q", string(out), string(again))
+		}
+	})
+}
+
+// FuzzEncodeText checks the encoder never panics on arbitrary text and
+// produces dimension-correct vectors.
+func FuzzEncodeText(f *testing.F) {
+	f.Add("the quick brown fox", uint64(1))
+	f.Add("", uint64(2))
+	f.Add("ab", uint64(3))
+	f.Add("ÅÄÖ!!!", uint64(4))
+	im := itemmem.New(512, 99)
+	im.Preload(itemmem.LatinAlphabet)
+	enc := New(im, 3)
+	f.Fuzz(func(t *testing.T, text string, seed uint64) {
+		if len(text) > 4096 {
+			text = text[:4096]
+		}
+		v, n := enc.EncodeText(text, seed)
+		if v.Dim() != 512 {
+			t.Fatalf("dim %d", v.Dim())
+		}
+		if n < 0 {
+			t.Fatalf("negative gram count %d", n)
+		}
+		letters := Normalize(text)
+		wantGrams := len(letters) - 2
+		if wantGrams < 0 {
+			wantGrams = 0
+		}
+		if n != wantGrams {
+			t.Fatalf("gram count %d, want %d", n, wantGrams)
+		}
+	})
+}

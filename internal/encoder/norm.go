@@ -1,0 +1,34 @@
+package encoder
+
+import "unicode"
+
+// Normalize maps raw text onto the paper's 27-symbol alphabet: the 26
+// lower-case Latin letters and space. Upper-case letters fold to lower case;
+// every other rune (digits, punctuation, accented characters outside a–z,
+// newlines) becomes a space; runs of spaces collapse to a single space, and
+// leading/trailing spaces are dropped. The result is the letter stream the
+// n-gram window slides over.
+func Normalize(text string) []rune {
+	out := make([]rune, 0, len(text))
+	prevSpace := true // suppress leading spaces
+	for _, r := range text {
+		switch {
+		case r >= 'a' && r <= 'z':
+			out = append(out, r)
+			prevSpace = false
+		case r >= 'A' && r <= 'Z':
+			out = append(out, unicode.ToLower(r))
+			prevSpace = false
+		default:
+			if !prevSpace {
+				out = append(out, ' ')
+				prevSpace = true
+			}
+		}
+	}
+	// Drop a trailing space.
+	if n := len(out); n > 0 && out[n-1] == ' ' {
+		out = out[:n-1]
+	}
+	return out
+}

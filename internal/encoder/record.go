@@ -1,0 +1,141 @@
+package encoder
+
+import (
+	"fmt"
+	"sort"
+
+	"hdam/internal/hv"
+	"hdam/internal/itemmem"
+)
+
+// RecordEncoder encodes key→value records into single hypervectors using
+// the binding/bundling algebra of §II: each field is the XOR binding of a
+// role hypervector (the key) with a filler hypervector (the value), and the
+// record is the majority bundle of its bound fields. This is the
+// "variable-value association" use of binding the paper describes, and the
+// front end for the multi-sensor applications it cites (biosignals, sensor
+// fusion) — each sensor channel is a role, its quantized reading a filler.
+type RecordEncoder struct {
+	dim   int
+	seed  uint64
+	roles *itemmem.ItemMemory // role vectors, keyed by a rune-hash of the name
+	names map[string]rune     // stable name → role symbol mapping
+	next  rune
+}
+
+// NewRecordEncoder returns a record encoder with deterministic role
+// vectors: two encoders with the same seed assign identical role vectors
+// to identical field names, regardless of insertion order.
+func NewRecordEncoder(dim int, seed uint64) *RecordEncoder {
+	// The xor constant ("role" in ASCII) keeps role vectors disjoint from
+	// any letter item memory built with the same seed.
+	return &RecordEncoder{
+		dim:   dim,
+		seed:  seed,
+		roles: itemmem.New(dim, seed^0x726f6c65),
+		names: make(map[string]rune),
+	}
+}
+
+// Role returns the role hypervector for a field name. Role vectors are
+// derived from a hash of the name so they are stable across processes.
+func (re *RecordEncoder) Role(name string) *hv.Vector {
+	if name == "" {
+		panic("encoder: empty field name")
+	}
+	r, ok := re.names[name]
+	if !ok {
+		// Derive a stable symbol from the name via FNV-1a; collisions are
+		// resolved by probing (deterministic given insertion-independent
+		// hashing of the name alone).
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(name); i++ {
+			h ^= uint64(name[i])
+			h *= 1099511628211
+		}
+		r = rune(h & 0x7fffffff)
+		re.names[name] = r
+	}
+	return re.roles.Get(r)
+}
+
+// Dim returns the hypervector dimensionality.
+func (re *RecordEncoder) Dim() int { return re.dim }
+
+// Encode bundles the bound role⊕filler pairs of a record into one
+// hypervector. Fields are processed in sorted-name order so encoding is
+// deterministic; the bundle seed folds in the encoder seed.
+func (re *RecordEncoder) Encode(fields map[string]*hv.Vector) *hv.Vector {
+	if len(fields) == 0 {
+		panic("encoder: empty record")
+	}
+	names := make([]string, 0, len(fields))
+	for n, v := range fields {
+		if v == nil {
+			panic(fmt.Sprintf("encoder: nil filler for field %q", n))
+		}
+		if v.Dim() != re.dim {
+			panic(fmt.Sprintf("encoder: field %q has dim %d, want %d", n, v.Dim(), re.dim))
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	acc := hv.NewAccumulator(re.dim, re.seed)
+	for _, n := range names {
+		acc.Add(hv.Bind(re.Role(n), fields[n]))
+	}
+	return acc.Majority()
+}
+
+// Probe extracts the approximate filler of one field from an encoded
+// record: unbinding record ⊕ role yields a noisy version of the filler
+// (noise from the other bundled fields), which the caller cleans up
+// against an item or level memory. This is the HD "what is the value of
+// field X?" query.
+func (re *RecordEncoder) Probe(record *hv.Vector, name string) *hv.Vector {
+	if record.Dim() != re.dim {
+		panic(fmt.Sprintf("encoder: record dim %d, want %d", record.Dim(), re.dim))
+	}
+	return hv.Bind(record, re.Role(name))
+}
+
+// SequenceEncoder encodes a temporal window of hypervectors by permutation
+// and binding: the paper's n-gram construction generalized to arbitrary
+// token streams, ρ^{k-1}(v₁) ⊕ … ⊕ v_k. It is the temporal half of the
+// spatiotemporal encoders used by the biosignal applications the paper
+// cites [7].
+type SequenceEncoder struct {
+	dim int
+	n   int
+}
+
+// NewSequenceEncoder returns an encoder for windows of n ≥ 1 tokens.
+func NewSequenceEncoder(dim, n int) *SequenceEncoder {
+	if n < 1 {
+		panic(fmt.Sprintf("encoder: window size %d < 1", n))
+	}
+	if dim < 1 {
+		panic(fmt.Sprintf("encoder: dimension %d < 1", dim))
+	}
+	return &SequenceEncoder{dim: dim, n: n}
+}
+
+// N returns the window length.
+func (se *SequenceEncoder) N() int { return se.n }
+
+// Encode binds a window of exactly n token hypervectors into one
+// order-sensitive hypervector.
+func (se *SequenceEncoder) Encode(window []*hv.Vector) *hv.Vector {
+	if len(window) != se.n {
+		panic(fmt.Sprintf("encoder: window has %d tokens, want %d", len(window), se.n))
+	}
+	acc := hv.New(se.dim)
+	for _, v := range window {
+		if v.Dim() != se.dim {
+			panic(fmt.Sprintf("encoder: token dim %d, want %d", v.Dim(), se.dim))
+		}
+		acc = hv.Rotate1(acc)
+		hv.BindInto(acc, acc, v)
+	}
+	return acc
+}

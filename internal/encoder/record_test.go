@@ -1,0 +1,151 @@
+package encoder
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/hv"
+	"hdam/internal/itemmem"
+)
+
+func TestRecordRoleStability(t *testing.T) {
+	a := NewRecordEncoder(1000, 7)
+	b := NewRecordEncoder(1000, 7)
+	// Different request orders, same vectors.
+	ra1 := a.Role("pressure")
+	ra2 := a.Role("temperature")
+	rb2 := b.Role("temperature")
+	rb1 := b.Role("pressure")
+	if !ra1.Equal(rb1) || !ra2.Equal(rb2) {
+		t.Fatal("role vectors not stable across encoders")
+	}
+	// Distinct names → near-orthogonal roles.
+	if d := hv.Hamming(ra1, ra2); d < 380 {
+		t.Fatalf("roles too similar: δ=%d", d)
+	}
+	// Different seeds → different roles.
+	c := NewRecordEncoder(1000, 8)
+	if c.Role("pressure").Equal(ra1) {
+		t.Fatal("seed does not affect roles")
+	}
+}
+
+func TestRecordEncodeDeterministicAndOrderFree(t *testing.T) {
+	re := NewRecordEncoder(hv.Dim, 3)
+	rng := rand.New(rand.NewPCG(1, 1))
+	x := hv.Random(hv.Dim, rng)
+	y := hv.Random(hv.Dim, rng)
+	r1 := re.Encode(map[string]*hv.Vector{"a": x, "b": y})
+	r2 := re.Encode(map[string]*hv.Vector{"b": y, "a": x})
+	if !r1.Equal(r2) {
+		t.Fatal("record encoding depends on map order")
+	}
+}
+
+func TestRecordProbeRecoversFiller(t *testing.T) {
+	// Build fillers from a level memory, encode a 3-field record, probe a
+	// field and clean up: the recovered level must be the stored one.
+	re := NewRecordEncoder(hv.Dim, 9)
+	lm := itemmem.NewLevelMemory(hv.Dim, 8, 5)
+	fields := map[string]*hv.Vector{
+		"ch1": lm.Get(2),
+		"ch2": lm.Get(6),
+		"ch3": lm.Get(0),
+	}
+	record := re.Encode(fields)
+	for name, want := range fields {
+		noisy := re.Probe(record, name)
+		// Cleanup against the level memory.
+		best, bestD := -1, hv.Dim+1
+		for l := 0; l < lm.Levels(); l++ {
+			if d := hv.Hamming(noisy, lm.Get(l)); d < bestD {
+				best, bestD = l, d
+			}
+		}
+		if !lm.Get(best).Equal(want) {
+			t.Fatalf("field %q: probe recovered level %d, want the stored level", name, best)
+		}
+	}
+}
+
+func TestRecordProbeWrongRoleIsNoise(t *testing.T) {
+	re := NewRecordEncoder(hv.Dim, 11)
+	rng := rand.New(rand.NewPCG(2, 2))
+	x := hv.Random(hv.Dim, rng)
+	record := re.Encode(map[string]*hv.Vector{"a": x, "b": hv.Random(hv.Dim, rng), "c": hv.Random(hv.Dim, rng)})
+	probe := re.Probe(record, "unrelated-field")
+	if d := hv.Hamming(probe, x); d < 4500 {
+		t.Fatalf("probing an absent field looked meaningful: δ=%d", d)
+	}
+}
+
+func TestRecordPanics(t *testing.T) {
+	re := NewRecordEncoder(100, 1)
+	rng := rand.New(rand.NewPCG(3, 3))
+	for _, f := range []func(){
+		func() { re.Encode(nil) },
+		func() { re.Encode(map[string]*hv.Vector{"a": nil}) },
+		func() { re.Encode(map[string]*hv.Vector{"a": hv.Random(99, rng)}) },
+		func() { re.Role("") },
+		func() { re.Probe(hv.Random(99, rng), "a") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSequenceEncoderOrderSensitive(t *testing.T) {
+	se := NewSequenceEncoder(hv.Dim, 3)
+	rng := rand.New(rand.NewPCG(4, 4))
+	a, b, c := hv.Random(hv.Dim, rng), hv.Random(hv.Dim, rng), hv.Random(hv.Dim, rng)
+	abc := se.Encode([]*hv.Vector{a, b, c})
+	acb := se.Encode([]*hv.Vector{a, c, b})
+	if abc.Equal(acb) {
+		t.Fatal("sequence encoding is order-insensitive")
+	}
+	if d := hv.Hamming(abc, acb); d < 4500 {
+		t.Fatalf("permuted sequences too similar: δ=%d", d)
+	}
+	// Deterministic.
+	if !se.Encode([]*hv.Vector{a, b, c}).Equal(abc) {
+		t.Fatal("sequence encoding not deterministic")
+	}
+}
+
+func TestSequenceEncoderMatchesNGram(t *testing.T) {
+	// With letter vectors as tokens, SequenceEncoder must agree with the
+	// trigram path of the text encoder.
+	im := itemmem.New(hv.Dim, 1234)
+	im.Preload(itemmem.LatinAlphabet)
+	e := New(im, 3)
+	se := NewSequenceEncoder(hv.Dim, 3)
+	got := se.Encode([]*hv.Vector{im.Get('a'), im.Get('b'), im.Get('c')})
+	want := e.NGram([]rune("abc"))
+	if !got.Equal(want) {
+		t.Fatal("sequence encoder disagrees with the trigram encoder")
+	}
+}
+
+func TestSequenceEncoderPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSequenceEncoder(100, 0) },
+		func() { NewSequenceEncoder(0, 3) },
+		func() { NewSequenceEncoder(100, 2).Encode([]*hv.Vector{hv.New(100)}) },
+		func() { NewSequenceEncoder(100, 1).Encode([]*hv.Vector{hv.New(99)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

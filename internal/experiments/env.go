@@ -1,0 +1,124 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation section (§IV). Each driver returns report tables whose
+// rows/series correspond to what the paper plots; EXPERIMENTS.md records the
+// measured values against the paper's. The drivers share an Env that lazily
+// trains the language-recognition pipeline once per dimensionality and
+// caches the resulting memory, test set and distance matrix.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"hdam/internal/core"
+	"hdam/internal/lang"
+	"hdam/internal/textgen"
+)
+
+// Scale sets how big the data-dependent experiments run. Full matches the
+// paper's protocol; Quick is for tests and iterative development.
+type Scale struct {
+	// TrainChars is the training-corpus size per language.
+	TrainChars int
+	// TestPerLang is the number of test sentences per language.
+	TestPerLang int
+	// MCRuns is the Monte-Carlo sample count for variation studies.
+	MCRuns int
+}
+
+// FullScale reproduces the paper's protocol: ~1 MB training text per
+// language, 1,000 test sentences per language (21,000 total), 5,000
+// Monte-Carlo samples.
+func FullScale() Scale { return Scale{TrainChars: 1_000_000, TestPerLang: 1000, MCRuns: 5000} }
+
+// QuickScale is a reduced protocol for tests and smoke runs.
+func QuickScale() Scale { return Scale{TrainChars: 60_000, TestPerLang: 25, MCRuns: 500} }
+
+// Env caches trained pipelines per dimensionality so a full experiment run
+// trains each configuration exactly once.
+type Env struct {
+	Scale Scale
+	Seed  uint64
+
+	mu      sync.Mutex
+	langs   []*textgen.Language
+	bundles map[int]*Bundle
+}
+
+// NewEnv creates an experiment environment.
+func NewEnv(scale Scale, seed uint64) *Env {
+	return &Env{Scale: scale, Seed: seed, bundles: make(map[int]*Bundle)}
+}
+
+// Bundle is everything the accuracy experiments need at one dimensionality.
+type Bundle struct {
+	Trained *lang.Trained
+	TestSet *lang.TestSet
+	// Distances[i][j] is the exact Hamming distance from query i to class j.
+	Distances [][]int
+}
+
+// Languages returns the 21-language catalog (built once).
+func (e *Env) Languages() []*textgen.Language {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.langs == nil {
+		cfg := textgen.DefaultConfig()
+		cfg.Seed = e.Seed
+		e.langs = textgen.Catalog(cfg)
+	}
+	return e.langs
+}
+
+// Bundle returns the trained pipeline at dimensionality dim, training and
+// encoding on first use.
+func (e *Env) Bundle(dim int) (*Bundle, error) {
+	e.mu.Lock()
+	if b, ok := e.bundles[dim]; ok {
+		e.mu.Unlock()
+		return b, nil
+	}
+	e.mu.Unlock()
+
+	langs := e.Languages()
+	p := lang.DefaultParams()
+	p.Dim = dim
+	p.Seed = e.Seed
+	p.TrainChars = e.Scale.TrainChars
+	p.TestPerLang = e.Scale.TestPerLang
+	tr, err := lang.Train(langs, p)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training at D=%d: %w", dim, err)
+	}
+	ts := lang.MakeTestSet(langs, p)
+	ts.Encode(tr)
+	b := &Bundle{Trained: tr, TestSet: ts, Distances: ts.DistanceMatrix(tr.Memory)}
+
+	e.mu.Lock()
+	e.bundles[dim] = b
+	e.mu.Unlock()
+	return b, nil
+}
+
+// Memory is shorthand for the trained memory at dim.
+func (e *Env) Memory(dim int) (*core.Memory, error) {
+	b, err := e.Bundle(dim)
+	if err != nil {
+		return nil, err
+	}
+	return b.Trained.Memory, nil
+}
+
+// accuracyFromWinners scores winners against the bundle's labels.
+func (b *Bundle) accuracyFromWinners(winners []int) float64 {
+	return lang.EvaluateWinners(winners, b.Trained.Memory, b.TestSet).Accuracy()
+}
+
+// Dims is the dimensionality sweep of Table III and Fig. 9.
+var Dims = []int{256, 512, 1000, 2000, 4000, 10000}
+
+// FigDims is the dimensionality sweep used for the cost figures (Fig. 9).
+var FigDims = []int{512, 1000, 2000, 4000, 10000}
+
+// ClassCounts is the class sweep of Fig. 10.
+var ClassCounts = []int{6, 12, 25, 50, 100}

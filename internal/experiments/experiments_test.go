@@ -1,0 +1,434 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the data-dependent experiment tests fast on one core.
+func tinyScale() Scale { return Scale{TrainChars: 20_000, TestPerLang: 6, MCRuns: 200} }
+
+func tinyEnv() *Env { return NewEnv(tinyScale(), 2017) }
+
+func TestRegistryComplete(t *testing.T) {
+	// Every experiment in the DESIGN.md index must be registered and appear
+	// in the run order exactly once.
+	want := []string{
+		"ablate-blocksize", "ablate-errormodel", "ablate-stages",
+		"fig1", "fig10", "fig11", "fig12", "fig13", "fig4", "fig5", "fig7", "fig9",
+		"standby", "table1", "table2", "table3",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d ids: %v", len(got), got)
+	}
+	for i, id := range want {
+		if got[i] != id {
+			t.Fatalf("ids[%d] = %q, want %q", i, got[i], id)
+		}
+	}
+	seen := map[string]bool{}
+	for _, id := range RunOrder {
+		if seen[id] {
+			t.Fatalf("duplicate %q in run order", id)
+		}
+		seen[id] = true
+		if _, ok := registry[id]; !ok {
+			t.Fatalf("run order id %q not registered", id)
+		}
+	}
+	if len(RunOrder) != len(registry) {
+		t.Fatal("run order misses experiments")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", tinyEnv()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestModelOnlyExperiments(t *testing.T) {
+	// Experiments that need no training must run instantly and render.
+	env := tinyEnv()
+	for _, id := range []string{"table1", "table2", "fig4", "fig5", "fig9", "fig10", "fig11", "fig12"} {
+		tables, err := Run(id, env)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", id)
+		}
+		var sb strings.Builder
+		for _, tb := range tables {
+			if err := tb.Render(&sb); err != nil {
+				t.Fatalf("%s render: %v", id, err)
+			}
+		}
+		if sb.Len() == 0 {
+			t.Fatalf("%s rendered empty", id)
+		}
+	}
+}
+
+func TestFig1CurveShape(t *testing.T) {
+	env := tinyEnv()
+	points, err := Fig1(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Fig1Errors) {
+		t.Fatalf("%d points", len(points))
+	}
+	// Plateau: no significant loss up to 1,000 error bits.
+	base := points[0].Accuracy
+	if base < 0.90 {
+		t.Fatalf("baseline accuracy %.3f too low even at tiny scale", base)
+	}
+	at1000 := accuracyAt(points, 1000)
+	if base-at1000 > 0.05 {
+		t.Fatalf("accuracy fell %.3f→%.3f already at 1,000 error bits", base, at1000)
+	}
+	// Cliff: 4,500 bits must collapse the accuracy.
+	at4500 := accuracyAt(points, 4500)
+	if at4500 > base-0.25 {
+		t.Fatalf("no cliff: %.3f at 4,500 error bits (base %.3f)", at4500, base)
+	}
+}
+
+func accuracyAt(points []Fig1Point, e int) float64 {
+	for _, p := range points {
+		if p.ErrorBits == e {
+			return p.Accuracy
+		}
+	}
+	return -1
+}
+
+func TestFig7Shape(t *testing.T) {
+	points := Fig7()
+	if len(points) != len(Dims) {
+		t.Fatalf("%d points", len(points))
+	}
+	last := points[len(points)-1]
+	if last.D != 10000 || last.SingleStage < 38 || last.SingleStage > 48 {
+		t.Fatalf("single-stage at D=10,000: %d, want ≈43", last.SingleStage)
+	}
+	if last.MultiStage < 13 || last.MultiStage > 16 {
+		t.Fatalf("multistage at D=10,000: %d, want ≈14", last.MultiStage)
+	}
+	if points[0].SingleStage != 1 {
+		t.Fatalf("single-stage at D=256: %d, want 1", points[0].SingleStage)
+	}
+}
+
+func TestFig11Anchors(t *testing.T) {
+	points, err := Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at1000, at3000 *Fig11Point
+	for i := range points {
+		switch points[i].ErrorBits {
+		case 1000:
+			at1000 = &points[i]
+		case 3000:
+			at3000 = &points[i]
+		}
+	}
+	if at1000 == nil || at3000 == nil {
+		t.Fatal("missing anchor budgets")
+	}
+	// R-HAM ≈ 1/7.3 and A-HAM ≈ 1/746 at the max-accuracy budget.
+	if inv := 1 / at1000.RHAMRel; inv < 5 || inv > 11 {
+		t.Errorf("R-HAM gain at 1,000 bits: %.1f×, want ≈7.3×", inv)
+	}
+	if inv := 1 / at1000.AHAMRel; inv < 450 || inv > 1200 {
+		t.Errorf("A-HAM gain at 1,000 bits: %.0f×, want ≈746×", inv)
+	}
+	// Moderate budget gains exceed the max-accuracy gains.
+	if at3000.RHAMRel >= at1000.RHAMRel {
+		t.Error("R-HAM relative EDP did not improve toward the moderate budget")
+	}
+	if at3000.AHAMRel >= at1000.AHAMRel {
+		t.Error("A-HAM relative EDP did not improve toward the moderate budget")
+	}
+	if inv := 1 / at3000.AHAMRel; inv < 700 || inv > 2400 {
+		t.Errorf("A-HAM gain at 3,000 bits: %.0f×, want ≈1347×", inv)
+	}
+	if at1000.AHAMBits != 14 || at3000.AHAMBits != 11 {
+		t.Errorf("LTA bits at budgets: %d/%d, want 14/11", at1000.AHAMBits, at3000.AHAMBits)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	points, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		if p.VOSSave < p.SamplingSave-1e-9 {
+			t.Errorf("budget %d: VOS saving %.3f below sampling %.3f", p.ErrorBits, p.VOSSave, p.SamplingSave)
+		}
+		if i > 0 {
+			if p.SamplingSave < points[i-1].SamplingSave || p.VOSSave < points[i-1].VOSSave {
+				t.Errorf("savings not monotone at budget %d", p.ErrorBits)
+			}
+		}
+	}
+}
+
+func TestFig9Fig10Monotone(t *testing.T) {
+	p9, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(p9); i++ {
+		for k := range p9[i].Costs {
+			if p9[i].Costs[k].Cost.Energy <= p9[i-1].Costs[k].Cost.Energy {
+				t.Errorf("Fig9 %s energy not increasing at D=%d", p9[i].Costs[k].Design, p9[i].X)
+			}
+		}
+	}
+	p10, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(p10); i++ {
+		for k := range p10[i].Costs {
+			if p10[i].Costs[k].Cost.Energy <= p10[i-1].Costs[k].Cost.Energy {
+				t.Errorf("Fig10 %s energy not increasing at C=%d", p10[i].Costs[k].Design, p10[i].X)
+			}
+		}
+	}
+	// Ordering at the reference point: A-HAM cheapest, D-HAM most expensive.
+	ref := p10[len(p10)-1]
+	if !(ref.Costs[2].Cost.EDP() < ref.Costs[1].Cost.EDP() && ref.Costs[1].Cost.EDP() < ref.Costs[0].Cost.EDP()) {
+		t.Error("EDP ordering A < R < D violated at D=10,000, C=100")
+	}
+}
+
+func TestFig4Variants(t *testing.T) {
+	vs := Fig4()
+	if len(vs) != 3 {
+		t.Fatalf("%d variants", len(vs))
+	}
+	// Relative consecutive gap (T(m)−T(m+1))/T(m): the sense margin a
+	// staggered amplifier has to tell m from m+1 apart.
+	relGap := func(v Fig4Variant, i int) float64 {
+		return (v.CrossTimes[i] - v.CrossTimes[i+1]) / v.CrossTimes[i]
+	}
+	// (a) saturates: by distance 5→6 the conventional CAM's margin is
+	// nearly gone (the Fig. 4(a) limitation).
+	a := vs[0]
+	if g := relGap(a, 5); g > 0.05 {
+		t.Errorf("conventional CAM margin at 5→6 is %.3f, want < 0.05 (saturated)", g)
+	}
+	// (b) the 4-bit high-R_ON block keeps a usable margin at its deepest
+	// distance.
+	b := vs[1]
+	if g := relGap(b, 3); g < 0.15 {
+		t.Errorf("4-bit block margin at 3→4 is %.3f, want ≥ 0.15", g)
+	}
+	// The block's worst margin beats the conventional CAM's.
+	if relGap(b, 3) <= relGap(a, 5) {
+		t.Error("4-bit block not more distinguishable than saturated conventional CAM")
+	}
+	// (c) is the same block voltage-overscaled.
+	if vs[2].Line.VDD != 0.78 {
+		t.Errorf("VOS variant VDD %.2f, want 0.78", vs[2].Line.VDD)
+	}
+}
+
+func TestTable3QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains six models")
+	}
+	env := tinyEnv()
+	rows, err := Table3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Dims) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Monotone-ish rise: the D=10,000 accuracy must clearly beat D=256.
+	if rows[len(rows)-1].DigitalAccuracy < rows[0].DigitalAccuracy+0.2 {
+		t.Errorf("accuracy did not rise with D: %.3f → %.3f",
+			rows[0].DigitalAccuracy, rows[len(rows)-1].DigitalAccuracy)
+	}
+	for _, r := range rows {
+		if r.AnalogAccuracy < r.DigitalAccuracy-0.05 {
+			t.Errorf("D=%d: A-HAM accuracy %.3f far below digital %.3f", r.D, r.AnalogAccuracy, r.DigitalAccuracy)
+		}
+	}
+}
+
+func TestFig13QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model and runs Monte Carlo")
+	}
+	env := tinyEnv()
+	corners, err := Fig13(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corners) != len(Fig13Process)*len(Fig13Supply) {
+		t.Fatalf("%d corners", len(corners))
+	}
+	// Within one supply level, min detectable distance grows with process
+	// variation; accuracy must not grow.
+	for s := 0; s < len(Fig13Supply); s++ {
+		base := corners[s*len(Fig13Process)]
+		worst := corners[s*len(Fig13Process)+len(Fig13Process)-1]
+		if worst.MinDetect <= base.MinDetect {
+			t.Errorf("supply %d: Δ did not grow with process variation", s)
+		}
+		if worst.Accuracy > base.Accuracy+0.01 {
+			t.Errorf("supply %d: accuracy grew under variation", s)
+		}
+	}
+	// Worst corner clearly degrades accuracy relative to nominal.
+	nominal := corners[0]
+	worst := corners[len(corners)-1]
+	if nominal.Accuracy-worst.Accuracy < 0.02 {
+		t.Errorf("worst corner accuracy %.3f not clearly below nominal %.3f", worst.Accuracy, nominal.Accuracy)
+	}
+}
+
+func TestAblateBlockSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	env := tinyEnv()
+	rows, err := AblateBlockSize(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0].BlockBits != 4 {
+		t.Fatalf("rows wrong: %+v", rows)
+	}
+	// 4-bit blocks are lossless; wider blocks lose distance monotonically.
+	if rows[0].Underestimate != 0 {
+		t.Errorf("4-bit blocks lost %.4f of the distance, want 0", rows[0].Underestimate)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Underestimate <= rows[i-1].Underestimate {
+			t.Errorf("saturation loss not increasing at width %d", rows[i].BlockBits)
+		}
+	}
+	// The widest blocks must visibly lose distance information.
+	if rows[len(rows)-1].Underestimate < 0.3 {
+		t.Errorf("64-bit blocks lost only %.3f of the distance", rows[len(rows)-1].Underestimate)
+	}
+	// And accuracy at 4 bits is at least as good as at 64 bits.
+	if rows[0].Accuracy < rows[len(rows)-1].Accuracy-1e-9 {
+		t.Errorf("4-bit accuracy %.3f below 64-bit %.3f", rows[0].Accuracy, rows[len(rows)-1].Accuracy)
+	}
+}
+
+func TestAblateErrorModel(t *testing.T) {
+	rows, err := AblateErrorModel(tinyEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	find := func(sep, e int) ErrorModelRow {
+		for _, r := range rows {
+			if r.Separation == sep && r.ErrorBits == e {
+				return r
+			}
+		}
+		t.Fatalf("missing row sep=%d e=%d", sep, e)
+		return ErrorModelRow{}
+	}
+	// Paper regime (closely-spaced classes): independent errors destroy,
+	// common-mode faults stay comparatively benign.
+	tight := find(300, 2000)
+	if tight.IndependentAcc > 0.4 {
+		t.Errorf("sep=300 e=2000: independent accuracy %.3f, expected collapse", tight.IndependentAcc)
+	}
+	if tight.CommonModeAcc < tight.IndependentAcc+0.3 {
+		t.Errorf("sep=300 e=2000: common-mode %.3f not clearly above independent %.3f",
+			tight.CommonModeAcc, tight.IndependentAcc)
+	}
+	// Near-orthogonal classes: both regimes survive moderate error.
+	wide := find(5000, 2000)
+	if wide.IndependentAcc < 0.95 || wide.CommonModeAcc < 0.95 {
+		t.Errorf("sep=5000 e=2000: accuracies %.3f/%.3f, expected both high",
+			wide.IndependentAcc, wide.CommonModeAcc)
+	}
+	// At e=0 the two regimes are identical (no noise) and near-perfect;
+	// the tightest separation admits rare baseline misses from the query
+	// construction itself.
+	for _, sep := range []int{300, 1000, 5000} {
+		z := find(sep, 0)
+		if z.IndependentAcc != z.CommonModeAcc {
+			t.Errorf("sep=%d e=0: regimes differ with no noise: %.3f vs %.3f", sep, z.IndependentAcc, z.CommonModeAcc)
+		}
+		if z.IndependentAcc < 0.98 {
+			t.Errorf("sep=%d e=0: baseline accuracy %.3f too low", sep, z.IndependentAcc)
+		}
+	}
+}
+
+func TestAblateStagesShape(t *testing.T) {
+	rows := AblateStages()
+	if len(rows) < 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Find the minimum; it must not sit at either extreme (droop dominates
+	// the single-stage end, mirror error the many-stage end).
+	bestIdx := 0
+	for i, r := range rows {
+		if r.MinDetect < rows[bestIdx].MinDetect {
+			bestIdx = i
+		}
+	}
+	if bestIdx == 0 || bestIdx == len(rows)-1 {
+		t.Fatalf("stage optimum at extreme index %d (stages=%d)", bestIdx, rows[bestIdx].Stages)
+	}
+	// The operationally relevant claim: the paper's 14-stage point resolves
+	// below the 22-bit misclassification border it reports, while the
+	// single-stage design does not.
+	var at14, at1 *StageRow
+	for i := range rows {
+		if rows[i].Stages == 14 {
+			at14 = &rows[i]
+		}
+		if rows[i].Stages == 1 {
+			at1 = &rows[i]
+		}
+	}
+	if at14 == nil || at1 == nil {
+		t.Fatal("sweep misses the 1- and 14-stage points")
+	}
+	if at14.MinDetect > 22 {
+		t.Errorf("14 stages resolve %d bits, above the paper's 22-bit border", at14.MinDetect)
+	}
+	if at1.MinDetect <= 22 {
+		t.Errorf("single stage resolves %d bits, unexpectedly below the border", at1.MinDetect)
+	}
+}
+
+func TestStandbyExperiment(t *testing.T) {
+	rows, err := Standby()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	dTotal := rows[0].Array + rows[0].Peripheral
+	rTotal := rows[1].Array + rows[1].Peripheral
+	aTotal := rows[2].Array + rows[2].Peripheral
+	if !(aTotal < rTotal && rTotal < dTotal) {
+		t.Fatalf("standby ordering broken: %v %v %v", dTotal, rTotal, aTotal)
+	}
+	var sb strings.Builder
+	if err := StandbyTable(rows).Render(&sb); err != nil || sb.Len() == 0 {
+		t.Fatal("standby table render failed")
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"hdam/internal/aham"
+	"hdam/internal/circuit"
+	"hdam/internal/dham"
+	"hdam/internal/report"
+	"hdam/internal/rham"
+)
+
+// Fig12Row is one design's area breakdown at D = 10,000, C = 100.
+type Fig12Row struct {
+	Design     string
+	Total      circuit.Area
+	Components []circuit.Component
+}
+
+// Fig12 reproduces Fig. 12: the area comparison of the three designs at
+// D = 10,000, C = 100, with per-module breakdowns.
+func Fig12() ([]Fig12Row, error) {
+	dc, err := (dham.Config{D: 10000, C: 100}).Cost()
+	if err != nil {
+		return nil, err
+	}
+	rc, err := (rham.Config{D: 10000, C: 100}).Cost()
+	if err != nil {
+		return nil, err
+	}
+	ac, err := (aham.Config{D: 10000, C: 100}).Cost()
+	if err != nil {
+		return nil, err
+	}
+	return []Fig12Row{
+		{Design: "D-HAM", Total: dc.Area, Components: dc.Breakdown},
+		{Design: "R-HAM", Total: rc.Area, Components: rc.Breakdown},
+		{Design: "A-HAM", Total: ac.Area, Components: ac.Breakdown},
+	}, nil
+}
+
+// Fig12Table renders the Fig. 12 reproduction.
+func Fig12Table(rows []Fig12Row) *report.Table {
+	t := report.NewTable("Fig. 12 — area comparison (D=10,000, C=100)",
+		"design", "module", "area", "share")
+	for _, r := range rows {
+		for _, comp := range r.Components {
+			t.AddRow(r.Design, comp.Name, comp.Area.String(),
+				report.Pct(float64(comp.Area)/float64(r.Total)))
+		}
+		t.AddRow(r.Design, "TOTAL", r.Total.String(), "100.0%")
+	}
+	if len(rows) == 3 {
+		dh, ah := float64(rows[0].Total), float64(rows[2].Total)
+		rh := float64(rows[1].Total)
+		t.AddNote("R-HAM %.2f× and A-HAM %.2f× smaller than D-HAM (paper: 1.4× and 3×)", dh/rh, dh/ah)
+	}
+	t.AddNote("paper: A-HAM's LTA blocks occupy 69%% of its area")
+	return t
+}

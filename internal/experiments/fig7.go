@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"hdam/internal/analog"
+	"hdam/internal/report"
+)
+
+// Fig7Point is one dimensionality of the Fig. 7 resolution study.
+type Fig7Point struct {
+	D int
+	// SingleStage is the minimum detectable distance of a single-stage
+	// design with a 10-bit LTA.
+	SingleStage int
+	// MultiStage is the minimum detectable distance with the paper's
+	// multistage configuration (≈700 cells per stage) and matched LTA bits.
+	MultiStage int
+	// Stages and Bits describe that multistage configuration (the paper's
+	// top X-axis annotations).
+	Stages int
+	Bits   int
+}
+
+// Fig7 reproduces Fig. 7: the minimum Hamming distance A-HAM's LTA can
+// detect as dimensionality grows, for the single-stage design and the
+// multistage design, at the nominal variation corner.
+func Fig7() []Fig7Point {
+	var points []Fig7Point
+	for _, d := range Dims {
+		single := analog.LTA{Bits: 10, Stages: 1}
+		stages := analog.StagesFor(d)
+		bits := analog.BitsFor(d)
+		multi := analog.LTA{Bits: bits, Stages: stages}
+		points = append(points, Fig7Point{
+			D:           d,
+			SingleStage: single.MinDetectable(d, analog.Variation{}),
+			MultiStage:  multi.MinDetectable(d, analog.Variation{}),
+			Stages:      stages,
+			Bits:        bits,
+		})
+	}
+	return points
+}
+
+// Fig7Table renders the Fig. 7 reproduction. border is the misclassification
+// border: the minimum pairwise distance among learned class hypervectors
+// (the paper reports 22 for its Europarl-trained languages); pass 0 to omit.
+func Fig7Table(points []Fig7Point, border int) *report.Table {
+	t := report.NewTable("Fig. 7 — minimum detectable Hamming distance in A-HAM",
+		"D", "single-stage (10-bit)", "multistage", "stages", "LTA bits")
+	for _, p := range points {
+		t.AddRow(
+			report.F(float64(p.D), 0),
+			report.F(float64(p.SingleStage), 0),
+			report.F(float64(p.MultiStage), 0),
+			report.F(float64(p.Stages), 0),
+			report.F(float64(p.Bits), 0),
+		)
+	}
+	t.AddNote("paper: single-stage resolution 1 bit up to D=512, 43 bits at D=10,000; 14 stages × 14 bits recover 14 bits")
+	if border > 0 {
+		t.AddNote("misclassification border (min distance between learned class hypervectors): %d bits — paper reports 22", border)
+	}
+	return t
+}

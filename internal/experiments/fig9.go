@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hdam/internal/aham"
+	"hdam/internal/circuit"
+	"hdam/internal/dham"
+	"hdam/internal/report"
+	"hdam/internal/rham"
+)
+
+// DesignCost is the (energy, delay, EDP) triple of one design at one
+// configuration.
+type DesignCost struct {
+	Design string
+	Cost   circuit.Cost
+}
+
+// SweepPoint is one x-value of a cost sweep with the three designs' costs.
+type SweepPoint struct {
+	X     int // D for Fig. 9, C for Fig. 10
+	Costs [3]DesignCost
+}
+
+// costsAt evaluates all three designs at a configuration with no accuracy
+// approximations (the Fig. 9/10 regime: "there is no approximation and each
+// dimension results in its maximum accuracy").
+func costsAt(d, c int) (costs [3]DesignCost, err error) {
+	dc, err := (dham.Config{D: d, C: c}).Cost()
+	if err != nil {
+		return costs, fmt.Errorf("dham at D=%d C=%d: %w", d, c, err)
+	}
+	rc, err := (rham.Config{D: d, C: c}).Cost()
+	if err != nil {
+		return costs, fmt.Errorf("rham at D=%d C=%d: %w", d, c, err)
+	}
+	ac, err := (aham.Config{D: d, C: c}).Cost()
+	if err != nil {
+		return costs, fmt.Errorf("aham at D=%d C=%d: %w", d, c, err)
+	}
+	costs[0] = DesignCost{"D-HAM", dc}
+	costs[1] = DesignCost{"R-HAM", rc}
+	costs[2] = DesignCost{"A-HAM", ac}
+	return costs, nil
+}
+
+// Fig9 reproduces Fig. 9: energy, search delay and EDP of the three designs
+// as D scales from 512 to 10,000 at C = 21.
+func Fig9() ([]SweepPoint, error) {
+	var points []SweepPoint
+	for _, d := range FigDims {
+		costs, err := costsAt(d, 21)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{X: d, Costs: costs})
+	}
+	return points, nil
+}
+
+// Fig10 reproduces Fig. 10: the same three metrics as C scales from 6 to
+// 100 at D = 10,000. (The paper fills the memory with random balanced
+// hypervectors for each C; costs depend only on the configuration.)
+func Fig10() ([]SweepPoint, error) {
+	var points []SweepPoint
+	for _, c := range ClassCounts {
+		costs, err := costsAt(10000, c)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{X: c, Costs: costs})
+	}
+	return points, nil
+}
+
+// SweepTable renders a Fig. 9/10 sweep.
+func SweepTable(title, xName string, points []SweepPoint) *report.Table {
+	t := report.NewTable(title,
+		xName, "design", "energy (pJ)", "delay (ns)", "EDP (pJ·ns)")
+	for _, p := range points {
+		for _, dc := range p.Costs {
+			t.AddRow(
+				report.F(float64(p.X), 0),
+				dc.Design,
+				report.F(float64(dc.Cost.Energy), 1),
+				report.F(float64(dc.Cost.Delay), 2),
+				report.F(float64(dc.Cost.EDP()), 1),
+			)
+		}
+	}
+	return t
+}
+
+// Fig9Table renders the Fig. 9 reproduction.
+func Fig9Table(points []SweepPoint) *report.Table {
+	t := SweepTable("Fig. 9 — scaling D at C=21 (no approximation)", "D", points)
+	t.AddNote("paper scaling 512→10,000: energy ×{8.3, 8.2, 1.9}, delay ×{2.2, 2.0, 1.7} for {D-, R-, A-HAM}")
+	return t
+}
+
+// Fig10Table renders the Fig. 10 reproduction.
+func Fig10Table(points []SweepPoint) *report.Table {
+	t := SweepTable("Fig. 10 — scaling C at D=10,000 (no approximation)", "C", points)
+	t.AddNote("paper scaling 6→100: energy ×{12.6, 11.4, 15.9}, delay ×{3.5, 3.4, 4.4} for {D-, R-, A-HAM}")
+	return t
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"hdam/internal/report"
+)
+
+// Runner produces the report tables of one experiment.
+type Runner func(env *Env) ([]*report.Table, error)
+
+// registry maps experiment ids (as printed in DESIGN.md's per-experiment
+// index) to their runners.
+var registry = map[string]Runner{
+	"fig1": func(env *Env) ([]*report.Table, error) {
+		points, err := Fig1(env)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{Fig1Table(points)}, nil
+	},
+	"table1": func(env *Env) ([]*report.Table, error) {
+		rows, err := Table1()
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{Table1Table(rows)}, nil
+	},
+	"table2": func(env *Env) ([]*report.Table, error) {
+		return []*report.Table{Table2Table(Table2())}, nil
+	},
+	"fig4": func(env *Env) ([]*report.Table, error) {
+		return []*report.Table{Fig4Table(Fig4())}, nil
+	},
+	"fig5": func(env *Env) ([]*report.Table, error) {
+		points, err := Fig5()
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{Fig5Table(points)}, nil
+	},
+	"fig7": func(env *Env) ([]*report.Table, error) {
+		points := Fig7()
+		// The misclassification border needs a trained memory; use the
+		// cached one if the caller also runs accuracy experiments,
+		// otherwise train at the environment's scale.
+		border := 0
+		if b, err := env.Bundle(10000); err == nil {
+			border, _ = b.Trained.Memory.MinClassSeparation()
+		}
+		return []*report.Table{Fig7Table(points, border)}, nil
+	},
+	"table3": func(env *Env) ([]*report.Table, error) {
+		rows, err := Table3(env)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{Table3Table(rows)}, nil
+	},
+	"fig9": func(env *Env) ([]*report.Table, error) {
+		points, err := Fig9()
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{Fig9Table(points)}, nil
+	},
+	"fig10": func(env *Env) ([]*report.Table, error) {
+		points, err := Fig10()
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{Fig10Table(points)}, nil
+	},
+	"fig11": func(env *Env) ([]*report.Table, error) {
+		points, err := Fig11()
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{Fig11Table(points)}, nil
+	},
+	"fig12": func(env *Env) ([]*report.Table, error) {
+		rows, err := Fig12()
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{Fig12Table(rows)}, nil
+	},
+	"fig13": func(env *Env) ([]*report.Table, error) {
+		corners, err := Fig13(env)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{Fig13Table(corners)}, nil
+	},
+	"ablate-blocksize": func(env *Env) ([]*report.Table, error) {
+		rows, err := AblateBlockSize(env)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{AblateBlockSizeTable(rows)}, nil
+	},
+	"ablate-errormodel": func(env *Env) ([]*report.Table, error) {
+		rows, err := AblateErrorModel(env)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{AblateErrorModelTable(rows)}, nil
+	},
+	"ablate-stages": func(env *Env) ([]*report.Table, error) {
+		return []*report.Table{AblateStagesTable(AblateStages())}, nil
+	},
+	"standby": func(env *Env) ([]*report.Table, error) {
+		rows, err := Standby()
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{StandbyTable(rows)}, nil
+	},
+}
+
+// IDs returns the experiment ids in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, env *Env) ([]*report.Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	return r(env)
+}
+
+// RunOrder is the presentation order of a full run: the paper's artifacts
+// in paper order, then this reproduction's ablations and extensions.
+var RunOrder = []string{
+	"fig1", "table1", "table2", "fig4", "fig5", "fig7",
+	"table3", "fig9", "fig10", "fig11", "fig12", "fig13",
+	"ablate-blocksize", "ablate-errormodel", "ablate-stages", "standby",
+}

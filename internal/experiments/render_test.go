@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hdam/internal/analog"
+)
+
+// renderToString renders a table and fails the test on error.
+func renderToString(t *testing.T, render func(sb *strings.Builder) error) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() == 0 {
+		t.Fatal("empty render")
+	}
+	return sb.String()
+}
+
+func TestFig1TableRender(t *testing.T) {
+	points := []Fig1Point{{0, 0.978}, {1000, 0.978}, {3000, 0.938}, {4000, 0.79}}
+	out := renderToString(t, func(sb *strings.Builder) error { return Fig1Table(points).Render(sb) })
+	for _, want := range []string{"Fig. 1", "97.8%", "4000", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3TableRender(t *testing.T) {
+	rows := []Table3Row{
+		{D: 256, DigitalAccuracy: 0.691, AnalogAccuracy: 0.691, MinDetect: 1, MinSeparation: 78},
+		{D: 10000, DigitalAccuracy: 0.978, AnalogAccuracy: 0.973, MinDetect: 14, MinSeparation: 3612},
+	}
+	out := renderToString(t, func(sb *strings.Builder) error { return Table3Table(rows).Render(sb) })
+	for _, want := range []string{"Table III", "69.1%", "97.3%", "3612"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestFig7TableRenderWithAndWithoutBorder(t *testing.T) {
+	points := []Fig7Point{{D: 256, SingleStage: 1, MultiStage: 1, Stages: 1, Bits: 10}}
+	with := renderToString(t, func(sb *strings.Builder) error { return Fig7Table(points, 22).Render(sb) })
+	if !strings.Contains(with, "border") || !strings.Contains(with, "22") {
+		t.Error("border note missing")
+	}
+	without := renderToString(t, func(sb *strings.Builder) error { return Fig7Table(points, 0).Render(sb) })
+	if strings.Contains(without, "misclassification border (min") {
+		t.Error("border note rendered despite border=0")
+	}
+}
+
+func TestFig11TableRender(t *testing.T) {
+	points := []Fig11Point{{ErrorBits: 1000, DHAMEDP: 859781, RHAMRel: 0.127, AHAMRel: 0.0014, AHAMBits: 14}}
+	out := renderToString(t, func(sb *strings.Builder) error { return Fig11Table(points).Render(sb) })
+	for _, want := range []string{"Fig. 11", "1000", "14"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestFig13TableRender(t *testing.T) {
+	corners := []Fig13Corner{
+		{Process3Sigma: 0, SupplyDrop: 0, MinDetect: 14, Accuracy: 1},
+		{Process3Sigma: 0.35, SupplyDrop: 0.10, MinDetect: 371, Accuracy: 0.812},
+	}
+	out := renderToString(t, func(sb *strings.Builder) error { return Fig13Table(corners).Render(sb) })
+	for _, want := range []string{"nominal 1.8 V", "10.0% droop", "371", "81.2%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationTableRenders(t *testing.T) {
+	bs := renderToString(t, func(sb *strings.Builder) error {
+		return AblateBlockSizeTable([]BlockSizeRow{{BlockBits: 4, SatLevels: 4, Accuracy: 1, Underestimate: 0}}).Render(sb)
+	})
+	if !strings.Contains(bs, "4 bit") && !strings.Contains(bs, "4") {
+		t.Error("block size table broken")
+	}
+	em := renderToString(t, func(sb *strings.Builder) error {
+		return AblateErrorModelTable([]ErrorModelRow{{Separation: 300, ErrorBits: 2000, IndependentAcc: 0.2, CommonModeAcc: 0.9}}).Render(sb)
+	})
+	if !strings.Contains(em, "common-mode") {
+		t.Error("error model table broken")
+	}
+	st := renderToString(t, func(sb *strings.Builder) error {
+		return AblateStagesTable(AblateStages()).Render(sb)
+	})
+	if !strings.Contains(st, "stages") {
+		t.Error("stages table broken")
+	}
+}
+
+func TestSweepTableRender(t *testing.T) {
+	points, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderToString(t, func(sb *strings.Builder) error { return Fig9Table(points).Render(sb) })
+	for _, want := range []string{"D-HAM", "R-HAM", "A-HAM", "EDP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestBitsForErrorBudgetMapping(t *testing.T) {
+	cases := []struct{ e, want int }{
+		{0, 14}, {500, 14}, {1000, 14}, {2000, 12}, {3000, 11}, {4000, 9}, {10000, 8},
+	}
+	for _, c := range cases {
+		if got := BitsForErrorBudget(10000, c.e); got != c.want {
+			t.Errorf("BitsForErrorBudget(10000, %d) = %d, want %d", c.e, got, c.want)
+		}
+	}
+	// Small dimensions floor at the 10-bit pairing.
+	if got := BitsForErrorBudget(512, 0); got != 10 {
+		t.Errorf("BitsForErrorBudget(512, 0) = %d, want 10", got)
+	}
+	_ = analog.BitsFor // keep the relationship to the pairing explicit
+}

@@ -1,0 +1,206 @@
+// Package fusion implements the multimodal sensor-fusion prediction
+// application the paper cites as another consumer of hyperdimensional
+// associative memory ([8] Räsänen & Kakouros, modeling dependencies in
+// parallel data streams; [9] sequence prediction with hyperdimensional
+// coding): several parallel categorical sensor streams are fused into
+// context hypervectors — channel roles bound to symbol fillers, recent
+// history bound through permutation — and the *next* event of a target
+// stream is predicted by associative recall: one prototype per possible
+// next symbol, bundled from all training contexts that preceded it.
+//
+// The prediction query is the same nearest-Hamming search the HAM designs
+// accelerate; only the contents of the memory differ from the language
+// application.
+package fusion
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"hdam/internal/core"
+	"hdam/internal/encoder"
+	"hdam/internal/hv"
+	"hdam/internal/itemmem"
+)
+
+// Event is one time step across all sensor streams: Symbols[ch] is the
+// categorical reading of stream ch.
+type Event []int
+
+// Config shapes the fusion predictor.
+type Config struct {
+	// Dim is the hypervector dimensionality.
+	Dim int
+	// Streams is the number of parallel sensor streams.
+	Streams int
+	// Symbols is the alphabet size of every stream.
+	Symbols int
+	// History is how many past events form the prediction context.
+	History int
+	// Target is the stream whose next symbol is predicted.
+	Target int
+	// Seed drives the item memories and tie breaking.
+	Seed uint64
+}
+
+// validate checks the configuration.
+func (c Config) validate() error {
+	switch {
+	case c.Dim < 64:
+		return fmt.Errorf("fusion: dimension %d too small", c.Dim)
+	case c.Streams < 1:
+		return fmt.Errorf("fusion: %d streams", c.Streams)
+	case c.Symbols < 2:
+		return fmt.Errorf("fusion: alphabet of %d symbols", c.Symbols)
+	case c.History < 1:
+		return fmt.Errorf("fusion: history %d", c.History)
+	case c.Target < 0 || c.Target >= c.Streams:
+		return fmt.Errorf("fusion: target stream %d of %d", c.Target, c.Streams)
+	}
+	return nil
+}
+
+// Predictor learns next-symbol prototypes from multimodal history.
+type Predictor struct {
+	cfg Config
+	rec *encoder.RecordEncoder
+	seq *encoder.SequenceEncoder
+	im  *itemmem.ItemMemory
+
+	// accs[s] bundles every context that preceded target symbol s.
+	accs   []*hv.Accumulator
+	counts []int
+	mem    *core.Memory // built on Finalize
+}
+
+// New creates an untrained predictor.
+func New(cfg Config) (*Predictor, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := &Predictor{
+		cfg:    cfg,
+		rec:    encoder.NewRecordEncoder(cfg.Dim, cfg.Seed),
+		seq:    encoder.NewSequenceEncoder(cfg.Dim, cfg.History),
+		im:     itemmem.New(cfg.Dim, cfg.Seed^0xf051014),
+		accs:   make([]*hv.Accumulator, cfg.Symbols),
+		counts: make([]int, cfg.Symbols),
+	}
+	for s := range p.accs {
+		p.accs[s] = hv.NewAccumulator(cfg.Dim, cfg.Seed+uint64(s))
+	}
+	return p, nil
+}
+
+// symbolVector returns the filler hypervector for (stream, symbol).
+func (p *Predictor) symbolVector(stream, symbol int) *hv.Vector {
+	// Streams get disjoint symbol spaces in one item memory.
+	return p.im.Get(rune(stream*p.cfg.Symbols + symbol))
+}
+
+// encodeEvent fuses one event into a record hypervector.
+func (p *Predictor) encodeEvent(e Event) *hv.Vector {
+	if len(e) != p.cfg.Streams {
+		panic(fmt.Sprintf("fusion: event has %d streams, want %d", len(e), p.cfg.Streams))
+	}
+	fields := make(map[string]*hv.Vector, p.cfg.Streams)
+	for ch, sym := range e {
+		if sym < 0 || sym >= p.cfg.Symbols {
+			panic(fmt.Sprintf("fusion: symbol %d out of [0,%d)", sym, p.cfg.Symbols))
+		}
+		fields[fmt.Sprintf("s%d", ch)] = p.symbolVector(ch, sym)
+	}
+	return p.rec.Encode(fields)
+}
+
+// EncodeContext fuses the last History events into one context
+// hypervector (order-sensitive).
+func (p *Predictor) EncodeContext(history []Event) *hv.Vector {
+	if len(history) != p.cfg.History {
+		panic(fmt.Sprintf("fusion: context of %d events, want %d", len(history), p.cfg.History))
+	}
+	records := make([]*hv.Vector, len(history))
+	for i, e := range history {
+		records[i] = p.encodeEvent(e)
+	}
+	return p.seq.Encode(records)
+}
+
+// Observe trains on one transition: the context of History events followed
+// by the next event. It must be called before Finalize.
+func (p *Predictor) Observe(history []Event, next Event) {
+	if p.mem != nil {
+		panic("fusion: Observe after Finalize (the paper's memories are write-once per training session)")
+	}
+	sym := next[p.cfg.Target]
+	if sym < 0 || sym >= p.cfg.Symbols {
+		panic(fmt.Sprintf("fusion: next symbol %d out of range", sym))
+	}
+	p.accs[sym].Add(p.EncodeContext(history))
+	p.counts[sym]++
+}
+
+// ObserveSequence slides over a full multimodal sequence, training on
+// every transition. Returns the number of transitions observed.
+func (p *Predictor) ObserveSequence(seq []Event) int {
+	n := 0
+	for t := p.cfg.History; t < len(seq); t++ {
+		p.Observe(seq[t-p.cfg.History:t], seq[t])
+		n++
+	}
+	return n
+}
+
+// Finalize bundles the per-symbol accumulators into the associative
+// memory. Symbols never observed get a label but a random prototype (they
+// can never win against observed ones in practice).
+func (p *Predictor) Finalize() (*core.Memory, error) {
+	if p.mem != nil {
+		return p.mem, nil
+	}
+	classes := make([]*hv.Vector, p.cfg.Symbols)
+	labels := make([]string, p.cfg.Symbols)
+	rng := rand.New(rand.NewPCG(p.cfg.Seed, 0x0b5e7e))
+	for s := range classes {
+		labels[s] = fmt.Sprintf("next=%d", s)
+		if p.counts[s] == 0 {
+			classes[s] = hv.Random(p.cfg.Dim, rng)
+			continue
+		}
+		classes[s] = p.accs[s].Majority()
+	}
+	mem, err := core.NewMemory(classes, labels)
+	if err != nil {
+		return nil, err
+	}
+	p.mem = mem
+	return mem, nil
+}
+
+// Predict returns the most likely next symbol of the target stream given
+// the recent history, using the searcher (any HAM design) over the
+// finalized memory.
+func (p *Predictor) Predict(s core.Searcher, history []Event) int {
+	if p.mem == nil {
+		panic("fusion: Predict before Finalize")
+	}
+	return s.Search(p.EncodeContext(history)).Index
+}
+
+// Accuracy evaluates next-symbol prediction over a test sequence.
+func (p *Predictor) Accuracy(s core.Searcher, seq []Event) float64 {
+	if len(seq) <= p.cfg.History {
+		panic("fusion: test sequence shorter than history")
+	}
+	correct, total := 0, 0
+	for t := p.cfg.History; t < len(seq); t++ {
+		if p.Predict(s, seq[t-p.cfg.History:t]) == seq[t][p.cfg.Target] {
+			correct++
+		}
+		total++
+	}
+	return float64(correct) / float64(total)
+}
+
+// Memory returns the finalized memory (nil before Finalize).
+func (p *Predictor) Memory() *core.Memory { return p.mem }

@@ -1,0 +1,199 @@
+package fusion
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/aham"
+	"hdam/internal/assoc"
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+func testConfig() Config {
+	return Config{Dim: hv.Dim, Streams: 3, Symbols: 5, History: 2, Target: 0, Seed: 11}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bads := []Config{
+		{Dim: 10, Streams: 3, Symbols: 5, History: 2},
+		{Dim: 1000, Streams: 0, Symbols: 5, History: 2},
+		{Dim: 1000, Streams: 3, Symbols: 1, History: 2},
+		{Dim: 1000, Streams: 3, Symbols: 5, History: 0},
+		{Dim: 1000, Streams: 3, Symbols: 5, History: 2, Target: 3},
+		{Dim: 1000, Streams: 3, Symbols: 5, History: 2, Target: -1},
+	}
+	for i, cfg := range bads {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSyntheticProcessShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	sp := DefaultProcess()
+	seq := sp.Generate(500, rng)
+	if len(seq) != 500 {
+		t.Fatalf("%d events", len(seq))
+	}
+	for t0, e := range seq {
+		if len(e) != sp.Streams {
+			t.Fatalf("event %d has %d streams", t0, len(e))
+		}
+		for _, s := range e {
+			if s < 0 || s >= sp.Symbols {
+				t.Fatalf("symbol %d out of range", s)
+			}
+		}
+	}
+	// The self-transition rule leaves a visible signature: with 90% weight,
+	// next = (2·cur+1) mod 5 most of the time.
+	follows := 0
+	for t0 := 1; t0 < len(seq); t0++ {
+		if seq[t0][0] == (seq[t0-1][0]*2+1)%sp.Symbols {
+			follows++
+		}
+	}
+	if frac := float64(follows) / float64(len(seq)-1); frac < 0.8 {
+		t.Fatalf("self rule followed only %.2f of steps", frac)
+	}
+}
+
+func TestPredictionBeatsChance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	sp := DefaultProcess()
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := sp.Generate(800, rng)
+	if n := p.ObserveSequence(train); n != 800-2 {
+		t.Fatalf("observed %d transitions", n)
+	}
+	mem, err := p.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Classes() != 5 {
+		t.Fatalf("%d classes", mem.Classes())
+	}
+	test := sp.Generate(300, rng)
+	acc := p.Accuracy(assoc.NewExact(mem), test)
+	// Chance is 0.2; the deterministic rule + leading indicators should
+	// push the fused predictor far above it.
+	if acc < 0.7 {
+		t.Fatalf("fusion prediction accuracy %.3f, want ≥ 0.7 (chance 0.2)", acc)
+	}
+}
+
+func TestFusionBeatsTargetOnly(t *testing.T) {
+	// The modality-fusion claim: a predictor that sees only the target
+	// stream must do worse than one fusing the leading auxiliary streams,
+	// because (1−SelfWeight) of transitions are unpredictable from the
+	// target alone but flagged by the auxiliaries.
+	rng := rand.New(rand.NewPCG(3, 3))
+	sp := DefaultProcess()
+	sp.SelfWeight = 0.5 // half the transitions need the auxiliaries
+	train := sp.Generate(1500, rng)
+	test := sp.Generate(400, rng)
+
+	fused, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused.ObserveSequence(train)
+	fusedMem, _ := fused.Finalize()
+	fusedAcc := fused.Accuracy(assoc.NewExact(fusedMem), test)
+
+	solo, err := New(Config{Dim: hv.Dim, Streams: 1, Symbols: 5, History: 2, Target: 0, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := func(seq []Event) []Event {
+		out := make([]Event, len(seq))
+		for i, e := range seq {
+			out[i] = Event{e[0]}
+		}
+		return out
+	}
+	solo.ObserveSequence(stripped(train))
+	soloMem, _ := solo.Finalize()
+	soloAcc := solo.Accuracy(assoc.NewExact(soloMem), stripped(test))
+
+	if fusedAcc < soloAcc+0.1 {
+		t.Fatalf("fused accuracy %.3f not clearly above target-only %.3f", fusedAcc, soloAcc)
+	}
+}
+
+func TestPredictionThroughAHAM(t *testing.T) {
+	// The paper's point: the same hardware serves prediction untouched.
+	rng := rand.New(rand.NewPCG(4, 4))
+	sp := DefaultProcess()
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ObserveSequence(sp.Generate(800, rng))
+	mem, _ := p.Finalize()
+	ah, err := aham.New(aham.Config{D: hv.Dim, C: 5}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := sp.Generate(200, rng)
+	if acc := p.Accuracy(ah, test); acc < 0.65 {
+		t.Fatalf("A-HAM prediction accuracy %.3f too low", acc)
+	}
+}
+
+func TestLifecyclePanicsAndErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	sp := DefaultProcess()
+	p, _ := New(testConfig())
+	seq := sp.Generate(50, rng)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Predict before Finalize did not panic")
+			}
+		}()
+		p.Predict(assoc.NewExact(&core.Memory{}), seq[:2])
+	}()
+
+	p.ObserveSequence(seq)
+	if _, err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	// Second Finalize is idempotent.
+	m1, _ := p.Finalize()
+	if m1 != p.Memory() {
+		t.Error("Finalize not idempotent")
+	}
+	// Observe after Finalize violates the write-once rule.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Observe after Finalize did not panic")
+			}
+		}()
+		p.Observe(seq[:2], seq[2])
+	}()
+	// Wrong-shaped inputs panic.
+	for _, f := range []func(){
+		func() { p.EncodeContext(seq[:1]) },
+		func() { p.EncodeContext([]Event{{1}, {2}}) },
+		func() { p.Accuracy(assoc.NewExact(p.Memory()), seq[:2]) },
+		func() { DefaultProcess().Generate(1, rng) },
+		func() { SyntheticProcess{Streams: 0, Symbols: 2}.Generate(10, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

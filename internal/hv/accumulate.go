@@ -1,0 +1,244 @@
+package hv
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Accumulator bundles many hypervectors by component-wise majority, the
+// paper's [A + B + C] operation. Internally it keeps a bit-sliced counter:
+// plane p holds bit p of every component's ones-count, so adding a vector is
+// a word-parallel ripple-carry addition costing O(words) amortized, and the
+// majority threshold is a word-parallel comparison. This is what makes
+// training on megabytes of text (millions of bundled n-grams) practical.
+//
+// The paper augments the majority with "a method for breaking ties if the
+// number of component hypervectors is even"; Accumulator implements that by
+// consulting a deterministic pseudo-random tie-break vector derived from the
+// accumulator's seed.
+type Accumulator struct {
+	dim    int
+	planes [][]uint64 // planes[p][w]: bit p of the ones-count of components in word w
+	n      int        // total weight accumulated
+	seed   uint64
+}
+
+// NewAccumulator returns an empty majority accumulator for the given
+// dimension. seed determines the tie-break pattern used when an even number
+// of vectors has been added.
+func NewAccumulator(dim int, seed uint64) *Accumulator {
+	if dim <= 0 {
+		panic(fmt.Sprintf("hv: non-positive dimension %d", dim))
+	}
+	return &Accumulator{dim: dim, seed: seed}
+}
+
+// Dim returns the dimensionality of the accumulator.
+func (a *Accumulator) Dim() int { return a.dim }
+
+// Count returns the total weight of vectors added so far.
+func (a *Accumulator) Count() int { return a.n }
+
+// newPlane appends an all-zero plane and returns it.
+func (a *Accumulator) newPlane() []uint64 {
+	p := make([]uint64, wordsFor(a.dim))
+	a.planes = append(a.planes, p)
+	return p
+}
+
+// rippleAdd adds the single-bit-per-component carry vector into the counter
+// starting at plane `from` (i.e. adds carry · 2^from).
+func (a *Accumulator) rippleAdd(carry []uint64, from int) {
+	// carry is consumed; callers pass a scratch copy.
+	for p := from; ; p++ {
+		if p == len(a.planes) {
+			a.newPlane()
+		}
+		plane := a.planes[p]
+		var any uint64
+		for w, c := range carry {
+			if c == 0 {
+				continue
+			}
+			and := plane[w] & c
+			plane[w] ^= c
+			carry[w] = and
+			any |= and
+		}
+		if any == 0 {
+			return
+		}
+	}
+}
+
+// Add accumulates one hypervector with weight 1.
+func (a *Accumulator) Add(v *Vector) {
+	if v.dim != a.dim {
+		panic(fmt.Sprintf("hv: accumulator dim %d, vector dim %d", a.dim, v.dim))
+	}
+	if len(a.planes) == 0 {
+		a.newPlane()
+	}
+	plane0 := a.planes[0]
+	var any uint64
+	var carry []uint64
+	for w, c := range v.words {
+		and := plane0[w] & c
+		plane0[w] ^= c
+		if and != 0 {
+			if carry == nil {
+				carry = make([]uint64, len(v.words))
+			}
+			carry[w] = and
+			any |= and
+		}
+	}
+	a.n++
+	if any != 0 {
+		a.rippleAdd(carry, 1)
+	}
+}
+
+// AddWeighted accumulates one hypervector with a non-negative integer
+// weight. Weighted bundling is used, e.g., when merging pre-aggregated class
+// accumulators.
+func (a *Accumulator) AddWeighted(v *Vector, weight int) {
+	if v.dim != a.dim {
+		panic(fmt.Sprintf("hv: accumulator dim %d, vector dim %d", a.dim, v.dim))
+	}
+	if weight < 0 {
+		panic(fmt.Sprintf("hv: negative bundle weight %d", weight))
+	}
+	if weight == 0 {
+		return
+	}
+	scratch := make([]uint64, len(v.words))
+	for j := 0; weight>>uint(j) != 0; j++ {
+		if weight>>uint(j)&1 == 1 {
+			copy(scratch, v.words)
+			a.rippleAdd(scratch, j)
+		}
+	}
+	a.n += weight
+}
+
+// Merge adds the contents of another accumulator into a.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.dim != a.dim {
+		panic(fmt.Sprintf("hv: accumulator dim %d, other dim %d", a.dim, b.dim))
+	}
+	scratch := make([]uint64, wordsFor(a.dim))
+	for p, plane := range b.planes {
+		copy(scratch, plane)
+		a.rippleAdd(scratch, p)
+	}
+	a.n += b.n
+}
+
+// Reset empties the accumulator for reuse.
+func (a *Accumulator) Reset() {
+	a.planes = a.planes[:0]
+	a.n = 0
+}
+
+// Majority thresholds the accumulator into a hypervector. Components where
+// more than half the accumulated vectors had a 1 become 1; fewer than half
+// become 0; exact ties (possible only for even counts) are broken by a
+// deterministic pseudo-random pattern seeded from the accumulator seed, as
+// the paper prescribes for even-way majorities.
+func (a *Accumulator) Majority() *Vector {
+	v := New(a.dim)
+	if a.n == 0 {
+		return v
+	}
+	// Majority at component i ⇔ ones(i) > floor(n/2); tie ⇔ n even and
+	// ones(i) == n/2. Compare bit-sliced counts against the constant T
+	// word-parallel, scanning planes from the most significant down.
+	t := uint64(a.n / 2)
+	nw := wordsFor(a.dim)
+	// Counts have at most len(planes) bits. If T has a set bit beyond them,
+	// every count is strictly below T: the majority is all zeros and no
+	// component can tie.
+	if t>>uint(len(a.planes)) != 0 {
+		return v
+	}
+	gt := make([]uint64, nw)
+	eq := make([]uint64, nw)
+	for w := range eq {
+		eq[w] = ^uint64(0)
+	}
+	for p := len(a.planes) - 1; p >= 0; p-- {
+		plane := a.planes[p]
+		var tbit uint64 // broadcast of bit p of T
+		if t>>uint(p)&1 == 1 {
+			tbit = ^uint64(0)
+		}
+		for w := 0; w < nw; w++ {
+			cw := plane[w]
+			gt[w] |= eq[w] & cw &^ tbit
+			eq[w] &^= cw ^ tbit
+		}
+	}
+	copy(v.words, gt)
+	v.words[nw-1] &= tailMask(a.dim)
+	// Ties: n even and count == n/2 exactly.
+	if a.n%2 == 0 {
+		var anyTie uint64
+		for _, w := range eq {
+			anyTie |= w
+		}
+		if anyTie != 0 {
+			tie := tieBreak(a.dim, a.seed)
+			for w := 0; w < nw; w++ {
+				v.words[w] |= eq[w] & tie.words[w]
+			}
+			v.words[nw-1] &= tailMask(a.dim)
+		}
+	}
+	return v
+}
+
+// Counts materializes the per-component ones counters. It allocates; use it
+// for inspection and tests, not in hot loops.
+func (a *Accumulator) Counts() []int32 {
+	counts := make([]int32, a.dim)
+	for p, plane := range a.planes {
+		for i := 0; i < a.dim; i++ {
+			counts[i] += int32(plane[i/wordBits]>>(uint(i)%wordBits)&1) << uint(p)
+		}
+	}
+	return counts
+}
+
+// Margin returns, for component i, the signed margin 2·ones − n: positive
+// means the majority is 1, negative 0, zero a tie. Hardware models use it to
+// reason about bundling confidence.
+func (a *Accumulator) Margin(i int) int {
+	if i < 0 || i >= a.dim {
+		panic(fmt.Sprintf("hv: index %d out of range [0,%d)", i, a.dim))
+	}
+	ones := 0
+	for p, plane := range a.planes {
+		ones += int(plane[i/wordBits]>>(uint(i)%wordBits)&1) << uint(p)
+	}
+	return 2*ones - a.n
+}
+
+// tieBreak produces the deterministic tie-break vector for a given seed.
+func tieBreak(dim int, seed uint64) *Vector {
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	return Random(dim, rng)
+}
+
+// MajorityOf bundles the given vectors in one call. It is a convenience
+// wrapper over Accumulator for small sets; ties break via seed.
+func MajorityOf(seed uint64, vs ...*Vector) *Vector {
+	if len(vs) == 0 {
+		panic("hv: majority of zero vectors")
+	}
+	acc := NewAccumulator(vs[0].dim, seed)
+	for _, v := range vs {
+		acc.Add(v)
+	}
+	return acc.Majority()
+}

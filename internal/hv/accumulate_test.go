@@ -1,0 +1,239 @@
+package hv
+
+import (
+	"testing"
+)
+
+func TestMajorityOddPreservesSimilarity(t *testing.T) {
+	rng := testRNG(21)
+	a, b, c := Random(Dim, rng), Random(Dim, rng), Random(Dim, rng)
+	m := MajorityOf(0, a, b, c)
+	// paper: δ([A+B+C], A) < 5000 — the bundle stays similar to members.
+	for i, v := range []*Vector{a, b, c} {
+		d := Hamming(m, v)
+		if d >= 4600 {
+			t.Errorf("member %d: δ(bundle, member) = %d, want well below 5000", i, d)
+		}
+	}
+	// ...and dissimilar to an unrelated vector.
+	x := Random(Dim, rng)
+	if d := Hamming(m, x); d < 4700 {
+		t.Errorf("δ(bundle, unrelated) = %d, want ≈ 5000", d)
+	}
+}
+
+func TestMajorityOfThreeIsBitwiseMajority(t *testing.T) {
+	a, _ := FromBits([]byte{1, 1, 0, 0, 1})
+	b, _ := FromBits([]byte{1, 0, 1, 0, 1})
+	c, _ := FromBits([]byte{0, 1, 1, 0, 0})
+	m := MajorityOf(0, a, b, c)
+	want := []int{1, 1, 1, 0, 1}
+	for i, w := range want {
+		if m.Bit(i) != w {
+			t.Errorf("bit %d = %d, want %d", i, m.Bit(i), w)
+		}
+	}
+}
+
+func TestMajorityTieBreakDeterministic(t *testing.T) {
+	rng := testRNG(22)
+	a, b := Random(1000, rng), Random(1000, rng)
+	m1 := MajorityOf(99, a, b)
+	m2 := MajorityOf(99, a, b)
+	if !m1.Equal(m2) {
+		t.Error("tie-break is not deterministic for fixed seed")
+	}
+	m3 := MajorityOf(100, a, b)
+	// Different seeds should break ties differently at least somewhere:
+	// positions where a == b are forced; a != b at ~500 positions are ties.
+	if m1.Equal(m3) {
+		t.Error("different tie-break seeds produced identical bundles (overwhelmingly unlikely)")
+	}
+	// On non-tie positions all seeds agree.
+	for i := 0; i < 1000; i++ {
+		if a.Bit(i) == b.Bit(i) {
+			if m1.Bit(i) != a.Bit(i) || m3.Bit(i) != a.Bit(i) {
+				t.Fatalf("non-tie position %d not preserved", i)
+			}
+		}
+	}
+}
+
+func TestAccumulatorWeightedAndMerge(t *testing.T) {
+	rng := testRNG(23)
+	a, b := Random(500, rng), Random(500, rng)
+
+	acc1 := NewAccumulator(500, 1)
+	acc1.AddWeighted(a, 3)
+	acc1.Add(b)
+
+	acc2 := NewAccumulator(500, 1)
+	for i := 0; i < 3; i++ {
+		acc2.Add(a)
+	}
+	acc2.Add(b)
+	if acc1.Count() != acc2.Count() {
+		t.Fatalf("counts differ: %d vs %d", acc1.Count(), acc2.Count())
+	}
+	if !acc1.Majority().Equal(acc2.Majority()) {
+		t.Error("weighted add differs from repeated add")
+	}
+
+	// Merge of split accumulators equals a single accumulator.
+	accA := NewAccumulator(500, 1)
+	accA.Add(a)
+	accB := NewAccumulator(500, 1)
+	accB.Add(b)
+	accB.Add(a)
+	accA.Merge(accB)
+	accAll := NewAccumulator(500, 1)
+	accAll.Add(a)
+	accAll.Add(b)
+	accAll.Add(a)
+	if !accA.Majority().Equal(accAll.Majority()) {
+		t.Error("merge differs from sequential accumulation")
+	}
+}
+
+func TestAccumulatorZeroWeightNoop(t *testing.T) {
+	acc := NewAccumulator(64, 0)
+	v := Random(64, testRNG(1))
+	acc.AddWeighted(v, 0)
+	if acc.Count() != 0 {
+		t.Error("zero-weight add changed count")
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	acc := NewAccumulator(64, 5)
+	acc.Add(Random(64, testRNG(1)))
+	acc.Reset()
+	if acc.Count() != 0 {
+		t.Error("count not reset")
+	}
+	for _, c := range acc.Counts() {
+		if c != 0 {
+			t.Fatal("counts not reset")
+		}
+	}
+}
+
+func TestAccumulatorDimMismatchPanics(t *testing.T) {
+	acc := NewAccumulator(64, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on dim mismatch")
+		}
+	}()
+	acc.Add(New(65))
+}
+
+func TestMajorityOfEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on empty majority")
+		}
+	}()
+	MajorityOf(0)
+}
+
+func TestBundleCapacity(t *testing.T) {
+	// Bundling k random vectors: every member stays measurably closer to the
+	// bundle than chance, with margin shrinking as k grows (HD theory).
+	rng := testRNG(77)
+	for _, k := range []int{1, 5, 15, 51} {
+		vs := make([]*Vector, k)
+		for i := range vs {
+			vs[i] = Random(Dim, rng)
+		}
+		m := MajorityOf(1, vs...)
+		for i, v := range vs {
+			d := Hamming(m, v)
+			if d >= 4850 {
+				t.Errorf("k=%d member %d: distance %d not below chance band", k, i, d)
+			}
+		}
+	}
+}
+
+// TestAccumulatorMatchesNaiveCounter cross-checks the bit-sliced counter
+// against a straightforward integer counter, including tie positions.
+func TestAccumulatorMatchesNaiveCounter(t *testing.T) {
+	rng := testRNG(123)
+	for trial := 0; trial < 20; trial++ {
+		dim := 1 + int(rng.Uint64()%200)
+		n := 1 + int(rng.Uint64()%40)
+		acc := NewAccumulator(dim, 55)
+		counts := make([]int, dim)
+		for k := 0; k < n; k++ {
+			v := Random(dim, rng)
+			w := 1
+			if k%5 == 4 {
+				w = 1 + int(rng.Uint64()%6)
+				acc.AddWeighted(v, w)
+			} else {
+				acc.Add(v)
+			}
+			for i := 0; i < dim; i++ {
+				counts[i] += v.Bit(i) * w
+			}
+		}
+		total := acc.Count()
+		got := acc.Majority()
+		tie := tieBreak(dim, 55)
+		for i := 0; i < dim; i++ {
+			var want int
+			switch {
+			case 2*counts[i] > total:
+				want = 1
+			case 2*counts[i] < total:
+				want = 0
+			default:
+				want = tie.Bit(i)
+			}
+			if got.Bit(i) != want {
+				t.Fatalf("trial %d dim %d n %d: bit %d = %d, want %d (count %d of %d)",
+					trial, dim, total, i, got.Bit(i), want, counts[i], total)
+			}
+		}
+		// Counts() and Margin must agree with the naive counter too.
+		cs := acc.Counts()
+		for i := 0; i < dim; i++ {
+			if int(cs[i]) != counts[i] {
+				t.Fatalf("Counts[%d] = %d, want %d", i, cs[i], counts[i])
+			}
+			if acc.Margin(i) != 2*counts[i]-total {
+				t.Fatalf("Margin(%d) = %d, want %d", i, acc.Margin(i), 2*counts[i]-total)
+			}
+		}
+	}
+}
+
+// TestAccumulatorAllZerosMajority exercises the T-exceeds-planes early exit.
+func TestAccumulatorAllZerosMajority(t *testing.T) {
+	acc := NewAccumulator(64, 0)
+	z := New(64)
+	for i := 0; i < 10; i++ {
+		acc.Add(z)
+	}
+	if acc.Majority().Ones() != 0 {
+		t.Fatal("majority of all-zero vectors must be zero")
+	}
+	// Mixed: a vector with a few ones below threshold.
+	v := New(64)
+	v.Set(3, 1)
+	acc.Add(v) // counts: bit3=1 of n=11 → majority 0
+	if acc.Majority().Ones() != 0 {
+		t.Fatal("sub-threshold component became 1")
+	}
+}
+
+func BenchmarkAccumulatorAdd(b *testing.B) {
+	rng := testRNG(1)
+	v := Random(Dim, rng)
+	acc := NewAccumulator(Dim, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.Add(v)
+	}
+}

@@ -1,0 +1,37 @@
+package hv
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshalBinary ensures arbitrary bytes never panic the decoder and
+// that every accepted payload round-trips.
+func FuzzUnmarshalBinary(f *testing.F) {
+	good, _ := Random(100, testRNG(1)).MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Add(make([]byte, 12))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v Vector
+		if err := v.UnmarshalBinary(data); err != nil {
+			return // rejected is fine; panicking is not
+		}
+		out, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted vector fails to marshal: %v", err)
+		}
+		if len(out) != len(data) {
+			t.Fatalf("round trip changed length %d → %d", len(data), len(out))
+		}
+		for i := range out {
+			if out[i] != data[i] {
+				t.Fatalf("round trip changed byte %d", i)
+			}
+		}
+		// Accepted vectors obey the tail invariant.
+		if v.Ones() > v.Dim() {
+			t.Fatal("popcount exceeds dimension: tail invariant broken")
+		}
+	})
+}

@@ -1,0 +1,302 @@
+package hv
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func testRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed^0xdead)) }
+
+func TestNewIsZero(t *testing.T) {
+	v := New(100)
+	if v.Dim() != 100 {
+		t.Fatalf("dim = %d, want 100", v.Dim())
+	}
+	if v.Ones() != 0 {
+		t.Fatalf("new vector has %d ones, want 0", v.Ones())
+	}
+}
+
+func TestNewPanicsOnBadDim(t *testing.T) {
+	for _, dim := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", dim)
+				}
+			}()
+			New(dim)
+		}()
+	}
+}
+
+func TestSetBitFlip(t *testing.T) {
+	v := New(130)
+	v.Set(0, 1)
+	v.Set(64, 1)
+	v.Set(129, 1)
+	for _, i := range []int{0, 64, 129} {
+		if v.Bit(i) != 1 {
+			t.Errorf("bit %d = %d, want 1", i, v.Bit(i))
+		}
+	}
+	if v.Ones() != 3 {
+		t.Fatalf("ones = %d, want 3", v.Ones())
+	}
+	v.Flip(64)
+	if v.Bit(64) != 0 {
+		t.Errorf("bit 64 after flip = %d, want 0", v.Bit(64))
+	}
+	v.Set(0, 0)
+	if v.Ones() != 1 {
+		t.Fatalf("ones = %d, want 1", v.Ones())
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	v := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bit(%d) did not panic", i)
+				}
+			}()
+			v.Bit(i)
+		}()
+	}
+}
+
+func TestTailInvariantMaintained(t *testing.T) {
+	// dim=70 leaves 58 unused bits in word 1; all ops must keep them zero.
+	rng := testRNG(1)
+	v := Random(70, rng)
+	u := Random(70, rng)
+	check := func(name string, x *Vector) {
+		t.Helper()
+		if x.words[len(x.words)-1]&^tailMask(70) != 0 {
+			t.Errorf("%s violated tail invariant", name)
+		}
+	}
+	check("Random", v)
+	check("Bind", Bind(v, u))
+	check("Not", Not(v))
+	check("Rotate1", Rotate1(v))
+	check("Permute", Permute(v, 13))
+	acc := NewAccumulator(70, 7)
+	acc.Add(v)
+	acc.Add(u)
+	acc.Add(Bind(v, u))
+	check("Majority", acc.Majority())
+}
+
+func TestRandomBalancedExactHalf(t *testing.T) {
+	for _, dim := range []int{10, 64, 100, 10000} {
+		v := RandomBalanced(dim, testRNG(uint64(dim)))
+		if v.Ones() != dim/2 {
+			t.Errorf("dim %d: ones = %d, want %d", dim, v.Ones(), dim/2)
+		}
+	}
+}
+
+func TestRandomNearOrthogonal(t *testing.T) {
+	rng := testRNG(42)
+	a := Random(Dim, rng)
+	b := Random(Dim, rng)
+	d := Hamming(a, b)
+	// Binomial(10000, 0.5): 6σ band is 5000 ± 300.
+	if d < 4700 || d > 5300 {
+		t.Fatalf("random pair distance %d far from D/2", d)
+	}
+}
+
+func TestBindProperties(t *testing.T) {
+	rng := testRNG(7)
+	a := Random(Dim, rng)
+	b := Random(Dim, rng)
+	ab := Bind(a, b)
+	// self-inverse
+	if !Bind(ab, b).Equal(a) {
+		t.Error("Bind is not self-inverse")
+	}
+	// commutative
+	if !Bind(b, a).Equal(ab) {
+		t.Error("Bind is not commutative")
+	}
+	// dissimilar to constituents (paper: δ(A⊕B, A) ≈ 5000)
+	if d := Hamming(ab, a); d < 4700 || d > 5300 {
+		t.Errorf("δ(A⊕B, A) = %d, want ≈ 5000", d)
+	}
+	// identity: bind with zero vector
+	if !Bind(a, New(Dim)).Equal(a) {
+		t.Error("Bind with zero is not identity")
+	}
+	// distance preservation: δ(A⊕C, B⊕C) == δ(A, B)
+	c := Random(Dim, rng)
+	if Hamming(Bind(a, c), Bind(b, c)) != Hamming(a, b) {
+		t.Error("Bind does not preserve distances")
+	}
+}
+
+func TestBindInto(t *testing.T) {
+	rng := testRNG(8)
+	a := Random(256, rng)
+	b := Random(256, rng)
+	dst := New(256)
+	BindInto(dst, a, b)
+	if !dst.Equal(Bind(a, b)) {
+		t.Error("BindInto differs from Bind")
+	}
+	// aliasing: a ^= b
+	want := Bind(a, b)
+	BindInto(a, a, b)
+	if !a.Equal(want) {
+		t.Error("BindInto with aliased dst is wrong")
+	}
+}
+
+func TestNot(t *testing.T) {
+	rng := testRNG(9)
+	v := Random(100, rng)
+	n := Not(v)
+	if Hamming(v, n) != 100 {
+		t.Errorf("δ(v, ¬v) = %d, want 100", Hamming(v, n))
+	}
+	if !Not(n).Equal(v) {
+		t.Error("double complement is not identity")
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	rng := testRNG(10)
+	v := Random(1000, rng)
+	for _, k := range []int{0, 1, 7, 999, 1000, 1001, -1, -999} {
+		if !PermuteInverse(Permute(v, k), k).Equal(v) {
+			t.Errorf("permute round-trip failed for k=%d", k)
+		}
+	}
+}
+
+func TestPermuteDecorrelates(t *testing.T) {
+	rng := testRNG(11)
+	v := Random(Dim, rng)
+	// paper: δ(ρ(A), A) ≈ 5000
+	if d := Hamming(Permute(v, 1), v); d < 4700 || d > 5300 {
+		t.Errorf("δ(ρ(A), A) = %d, want ≈ 5000", d)
+	}
+}
+
+func TestRotate1MatchesPermute(t *testing.T) {
+	for _, dim := range []int{1, 63, 64, 65, 100, 128, 1000, 10000} {
+		v := Random(dim, testRNG(uint64(dim)*3+1))
+		if !Rotate1(v).Equal(Permute(v, 1)) {
+			t.Errorf("dim %d: Rotate1 != Permute(·,1)", dim)
+		}
+	}
+}
+
+func TestRotate1Composition(t *testing.T) {
+	v := Random(777, testRNG(5))
+	r := v
+	for i := 0; i < 777; i++ {
+		r = Rotate1(r)
+	}
+	if !r.Equal(v) {
+		t.Error("777 rotations of a 777-dim vector is not identity")
+	}
+}
+
+func TestHammingBasics(t *testing.T) {
+	a := New(64)
+	b := New(64)
+	if Hamming(a, b) != 0 {
+		t.Error("distance of equal vectors not 0")
+	}
+	b.Set(5, 1)
+	b.Set(63, 1)
+	if Hamming(a, b) != 2 {
+		t.Errorf("distance = %d, want 2", Hamming(a, b))
+	}
+	if NormalizedHamming(a, b) != 2.0/64 {
+		t.Errorf("normalized = %v", NormalizedHamming(a, b))
+	}
+}
+
+func TestHammingDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on dimension mismatch")
+		}
+	}()
+	Hamming(New(10), New(20))
+}
+
+func TestFromBits(t *testing.T) {
+	v, err := FromBits([]byte{1, 0, 1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 0, 1, 1, 0}
+	for i, b := range want {
+		if v.Bit(i) != b {
+			t.Errorf("bit %d = %d, want %d", i, v.Bit(i), b)
+		}
+	}
+	if _, err := FromBits(nil); err == nil {
+		t.Error("FromBits(nil) should fail")
+	}
+	if _, err := FromBits([]byte{0, 2}); err == nil {
+		t.Error("FromBits with non-binary value should fail")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Random(100, testRNG(3))
+	c := v.Clone()
+	c.Flip(0)
+	if Hamming(v, c) != 1 {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, dim := range []int{1, 64, 65, 10000} {
+		v := Random(dim, testRNG(uint64(dim)))
+		data, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var u Vector
+		if err := u.UnmarshalBinary(data); err != nil {
+			t.Fatalf("dim %d: %v", dim, err)
+		}
+		if !u.Equal(v) {
+			t.Errorf("dim %d: round trip mismatch", dim)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	var v Vector
+	if err := v.UnmarshalBinary(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if err := v.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Error("short buffer accepted")
+	}
+	// dim=1 but claims stray high bits
+	bad := make([]byte, 12)
+	bad[0] = 1
+	bad[4+7] = 0x80
+	if err := v.UnmarshalBinary(bad); err == nil {
+		t.Error("tail-violating encoding accepted")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	v := Random(Dim, testRNG(1))
+	s := v.String()
+	if len(s) == 0 {
+		t.Error("empty String()")
+	}
+}

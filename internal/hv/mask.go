@@ -1,0 +1,103 @@
+package hv
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+)
+
+// Mask selects a subset of hypervector components. It backs the paper's
+// structured-sampling approximation: because components are i.i.d. and the
+// representation is holographic, the Hamming distance computed over any
+// subset d < D of components is an unbiased estimator of the full distance
+// scaled by d/D (§III-A1, §III-C2).
+type Mask struct {
+	dim   int
+	words []uint64
+	ones  int
+}
+
+// FullMask selects every component.
+func FullMask(dim int) *Mask {
+	m := &Mask{dim: dim, words: make([]uint64, wordsFor(dim)), ones: dim}
+	for i := range m.words {
+		m.words[i] = ^uint64(0)
+	}
+	m.words[len(m.words)-1] &= tailMask(dim)
+	return m
+}
+
+// PrefixMask selects the first d components and drops the rest: the
+// "structured sampling" of D-HAM, which simply excludes trailing dimensions
+// from the distance computation.
+func PrefixMask(dim, d int) *Mask {
+	if d < 0 || d > dim {
+		panic(fmt.Sprintf("hv: prefix %d of %d", d, dim))
+	}
+	m := &Mask{dim: dim, words: make([]uint64, wordsFor(dim)), ones: d}
+	full := d / wordBits
+	for i := 0; i < full; i++ {
+		m.words[i] = ^uint64(0)
+	}
+	if rem := d % wordBits; rem != 0 {
+		m.words[full] = (uint64(1) << uint(rem)) - 1
+	}
+	return m
+}
+
+// RandomMask selects exactly d components uniformly at random. Because
+// components are i.i.d. the choice of which d components is immaterial; this
+// variant exists to verify that property experimentally.
+func RandomMask(dim, d int, rng *rand.Rand) *Mask {
+	if d < 0 || d > dim {
+		panic(fmt.Sprintf("hv: sample %d of %d", d, dim))
+	}
+	m := &Mask{dim: dim, words: make([]uint64, wordsFor(dim)), ones: d}
+	perm := rng.Perm(dim)
+	for _, p := range perm[:d] {
+		m.words[p/wordBits] |= 1 << (uint(p) % wordBits)
+	}
+	return m
+}
+
+// BlockMask selects all components except those in `off` whole blocks of
+// blockBits components each, dropped from the tail. R-HAM sampling operates
+// at 4-bit block granularity (§III-C2: 250 of the 2,500 blocks excluded for
+// maximum accuracy, 750 for moderate).
+func BlockMask(dim, blockBits, offBlocks int) *Mask {
+	if blockBits <= 0 || dim%blockBits != 0 {
+		panic(fmt.Sprintf("hv: dim %d not divisible by block size %d", dim, blockBits))
+	}
+	total := dim / blockBits
+	if offBlocks < 0 || offBlocks > total {
+		panic(fmt.Sprintf("hv: cannot drop %d of %d blocks", offBlocks, total))
+	}
+	return PrefixMask(dim, dim-offBlocks*blockBits)
+}
+
+// Dim returns the dimensionality the mask applies to.
+func (m *Mask) Dim() int { return m.dim }
+
+// Ones returns the number of selected components d.
+func (m *Mask) Ones() int { return m.ones }
+
+// Selected reports whether component i is included.
+func (m *Mask) Selected(i int) bool {
+	if i < 0 || i >= m.dim {
+		panic(fmt.Sprintf("hv: index %d out of range [0,%d)", i, m.dim))
+	}
+	return m.words[i/wordBits]>>(uint(i)%wordBits)&1 == 1
+}
+
+// HammingMasked returns the Hamming distance between v and u restricted to
+// the selected components.
+func (m *Mask) HammingMasked(v, u *Vector) int {
+	if v.dim != m.dim || u.dim != m.dim {
+		panic(fmt.Sprintf("hv: mask dim %d, vector dims %d/%d", m.dim, v.dim, u.dim))
+	}
+	d := 0
+	for i, w := range v.words {
+		d += bits.OnesCount64((w ^ u.words[i]) & m.words[i])
+	}
+	return d
+}

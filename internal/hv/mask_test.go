@@ -1,0 +1,146 @@
+package hv
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFullMask(t *testing.T) {
+	m := FullMask(100)
+	if m.Ones() != 100 {
+		t.Fatalf("ones = %d, want 100", m.Ones())
+	}
+	for i := 0; i < 100; i++ {
+		if !m.Selected(i) {
+			t.Fatalf("bit %d not selected", i)
+		}
+	}
+}
+
+func TestPrefixMask(t *testing.T) {
+	m := PrefixMask(130, 70)
+	if m.Ones() != 70 {
+		t.Fatalf("ones = %d, want 70", m.Ones())
+	}
+	for i := 0; i < 130; i++ {
+		want := i < 70
+		if m.Selected(i) != want {
+			t.Errorf("bit %d selected=%v, want %v", i, m.Selected(i), want)
+		}
+	}
+	// Degenerate prefixes.
+	if PrefixMask(64, 0).Ones() != 0 {
+		t.Error("empty prefix has ones")
+	}
+	if PrefixMask(64, 64).Ones() != 64 {
+		t.Error("full prefix missing ones")
+	}
+}
+
+func TestRandomMaskExactCount(t *testing.T) {
+	rng := testRNG(31)
+	m := RandomMask(1000, 333, rng)
+	if m.Ones() != 333 {
+		t.Fatalf("ones = %d, want 333", m.Ones())
+	}
+	n := 0
+	for i := 0; i < 1000; i++ {
+		if m.Selected(i) {
+			n++
+		}
+	}
+	if n != 333 {
+		t.Fatalf("selected count = %d, want 333", n)
+	}
+}
+
+func TestBlockMask(t *testing.T) {
+	// R-HAM: 10,000 bits, 4-bit blocks, 250 blocks off → d = 9,000.
+	m := BlockMask(10000, 4, 250)
+	if m.Ones() != 9000 {
+		t.Fatalf("ones = %d, want 9000", m.Ones())
+	}
+	m = BlockMask(10000, 4, 750)
+	if m.Ones() != 7000 {
+		t.Fatalf("ones = %d, want 7000", m.Ones())
+	}
+}
+
+func TestBlockMaskPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { BlockMask(10, 4, 0) }, // not divisible
+		func() { BlockMask(8, 4, 3) },  // too many blocks
+		func() { BlockMask(8, 0, 0) },  // zero block
+		func() { PrefixMask(10, 11) },  // prefix too long
+		func() { RandomMask(10, -1, testRNG(0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaskedDistanceUnbiased(t *testing.T) {
+	// Sampling property (paper §III-A1): distance over d of D i.i.d.
+	// components estimates the full distance scaled by d/D.
+	rng := testRNG(32)
+	a := Random(Dim, rng)
+	b := FlipBits(a, 3000, rng) // true distance exactly 3000
+	var sum float64
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		m := RandomMask(Dim, 7000, testRNG(uint64(i)))
+		sum += float64(m.HammingMasked(a, b)) / 0.7
+	}
+	mean := sum / trials
+	if math.Abs(mean-3000) > 60 {
+		t.Fatalf("sampled estimator mean %v, want ≈ 3000", mean)
+	}
+}
+
+func TestMaskDimMismatchPanics(t *testing.T) {
+	m := FullMask(64)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mask/vector dim mismatch")
+		}
+	}()
+	m.HammingMasked(New(64), New(128))
+}
+
+func TestFlipFraction(t *testing.T) {
+	rng := testRNG(33)
+	v := Random(Dim, rng)
+	f := FlipFraction(v, 0.1, rng)
+	d := Hamming(v, f)
+	if d < 800 || d > 1200 {
+		t.Fatalf("flip fraction 0.1 changed %d bits, want ≈ 1000", d)
+	}
+	if !FlipFraction(v, 0, rng).Equal(v) {
+		t.Error("p=0 changed the vector")
+	}
+	if Hamming(FlipFraction(v, 1, rng), v) != Dim {
+		t.Error("p=1 did not flip everything")
+	}
+}
+
+func TestFlipBitsBounds(t *testing.T) {
+	v := New(10)
+	if Hamming(FlipBits(v, 0, testRNG(1)), v) != 0 {
+		t.Error("n=0 changed vector")
+	}
+	if Hamming(FlipBits(v, 10, testRNG(1)), v) != 10 {
+		t.Error("n=dim did not flip all")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for n > dim")
+		}
+	}()
+	FlipBits(v, 11, testRNG(1))
+}

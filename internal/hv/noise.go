@@ -1,0 +1,46 @@
+package hv
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// FlipBits returns a copy of v with exactly n distinct components inverted,
+// chosen uniformly at random from rng. It models component failures: because
+// hypervector components are i.i.d. and holographic, the paper's robustness
+// experiments (Fig. 1) reduce to exactly this operation.
+func FlipBits(v *Vector, n int, rng *rand.Rand) *Vector {
+	if n < 0 || n > v.dim {
+		panic(fmt.Sprintf("hv: cannot flip %d of %d bits", n, v.dim))
+	}
+	r := v.Clone()
+	if n == 0 {
+		return r
+	}
+	// Partial Fisher–Yates: select n distinct positions.
+	idx := make([]int, v.dim)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < n; i++ {
+		j := i + rng.IntN(v.dim-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		r.Flip(idx[i])
+	}
+	return r
+}
+
+// FlipFraction flips each component independently with probability p. It is
+// the i.i.d. channel-noise counterpart of FlipBits.
+func FlipFraction(v *Vector, p float64, rng *rand.Rand) *Vector {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("hv: flip probability %v out of [0,1]", p))
+	}
+	r := v.Clone()
+	for i := 0; i < v.dim; i++ {
+		if rng.Float64() < p {
+			r.Flip(i)
+		}
+	}
+	return r
+}

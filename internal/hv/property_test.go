@@ -1,0 +1,158 @@
+package hv
+
+import (
+	mrand "math/rand"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genVector draws a random vector of the given dim from quick's rand source.
+func genVector(r *mrand.Rand, dim int) *Vector {
+	v := New(dim)
+	for i := range v.words {
+		v.words[i] = r.Uint64()
+	}
+	v.words[len(v.words)-1] &= tailMask(dim)
+	return v
+}
+
+// pair is a generatable pair of same-dim vectors for quick checks.
+type pair struct{ A, B *Vector }
+
+func (pair) Generate(r *mrand.Rand, size int) reflect.Value {
+	dim := 1 + r.Intn(512)
+	return reflect.ValueOf(pair{genVector(r, dim), genVector(r, dim)})
+}
+
+// triple is a generatable triple of same-dim vectors.
+type triple struct{ A, B, C *Vector }
+
+func (triple) Generate(r *mrand.Rand, size int) reflect.Value {
+	dim := 1 + r.Intn(512)
+	return reflect.ValueOf(triple{genVector(r, dim), genVector(r, dim), genVector(r, dim)})
+}
+
+var quickCfg = &quick.Config{MaxCount: 200}
+
+func TestQuickHammingMetricAxioms(t *testing.T) {
+	// identity: δ(a,a) = 0, symmetry, and triangle inequality.
+	if err := quick.Check(func(p pair) bool {
+		return Hamming(p.A, p.A) == 0 && Hamming(p.A, p.B) == Hamming(p.B, p.A)
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(tr triple) bool {
+		ab, bc, ac := Hamming(tr.A, tr.B), Hamming(tr.B, tr.C), Hamming(tr.A, tr.C)
+		return ac <= ab+bc
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBindSelfInverse(t *testing.T) {
+	if err := quick.Check(func(p pair) bool {
+		return Bind(Bind(p.A, p.B), p.B).Equal(p.A)
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBindAssociativeCommutative(t *testing.T) {
+	if err := quick.Check(func(tr triple) bool {
+		l := Bind(Bind(tr.A, tr.B), tr.C)
+		r := Bind(tr.A, Bind(tr.B, tr.C))
+		return l.Equal(r) && Bind(tr.A, tr.B).Equal(Bind(tr.B, tr.A))
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBindIsometry(t *testing.T) {
+	// δ(A⊕C, B⊕C) == δ(A,B): binding preserves the metric structure.
+	if err := quick.Check(func(tr triple) bool {
+		return Hamming(Bind(tr.A, tr.C), Bind(tr.B, tr.C)) == Hamming(tr.A, tr.B)
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPermuteIsometryAndBijection(t *testing.T) {
+	if err := quick.Check(func(p pair) bool {
+		k := p.A.Dim() / 3
+		pa, pb := Permute(p.A, k), Permute(p.B, k)
+		if Hamming(pa, pb) != Hamming(p.A, p.B) {
+			return false
+		}
+		return PermuteInverse(pa, k).Equal(p.A) && pa.Ones() == p.A.Ones()
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRotateDistributesOverBind(t *testing.T) {
+	// ρ(A ⊕ B) == ρ(A) ⊕ ρ(B): the identity the trigram encoder relies on,
+	// since ρ(ρ(A)⊕B)⊕C == ρ(ρ(A))⊕ρ(B)⊕C (paper §II-A1).
+	if err := quick.Check(func(p pair) bool {
+		return Rotate1(Bind(p.A, p.B)).Equal(Bind(Rotate1(p.A), Rotate1(p.B)))
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMajorityBounded(t *testing.T) {
+	// The bundle can never be farther from a member than from its complement,
+	// and per-component the majority agrees with unanimous components.
+	if err := quick.Check(func(tr triple) bool {
+		m := MajorityOf(3, tr.A, tr.B, tr.C)
+		for i := 0; i < m.Dim(); i++ {
+			a, b, c := tr.A.Bit(i), tr.B.Bit(i), tr.C.Bit(i)
+			if a == b && b == c && m.Bit(i) != a {
+				return false
+			}
+		}
+		return true
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMaskedDistanceNeverExceeds(t *testing.T) {
+	if err := quick.Check(func(p pair) bool {
+		dim := p.A.Dim()
+		m := PrefixMask(dim, dim/2)
+		full := Hamming(p.A, p.B)
+		part := m.HammingMasked(p.A, p.B)
+		return part <= full && part >= 0 && FullMask(dim).HammingMasked(p.A, p.B) == full
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	if err := quick.Check(func(p pair) bool {
+		data, err := p.A.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var v Vector
+		if err := v.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return v.Equal(p.A)
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFlipBitsExactDistance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	if err := quick.Check(func(p pair) bool {
+		n := p.A.Dim() / 4
+		f := FlipBits(p.A, n, rng)
+		return Hamming(f, p.A) == n
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

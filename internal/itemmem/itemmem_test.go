@@ -1,0 +1,161 @@
+package itemmem
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/hv"
+)
+
+func TestDeterministicAcrossInstancesAndOrder(t *testing.T) {
+	m1 := New(hv.Dim, 42)
+	m2 := New(hv.Dim, 42)
+	// Request in different orders; vectors must agree symbol-by-symbol.
+	m1.Preload("abc")
+	for _, r := range "cba" {
+		m2.Get(r)
+	}
+	for _, r := range "abc" {
+		if !m1.Get(r).Equal(m2.Get(r)) {
+			t.Fatalf("symbol %q differs across instances", r)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1000, 1).Get('a')
+	b := New(1000, 2).Get('a')
+	if a.Equal(b) {
+		t.Fatal("different seeds produced identical item vectors")
+	}
+}
+
+func TestBalancedAndOrthogonal(t *testing.T) {
+	m := New(hv.Dim, 7)
+	m.Preload(LatinAlphabet)
+	if m.Len() != 27 {
+		t.Fatalf("len = %d, want 27", m.Len())
+	}
+	syms := m.Symbols()
+	for _, r := range syms {
+		v := m.Get(r)
+		if v.Ones() != hv.Dim/2 {
+			t.Errorf("symbol %q not balanced: %d ones", r, v.Ones())
+		}
+	}
+	// Pairwise near-orthogonality (paper: "27 unique orthogonal hypervectors").
+	for i := 0; i < len(syms); i++ {
+		for j := i + 1; j < len(syms); j++ {
+			d := hv.Hamming(m.Get(syms[i]), m.Get(syms[j]))
+			if d < 4700 || d > 5300 {
+				t.Errorf("δ(%q,%q) = %d, want ≈ 5000", syms[i], syms[j], d)
+			}
+		}
+	}
+}
+
+func TestGetMemoizes(t *testing.T) {
+	m := New(100, 1)
+	v1 := m.Get('x')
+	v2 := m.Get('x')
+	if v1 != v2 {
+		t.Fatal("Get did not memoize")
+	}
+	if !m.Has('x') || m.Has('y') {
+		t.Fatal("Has is wrong")
+	}
+}
+
+func TestCleanupRecoversNoisySymbol(t *testing.T) {
+	m := New(hv.Dim, 9)
+	m.Preload(LatinAlphabet)
+	rng := rand.New(rand.NewPCG(3, 3))
+	for _, r := range "qzk " {
+		noisy := hv.FlipBits(m.Get(r), 2000, rng) // 20% component errors
+		got, d := m.Cleanup(noisy)
+		if got != r {
+			t.Errorf("cleanup(%q + 2000 flips) = %q", r, got)
+		}
+		if d != 2000 {
+			t.Errorf("cleanup distance = %d, want 2000", d)
+		}
+	}
+}
+
+func TestCleanupPanics(t *testing.T) {
+	m := New(100, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on empty cleanup")
+			}
+		}()
+		m.Cleanup(hv.New(100))
+	}()
+	m.Get('a')
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on dim mismatch")
+			}
+		}()
+		m.Cleanup(hv.New(99))
+	}()
+}
+
+func TestLevelMemoryMonotoneDistance(t *testing.T) {
+	const n = 11
+	m := NewLevelMemory(hv.Dim, n, 5)
+	if m.Levels() != n || m.Dim() != hv.Dim {
+		t.Fatal("bad level memory shape")
+	}
+	base := m.Get(0)
+	prev := -1
+	for i := 1; i < n; i++ {
+		d := hv.Hamming(base, m.Get(i))
+		if d <= prev {
+			t.Fatalf("distance not strictly increasing at level %d: %d then %d", i, prev, d)
+		}
+		prev = d
+	}
+	// Extremes near orthogonal: n-1 steps each flipping Dim/(2(n-1)) bits.
+	if d := hv.Hamming(base, m.Get(n-1)); d < 4500 || d > 5500 {
+		t.Fatalf("extreme levels distance %d, want ≈ 5000", d)
+	}
+}
+
+func TestLevelMemoryQuantize(t *testing.T) {
+	m := NewLevelMemory(1000, 5, 1)
+	if !m.Quantize(-10, 0, 1).Equal(m.Get(0)) {
+		t.Error("below-range did not clamp to level 0")
+	}
+	if !m.Quantize(99, 0, 1).Equal(m.Get(4)) {
+		t.Error("above-range did not clamp to top level")
+	}
+	if !m.Quantize(0.5, 0, 1).Equal(m.Get(2)) {
+		t.Error("midpoint mapped wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on bad range")
+		}
+	}()
+	m.Quantize(0, 1, 1)
+}
+
+func TestLevelMemoryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLevelMemory(0, 5, 1) },
+		func() { NewLevelMemory(100, 1, 1) },
+		func() { NewLevelMemory(100, 5, 1).Get(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,85 @@
+package itemmem
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"hdam/internal/hv"
+)
+
+// LevelMemory maps a quantized scalar range onto hypervectors such that
+// nearby levels are similar and distant levels approach orthogonality. This
+// "continuous item memory" is the standard HD construction for analog and
+// multi-sensor inputs, which the paper cites as further applications of the
+// same associative-memory substrate (EMG gestures, sensor fusion). It is
+// provided as an extension so downstream users can feed non-symbolic data
+// into the HAM designs.
+//
+// Construction: level 0 is random; each subsequent level flips D/(2(L-1))
+// fresh components, so level L-1 is (approximately) orthogonal to level 0
+// and δ(level_i, level_j) ≈ |i−j|·D/(L−1) up to saturation.
+type LevelMemory struct {
+	dim    int
+	levels []*hv.Vector
+}
+
+// NewLevelMemory builds a level memory with n ≥ 2 levels of the given
+// dimension, deterministically from seed.
+func NewLevelMemory(dim, n int, seed uint64) *LevelMemory {
+	if dim <= 0 {
+		panic(fmt.Sprintf("itemmem: non-positive dimension %d", dim))
+	}
+	if n < 2 {
+		panic(fmt.Sprintf("itemmem: need at least 2 levels, got %d", n))
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x5bf03635))
+	levels := make([]*hv.Vector, n)
+	levels[0] = hv.RandomBalanced(dim, rng)
+	// Flip a disjoint batch of positions per step so distance grows linearly.
+	perm := rng.Perm(dim)
+	per := dim / (2 * (n - 1))
+	pos := 0
+	for i := 1; i < n; i++ {
+		v := levels[i-1].Clone()
+		for k := 0; k < per && pos < dim; k++ {
+			v.Flip(perm[pos])
+			pos++
+		}
+		levels[i] = v
+	}
+	return &LevelMemory{dim: dim, levels: levels}
+}
+
+// Levels returns the number of levels.
+func (m *LevelMemory) Levels() int { return len(m.levels) }
+
+// Dim returns the dimensionality.
+func (m *LevelMemory) Dim() int { return m.dim }
+
+// Get returns the hypervector for level i.
+func (m *LevelMemory) Get(i int) *hv.Vector {
+	if i < 0 || i >= len(m.levels) {
+		panic(fmt.Sprintf("itemmem: level %d out of range [0,%d)", i, len(m.levels)))
+	}
+	return m.levels[i]
+}
+
+// Quantize maps x in [lo, hi] to the nearest level vector.
+func (m *LevelMemory) Quantize(x, lo, hi float64) *hv.Vector {
+	if hi <= lo {
+		panic("itemmem: invalid quantization range")
+	}
+	n := len(m.levels)
+	t := (x - lo) / (hi - lo)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	i := int(t * float64(n-1))
+	if i >= n {
+		i = n - 1
+	}
+	return m.levels[i]
+}

@@ -1,0 +1,219 @@
+package lang
+
+import (
+	"testing"
+
+	"hdam/internal/assoc"
+	"hdam/internal/hv"
+	"hdam/internal/textgen"
+)
+
+// smallParams keeps unit tests fast: fewer characters, smaller test set.
+func smallParams() Params {
+	return Params{
+		Dim:         hv.Dim,
+		NGram:       3,
+		TrainChars:  30_000,
+		TestPerLang: 10,
+		SentenceLen: 100,
+		Seed:        2017,
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	bads := []Params{
+		{Dim: 0, NGram: 3, TrainChars: 100, TestPerLang: 1, SentenceLen: 50},
+		{Dim: 100, NGram: 0, TrainChars: 100, TestPerLang: 1, SentenceLen: 50},
+		{Dim: 100, NGram: 3, TrainChars: 2, TestPerLang: 1, SentenceLen: 50},
+		{Dim: 100, NGram: 3, TrainChars: 100, TestPerLang: 0, SentenceLen: 50},
+		{Dim: 100, NGram: 3, TrainChars: 100, TestPerLang: 1, SentenceLen: 2},
+	}
+	langs := textgen.Catalog(textgen.DefaultConfig())[:2]
+	for i, p := range bads {
+		if _, err := Train(langs, p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if _, err := Train(nil, smallParams()); err == nil {
+		t.Error("empty language list accepted")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	langs := textgen.Catalog(textgen.DefaultConfig())[:3]
+	p := smallParams()
+	p.TrainChars = 5000
+	t1, err := Train(langs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Train(langs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !t1.Memory.Class(i).Equal(t2.Memory.Class(i)) {
+			t.Fatalf("training run not deterministic for class %d", i)
+		}
+	}
+}
+
+func TestEndToEndAccuracy(t *testing.T) {
+	// With D = 10,000 and modest training text the pipeline must already
+	// classify well above chance (1/21 ≈ 4.8%); with DefaultConfig languages
+	// it should exceed 80% even at this reduced scale.
+	langs := textgen.Catalog(textgen.DefaultConfig())
+	p := smallParams()
+	tr, err := Train(langs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := MakeTestSet(langs, p)
+	if len(ts.Samples) != 21*p.TestPerLang {
+		t.Fatalf("test set has %d samples", len(ts.Samples))
+	}
+	ts.Encode(tr)
+	rep := Evaluate(assoc.NewExact(tr.Memory), tr.Memory, ts)
+	if rep.Total != len(ts.Samples) {
+		t.Fatalf("report total %d", rep.Total)
+	}
+	if acc := rep.Accuracy(); acc < 0.8 {
+		t.Fatalf("end-to-end accuracy %.3f too low (chance = 0.048)", acc)
+	}
+	// Confusion matrix row sums must equal per-language sample counts.
+	for i, row := range rep.Confusion {
+		sum := 0
+		for _, v := range row {
+			sum += v
+		}
+		if sum != p.TestPerLang {
+			t.Fatalf("confusion row %d sums to %d", i, sum)
+		}
+	}
+}
+
+func TestDistanceMatrixMatchesMemory(t *testing.T) {
+	langs := textgen.Catalog(textgen.DefaultConfig())[:4]
+	p := smallParams()
+	p.TrainChars = 5000
+	p.TestPerLang = 3
+	tr, err := Train(langs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := MakeTestSet(langs, p)
+	ts.Encode(tr)
+	dm := ts.DistanceMatrix(tr.Memory)
+	for i, q := range ts.Queries {
+		want := tr.Memory.Distances(q)
+		for j := range want {
+			if dm[i][j] != want[j] {
+				t.Fatalf("distance matrix [%d][%d] = %d, want %d", i, j, dm[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestEvaluateWinners(t *testing.T) {
+	langs := textgen.Catalog(textgen.DefaultConfig())[:3]
+	p := smallParams()
+	p.TrainChars = 5000
+	p.TestPerLang = 4
+	tr, err := Train(langs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := MakeTestSet(langs, p)
+	ts.Encode(tr)
+	// All-correct winners give accuracy 1.
+	winners := make([]int, len(ts.Samples))
+	for i, s := range ts.Samples {
+		winners[i] = s.Label
+	}
+	if rep := EvaluateWinners(winners, tr.Memory, ts); rep.Accuracy() != 1 {
+		t.Fatalf("accuracy %.3f, want 1", rep.Accuracy())
+	}
+	// All-wrong winners give 0.
+	for i := range winners {
+		winners[i] = (ts.Samples[i].Label + 1) % 3
+	}
+	if rep := EvaluateWinners(winners, tr.Memory, ts); rep.Accuracy() != 0 {
+		t.Fatal("wrong winners scored above zero")
+	}
+}
+
+func TestEvaluateWinnersLengthPanics(t *testing.T) {
+	langs := textgen.Catalog(textgen.DefaultConfig())[:2]
+	p := smallParams()
+	p.TrainChars = 5000
+	p.TestPerLang = 2
+	tr, _ := Train(langs, p)
+	ts := MakeTestSet(langs, p)
+	ts.Encode(tr)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	EvaluateWinners([]int{0}, tr.Memory, ts)
+}
+
+func TestEncodeRequiredPanics(t *testing.T) {
+	langs := textgen.Catalog(textgen.DefaultConfig())[:2]
+	p := smallParams()
+	p.TrainChars = 5000
+	tr, _ := Train(langs, p)
+	ts := MakeTestSet(langs, p)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic when evaluating unencoded test set")
+		}
+	}()
+	Evaluate(assoc.NewExact(tr.Memory), tr.Memory, ts)
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Correct: 3, Total: 4}
+	if r.String() == "" || r.Accuracy() != 0.75 {
+		t.Fatal("report rendering broken")
+	}
+	var empty Report
+	if empty.Accuracy() != 0 {
+		t.Fatal("empty report accuracy not 0")
+	}
+}
+
+func TestMacroAccuracyAndRecall(t *testing.T) {
+	r := Report{
+		Correct: 7,
+		Total:   10,
+		Confusion: [][]int{
+			{4, 1}, // class 0: 4/5 recall
+			{2, 3}, // class 1: 3/5 recall
+		},
+		Labels: []string{"a", "b"},
+	}
+	if got := r.MacroAccuracy(); got != 0.7 {
+		t.Fatalf("macro accuracy %.3f, want 0.7", got)
+	}
+	rec := r.PerClassRecall()
+	if rec[0] != 0.8 || rec[1] != 0.6 {
+		t.Fatalf("recalls %v", rec)
+	}
+	// With equal class sizes, micro == macro.
+	if r.Accuracy() != r.MacroAccuracy() {
+		t.Fatalf("micro %v != macro %v with equal class sizes", r.Accuracy(), r.MacroAccuracy())
+	}
+	// Empty-class handling.
+	r2 := Report{Confusion: [][]int{{0, 0}, {1, 1}}}
+	if got := r2.MacroAccuracy(); got != 0.5 {
+		t.Fatalf("macro with empty class %.3f, want 0.5", got)
+	}
+	var empty Report
+	if empty.MacroAccuracy() != 0 {
+		t.Fatal("empty report macro not 0")
+	}
+	if len(r2.PerClassRecall()) != 2 || r2.PerClassRecall()[0] != 0 {
+		t.Fatal("per-class recall zero handling broken")
+	}
+}

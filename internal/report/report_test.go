@@ -1,0 +1,68 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "23456")
+	tb.AddNote("calibrated against X")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "====", "name", "a-much-longer-name", "note: calibrated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header and data rows share the value-column offset.
+	head := lines[2]
+	row := lines[4]
+	if strings.Index(head, "value") != strings.Index(row+"     1", "1")-0 && !strings.Contains(row, "short") {
+		t.Errorf("alignment looks broken:\n%s", out)
+	}
+}
+
+func TestAddRowPanicsOnArity(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on wrong cell count")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.AddRow("x,y", `q"u`)
+	tb.AddNote("n")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# T", "a,b", `"x,y"`, `"q""u"`, "# n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Error("F broken")
+	}
+	if Pct(0.978) != "97.8%" {
+		t.Errorf("Pct broken: %s", Pct(0.978))
+	}
+	if !strings.Contains(Sci(1234.5), "e+03") {
+		t.Errorf("Sci broken: %s", Sci(1234.5))
+	}
+}

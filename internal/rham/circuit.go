@@ -1,0 +1,161 @@
+package rham
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"hdam/internal/analog"
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// CircuitHAM is the circuit-level R-HAM simulator: where HAM computes block
+// distances arithmetically, CircuitHAM walks the actual read path of
+// Fig. 3 — every 4-bit block's match line discharges through the RC model
+// of internal/analog, the four staggered sense amplifiers sample it against
+// the tuned clock offsets (corrupted by clock jitter and the amplifiers'
+// input-referred noise), the thermometer code is decoded, and the
+// non-binary counter accumulates the block distances. Voltage-overscaled
+// blocks discharge from 0.78 V with retuned clocks but collapsed amplifier
+// overdrive, so their ±1 misreads emerge from the physics instead of being
+// injected as a probability.
+//
+// It is slower than HAM and exists to validate it: with no overscaled
+// blocks the two agree bit-for-bit (nominal noise margins are ≫ 3σ).
+type CircuitHAM struct {
+	cfg Config
+	mem *core.Memory
+
+	nominal *analog.SenseBank // tuned on the 1.0 V block
+	vos     *analog.SenseBank // retuned for the 0.78 V block's waveform
+	vosLine analog.MatchLine
+
+	// jitterNs is the 1σ Gaussian jitter on each sense-amplifier sampling
+	// instant, nanoseconds.
+	jitterNs float64
+	rng      *rand.Rand
+}
+
+// DefaultClockJitterNs is the sampling-clock jitter (1σ, ns) used when the
+// caller passes zero.
+const DefaultClockJitterNs = 0.012
+
+// Sense-amplifier input-referred noise (1σ, volts). At the nominal supply
+// the amplifier has ample overdrive and its noise is negligible against
+// the ~0.1 V waveform margins; at the overscaled 0.78 V supply the
+// overdrive collapses and metastability blows the input noise up — this,
+// not the timing scale, is what makes an overscaled block misread by ±1
+// at roughly the DefaultVOSErrRate the fast functional path injects.
+const (
+	senseNoiseNominal = 0.006
+	senseNoiseVOS     = 0.030
+)
+
+// NewCircuit builds the circuit-level simulator. jitterSigma ≤ 0 selects
+// DefaultClockJitterNs (the parameter is in nanoseconds).
+func NewCircuit(cfg Config, mem *core.Memory, jitterSigma float64) (*CircuitHAM, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if mem.Dim() != cfg.D {
+		return nil, fmt.Errorf("rham: memory dim %d, config D=%d", mem.Dim(), cfg.D)
+	}
+	if mem.Classes() != cfg.C {
+		return nil, fmt.Errorf("rham: memory has %d classes, config C=%d", mem.Classes(), cfg.C)
+	}
+	if jitterSigma <= 0 {
+		jitterSigma = DefaultClockJitterNs
+	}
+	nomLine := analog.RHAMBlock(1.0)
+	const vref = 0.5 // absolute sense reference, volts
+	return &CircuitHAM{
+		cfg:      cfg,
+		mem:      mem,
+		nominal:  analog.NewSenseBank(nomLine, vref),
+		vos:      analog.NewSenseBank(analog.RHAMBlock(0.78), vref),
+		vosLine:  analog.RHAMBlock(0.78),
+		jitterNs: jitterSigma,
+		rng:      rand.New(rand.NewPCG(cfg.Seed, 0x52_c1c5)),
+	}, nil
+}
+
+// readBlock runs the sense path for one block: the match line with m
+// mismatches is sampled by the four amplifiers at their tuned times plus
+// clock jitter, each comparison corrupted by the amplifier's input-referred
+// noise, and the thermometer code is decoded to a distance.
+func (h *CircuitHAM) readBlock(m int, bank *analog.SenseBank, line analog.MatchLine, vref, senseNoise float64) int {
+	times := bank.SampleTimes()
+	var code [analog.BlockBits]int
+	for j := 0; j < analog.BlockBits; j++ {
+		t := times[j]*1e0 + h.rng.NormFloat64()*h.jitterNs*1e-9
+		if t < 0 {
+			t = 0
+		}
+		v := line.Voltage(m, t) + h.rng.NormFloat64()*senseNoise
+		if v < vref {
+			code[j] = 1
+		}
+	}
+	// A noisy bank can emit a non-thermometer code (a later amplifier
+	// fires without an earlier one); the decoder, like the hardware's
+	// priority logic, counts the fired amplifiers.
+	return analog.Distance(code)
+}
+
+// Search classifies a query through the full sense path.
+func (h *CircuitHAM) Search(q *hv.Vector) core.Result {
+	active := h.cfg.Blocks() - h.cfg.BlocksOff
+	const vref = 0.5
+	best, bestD := 0, int(^uint(0)>>1)
+	for i := 0; i < h.cfg.C; i++ {
+		bd := BlockDistances(q, h.mem.Class(i))
+		d := 0
+		for b := 0; b < active; b++ {
+			if b < h.cfg.VOSBlocks {
+				// The overscaled block discharges from 0.78 V; its sense
+				// bank is retuned for the overscaled waveform, but the
+				// amplifiers' collapsed overdrive inflates their input
+				// noise, so ±1 misreads emerge.
+				d += h.readBlock(bd[b], h.vos, h.vosLine, vref, senseNoiseVOS)
+			} else {
+				d += h.readBlock(bd[b], h.nominal, analog.RHAMBlock(1.0), vref, senseNoiseNominal)
+			}
+		}
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return core.Result{Index: best, Distance: bestD}
+}
+
+// Name implements core.Searcher.
+func (h *CircuitHAM) Name() string {
+	return fmt.Sprintf("R-HAM(circuit) D=%d C=%d off=%d vos=%d jitter=%.3fns",
+		h.cfg.D, h.cfg.C, h.cfg.BlocksOff, h.cfg.VOSBlocks, h.jitterNs)
+}
+
+var _ core.Searcher = (*CircuitHAM)(nil)
+
+// MisreadRate empirically measures the per-block misread probability of
+// the circuit path at a given supply corner and jitter, by reading every
+// distance many times. It is how DefaultVOSErrRate (the fast path's
+// injection rate) is validated against the physics.
+func (h *CircuitHAM) MisreadRate(overscaled bool, trials int) float64 {
+	if trials < 1 {
+		panic(fmt.Sprintf("rham: %d trials", trials))
+	}
+	bank, line, noise := h.nominal, analog.RHAMBlock(1.0), float64(senseNoiseNominal)
+	if overscaled {
+		bank, line, noise = h.vos, h.vosLine, senseNoiseVOS
+	}
+	const vref = 0.5
+	wrong := 0
+	for t := 0; t < trials; t++ {
+		m := t % (analog.BlockBits + 1)
+		if h.readBlock(m, bank, line, vref, noise) != m {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(trials)
+}

@@ -1,0 +1,132 @@
+package rham
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/hv"
+)
+
+func TestCircuitAgreesWithFunctionalNoJitterNoVOS(t *testing.T) {
+	mem := testMemory(8, 2000, 50)
+	fast, err := New(Config{D: 2000, C: 8, VOSErrRate: 1e-12}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := NewCircuit(Config{D: 2000, C: 8}, mem, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(51, 51))
+	for i := 0; i < 20; i++ {
+		q := hv.FlipBits(mem.Class(i%8), 400, rng)
+		fr := fast.Search(q)
+		sr := slow.Search(q)
+		if fr != sr {
+			t.Fatalf("circuit path (%v) disagrees with functional path (%v)", sr, fr)
+		}
+	}
+}
+
+func TestCircuitNominalBlocksReadExactly(t *testing.T) {
+	mem := testMemory(2, 100, 52)
+	h, err := NewCircuit(Config{D: 100, C: 2}, mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the default jitter, nominal blocks must essentially never misread.
+	if rate := h.MisreadRate(false, 5000); rate > 0.002 {
+		t.Fatalf("nominal misread rate %.4f, want ≈ 0", rate)
+	}
+}
+
+func TestCircuitVOSMisreadsEmergeFromPhysics(t *testing.T) {
+	mem := testMemory(2, 100, 53)
+	h, err := NewCircuit(Config{D: 100, C: 2}, mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := h.MisreadRate(true, 5000)
+	// Overscaled blocks misread sometimes — that is the entire premise of
+	// the ±1-error budget — but must stay well under one error per read.
+	if rate == 0 {
+		t.Fatal("overscaled blocks never misread; VOS physics not exercised")
+	}
+	if rate > 0.5 {
+		t.Fatalf("overscaled misread rate %.3f absurdly high", rate)
+	}
+	nominal := h.MisreadRate(false, 5000)
+	if rate <= nominal {
+		t.Fatalf("VOS misread rate %.4f not above nominal %.4f", rate, nominal)
+	}
+}
+
+func TestCircuitVOSMisreadsAreSmall(t *testing.T) {
+	// When an overscaled block misreads, the error is overwhelmingly ±1:
+	// the compressed margins confuse adjacent distances, and multi-bit
+	// errors need multi-σ noise excursions.
+	mem := testMemory(2, 100, 54)
+	h, err := NewCircuit(Config{D: 100, C: 2}, mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const vref = 0.5
+	const trials = 5000
+	big := 0
+	for trial := 0; trial < trials; trial++ {
+		m := trial % 5
+		got := h.readBlock(m, h.vos, h.vosLine, vref, senseNoiseVOS)
+		if got < m-2 || got > m+2 {
+			t.Fatalf("overscaled block read %d for true distance %d (error > 2)", got, m)
+		}
+		if got < m-1 || got > m+1 {
+			big++
+		}
+	}
+	if rate := float64(big) / trials; rate > 0.01 {
+		t.Fatalf("multi-bit misread rate %.4f, want < 1%%", rate)
+	}
+}
+
+func TestCircuitSearchWithVOSStillClassifies(t *testing.T) {
+	mem := testMemory(5, hv.Dim, 55)
+	h, err := NewCircuit(Config{D: hv.Dim, C: 5, BlocksOff: 250, VOSBlocks: 1000}, mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(56, 56))
+	for i := 0; i < 10; i++ {
+		q := hv.FlipBits(mem.Class(i%5), 2000, rng)
+		if r := h.Search(q); r.Index != i%5 {
+			t.Fatalf("circuit VOS search misclassified query near %d as %d", i%5, r.Index)
+		}
+	}
+}
+
+func TestCircuitValidation(t *testing.T) {
+	mem := testMemory(4, 1000, 57)
+	if _, err := NewCircuit(Config{D: 996, C: 4}, mem, 0); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := NewCircuit(Config{D: 1000, C: 5}, mem, 0); err == nil {
+		t.Error("class mismatch accepted")
+	}
+	if _, err := NewCircuit(Config{D: 0, C: 4}, mem, 0); err == nil {
+		t.Error("bad config accepted")
+	}
+	h, err := NewCircuit(Config{D: 1000, C: 4}, mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() == "" {
+		t.Error("empty name")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for zero trials")
+			}
+		}()
+		h.MisreadRate(false, 0)
+	}()
+}

@@ -1,0 +1,130 @@
+package rham
+
+import (
+	"math"
+
+	"hdam/internal/circuit"
+)
+
+// Calibrated 45 nm model constants for R-HAM.
+//
+// Anchors (derivation in EXPERIMENTS.md):
+//
+//	(a) §IV-C1: D 512→10,000 at C=21 scales energy ×8.2, delay ×2.0
+//	(b) §IV-C2: C 6→100 at D=10,000 scales energy ×11.4, delay ×3.4
+//	(c) §IV-D (Fig. 11): EDP 7.3× (max accuracy) / 9.6× (moderate) below
+//	    D-HAM; R-HAM max→moderate gains ×1.4
+//	(d) Fig. 5: turning 250 blocks off saves ≈9% energy; overscaling is
+//	    roughly twice as effective per error bit
+//	(e) Fig. 12: total area ≈ 1.4× below D-HAM (≈18.6 mm² at C=100,
+//	    D=10,000), crossbar density limited by the interleaved counters
+//
+// Energy form: E = C·D·(eCell+eCount) + C·eRowR + D·eBitlineR, with the
+// same per-row/per-bitline fixed costs that give D-HAM its sub-linear
+// scaling; the absolute level (≈1,700 pJ at C=100, D=10,000 before
+// approximations) is set so the Fig. 11 EDP ratios land.
+const (
+	// eCell is the crossbar search energy per memristive cell per query
+	// (precharge + discharge + sense share) at nominal 1 V, pJ.
+	eCell = 1.1318e-3 // 0.75 × 1.509e-3: crossbar share S = 75%
+	// eCount is the counter energy per cell per query: R-HAM's thermometer
+	// coding halves the counter switching activity relative to D-HAM
+	// (Table II), which is reflected in this constant, pJ.
+	eCount = 0.3772e-3 // 0.25 × 1.509e-3
+	// eRowR is the per-row fixed energy per query (row driver, ML
+	// precharger), pJ.
+	eRowR = 1.4083
+	// eBitlineR is the per-bitline fixed energy per query (query broadcast
+	// buffer), pJ.
+	eBitlineR = 5.0125e-3
+	// vosSave is the fraction of a block's crossbar energy saved by
+	// overscaling it to 0.78 V. The quadratic dynamic saving alone is
+	// 1−0.78² = 0.39; the paper's own Fig. 5 reports a 50% *total* energy
+	// saving when all 2,500 blocks are overscaled, which with the crossbar
+	// share of this model implies an effective per-block saving of 0.75
+	// (dynamic + the leakage and precharge-path reduction the Shortstop
+	// boosting technique enables). Using that implied value also lands the
+	// Fig. 11 EDP anchors (7.9×/9.7× vs the paper's 7.3×/9.6×).
+	vosSave = 0.75
+)
+
+// Delay constants (ns), fitted against anchors (a)/(b) with the absolute
+// level at T(10,000, 100) ≈ 80 ns — the array search (ML discharge and
+// sensing) is fast; counters and the comparator tree dominate, and the
+// search latency does not change with the accuracy knobs (§IV-D).
+const (
+	tFixedR  = 0.372
+	tML      = 0.744  // ML discharge + staggered sensing
+	tCntLogR = 0.0186 // per log2(D) counter-tree level
+	tCmpLogR = 3.03   // per log2(C) comparator-tree level
+	tWireR   = 0.0585 // per sqrt(C·D) interconnect unit
+)
+
+// Area constants (mm²), anchored to Fig. 12: R-HAM ≈ 1.4× smaller than
+// D-HAM, with dense memristive storage but full-size digital counters and
+// comparators interleaved at every 4-bit block (§IV-E).
+const (
+	aCellR  = 3.0e-6 // crossbar cell
+	aSense  = 1.9e-5 // per-block sense bank (4 staggered amplifiers)
+	aFAr    = 7.0e-6 // counter area per counted bit (same digital logic as D-HAM)
+	aCmpBit = 2.813e-3
+)
+
+// Cost evaluates the calibrated R-HAM cost model. Breakdown components:
+// "crossbar" (memristive array, drivers, sense banks) and "count"
+// (non-binary counters and comparator tree). Delay is independent of the
+// sampling/VOS knobs, as the paper observes.
+func (c Config) Cost() (circuit.Cost, error) {
+	c, err := c.normalize()
+	if err != nil {
+		return circuit.Cost{}, err
+	}
+	C := float64(c.C)
+	D := float64(c.D)
+	activeBits := float64((c.Blocks() - c.BlocksOff) * BlockBits)
+	vosBits := float64(c.VOSBlocks * BlockBits)
+	w := math.Ceil(math.Log2(D + 1))
+
+	crossbarE := C*(activeBits*eCell-vosBits*eCell*vosSave) + C*eRowR + activeBits*eBitlineR
+	countE := C * activeBits * eCount
+
+	var cost circuit.Cost
+	cost.Add(circuit.Component{
+		Name:   "crossbar",
+		Energy: circuit.Energy(crossbarE),
+		Delay:  circuit.Delay(tFixedR + tML + tWireR*math.Sqrt(C*D)),
+		Area:   circuit.Area(C*D*aCellR + C*float64(c.Blocks())*aSense),
+	})
+	cost.Add(circuit.Component{
+		Name:   "count",
+		Energy: circuit.Energy(countE),
+		Delay:  circuit.Delay(tCntLogR*math.Log2(D) + tCmpLogR*math.Log2(C)),
+		Area:   circuit.Area(C*D*aFAr + (C-1)*w*aCmpBit),
+	})
+	return cost, nil
+}
+
+// MustCost is Cost for design points known valid.
+func (c Config) MustCost() circuit.Cost {
+	cost, err := c.Cost()
+	if err != nil {
+		panic(err)
+	}
+	return cost
+}
+
+// StandbyPower estimates the idle power: the nonvolatile crossbar holds the
+// learned hypervectors with (almost) no leakage — the key standby advantage
+// over D-HAM — but the interleaved digital counters and comparators are
+// CMOS and keep leaking.
+func (c Config) StandbyPower() (circuit.StandbyBreakdown, error) {
+	c, err := c.normalize()
+	if err != nil {
+		return circuit.StandbyBreakdown{}, err
+	}
+	cells := float64(c.C) * float64(c.D)
+	return circuit.StandbyBreakdown{
+		Array:      circuit.Power(cells * circuit.LeakPerNVMCell),
+		Peripheral: circuit.Power(cells * circuit.LeakPerDigitalGate),
+	}, nil
+}

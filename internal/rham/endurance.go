@@ -1,0 +1,81 @@
+package rham
+
+import (
+	"fmt"
+	"math"
+)
+
+// Endurance models the memristor write-wear budget of the resistive
+// designs. Resistive elements endure a limited number of SET/RESET cycles
+// (typically 10⁶–10¹² depending on the device); the paper "address[es]
+// their endurance issue by limiting the write stress only to once for each
+// training session" (§III-B) — the crossbar is written when a training
+// session ends and only read afterwards. This type makes that design rule
+// quantitative: how many training sessions a device survives and how many
+// search operations amortize each write.
+type Endurance struct {
+	// WriteCycles is the device's endurance in SET/RESET cycles
+	// (default 1e8 when zero: a conservative HfOx figure).
+	WriteCycles float64
+}
+
+// defaultWriteCycles is the device endurance assumed when unset.
+const defaultWriteCycles = 1e8
+
+// cycles returns the effective endurance.
+func (e Endurance) cycles() float64 {
+	if e.WriteCycles == 0 {
+		return defaultWriteCycles
+	}
+	return e.WriteCycles
+}
+
+// SessionsSupported returns how many complete training sessions the array
+// survives under the paper's write-once-per-session rule. Each session
+// rewrites every cell at most once (worst case: every stored bit flips).
+func (e Endurance) SessionsSupported() float64 {
+	if e.cycles() <= 0 {
+		panic(fmt.Sprintf("rham: non-positive endurance %v", e.WriteCycles))
+	}
+	return e.cycles()
+}
+
+// SessionsPerDay converts a retraining cadence into a lifetime estimate in
+// years: with `perDay` training sessions per day, how long until the
+// endurance budget is spent.
+func (e Endurance) LifetimeYears(perDay float64) float64 {
+	if perDay <= 0 {
+		panic(fmt.Sprintf("rham: non-positive retraining rate %v", perDay))
+	}
+	return e.SessionsSupported() / (perDay * 365.25)
+}
+
+// NaiveWriteSearches models the alternative the paper rejects: an
+// architecture that rewrites cells during search (e.g. an in-memory
+// counter) would spend endurance per query. Given writesPerSearch cell
+// writes, it returns how many searches the array survives — the comparison
+// that justifies the read-only search design.
+func (e Endurance) NaiveWriteSearches(writesPerSearch float64) float64 {
+	if writesPerSearch <= 0 {
+		panic(fmt.Sprintf("rham: non-positive writes per search %v", writesPerSearch))
+	}
+	return e.cycles() / writesPerSearch
+}
+
+// WearRatio returns how many times longer the write-once-per-session
+// design lives than the naive write-per-search design, for a workload of
+// `searchesPerSession` queries between retrainings.
+func (e Endurance) WearRatio(searchesPerSession, writesPerSearch float64) float64 {
+	if searchesPerSession <= 0 {
+		panic(fmt.Sprintf("rham: non-positive searches per session %v", searchesPerSession))
+	}
+	// Write-once: 1 cell write per session. Naive: searchesPerSession ×
+	// writesPerSearch writes per session.
+	return searchesPerSession * writesPerSearch
+}
+
+// String summarizes the endurance corner.
+func (e Endurance) String() string {
+	return fmt.Sprintf("endurance %.0e cycles (≈%.1f years at 10 retrainings/day)",
+		e.cycles(), math.Round(e.LifetimeYears(10)*10)/10)
+}

@@ -1,0 +1,107 @@
+package rham
+
+import (
+	"strings"
+	"testing"
+
+	"hdam/internal/aham"
+	"hdam/internal/circuit"
+	"hdam/internal/dham"
+)
+
+func TestEnduranceDefaults(t *testing.T) {
+	var e Endurance
+	if e.SessionsSupported() != 1e8 {
+		t.Fatalf("default sessions %v, want 1e8", e.SessionsSupported())
+	}
+	custom := Endurance{WriteCycles: 1e6}
+	if custom.SessionsSupported() != 1e6 {
+		t.Fatal("custom endurance ignored")
+	}
+}
+
+func TestEnduranceLifetime(t *testing.T) {
+	e := Endurance{WriteCycles: 1e6}
+	// 1e6 sessions at 10/day ≈ 273.8 years.
+	y := e.LifetimeYears(10)
+	if y < 270 || y > 280 {
+		t.Fatalf("lifetime %v years, want ≈ 273.8", y)
+	}
+}
+
+func TestWriteOncePerSessionRuleWins(t *testing.T) {
+	// The §III-B rule: a search-heavy workload (1e6 searches per training
+	// session) wears a write-per-search design 1e6× faster.
+	e := Endurance{}
+	ratio := e.WearRatio(1e6, 1)
+	if ratio != 1e6 {
+		t.Fatalf("wear ratio %v, want 1e6", ratio)
+	}
+	if e.NaiveWriteSearches(1) != 1e8 {
+		t.Fatalf("naive search budget wrong")
+	}
+}
+
+func TestEndurancePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Endurance{}.LifetimeYears(0) },
+		func() { Endurance{}.NaiveWriteSearches(0) },
+		func() { Endurance{}.WearRatio(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	if !strings.Contains(Endurance{}.String(), "cycles") {
+		t.Error("String broken")
+	}
+}
+
+func TestStandbyOrdering(t *testing.T) {
+	// The nonvolatility story: D-HAM's volatile CAM leaks orders of
+	// magnitude more than R-HAM's crossbar, and A-HAM's power-gated analog
+	// periphery idles lowest of all.
+	dSb, err := (dham.Config{D: 10000, C: 100}).StandbyPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSb, err := (Config{D: 10000, C: 100}).StandbyPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aSb, err := (aham.Config{D: 10000, C: 100}).StandbyPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(aSb.Total() < rSb.Total() && rSb.Total() < dSb.Total()) {
+		t.Fatalf("standby ordering broken: A=%v R=%v D=%v", aSb.Total(), rSb.Total(), dSb.Total())
+	}
+	// Array leakage specifically: NVM ≪ CMOS.
+	if float64(dSb.Array)/float64(rSb.Array) < 100 {
+		t.Fatalf("CMOS array leakage (%v) not ≫ NVM (%v)", dSb.Array, rSb.Array)
+	}
+	// The R-HAM standby is dominated by its CMOS counters, not the array —
+	// the §IV-E observation that R-HAM "cannot fully utilize" the dense
+	// technology extends to standby.
+	if rSb.Peripheral < rSb.Array {
+		t.Fatal("R-HAM standby should be peripheral-dominated")
+	}
+	var _ circuit.Power = dSb.Total()
+}
+
+func TestStandbyInvalidConfig(t *testing.T) {
+	if _, err := (Config{D: 0, C: 5}).StandbyPower(); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := (dham.Config{D: 0, C: 5}).StandbyPower(); err == nil {
+		t.Error("invalid dham config accepted")
+	}
+	if _, err := (aham.Config{D: 0, C: 5}).StandbyPower(); err == nil {
+		t.Error("invalid aham config accepted")
+	}
+}

@@ -1,0 +1,307 @@
+// Package rham implements R-HAM, the paper's resistive (memristive)
+// hyperdimensional associative memory (§III-C): the learned hypervectors are
+// stored in a crossbar partitioned into 4-bit blocks; each block's match
+// line discharges at a speed set by its mismatch count, four clock-staggered
+// sense amplifiers translate the timing into a thermometer code of the block
+// distance (0–4), and non-binary counters plus a comparator tree pick the
+// row with the minimum total distance.
+//
+// R-HAM supports the paper's two approximation techniques:
+//
+//   - structured sampling: whole blocks are powered off, excluding their
+//     bits from the distance (250 blocks → maximum accuracy, 750 →
+//     moderate; §III-C2);
+//   - distributed voltage overscaling (VOS): blocks run at 0.78 V, where
+//     each block may misread its distance by at most ±1 bit; errors spread
+//     across many blocks instead of concentrating, which HD tolerates.
+//
+// As with dham, the package provides the functional simulator (Searcher)
+// and the calibrated energy/delay/area model.
+package rham
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand/v2"
+
+	"hdam/internal/analog"
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// BlockBits is the crossbar block width; the paper fixes it at 4 bits, the
+// widest block whose ML timing still separates all distances (§III-C1).
+const BlockBits = analog.BlockBits
+
+// Config describes one R-HAM design point.
+type Config struct {
+	// D is the hypervector dimensionality; must be a multiple of BlockBits.
+	D int
+	// C is the number of stored classes.
+	C int
+	// BlocksOff is the number of blocks excluded by structured sampling
+	// (removed from the tail).
+	BlocksOff int
+	// VOSBlocks is the number of remaining blocks operated at the
+	// overscaled 0.78 V supply.
+	VOSBlocks int
+	// VOSErrRate is the per-search probability that an overscaled block
+	// misreads its distance by ±1 (clamped to the 0–4 rails). The default
+	// 0.25 keeps the expected injected error well inside the worst-case
+	// "one bit per block" budget the paper designs for.
+	VOSErrRate float64
+	// Seed drives the VOS error injection.
+	Seed uint64
+}
+
+// DefaultVOSErrRate is the per-block misread probability used when
+// Config.VOSErrRate is zero.
+const DefaultVOSErrRate = 0.25
+
+// Blocks returns the total number of blocks M = D / 4.
+func (c Config) Blocks() int { return c.D / BlockBits }
+
+// normalize fills defaults and validates.
+func (c Config) normalize() (Config, error) {
+	if c.D <= 0 || c.D%BlockBits != 0 {
+		return c, fmt.Errorf("rham: dimension %d must be a positive multiple of %d", c.D, BlockBits)
+	}
+	if c.C < 2 {
+		return c, fmt.Errorf("rham: need at least 2 classes, got %d", c.C)
+	}
+	m := c.Blocks()
+	if c.BlocksOff < 0 || c.BlocksOff >= m {
+		return c, fmt.Errorf("rham: %d blocks off out of [0,%d)", c.BlocksOff, m)
+	}
+	if c.VOSBlocks < 0 || c.VOSBlocks > m-c.BlocksOff {
+		return c, fmt.Errorf("rham: %d VOS blocks with only %d active", c.VOSBlocks, m-c.BlocksOff)
+	}
+	if c.VOSErrRate < 0 || c.VOSErrRate > 1 {
+		return c, fmt.Errorf("rham: VOS error rate %v", c.VOSErrRate)
+	}
+	if c.VOSErrRate == 0 {
+		c.VOSErrRate = DefaultVOSErrRate
+	}
+	return c, nil
+}
+
+// ErrorBits returns the worst-case Hamming-distance error this
+// configuration admits: 4 bits per excluded block plus 1 bit per
+// overscaled block (§III-C2).
+func (c Config) ErrorBits() int { return c.BlocksOff*BlockBits + c.VOSBlocks }
+
+// WithErrorBudget returns the R-HAM configuration the paper would deploy
+// for an allowed distance error of e bits: overscale as many blocks as the
+// budget allows (1 bit each, the cheap quadratic saving) and spend the
+// remainder on powering blocks off (4 bits each). This mirrors §III-C2,
+// where VOS covers the first 2,500 error bits and sampling the rest.
+func (c Config) WithErrorBudget(e int) (Config, error) {
+	if e < 0 {
+		return c, fmt.Errorf("rham: negative error budget %d", e)
+	}
+	m := c.D / BlockBits
+	var off, vos int
+	if e <= m {
+		// Budget fits entirely in VOS: 1 error bit per overscaled block.
+		vos = e
+	} else {
+		// Every block is overscaled; converting an overscaled block into a
+		// powered-off one trades its 1-bit error for 4, netting +3 bits.
+		off = (e - m) / 3
+		if off >= m {
+			off = m - 1
+		}
+		vos = m - off
+	}
+	c.BlocksOff, c.VOSBlocks = off, vos
+	return c.normalize()
+}
+
+// HAM is the R-HAM functional simulator bound to a trained memory.
+type HAM struct {
+	cfg Config
+	mem *core.Memory
+	rng *rand.Rand
+}
+
+// New builds an R-HAM instance over a trained associative memory.
+func New(cfg Config, mem *core.Memory) (*HAM, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if mem.Dim() != cfg.D {
+		return nil, fmt.Errorf("rham: memory dim %d, config D=%d", mem.Dim(), cfg.D)
+	}
+	if mem.Classes() != cfg.C {
+		return nil, fmt.Errorf("rham: memory has %d classes, config C=%d", mem.Classes(), cfg.C)
+	}
+	return &HAM{cfg: cfg, mem: mem, rng: rand.New(rand.NewPCG(cfg.Seed, 0x4e48414d))}, nil
+}
+
+// BlockDistances returns the per-block Hamming distances between two
+// vectors, exactly as the sense banks would read them (each block is at
+// most 4 bits, so the staggered sense amplifiers resolve the distance
+// exactly; see analog.SenseBank). Implemented with word-level nibble
+// popcounts.
+func BlockDistances(q, c *hv.Vector) []int {
+	if q.Dim() != c.Dim() {
+		panic(fmt.Sprintf("rham: dims %d vs %d", q.Dim(), c.Dim()))
+	}
+	if q.Dim()%BlockBits != 0 {
+		panic(fmt.Sprintf("rham: dim %d not a multiple of %d", q.Dim(), BlockBits))
+	}
+	nBlocks := q.Dim() / BlockBits
+	out := make([]int, nBlocks)
+	qw, cw := q.Words(), c.Words()
+	for wi := range qw {
+		x := qw[wi] ^ cw[wi]
+		if x == 0 {
+			continue
+		}
+		// SWAR nibble popcount: after these two steps every 4-bit field
+		// holds the popcount of the original nibble.
+		x = x - ((x >> 1) & 0x5555555555555555)
+		x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+		base := wi * 16 // 16 nibbles per word
+		for n := 0; n < 16 && base+n < nBlocks; n++ {
+			out[base+n] = int((x >> (uint(n) * 4)) & 0xF)
+		}
+	}
+	return out
+}
+
+// Search classifies a query the way the resistive hardware does: exact
+// block distances over the active blocks, with each overscaled block
+// subject to a ±1 misread at the configured rate. The minimum is selected
+// by the same deterministic comparator tree as D-HAM.
+func (h *HAM) Search(q *hv.Vector) core.Result {
+	active := h.cfg.Blocks() - h.cfg.BlocksOff
+	best, bestD := 0, math.MaxInt
+	for i := 0; i < h.cfg.C; i++ {
+		bd := BlockDistances(q, h.mem.Class(i))
+		d := 0
+		for b := 0; b < active; b++ {
+			// VOS blocks are the first VOSBlocks of the active region: the
+			// assignment is immaterial because components are i.i.d.
+			if b < h.cfg.VOSBlocks {
+				d += analog.VOSBlockError(bd[b], h.cfg.VOSErrRate, h.rng)
+			} else {
+				d += bd[b]
+			}
+		}
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return core.Result{Index: best, Distance: bestD}
+}
+
+// NetVOSNoise samples the aggregate distance error that VOS misreads inject
+// into one row's distance, for experiments that sweep over a precomputed
+// distance matrix instead of re-reading blocks: Binomial(VOSBlocks, rate)
+// misreads, each ±1 with equal probability.
+func (c Config) NetVOSNoise(rng *rand.Rand) int {
+	k := binomialSample(rng, c.VOSBlocks, c.VOSErrRate)
+	net := 0
+	for i := 0; i < k; i++ {
+		if rng.IntN(2) == 0 {
+			net--
+		} else {
+			net++
+		}
+	}
+	return net
+}
+
+// binomialSample draws Binomial(n, p); exact for small n, normal
+// approximation above (n·p·(1−p) is then large enough for the experiments'
+// purposes).
+func binomialSample(rng *rand.Rand, n int, p float64) int {
+	if n < 0 || p < 0 || p > 1 {
+		panic(fmt.Sprintf("rham: binomial(%d, %v)", n, p))
+	}
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(mean * (1 - p))
+	k := int(math.Round(mean + rng.NormFloat64()*sd))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Name implements core.Searcher.
+func (h *HAM) Name() string {
+	return fmt.Sprintf("R-HAM D=%d C=%d off=%d vos=%d", h.cfg.D, h.cfg.C, h.cfg.BlocksOff, h.cfg.VOSBlocks)
+}
+
+// Config returns the design point.
+func (h *HAM) Config() Config { return h.cfg }
+
+var _ core.Searcher = (*HAM)(nil)
+
+// SaturatedBlockDistance models what a *wider-than-4-bit* block would read:
+// the ML current saturates, so the sense circuitry can only distinguish
+// distances up to satLevels and reports anything above as satLevels. This is
+// the Fig. 4(a) limitation that motivates the 4-bit partitioning; it is
+// exposed for the block-size ablation benchmark.
+func SaturatedBlockDistance(q, c *hv.Vector, blockBits, satLevels int) []int {
+	if blockBits < 1 || q.Dim()%blockBits != 0 {
+		panic(fmt.Sprintf("rham: dim %d not divisible by block size %d", q.Dim(), blockBits))
+	}
+	if satLevels < 1 {
+		panic(fmt.Sprintf("rham: saturation level %d", satLevels))
+	}
+	if q.Dim() != c.Dim() {
+		panic(fmt.Sprintf("rham: dims %d vs %d", q.Dim(), c.Dim()))
+	}
+	n := q.Dim() / blockBits
+	out := make([]int, n)
+	for b := 0; b < n; b++ {
+		d := 0
+		for i := b * blockBits; i < (b+1)*blockBits; i++ {
+			d += q.Bit(i) ^ c.Bit(i)
+		}
+		if d > satLevels {
+			d = satLevels
+		}
+		out[b] = d
+	}
+	return out
+}
+
+// nibblePopcountReference is the per-bit reference used by tests.
+func nibblePopcountReference(q, c *hv.Vector) []int {
+	n := q.Dim() / BlockBits
+	out := make([]int, n)
+	for b := 0; b < n; b++ {
+		x := 0
+		for i := b * BlockBits; i < (b+1)*BlockBits; i++ {
+			x += q.Bit(i) ^ c.Bit(i)
+		}
+		out[b] = x
+	}
+	return out
+}
+
+// popcntWords is a helper for tests comparing against hv.Hamming.
+func popcntWords(ws []uint64) int {
+	n := 0
+	for _, w := range ws {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -1,0 +1,301 @@
+package rham
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/core"
+	"hdam/internal/dham"
+	"hdam/internal/hv"
+)
+
+func testMemory(c, dim int, seed uint64) *core.Memory {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	cs := make([]*hv.Vector, c)
+	ls := make([]string, c)
+	for i := range cs {
+		cs[i] = hv.Random(dim, rng)
+		ls[i] = string(rune('A' + i))
+	}
+	return core.MustMemory(cs, ls)
+}
+
+func TestConfigValidation(t *testing.T) {
+	bads := []Config{
+		{D: 10, C: 5}, // not multiple of 4
+		{D: 0, C: 5},
+		{D: 100, C: 1},
+		{D: 100, C: 5, BlocksOff: 25}, // all blocks off
+		{D: 100, C: 5, BlocksOff: -1},
+		{D: 100, C: 5, BlocksOff: 5, VOSBlocks: 21}, // more than active
+		{D: 100, C: 5, VOSErrRate: 1.5},
+	}
+	for i, cfg := range bads {
+		if _, err := cfg.Cost(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	cfg, err := (Config{D: 10000, C: 21}).normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Blocks() != 2500 || cfg.VOSErrRate != DefaultVOSErrRate {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestErrorBudgetMapping(t *testing.T) {
+	cfg := Config{D: 10000, C: 21}
+	// Budget 1000: all spent on VOS (1 bit per block).
+	got, err := cfg.WithErrorBudget(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VOSBlocks != 1000 || got.BlocksOff != 0 {
+		t.Fatalf("budget 1000 → %+v", got)
+	}
+	// Budget 3000: 2500 VOS + 125 blocks off (500 error bits).
+	got, _ = cfg.WithErrorBudget(3000)
+	if got.VOSBlocks+got.BlocksOff*4 < 2900 || got.ErrorBits() > 3000 {
+		t.Fatalf("budget 3000 → %+v (errors %d)", got, got.ErrorBits())
+	}
+	if _, err := cfg.WithErrorBudget(-1); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestBlockDistancesMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, dim := range []int{4, 64, 100, 10000} {
+		q := hv.Random(dim, rng)
+		c := hv.Random(dim, rng)
+		got := BlockDistances(q, c)
+		want := nibblePopcountReference(q, c)
+		if len(got) != dim/4 {
+			t.Fatalf("dim %d: %d blocks", dim, len(got))
+		}
+		sum := 0
+		for b := range got {
+			if got[b] != want[b] {
+				t.Fatalf("dim %d block %d: %d, want %d", dim, b, got[b], want[b])
+			}
+			sum += got[b]
+		}
+		if sum != hv.Hamming(q, c) {
+			t.Fatalf("dim %d: block distances sum to %d, Hamming %d", dim, sum, hv.Hamming(q, c))
+		}
+	}
+}
+
+func TestSearchNoApproximationIsExact(t *testing.T) {
+	mem := testMemory(21, hv.Dim, 2)
+	h, err := New(Config{D: hv.Dim, C: 21, VOSErrRate: 1e-12}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 42; i++ {
+		q := hv.FlipBits(mem.Class(i%21), 2500, rng)
+		r := h.Search(q)
+		wi, wd := mem.Nearest(q)
+		if r.Index != wi || r.Distance != wd {
+			t.Fatalf("search (%d,%d) != exact (%d,%d)", r.Index, r.Distance, wi, wd)
+		}
+	}
+}
+
+func TestSearchWithApproximationsStillClassifies(t *testing.T) {
+	// Max-accuracy configuration of §III-C2: 250 blocks off, 1,000 VOS.
+	mem := testMemory(21, hv.Dim, 4)
+	h, err := New(Config{D: hv.Dim, C: 21, BlocksOff: 250, VOSBlocks: 1000}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	errs := 0
+	for i := 0; i < 105; i++ {
+		q := hv.FlipBits(mem.Class(i%21), 2000, rng)
+		if h.Search(q).Index != i%21 {
+			errs++
+		}
+	}
+	if errs > 1 {
+		t.Fatalf("%d/105 misclassifications under max-accuracy approximations", errs)
+	}
+}
+
+func TestVOSInjectsBoundedNoise(t *testing.T) {
+	cfg, _ := (Config{D: 10000, C: 21, VOSBlocks: 1000}).normalize()
+	rng := rand.New(rand.NewPCG(6, 6))
+	var sum, abs float64
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		n := cfg.NetVOSNoise(rng)
+		if n < -1000 || n > 1000 {
+			t.Fatalf("net noise %d exceeds worst case ±1000", n)
+		}
+		sum += float64(n)
+		abs += math.Abs(float64(n))
+	}
+	if math.Abs(sum/trials) > 3 {
+		t.Fatalf("VOS noise biased: mean %.2f", sum/trials)
+	}
+	// Expected |net| ≈ sqrt(2·k·p/π)… just require it is non-degenerate.
+	if abs/trials < 5 {
+		t.Fatalf("VOS noise degenerate: mean |n| = %.2f", abs/trials)
+	}
+}
+
+func TestSaturatedBlockDistance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	q := hv.Random(40, rng)
+	c := hv.Not(q) // distance 40: every block fully mismatched
+	// 10-bit blocks saturating at 4 (the Fig. 4(a) regime).
+	sat := SaturatedBlockDistance(q, c, 10, 4)
+	if len(sat) != 4 {
+		t.Fatalf("%d blocks", len(sat))
+	}
+	for _, d := range sat {
+		if d != 4 {
+			t.Fatalf("saturated distance %d, want 4", d)
+		}
+	}
+	// 4-bit blocks at 4 levels are exact.
+	exact := SaturatedBlockDistance(q, c, 4, 4)
+	for _, d := range exact {
+		if d != 4 {
+			t.Fatalf("4-bit block distance %d, want 4", d)
+		}
+	}
+	for _, f := range []func(){
+		func() { SaturatedBlockDistance(q, c, 3, 4) },
+		func() { SaturatedBlockDistance(q, c, 4, 0) },
+		func() { SaturatedBlockDistance(q, hv.New(44), 4, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// --- cost model calibration ---
+
+func relErr(got, want float64) float64 { return math.Abs(got-want) / want }
+
+func TestScalingDimension(t *testing.T) {
+	// §IV-C1 for R-HAM: 20× dimensions → ×8.2 energy, ×2.0 delay (±15%).
+	lo := Config{D: 512, C: 21}.MustCost()
+	hi := Config{D: 10000, C: 21}.MustCost()
+	if r := float64(hi.Energy) / float64(lo.Energy); math.Abs(r-8.2)/8.2 > 0.15 {
+		t.Errorf("D-scaling energy ratio %.2f, want ≈ 8.2", r)
+	}
+	if r := float64(hi.Delay) / float64(lo.Delay); math.Abs(r-2.0)/2.0 > 0.15 {
+		t.Errorf("D-scaling delay ratio %.2f, want ≈ 2.0", r)
+	}
+}
+
+func TestScalingClasses(t *testing.T) {
+	// §IV-C2 for R-HAM: 16.6× classes → ×11.4 energy, ×3.4 delay (±15%).
+	lo := Config{D: 10000, C: 6}.MustCost()
+	hi := Config{D: 10000, C: 100}.MustCost()
+	if r := float64(hi.Energy) / float64(lo.Energy); math.Abs(r-11.4)/11.4 > 0.15 {
+		t.Errorf("C-scaling energy ratio %.2f, want ≈ 11.4", r)
+	}
+	if r := float64(hi.Delay) / float64(lo.Delay); math.Abs(r-3.4)/3.4 > 0.15 {
+		t.Errorf("C-scaling delay ratio %.2f, want ≈ 3.4", r)
+	}
+}
+
+func TestEDPRatiosVersusDHAM(t *testing.T) {
+	// Fig. 11 anchors at D=10,000, C=100: R-HAM EDP ≈7.3× (max accuracy)
+	// and ≈9.6× (moderate) below D-HAM; R-HAM max→moderate ≈1.4×. The
+	// model lands within ±35% of the paper's ratios (shape contract).
+	dMax := dham.Config{D: 10000, C: 100, SampledD: 9000}.MustCost()
+	dMod := dham.Config{D: 10000, C: 100, SampledD: 7000}.MustCost()
+	rMax := Config{D: 10000, C: 100, BlocksOff: 250, VOSBlocks: 1000}.MustCost()
+	rMod := Config{D: 10000, C: 100, BlocksOff: 750, VOSBlocks: 1750}.MustCost()
+
+	maxRatio := float64(dMax.EDP()) / float64(rMax.EDP())
+	modRatio := float64(dMod.EDP()) / float64(rMod.EDP())
+	if maxRatio < 7.3*0.65 || maxRatio > 7.3*1.35 {
+		t.Errorf("max-accuracy EDP ratio %.2f, want ≈ 7.3", maxRatio)
+	}
+	if modRatio < 9.6*0.65 || modRatio > 9.6*1.35 {
+		t.Errorf("moderate EDP ratio %.2f, want ≈ 9.6", modRatio)
+	}
+	gain := float64(rMax.EDP()) / float64(rMod.EDP())
+	if gain < 1.2 || gain > 1.9 {
+		t.Errorf("R-HAM max→moderate EDP gain %.2f, want ≈ 1.4", gain)
+	}
+}
+
+func TestFig5SavingShapes(t *testing.T) {
+	// Fig. 5: 250 blocks off saves ≈9%; VOS is the more effective knob —
+	// overscaling 1,000 blocks (same 1,000-bit error budget) saves clearly
+	// more than sampling's 9%.
+	base := Config{D: 10000, C: 100}.MustCost()
+	off250 := Config{D: 10000, C: 100, BlocksOff: 250}.MustCost()
+	vos1000 := Config{D: 10000, C: 100, VOSBlocks: 1000}.MustCost()
+	sOff := 1 - float64(off250.Energy)/float64(base.Energy)
+	sVOS := 1 - float64(vos1000.Energy)/float64(base.Energy)
+	if math.Abs(sOff-0.09) > 0.03 {
+		t.Errorf("sampling saving %.3f, want ≈ 0.09", sOff)
+	}
+	if sVOS <= sOff {
+		t.Errorf("VOS saving %.3f not above sampling %.3f", sVOS, sOff)
+	}
+	// Moderate band: 750 off → ≈22–27%; all 2,500 VOS → larger still.
+	off750 := Config{D: 10000, C: 100, BlocksOff: 750}.MustCost()
+	vosAll := Config{D: 10000, C: 100, VOSBlocks: 2500}.MustCost()
+	sOff750 := 1 - float64(off750.Energy)/float64(base.Energy)
+	sVOSAll := 1 - float64(vosAll.Energy)/float64(base.Energy)
+	if sOff750 < 0.20 || sOff750 > 0.30 {
+		t.Errorf("750-block sampling saving %.3f, want ≈ 0.22–0.27", sOff750)
+	}
+	if sVOSAll <= sOff750 {
+		t.Errorf("full VOS saving %.3f not above sampling %.3f", sVOSAll, sOff750)
+	}
+}
+
+func TestDelayIndependentOfKnobs(t *testing.T) {
+	// §IV-D: "the search latency in R-HAM does not change with lower
+	// accuracy".
+	base := Config{D: 10000, C: 21}.MustCost()
+	approx := Config{D: 10000, C: 21, BlocksOff: 750, VOSBlocks: 1750}.MustCost()
+	if base.Delay != approx.Delay {
+		t.Fatalf("delay changed with accuracy knobs: %v vs %v", base.Delay, approx.Delay)
+	}
+}
+
+func TestAreaVersusDHAM(t *testing.T) {
+	// Fig. 12: R-HAM ≈1.4× smaller than D-HAM at D=10,000, C=100.
+	dA := dham.Config{D: 10000, C: 100}.MustCost().Area
+	rA := Config{D: 10000, C: 100}.MustCost().Area
+	ratio := float64(dA) / float64(rA)
+	if math.Abs(ratio-1.4) > 0.2 {
+		t.Errorf("area ratio %.2f, want ≈ 1.4", ratio)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	mem := testMemory(5, 1000, 8)
+	if _, err := New(Config{D: 996, C: 5}, mem); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := New(Config{D: 1000, C: 6}, mem); err == nil {
+		t.Error("class mismatch accepted")
+	}
+	h, err := New(Config{D: 1000, C: 5}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() == "" || h.Config().D != 1000 {
+		t.Error("accessors broken")
+	}
+}

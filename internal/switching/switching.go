@@ -1,0 +1,134 @@
+// Package switching computes the average switching activity of the signals
+// feeding the distance counters in D-HAM and R-HAM (paper Table II).
+//
+// D-HAM's counters consume raw XOR-gate outputs: for i.i.d. random queries
+// each gate output is an independent fair bit, so its 0→1 activity is
+// 0.5 × 0.5 = 25% regardless of how bits are grouped into blocks.
+//
+// R-HAM's counters consume the sense amplifiers' *thermometer* code of each
+// block's distance (Fig. 3(c)): line j of a b-bit block is 1 exactly when
+// the block distance is ≥ j. The code changes by one line per unit distance
+// change — the paper's example: binary 0011→0100 toggles three lines where
+// thermometer 1110→1111 toggles one — so its average activity falls below
+// 25% and keeps falling as blocks widen. This package enumerates the exact
+// activity over all pattern pairs; no sampling.
+package switching
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// XORActivity is the 0→1 switching activity of a D-HAM XOR comparison
+// output under i.i.d. random inputs: P(prev=0)·P(next=1) = 25%, independent
+// of block size (Table II, D-HAM column).
+const XORActivity = 0.25
+
+// binomial returns C(n, k) as a float.
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// distProb returns P(block distance = d) for a b-bit block comparing two
+// i.i.d. random patterns: Binomial(b, ½).
+func distProb(b, d int) float64 {
+	return binomial(b, d) / math.Exp2(float64(b))
+}
+
+// checkBlock validates a block size.
+func checkBlock(b int) {
+	if b < 1 || b > 16 {
+		panic(fmt.Sprintf("switching: block size %d out of [1,16]", b))
+	}
+}
+
+// ThermometerCode returns the b-line thermometer code of distance d: d
+// leading ones. This is the non-binary code R-HAM's sense amplifiers emit.
+func ThermometerCode(b, d int) uint {
+	checkBlock(b)
+	if d < 0 || d > b {
+		panic(fmt.Sprintf("switching: distance %d out of [0,%d]", d, b))
+	}
+	return (1 << uint(d)) - 1
+}
+
+// BinaryCode returns the standard binary encoding of distance d in
+// ceil(log2(b+1)) lines.
+func BinaryCode(b, d int) uint {
+	checkBlock(b)
+	if d < 0 || d > b {
+		panic(fmt.Sprintf("switching: distance %d out of [0,%d]", d, b))
+	}
+	return uint(d)
+}
+
+// binaryLines is the line count of the binary code for distances 0..b.
+func binaryLines(b int) int {
+	return bits.Len(uint(b))
+}
+
+// activity computes the exact average 0→1 switching activity per line when
+// consecutive block distances are i.i.d. Binomial(b, ½) and encoded by enc
+// into `lines` lines.
+func activity(b, lines int, enc func(b, d int) uint) float64 {
+	var e float64
+	for d1 := 0; d1 <= b; d1++ {
+		for d2 := 0; d2 <= b; d2++ {
+			toggles := bits.OnesCount(uint(^enc(b, d1)) & uint(enc(b, d2)) & (1<<uint(lines) - 1))
+			e += distProb(b, d1) * distProb(b, d2) * float64(toggles)
+		}
+	}
+	return e / float64(lines)
+}
+
+// ThermometerActivity returns the exact average 0→1 activity per sense line
+// of a b-bit R-HAM block (Table II, R-HAM column).
+func ThermometerActivity(b int) float64 {
+	checkBlock(b)
+	return activity(b, b, ThermometerCode)
+}
+
+// BinaryActivity returns the average 0→1 activity per line if the block
+// distance were binary-coded instead — the encoding the paper's example
+// argues against (§III-C1).
+func BinaryActivity(b int) float64 {
+	checkBlock(b)
+	return activity(b, binaryLines(b), BinaryCode)
+}
+
+// Toggles returns the number of lines that switch (either direction) when
+// the encoded distance moves d1→d2; used to reproduce the paper's
+// "0011 vs 0100" (3 toggles) versus "1110 vs 1111" (1 toggle) example.
+func Toggles(enc func(b, d int) uint, b, d1, d2 int) int {
+	return bits.OnesCount(enc(b, d1) ^ enc(b, d2))
+}
+
+// TableRow is one row of the reproduction of Table II.
+type TableRow struct {
+	BlockBits   int
+	RHAM        float64 // thermometer-code activity
+	DHAM        float64 // XOR-gate activity (constant 25%)
+	BinaryCoded float64 // ablation: binary-coded block distance
+}
+
+// TableII computes the reproduction of Table II for block sizes 1–4.
+func TableII() []TableRow {
+	rows := make([]TableRow, 0, 4)
+	for b := 1; b <= 4; b++ {
+		rows = append(rows, TableRow{
+			BlockBits:   b,
+			RHAM:        ThermometerActivity(b),
+			DHAM:        XORActivity,
+			BinaryCoded: BinaryActivity(b),
+		})
+	}
+	return rows
+}

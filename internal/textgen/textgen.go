@@ -1,0 +1,307 @@
+// Package textgen synthesizes the multilingual corpus the reproduction
+// trains and tests on. The paper trains each of 21 European-language
+// hypervectors on ~1 MB of Wortschatz text and tests on 1,000 Europarl
+// sentences per language; those corpora are not redistributable, so this
+// package substitutes seeded letter-level Markov models — one per language —
+// derived from a common proto-language with controlled per-family and
+// per-language divergence.
+//
+// Why the substitution is faithful: HD language identification consumes
+// nothing but letter n-gram statistics (paper §II-A). A second-order Markov
+// model with language-specific trigram statistics exercises exactly the same
+// pipeline (normalize → trigram encode → bundle → associative search) and
+// reproduces the qualitative structure the paper's experiments rest on:
+// accuracy grows with dimensionality, degrades gracefully under distance
+// error, and languages in the same family are closer than unrelated ones.
+package textgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strings"
+)
+
+// Alphabet is the 27-symbol alphabet: 26 lower-case Latin letters + space.
+const Alphabet = "abcdefghijklmnopqrstuvwxyz "
+
+// nsym is the alphabet size.
+const nsym = 27
+
+// spaceIdx is the index of the space symbol.
+const spaceIdx = 26
+
+// Language is a synthetic language: a second-order Markov model over the
+// 27-symbol alphabet, tagged with a name and family for reporting.
+type Language struct {
+	Name   string
+	Family string
+
+	// cum[a][b] is the cumulative distribution over the next symbol given
+	// the previous two symbols a, b.
+	cum [][][]float64
+}
+
+// languageSpec names the 21 Europarl languages and their families. The
+// family tree induces correlated trigram statistics, mirroring the paper's
+// note that "hypervectors within a language family should be closer to each
+// other than hypervectors for unrelated languages".
+type languageSpec struct{ name, family string }
+
+var specs = [21]languageSpec{
+	{"bulgarian", "slavic"},
+	{"czech", "slavic"},
+	{"danish", "germanic"},
+	{"dutch", "germanic"},
+	{"english", "germanic"},
+	{"estonian", "uralic"},
+	{"finnish", "uralic"},
+	{"french", "romance"},
+	{"german", "germanic"},
+	{"greek", "hellenic"},
+	{"hungarian", "uralic"},
+	{"italian", "romance"},
+	{"latvian", "baltic"},
+	{"lithuanian", "baltic"},
+	{"polish", "slavic"},
+	{"portuguese", "romance"},
+	{"romanian", "romance"},
+	{"slovak", "slavic"},
+	{"slovene", "slavic"},
+	{"spanish", "romance"},
+	{"swedish", "germanic"},
+}
+
+// NumLanguages is the number of languages in the catalog (21, as in the
+// paper's Europarl evaluation).
+const NumLanguages = len(specs)
+
+// Config controls how far apart the synthetic languages are.
+type Config struct {
+	// Seed determines every random choice; identical seeds give identical
+	// languages.
+	Seed uint64
+	// FamilySigma is the log-normal perturbation shared by languages of the
+	// same family.
+	FamilySigma float64
+	// LanguageSigma is the per-language log-normal perturbation on top of
+	// the family's.
+	LanguageSigma float64
+}
+
+// DefaultConfig gives divergence calibrated against the paper's evaluation:
+// with trigram encoding at D = 10,000 the pipeline reaches maximum accuracy
+// ≥ 97%, stays at maximum with 1,000 bits of distance error, loses ≈ 4
+// percentage points at 3,000 bits, and collapses below 80% at 4,000 bits
+// (Fig. 1), while dimensionality reduction degrades accuracy as in
+// Table III. Calibration history is recorded in EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{Seed: 2017, FamilySigma: 0.85, LanguageSigma: 1.15}
+}
+
+// Catalog builds the 21 synthetic languages.
+func Catalog(cfg Config) []*Language {
+	if cfg.FamilySigma < 0 || cfg.LanguageSigma < 0 {
+		panic("textgen: negative divergence sigma")
+	}
+	base := protoWeights()
+	// One perturbation field per family, deterministic in (seed, family).
+	familyField := make(map[string][]float64)
+	langs := make([]*Language, 0, NumLanguages)
+	for i, spec := range specs {
+		ff, ok := familyField[spec.family]
+		if !ok {
+			ff = gaussianField(cfg.Seed, hashString(spec.family))
+			familyField[spec.family] = ff
+		}
+		lf := gaussianField(cfg.Seed, hashString(spec.name)^0xabcdef)
+		w := make([]float64, nsym*nsym*nsym)
+		for k := range w {
+			w[k] = base[k] * math.Exp(cfg.FamilySigma*ff[k]+cfg.LanguageSigma*lf[k])
+		}
+		langs = append(langs, newLanguage(spec.name, spec.family, w))
+		_ = i
+	}
+	return langs
+}
+
+// hashString is a tiny FNV-1a for deriving per-name sub-seeds.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// gaussianField returns 27³ standard-normal values deterministic in the
+// seeds.
+func gaussianField(seed, sub uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, sub))
+	f := make([]float64, nsym*nsym*nsym)
+	for i := range f {
+		f[i] = rng.NormFloat64()
+	}
+	return f
+}
+
+// protoWeights builds the shared proto-language trigram weights: a generic
+// alternating vowel/consonant structure with word lengths governed by the
+// space probabilities. All languages are perturbations of this, so they
+// share realistic gross structure (as European languages written in the
+// Latin alphabet do) and differ in their trigram statistics.
+func protoWeights() []float64 {
+	isVowel := func(c int) bool {
+		switch byte(Alphabet[c]) {
+		case 'a', 'e', 'i', 'o', 'u':
+			return true
+		}
+		return false
+	}
+	w := make([]float64, nsym*nsym*nsym)
+	for a := 0; a < nsym; a++ {
+		for b := 0; b < nsym; b++ {
+			for c := 0; c < nsym; c++ {
+				v := 1.0
+				switch {
+				case b == spaceIdx && c == spaceIdx:
+					v = 0 // no double spaces
+				case c == spaceIdx:
+					// End a word: likelier after two letters, never twice.
+					if a != spaceIdx {
+						v = 4.0
+					} else {
+						v = 0.6
+					}
+				case b == spaceIdx:
+					// Word-initial letter: mild preference for consonants.
+					if isVowel(c) {
+						v = 2.0
+					} else {
+						v = 2.5
+					}
+				case isVowel(b) != isVowel(c):
+					// Alternation bonus.
+					v = 3.5
+				case isVowel(b) && isVowel(c):
+					v = 0.8
+				default:
+					v = 0.6 // consonant clusters are rarer
+				}
+				w[(a*nsym+b)*nsym+c] = v
+			}
+		}
+	}
+	return w
+}
+
+// newLanguage normalizes weights into cumulative sampling tables.
+func newLanguage(name, family string, w []float64) *Language {
+	cum := make([][][]float64, nsym)
+	for a := 0; a < nsym; a++ {
+		cum[a] = make([][]float64, nsym)
+		for b := 0; b < nsym; b++ {
+			row := make([]float64, nsym)
+			var sum float64
+			for c := 0; c < nsym; c++ {
+				sum += w[(a*nsym+b)*nsym+c]
+			}
+			if sum == 0 {
+				// Degenerate context (e.g. double space): fall back to a
+				// uniform letter distribution excluding space.
+				acc := 0.0
+				for c := 0; c < nsym; c++ {
+					if c != spaceIdx {
+						acc += 1.0 / (nsym - 1)
+					}
+					row[c] = acc
+				}
+			} else {
+				acc := 0.0
+				for c := 0; c < nsym; c++ {
+					acc += w[(a*nsym+b)*nsym+c] / sum
+					row[c] = acc
+				}
+			}
+			row[nsym-1] = 1.0 // guard against rounding
+			cum[a][b] = row
+		}
+	}
+	return &Language{Name: name, Family: family, cum: cum}
+}
+
+// next samples the symbol following context (a, b).
+func (l *Language) next(a, b int, rng *rand.Rand) int {
+	row := l.cum[a][b]
+	x := rng.Float64()
+	for c := 0; c < nsym; c++ {
+		if x < row[c] {
+			return c
+		}
+	}
+	return nsym - 1
+}
+
+// GenerateText produces approximately n characters of running text from the
+// language model, deterministic in rng. The text starts at a word boundary.
+func (l *Language) GenerateText(n int, rng *rand.Rand) string {
+	if n <= 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.Grow(n)
+	a, b := spaceIdx, spaceIdx
+	for sb.Len() < n {
+		c := l.next(a, b, rng)
+		sb.WriteByte(Alphabet[c])
+		a, b = b, c
+	}
+	return sb.String()
+}
+
+// GenerateSentence produces one test sentence of the given approximate
+// length in characters (ending at a word boundary). The paper's test
+// samples are single Europarl sentences.
+func (l *Language) GenerateSentence(approxLen int, rng *rand.Rand) string {
+	if approxLen < 3 {
+		approxLen = 3
+	}
+	var sb strings.Builder
+	sb.Grow(approxLen + 16)
+	a, b := spaceIdx, spaceIdx
+	for {
+		c := l.next(a, b, rng)
+		if c == spaceIdx && sb.Len() >= approxLen {
+			break
+		}
+		sb.WriteByte(Alphabet[c])
+		a, b = b, c
+		if sb.Len() > 4*approxLen { // safety: never loop unbounded
+			break
+		}
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+// TrigramProb returns the model probability P(c | a, b) for three alphabet
+// indices; used by tests to compare model statistics across languages.
+func (l *Language) TrigramProb(a, b, c int) float64 {
+	if a < 0 || a >= nsym || b < 0 || b >= nsym || c < 0 || c >= nsym {
+		panic(fmt.Sprintf("textgen: symbol index out of range (%d,%d,%d)", a, b, c))
+	}
+	row := l.cum[a][b]
+	p := row[c]
+	if c > 0 {
+		p -= row[c-1]
+	}
+	if p < 0 {
+		p = 0 // clamp float rounding from the cumulative guard
+	}
+	return p
+}
+
+// SymbolIndex maps a rune in the alphabet to its index, or -1.
+func SymbolIndex(r rune) int {
+	return strings.IndexRune(Alphabet, r)
+}

@@ -1,0 +1,188 @@
+package textgen
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestCatalogShape(t *testing.T) {
+	langs := Catalog(DefaultConfig())
+	if len(langs) != 21 {
+		t.Fatalf("catalog has %d languages, want 21", len(langs))
+	}
+	seen := map[string]bool{}
+	families := map[string]int{}
+	for _, l := range langs {
+		if seen[l.Name] {
+			t.Errorf("duplicate language %q", l.Name)
+		}
+		seen[l.Name] = true
+		families[l.Family]++
+	}
+	if families["romance"] != 5 || families["germanic"] != 5 || families["slavic"] != 5 {
+		t.Errorf("family sizes wrong: %v", families)
+	}
+}
+
+func TestCatalogDeterministic(t *testing.T) {
+	a := Catalog(DefaultConfig())
+	b := Catalog(DefaultConfig())
+	rngA := rand.New(rand.NewPCG(1, 2))
+	rngB := rand.New(rand.NewPCG(1, 2))
+	for i := range a {
+		ta := a[i].GenerateText(500, rngA)
+		tb := b[i].GenerateText(500, rngB)
+		if ta != tb {
+			t.Fatalf("language %s text not deterministic", a[i].Name)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg2 := DefaultConfig()
+	cfg2.Seed++
+	a := Catalog(DefaultConfig())[0]
+	b := Catalog(cfg2)[0]
+	ra := rand.New(rand.NewPCG(9, 9))
+	rb := rand.New(rand.NewPCG(9, 9))
+	if a.GenerateText(2000, ra) == b.GenerateText(2000, rb) {
+		t.Fatal("different catalog seeds produced identical text")
+	}
+}
+
+func TestGeneratedTextWellFormed(t *testing.T) {
+	langs := Catalog(DefaultConfig())
+	rng := rand.New(rand.NewPCG(5, 5))
+	for _, l := range langs[:5] {
+		text := l.GenerateText(5000, rng)
+		if len(text) < 5000 {
+			t.Fatalf("%s: text too short: %d", l.Name, len(text))
+		}
+		if strings.Contains(text, "  ") {
+			t.Errorf("%s: double space in generated text", l.Name)
+		}
+		for _, r := range text {
+			if SymbolIndex(r) < 0 {
+				t.Fatalf("%s: rune %q outside alphabet", l.Name, r)
+			}
+		}
+		// Spaces must occur (words exist) but not dominate.
+		frac := float64(strings.Count(text, " ")) / float64(len(text))
+		if frac < 0.05 || frac > 0.4 {
+			t.Errorf("%s: space fraction %.3f implausible", l.Name, frac)
+		}
+	}
+}
+
+func TestSentences(t *testing.T) {
+	l := Catalog(DefaultConfig())[4] // english
+	rng := rand.New(rand.NewPCG(6, 6))
+	for i := 0; i < 50; i++ {
+		s := l.GenerateSentence(80, rng)
+		if len(s) < 40 || len(s) > 400 {
+			t.Fatalf("sentence %d has length %d, want near 80", i, len(s))
+		}
+		if strings.HasPrefix(s, " ") || strings.HasSuffix(s, " ") {
+			t.Error("sentence not trimmed")
+		}
+	}
+	if s := l.GenerateSentence(0, rng); len(s) == 0 {
+		t.Error("degenerate target length produced empty sentence")
+	}
+}
+
+func TestTrigramProbsNormalized(t *testing.T) {
+	l := Catalog(DefaultConfig())[0]
+	for a := 0; a < nsym; a++ {
+		for b := 0; b < nsym; b++ {
+			sum := 0.0
+			for c := 0; c < nsym; c++ {
+				p := l.TrigramProb(a, b, c)
+				if p < -1e-12 {
+					t.Fatalf("negative probability at (%d,%d,%d): %v", a, b, c, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("context (%d,%d) sums to %v", a, b, sum)
+			}
+		}
+	}
+}
+
+func TestNoDoubleSpaceProbability(t *testing.T) {
+	l := Catalog(DefaultConfig())[0]
+	if p := l.TrigramProb(0, spaceIdx, spaceIdx); p != 0 {
+		t.Fatalf("P(space|.,space) = %v, want 0", p)
+	}
+}
+
+// trigramDivergence computes an L1 distance between two languages' trigram
+// tables, as a proxy for linguistic distance.
+func trigramDivergence(a, b *Language) float64 {
+	var d float64
+	for i := 0; i < nsym; i++ {
+		for j := 0; j < nsym; j++ {
+			for k := 0; k < nsym; k++ {
+				d += math.Abs(a.TrigramProb(i, j, k) - b.TrigramProb(i, j, k))
+			}
+		}
+	}
+	return d
+}
+
+func TestFamilyStructure(t *testing.T) {
+	// Same-family languages must on average be closer (in trigram statistics)
+	// than cross-family pairs — the structure the paper observes in learned
+	// language hypervectors.
+	langs := Catalog(DefaultConfig())
+	var sameSum, crossSum float64
+	var sameN, crossN int
+	for i := 0; i < len(langs); i++ {
+		for j := i + 1; j < len(langs); j++ {
+			d := trigramDivergence(langs[i], langs[j])
+			if langs[i].Family == langs[j].Family {
+				sameSum += d
+				sameN++
+			} else {
+				crossSum += d
+				crossN++
+			}
+		}
+	}
+	same := sameSum / float64(sameN)
+	cross := crossSum / float64(crossN)
+	if same >= cross {
+		t.Fatalf("same-family divergence %.2f not below cross-family %.2f", same, cross)
+	}
+}
+
+func TestSymbolIndex(t *testing.T) {
+	if SymbolIndex('a') != 0 || SymbolIndex('z') != 25 || SymbolIndex(' ') != 26 {
+		t.Error("alphabet indices wrong")
+	}
+	if SymbolIndex('A') != -1 || SymbolIndex('é') != -1 {
+		t.Error("out-of-alphabet runes should map to -1")
+	}
+}
+
+func TestTrigramProbPanics(t *testing.T) {
+	l := Catalog(DefaultConfig())[0]
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range symbol")
+		}
+	}()
+	l.TrigramProb(27, 0, 0)
+}
+
+func TestConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for negative sigma")
+		}
+	}()
+	Catalog(Config{Seed: 1, FamilySigma: -1})
+}
