@@ -1,0 +1,33 @@
+# Build, test and benchmark entry points for the hdam reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-json ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Hot-path kernels with allocation accounting; the accumulator and distance
+# kernels must report 0 allocs/op.
+bench:
+	$(GO) test -run xxx -bench 'Encode|Distance|Accumulate' -benchmem ./...
+
+# Regenerate the benchmark trajectory file checked in at BENCH.json.
+bench-json:
+	$(GO) run ./cmd/hambench -json BENCH.json
+
+# Everything CI runs, in order: static checks, build, race-enabled tests and
+# a benchmark smoke pass.
+ci: vet build race
+	$(GO) test -run xxx -bench 'Encode|Distance|Accumulate' -benchtime 10x -benchmem ./...

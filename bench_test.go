@@ -191,16 +191,84 @@ func BenchmarkBind10k(b *testing.B) {
 	}
 }
 
-func BenchmarkBundleAdd10k(b *testing.B) {
+// BenchmarkAccumulateAdd10k measures steady-state majority bundling; the
+// accumulator must not allocate once its counter storage exists.
+func BenchmarkAccumulateAdd10k(b *testing.B) {
 	rng := rand.New(rand.NewPCG(3, 3))
 	acc := hv.NewAccumulator(Dim, 0)
 	vs := make([]*hv.Vector, 32)
 	for i := range vs {
 		vs[i] = hv.Random(Dim, rng)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		acc.Add(vs[i%len(vs)])
+	}
+}
+
+// BenchmarkAccumulatePair10k measures the carry-save pair path the encoder
+// bundles grams through; allocs/op must be 0 in steady state.
+func BenchmarkAccumulatePair10k(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	acc := hv.NewAccumulator(Dim, 0)
+	vs := make([]*hv.Vector, 32)
+	for i := range vs {
+		vs[i] = hv.Random(Dim, rng)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.AddPair(vs[i%len(vs)], vs[(i+1)%len(vs)])
+	}
+}
+
+// BenchmarkDistancesInto10k measures the packed class-matrix distance
+// kernel over the paper's 21 classes at D = 10,000; allocs/op must be 0.
+func BenchmarkDistancesInto10k(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	classes := make([]*hv.Vector, 21)
+	labels := make([]string, 21)
+	for i := range classes {
+		classes[i] = hv.Random(Dim, rng)
+		labels[i] = string(rune('a' + i))
+	}
+	mem, err := NewMemory(classes, labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := hv.Random(Dim, rng)
+	ds := make([]int, 21)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mem.DistancesInto(ds, q)
+	}
+}
+
+// BenchmarkDistancesBatch10k measures the query-blocked batch variant used
+// by the experiment distance matrices.
+func BenchmarkDistancesBatch10k(b *testing.B) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	classes := make([]*hv.Vector, 21)
+	labels := make([]string, 21)
+	for i := range classes {
+		classes[i] = hv.Random(Dim, rng)
+		labels[i] = string(rune('a' + i))
+	}
+	mem, err := NewMemory(classes, labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]*hv.Vector, 32)
+	for i := range queries {
+		queries[i] = hv.Random(Dim, rng)
+	}
+	dst := make([]int, len(queries)*21)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mem.DistancesBatchInto(dst, queries)
 	}
 }
 

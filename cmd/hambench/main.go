@@ -19,7 +19,11 @@
 //	-test N      test sentences per language (overrides scale)
 //	-seed N      experiment seed (default 2017)
 //	-csv         emit CSV instead of aligned tables
+//	-json FILE   run the kernel benchmark suite and write its JSON report
 //	-list        print the available experiment ids and exit
+//
+// With -json and no experiment ids, only the benchmark suite runs; this is
+// how BENCH.json, the repository's benchmark trajectory file, is produced.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"time"
 
 	"hdam/internal/experiments"
+	"hdam/internal/perf"
 	"hdam/internal/report"
 )
 
@@ -40,6 +45,7 @@ func main() {
 	seed := flag.Uint64("seed", 2017, "experiment seed")
 	csv := flag.Bool("csv", false, "emit CSV")
 	outDir := flag.String("out", "", "also write each experiment's tables as CSV files into this directory")
+	jsonOut := flag.String("json", "", "run the kernel benchmark suite and write its JSON report to this file")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
@@ -49,8 +55,17 @@ func main() {
 		}
 		return
 	}
+	if *jsonOut != "" {
+		if err := runKernelSuite(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	args := flag.Args()
 	if len(args) == 0 {
+		if *jsonOut != "" {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "usage: hambench [flags] <experiment>... | all   (-list for ids)")
 		os.Exit(2)
 	}
@@ -108,6 +123,29 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[%s finished in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runKernelSuite runs the perf kernel benchmarks and writes the JSON report.
+func runKernelSuite(path string) error {
+	fmt.Fprintln(os.Stderr, "[running kernel benchmark suite]")
+	start := time.Now()
+	rep := perf.RunKernels()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(os.Stderr, "  %-28s %12.1f ns/op %8d allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "[kernel suite finished in %s → %s]\n", time.Since(start).Round(time.Millisecond), path)
+	return nil
 }
 
 // writeCSV writes one table to a CSV file.

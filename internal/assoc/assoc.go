@@ -36,6 +36,34 @@ func (e *Exact) Search(q *hv.Vector) core.Result {
 // Name implements core.Searcher.
 func (e *Exact) Name() string { return "exact" }
 
+// ExactWinner returns the argmin of a precomputed distance row together
+// with its distance; ties resolve to the lowest index, matching the
+// deterministic comparator tree every exact search models. It is the shared
+// winner-selection helper for experiments that sweep over one distance
+// matrix.
+func ExactWinner(ds []int) (int, int) {
+	if len(ds) == 0 {
+		panic("assoc: exact winner of empty distance row")
+	}
+	best, bestD := 0, ds[0]
+	for i, d := range ds[1:] {
+		if d < bestD {
+			best, bestD = i+1, d
+		}
+	}
+	return best, bestD
+}
+
+// growInts resizes *buf to n entries, reusing its backing array when large
+// enough.
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // Sampled computes distances over a fixed subset of components (d < D),
 // the structured-sampling approximation of D-HAM (§III-A1) and R-HAM's
 // block sampling (§III-C2).
@@ -75,18 +103,46 @@ func (s *Sampled) Name() string {
 // experiment behind the paper's Fig. 1 ("classification accuracy with wide
 // range of errors in Hamming distance").
 type Noisy struct {
-	mem  *core.Memory
-	bits int
-	rng  *rand.Rand
+	mem    *core.Memory
+	bits   int
+	rng    *rand.Rand
+	seed   uint64
+	seeded bool
 }
 
 // NewNoisy returns a searcher that corrupts each distance computation with
-// errorBits inverted comparison outcomes, drawn from rng.
+// errorBits inverted comparison outcomes, drawn from rng. A searcher built
+// around a caller-owned RNG cannot fork; use NewNoisySeeded for parallel
+// batches.
 func NewNoisy(mem *core.Memory, errorBits int, rng *rand.Rand) *Noisy {
 	if errorBits < 0 || errorBits > mem.Dim() {
 		panic(fmt.Sprintf("assoc: error bits %d out of [0,%d]", errorBits, mem.Dim()))
 	}
 	return &Noisy{mem: mem, bits: errorBits, rng: rng}
+}
+
+// NewNoisySeeded is NewNoisy with the error stream derived from a seed
+// instead of a caller-owned RNG. Seeded searchers implement
+// core.ForkableSearcher: worker w of a parallel batch draws from the
+// independent PCG stream (seed, w+1), while sequential use draws from
+// stream (seed, 0). See core.ForkableSearcher for the determinism contract.
+func NewNoisySeeded(mem *core.Memory, errorBits int, seed uint64) *Noisy {
+	n := NewNoisy(mem, errorBits, rand.New(rand.NewPCG(seed, 0)))
+	n.seed, n.seeded = seed, true
+	return n
+}
+
+// Fork implements core.ForkableSearcher; it returns nil when the searcher
+// was built around a caller-owned RNG.
+func (n *Noisy) Fork(worker int) core.Searcher {
+	if !n.seeded {
+		return nil
+	}
+	return &Noisy{
+		mem:  n.mem,
+		bits: n.bits,
+		rng:  rand.New(rand.NewPCG(n.seed, uint64(worker)+1)),
+	}
 }
 
 // Search returns the nearest class under error-corrupted distances.
@@ -98,6 +154,15 @@ func NewNoisy(mem *core.Memory, errorBits int, rng *rand.Rand) *Noisy {
 // the vectors and keeps the search O(C · D/64).
 func (n *Noisy) Search(q *hv.Vector) core.Result {
 	ds := n.mem.Distances(q)
+	i, obs := NoisyWinner(ds, n.mem.Dim(), n.bits, n.rng)
+	return core.Result{Index: i, Distance: obs}
+}
+
+// SearchBuf implements core.BufferedSearcher: Search with the distance row
+// written into a reusable buffer instead of a fresh allocation.
+func (n *Noisy) SearchBuf(q *hv.Vector, buf *[]int) core.Result {
+	ds := growInts(buf, n.mem.Classes())
+	n.mem.DistancesInto(ds, q)
 	i, obs := NoisyWinner(ds, n.mem.Dim(), n.bits, n.rng)
 	return core.Result{Index: i, Distance: obs}
 }
@@ -181,13 +246,16 @@ func hypergeometric(rng *rand.Rand, total, succ, draws int) int {
 // search with random tie-breaking. This is the behavioral model of A-HAM's
 // LTA resolution (§III-D2, Fig. 7).
 type Quantized struct {
-	mem   *core.Memory
-	delta int
-	rng   *rand.Rand
+	mem    *core.Memory
+	delta  int
+	rng    *rand.Rand
+	seed   uint64
+	seeded bool
 }
 
 // NewQuantized returns a searcher whose comparator cannot distinguish
-// distances closer than delta (delta ≥ 1).
+// distances closer than delta (delta ≥ 1). A searcher built around a
+// caller-owned RNG cannot fork; use NewQuantizedSeeded for parallel batches.
 func NewQuantized(mem *core.Memory, delta int, rng *rand.Rand) *Quantized {
 	if delta < 1 {
 		panic(fmt.Sprintf("assoc: minimum detectable distance %d < 1", delta))
@@ -195,9 +263,42 @@ func NewQuantized(mem *core.Memory, delta int, rng *rand.Rand) *Quantized {
 	return &Quantized{mem: mem, delta: delta, rng: rng}
 }
 
+// NewQuantizedSeeded is NewQuantized with the tie-break stream derived from
+// a seed. Seeded searchers implement core.ForkableSearcher: worker w of a
+// parallel batch draws from the independent PCG stream (seed, w+1), while
+// sequential use draws from stream (seed, 0). See core.ForkableSearcher for
+// the determinism contract.
+func NewQuantizedSeeded(mem *core.Memory, delta int, seed uint64) *Quantized {
+	qz := NewQuantized(mem, delta, rand.New(rand.NewPCG(seed, 0)))
+	qz.seed, qz.seeded = seed, true
+	return qz
+}
+
+// Fork implements core.ForkableSearcher; it returns nil when the searcher
+// was built around a caller-owned RNG.
+func (qz *Quantized) Fork(worker int) core.Searcher {
+	if !qz.seeded {
+		return nil
+	}
+	return &Quantized{
+		mem:   qz.mem,
+		delta: qz.delta,
+		rng:   rand.New(rand.NewPCG(qz.seed, uint64(worker)+1)),
+	}
+}
+
 // Search returns a member of the near-tie set around the true minimum.
 func (qz *Quantized) Search(q *hv.Vector) core.Result {
 	ds := qz.mem.Distances(q)
+	win := QuantizedWinner(ds, qz.delta, qz.rng)
+	return core.Result{Index: win, Distance: ds[win]}
+}
+
+// SearchBuf implements core.BufferedSearcher: Search with the distance row
+// written into a reusable buffer instead of a fresh allocation.
+func (qz *Quantized) SearchBuf(q *hv.Vector, buf *[]int) core.Result {
+	ds := growInts(buf, qz.mem.Classes())
+	qz.mem.DistancesInto(ds, q)
 	win := QuantizedWinner(ds, qz.delta, qz.rng)
 	return core.Result{Index: win, Distance: ds[win]}
 }
@@ -235,8 +336,12 @@ func (qz *Quantized) Name() string { return fmt.Sprintf("quantized Δ=%d", qz.de
 
 // Compile-time interface checks.
 var (
-	_ core.Searcher = (*Exact)(nil)
-	_ core.Searcher = (*Sampled)(nil)
-	_ core.Searcher = (*Noisy)(nil)
-	_ core.Searcher = (*Quantized)(nil)
+	_ core.Searcher         = (*Exact)(nil)
+	_ core.Searcher         = (*Sampled)(nil)
+	_ core.Searcher         = (*Noisy)(nil)
+	_ core.Searcher         = (*Quantized)(nil)
+	_ core.ForkableSearcher = (*Noisy)(nil)
+	_ core.ForkableSearcher = (*Quantized)(nil)
+	_ core.BufferedSearcher = (*Noisy)(nil)
+	_ core.BufferedSearcher = (*Quantized)(nil)
 )

@@ -1,0 +1,126 @@
+package assoc
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// parallelFixture builds a small memory and noisy queries around it.
+func parallelFixture(t *testing.T) (*core.Memory, []*hv.Vector) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(7001, 1))
+	classes := make([]*hv.Vector, 9)
+	labels := make([]string, 9)
+	for i := range classes {
+		classes[i] = hv.Random(2000, rng)
+		labels[i] = string(rune('a' + i))
+	}
+	mem := core.MustMemory(classes, labels)
+	queries := make([]*hv.Vector, 41)
+	for i := range queries {
+		queries[i] = hv.FlipBits(mem.Class(i%9), 250, rng)
+	}
+	return mem, queries
+}
+
+// TestSeededSearchAllReproducible pins the determinism contract of the
+// forkable randomized searchers: with a fixed worker count, parallel
+// SearchAll over a seeded searcher yields the same results run after run,
+// because every worker restarts its own PCG stream at Fork time.
+func TestSeededSearchAllReproducible(t *testing.T) {
+	mem, queries := parallelFixture(t)
+	for name, mk := range map[string]func() core.Searcher{
+		"noisy":     func() core.Searcher { return NewNoisySeeded(mem, 200, 42) },
+		"quantized": func() core.Searcher { return NewQuantizedSeeded(mem, 16, 42) },
+	} {
+		a := core.SearchAll(mk(), queries, true)
+		b := core.SearchAll(mk(), queries, true)
+		if len(a) != len(queries) || len(b) != len(queries) {
+			t.Fatalf("%s: bad result length", name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: parallel run differs at query %d: %v vs %v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestForkStreamsRestart asserts Fork(w) is a pure function of (seed, w):
+// forking the same worker index twice replays the identical search stream.
+func TestForkStreamsRestart(t *testing.T) {
+	mem, queries := parallelFixture(t)
+	base := NewNoisySeeded(mem, 300, 7)
+	f1 := base.Fork(3)
+	f2 := base.Fork(3)
+	if f1 == nil || f2 == nil {
+		t.Fatal("seeded searcher must fork")
+	}
+	for i, q := range queries {
+		if r1, r2 := f1.Search(q), f2.Search(q); r1 != r2 {
+			t.Fatalf("forked streams diverge at query %d: %v vs %v", i, r1, r2)
+		}
+	}
+	// Distinct worker indices must get distinct streams (overwhelmingly
+	// likely to differ somewhere over many noisy searches).
+	g := base.Fork(4)
+	same := true
+	h := base.Fork(3)
+	for _, q := range queries {
+		if g.Search(q) != h.Search(q) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct worker indices replayed the same stream")
+	}
+}
+
+// TestUnseededForkIsNil: searchers built around a caller-owned *rand.Rand
+// cannot be forked deterministically and must say so.
+func TestUnseededForkIsNil(t *testing.T) {
+	mem, _ := parallelFixture(t)
+	if NewNoisy(mem, 100, rand.New(rand.NewPCG(1, 2))).Fork(0) != nil {
+		t.Fatal("unseeded Noisy.Fork must return nil")
+	}
+	if NewQuantized(mem, 8, rand.New(rand.NewPCG(1, 2))).Fork(0) != nil {
+		t.Fatal("unseeded Quantized.Fork must return nil")
+	}
+}
+
+// TestSearchBufMatchesSearch: the buffered path must consume the RNG
+// identically to Search, so fresh same-seed searchers agree query by query.
+func TestSearchBufMatchesSearch(t *testing.T) {
+	mem, queries := parallelFixture(t)
+	plain := NewNoisySeeded(mem, 200, 99)
+	buffered := NewNoisySeeded(mem, 200, 99)
+	var buf []int
+	for i, q := range queries {
+		if a, b := plain.Search(q), buffered.SearchBuf(q, &buf); a != b {
+			t.Fatalf("noisy SearchBuf diverges at %d: %v vs %v", i, a, b)
+		}
+	}
+	qp := NewQuantizedSeeded(mem, 16, 99)
+	qb := NewQuantizedSeeded(mem, 16, 99)
+	for i, q := range queries {
+		if a, b := qp.Search(q), qb.SearchBuf(q, &buf); a != b {
+			t.Fatalf("quantized SearchBuf diverges at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestSearchBufZeroAlloc pins the zero-allocation steady state of the
+// buffered searcher path.
+func TestSearchBufZeroAlloc(t *testing.T) {
+	mem, queries := parallelFixture(t)
+	s := NewNoisySeeded(mem, 200, 5)
+	var buf []int
+	s.SearchBuf(queries[0], &buf) // warm the buffer
+	if n := testing.AllocsPerRun(100, func() { s.SearchBuf(queries[0], &buf) }); n != 0 {
+		t.Fatalf("SearchBuf allocates %v per op, want 0", n)
+	}
+}

@@ -9,16 +9,58 @@ import (
 	"hdam/internal/hv"
 )
 
+// ForkableSearcher is a Searcher that can produce independent per-worker
+// instances for parallel batching. Fork(w) must return a searcher whose
+// internal randomness is an independently seeded stream derived from the
+// base seed and the worker index w, or nil if this instance cannot fork
+// (e.g. it was constructed around a caller-owned RNG).
+//
+// Determinism contract: forked streams are a pure function of (base seed,
+// worker index), and every Fork call restarts them — so two parallel
+// SearchAll calls over the same queries with the same worker count produce
+// identical results, but results do depend on the worker count (GOMAXPROCS)
+// and differ from the sequential order-dependent stream.
+type ForkableSearcher interface {
+	Searcher
+	Fork(worker int) Searcher
+}
+
+// BufferedSearcher is a Searcher that can reuse a caller-provided distance
+// buffer across searches. SearchBuf must behave exactly like Search
+// (including RNG consumption) while resizing *buf as needed instead of
+// allocating per call.
+type BufferedSearcher interface {
+	Searcher
+	SearchBuf(q *hv.Vector, buf *[]int) Result
+}
+
+// searchFunc returns the per-query search closure for one worker, routing
+// through SearchBuf with a worker-local reusable distance buffer when the
+// searcher supports it.
+func searchFunc(s Searcher) func(*hv.Vector) Result {
+	if bs, ok := s.(BufferedSearcher); ok {
+		var buf []int
+		return func(q *hv.Vector) Result { return bs.SearchBuf(q, &buf) }
+	}
+	return s.Search
+}
+
 // SearchAll classifies a batch of queries with the searcher, fanning out
 // across GOMAXPROCS goroutines when the searcher is safe for concurrent
-// use. Searchers that keep per-search randomness (R-HAM's VOS injection,
-// quantized searchers) are not concurrency-safe; pass parallel=false for
-// those and the batch runs sequentially in input order.
+// use. Searchers carrying per-search randomness are safe in parallel only
+// when they implement ForkableSearcher (each worker then gets its own
+// independently seeded stream — see the interface's determinism contract);
+// for non-forkable randomized searchers (R-HAM's VOS injection, RNG-wrapped
+// noisy/quantized searchers) pass parallel=false and the batch runs
+// sequentially in input order. Workers reuse one distance buffer each for
+// BufferedSearcher implementations, so batches allocate O(workers), not
+// O(queries).
 func SearchAll(s Searcher, queries []*hv.Vector, parallel bool) []Result {
 	out := make([]Result, len(queries))
 	if !parallel || len(queries) < 2 {
+		search := searchFunc(s)
 		for i, q := range queries {
-			out[i] = s.Search(q)
+			out[i] = search(q)
 		}
 		return out
 	}
@@ -37,12 +79,19 @@ func SearchAll(s Searcher, queries []*hv.Vector, parallel bool) []Result {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = s.Search(queries[i])
+			ws := s
+			if f, ok := s.(ForkableSearcher); ok {
+				if fs := f.Fork(w); fs != nil {
+					ws = fs
+				}
 			}
-		}(lo, hi)
+			search := searchFunc(ws)
+			for i := lo; i < hi; i++ {
+				out[i] = search(queries[i])
+			}
+		}(w, lo, hi)
 	}
 	wg.Wait()
 	return out
@@ -67,9 +116,11 @@ func (m *Memory) TopK(q *hv.Vector, k int) []Ranked {
 	if k > len(m.classes) {
 		k = len(m.classes)
 	}
+	ds := make([]int, len(m.classes))
+	m.cm.DistancesInto(ds, q)
 	all := make([]Ranked, len(m.classes))
-	for i, c := range m.classes {
-		all[i] = Ranked{Index: i, Label: m.labels[i], Distance: hv.Hamming(q, c)}
+	for i, d := range ds {
+		all[i] = Ranked{Index: i, Label: m.labels[i], Distance: d}
 	}
 	sort.Slice(all, func(a, b int) bool {
 		if all[a].Distance != all[b].Distance {

@@ -25,6 +25,7 @@ type Memory struct {
 	dim     int
 	classes []*hv.Vector
 	labels  []string
+	cm      *ClassMatrix // packed row-major copy, the distance-kernel operand
 }
 
 // NewMemory builds an associative memory from class hypervectors and their
@@ -54,7 +55,7 @@ func NewMemory(classes []*hv.Vector, labels []string) (*Memory, error) {
 		cs[i] = c.Clone()
 		ls[i] = labels[i]
 	}
-	return &Memory{dim: dim, classes: cs, labels: ls}, nil
+	return &Memory{dim: dim, classes: cs, labels: ls, cm: NewClassMatrix(cs)}, nil
 }
 
 // MustMemory is NewMemory for construction that cannot fail by design.
@@ -95,29 +96,38 @@ func (m *Memory) Labels() []string {
 	return out
 }
 
+// ClassMatrix returns the packed row-major view of the stored classes that
+// the distance kernels stream. Read-only.
+func (m *Memory) ClassMatrix() *ClassMatrix { return m.cm }
+
 // Distances computes the exact Hamming distance from q to every class, in
 // storage order. This is the ground truth all approximate designs are
-// judged against.
+// judged against. Hot loops should use DistancesInto with a reused buffer.
 func (m *Memory) Distances(q *hv.Vector) []int {
-	m.checkQuery(q)
 	ds := make([]int, len(m.classes))
-	for i, c := range m.classes {
-		ds[i] = hv.Hamming(q, c)
-	}
+	m.DistancesInto(ds, q)
 	return ds
+}
+
+// DistancesInto is Distances into a caller-provided buffer of length
+// Classes(), allocating nothing: one streaming pass over the packed class
+// matrix.
+func (m *Memory) DistancesInto(dst []int, q *hv.Vector) {
+	m.checkQuery(q)
+	m.cm.DistancesInto(dst, q)
+}
+
+// DistancesBatchInto computes the distance matrix for a batch of queries
+// into dst, row-major by query (see ClassMatrix.DistancesBatchInto).
+func (m *Memory) DistancesBatchInto(dst []int, queries []*hv.Vector) {
+	m.cm.DistancesBatchInto(dst, queries)
 }
 
 // Nearest returns the index and distance of the exact nearest class; ties
 // resolve to the lowest index, matching a deterministic comparator tree.
 func (m *Memory) Nearest(q *hv.Vector) (int, int) {
 	m.checkQuery(q)
-	best, bestD := 0, m.dim+1
-	for i, c := range m.classes {
-		if d := hv.Hamming(q, c); d < bestD {
-			best, bestD = i, d
-		}
-	}
-	return best, bestD
+	return m.cm.Nearest(q)
 }
 
 // MinClassSeparation returns the minimum pairwise Hamming distance among

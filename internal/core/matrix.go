@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hdam/internal/hv"
+)
+
+// ClassMatrix stores C class hypervectors packed row-major in one
+// contiguous []uint64, so the associative-search kernels stream memory
+// linearly instead of chasing one heap allocation per class. It is the
+// software analogue of the paper's crossbar: the whole learned memory in one
+// dense array, read in full by every search.
+//
+// A ClassMatrix is immutable after construction and safe for concurrent
+// reads.
+type ClassMatrix struct {
+	dim   int
+	words int // packed words per row
+	rows  int
+	data  []uint64 // rows × words, row-major
+}
+
+// NewClassMatrix packs the given class hypervectors. All vectors must share
+// one dimensionality and there must be at least one.
+func NewClassMatrix(classes []*hv.Vector) *ClassMatrix {
+	if len(classes) == 0 {
+		panic("core: class matrix needs at least one class")
+	}
+	dim := classes[0].Dim()
+	words := len(classes[0].Words())
+	cm := &ClassMatrix{
+		dim:   dim,
+		words: words,
+		rows:  len(classes),
+		data:  make([]uint64, len(classes)*words),
+	}
+	for i, c := range classes {
+		if c.Dim() != dim {
+			panic(fmt.Sprintf("core: class %d has dim %d, want %d", i, c.Dim(), dim))
+		}
+		copy(cm.data[i*words:(i+1)*words], c.Words())
+	}
+	return cm
+}
+
+// Rows returns the number of stored classes C.
+func (cm *ClassMatrix) Rows() int { return cm.rows }
+
+// Dim returns the hypervector dimensionality D.
+func (cm *ClassMatrix) Dim() int { return cm.dim }
+
+// Row exposes the packed words of row i for read-only scanning. Callers
+// must not mutate the slice.
+func (cm *ClassMatrix) Row(i int) []uint64 {
+	if i < 0 || i >= cm.rows {
+		panic(fmt.Sprintf("core: row %d out of range [0,%d)", i, cm.rows))
+	}
+	return cm.data[i*cm.words : (i+1)*cm.words]
+}
+
+// checkQuery validates a query's dimensionality.
+func (cm *ClassMatrix) checkQuery(q *hv.Vector) {
+	if q.Dim() != cm.dim {
+		panic(fmt.Sprintf("core: query dim %d, matrix dim %d", q.Dim(), cm.dim))
+	}
+}
+
+// rowDistance is the popcount-of-XOR inner kernel, unrolled four words wide
+// so the popcounts pipeline.
+func rowDistance(row, qw []uint64) int {
+	d := 0
+	w := 0
+	for ; w+4 <= len(row); w += 4 {
+		d += bits.OnesCount64(row[w]^qw[w]) +
+			bits.OnesCount64(row[w+1]^qw[w+1]) +
+			bits.OnesCount64(row[w+2]^qw[w+2]) +
+			bits.OnesCount64(row[w+3]^qw[w+3])
+	}
+	for ; w < len(row); w++ {
+		d += bits.OnesCount64(row[w] ^ qw[w])
+	}
+	return d
+}
+
+// DistancesInto writes the exact Hamming distance from q to every row into
+// dst (len must equal Rows) without allocating: one linear streaming pass
+// over the packed matrix.
+func (cm *ClassMatrix) DistancesInto(dst []int, q *hv.Vector) {
+	cm.checkQuery(q)
+	if len(dst) != cm.rows {
+		panic(fmt.Sprintf("core: distance buffer len %d, want %d", len(dst), cm.rows))
+	}
+	qw := q.Words()
+	w := cm.words
+	for r := 0; r < cm.rows; r++ {
+		dst[r] = rowDistance(cm.data[r*w:(r+1)*w], qw)
+	}
+}
+
+// Nearest returns the index and exact distance of the nearest row; ties
+// resolve to the lowest index, matching a deterministic comparator tree.
+func (cm *ClassMatrix) Nearest(q *hv.Vector) (int, int) {
+	cm.checkQuery(q)
+	w := cm.words
+	best, bestD := 0, cm.dim+1
+	for r := 0; r < cm.rows; r++ {
+		if d := rowDistance(cm.data[r*w:(r+1)*w], q.Words()); d < bestD {
+			best, bestD = r, d
+		}
+	}
+	return best, bestD
+}
+
+// batchBlock is how many queries the batched kernel carries through one
+// streaming pass of the matrix: large enough to amortize the matrix reads
+// across queries, small enough that the block's query words stay cached.
+const batchBlock = 8
+
+// DistancesBatchInto computes the full query×row distance matrix into dst,
+// row-major by query (dst[qi*Rows+r] = δ(queries[qi], row r); len(dst) must
+// equal len(queries)*Rows). Queries are processed in blocks so each packed
+// matrix row is streamed once per block rather than once per query.
+func (cm *ClassMatrix) DistancesBatchInto(dst []int, queries []*hv.Vector) {
+	if len(dst) != len(queries)*cm.rows {
+		panic(fmt.Sprintf("core: batch buffer len %d, want %d", len(dst), len(queries)*cm.rows))
+	}
+	for _, q := range queries {
+		cm.checkQuery(q)
+	}
+	w := cm.words
+	for lo := 0; lo < len(queries); lo += batchBlock {
+		hi := lo + batchBlock
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		for r := 0; r < cm.rows; r++ {
+			row := cm.data[r*w : (r+1)*w]
+			for qi := lo; qi < hi; qi++ {
+				dst[qi*cm.rows+r] = rowDistance(row, queries[qi].Words())
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/hv"
+)
+
+// tailDims exercises every packing corner: single partial word, exact word
+// boundaries, one bit past a boundary, and the paper's D = 10,000 (156.25
+// words, so the last word carries a 16-bit tail).
+var tailDims = []int{1, 63, 64, 65, 100, 127, 128, 129, 1000, 10000}
+
+func TestClassMatrixMatchesHamming(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 1))
+	for _, dim := range tailDims {
+		for _, rows := range []int{1, 2, 7, 21} {
+			classes := make([]*hv.Vector, rows)
+			for i := range classes {
+				classes[i] = hv.Random(dim, rng)
+			}
+			cm := NewClassMatrix(classes)
+			for trial := 0; trial < 5; trial++ {
+				q := hv.Random(dim, rng)
+				got := make([]int, rows)
+				cm.DistancesInto(got, q)
+				bestIdx, bestD := 0, dim+1
+				for r, c := range classes {
+					want := hv.Hamming(q, c)
+					if got[r] != want {
+						t.Fatalf("D=%d rows=%d: DistancesInto[%d]=%d, Hamming=%d", dim, rows, r, got[r], want)
+					}
+					if want < bestD {
+						bestIdx, bestD = r, want
+					}
+				}
+				ni, nd := cm.Nearest(q)
+				if ni != bestIdx || nd != bestD {
+					t.Fatalf("D=%d rows=%d: Nearest=(%d,%d), want (%d,%d)", dim, rows, ni, nd, bestIdx, bestD)
+				}
+			}
+		}
+	}
+}
+
+func TestClassMatrixBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 2))
+	for _, dim := range tailDims {
+		const rows = 5
+		classes := make([]*hv.Vector, rows)
+		for i := range classes {
+			classes[i] = hv.Random(dim, rng)
+		}
+		cm := NewClassMatrix(classes)
+		// More queries than batchBlock so blocking boundaries are crossed.
+		queries := make([]*hv.Vector, 2*batchBlock+3)
+		for i := range queries {
+			queries[i] = hv.Random(dim, rng)
+		}
+		batch := make([]int, len(queries)*rows)
+		cm.DistancesBatchInto(batch, queries)
+		single := make([]int, rows)
+		for qi, q := range queries {
+			cm.DistancesInto(single, q)
+			for r := 0; r < rows; r++ {
+				if batch[qi*rows+r] != single[r] {
+					t.Fatalf("D=%d: batch[%d][%d]=%d, single=%d", dim, qi, r, batch[qi*rows+r], single[r])
+				}
+			}
+		}
+	}
+}
+
+func TestClassMatrixNearestTieBreaksLowestIndex(t *testing.T) {
+	v := hv.New(64)
+	v.Set(3, 1)
+	dup := v.Clone()
+	far := hv.New(64)
+	cm := NewClassMatrix([]*hv.Vector{far, v, dup})
+	// Query equals v: rows 1 and 2 tie at distance 0.
+	idx, d := cm.Nearest(v)
+	if idx != 1 || d != 0 {
+		t.Fatalf("Nearest = (%d,%d), want lowest tied index (1,0)", idx, d)
+	}
+}
+
+func TestClassMatrixPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty", func() { NewClassMatrix(nil) })
+	rng := rand.New(rand.NewPCG(99, 3))
+	mixed := []*hv.Vector{hv.Random(64, rng), hv.Random(128, rng)}
+	mustPanic("mixed dims", func() { NewClassMatrix(mixed) })
+	cm := NewClassMatrix([]*hv.Vector{hv.Random(64, rng)})
+	mustPanic("short dst", func() { cm.DistancesInto(make([]int, 2), hv.Random(64, rng)) })
+	mustPanic("query dim", func() { cm.DistancesInto(make([]int, 1), hv.Random(128, rng)) })
+	mustPanic("batch len", func() {
+		cm.DistancesBatchInto(make([]int, 3), []*hv.Vector{hv.Random(64, rng)})
+	})
+	mustPanic("row range", func() { cm.Row(1) })
+}
+
+// TestDistancesIntoZeroAlloc pins the acceptance criterion that the packed
+// distance kernel allocates nothing in steady state.
+func TestDistancesIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 4))
+	classes := make([]*hv.Vector, 21)
+	for i := range classes {
+		classes[i] = hv.Random(10000, rng)
+	}
+	cm := NewClassMatrix(classes)
+	q := hv.Random(10000, rng)
+	ds := make([]int, 21)
+	if n := testing.AllocsPerRun(100, func() { cm.DistancesInto(ds, q) }); n != 0 {
+		t.Fatalf("DistancesInto allocates %v per op, want 0", n)
+	}
+	batch := make([]int, 4*21)
+	queries := []*hv.Vector{q, q, q, q}
+	if n := testing.AllocsPerRun(100, func() { cm.DistancesBatchInto(batch, queries) }); n != 0 {
+		t.Fatalf("DistancesBatchInto allocates %v per op, want 0", n)
+	}
+}
+
+// FuzzClassMatrixDistances cross-checks the packed kernel against the
+// reference scalar Hamming distance on fuzzer-chosen shapes, seeded with the
+// tail-word corner dimensionalities.
+func FuzzClassMatrixDistances(f *testing.F) {
+	f.Add(uint16(64), uint8(3), uint64(1))
+	f.Add(uint16(65), uint8(1), uint64(2))
+	f.Add(uint16(100), uint8(5), uint64(3))
+	f.Add(uint16(10000), uint8(21), uint64(4)) // 156.25 words → 157 with tail
+	f.Fuzz(func(t *testing.T, dimRaw uint16, rowsRaw uint8, seed uint64) {
+		dim := int(dimRaw)%10000 + 1
+		rows := int(rowsRaw)%32 + 1
+		rng := rand.New(rand.NewPCG(seed, 0xfa11))
+		classes := make([]*hv.Vector, rows)
+		for i := range classes {
+			classes[i] = hv.Random(dim, rng)
+		}
+		cm := NewClassMatrix(classes)
+		q := hv.Random(dim, rng)
+		got := make([]int, rows)
+		cm.DistancesInto(got, q)
+		for r, c := range classes {
+			if want := hv.Hamming(q, c); got[r] != want {
+				t.Fatalf("dim=%d rows=%d row=%d: got %d, want %d", dim, rows, r, got[r], want)
+			}
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package encoder
+
+import (
+	"testing"
+
+	"hdam/internal/hv"
+	"hdam/internal/itemmem"
+)
+
+// TestAccumulateTextSteadyStateZeroAlloc pins the zero-allocation encode
+// path: once an Encoder's scratch (symbol tables, window vectors, letter and
+// id buffers) is warm, sliding over a same-alphabet text allocates nothing.
+func TestAccumulateTextSteadyStateZeroAlloc(t *testing.T) {
+	im := itemmem.New(10000, 3)
+	im.Preload(itemmem.LatinAlphabet)
+	enc := New(im, 3)
+	acc := hv.NewAccumulator(10000, 0)
+	const text = "the quick brown fox jumps over the lazy dog again and again"
+	enc.AccumulateText(acc, text) // warm scratch and symbol tables
+	if n := testing.AllocsPerRun(50, func() {
+		acc.Reset()
+		if enc.AccumulateText(acc, text) == 0 {
+			t.Fatal("no n-grams")
+		}
+	}); n != 0 {
+		t.Fatalf("AccumulateText allocates %v per op in steady state, want 0", n)
+	}
+}
+
+// TestEncodeTextReusedAccumulatorMatchesFresh: EncodeText recycles its
+// internal accumulator across calls; results must match a one-shot encoder.
+func TestEncodeTextReusedAccumulatorMatchesFresh(t *testing.T) {
+	im := itemmem.New(2000, 3)
+	im.Preload(itemmem.LatinAlphabet)
+	reused := New(im, 3)
+	texts := []string{
+		"hello world this is a test",
+		"an entirely different sentence",
+		"short",
+		"the majority rule needs a tie break for even gram counts",
+	}
+	for i, text := range texts {
+		im2 := itemmem.New(2000, 3)
+		im2.Preload(itemmem.LatinAlphabet)
+		fresh := New(im2, 3)
+		a, na := reused.EncodeText(text, uint64(i))
+		b, nb := fresh.EncodeText(text, uint64(i))
+		if na != nb || hv.Hamming(a, b) != 0 {
+			t.Fatalf("text %d: reused encoder diverged (n %d vs %d)", i, na, nb)
+		}
+	}
+}

@@ -6,7 +6,11 @@
 // A trigram a-b-c is encoded as ρ(ρ(A) ⊕ B) ⊕ C = ρ²(A) ⊕ ρ(B) ⊕ C, where
 // ρ is a cyclic rotation by one and ⊕ is component-wise XOR. Because ρ
 // distributes over ⊕, the encoder slides over the text with one rotation
-// and two XORs per character instead of recomputing every n-gram.
+// and two XORs per character instead of recomputing every n-gram — and the
+// three word passes are fused into one (hv.Rotate1Bind2Into), with all
+// symbol lookups resolved once per text into dense slices, so the per-
+// character cost is a single streaming pass with no map traffic and no
+// allocation in steady state.
 package encoder
 
 import (
@@ -18,14 +22,32 @@ import (
 
 // Encoder turns text into hypervectors using letter n-grams over an item
 // memory. The zero value is unusable; use New.
+//
+// An Encoder keeps internal scratch (symbol tables, sliding-window vectors,
+// a reusable accumulator) so the encode hot path does not allocate in steady
+// state; consequently an Encoder must not be shared between goroutines.
+// Per-goroutine encoders over item memories with the same seed agree
+// bit-for-bit.
 type Encoder struct {
 	im  *itemmem.ItemMemory
 	n   int
 	dim int
 
-	// rotN caches ρⁿ(item) per symbol: the vector XOR-ed out when the oldest
-	// letter leaves the sliding window.
-	rotN map[rune]*hv.Vector
+	// Dense symbol table: every symbol seen so far gets a small integer id;
+	// items[id] is its item vector and rots[id] the memoized ρⁿ(item) that
+	// is XOR-ed out when the oldest letter leaves the sliding window.
+	// ASCII symbols (the whole normalized alphabet) resolve through a flat
+	// array; anything else falls back to a map.
+	ascii [128]int32 // symbol → id+1; 0 = unassigned
+	syms  map[rune]int32
+	items []*hv.Vector
+	rots  []*hv.Vector
+
+	// Reusable per-text scratch.
+	letters  []rune
+	ids      []int32
+	cur, tmp *hv.Vector
+	acc      *hv.Accumulator
 }
 
 // New returns an n-gram encoder over the given item memory. The paper uses
@@ -34,7 +56,7 @@ func New(im *itemmem.ItemMemory, n int) *Encoder {
 	if n < 1 {
 		panic(fmt.Sprintf("encoder: n-gram size %d < 1", n))
 	}
-	return &Encoder{im: im, n: n, dim: im.Dim(), rotN: make(map[rune]*hv.Vector)}
+	return &Encoder{im: im, n: n, dim: im.Dim()}
 }
 
 // N returns the n-gram order.
@@ -46,17 +68,33 @@ func (e *Encoder) Dim() int { return e.dim }
 // ItemMemory returns the underlying item memory.
 func (e *Encoder) ItemMemory() *itemmem.ItemMemory { return e.im }
 
-// rotatedN returns ρⁿ(item vector of r), memoized.
-func (e *Encoder) rotatedN(r rune) *hv.Vector {
-	if v, ok := e.rotN[r]; ok {
-		return v
+// symID resolves symbol r to its dense id, assigning one (and memoizing the
+// item vector and its ρⁿ rotation) on first sight.
+func (e *Encoder) symID(r rune) int32 {
+	if uint32(r) < 128 {
+		if id := e.ascii[r]; id != 0 {
+			return id - 1
+		}
+	} else if id, ok := e.syms[r]; ok {
+		return id
 	}
-	v := e.im.Get(r)
+	item := e.im.Get(r)
+	rot := item
 	for i := 0; i < e.n; i++ {
-		v = hv.Rotate1(v)
+		rot = hv.Rotate1(rot)
 	}
-	e.rotN[r] = v
-	return v
+	id := int32(len(e.items))
+	e.items = append(e.items, item)
+	e.rots = append(e.rots, rot)
+	if uint32(r) < 128 {
+		e.ascii[r] = id + 1
+	} else {
+		if e.syms == nil {
+			e.syms = make(map[rune]int32)
+		}
+		e.syms[r] = id
+	}
+	return id
 }
 
 // NGram encodes a single n-gram directly from its definition:
@@ -82,38 +120,69 @@ func (e *Encoder) AccumulateText(acc *hv.Accumulator, text string) int {
 	if acc.Dim() != e.dim {
 		panic(fmt.Sprintf("encoder: accumulator dim %d, encoder dim %d", acc.Dim(), e.dim))
 	}
-	letters := Normalize(text)
+	letters := NormalizeInto(e.letters[:0], text)
+	e.letters = letters
 	if len(letters) < e.n {
 		return 0
 	}
-	// Build the first gram with the reference path.
-	gram := e.NGram(letters[:e.n])
-	acc.Add(gram)
-	count := 1
-	// Slide: G' = ρ(G) ⊕ ρⁿ(oldest) ⊕ newest.
-	cur := gram.Clone()
-	tmp := hv.New(e.dim)
-	for i := e.n; i < len(letters); i++ {
-		oldest := letters[i-e.n]
-		newest := letters[i]
-		hv.Rotate1Into(tmp, cur)
-		hv.BindInto(tmp, tmp, e.rotatedN(oldest))
-		hv.BindInto(tmp, tmp, e.im.Get(newest))
-		cur, tmp = tmp, cur
-		acc.Add(cur)
-		count++
+	// Resolve every symbol lookup once, up front, into dense ids.
+	if cap(e.ids) < len(letters) {
+		e.ids = make([]int32, len(letters))
 	}
+	ids := e.ids[:len(letters)]
+	for i, r := range letters {
+		ids[i] = e.symID(r)
+	}
+	if e.cur == nil {
+		e.cur = hv.New(e.dim)
+		e.tmp = hv.New(e.dim)
+	}
+	cur, tmp := e.cur, e.tmp
+	// Build the first gram by its definition: acc = ρ(acc) ⊕ item, n times.
+	cur.Zero()
+	for _, id := range ids[:e.n] {
+		hv.Rotate1Into(tmp, cur)
+		hv.BindInto(tmp, tmp, e.items[id])
+		cur, tmp = tmp, cur
+	}
+	// Slide: G' = ρ(G) ⊕ ρⁿ(oldest) ⊕ newest, fused into one word pass.
+	// Grams are bundled two at a time (AddPair's carry-save fast path); pend
+	// holds a gram awaiting its partner. The ping-pong pair of buffers
+	// suffices: a pending gram is consumed before its buffer is rewritten.
+	pend := cur
+	count := 1
+	for i := e.n; i < len(ids); i++ {
+		hv.Rotate1Bind2Into(tmp, cur, e.rots[ids[i-e.n]], e.items[ids[i]])
+		cur, tmp = tmp, cur
+		count++
+		if pend != nil {
+			acc.AddPair(pend, cur)
+			pend = nil
+		} else {
+			pend = cur
+		}
+	}
+	if pend != nil {
+		acc.Add(pend)
+	}
+	e.cur, e.tmp = cur, tmp
 	return count
 }
 
 // EncodeText encodes one text sample into a single hypervector (the paper's
 // "text hypervector"): all n-gram hypervectors bundled by majority. seed
-// controls tie-breaking for even n-gram counts.
+// controls tie-breaking for even n-gram counts. The internal accumulator is
+// reused across calls; the returned vector is freshly allocated.
 func (e *Encoder) EncodeText(text string, seed uint64) (*hv.Vector, int) {
-	acc := hv.NewAccumulator(e.dim, seed)
-	n := e.AccumulateText(acc, text)
+	if e.acc == nil {
+		e.acc = hv.NewAccumulator(e.dim, seed)
+	} else {
+		e.acc.Reset()
+		e.acc.SetSeed(seed)
+	}
+	n := e.AccumulateText(e.acc, text)
 	if n == 0 {
 		return hv.New(e.dim), 0
 	}
-	return acc.Majority(), n
+	return e.acc.Majority(), n
 }

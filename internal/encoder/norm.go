@@ -9,7 +9,14 @@ import "unicode"
 // leading/trailing spaces are dropped. The result is the letter stream the
 // n-gram window slides over.
 func Normalize(text string) []rune {
-	out := make([]rune, 0, len(text))
+	return NormalizeInto(make([]rune, 0, len(text)), text)
+}
+
+// NormalizeInto is Normalize appending into dst (which is overwritten from
+// length 0 — pass buf[:0] to reuse buf), so hot encode loops can recycle one
+// letter buffer across texts.
+func NormalizeInto(dst []rune, text string) []rune {
+	out := dst
 	prevSpace := true // suppress leading spaces
 	for _, r := range text {
 		switch {

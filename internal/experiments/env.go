@@ -35,19 +35,35 @@ func FullScale() Scale { return Scale{TrainChars: 1_000_000, TestPerLang: 1000, 
 func QuickScale() Scale { return Scale{TrainChars: 60_000, TestPerLang: 25, MCRuns: 500} }
 
 // Env caches trained pipelines per dimensionality so a full experiment run
-// trains each configuration exactly once.
+// trains each configuration exactly once, even when several dimensionalities
+// are requested concurrently (each dim is built under its own once-guard).
 type Env struct {
 	Scale Scale
 	Seed  uint64
 
 	mu      sync.Mutex
 	langs   []*textgen.Language
-	bundles map[int]*Bundle
+	bundles map[int]*bundleSlot
+
+	// Training corpora and test sentences depend only on (Seed, Scale), not
+	// on the dimensionality, so dimensionality sweeps generate them once and
+	// share them across every bundle build.
+	corpusOnce sync.Once
+	texts      []string
+	samples    []lang.Sample
+}
+
+// bundleSlot guards one dimensionality's build so concurrent Bundle calls
+// train it exactly once.
+type bundleSlot struct {
+	once sync.Once
+	b    *Bundle
+	err  error
 }
 
 // NewEnv creates an experiment environment.
 func NewEnv(scale Scale, seed uint64) *Env {
-	return &Env{Scale: scale, Seed: seed, bundles: make(map[int]*Bundle)}
+	return &Env{Scale: scale, Seed: seed, bundles: make(map[int]*bundleSlot)}
 }
 
 // Bundle is everything the accuracy experiments need at one dimensionality.
@@ -71,33 +87,82 @@ func (e *Env) Languages() []*textgen.Language {
 }
 
 // Bundle returns the trained pipeline at dimensionality dim, training and
-// encoding on first use.
+// encoding on first use. Concurrent calls for the same dim share one build;
+// calls for different dims build independently and may overlap.
 func (e *Env) Bundle(dim int) (*Bundle, error) {
 	e.mu.Lock()
-	if b, ok := e.bundles[dim]; ok {
-		e.mu.Unlock()
-		return b, nil
+	s, ok := e.bundles[dim]
+	if !ok {
+		s = &bundleSlot{}
+		e.bundles[dim] = s
 	}
 	e.mu.Unlock()
+	s.once.Do(func() { s.b, s.err = e.build(dim) })
+	return s.b, s.err
+}
 
-	langs := e.Languages()
+// params returns the pipeline parameters at one dimensionality.
+func (e *Env) params(dim int) lang.Params {
 	p := lang.DefaultParams()
 	p.Dim = dim
 	p.Seed = e.Seed
 	p.TrainChars = e.Scale.TrainChars
 	p.TestPerLang = e.Scale.TestPerLang
-	tr, err := lang.Train(langs, p)
+	return p
+}
+
+// corpus returns the shared training corpora and test sentences, generating
+// them on first use. Both are dimensionality-independent (pure functions of
+// seed and scale), so a Table III-style sweep over six dimensionalities pays
+// for text generation once instead of six times.
+func (e *Env) corpus() ([]string, []lang.Sample) {
+	e.corpusOnce.Do(func() {
+		langs := e.Languages()
+		p := e.params(1) // corpora are dimensionality-independent
+		e.texts = lang.TrainTexts(langs, p)
+		e.samples = lang.MakeTestSet(langs, p).Samples
+	})
+	return e.texts, e.samples
+}
+
+// build trains, encodes and pre-computes the distance matrix at one
+// dimensionality.
+func (e *Env) build(dim int) (*Bundle, error) {
+	langs := e.Languages()
+	texts, samples := e.corpus()
+	p := e.params(dim)
+	tr, err := lang.TrainOn(langs, texts, p)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training at D=%d: %w", dim, err)
 	}
-	ts := lang.MakeTestSet(langs, p)
+	ts := &lang.TestSet{Samples: samples}
 	ts.Encode(tr)
-	b := &Bundle{Trained: tr, TestSet: ts, Distances: ts.DistanceMatrix(tr.Memory)}
+	return &Bundle{Trained: tr, TestSet: ts, Distances: ts.DistanceMatrix(tr.Memory)}, nil
+}
 
-	e.mu.Lock()
-	e.bundles[dim] = b
-	e.mu.Unlock()
-	return b, nil
+// Precompute builds the bundles for all given dimensionalities concurrently
+// (each dim's internal training already fans out across GOMAXPROCS; building
+// dims in parallel additionally overlaps their serial phases), so
+// multi-dimensionality drivers like Table III pay one overlapped training
+// pass instead of a lazy one-by-one sweep. Every bundle is attempted; the
+// first error in dims order is returned.
+func (e *Env) Precompute(dims []int) error {
+	errs := make([]error, len(dims))
+	var wg sync.WaitGroup
+	for i, d := range dims {
+		wg.Add(1)
+		go func(i, d int) {
+			defer wg.Done()
+			_, errs[i] = e.Bundle(d)
+		}(i, d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Memory is shorthand for the trained memory at dim.

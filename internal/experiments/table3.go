@@ -29,6 +29,11 @@ type Table3Row struct {
 // (LTA-quantized search). Each dimensionality trains its own model, as in
 // the paper.
 func Table3(env *Env) ([]Table3Row, error) {
+	// Train every dimensionality's bundle concurrently up front instead of
+	// lazily one-by-one inside the sweep.
+	if err := env.Precompute(Dims); err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewPCG(env.Seed, 0x7ab1e3))
 	var rows []Table3Row
 	for _, d := range Dims {
@@ -38,14 +43,7 @@ func Table3(env *Env) ([]Table3Row, error) {
 		}
 		exact := make([]int, len(b.Distances))
 		for i, row := range b.Distances {
-			best, bestD := 0, 1<<62
-			for j, dist := range row {
-				if dist < bestD {
-					best, bestD = j, dist
-				}
-			}
-			exact[i] = best
-			_ = i
+			exact[i], _ = assoc.ExactWinner(row)
 		}
 		lta := analog.LTA{Bits: analog.BitsFor(d), Stages: analog.StagesFor(d)}
 		md := lta.MinDetectable(d, analog.Variation{})

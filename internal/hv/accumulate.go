@@ -2,25 +2,43 @@ package hv
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand/v2"
 )
 
+// maxPlanes is the fixed per-word counter width: each component's ones-count
+// is a maxPlanes-bit integer, so an accumulator holds up to 2^maxPlanes − 1
+// total weight — far beyond any training corpus — while keeping every
+// word's counter bits contiguous in memory.
+const maxPlanes = 32
+
+// unrollPlanes is how many counter planes the Add fast path touches
+// unconditionally. A carry survives k planes with probability ~2^−k on
+// bundling workloads, so after three branch-free plane updates only ~12% of
+// words fall through to the generic ripple loop; the rest run straight-line
+// code with no unpredictable branches.
+const unrollPlanes = 3
+
 // Accumulator bundles many hypervectors by component-wise majority, the
-// paper's [A + B + C] operation. Internally it keeps a bit-sliced counter:
-// plane p holds bit p of every component's ones-count, so adding a vector is
-// a word-parallel ripple-carry addition costing O(words) amortized, and the
-// majority threshold is a word-parallel comparison. This is what makes
-// training on megabytes of text (millions of bundled n-grams) practical.
+// paper's [A + B + C] operation. Internally it keeps a bit-sliced counter in
+// word-major order: the counter bits of packed word w live contiguously at
+// data[w·maxPlanes … w·maxPlanes+planes), so adding a vector ripples each
+// word's carry chain in registers over adjacent memory and never allocates
+// after the first Add. This is what makes training on megabytes of text
+// (millions of bundled n-grams) practical.
 //
 // The paper augments the majority with "a method for breaking ties if the
 // number of component hypervectors is even"; Accumulator implements that by
 // consulting a deterministic pseudo-random tie-break vector derived from the
 // accumulator's seed.
 type Accumulator struct {
-	dim    int
-	planes [][]uint64 // planes[p][w]: bit p of the ones-count of components in word w
-	n      int        // total weight accumulated
-	seed   uint64
+	dim  int
+	nw   int      // packed words per vector
+	data []uint64 // nw × maxPlanes, word-major bit-sliced counters
+	n    int      // total weight accumulated
+	seed uint64
+
+	eq []uint64 // Majority's tie-mask scratch
 }
 
 // NewAccumulator returns an empty majority accumulator for the given
@@ -30,7 +48,7 @@ func NewAccumulator(dim int, seed uint64) *Accumulator {
 	if dim <= 0 {
 		panic(fmt.Sprintf("hv: non-positive dimension %d", dim))
 	}
-	return &Accumulator{dim: dim, seed: seed}
+	return &Accumulator{dim: dim, nw: wordsFor(dim), seed: seed}
 }
 
 // Dim returns the dimensionality of the accumulator.
@@ -39,63 +57,127 @@ func (a *Accumulator) Dim() int { return a.dim }
 // Count returns the total weight of vectors added so far.
 func (a *Accumulator) Count() int { return a.n }
 
-// newPlane appends an all-zero plane and returns it.
-func (a *Accumulator) newPlane() []uint64 {
-	p := make([]uint64, wordsFor(a.dim))
-	a.planes = append(a.planes, p)
+// SetSeed replaces the tie-break seed. Combined with Reset this lets one
+// accumulator be reused across many bundling sessions (e.g. encoding every
+// test sentence with its own tie-break stream) without reallocating.
+func (a *Accumulator) SetSeed(seed uint64) { a.seed = seed }
+
+// planes returns how many counter bits can be non-zero: the per-component
+// count never exceeds the total weight n, so bits.Len(n) bounds it exactly.
+func (a *Accumulator) planes() int {
+	p := bits.Len64(uint64(a.n))
+	if p > maxPlanes {
+		panic("hv: accumulator counter overflow")
+	}
 	return p
 }
 
-// rippleAdd adds the single-bit-per-component carry vector into the counter
-// starting at plane `from` (i.e. adds carry · 2^from).
-func (a *Accumulator) rippleAdd(carry []uint64, from int) {
-	// carry is consumed; callers pass a scratch copy.
+// counters returns the backing array, allocating it on first use.
+func (a *Accumulator) counters() []uint64 {
+	if a.data == nil {
+		a.data = make([]uint64, a.nw*maxPlanes)
+	}
+	return a.data
+}
+
+// Add accumulates one hypervector with weight 1. This is the bundling hot
+// path: for every packed word it updates the first unrollPlanes counter
+// planes branch-free, falling back to the generic ripple only for the rare
+// long carry chains.
+func (a *Accumulator) Add(v *Vector) {
+	if v.dim != a.dim {
+		panic(fmt.Sprintf("hv: accumulator dim %d, vector dim %d", a.dim, v.dim))
+	}
+	data := a.counters()
+	for w, c := range v.words {
+		if c == 0 {
+			continue
+		}
+		d := data[w*maxPlanes:]
+		_ = d[unrollPlanes-1]
+		t := d[0]
+		d[0] = t ^ c
+		c &= t
+		t = d[1]
+		d[1] = t ^ c
+		c &= t
+		t = d[2]
+		d[2] = t ^ c
+		c &= t
+		if c != 0 {
+			ripple(d, c, unrollPlanes)
+		}
+	}
+	a.n++
+	a.planes() // overflow check
+}
+
+// AddPair accumulates two hypervectors with weight 1 each. It is the bulk
+// bundling path: the pair is first compressed into a sum plane s = x ⊕ y and
+// a carry plane c = x ∧ y (a 3:2 carry-save step), then both planes are
+// folded into the counters with one fused two-bit add per word — half the
+// counter traffic and half the carry-chain branches of two separate Adds.
+// The resulting counts are exactly those of Add(x); Add(y).
+func (a *Accumulator) AddPair(x, y *Vector) {
+	if x.dim != a.dim || y.dim != a.dim {
+		panic(fmt.Sprintf("hv: accumulator dim %d, vector dims %d/%d", a.dim, x.dim, y.dim))
+	}
+	data := a.counters()
+	xw, yw := x.words, y.words
+	for w := range xw {
+		s := xw[w] ^ yw[w]
+		c := xw[w] & yw[w]
+		d := data[w*maxPlanes:]
+		_ = d[3]
+		t := d[0]
+		d[0] = t ^ s
+		cy := t & s
+		// Plane 1 absorbs the pair carry c and the plane-0 carry cy in one
+		// full-adder step.
+		u := c ^ cy
+		t = d[1]
+		d[1] = t ^ u
+		cy = (t & u) | (c & cy)
+		t = d[2]
+		d[2] = t ^ cy
+		cy &= t
+		t = d[3]
+		d[3] = t ^ cy
+		cy &= t
+		if cy != 0 {
+			ripple(d, cy, 4)
+		}
+	}
+	a.n += 2
+	a.planes() // overflow check
+}
+
+// ripple propagates a carry c through counter planes d starting at plane
+// from. Updating plane p with carry c leaves it at d[p]^c and forwards
+// d[p]&c; the chain ends when the carry dies out.
+func ripple(d []uint64, c uint64, from int) {
 	for p := from; ; p++ {
-		if p == len(a.planes) {
-			a.newPlane()
+		if p == maxPlanes {
+			panic("hv: accumulator counter overflow")
 		}
-		plane := a.planes[p]
-		var any uint64
-		for w, c := range carry {
-			if c == 0 {
-				continue
-			}
-			and := plane[w] & c
-			plane[w] ^= c
-			carry[w] = and
-			any |= and
-		}
-		if any == 0 {
+		t := d[p]
+		d[p] = t ^ c
+		c &= t
+		if c == 0 {
 			return
 		}
 	}
 }
 
-// Add accumulates one hypervector with weight 1.
-func (a *Accumulator) Add(v *Vector) {
-	if v.dim != a.dim {
-		panic(fmt.Sprintf("hv: accumulator dim %d, vector dim %d", a.dim, v.dim))
-	}
-	if len(a.planes) == 0 {
-		a.newPlane()
-	}
-	plane0 := a.planes[0]
-	var any uint64
-	var carry []uint64
-	for w, c := range v.words {
-		and := plane0[w] & c
-		plane0[w] ^= c
-		if and != 0 {
-			if carry == nil {
-				carry = make([]uint64, len(v.words))
-			}
-			carry[w] = and
-			any |= and
+// addWords ripple-adds the single-bit-per-component vector `words` into the
+// counters at bit position `from` (i.e. adds words · 2^from).
+func (a *Accumulator) addWords(words []uint64, from int) {
+	data := a.counters()
+	for w, c := range words {
+		if c == 0 {
+			continue
 		}
-	}
-	a.n++
-	if any != 0 {
-		a.rippleAdd(carry, 1)
+		ripple(data[w*maxPlanes:], c, from)
 	}
 }
 
@@ -112,14 +194,13 @@ func (a *Accumulator) AddWeighted(v *Vector, weight int) {
 	if weight == 0 {
 		return
 	}
-	scratch := make([]uint64, len(v.words))
 	for j := 0; weight>>uint(j) != 0; j++ {
 		if weight>>uint(j)&1 == 1 {
-			copy(scratch, v.words)
-			a.rippleAdd(scratch, j)
+			a.addWords(v.words, j)
 		}
 	}
 	a.n += weight
+	a.planes() // overflow check
 }
 
 // Merge adds the contents of another accumulator into a.
@@ -127,17 +208,40 @@ func (a *Accumulator) Merge(b *Accumulator) {
 	if b.dim != a.dim {
 		panic(fmt.Sprintf("hv: accumulator dim %d, other dim %d", a.dim, b.dim))
 	}
-	scratch := make([]uint64, wordsFor(a.dim))
-	for p, plane := range b.planes {
-		copy(scratch, plane)
-		a.rippleAdd(scratch, p)
+	if b.n == 0 {
+		return
+	}
+	data := a.counters()
+	bdata := b.counters()
+	bp := b.planes()
+	for w := 0; w < a.nw; w++ {
+		base := w * maxPlanes
+		for p := 0; p < bp; p++ {
+			if c := bdata[base+p]; c != 0 {
+				ripple(data[base:], c, p)
+			}
+		}
 	}
 	a.n += b.n
+	a.planes() // overflow check
 }
 
-// Reset empties the accumulator for reuse.
+// Reset empties the accumulator for reuse. The counter storage is kept, so
+// a reused accumulator runs at a zero-allocation steady state.
 func (a *Accumulator) Reset() {
-	a.planes = a.planes[:0]
+	if a.data != nil {
+		// Only planes that could hold bits need clearing, but the branch-free
+		// Add path writes (value-preserving) stores into the first
+		// unrollPlanes planes regardless, so clear at least those.
+		p := a.planes()
+		if p < unrollPlanes {
+			p = unrollPlanes
+		}
+		for w := 0; w < a.nw; w++ {
+			base := w * maxPlanes
+			clear(a.data[base : base+p])
+		}
+	}
 	a.n = 0
 }
 
@@ -148,51 +252,48 @@ func (a *Accumulator) Reset() {
 // the paper prescribes for even-way majorities.
 func (a *Accumulator) Majority() *Vector {
 	v := New(a.dim)
-	if a.n == 0 {
+	if a.n == 0 || a.data == nil {
 		return v
 	}
 	// Majority at component i ⇔ ones(i) > floor(n/2); tie ⇔ n even and
 	// ones(i) == n/2. Compare bit-sliced counts against the constant T
-	// word-parallel, scanning planes from the most significant down.
+	// word-parallel, scanning each word's counter bits from the most
+	// significant down.
 	t := uint64(a.n / 2)
-	nw := wordsFor(a.dim)
-	// Counts have at most len(planes) bits. If T has a set bit beyond them,
-	// every count is strictly below T: the majority is all zeros and no
-	// component can tie.
-	if t>>uint(len(a.planes)) != 0 {
-		return v
+	np := a.planes()
+	if a.eq == nil {
+		a.eq = make([]uint64, a.nw)
 	}
-	gt := make([]uint64, nw)
-	eq := make([]uint64, nw)
-	for w := range eq {
-		eq[w] = ^uint64(0)
-	}
-	for p := len(a.planes) - 1; p >= 0; p-- {
-		plane := a.planes[p]
-		var tbit uint64 // broadcast of bit p of T
-		if t>>uint(p)&1 == 1 {
-			tbit = ^uint64(0)
+	data := a.data
+	for w := 0; w < a.nw; w++ {
+		base := w * maxPlanes
+		var gt uint64
+		eqw := ^uint64(0)
+		for p := np - 1; p >= 0; p-- {
+			cw := data[base+p]
+			var tbit uint64 // broadcast of bit p of T
+			if t>>uint(p)&1 == 1 {
+				tbit = ^uint64(0)
+			}
+			gt |= eqw & cw &^ tbit
+			eqw &^= cw ^ tbit
 		}
-		for w := 0; w < nw; w++ {
-			cw := plane[w]
-			gt[w] |= eq[w] & cw &^ tbit
-			eq[w] &^= cw ^ tbit
-		}
+		v.words[w] = gt
+		a.eq[w] = eqw
 	}
-	copy(v.words, gt)
-	v.words[nw-1] &= tailMask(a.dim)
+	v.words[a.nw-1] &= tailMask(a.dim)
 	// Ties: n even and count == n/2 exactly.
 	if a.n%2 == 0 {
 		var anyTie uint64
-		for _, w := range eq {
+		for _, w := range a.eq {
 			anyTie |= w
 		}
 		if anyTie != 0 {
 			tie := tieBreak(a.dim, a.seed)
-			for w := 0; w < nw; w++ {
-				v.words[w] |= eq[w] & tie.words[w]
+			for w := 0; w < a.nw; w++ {
+				v.words[w] |= a.eq[w] & tie.words[w]
 			}
-			v.words[nw-1] &= tailMask(a.dim)
+			v.words[a.nw-1] &= tailMask(a.dim)
 		}
 	}
 	return v
@@ -202,10 +303,18 @@ func (a *Accumulator) Majority() *Vector {
 // for inspection and tests, not in hot loops.
 func (a *Accumulator) Counts() []int32 {
 	counts := make([]int32, a.dim)
-	for p, plane := range a.planes {
-		for i := 0; i < a.dim; i++ {
-			counts[i] += int32(plane[i/wordBits]>>(uint(i)%wordBits)&1) << uint(p)
+	if a.data == nil {
+		return counts
+	}
+	np := a.planes()
+	for i := 0; i < a.dim; i++ {
+		base := (i / wordBits) * maxPlanes
+		off := uint(i) % wordBits
+		var c int32
+		for p := 0; p < np; p++ {
+			c += int32(a.data[base+p]>>off&1) << uint(p)
 		}
+		counts[i] = c
 	}
 	return counts
 }
@@ -218,8 +327,13 @@ func (a *Accumulator) Margin(i int) int {
 		panic(fmt.Sprintf("hv: index %d out of range [0,%d)", i, a.dim))
 	}
 	ones := 0
-	for p, plane := range a.planes {
-		ones += int(plane[i/wordBits]>>(uint(i)%wordBits)&1) << uint(p)
+	if a.data != nil {
+		base := (i / wordBits) * maxPlanes
+		off := uint(i) % wordBits
+		np := a.planes()
+		for p := 0; p < np; p++ {
+			ones += int(a.data[base+p]>>off&1) << uint(p)
+		}
 	}
 	return 2*ones - a.n
 }

@@ -228,10 +228,11 @@ func TestAccumulatorAllZerosMajority(t *testing.T) {
 	}
 }
 
-func BenchmarkAccumulatorAdd(b *testing.B) {
+func BenchmarkAccumulateAdd(b *testing.B) {
 	rng := testRNG(1)
 	v := Random(Dim, rng)
 	acc := NewAccumulator(Dim, 0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		acc.Add(v)

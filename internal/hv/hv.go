@@ -137,6 +137,12 @@ func (v *Vector) checkIndex(i int) {
 	}
 }
 
+// Zero clears every component in place, for reusing scratch vectors in
+// allocation-free hot loops.
+func (v *Vector) Zero() {
+	clear(v.words)
+}
+
 // Clone returns a deep copy of v.
 func (v *Vector) Clone() *Vector {
 	c := New(v.dim)
@@ -263,6 +269,32 @@ func Rotate1Into(dst, src *Vector) {
 		panic("hv: Rotate1Into dst aliases src")
 	}
 	rotateInto(dst, src)
+}
+
+// Rotate1Bind2Into computes dst = ρ(src) ⊕ a ⊕ b in one pass over the
+// packed words: the sliding-window step of n-gram encoding (rotate the
+// window, XOR out the departing symbol, XOR in the arriving one) fused so
+// the hot training loop touches each word once instead of three times.
+// dst must not alias src; it may alias a or b.
+func Rotate1Bind2Into(dst, src, a, b *Vector) {
+	if dst == src {
+		panic("hv: Rotate1Bind2Into dst aliases src")
+	}
+	mustSameDim(dst, src)
+	mustSameDim(src, a)
+	mustSameDim(src, b)
+	dim := src.dim
+	nw := len(src.words)
+	lastWord := (dim - 1) / wordBits
+	lastOff := uint(dim-1) % wordBits
+	carry := (src.words[lastWord] >> lastOff) & 1
+	sw, aw, bw, dw := src.words, a.words, b.words, dst.words
+	for i := 0; i < nw; i++ {
+		w := sw[i]
+		dw[i] = ((w << 1) | carry) ^ aw[i] ^ bw[i]
+		carry = w >> (wordBits - 1)
+	}
+	dw[nw-1] &= tailMask(dim)
 }
 
 // Hamming returns the Hamming distance δ(v, u): the number of components at

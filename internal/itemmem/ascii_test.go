@@ -1,0 +1,69 @@
+package itemmem
+
+import (
+	"testing"
+
+	"hdam/internal/hv"
+)
+
+// TestASCIIFastPathMatchesMap: ASCII symbols resolve through the dense
+// array, everything else through the map; both must yield the same memoized
+// vector identity and stay deterministic in (seed, symbol).
+func TestASCIIFastPathMatchesMap(t *testing.T) {
+	m := New(512, 7)
+	for _, r := range []rune{'a', 'z', ' ', 0, 127, 'é', 'ß', '語', rune(0x10FFFF)} {
+		v1 := m.Get(r)
+		v2 := m.Get(r)
+		if v1 != v2 {
+			t.Fatalf("symbol %q: Get not memoized", r)
+		}
+		other := New(512, 7)
+		if hv.Hamming(other.Get(r), v1) != 0 {
+			t.Fatalf("symbol %q: not deterministic across instances", r)
+		}
+	}
+	if m.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", m.Len())
+	}
+}
+
+// TestSymbolsSortedCacheStaysCorrect: the sorted-symbol cache must
+// invalidate on insertion and never leak internal state to callers.
+func TestSymbolsSortedCacheStaysCorrect(t *testing.T) {
+	m := New(256, 3)
+	m.Preload("cab")
+	got := m.Symbols()
+	if string(got) != "abc" {
+		t.Fatalf("Symbols = %q, want %q", string(got), "abc")
+	}
+	// Mutating the returned slice must not corrupt the cache.
+	got[0] = 'z'
+	if s := m.Symbols(); string(s) != "abc" {
+		t.Fatalf("Symbols after caller mutation = %q, want %q", string(s), "abc")
+	}
+	// Insertion (ASCII and non-ASCII) must invalidate the cache.
+	m.Get(' ')
+	if s := m.Symbols(); string(s) != " abc" {
+		t.Fatalf("Symbols after ASCII insert = %q, want %q", string(s), " abc")
+	}
+	m.Get('é')
+	if s := m.Symbols(); string(s) != " abcé" {
+		t.Fatalf("Symbols after non-ASCII insert = %q, want %q", string(s), " abcé")
+	}
+}
+
+// TestGetSteadyStateZeroAlloc: memoized ASCII lookups are the encode hot
+// path and must not allocate.
+func TestGetSteadyStateZeroAlloc(t *testing.T) {
+	m := New(1024, 5)
+	m.Preload(LatinAlphabet)
+	if n := testing.AllocsPerRun(100, func() {
+		for _, r := range LatinAlphabet {
+			if m.Get(r) == nil {
+				t.Fatal("nil item")
+			}
+		}
+	}); n != 0 {
+		t.Fatalf("memoized Get allocates %v per run, want 0", n)
+	}
+}

@@ -14,12 +14,18 @@ import (
 	"hdam/internal/hv"
 )
 
-// ItemMemory maps symbols to fixed seed hypervectors.
+// ItemMemory maps symbols to fixed seed hypervectors. ASCII symbols — the
+// whole normalized alphabet of the language application — resolve through a
+// dense array instead of the map, so the encode hot path never pays for map
+// hashing.
 type ItemMemory struct {
 	dim   int
 	seed  uint64
 	items map[rune]*hv.Vector
-	order []rune // insertion order, for deterministic iteration
+	ascii [128]*hv.Vector // dense fast path for ASCII symbols
+	order []rune          // insertion order, for deterministic iteration
+
+	sorted []rune // cached sorted symbols; nil when stale
 }
 
 // New returns an empty item memory producing vectors of the given dimension.
@@ -42,13 +48,21 @@ func (m *ItemMemory) Len() int { return len(m.items) }
 // Get returns the hypervector for symbol r, creating and memoizing it on
 // first use. Creation is a pure function of (seed, r).
 func (m *ItemMemory) Get(r rune) *hv.Vector {
-	if v, ok := m.items[r]; ok {
+	if uint32(r) < 128 {
+		if v := m.ascii[r]; v != nil {
+			return v
+		}
+	} else if v, ok := m.items[r]; ok {
 		return v
 	}
 	rng := rand.New(rand.NewPCG(m.seed, uint64(r)*0x9e3779b97f4a7c15+1))
 	v := hv.RandomBalanced(m.dim, rng)
 	m.items[r] = v
+	if uint32(r) < 128 {
+		m.ascii[r] = v
+	}
 	m.order = append(m.order, r)
+	m.sorted = nil
 	return v
 }
 
@@ -58,11 +72,22 @@ func (m *ItemMemory) Has(r rune) bool {
 	return ok
 }
 
+// sortedSymbols returns the assigned symbols in sorted order, recomputing
+// the cached slice only after an insertion invalidated it. Callers must not
+// mutate the result.
+func (m *ItemMemory) sortedSymbols() []rune {
+	if m.sorted == nil && len(m.order) > 0 {
+		m.sorted = make([]rune, len(m.order))
+		copy(m.sorted, m.order)
+		sort.Slice(m.sorted, func(i, j int) bool { return m.sorted[i] < m.sorted[j] })
+	}
+	return m.sorted
+}
+
 // Symbols returns the assigned symbols sorted for deterministic reporting.
 func (m *ItemMemory) Symbols() []rune {
 	out := make([]rune, len(m.order))
-	copy(out, m.order)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	copy(out, m.sortedSymbols())
 	return out
 }
 
@@ -89,7 +114,7 @@ func (m *ItemMemory) Cleanup(v *hv.Vector) (rune, int) {
 	best := rune(-1)
 	bestD := m.dim + 1
 	// Iterate in sorted-symbol order so ties resolve deterministically.
-	for _, r := range m.Symbols() {
+	for _, r := range m.sortedSymbols() {
 		if d := hv.Hamming(v, m.items[r]); d < bestD {
 			best, bestD = r, d
 		}

@@ -82,11 +82,35 @@ type Trained struct {
 // it and bundles every n-gram hypervector by majority (the paper's learned
 // language hypervectors). Languages are trained concurrently.
 func Train(langs []*textgen.Language, p Params) (*Trained, error) {
+	return TrainOn(langs, nil, p)
+}
+
+// TrainTexts generates the per-language training corpora Train would use:
+// texts[i] is exactly what language i's training goroutine draws from its
+// RNG stream. The corpora depend only on (Seed, TrainChars) — not on the
+// dimensionality — so sweeps over D can generate them once and pass them to
+// TrainOn instead of regenerating megabytes of text per dimensionality.
+func TrainTexts(langs []*textgen.Language, p Params) []string {
+	texts := make([]string, len(langs))
+	for i, l := range langs {
+		rng := rand.New(rand.NewPCG(p.Seed, uint64(i)*0x51_7cc1b7+11))
+		texts[i] = l.GenerateText(p.TrainChars, rng)
+	}
+	return texts
+}
+
+// TrainOn is Train with optional pre-generated training corpora: if texts is
+// non-nil it must be TrainTexts(langs, p), and generation is skipped. A nil
+// texts trains exactly like Train (each goroutine generates its own corpus).
+func TrainOn(langs []*textgen.Language, texts []string, p Params) (*Trained, error) {
 	if err := p.check(); err != nil {
 		return nil, err
 	}
 	if len(langs) == 0 {
 		return nil, fmt.Errorf("lang: no languages")
+	}
+	if texts != nil && len(texts) != len(langs) {
+		return nil, fmt.Errorf("lang: %d texts for %d languages", len(texts), len(langs))
 	}
 	im := itemmem.New(p.Dim, p.Seed)
 	im.Preload(itemmem.LatinAlphabet)
@@ -108,8 +132,13 @@ func Train(langs []*textgen.Language, p Params) (*Trained, error) {
 			lim := itemmem.New(p.Dim, p.Seed)
 			lim.Preload(itemmem.LatinAlphabet)
 			enc := encoder.New(lim, p.NGram)
-			rng := rand.New(rand.NewPCG(p.Seed, uint64(i)*0x51_7cc1b7+11))
-			text := l.GenerateText(p.TrainChars, rng)
+			var text string
+			if texts != nil {
+				text = texts[i]
+			} else {
+				rng := rand.New(rand.NewPCG(p.Seed, uint64(i)*0x51_7cc1b7+11))
+				text = l.GenerateText(p.TrainChars, rng)
+			}
 			acc := hv.NewAccumulator(p.Dim, p.Seed+uint64(i))
 			enc.AccumulateText(acc, text)
 			classes[i] = acc.Majority()
@@ -188,11 +217,19 @@ func (ts *TestSet) Encode(t *Trained) {
 // DistanceMatrix computes, for every encoded query, the exact Hamming
 // distance to every class. Experiments that sweep approximation knobs
 // (error bits, Δ, sampling) reuse this matrix instead of re-searching.
+// The rows share one flat backing array, and each worker runs the blocked
+// batch kernel over its query chunk: the packed class matrix is streamed
+// once per query block rather than once per query row.
 func (ts *TestSet) DistanceMatrix(mem *core.Memory) [][]int {
 	if ts.Queries == nil {
 		panic("lang: Encode must run before DistanceMatrix")
 	}
+	c := mem.Classes()
+	flat := make([]int, len(ts.Queries)*c)
 	dm := make([][]int, len(ts.Queries))
+	for i := range dm {
+		dm[i] = flat[i*c : (i+1)*c : (i+1)*c]
+	}
 	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
 	chunk := (len(ts.Queries) + workers - 1) / workers
@@ -207,9 +244,7 @@ func (ts *TestSet) DistanceMatrix(mem *core.Memory) [][]int {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				dm[i] = mem.Distances(ts.Queries[i])
-			}
+			mem.DistancesBatchInto(flat[lo*c:hi*c], ts.Queries[lo:hi])
 		}(lo, hi)
 	}
 	wg.Wait()
