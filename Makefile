@@ -27,7 +27,9 @@ bench:
 bench-json:
 	$(GO) run ./cmd/hambench -json BENCH.json
 
-# Everything CI runs, in order: static checks, build, race-enabled tests and
-# a benchmark smoke pass.
+# Everything CI runs, in order: static checks, build, race-enabled tests, a
+# full (non-short) race pass over the robustness stack, and a benchmark
+# smoke pass.
 ci: vet build race
+	$(GO) test -race ./internal/assoc ./internal/fault ./internal/experiments
 	$(GO) test -run xxx -bench 'Encode|Distance|Accumulate' -benchtime 10x -benchmem ./...

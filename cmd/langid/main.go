@@ -15,6 +15,10 @@
 //	-design S    search hardware: exact | dham | rham | aham (default exact)
 //	-seed N      pipeline seed
 //	-demo        classify generated demo sentences instead of stdin
+//	-resilient   serve through the confidence-gated escalation chain
+//	-chain S     comma-separated escalation chain (default aham,rham,dham,exact)
+//	-margin N    confidence threshold: escalate answers whose Hamming-distance
+//	             margin over the runner-up is below N
 package main
 
 import (
@@ -37,7 +41,33 @@ func main() {
 	demo := flag.Bool("demo", false, "classify generated demo sentences")
 	saveTo := flag.String("save", "", "write the trained memory to this file after training")
 	loadFrom := flag.String("load", "", "load a trained memory instead of training")
+	resilient := flag.Bool("resilient", false, "serve through the confidence-gated escalation chain")
+	chain := flag.String("chain", "aham,rham,dham,exact", "comma-separated escalation chain for -resilient")
+	margin := flag.Int("margin", 32, "confidence threshold (Hamming-distance margin) for -resilient")
 	flag.Parse()
+
+	// Validate the hardware selection before spending minutes on training.
+	if !knownDesign(*design) {
+		fmt.Fprintf(os.Stderr, "langid: unknown design %q (want exact, dham, rham or aham)\n\n", *design)
+		flag.Usage()
+		os.Exit(2)
+	}
+	var stages []string
+	if *resilient {
+		stages = strings.Split(*chain, ",")
+		for _, st := range stages {
+			if !knownDesign(strings.TrimSpace(st)) {
+				fmt.Fprintf(os.Stderr, "langid: unknown design %q in -chain %q (want exact, dham, rham or aham)\n\n", st, *chain)
+				flag.Usage()
+				os.Exit(2)
+			}
+		}
+		if *margin < 0 {
+			fmt.Fprintf(os.Stderr, "langid: negative -margin %d\n\n", *margin)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
 
 	langs := hdam.Languages()
 	p := hdam.DefaultLanguageParams()
@@ -96,7 +126,15 @@ func main() {
 		}
 	}
 
-	searcher, err := buildSearcher(*design, tr, p)
+	var searcher hdam.Searcher
+	var res *hdam.Resilient
+	var err error
+	if *resilient {
+		res, err = buildChain(stages, *margin, tr, p)
+		searcher = res
+	} else {
+		searcher, err = buildSearcher(*design, tr, p)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "langid: %v\n", err)
 		os.Exit(1)
@@ -104,6 +142,7 @@ func main() {
 
 	if *demo {
 		runDemo(tr, searcher, langs, *seed)
+		reportStages(res)
 		return
 	}
 
@@ -141,6 +180,46 @@ func main() {
 	if labeled > 0 {
 		fmt.Fprintf(os.Stderr, "accuracy: %d/%d (%.1f%%)\n",
 			correct, labeled, 100*float64(correct)/float64(labeled))
+	}
+	reportStages(res)
+}
+
+// knownDesign reports whether a -design / -chain entry names a searcher.
+func knownDesign(d string) bool {
+	switch d {
+	case "exact", "dham", "rham", "aham":
+		return true
+	}
+	return false
+}
+
+// buildChain assembles the resilient escalation pipeline.
+func buildChain(designs []string, margin int, tr *hdam.Trained, p hdam.LanguageParams) (*hdam.Resilient, error) {
+	stages := make([]hdam.ResilientStage, len(designs))
+	for i, d := range designs {
+		s, err := buildSearcher(strings.TrimSpace(d), tr, p)
+		if err != nil {
+			return nil, err
+		}
+		stages[i] = hdam.ResilientStage{Searcher: s}
+	}
+	return hdam.NewResilient(stages, hdam.ResilientConfig{MinMargin: margin})
+}
+
+// reportStages prints the escalation pipeline's health counters.
+func reportStages(res *hdam.Resilient) {
+	if res == nil || res.Searches() == 0 {
+		return
+	}
+	total := res.Searches()
+	fmt.Fprintf(os.Stderr, "resilient chain over %d searches:\n", total)
+	for _, st := range res.Stats() {
+		state := "closed"
+		if st.BreakerOpen {
+			state = "OPEN"
+		}
+		fmt.Fprintf(os.Stderr, "  %-28s accepted %4d  escalated %4d  skipped %4d  err %.3f  breaker %s\n",
+			st.Name, st.Accepted, st.Escalated, st.Skipped, st.ErrEWMA, state)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"hdam/internal/core"
 	"hdam/internal/dham"
 	"hdam/internal/encoder"
+	"hdam/internal/fault"
 	"hdam/internal/hv"
 	"hdam/internal/itemmem"
 	"hdam/internal/lang"
@@ -98,6 +99,67 @@ func NewSampledSearcher(mem *Memory, mask *Mask) Searcher { return assoc.NewSamp
 // distance computation (the paper's Fig. 1 robustness study).
 func NewNoisySearcher(mem *Memory, errorBits int, rng *rand.Rand) Searcher {
 	return assoc.NewNoisy(mem, errorBits, rng)
+}
+
+// ---- Fault injection and resilient search ----
+
+// FaultInjector is one deterministic fault process (see internal/fault for
+// the taxonomy: StuckAtFault, TransientFault, QueryPathFault, CounterFault,
+// DischargeFault).
+type FaultInjector = fault.Injector
+
+// StuckAtFault models permanently defective storage cells.
+type StuckAtFault = fault.StuckAt
+
+// TransientFault models soft-error bit flips in stored class vectors.
+type TransientFault = fault.Transient
+
+// QueryPathFault models common-mode faults on the query path.
+type QueryPathFault = fault.QueryPath
+
+// CounterFault models D-HAM counter upsets and finite counter width.
+type CounterFault = fault.Counter
+
+// DischargeFault models R-HAM/A-HAM discharge-variation misreads.
+type DischargeFault = fault.Discharge
+
+// NewQueryPathFault draws the fixed common-mode defect mask for queries of
+// the given dimensionality.
+func NewQueryPathFault(dim, bits int, seed uint64) (*QueryPathFault, error) {
+	return fault.NewQueryPath(dim, bits, seed)
+}
+
+// FaultMemory applies storage-level injectors to a memory, returning the
+// faulted copy (the original is untouched).
+func FaultMemory(mem *Memory, injs ...FaultInjector) (*Memory, error) {
+	return fault.Apply(mem, injs...)
+}
+
+// WrapFaulty wraps a searcher with search-path injectors (query-path,
+// counter, discharge); storage faults belong in FaultMemory.
+func WrapFaulty(s Searcher, injs ...FaultInjector) (Searcher, error) {
+	return fault.Wrap(s, injs...)
+}
+
+// ResilientStage is one rung of a resilient escalation chain.
+type ResilientStage = assoc.Stage
+
+// ResilientConfig tunes the confidence gate, health tracking and circuit
+// breaking of a resilient pipeline.
+type ResilientConfig = assoc.ResilientConfig
+
+// Resilient is the confidence-gated escalating searcher: low-margin answers
+// escalate along the chain, per-stage health is tracked by an EWMA misread
+// estimate, and unhealthy stages circuit-break until probes show recovery.
+type Resilient = assoc.Resilient
+
+// StageStats is a health snapshot of one resilient stage.
+type StageStats = assoc.StageStats
+
+// NewResilient builds a resilient pipeline over an escalation chain ordered
+// cheapest first (e.g. A-HAM → R-HAM → D-HAM → exact).
+func NewResilient(stages []ResilientStage, cfg ResilientConfig) (*Resilient, error) {
+	return assoc.NewResilient(stages, cfg)
 }
 
 // ---- The three HAM designs ----

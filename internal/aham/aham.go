@@ -120,6 +120,42 @@ func (h *HAM) Search(q *hv.Vector) core.Result {
 	return core.Result{Index: win, Distance: ds[win]}
 }
 
+// ObservedDistances implements core.RowSearcher: the match-line discharge
+// currents in Hamming-distance units. A-HAM's resolution limit is a
+// property of the LTA comparator tree, not of the currents themselves, so
+// the observed row is exact and the near-tie ambiguity appears at winner
+// selection (Search, SearchMargin).
+func (h *HAM) ObservedDistances(dst []int, q *hv.Vector) []int {
+	if cap(dst) < h.cfg.C {
+		dst = make([]int, h.cfg.C)
+	}
+	dst = dst[:h.cfg.C]
+	h.mem.DistancesInto(dst, q)
+	return dst
+}
+
+// SearchMargin implements core.MarginSearcher. The LTA tree can detect —
+// but not resolve — a near-tie: when more than one row sits within the
+// minimum detectable distance of the smallest current, the winner is a
+// comparator-offset toss-up and the reported margin is 0 (the ambiguity
+// signal the paper's multistage search escalates on). An unambiguous
+// winner reports its true gap to the runner-up, which is ≥ the minimum
+// detectable distance by construction.
+func (h *HAM) SearchMargin(q *hv.Vector, buf *[]int) (core.Result, int) {
+	var local []int
+	if buf == nil {
+		buf = &local
+	}
+	*buf = h.ObservedDistances(*buf, q)
+	ds := *buf
+	win := assoc.QuantizedWinner(ds, h.minDetect, h.rng)
+	margin := 0
+	if _, _, m := assoc.MarginWinner(ds); m >= h.minDetect {
+		margin = m
+	}
+	return core.Result{Index: win, Distance: ds[win]}, margin
+}
+
 // MinDetect returns the resolved minimum detectable distance of this
 // instance.
 func (h *HAM) MinDetect() int { return h.minDetect }
@@ -133,4 +169,8 @@ func (h *HAM) Name() string {
 // Config returns the design point (with defaults resolved).
 func (h *HAM) Config() Config { return h.cfg }
 
-var _ core.Searcher = (*HAM)(nil)
+var (
+	_ core.Searcher       = (*HAM)(nil)
+	_ core.RowSearcher    = (*HAM)(nil)
+	_ core.MarginSearcher = (*HAM)(nil)
+)

@@ -36,6 +36,35 @@ func (e *Exact) Search(q *hv.Vector) core.Result {
 // Name implements core.Searcher.
 func (e *Exact) Name() string { return "exact" }
 
+// ObservedDistances implements core.RowSearcher: the exact search observes
+// the true Hamming distances.
+func (e *Exact) ObservedDistances(dst []int, q *hv.Vector) []int {
+	dst = growRow(dst, e.mem.Classes())
+	e.mem.DistancesInto(dst, q)
+	return dst
+}
+
+// SearchBuf implements core.BufferedSearcher.
+func (e *Exact) SearchBuf(q *hv.Vector, buf *[]int) core.Result {
+	ds := growInts(buf, e.mem.Classes())
+	e.mem.DistancesInto(ds, q)
+	i, d := ExactWinner(ds)
+	return core.Result{Index: i, Distance: d}
+}
+
+// SearchMargin implements core.MarginSearcher: winner plus its gap to the
+// runner-up, the two smallest counts a comparator tree can report.
+func (e *Exact) SearchMargin(q *hv.Vector, buf *[]int) (core.Result, int) {
+	var local []int
+	if buf == nil {
+		buf = &local
+	}
+	ds := growInts(buf, e.mem.Classes())
+	e.mem.DistancesInto(ds, q)
+	win, d, margin := MarginWinner(ds)
+	return core.Result{Index: win, Distance: d}, margin
+}
+
 // ExactWinner returns the argmin of a precomputed distance row together
 // with its distance; ties resolve to the lowest index, matching the
 // deterministic comparator tree every exact search models. It is the shared
@@ -54,6 +83,24 @@ func ExactWinner(ds []int) (int, int) {
 	return best, bestD
 }
 
+// MarginWinner returns the argmin of a distance row (ties → lowest index)
+// together with its distance and the winner's margin: the gap between the
+// runner-up distance and the winner distance. A margin of 0 means a tie —
+// the hardware could not have distinguished the winner from another row.
+func MarginWinner(ds []int) (win, d, margin int) {
+	if len(ds) < 2 {
+		panic("assoc: margin winner needs at least two rows")
+	}
+	win, d = ExactWinner(ds)
+	second := math.MaxInt
+	for i, v := range ds {
+		if i != win && v < second {
+			second = v
+		}
+	}
+	return win, d, second - d
+}
+
 // growInts resizes *buf to n entries, reusing its backing array when large
 // enough.
 func growInts(buf *[]int, n int) []int {
@@ -62,6 +109,15 @@ func growInts(buf *[]int, n int) []int {
 	}
 	*buf = (*buf)[:n]
 	return *buf
+}
+
+// growRow is growInts for the by-value append-style row contract of
+// core.RowSearcher.
+func growRow(dst []int, n int) []int {
+	if cap(dst) < n {
+		return make([]int, n)
+	}
+	return dst[:n]
 }
 
 // Sampled computes distances over a fixed subset of components (d < D),
@@ -95,6 +151,34 @@ func (s *Sampled) Search(q *hv.Vector) core.Result {
 // Name implements core.Searcher.
 func (s *Sampled) Name() string {
 	return fmt.Sprintf("sampled d=%d", s.mask.Ones())
+}
+
+// ObservedDistances implements core.RowSearcher: per-row distances over the
+// enabled components only — what the gated counters actually accumulate.
+func (s *Sampled) ObservedDistances(dst []int, q *hv.Vector) []int {
+	dst = growRow(dst, s.mem.Classes())
+	for i := 0; i < s.mem.Classes(); i++ {
+		dst[i] = s.mask.HammingMasked(q, s.mem.Class(i))
+	}
+	return dst
+}
+
+// SearchBuf implements core.BufferedSearcher.
+func (s *Sampled) SearchBuf(q *hv.Vector, buf *[]int) core.Result {
+	*buf = s.ObservedDistances(*buf, q)
+	i, d := ExactWinner(*buf)
+	return core.Result{Index: i, Distance: d}
+}
+
+// SearchMargin implements core.MarginSearcher.
+func (s *Sampled) SearchMargin(q *hv.Vector, buf *[]int) (core.Result, int) {
+	var local []int
+	if buf == nil {
+		buf = &local
+	}
+	*buf = s.ObservedDistances(*buf, q)
+	win, d, margin := MarginWinner(*buf)
+	return core.Result{Index: win, Distance: d}, margin
 }
 
 // Noisy injects e bit errors into every Hamming-distance computation: for
@@ -342,6 +426,12 @@ var (
 	_ core.Searcher         = (*Quantized)(nil)
 	_ core.ForkableSearcher = (*Noisy)(nil)
 	_ core.ForkableSearcher = (*Quantized)(nil)
+	_ core.BufferedSearcher = (*Exact)(nil)
+	_ core.BufferedSearcher = (*Sampled)(nil)
 	_ core.BufferedSearcher = (*Noisy)(nil)
 	_ core.BufferedSearcher = (*Quantized)(nil)
+	_ core.RowSearcher      = (*Exact)(nil)
+	_ core.RowSearcher      = (*Sampled)(nil)
+	_ core.MarginSearcher   = (*Exact)(nil)
+	_ core.MarginSearcher   = (*Sampled)(nil)
 )

@@ -1,0 +1,109 @@
+// Error-correlation ablation over the fault subsystem: the same number of
+// faulted comparisons hurts far less when it strikes common-mode (the
+// query-path mask, identical for every row) than when it strikes each row
+// independently (counter upsets). External test package: fault imports
+// assoc, so these tests live outside the assoc package proper.
+package assoc_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/assoc"
+	"hdam/internal/core"
+	"hdam/internal/fault"
+	"hdam/internal/hv"
+)
+
+// closeMemory builds classes at small pairwise separation — the regime where
+// fault correlation decides survival (the paper's learned language vectors
+// sit close together).
+func closeMemory(t *testing.T, dim, classes, halfSep int, rng *rand.Rand) *core.Memory {
+	t.Helper()
+	base := hv.Random(dim, rng)
+	cs := make([]*hv.Vector, classes)
+	ls := make([]string, classes)
+	for i := range cs {
+		cs[i] = hv.FlipBits(base, halfSep, rng)
+		ls[i] = string(rune('a' + i))
+	}
+	mem, err := core.NewMemory(cs, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem
+}
+
+// TestQueryPathShiftsWinnerLessThanCounter is the correlation ablation at
+// the injector level: at equal fault counts, the common-mode QueryPath
+// injector changes the fault-free winner strictly less often than the
+// independent per-row Counter injector.
+func TestQueryPathShiftsWinnerLessThanCounter(t *testing.T) {
+	// The ablation regime (see AblateErrorModel): classes ≈300 bits apart,
+	// queries ≈4,000 bits from every class — classification rides on a thin
+	// differential margin. Independent per-row faults add noise scaling with
+	// the (large) absolute distance; the common-mode mask's noise scales
+	// only with the (small) class separation, so it shifts winners less.
+	const dim = 10000
+	const e = 4000
+	rng := rand.New(rand.NewPCG(51, 0))
+	mem := closeMemory(t, dim, 6, 150, rng)
+	exact := assoc.NewExact(mem)
+
+	qp, err := fault.NewQueryPath(dim, e, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	common := fault.MustWrap(assoc.NewExact(mem), qp)
+	indep := fault.MustWrap(assoc.NewExact(mem), &fault.Counter{Bits: e, Seed: 52})
+
+	const trials = 150
+	commonShifts, indepShifts := 0, 0
+	for i := 0; i < trials; i++ {
+		q := hv.FlipBits(mem.Class(i%6), 4000, rng)
+		want := exact.Search(q).Index
+		if common.Search(q).Index != want {
+			commonShifts++
+		}
+		if indep.Search(q).Index != want {
+			indepShifts++
+		}
+	}
+	t.Logf("winner shifts at e=%d: common-mode %d/%d, independent %d/%d", e, commonShifts, trials, indepShifts, trials)
+	if indepShifts < 5 {
+		t.Fatalf("independent counter faults shifted only %d/%d winners; test not discriminating", indepShifts, trials)
+	}
+	if commonShifts >= indepShifts {
+		t.Fatalf("common-mode shifted %d winners, independent %d — correlation advantage lost", commonShifts, indepShifts)
+	}
+}
+
+// TestInjectorMasksReproducible is the determinism satellite at the assoc
+// boundary: wrapping the same searcher with same-seeded injectors yields
+// identical decisions on an identical query sequence.
+func TestInjectorMasksReproducible(t *testing.T) {
+	const dim = 4096
+	rng := rand.New(rand.NewPCG(53, 0))
+	mem := closeMemory(t, dim, 8, 200, rng)
+
+	run := func() []core.Result {
+		qp, err := fault.NewQueryPath(dim, 512, 54)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := fault.MustWrap(assoc.NewExact(mem),
+			qp, &fault.Counter{Bits: 256, Seed: 54}, &fault.Discharge{Blocks: 128, Rate: 0.2, Seed: 54})
+		qrng := rand.New(rand.NewPCG(55, 0))
+		out := make([]core.Result, 64)
+		for i := range out {
+			out[i] = s.Search(hv.FlipBits(mem.Class(i%8), 300, qrng))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d: %+v then %+v across identically-seeded runs", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package assoc
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// Stage is one rung of a resilient escalation chain: a searcher plus its
+// share of the caller's deadline.
+type Stage struct {
+	// Searcher answers queries at this rung. It should implement
+	// core.MarginSearcher; a searcher without a confidence signal is
+	// trusted unconditionally and ends the chain.
+	Searcher core.Searcher
+	// Budget is the stage's per-search time allowance. A stage that
+	// overruns its budget is charged a health strike (persistent overruns
+	// open its circuit breaker); 0 means no per-stage cap.
+	Budget time.Duration
+}
+
+// ResilientConfig tunes the confidence gate, health tracking and circuit
+// breaking of a Resilient searcher. The zero value selects the defaults.
+type ResilientConfig struct {
+	// MinMargin is the confidence threshold: a stage's winner is accepted
+	// only when its observed margin (runner-up − winner distance) is at
+	// least MinMargin; otherwise the search escalates to the next stage.
+	// 0 accepts everything except exact ties.
+	MinMargin int
+	// ErrorBound is the EWMA misread estimate above which a stage's
+	// circuit breaker opens (default 0.5).
+	ErrorBound float64
+	// EWMAAlpha is the weight of the newest health observation
+	// (default 0.05).
+	EWMAAlpha float64
+	// Cooldown is how many searches an open breaker waits before letting
+	// one probe through (default 64).
+	Cooldown uint64
+}
+
+// withDefaults resolves zero fields.
+func (c ResilientConfig) withDefaults() ResilientConfig {
+	if c.ErrorBound == 0 {
+		c.ErrorBound = 0.5
+	}
+	if c.EWMAAlpha == 0 {
+		c.EWMAAlpha = 0.05
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 64
+	}
+	return c
+}
+
+// Resilient is a confidence-gated, escalating associative search: the
+// generalization of the paper's multistage A-HAM search (§III-D) to an
+// arbitrary chain of backends. Each query is answered by the first stage
+// whose winner clears the Hamming-margin confidence threshold; ambiguous
+// answers escalate along the chain (typically cheap/approximate →
+// expensive/exact, e.g. A-HAM → R-HAM → D-HAM → exact). The pipeline
+//
+//   - honors context deadlines: stages are skipped once their predicted
+//     latency (an EWMA of past searches) no longer fits the remaining
+//     budget, and an already-expired deadline degrades to the cheapest
+//     stage;
+//   - tracks per-stage health: whenever a search escalates, every earlier
+//     stage's answer is scored against the final one, feeding an EWMA
+//     misread estimate — exactly the failure signal injected storage or
+//     search-path faults produce;
+//   - circuit-breaks a stage whose misread estimate exceeds ErrorBound,
+//     falling through to the next stage until a periodic probe shows the
+//     estimate back under the bound.
+//
+// Resilient is safe for concurrent use provided every stage searcher is;
+// health state is mutex-guarded and distance buffers are pooled.
+type Resilient struct {
+	stages []Stage
+	cfg    ResilientConfig
+
+	mu sync.Mutex
+	n  uint64 // searches served, the clock the breaker cooldown runs on
+	st []stageState
+
+	bufs sync.Pool // *[]int distance-row buffers
+}
+
+// stageState is the mutable health record of one stage.
+type stageState struct {
+	errEWMA float64 // misread estimate vs. the chain's final answers
+	latEWMA float64 // per-search latency estimate, seconds
+	open    bool    // circuit breaker state
+	openedAt uint64 // search count when the breaker (re)opened
+
+	answered  uint64 // searches this stage produced a result for
+	accepted  uint64 // searches this stage answered confidently
+	escalated uint64 // searches handed to a later stage
+	skipped   uint64 // searches bypassed (open breaker or deadline)
+	overruns  uint64 // searches exceeding the stage budget
+	opens     uint64 // breaker open transitions
+	degraded  uint64 // deadline-forced answers (stage 0 only)
+}
+
+// NewResilient builds the pipeline over an escalation chain, ordered
+// cheapest/least-trusted first; the last stage is the chain's reference
+// answer (normally the exact search).
+func NewResilient(stages []Stage, cfg ResilientConfig) (*Resilient, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("assoc: resilient chain needs at least one stage")
+	}
+	for i, st := range stages {
+		if st.Searcher == nil {
+			return nil, fmt.Errorf("assoc: resilient stage %d has no searcher", i)
+		}
+	}
+	return &Resilient{
+		stages: stages,
+		cfg:    cfg.withDefaults(),
+		st:     make([]stageState, len(stages)),
+		bufs:   sync.Pool{New: func() any { b := make([]int, 0, 64); return &b }},
+	}, nil
+}
+
+// Name implements core.Searcher.
+func (r *Resilient) Name() string {
+	names := make([]string, len(r.stages))
+	for i, st := range r.stages {
+		names[i] = st.Searcher.Name()
+	}
+	return "resilient[" + strings.Join(names, " → ") + "]"
+}
+
+// Search implements core.Searcher with no deadline.
+func (r *Resilient) Search(q *hv.Vector) core.Result {
+	return r.SearchContext(context.Background(), q)
+}
+
+// stageMargin runs one stage, returning its winner and confidence margin.
+func stageMargin(s core.Searcher, q *hv.Vector, buf *[]int) (core.Result, int) {
+	if ms, ok := s.(core.MarginSearcher); ok {
+		return ms.SearchMargin(q, buf)
+	}
+	// No confidence signal: trust unconditionally (ends the chain).
+	return s.Search(q), math.MaxInt
+}
+
+// SearchContext answers one query under the caller's deadline, escalating
+// through the chain until a stage clears the confidence threshold.
+func (r *Resilient) SearchContext(ctx context.Context, q *hv.Vector) core.Result {
+	bufp := r.bufs.Get().(*[]int)
+	defer r.bufs.Put(bufp)
+
+	deadline, hasDeadline := ctx.Deadline()
+
+	r.mu.Lock()
+	r.n++
+	now := r.n
+	r.mu.Unlock()
+
+	type attempt struct {
+		stage int
+		res   core.Result
+	}
+	attempts := make([]attempt, 0, len(r.stages))
+	confident := false
+
+	for i := range r.stages {
+		st := &r.stages[i]
+
+		r.mu.Lock()
+		s := &r.st[i]
+		if s.open {
+			if now-s.openedAt < r.cfg.Cooldown {
+				s.skipped++
+				r.mu.Unlock()
+				continue
+			}
+			// Cooldown elapsed: let this search through as a probe; the
+			// scoring below decides whether the breaker closes.
+		}
+		predicted := time.Duration(s.latEWMA * float64(time.Second))
+		r.mu.Unlock()
+
+		budget := st.Budget
+		if hasDeadline {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				break
+			}
+			if predicted > remaining {
+				r.mu.Lock()
+				r.st[i].skipped++
+				r.mu.Unlock()
+				continue
+			}
+			if budget == 0 || budget > remaining {
+				budget = remaining
+			}
+		}
+
+		start := time.Now()
+		res, margin := stageMargin(st.Searcher, q, bufp)
+		elapsed := time.Since(start)
+		overrun := budget > 0 && elapsed > budget
+
+		r.mu.Lock()
+		s.latEWMA += r.cfg.EWMAAlpha * (elapsed.Seconds() - s.latEWMA)
+		s.answered++
+		if overrun {
+			s.overruns++
+		}
+		r.mu.Unlock()
+
+		attempts = append(attempts, attempt{stage: i, res: res})
+		// An overrun answer is still an answer, but it doesn't end the
+		// chain confidently unless it also clears the margin gate.
+		if margin >= r.cfg.MinMargin && margin > 0 {
+			confident = true
+			break
+		}
+	}
+
+	var final core.Result
+	if len(attempts) == 0 {
+		// Every stage was skipped (open breakers, expired deadline):
+		// a resilient memory still answers — degrade to the cheapest
+		// stage unconditionally.
+		final, _ = stageMargin(r.stages[0].Searcher, q, bufp)
+		r.mu.Lock()
+		r.st[0].answered++
+		r.st[0].degraded++
+		r.mu.Unlock()
+		return final
+	}
+
+	last := attempts[len(attempts)-1]
+	final = last.res
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Score every earlier stage against the more-trusted final answer —
+	// the pipeline's online misread estimate.
+	for _, a := range attempts[:len(attempts)-1] {
+		miss := 0.0
+		if a.res.Index != final.Index {
+			miss = 1.0
+		}
+		r.st[a.stage].escalated++
+		r.score(a.stage, miss, now)
+	}
+	if confident {
+		s := &r.st[last.stage]
+		s.accepted++
+		// A confident answer is evidence of health; it also lets an open
+		// breaker close after successful probes.
+		r.score(last.stage, 0, now)
+	}
+	return final
+}
+
+// score folds one health observation into a stage's EWMA and runs the
+// breaker transition. Caller holds r.mu.
+func (r *Resilient) score(stage int, miss float64, now uint64) {
+	s := &r.st[stage]
+	s.errEWMA += r.cfg.EWMAAlpha * (miss - s.errEWMA)
+	switch {
+	case !s.open && s.errEWMA > r.cfg.ErrorBound:
+		s.open = true
+		s.openedAt = now
+		s.opens++
+	case s.open && s.errEWMA <= r.cfg.ErrorBound:
+		s.open = false
+	case s.open:
+		// Probe failed to bring the estimate under the bound: restart the
+		// cooldown from here.
+		s.openedAt = now
+	}
+}
+
+// StageStats is a snapshot of one stage's health.
+type StageStats struct {
+	Name        string
+	Answered    uint64 // searches this stage produced a result for
+	Accepted    uint64 // confident answers (ended the chain)
+	Escalated   uint64 // answers overruled by a later stage
+	Skipped     uint64 // searches bypassed (breaker open / deadline)
+	Overruns    uint64 // searches exceeding the stage budget
+	Degraded    uint64 // deadline-forced fallback answers
+	BreakerOpen bool
+	Opens       uint64  // breaker open transitions
+	ErrEWMA     float64 // current misread estimate
+	LatEWMA     float64 // current latency estimate, seconds
+}
+
+// Stats returns a snapshot of the pipeline's health counters.
+func (r *Resilient) Stats() []StageStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]StageStats, len(r.stages))
+	for i := range r.stages {
+		s := r.st[i]
+		out[i] = StageStats{
+			Name:        r.stages[i].Searcher.Name(),
+			Answered:    s.answered,
+			Accepted:    s.accepted,
+			Escalated:   s.escalated,
+			Skipped:     s.skipped,
+			Overruns:    s.overruns,
+			Degraded:    s.degraded,
+			BreakerOpen: s.open,
+			Opens:       s.opens,
+			ErrEWMA:     s.errEWMA,
+			LatEWMA:     s.latEWMA,
+		}
+	}
+	return out
+}
+
+// Searches returns how many queries the pipeline has served.
+func (r *Resilient) Searches() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+var _ core.Searcher = (*Resilient)(nil)

@@ -1,0 +1,289 @@
+package assoc
+
+import (
+	"context"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// fakeStage is a scripted chain rung: fixed result, margin and latency.
+type fakeStage struct {
+	name   string
+	mu     sync.Mutex
+	res    core.Result
+	margin int
+	delay  time.Duration
+	calls  atomic.Int64
+}
+
+func (f *fakeStage) Name() string { return f.name }
+
+func (f *fakeStage) Search(q *hv.Vector) core.Result {
+	r, _ := f.SearchMargin(q, nil)
+	return r
+}
+
+func (f *fakeStage) SearchMargin(q *hv.Vector, buf *[]int) (core.Result, int) {
+	f.calls.Add(1)
+	f.mu.Lock()
+	res, margin, delay := f.res, f.margin, f.delay
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return res, margin
+}
+
+func (f *fakeStage) set(res core.Result, margin int) {
+	f.mu.Lock()
+	f.res, f.margin = res, margin
+	f.mu.Unlock()
+}
+
+// plainStage has no margin signal: the pipeline must trust it outright.
+type plainStage struct{ res core.Result }
+
+func (p *plainStage) Name() string                  { return "plain" }
+func (p *plainStage) Search(q *hv.Vector) core.Result { return p.res }
+
+func TestNewResilientValidates(t *testing.T) {
+	if _, err := NewResilient(nil, ResilientConfig{}); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := NewResilient([]Stage{{}}, ResilientConfig{}); err == nil {
+		t.Error("nil stage searcher accepted")
+	}
+}
+
+// TestResilientConfidentFirstStage: a confident first answer ends the chain
+// without touching later stages.
+func TestResilientConfidentFirstStage(t *testing.T) {
+	s0 := &fakeStage{name: "s0", res: core.Result{Index: 3, Distance: 10}, margin: 50}
+	s1 := &fakeStage{name: "s1", res: core.Result{Index: 4, Distance: 9}, margin: 50}
+	r, err := NewResilient([]Stage{{Searcher: s0}, {Searcher: s1}}, ResilientConfig{MinMargin: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := hv.New(64)
+	for i := 0; i < 5; i++ {
+		if got := r.Search(q); got.Index != 3 {
+			t.Fatalf("search %d: winner %d, want stage-0's 3", i, got.Index)
+		}
+	}
+	if s1.calls.Load() != 0 {
+		t.Errorf("confident chain still ran stage 1 (%d calls)", s1.calls.Load())
+	}
+	st := r.Stats()
+	if st[0].Accepted != 5 || st[0].Escalated != 0 {
+		t.Errorf("stage 0 stats %+v, want 5 accepted / 0 escalated", st[0])
+	}
+}
+
+// TestResilientMarginGate: an ambiguous answer escalates and the later
+// stage's answer wins.
+func TestResilientMarginGate(t *testing.T) {
+	s0 := &fakeStage{name: "s0", res: core.Result{Index: 1, Distance: 12}, margin: 2}
+	s1 := &fakeStage{name: "s1", res: core.Result{Index: 7, Distance: 11}, margin: 80}
+	r, err := NewResilient([]Stage{{Searcher: s0}, {Searcher: s1}}, ResilientConfig{MinMargin: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Search(hv.New(64)); got.Index != 7 {
+		t.Fatalf("winner %d, want escalated stage's 7", got.Index)
+	}
+	st := r.Stats()
+	if st[0].Escalated != 1 || st[1].Accepted != 1 {
+		t.Errorf("stats %+v / %+v, want escalated=1, accepted=1", st[0], st[1])
+	}
+	if st[0].ErrEWMA == 0 {
+		t.Error("disagreeing stage 0 has zero misread estimate")
+	}
+}
+
+// TestResilientNoMarginStageEndsChain: a stage without a confidence signal
+// is trusted unconditionally.
+func TestResilientNoMarginStageEndsChain(t *testing.T) {
+	s0 := &fakeStage{name: "s0", res: core.Result{Index: 0, Distance: 5}, margin: 0}
+	p := &plainStage{res: core.Result{Index: 2, Distance: 4}}
+	s2 := &fakeStage{name: "s2", res: core.Result{Index: 9, Distance: 3}, margin: 99}
+	r, err := NewResilient([]Stage{{Searcher: s0}, {Searcher: p}, {Searcher: s2}}, ResilientConfig{MinMargin: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Search(hv.New(64)); got.Index != 2 {
+		t.Fatalf("winner %d, want plain stage's 2", got.Index)
+	}
+	if s2.calls.Load() != 0 {
+		t.Error("chain ran past a stage with no margin signal")
+	}
+}
+
+// TestResilientCircuitBreaker: a persistently wrong stage gets broken and
+// skipped, then recovers through probes once it agrees again.
+func TestResilientCircuitBreaker(t *testing.T) {
+	bad := &fakeStage{name: "bad", res: core.Result{Index: 0, Distance: 20}, margin: 0}
+	good := &fakeStage{name: "good", res: core.Result{Index: 5, Distance: 8}, margin: 60}
+	cfg := ResilientConfig{MinMargin: 10, ErrorBound: 0.4, EWMAAlpha: 0.5, Cooldown: 8}
+	r, err := NewResilient([]Stage{{Searcher: bad}, {Searcher: good}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := hv.New(64)
+	for i := 0; i < 20; i++ {
+		if got := r.Search(q); got.Index != 5 {
+			t.Fatalf("search %d: winner %d, want 5", i, got.Index)
+		}
+	}
+	st := r.Stats()
+	if st[0].Opens == 0 {
+		t.Fatal("persistently wrong stage never tripped its breaker")
+	}
+	if st[0].Skipped == 0 {
+		t.Error("open breaker never skipped the stage")
+	}
+	if !st[0].BreakerOpen {
+		t.Error("breaker closed while the stage is still misreading")
+	}
+
+	// Repair the stage: probes should close the breaker again.
+	bad.set(core.Result{Index: 5, Distance: 8}, 60)
+	for i := 0; i < 200 && r.Stats()[0].BreakerOpen; i++ {
+		r.Search(q)
+	}
+	if r.Stats()[0].BreakerOpen {
+		t.Error("breaker never closed after the stage recovered")
+	}
+	// A closed, healthy first stage now answers confidently again.
+	before := good.calls.Load()
+	for i := 0; i < 5; i++ {
+		r.Search(q)
+	}
+	if good.calls.Load() != before {
+		t.Error("recovered first stage still escalates")
+	}
+}
+
+// TestResilientDeadlineSkipsSlowStage: a stage whose latency estimate no
+// longer fits the remaining deadline budget is skipped.
+func TestResilientDeadlineSkipsSlowStage(t *testing.T) {
+	fast := &fakeStage{name: "fast", res: core.Result{Index: 1, Distance: 9}, margin: 0}
+	slow := &fakeStage{name: "slow", res: core.Result{Index: 2, Distance: 7}, margin: 90, delay: 30 * time.Millisecond}
+	// Alpha 1 makes the latency EWMA equal the last observation.
+	r, err := NewResilient([]Stage{{Searcher: fast}, {Searcher: slow}}, ResilientConfig{MinMargin: 5, EWMAAlpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := hv.New(64)
+	// Train the latency estimates without a deadline.
+	r.Search(q)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if got := r.SearchContext(ctx, q); got.Index != 1 {
+		t.Fatalf("winner %d, want fast stage's 1 (slow stage doesn't fit the deadline)", got.Index)
+	}
+	if st := r.Stats(); st[1].Skipped == 0 {
+		t.Error("slow stage was not skipped under the deadline")
+	}
+}
+
+// TestResilientExpiredDeadlineDegrades: a dead-on-arrival deadline still
+// gets an answer — the cheapest stage, counted as degraded.
+func TestResilientExpiredDeadlineDegrades(t *testing.T) {
+	s0 := &fakeStage{name: "s0", res: core.Result{Index: 4, Distance: 9}, margin: 0}
+	s1 := &fakeStage{name: "s1", res: core.Result{Index: 6, Distance: 7}, margin: 90}
+	r, err := NewResilient([]Stage{{Searcher: s0}, {Searcher: s1}}, ResilientConfig{MinMargin: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if got := r.SearchContext(ctx, hv.New(64)); got.Index != 4 {
+		t.Fatalf("winner %d, want degraded stage-0 answer 4", got.Index)
+	}
+	if st := r.Stats(); st[0].Degraded != 1 {
+		t.Errorf("degraded count %d, want 1", st[0].Degraded)
+	}
+}
+
+// TestResilientBudgetOverrun: a stage exceeding its per-stage budget is
+// recorded as an overrun.
+func TestResilientBudgetOverrun(t *testing.T) {
+	slow := &fakeStage{name: "slow", res: core.Result{Index: 0, Distance: 3}, margin: 40, delay: 10 * time.Millisecond}
+	r, err := NewResilient([]Stage{{Searcher: slow, Budget: time.Millisecond}}, ResilientConfig{MinMargin: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Search(hv.New(64))
+	if st := r.Stats(); st[0].Overruns != 1 {
+		t.Errorf("overruns %d, want 1", st[0].Overruns)
+	}
+}
+
+// TestResilientRealChain: over a real memory, an ambiguity-prone first
+// stage backed by an exact final stage must match exact answers everywhere.
+func TestResilientRealChain(t *testing.T) {
+	mem := testMemory(16, 2048, 9)
+	exact := NewExact(mem)
+	// A first stage sampling only a quarter of the dimensions misreads
+	// heavily distorted queries; the margin gate must catch those.
+	sampled := NewSampled(mem, hv.PrefixMask(2048, 512))
+	r, err := NewResilient([]Stage{{Searcher: sampled}, {Searcher: exact}}, ResilientConfig{MinMargin: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(10, 0))
+	for i := 0; i < 100; i++ {
+		q := hv.FlipBits(mem.Class(i%16), 700, rng)
+		want := exact.Search(q).Index
+		if got := r.Search(q).Index; got != want {
+			t.Fatalf("query %d: resilient %d, exact %d", i, got, want)
+		}
+	}
+	st := r.Stats()
+	if st[0].Accepted+st[0].Escalated != 100 {
+		t.Errorf("stage 0 handled %d searches, want 100", st[0].Accepted+st[0].Escalated)
+	}
+}
+
+// TestResilientParallel hammers one pipeline from many goroutines
+// (meaningful under -race); stages here are concurrency-safe.
+func TestResilientParallel(t *testing.T) {
+	mem := testMemory(8, 1024, 11)
+	r, err := NewResilient([]Stage{
+		{Searcher: NewSampled(mem, hv.PrefixMask(1024, 256))},
+		{Searcher: NewExact(mem)},
+	}, ResilientConfig{MinMargin: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(12, 0))
+	queries := make([]*hv.Vector, 64)
+	for i := range queries {
+		queries[i] = hv.FlipBits(mem.Class(i%8), 350, rng)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, q := range queries {
+				res := r.Search(q)
+				if res.Index < 0 || res.Index >= 8 {
+					t.Errorf("bad winner %d", res.Index)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := r.Searches(); n != 8*64 {
+		t.Errorf("served %d searches, want %d", n, 8*64)
+	}
+}

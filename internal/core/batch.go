@@ -34,6 +34,36 @@ type BufferedSearcher interface {
 	SearchBuf(q *hv.Vector, buf *[]int) Result
 }
 
+// RowSearcher is a Searcher that can expose the full vector of per-row
+// observed distances its hardware would produce for one query, before
+// winner selection: the counter outputs of D-HAM, the sense-bank sums of
+// R-HAM, the match-line currents of A-HAM (in Hamming-distance units).
+// Fault injectors perturb this row the way counter upsets or discharge
+// variation would and then re-run winner selection over the faulted row.
+//
+// ObservedDistances returns the row (length Classes()), reusing dst's
+// backing array when it is large enough, and must consume exactly the
+// randomness one Search would, so wrappers substituting their own winner
+// selection stay stream-compatible with the unwrapped searcher.
+type RowSearcher interface {
+	Searcher
+	ObservedDistances(dst []int, q *hv.Vector) []int
+}
+
+// MarginSearcher is a Searcher that also reports its confidence in the
+// winner: the observed distance gap between the winner and the runner-up,
+// as the design's own hardware could expose it (the comparator tree's two
+// smallest counts; the LTA's near-tie detection). A margin of 0 means the
+// design could not distinguish the winner from another row — the signal
+// the paper's multistage A-HAM search escalates on.
+//
+// buf, when non-nil, is reused for the distance row exactly like
+// BufferedSearcher.SearchBuf; nil makes the searcher allocate internally.
+type MarginSearcher interface {
+	Searcher
+	SearchMargin(q *hv.Vector, buf *[]int) (Result, int)
+}
+
 // searchFunc returns the per-query search closure for one worker, routing
 // through SearchBuf with a worker-local reusable distance buffer when the
 // searcher supports it.

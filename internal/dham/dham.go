@@ -97,6 +97,18 @@ func New(cfg Config, mem *core.Memory) (*HAM, error) {
 // comparator tree (ties → lowest row index).
 func (h *HAM) Search(q *hv.Vector) core.Result { return h.search.Search(q) }
 
+// ObservedDistances implements core.RowSearcher: the population-counter
+// outputs over the enabled d dimensions, one per row.
+func (h *HAM) ObservedDistances(dst []int, q *hv.Vector) []int {
+	return h.search.ObservedDistances(dst, q)
+}
+
+// SearchMargin implements core.MarginSearcher: the comparator tree's two
+// smallest counts, exposed as winner plus margin.
+func (h *HAM) SearchMargin(q *hv.Vector, buf *[]int) (core.Result, int) {
+	return h.search.SearchMargin(q, buf)
+}
+
 // Name implements core.Searcher.
 func (h *HAM) Name() string {
 	if h.cfg.SampledD == h.cfg.D {
@@ -108,4 +120,8 @@ func (h *HAM) Name() string {
 // Config returns the design point.
 func (h *HAM) Config() Config { return h.cfg }
 
-var _ core.Searcher = (*HAM)(nil)
+var (
+	_ core.Searcher       = (*HAM)(nil)
+	_ core.RowSearcher    = (*HAM)(nil)
+	_ core.MarginSearcher = (*HAM)(nil)
+)

@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 	// Every experiment in the DESIGN.md index must be registered and appear
 	// in the run order exactly once.
 	want := []string{
-		"ablate-blocksize", "ablate-errormodel", "ablate-stages",
+		"ablate-blocksize", "ablate-errormodel", "ablate-stages", "fault-sweep",
 		"fig1", "fig10", "fig11", "fig12", "fig13", "fig4", "fig5", "fig7", "fig9",
 		"standby", "table1", "table2", "table3",
 	}
@@ -430,5 +430,61 @@ func TestStandbyExperiment(t *testing.T) {
 	var sb strings.Builder
 	if err := StandbyTable(rows).Render(&sb); err != nil || sb.Len() == 0 {
 		t.Fatal("standby table render failed")
+	}
+}
+
+// TestFaultSweepRecovery is the robustness acceptance criterion: under heavy
+// injected faults the raw approximate designs measurably degrade, while the
+// resilient escalation chain stays within 1pp of the fault-free exact
+// baseline — paying for it with escalation traffic that grows with the rate.
+func TestFaultSweepRecovery(t *testing.T) {
+	env := tinyEnv()
+	rows, baseline, err := FaultSweep(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(FaultRates) {
+		t.Fatalf("%d rows for %d rates", len(rows), len(FaultRates))
+	}
+	if baseline < 0.9 {
+		t.Fatalf("fault-free baseline %.3f too low even at tiny scale", baseline)
+	}
+	var heavy *FaultSweepRow
+	for i := range rows {
+		r := &rows[i]
+		if r.Rate >= 0.05 && r.Resilient < baseline-0.01 {
+			t.Errorf("rate %.0f%%: resilient %.3f more than 1pp under baseline %.3f",
+				100*r.Rate, r.Resilient, baseline)
+		}
+		if r.Rate == 0.20 {
+			heavy = r
+		}
+	}
+	if heavy == nil {
+		t.Fatal("sweep lost the 20% rate")
+	}
+	// The raw approximate designs must visibly degrade where the resilient
+	// pipeline does not.
+	if heavy.DHAM > baseline-0.02 && heavy.RHAM > baseline-0.02 {
+		t.Errorf("at 20%% faults no raw design degraded: D-HAM %.3f, R-HAM %.3f (baseline %.3f)",
+			heavy.DHAM, heavy.RHAM, baseline)
+	}
+	// Escalation traffic must grow with the fault rate.
+	if rows[len(rows)-1].Escalated <= rows[0].Escalated {
+		t.Errorf("escalation did not grow with fault rate: %.3f → %.3f",
+			rows[0].Escalated, rows[len(rows)-1].Escalated)
+	}
+	// Determinism: the sweep is a pure function of the environment seed.
+	again, base2, err := FaultSweep(tinyEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base2 != baseline {
+		t.Fatalf("baseline drifted across identical runs: %v vs %v", base2, baseline)
+	}
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Fatalf("row %d drifted across identical runs:\n%+v\n%+v", i, rows[i], again[i])
+		}
 	}
 }

@@ -110,6 +110,13 @@ var registry = map[string]Runner{
 	"ablate-stages": func(env *Env) ([]*report.Table, error) {
 		return []*report.Table{AblateStagesTable(AblateStages())}, nil
 	},
+	"fault-sweep": func(env *Env) ([]*report.Table, error) {
+		rows, baseline, err := FaultSweep(env)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{FaultSweepTable(rows, baseline)}, nil
+	},
 	"standby": func(env *Env) ([]*report.Table, error) {
 		rows, err := Standby()
 		if err != nil {
@@ -143,5 +150,5 @@ func Run(id string, env *Env) ([]*report.Table, error) {
 var RunOrder = []string{
 	"fig1", "table1", "table2", "fig4", "fig5", "fig7",
 	"table3", "fig9", "fig10", "fig11", "fig12", "fig13",
-	"ablate-blocksize", "ablate-errormodel", "ablate-stages", "standby",
+	"ablate-blocksize", "ablate-errormodel", "ablate-stages", "fault-sweep", "standby",
 }

@@ -1,0 +1,269 @@
+// Package fault is the unified fault-injection subsystem: composable,
+// deterministic injectors for every error class the paper discusses, each
+// wrappable around any existing searcher (exact, D-HAM, R-HAM, A-HAM).
+//
+// The taxonomy follows the paper's robustness discussion (§II-B, §III) and
+// the related HD-on-emerging-devices work:
+//
+//   - StuckAt — permanent stuck-at faults in the stored class vectors:
+//     defective cells read a fixed value regardless of what was written
+//     (the dominant defect class of memristive crossbars);
+//   - Transient — soft errors: randomly flipped components of the stored
+//     class vectors (SEUs, retention drift);
+//   - QueryPath — common-mode faults on the query path: the same broken
+//     components are misread for every row (stuck query-buffer bits,
+//     broken bitline drivers);
+//   - Counter — D-HAM counter upsets and finite counter width: per-row
+//     inverted comparison outcomes (the Fig. 1 error model) plus
+//     saturation of a too-narrow population counter;
+//   - Discharge — R-HAM/A-HAM discharge-variation misreads: per-row
+//     aggregate ±1-per-block sense errors (voltage overscaling, ML timing
+//     jitter).
+//
+// Determinism contract: every injector derives all of its randomness from
+// its Seed through fixed per-entity PCG streams, never from call order
+// across entities — the same seed produces bit-identical fault masks, so a
+// faulty device is reproducible across runs and across processes. Per-
+// search fault processes (Counter, Discharge) are keyed by a search
+// sequence number; sequential evaluation is therefore bit-reproducible,
+// while parallel batches remain deterministic per (sequence, row) even
+// though sequence numbers are handed out in arrival order.
+//
+// Storage faults (StuckAt, Transient) rebuild the memory and therefore
+// compose through Apply or Build; search-path faults (QueryPath, Counter,
+// Discharge) compose through Wrap.
+package fault
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"hdam/internal/assoc"
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// Injector is one deterministic fault process. Concrete injectors
+// additionally implement exactly one of MemoryInjector, QueryInjector or
+// RowInjector, which fixes where in the search pipeline the fault strikes.
+type Injector interface {
+	// Name identifies the fault model for reports (e.g. "stuckat p=0.05").
+	Name() string
+}
+
+// MemoryInjector faults the stored class vectors: the array holds faulted
+// contents from the moment of writing. Applying the same injector to the
+// same memory always produces the same faulted copy.
+type MemoryInjector interface {
+	Injector
+	// FaultMemory returns a faulted copy of mem; mem is not modified.
+	FaultMemory(mem *core.Memory) (*core.Memory, error)
+}
+
+// QueryInjector faults the query path: the array sees a corrupted query,
+// identically for every row (common-mode).
+type QueryInjector interface {
+	Injector
+	// FaultQuery returns the query as the faulty hardware would see it;
+	// q is not modified.
+	FaultQuery(q *hv.Vector) *hv.Vector
+}
+
+// RowInjector faults per-row observed distances (counter upsets, discharge
+// misreads). search is the search sequence number and row the class index;
+// the injected error is a pure function of (seed, search, row, d).
+type RowInjector interface {
+	Injector
+	// FaultRow returns the distance the faulty hardware observes for one
+	// row, given the fault-free observation d over dim components.
+	FaultRow(search uint64, row, dim, d int) int
+}
+
+// Apply runs the memory-level injectors over mem in order and returns the
+// faulted copy. Injectors that are not MemoryInjectors are rejected.
+func Apply(mem *core.Memory, injs ...Injector) (*core.Memory, error) {
+	out := mem
+	for _, in := range injs {
+		mi, ok := in.(MemoryInjector)
+		if !ok {
+			return nil, fmt.Errorf("fault: %s is not a storage fault; wrap the searcher instead", in.Name())
+		}
+		var err error
+		out, err = mi.FaultMemory(out)
+		if err != nil {
+			return nil, fmt.Errorf("fault: applying %s: %w", in.Name(), err)
+		}
+	}
+	return out, nil
+}
+
+// Builder constructs a searcher over a memory — one design point's
+// constructor (e.g. func(m) (core.Searcher, error) { return aham.New(cfg, m) }).
+type Builder func(mem *core.Memory) (core.Searcher, error)
+
+// Build composes the full fault stack around one design: it applies the
+// memory-level injectors to mem, constructs the searcher over the faulted
+// memory, and wraps it with the search-path injectors. The faulted memory
+// is returned alongside the searcher so callers can score labels or build
+// further searchers against the same faulty array.
+func Build(mem *core.Memory, build Builder, injs ...Injector) (core.Searcher, *core.Memory, error) {
+	var storage, search []Injector
+	for _, in := range injs {
+		if _, ok := in.(MemoryInjector); ok {
+			storage = append(storage, in)
+		} else {
+			search = append(search, in)
+		}
+	}
+	fmem, err := Apply(mem, storage...)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := build(fmem)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fault: building searcher over faulted memory: %w", err)
+	}
+	if len(search) == 0 {
+		return s, fmem, nil
+	}
+	ws, err := Wrap(s, search...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ws, fmem, nil
+}
+
+// Wrap returns a searcher that performs s's search under the given
+// search-path faults: query-path injectors corrupt the query before the
+// inner search; row injectors perturb the inner design's observed per-row
+// distances (which requires s to implement core.RowSearcher) and re-run
+// the deterministic comparator tree over the faulted row. Memory-level
+// injectors are rejected — they rebuild the array, use Apply or Build.
+//
+// The wrapper implements core.RowSearcher and core.MarginSearcher whenever
+// the inner searcher exposes its rows, so wrapped searchers slot into the
+// resilient pipeline like any raw design.
+func Wrap(s core.Searcher, injs ...Injector) (core.Searcher, error) {
+	w := &Faulty{inner: s}
+	for _, in := range injs {
+		switch t := in.(type) {
+		case MemoryInjector:
+			return nil, fmt.Errorf("fault: %s is a storage fault; use Apply or Build", in.Name())
+		case QueryInjector:
+			w.query = append(w.query, t)
+		case RowInjector:
+			w.row = append(w.row, t)
+		default:
+			return nil, fmt.Errorf("fault: %s implements no injection point", in.Name())
+		}
+	}
+	if rs, ok := s.(core.RowSearcher); ok {
+		w.rows = rs
+	} else if len(w.row) > 0 {
+		return nil, fmt.Errorf("fault: %s does not expose observed distance rows; cannot inject %s",
+			s.Name(), w.row[0].Name())
+	}
+	return w, nil
+}
+
+// MustWrap is Wrap for compositions that cannot fail by construction.
+func MustWrap(s core.Searcher, injs ...Injector) core.Searcher {
+	w, err := Wrap(s, injs...)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Faulty is a searcher operating under injected search-path faults.
+type Faulty struct {
+	inner core.Searcher
+	rows  core.RowSearcher // non-nil iff row injectors are present
+	query []QueryInjector
+	row   []RowInjector
+	// seq numbers the searches for the per-search fault streams.
+	seq atomic.Uint64
+}
+
+// Name implements core.Searcher.
+func (f *Faulty) Name() string {
+	var sb strings.Builder
+	sb.WriteString(f.inner.Name())
+	for _, in := range f.query {
+		sb.WriteString("+")
+		sb.WriteString(in.Name())
+	}
+	for _, in := range f.row {
+		sb.WriteString("+")
+		sb.WriteString(in.Name())
+	}
+	return sb.String()
+}
+
+// faultQuery runs the query-path injectors.
+func (f *Faulty) faultQuery(q *hv.Vector) *hv.Vector {
+	for _, in := range f.query {
+		q = in.FaultQuery(q)
+	}
+	return q
+}
+
+// Search implements core.Searcher.
+func (f *Faulty) Search(q *hv.Vector) core.Result {
+	q = f.faultQuery(q)
+	if len(f.row) == 0 {
+		return f.inner.Search(q)
+	}
+	row := f.observedFaulted(nil, q)
+	i, d := assoc.ExactWinner(row)
+	return core.Result{Index: i, Distance: d}
+}
+
+// ObservedDistances implements core.RowSearcher when the inner searcher
+// exposes rows: the inner design's observed distances with the row faults
+// applied (query faults strike first, as in hardware).
+func (f *Faulty) ObservedDistances(dst []int, q *hv.Vector) []int {
+	if f.rows == nil {
+		panic(fmt.Sprintf("fault: %s does not expose observed distance rows", f.inner.Name()))
+	}
+	return f.observedFaulted(dst, f.faultQuery(q))
+}
+
+// observedFaulted returns the faulted row for an already query-faulted q,
+// reusing dst's backing array when large enough.
+func (f *Faulty) observedFaulted(dst []int, q *hv.Vector) []int {
+	dst = f.rows.ObservedDistances(dst, q)
+	n := f.seq.Add(1) - 1
+	for _, in := range f.row {
+		for r := range dst {
+			dst[r] = in.FaultRow(n, r, q.Dim(), dst[r])
+		}
+	}
+	return dst
+}
+
+// SearchMargin implements core.MarginSearcher.
+func (f *Faulty) SearchMargin(q *hv.Vector, buf *[]int) (core.Result, int) {
+	q = f.faultQuery(q)
+	if len(f.row) == 0 {
+		if ms, ok := f.inner.(core.MarginSearcher); ok {
+			return ms.SearchMargin(q, buf)
+		}
+		return f.inner.Search(q), 0
+	}
+	var local []int
+	if buf == nil {
+		buf = &local
+	}
+	*buf = f.observedFaulted(*buf, q)
+	win, d, margin := assoc.MarginWinner(*buf)
+	return core.Result{Index: win, Distance: d}, margin
+}
+
+// Compile-time interface checks.
+var (
+	_ core.Searcher       = (*Faulty)(nil)
+	_ core.RowSearcher    = (*Faulty)(nil)
+	_ core.MarginSearcher = (*Faulty)(nil)
+)

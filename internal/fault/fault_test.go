@@ -1,0 +1,268 @@
+package fault
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/aham"
+	"hdam/internal/assoc"
+	"hdam/internal/core"
+	"hdam/internal/dham"
+	"hdam/internal/hv"
+	"hdam/internal/rham"
+)
+
+const testDim = 1024
+
+// testMemory builds a small random memory with well-separated classes.
+func testMemory(t *testing.T, classes int, seed uint64) *core.Memory {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0))
+	cs := make([]*hv.Vector, classes)
+	ls := make([]string, classes)
+	for i := range cs {
+		cs[i] = hv.Random(testDim, rng)
+		ls[i] = string(rune('a' + i))
+	}
+	mem, err := core.NewMemory(cs, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem
+}
+
+// sameMemory reports whether two memories hold identical class vectors.
+func sameMemory(a, b *core.Memory) bool {
+	if a.Classes() != b.Classes() || a.Dim() != b.Dim() {
+		return false
+	}
+	for i := 0; i < a.Classes(); i++ {
+		if !a.Class(i).Equal(b.Class(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStorageInjectorsDeterministic is the seed-determinism contract: the
+// same injector applied twice to the same memory produces bit-identical
+// fault masks.
+func TestStorageInjectorsDeterministic(t *testing.T) {
+	mem := testMemory(t, 8, 1)
+	for _, in := range []MemoryInjector{
+		&StuckAt{Rate: 0.05, Seed: 42},
+		&Transient{PerClass: 51, Seed: 42},
+	} {
+		a, err := in.FaultMemory(mem)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name(), err)
+		}
+		b, err := in.FaultMemory(mem)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name(), err)
+		}
+		if !sameMemory(a, b) {
+			t.Errorf("%s: two applications at one seed differ", in.Name())
+		}
+	}
+	// Different seeds must produce different masks.
+	a, err := (&Transient{PerClass: 51, Seed: 42}).FaultMemory(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&Transient{PerClass: 51, Seed: 43}).FaultMemory(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameMemory(a, b) {
+		t.Error("transient: different seeds produced identical masks")
+	}
+}
+
+// TestSearchPathInjectorsDeterministic checks the per-search fault streams:
+// identical (seed, search, row) keys produce identical injected errors, and
+// the query-path mask is fixed across calls.
+func TestSearchPathInjectorsDeterministic(t *testing.T) {
+	qp1, err := NewQueryPath(testDim, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp2, err := NewQueryPath(testDim, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := hv.Random(testDim, rand.New(rand.NewPCG(3, 0)))
+	if !qp1.FaultQuery(q).Equal(qp2.FaultQuery(q)) {
+		t.Error("querypath: same seed, different masks")
+	}
+	if !qp1.FaultQuery(q).Equal(qp1.FaultQuery(q)) {
+		t.Error("querypath: mask drifts across calls")
+	}
+	if d := hv.Hamming(q, qp1.FaultQuery(q)); d != 64 {
+		t.Errorf("querypath: %d faulted components, want 64", d)
+	}
+
+	cnt := &Counter{Bits: 32, Seed: 9}
+	dis := &Discharge{Blocks: 256, Rate: 0.25, Seed: 9}
+	for search := uint64(0); search < 4; search++ {
+		for row := 0; row < 8; row++ {
+			if a, b := cnt.FaultRow(search, row, testDim, 400), cnt.FaultRow(search, row, testDim, 400); a != b {
+				t.Fatalf("counter: (%d,%d) gave %d then %d", search, row, a, b)
+			}
+			if a, b := dis.FaultRow(search, row, testDim, 400), dis.FaultRow(search, row, testDim, 400); a != b {
+				t.Fatalf("discharge: (%d,%d) gave %d then %d", search, row, a, b)
+			}
+		}
+	}
+	// Distinct searches draw from distinct streams: at 32 error bits the
+	// chance all four searches inject the same signed error is negligible.
+	same := true
+	ref := cnt.FaultRow(0, 0, testDim, 400)
+	for search := uint64(1); search < 8; search++ {
+		if cnt.FaultRow(search, 0, testDim, 400) != ref {
+			same = false
+		}
+	}
+	if same {
+		t.Error("counter: per-search streams look identical")
+	}
+}
+
+// TestStuckAtFlipBudget verifies the stuck-at semantics: only cells whose
+// stored value disagrees with the stuck value flip, so the expected flips
+// per class are Rate·D/2.
+func TestStuckAtFlipBudget(t *testing.T) {
+	mem := testMemory(t, 16, 5)
+	const rate = 0.10
+	fm, err := (&StuckAt{Rate: rate, Seed: 11}).FaultMemory(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := 0; i < mem.Classes(); i++ {
+		total += hv.Hamming(mem.Class(i), fm.Class(i))
+	}
+	mean := float64(total) / float64(mem.Classes())
+	want := rate * testDim / 2
+	if mean < want*0.6 || mean > want*1.4 {
+		t.Errorf("stuck-at flips per class: got %.1f, want ≈%.1f", mean, want)
+	}
+}
+
+// TestTransientExactCount verifies Transient flips exactly PerClass
+// components of every class vector.
+func TestTransientExactCount(t *testing.T) {
+	mem := testMemory(t, 8, 6)
+	const n = 77
+	fm, err := (&Transient{PerClass: n, Seed: 12}).FaultMemory(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < mem.Classes(); i++ {
+		if d := hv.Hamming(mem.Class(i), fm.Class(i)); d != n {
+			t.Errorf("class %d: %d flips, want %d", i, d, n)
+		}
+	}
+}
+
+// TestWrapIdentity: a wrapper with no effective faults must agree with the
+// raw searcher on every query.
+func TestWrapIdentity(t *testing.T) {
+	mem := testMemory(t, 12, 2)
+	qp, err := NewQueryPath(testDim, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustWrap(assoc.NewExact(mem), qp, &Counter{Bits: 0, Seed: 1})
+	rng := rand.New(rand.NewPCG(8, 0))
+	for i := 0; i < 50; i++ {
+		q := hv.FlipBits(mem.Class(i%mem.Classes()), 300, rng)
+		got, want := s.Search(q), assoc.NewExact(mem).Search(q)
+		if got != want {
+			t.Fatalf("query %d: wrapped %+v, raw %+v", i, got, want)
+		}
+	}
+}
+
+// TestWrapRejections: storage faults don't wrap, and row faults need a
+// searcher that exposes rows.
+func TestWrapRejections(t *testing.T) {
+	mem := testMemory(t, 4, 3)
+	if _, err := Wrap(assoc.NewExact(mem), &Transient{PerClass: 1, Seed: 1}); err == nil {
+		t.Error("Wrap accepted a storage fault")
+	}
+	if _, err := Apply(mem, &Counter{Bits: 1, Seed: 1}); err == nil {
+		t.Error("Apply accepted a search-path fault")
+	}
+	// Noisy does not implement core.RowSearcher.
+	noisy := assoc.NewNoisySeeded(mem, 1, 1)
+	if _, err := Wrap(noisy, &Counter{Bits: 1, Seed: 1}); err == nil {
+		t.Error("Wrap accepted a row fault around a searcher without rows")
+	}
+}
+
+// TestWrapAllDesigns wraps every design with the full search-path stack and
+// checks searches stay well-formed under faults.
+func TestWrapAllDesigns(t *testing.T) {
+	mem := testMemory(t, 10, 4)
+	qp, err := NewQueryPath(testDim, 16, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injs := []Injector{qp, &Counter{Bits: 8, Seed: 21}, &Discharge{Blocks: testDim / 4, Rate: 0.1, Seed: 21}}
+	build := []Builder{
+		func(m *core.Memory) (core.Searcher, error) { return assoc.NewExact(m), nil },
+		func(m *core.Memory) (core.Searcher, error) {
+			return dham.New(dham.Config{D: testDim, C: m.Classes(), SampledD: 768}, m)
+		},
+		func(m *core.Memory) (core.Searcher, error) {
+			return rham.New(rham.Config{D: testDim, C: m.Classes(), VOSBlocks: 64, Seed: 21}, m)
+		},
+		func(m *core.Memory) (core.Searcher, error) {
+			return aham.New(aham.Config{D: testDim, C: m.Classes(), Seed: 21}, m)
+		},
+	}
+	rng := rand.New(rand.NewPCG(31, 0))
+	for _, b := range build {
+		s, fmem, err := Build(mem, b, append(injs, &Transient{PerClass: 32, Seed: 21})...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sameMemory(mem, fmem) {
+			t.Errorf("%s: Build did not fault the memory", s.Name())
+		}
+		for i := 0; i < 20; i++ {
+			q := hv.FlipBits(mem.Class(i%mem.Classes()), 250, rng)
+			res := s.Search(q)
+			if res.Index < 0 || res.Index >= mem.Classes() || res.Distance < 0 {
+				t.Fatalf("%s: malformed result %+v", s.Name(), res)
+			}
+		}
+		ms := s.(core.MarginSearcher)
+		if _, margin := ms.SearchMargin(hv.FlipBits(mem.Class(0), 250, rng), nil); margin < 0 {
+			t.Fatalf("%s: negative margin %d", s.Name(), margin)
+		}
+	}
+}
+
+// TestFaultyParallelSearch exercises the wrapper's atomic search numbering
+// under the parallel batch path (meaningful under -race).
+func TestFaultyParallelSearch(t *testing.T) {
+	mem := testMemory(t, 8, 7)
+	qp, err := NewQueryPath(testDim, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustWrap(assoc.NewExact(mem), qp, &Counter{Bits: 16, Seed: 5}, &Discharge{Blocks: 64, Rate: 0.2, Seed: 5})
+	rng := rand.New(rand.NewPCG(77, 0))
+	queries := make([]*hv.Vector, 256)
+	for i := range queries {
+		queries[i] = hv.FlipBits(mem.Class(i%mem.Classes()), 300, rng)
+	}
+	out := core.SearchAll(s, queries, true)
+	for i, r := range out {
+		if r.Index < 0 || r.Index >= mem.Classes() {
+			t.Fatalf("query %d: bad winner %d", i, r.Index)
+		}
+	}
+}

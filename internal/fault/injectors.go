@@ -1,0 +1,264 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"hdam/internal/assoc"
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// Stream salts keep the per-entity PCG streams of the different injector
+// families disjoint even when they share a seed.
+const (
+	saltStuckAt   = 0x57_75_63_6b // "Wuck" — stuck-at cell masks
+	saltTransient = 0x74_72_61_6e // "tran" — transient flip masks
+	saltQueryPath = 0x71_70_61_74 // "qpat" — query-path mask
+	saltCounter   = 0x63_6e_74_72 // "cntr" — counter upset streams
+	saltDischarge = 0x64_73_63_68 // "dsch" — discharge misread streams
+)
+
+// classRNG returns the deterministic stream for one (seed, salt, class).
+func classRNG(seed uint64, salt, class int) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, uint64(salt)<<32|uint64(class)))
+}
+
+// searchRowRNG returns the deterministic stream for one (seed, salt,
+// search, row). The search number occupies the high stream bits so row
+// streams never collide across searches.
+func searchRowRNG(seed uint64, salt int, search uint64, row int) *rand.Rand {
+	return rand.New(rand.NewPCG(seed^uint64(salt), search<<16|uint64(row)))
+}
+
+// ---- StuckAt: permanent stuck-at faults in stored class vectors ----
+
+// StuckAt models permanently defective storage cells: a fraction Rate of
+// each class vector's components is stuck — half at 0, half at 1 on
+// average — and reads the stuck value regardless of what training wrote.
+// Only cells whose stored bit disagrees with the stuck value actually
+// corrupt the vector, so the expected number of flipped components per
+// class is Rate·D/2. The defect map is a pure function of (Seed, class
+// index): re-applying the injector reproduces the identical faulty chip.
+type StuckAt struct {
+	// Rate is the fraction of defective cells per class vector, in [0,1].
+	Rate float64
+	// Seed fixes the defect map.
+	Seed uint64
+}
+
+// Name implements Injector.
+func (f *StuckAt) Name() string { return fmt.Sprintf("stuckat p=%g", f.Rate) }
+
+// FaultMemory implements MemoryInjector.
+func (f *StuckAt) FaultMemory(mem *core.Memory) (*core.Memory, error) {
+	if f.Rate < 0 || f.Rate > 1 {
+		return nil, fmt.Errorf("fault: stuck-at rate %v out of [0,1]", f.Rate)
+	}
+	classes := make([]*hv.Vector, mem.Classes())
+	labels := make([]string, mem.Classes())
+	for i := 0; i < mem.Classes(); i++ {
+		rng := classRNG(f.Seed, saltStuckAt, i)
+		v := mem.Class(i).Clone()
+		for c := 0; c < mem.Dim(); c++ {
+			if rng.Float64() < f.Rate {
+				v.Set(c, int(rng.Uint64()&1))
+			}
+		}
+		classes[i] = v
+		labels[i] = mem.Label(i)
+	}
+	return core.NewMemory(classes, labels)
+}
+
+// ---- Transient: soft-error bit flips in stored class vectors ----
+
+// Transient models soft errors accumulated in storage (single-event
+// upsets, retention drift): exactly PerClass randomly chosen components of
+// every class vector are inverted. The flip mask is a pure function of
+// (Seed, class index).
+type Transient struct {
+	// PerClass is the exact number of flipped components per class vector.
+	PerClass int
+	// Seed fixes the flip masks.
+	Seed uint64
+}
+
+// Name implements Injector.
+func (f *Transient) Name() string { return fmt.Sprintf("flip n=%d", f.PerClass) }
+
+// FaultMemory implements MemoryInjector.
+func (f *Transient) FaultMemory(mem *core.Memory) (*core.Memory, error) {
+	if f.PerClass < 0 || f.PerClass > mem.Dim() {
+		return nil, fmt.Errorf("fault: %d flips per class out of [0,%d]", f.PerClass, mem.Dim())
+	}
+	classes := make([]*hv.Vector, mem.Classes())
+	labels := make([]string, mem.Classes())
+	for i := 0; i < mem.Classes(); i++ {
+		classes[i] = hv.FlipBits(mem.Class(i), f.PerClass, classRNG(f.Seed, saltTransient, i))
+		labels[i] = mem.Label(i)
+	}
+	return core.NewMemory(classes, labels)
+}
+
+// ---- QueryPath: common-mode faults on the query path ----
+
+// QueryPath models permanently broken query-path hardware — stuck query
+// buffer bits, dead bitline drivers: a fixed mask of Bits components is
+// inverted in every query, identically for every row of the array. Because
+// the corruption is common-mode, it shifts all row distances together and
+// its differential effect on the winner is far smaller than that of
+// independent per-row errors (the correlation ablation of
+// internal/experiments).
+type QueryPath struct {
+	bits int
+	mask *hv.Vector
+}
+
+// NewQueryPath builds the common-mode injector for queries of the given
+// dimensionality: the mask of bits inverted components is drawn once from
+// seed and then fixed for the injector's lifetime.
+func NewQueryPath(dim, bits int, seed uint64) (*QueryPath, error) {
+	if bits < 0 || bits > dim {
+		return nil, fmt.Errorf("fault: %d query-path faults out of [0,%d]", bits, dim)
+	}
+	mask := hv.FlipBits(hv.New(dim), bits, classRNG(seed, saltQueryPath, 0))
+	return &QueryPath{bits: bits, mask: mask}, nil
+}
+
+// Name implements Injector.
+func (f *QueryPath) Name() string { return fmt.Sprintf("querypath e=%d", f.bits) }
+
+// FaultQuery implements QueryInjector: XOR with the fixed defect mask.
+func (f *QueryPath) FaultQuery(q *hv.Vector) *hv.Vector {
+	if f.bits == 0 {
+		return q
+	}
+	return hv.Bind(q, f.mask)
+}
+
+// ---- Counter: D-HAM counter upsets and finite counter width ----
+
+// Counter models the digital failure modes of D-HAM's population counters
+// (§III-A): Bits inverted comparison outcomes per row and search — the
+// Fig. 1 error model, realized with the same hypergeometric distance
+// perturbation as assoc.Noisy — plus, when Width > 0, saturation of a
+// counter too narrow for its worst-case count (observed distances clamp at
+// 2^Width − 1). The error stream is a pure function of (Seed, search
+// sequence number, row).
+type Counter struct {
+	// Bits is the number of inverted comparison outcomes per row.
+	Bits int
+	// Width is the counter bit width; 0 means wide enough (no clamping).
+	Width int
+	// Seed fixes the upset streams.
+	Seed uint64
+}
+
+// Name implements Injector.
+func (f *Counter) Name() string {
+	if f.Width > 0 {
+		return fmt.Sprintf("counter e=%d w=%d", f.Bits, f.Width)
+	}
+	return fmt.Sprintf("counter e=%d", f.Bits)
+}
+
+// FaultRow implements RowInjector.
+func (f *Counter) FaultRow(search uint64, row, dim, d int) int {
+	obs := d
+	if f.Bits > 0 {
+		rng := searchRowRNG(f.Seed, saltCounter, search, row)
+		obs = assoc.ObservedDistance(d, dim, f.Bits, rng)
+	}
+	if f.Width > 0 {
+		if max := 1<<f.Width - 1; obs > max {
+			obs = max
+		}
+	}
+	if obs < 0 {
+		obs = 0
+	}
+	return obs
+}
+
+// ---- Discharge: R-HAM/A-HAM analog misread variation ----
+
+// Discharge models the analog failure mode shared by R-HAM's sense banks
+// and A-HAM's current comparison: discharge-timing variation makes each of
+// Blocks independent sense decisions misread by ±1 with probability Rate,
+// so a row's observed distance shifts by the net of Binomial(Blocks, Rate)
+// signed unit errors (the distributed-error regime of §III-C2 that HD
+// tolerates, as opposed to concentrated errors). The misread stream is a
+// pure function of (Seed, search sequence number, row).
+type Discharge struct {
+	// Blocks is the number of independent sense decisions per row
+	// (R-HAM: D/4 blocks; A-HAM: the stage count).
+	Blocks int
+	// Rate is the per-block misread probability, in [0,1].
+	Rate float64
+	// Seed fixes the misread streams.
+	Seed uint64
+}
+
+// Name implements Injector.
+func (f *Discharge) Name() string { return fmt.Sprintf("discharge m=%d p=%g", f.Blocks, f.Rate) }
+
+// FaultRow implements RowInjector.
+func (f *Discharge) FaultRow(search uint64, row, dim, d int) int {
+	if f.Blocks <= 0 || f.Rate <= 0 {
+		return d
+	}
+	rng := searchRowRNG(f.Seed, saltDischarge, search, row)
+	k := binomial(rng, f.Blocks, f.Rate)
+	net := 0
+	for i := 0; i < k; i++ {
+		if rng.IntN(2) == 0 {
+			net--
+		} else {
+			net++
+		}
+	}
+	obs := d + net
+	if obs < 0 {
+		obs = 0
+	}
+	return obs
+}
+
+// binomial draws Binomial(n, p): exact for small n, clamped normal
+// approximation above (matching the sampling approach of the rham and
+// assoc error models).
+func binomial(rng *rand.Rand, n int, p float64) int {
+	if n < 0 || p < 0 || p > 1 {
+		panic(fmt.Sprintf("fault: binomial(%d, %v)", n, p))
+	}
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(mean * (1 - p))
+	k := int(math.Round(mean + rng.NormFloat64()*sd))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Compile-time injection-point checks.
+var (
+	_ MemoryInjector = (*StuckAt)(nil)
+	_ MemoryInjector = (*Transient)(nil)
+	_ QueryInjector  = (*QueryPath)(nil)
+	_ RowInjector    = (*Counter)(nil)
+	_ RowInjector    = (*Discharge)(nil)
+)

@@ -127,5 +127,18 @@ func F(v float64, decimals int) string {
 // Pct formats a fraction as a percentage with one decimal.
 func Pct(v float64) string { return F(100*v, 1) + "%" }
 
+// PP formats a fraction difference as signed percentage points ("+0.4pp").
+// Differences that round to zero always print "+0.0pp", never "-0.0pp".
+func PP(v float64) string {
+	s := F(100*v, 1)
+	if s == "-0.0" {
+		s = "0.0"
+	}
+	if !strings.HasPrefix(s, "-") {
+		s = "+" + s
+	}
+	return s + "pp"
+}
+
 // Sci formats a float in scientific notation with 3 significant digits.
 func Sci(v float64) string { return strconv.FormatFloat(v, 'e', 2, 64) }

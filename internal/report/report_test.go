@@ -65,4 +65,11 @@ func TestFormatters(t *testing.T) {
 	if !strings.Contains(Sci(1234.5), "e+03") {
 		t.Errorf("Sci broken: %s", Sci(1234.5))
 	}
+	for v, want := range map[float64]string{
+		0.004: "+0.4pp", -0.021: "-2.1pp", 0: "+0.0pp", -1e-9: "+0.0pp",
+	} {
+		if got := PP(v); got != want {
+			t.Errorf("PP(%v) = %s, want %s", v, got, want)
+		}
+	}
 }

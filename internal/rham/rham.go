@@ -26,6 +26,7 @@ import (
 	"math/rand/v2"
 
 	"hdam/internal/analog"
+	"hdam/internal/assoc"
 	"hdam/internal/core"
 	"hdam/internal/hv"
 )
@@ -177,8 +178,26 @@ func BlockDistances(q, c *hv.Vector) []int {
 // subject to a ±1 misread at the configured rate. The minimum is selected
 // by the same deterministic comparator tree as D-HAM.
 func (h *HAM) Search(q *hv.Vector) core.Result {
-	active := h.cfg.Blocks() - h.cfg.BlocksOff
+	ds := h.ObservedDistances(nil, q)
 	best, bestD := 0, math.MaxInt
+	for i, d := range ds {
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return core.Result{Index: best, Distance: bestD}
+}
+
+// ObservedDistances implements core.RowSearcher: the non-binary counter
+// totals per row — exact block distances over the active blocks, with each
+// overscaled block subject to a ±1 misread at the configured rate. It
+// consumes the VOS error stream exactly as Search does.
+func (h *HAM) ObservedDistances(dst []int, q *hv.Vector) []int {
+	if cap(dst) < h.cfg.C {
+		dst = make([]int, h.cfg.C)
+	}
+	dst = dst[:h.cfg.C]
+	active := h.cfg.Blocks() - h.cfg.BlocksOff
 	for i := 0; i < h.cfg.C; i++ {
 		bd := BlockDistances(q, h.mem.Class(i))
 		d := 0
@@ -191,11 +210,21 @@ func (h *HAM) Search(q *hv.Vector) core.Result {
 				d += bd[b]
 			}
 		}
-		if d < bestD {
-			best, bestD = i, d
-		}
+		dst[i] = d
 	}
-	return core.Result{Index: best, Distance: bestD}
+	return dst
+}
+
+// SearchMargin implements core.MarginSearcher: the comparator tree's two
+// smallest counter totals, exposed as winner plus margin.
+func (h *HAM) SearchMargin(q *hv.Vector, buf *[]int) (core.Result, int) {
+	var local []int
+	if buf == nil {
+		buf = &local
+	}
+	*buf = h.ObservedDistances(*buf, q)
+	win, d, margin := assoc.MarginWinner(*buf)
+	return core.Result{Index: win, Distance: d}, margin
 }
 
 // NetVOSNoise samples the aggregate distance error that VOS misreads inject
@@ -251,7 +280,11 @@ func (h *HAM) Name() string {
 // Config returns the design point.
 func (h *HAM) Config() Config { return h.cfg }
 
-var _ core.Searcher = (*HAM)(nil)
+var (
+	_ core.Searcher       = (*HAM)(nil)
+	_ core.RowSearcher    = (*HAM)(nil)
+	_ core.MarginSearcher = (*HAM)(nil)
+)
 
 // SaturatedBlockDistance models what a *wider-than-4-bit* block would read:
 // the ML current saturates, so the sense circuitry can only distinguish
