@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json ci
+.PHONY: all build vet test race bench bench-kernels bench-json ci
 
 all: build
 
@@ -18,18 +18,26 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# Regenerate the benchmark trajectory file checked in at BENCH.json: run the
+# kernel suite plus the closed-loop serve load harness and APPEND the report
+# as a new trajectory entry — the seed's num_cpu:1 baseline entry is kept, so
+# regressions show up as diffs, never as overwrites.
+bench:
+	$(GO) run ./cmd/hambench -serve -json BENCH.json
+
+# bench-json is the historical name for the same regeneration.
+bench-json: bench
+
 # Hot-path kernels with allocation accounting; the accumulator and distance
 # kernels must report 0 allocs/op.
-bench:
+bench-kernels:
 	$(GO) test -run xxx -bench 'Encode|Distance|Accumulate' -benchmem ./...
 
-# Regenerate the benchmark trajectory file checked in at BENCH.json.
-bench-json:
-	$(GO) run ./cmd/hambench -json BENCH.json
-
 # Everything CI runs, in order: static checks, build, race-enabled tests, a
-# full (non-short) race pass over the robustness stack, and a benchmark
-# smoke pass.
+# full (non-short) race pass over the concurrency-heavy packages (sharded
+# kernels, serve engine, robustness stack), a kernel benchmark smoke pass,
+# and a serve-path benchmark smoke so the engine can't silently rot.
 ci: vet build race
-	$(GO) test -race ./internal/assoc ./internal/fault ./internal/experiments
+	$(GO) test -race ./internal/core ./internal/serve ./internal/assoc ./internal/fault ./internal/experiments
 	$(GO) test -run xxx -bench 'Encode|Distance|Accumulate' -benchtime 10x -benchmem ./...
+	$(GO) test -run xxx -bench Serve -benchtime 1x ./internal/serve

@@ -19,11 +19,18 @@
 //	-test N      test sentences per language (overrides scale)
 //	-seed N      experiment seed (default 2017)
 //	-csv         emit CSV instead of aligned tables
-//	-json FILE   run the kernel benchmark suite and write its JSON report
+//	-json FILE   run the kernel benchmark suite and append its report to the
+//	             benchmark trajectory file (legacy single-report files are
+//	             migrated to the trajectory format in place)
+//	-serve       also run the closed-loop serve load harness (throughput and
+//	             p50/p95/p99 latency at several concurrencies) and record a
+//	             serve/* section in the report
+//	-serve-requests N  requests per serve load point (default 2048)
 //	-list        print the available experiment ids and exit
 //
 // With -json and no experiment ids, only the benchmark suite runs; this is
-// how BENCH.json, the repository's benchmark trajectory file, is produced.
+// how BENCH.json, the repository's benchmark trajectory file, is produced
+// (make bench).
 package main
 
 import (
@@ -45,7 +52,9 @@ func main() {
 	seed := flag.Uint64("seed", 2017, "experiment seed")
 	csv := flag.Bool("csv", false, "emit CSV")
 	outDir := flag.String("out", "", "also write each experiment's tables as CSV files into this directory")
-	jsonOut := flag.String("json", "", "run the kernel benchmark suite and write its JSON report to this file")
+	jsonOut := flag.String("json", "", "run the kernel benchmark suite and append its JSON report to this trajectory file")
+	serveLoad := flag.Bool("serve", false, "also run the closed-loop serve load harness")
+	serveRequests := flag.Int("serve-requests", 2048, "requests per serve load point")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
@@ -55,15 +64,15 @@ func main() {
 		}
 		return
 	}
-	if *jsonOut != "" {
-		if err := runKernelSuite(*jsonOut); err != nil {
+	if *jsonOut != "" || *serveLoad {
+		if err := runBenchSuite(*jsonOut, *serveLoad, *serveRequests); err != nil {
 			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
 			os.Exit(1)
 		}
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		if *jsonOut != "" {
+		if *jsonOut != "" || *serveLoad {
 			return
 		}
 		fmt.Fprintln(os.Stderr, "usage: hambench [flags] <experiment>... | all   (-list for ids)")
@@ -125,26 +134,36 @@ func main() {
 	}
 }
 
-// runKernelSuite runs the perf kernel benchmarks and writes the JSON report.
-func runKernelSuite(path string) error {
+// runBenchSuite runs the perf kernel benchmarks (plus, optionally, the serve
+// load harness) and appends the report to the trajectory file at path.
+func runBenchSuite(path string, serveLoad bool, serveRequests int) error {
 	fmt.Fprintln(os.Stderr, "[running kernel benchmark suite]")
 	start := time.Now()
 	rep := perf.RunKernels()
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := rep.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
 	for _, r := range rep.Results {
 		fmt.Fprintf(os.Stderr, "  %-28s %12.1f ns/op %8d allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
 	}
-	fmt.Fprintf(os.Stderr, "[kernel suite finished in %s → %s]\n", time.Since(start).Round(time.Millisecond), path)
+	if serveLoad {
+		fmt.Fprintln(os.Stderr, "[running serve load harness]")
+		results, err := perf.RunServe(perf.DefaultServeLoads(serveRequests))
+		if err != nil {
+			return err
+		}
+		rep.Serve = results
+		for _, r := range results {
+			fmt.Fprintf(os.Stderr, "  %-28s %9.0f qps  p50 %8.1fµs  p95 %8.1fµs  p99 %8.1fµs  %5.2fx\n",
+				r.Name, r.QPS, r.P50Us, r.P95Us, r.P99Us, r.SpeedupVsSerial)
+		}
+	}
+	if path == "" {
+		fmt.Fprintf(os.Stderr, "[suite finished in %s; no -json file, not recorded]\n",
+			time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	if err := perf.AppendReport(path, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[suite finished in %s → appended to %s]\n", time.Since(start).Round(time.Millisecond), path)
 	return nil
 }
 

@@ -19,10 +19,17 @@
 //	-chain S     comma-separated escalation chain (default aham,rham,dham,exact)
 //	-margin N    confidence threshold: escalate answers whose Hamming-distance
 //	             margin over the runner-up is below N
+//	-workers N   serve stdin through the micro-batching engine with N
+//	             encode→search workers (0 = GOMAXPROCS, 1 = serial; designs
+//	             with non-forkable randomness — rham, aham — are forced to 1)
+//	-batch N     micro-batch size for the serving engine (default 32)
+//	-shards N    word-range shards for the parallel distance kernel
+//	             (0 = serial kernel, <0 = GOMAXPROCS)
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"math/rand/v2"
@@ -44,6 +51,9 @@ func main() {
 	resilient := flag.Bool("resilient", false, "serve through the confidence-gated escalation chain")
 	chain := flag.String("chain", "aham,rham,dham,exact", "comma-separated escalation chain for -resilient")
 	margin := flag.Int("margin", 32, "confidence threshold (Hamming-distance margin) for -resilient")
+	workers := flag.Int("workers", 1, "micro-batching engine workers (0 = GOMAXPROCS, 1 = serial loop)")
+	batch := flag.Int("batch", 32, "micro-batch size for the serving engine")
+	shards := flag.Int("shards", 0, "word-range shards for the distance kernel (0 = serial, <0 = GOMAXPROCS)")
 	flag.Parse()
 
 	// Validate the hardware selection before spending minutes on training.
@@ -126,6 +136,13 @@ func main() {
 		}
 	}
 
+	if *shards != 0 {
+		// Route every searcher's distance kernel through the sharded
+		// parallel matrix; outputs are bit-identical to the serial kernel.
+		tr.Memory = tr.Memory.WithSharding(*shards)
+		defer tr.Memory.Sharding().Close()
+	}
+
 	var searcher hdam.Searcher
 	var res *hdam.Resilient
 	var err error
@@ -142,6 +159,20 @@ func main() {
 
 	if *demo {
 		runDemo(tr, searcher, langs, *seed)
+		reportStages(res)
+		return
+	}
+
+	if *workers != 1 {
+		w := *workers
+		if w != 1 && serialOnly(*design, *resilient, stages) {
+			fmt.Fprintln(os.Stderr, "langid: searcher carries non-forkable randomness; forcing -workers=1 (micro-batching stays on)")
+			w = 1
+		}
+		if err := serveStdin(tr, searcher, w, *batch, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "langid: %v\n", err)
+			os.Exit(1)
+		}
 		reportStages(res)
 		return
 	}
@@ -182,6 +213,98 @@ func main() {
 			correct, labeled, 100*float64(correct)/float64(labeled))
 	}
 	reportStages(res)
+}
+
+// serialOnly reports whether the selected searcher carries per-search
+// randomness that cannot fork into per-worker streams (the sequential-
+// fallback rule of SearchAll): R-HAM's VOS injection and A-HAM's comparator
+// offsets draw from one internal RNG.
+func serialOnly(design string, resilient bool, stages []string) bool {
+	randomized := func(d string) bool { return d == "rham" || d == "aham" }
+	if !resilient {
+		return randomized(design)
+	}
+	for _, st := range stages {
+		if randomized(strings.TrimSpace(st)) {
+			return true
+		}
+	}
+	return false
+}
+
+// serveStdin classifies stdin through the micro-batching engine: lines are
+// submitted asynchronously and printed in input order by a reorder queue, so
+// output is byte-compatible with the serial loop (modulo the engine's fixed
+// tie-break seed).
+func serveStdin(tr *hdam.Trained, searcher hdam.Searcher, workers, batch int, seed uint64) error {
+	eng, err := hdam.NewEngine(tr, searcher, hdam.ServeConfig{
+		Workers:  workers,
+		MaxBatch: batch,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	type pending struct {
+		text, want string
+		ch         <-chan hdam.ServeResponse
+	}
+	queue := make(chan pending, 4*eng.Config().MaxBatch)
+	classified, correct, labeled := 0, 0, 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p := range queue {
+			r := <-p.ch
+			if r.Err != nil {
+				fmt.Printf("?\t%s\n", p.text)
+				continue
+			}
+			fmt.Printf("%s\t%s\n", r.Label, p.text)
+			classified++
+			if p.want != "" {
+				labeled++
+				if r.Label == p.want {
+					correct++
+				}
+			}
+		}
+	}()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		want, text := "", line
+		if i := strings.IndexByte(line, '\t'); i >= 0 {
+			want, text = line[:i], line[i+1:]
+		}
+		ch, err := eng.Go(context.Background(), text)
+		if err != nil {
+			close(queue)
+			<-done
+			return err
+		}
+		queue <- pending{text: text, want: want, ch: ch}
+	}
+	close(queue)
+	<-done
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading stdin: %v", err)
+	}
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "served %d requests in %d micro-batches (avg %.1f/batch, %d workers)\n",
+		st.Submitted, st.Batches, st.AvgBatch(), eng.Config().Workers)
+	if labeled > 0 {
+		fmt.Fprintf(os.Stderr, "accuracy: %d/%d (%.1f%%)\n",
+			correct, labeled, 100*float64(correct)/float64(labeled))
+	}
+	return nil
 }
 
 // knownDesign reports whether a -design / -chain entry names a searcher.

@@ -16,6 +16,7 @@ import (
 	"hdam/internal/itemmem"
 	"hdam/internal/lang"
 	"hdam/internal/rham"
+	"hdam/internal/serve"
 	"hdam/internal/textgen"
 )
 
@@ -268,12 +269,63 @@ func NewAHAMCircuit(cfg AHAMConfig, mem *Memory, seed uint64) (*AHAMCircuit, err
 	return aham.NewCircuit(cfg, mem, seed)
 }
 
-// ---- Batch search and persistence ----
+// ---- Batch search, serving and persistence ----
 
 // SearchAll classifies a batch of queries; set parallel for concurrency-
 // safe searchers (exact, D-HAM, A-HAM closed-form).
 func SearchAll(s Searcher, queries []*Vector, parallel bool) []Result {
 	return core.SearchAll(s, queries, parallel)
+}
+
+// SearchAllWorkers is SearchAll with an explicit worker count — the shared
+// fan-out path of batch callers and the serve engine. One worker runs
+// sequentially in input order (safe for non-forkable randomized searchers).
+func SearchAllWorkers(s Searcher, queries []*Vector, workers int) []Result {
+	return core.SearchAllWorkers(s, queries, workers)
+}
+
+// ShardedMatrix is the word-range-sharded parallel distance kernel (see
+// internal/core); obtain one via Memory.WithSharding.
+type ShardedMatrix = core.ShardedMatrix
+
+// ServeConfig tunes the micro-batching policy and worker pool of an Engine.
+type ServeConfig = serve.Config
+
+// ServeResponse is the engine's answer to one submitted text.
+type ServeResponse = serve.Response
+
+// ServeStats is a snapshot of an engine's counters.
+type ServeStats = serve.Stats
+
+// Engine is the micro-batching throughput engine: asynchronous Submit,
+// max-batch/max-delay coalescing, pipelined encode→search workers.
+type Engine = serve.Engine
+
+// ErrEngineClosed is returned by Engine.Submit after Close.
+var ErrEngineClosed = serve.ErrClosed
+
+// ErrNoNGrams is returned for texts too short to form a single n-gram.
+var ErrNoNGrams = serve.ErrNoNGrams
+
+// NewEngine builds a micro-batching engine serving the trained language
+// pipeline with the given searcher. Each pooled encoder scratch instance is
+// rebuilt from the pipeline's deterministic item memory, so engine results
+// are bit-identical to a serial loop with the same tie-break seed. The
+// sequential-fallback rule of SearchAll applies: randomized searchers that
+// cannot fork need cfg.Workers = 1.
+func NewEngine(tr *Trained, s Searcher, cfg ServeConfig) (*Engine, error) {
+	p := tr.Params
+	return serve.New(tr.Memory, s, func() *encoder.Encoder {
+		im := itemmem.New(p.Dim, p.Seed)
+		im.Preload(itemmem.LatinAlphabet)
+		return encoder.New(im, p.NGram)
+	}, cfg)
+}
+
+// EvaluateParallel is Evaluate fanned out over a worker count via
+// SearchAllWorkers (0 resolves to GOMAXPROCS).
+func EvaluateParallel(s Searcher, mem *Memory, ts *TestSet, workers int) EvalReport {
+	return lang.EvaluateParallel(s, mem, ts, workers)
 }
 
 // SaveMemory serializes a trained memory.

@@ -263,6 +263,21 @@ func (r *Resilient) SearchContext(ctx context.Context, q *hv.Vector) core.Result
 	return final
 }
 
+// SearchBatch classifies a batch under one shared deadline, escalating each
+// query independently through the chain: batching amortizes scheduling, not
+// trust — a low-margin answer for one query escalates that query alone,
+// while confident neighbors stay at the cheap stage. Stage health, latency
+// estimates and breaker state are shared across the batch (Resilient is
+// safe for concurrent use, so serve-engine workers may call this in
+// parallel). Results are in input order.
+func (r *Resilient) SearchBatch(ctx context.Context, queries []*hv.Vector) []core.Result {
+	out := make([]core.Result, len(queries))
+	for i, q := range queries {
+		out[i] = r.SearchContext(ctx, q)
+	}
+	return out
+}
+
 // score folds one health observation into a stage's EWMA and runs the
 // breaker transition. Caller holds r.mu.
 func (r *Resilient) score(stage int, miss float64, now uint64) {

@@ -287,3 +287,36 @@ func TestResilientParallel(t *testing.T) {
 		t.Errorf("served %d searches, want %d", n, 8*64)
 	}
 }
+
+func TestSearchBatchEscalatesPerQuery(t *testing.T) {
+	// s0 answers with a thin margin (forces escalation), s1 confidently.
+	s0 := &fakeStage{name: "cheap"}
+	s0.set(core.Result{Index: 1, Distance: 100}, 5)
+	s1 := &fakeStage{name: "sure"}
+	s1.set(core.Result{Index: 2, Distance: 50}, 100)
+	r, err := NewResilient([]Stage{{Searcher: s0}, {Searcher: s1}}, ResilientConfig{MinMargin: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 0))
+	queries := make([]*hv.Vector, 5)
+	for i := range queries {
+		queries[i] = hv.Random(256, rng)
+	}
+	out := r.SearchBatch(context.Background(), queries)
+	if len(out) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(out), len(queries))
+	}
+	for i, res := range out {
+		if res.Index != 2 || res.Distance != 50 {
+			t.Fatalf("query %d: got %+v, want the escalated stage's answer", i, res)
+		}
+	}
+	// Every query visited both stages: batching amortizes scheduling, not trust.
+	if got := s0.calls.Load(); got != int64(len(queries)) {
+		t.Fatalf("cheap stage called %d times, want %d", got, len(queries))
+	}
+	if got := s1.calls.Load(); got != int64(len(queries)) {
+		t.Fatalf("sure stage called %d times, want %d", got, len(queries))
+	}
+}

@@ -86,17 +86,32 @@ func searchFunc(s Searcher) func(*hv.Vector) Result {
 // BufferedSearcher implementations, so batches allocate O(workers), not
 // O(queries).
 func SearchAll(s Searcher, queries []*hv.Vector, parallel bool) []Result {
+	workers := 1
+	if parallel {
+		// Resolve the worker count at call time so runtime.GOMAXPROCS
+		// adjustments (tests, cgroup-aware schedulers) take effect per batch.
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return SearchAllWorkers(s, queries, workers)
+}
+
+// SearchAllWorkers is SearchAll with an explicit worker count: the shared
+// fan-out path for both direct batch callers and the serve engine. workers
+// is clamped to [1, len(queries)]; one worker runs sequentially in input
+// order (the safe mode for non-forkable randomized searchers). The
+// ForkableSearcher determinism contract applies: results depend on the
+// worker count but not on scheduling.
+func SearchAllWorkers(s Searcher, queries []*hv.Vector, workers int) []Result {
 	out := make([]Result, len(queries))
-	if !parallel || len(queries) < 2 {
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
 		search := searchFunc(s)
 		for i, q := range queries {
 			out[i] = search(q)
 		}
 		return out
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(queries) {
-		workers = len(queries)
 	}
 	var wg sync.WaitGroup
 	chunk := (len(queries) + workers - 1) / workers

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hdam/internal/hv"
+)
+
+// ShardedMatrix computes the same distances as ClassMatrix but splits the
+// packed row-major storage into contiguous word-range shards scored by a
+// persistent per-core worker pool: the software analogue of partitioning the
+// paper's crossbar columns across independent popcount banks. Each shard
+// computes partial popcount distances over its word range for every row and
+// the partials are reduced by integer addition, so the result is
+// bit-identical to the serial kernel for every dimensionality, including
+// tail-word dims.
+//
+// A ShardedMatrix is safe for concurrent use: every call draws its partial
+// buffers from an internal pool and the worker goroutines are stateless.
+// Steady-state calls allocate nothing. Close releases the worker pool;
+// after Close every call degrades to the serial kernel, still bit-identical.
+type ShardedMatrix struct {
+	cm     *ClassMatrix
+	bounds []int // word boundaries per shard, len = shards+1
+	jobs   chan func()
+	closed atomic.Bool
+	once   sync.Once
+
+	partials sync.Pool // *[]int, (shards-1)*rows partial-distance scratch
+	rows     sync.Pool // *[]int, rows-sized distance rows for Nearest
+}
+
+// DefaultShards returns the shard count a fresh ShardedMatrix would pick for
+// a matrix of the given packed width: GOMAXPROCS at call time, clamped so
+// every shard spans at least one word.
+func DefaultShards(words int) int {
+	n := runtime.GOMAXPROCS(0)
+	if n > words {
+		n = words
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// NewShardedMatrix splits cm into the given number of word-range shards and
+// starts the worker pool that scores them. shards is clamped to [1, words];
+// shards <= 0 selects DefaultShards. With one shard (or one word) no
+// goroutines are started and every call is the serial kernel.
+func NewShardedMatrix(cm *ClassMatrix, shards int) *ShardedMatrix {
+	if shards <= 0 {
+		shards = DefaultShards(cm.words)
+	}
+	if shards > cm.words {
+		shards = cm.words
+	}
+	sm := &ShardedMatrix{cm: cm, bounds: make([]int, shards+1)}
+	for s := 0; s <= shards; s++ {
+		sm.bounds[s] = s * cm.words / shards
+	}
+	sm.partials.New = func() any {
+		b := make([]int, (shards-1)*cm.rows)
+		return &b
+	}
+	sm.rows.New = func() any {
+		b := make([]int, cm.rows)
+		return &b
+	}
+	if shards > 1 {
+		// The submitting goroutine always scores shard 0 itself, so the pool
+		// only needs shards-1 workers to keep every shard in flight.
+		sm.jobs = make(chan func(), shards-1)
+		for w := 0; w < shards-1; w++ {
+			go func() {
+				for job := range sm.jobs {
+					job()
+				}
+			}()
+		}
+	}
+	return sm
+}
+
+// Shards returns the number of word-range shards.
+func (sm *ShardedMatrix) Shards() int { return len(sm.bounds) - 1 }
+
+// Matrix returns the underlying packed class matrix.
+func (sm *ShardedMatrix) Matrix() *ClassMatrix { return sm.cm }
+
+// Close stops the worker pool. Subsequent calls fall back to the serial
+// kernel, so a closed ShardedMatrix stays correct, just sequential.
+func (sm *ShardedMatrix) Close() {
+	sm.once.Do(func() {
+		sm.closed.Store(true)
+		if sm.jobs != nil {
+			close(sm.jobs)
+		}
+	})
+}
+
+// serial reports whether calls must run the plain serial kernel.
+func (sm *ShardedMatrix) serial() bool {
+	return len(sm.bounds) <= 2 || sm.closed.Load()
+}
+
+// partialDistances scores one word-range shard: dst[r] = popcount of the
+// XOR between q and row r restricted to words [lo,hi).
+func (sm *ShardedMatrix) partialDistances(dst []int, qw []uint64, lo, hi int) {
+	w := sm.cm.words
+	qs := qw[lo:hi]
+	for r := 0; r < sm.cm.rows; r++ {
+		dst[r] = rowDistance(sm.cm.data[r*w+lo:r*w+hi], qs)
+	}
+}
+
+// DistancesInto writes the exact Hamming distance from q to every row into
+// dst (len must equal Rows), scoring the word-range shards in parallel and
+// reducing the partial popcounts by addition — bit-identical to
+// ClassMatrix.DistancesInto.
+func (sm *ShardedMatrix) DistancesInto(dst []int, q *hv.Vector) {
+	sm.cm.checkQuery(q)
+	if len(dst) != sm.cm.rows {
+		panic(fmt.Sprintf("core: distance buffer len %d, want %d", len(dst), sm.cm.rows))
+	}
+	if sm.serial() {
+		sm.cm.DistancesInto(dst, q)
+		return
+	}
+	shards := sm.Shards()
+	rows := sm.cm.rows
+	qw := q.Words()
+	pp := sm.partials.Get().(*[]int)
+	partial := *pp
+	var wg sync.WaitGroup
+	wg.Add(shards - 1)
+	for s := 1; s < shards; s++ {
+		s := s
+		sm.jobs <- func() {
+			sm.partialDistances(partial[(s-1)*rows:s*rows], qw, sm.bounds[s], sm.bounds[s+1])
+			wg.Done()
+		}
+	}
+	// Score shard 0 on the calling goroutine, straight into dst.
+	sm.partialDistances(dst, qw, sm.bounds[0], sm.bounds[1])
+	wg.Wait()
+	for s := 1; s < shards; s++ {
+		part := partial[(s-1)*rows : s*rows]
+		for r := range dst {
+			dst[r] += part[r]
+		}
+	}
+	sm.partials.Put(pp)
+}
+
+// DistancesBatchInto computes the full query×row distance matrix into dst,
+// row-major by query, exactly like ClassMatrix.DistancesBatchInto. Batches
+// parallelize over query chunks rather than word ranges: each worker streams
+// the whole packed matrix over its chunk with the blocked serial kernel, so
+// the per-query matrix pass is already amortized and the outputs are
+// trivially bit-identical.
+func (sm *ShardedMatrix) DistancesBatchInto(dst []int, queries []*hv.Vector) {
+	if len(dst) != len(queries)*sm.cm.rows {
+		panic(fmt.Sprintf("core: batch buffer len %d, want %d", len(dst), len(queries)*sm.cm.rows))
+	}
+	if sm.serial() || len(queries) < 2 {
+		sm.cm.DistancesBatchInto(dst, queries)
+		return
+	}
+	rows := sm.cm.rows
+	chunks := sm.Shards()
+	if chunks > len(queries) {
+		chunks = len(queries)
+	}
+	per := (len(queries) + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for c := 1; c < chunks; c++ {
+		lo, hi := c*per, (c+1)*per
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		sm.jobs <- func() {
+			sm.cm.DistancesBatchInto(dst[lo*rows:hi*rows], queries[lo:hi])
+			wg.Done()
+		}
+	}
+	hi0 := per
+	if hi0 > len(queries) {
+		hi0 = len(queries)
+	}
+	sm.cm.DistancesBatchInto(dst[:hi0*rows], queries[:hi0])
+	wg.Wait()
+}
+
+// Nearest returns the index and exact distance of the nearest row, ties to
+// the lowest index — bit-identical to ClassMatrix.Nearest, with the distance
+// row computed by the sharded kernel.
+func (sm *ShardedMatrix) Nearest(q *hv.Vector) (int, int) {
+	if sm.serial() {
+		return sm.cm.Nearest(q)
+	}
+	bp := sm.rows.Get().(*[]int)
+	ds := *bp
+	sm.DistancesInto(ds, q)
+	best, bestD := 0, ds[0]
+	for r, d := range ds[1:] {
+		if d < bestD {
+			best, bestD = r+1, d
+		}
+	}
+	sm.rows.Put(bp)
+	return best, bestD
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"hdam/internal/hv"
+)
+
+// shardDims covers word-aligned and tail-word dimensionalities, including
+// dims narrower than one word and the paper's D = 10,000.
+var shardDims = []int{63, 64, 1000, 10000}
+
+func randQueries(n, dim int, seed uint64) []*hv.Vector {
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	qs := make([]*hv.Vector, n)
+	for i := range qs {
+		qs[i] = hv.Random(dim, rng)
+	}
+	return qs
+}
+
+func TestShardedDistancesMatchSerial(t *testing.T) {
+	for _, dim := range shardDims {
+		for _, shards := range []int{1, 2, 3, 7, 64} {
+			cs, _ := randClasses(21, dim, uint64(dim)+uint64(shards))
+			cm := NewClassMatrix(cs)
+			sm := NewShardedMatrix(cm, shards)
+			queries := randQueries(11, dim, uint64(dim)*31)
+
+			want := make([]int, cm.Rows())
+			got := make([]int, cm.Rows())
+			for qi, q := range queries {
+				cm.DistancesInto(want, q)
+				sm.DistancesInto(got, q)
+				for r := range want {
+					if got[r] != want[r] {
+						t.Fatalf("D=%d shards=%d query %d row %d: sharded %d, serial %d",
+							dim, shards, qi, r, got[r], want[r])
+					}
+				}
+				wi, wd := cm.Nearest(q)
+				gi, gd := sm.Nearest(q)
+				if wi != gi || wd != gd {
+					t.Fatalf("D=%d shards=%d query %d: sharded nearest (%d,%d), serial (%d,%d)",
+						dim, shards, qi, gi, gd, wi, wd)
+				}
+			}
+
+			wantB := make([]int, len(queries)*cm.Rows())
+			gotB := make([]int, len(queries)*cm.Rows())
+			cm.DistancesBatchInto(wantB, queries)
+			sm.DistancesBatchInto(gotB, queries)
+			for i := range wantB {
+				if gotB[i] != wantB[i] {
+					t.Fatalf("D=%d shards=%d batch entry %d: sharded %d, serial %d",
+						dim, shards, i, gotB[i], wantB[i])
+				}
+			}
+			sm.Close()
+			// A closed matrix stays correct via the serial fallback.
+			sm.DistancesInto(got, queries[0])
+			cm.DistancesInto(want, queries[0])
+			for r := range want {
+				if got[r] != want[r] {
+					t.Fatalf("D=%d shards=%d closed fallback row %d: %d vs %d",
+						dim, shards, r, got[r], want[r])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedMatrixConcurrent hammers one ShardedMatrix from many goroutines
+// (run under -race by make ci): concurrent calls must not corrupt each
+// other's partial buffers.
+func TestShardedMatrixConcurrent(t *testing.T) {
+	cs, _ := randClasses(21, 10000, 404)
+	cm := NewClassMatrix(cs)
+	sm := NewShardedMatrix(cm, 4)
+	defer sm.Close()
+	queries := randQueries(16, 10000, 405)
+	want := make([][]int, len(queries))
+	for i, q := range queries {
+		want[i] = make([]int, cm.Rows())
+		cm.DistancesInto(want[i], q)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got := make([]int, cm.Rows())
+			for iter := 0; iter < 20; iter++ {
+				qi := (g + iter) % len(queries)
+				sm.DistancesInto(got, queries[qi])
+				for r := range got {
+					if got[r] != want[qi][r] {
+						t.Errorf("goroutine %d query %d row %d: %d vs %d",
+							g, qi, r, got[r], want[qi][r])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestMemoryWithSharding(t *testing.T) {
+	cs, ls := randClasses(9, 1000, 77)
+	m := MustMemory(cs, ls)
+	sh := m.WithSharding(4)
+	defer sh.Sharding().Close()
+	if m.Sharding() != nil {
+		t.Fatal("base memory grew a sharded kernel")
+	}
+	if sh.Sharding() == nil {
+		t.Fatal("sharded view has no kernel")
+	}
+	queries := randQueries(7, 1000, 78)
+	for _, q := range queries {
+		wi, wd := m.Nearest(q)
+		gi, gd := sh.Nearest(q)
+		if wi != gi || wd != gd {
+			t.Fatalf("sharded view nearest (%d,%d), serial (%d,%d)", gi, gd, wi, wd)
+		}
+		want, got := m.Distances(q), sh.Distances(q)
+		for r := range want {
+			if want[r] != got[r] {
+				t.Fatalf("row %d: %d vs %d", r, got[r], want[r])
+			}
+		}
+	}
+}
+
+func TestSearchAllWorkersMatchesSequential(t *testing.T) {
+	cs, ls := randClasses(9, 2000, 80)
+	m := MustMemory(cs, ls)
+	rng := rand.New(rand.NewPCG(91, 91))
+	queries := make([]*hv.Vector, 37)
+	for i := range queries {
+		queries[i] = hv.FlipBits(m.Class(i%9), 300, rng)
+	}
+	s := exactSearcher{m}
+	seq := SearchAllWorkers(s, queries, 1)
+	for _, workers := range []int{2, 4, 100} {
+		par := SearchAllWorkers(s, queries, workers)
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Fatalf("workers=%d query %d: %v vs %v", workers, i, par[i], seq[i])
+			}
+		}
+	}
+	if got := SearchAllWorkers(s, nil, 4); len(got) != 0 {
+		t.Fatal("empty batch")
+	}
+}

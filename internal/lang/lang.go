@@ -274,26 +274,32 @@ func (r Report) String() string {
 }
 
 // Evaluate classifies every encoded query with the given searcher and
-// scores it against the true labels.
+// scores it against the true labels. Classification runs sequentially in
+// input order — the safe mode for searchers carrying non-forkable
+// randomness; deterministic or forkable searchers can use EvaluateParallel.
 func Evaluate(s core.Searcher, mem *core.Memory, ts *TestSet) Report {
+	return EvaluateParallel(s, mem, ts, 1)
+}
+
+// EvaluateParallel is Evaluate fanned out over the given worker count via
+// core.SearchAllWorkers (workers <= 1 runs sequentially, 0 is resolved to
+// GOMAXPROCS by SearchAll's rule at the call site). The sequential-fallback
+// rule of core.SearchAll applies: randomized searchers need to be forkable
+// for workers > 1; forked results follow the per-worker-stream determinism
+// contract.
+func EvaluateParallel(s core.Searcher, mem *core.Memory, ts *TestSet, workers int) Report {
 	if ts.Queries == nil {
 		panic("lang: Encode must run before Evaluate")
 	}
-	r := Report{Total: len(ts.Queries), Labels: mem.Labels()}
-	c := mem.Classes()
-	r.Confusion = make([][]int, c)
-	for i := range r.Confusion {
-		r.Confusion[i] = make([]int, c)
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	for i, q := range ts.Queries {
-		got := s.Search(q).Index
-		want := ts.Samples[i].Label
-		r.Confusion[want][got]++
-		if got == want {
-			r.Correct++
-		}
+	results := core.SearchAllWorkers(s, ts.Queries, workers)
+	winners := make([]int, len(results))
+	for i, res := range results {
+		winners[i] = res.Index
 	}
-	return r
+	return EvaluateWinners(winners, mem, ts)
 }
 
 // EvaluateWinners scores a precomputed winner per sample (used by the

@@ -217,3 +217,32 @@ func TestMacroAccuracyAndRecall(t *testing.T) {
 		t.Fatal("per-class recall zero handling broken")
 	}
 }
+
+func TestEvaluateParallelMatchesSequential(t *testing.T) {
+	langs := textgen.Catalog(textgen.DefaultConfig())[:4]
+	p := smallParams()
+	p.TrainChars = 5000
+	tr, err := Train(langs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := MakeTestSet(langs, p)
+	ts.Encode(tr)
+	s := assoc.NewExact(tr.Memory)
+	want := Evaluate(s, tr.Memory, ts)
+	for _, workers := range []int{2, 4, 0} {
+		got := EvaluateParallel(s, tr.Memory, ts, workers)
+		if got.Correct != want.Correct || got.Total != want.Total {
+			t.Fatalf("workers=%d: %d/%d correct, sequential %d/%d",
+				workers, got.Correct, got.Total, want.Correct, want.Total)
+		}
+		for i := range want.Confusion {
+			for j := range want.Confusion[i] {
+				if got.Confusion[i][j] != want.Confusion[i][j] {
+					t.Fatalf("workers=%d: confusion[%d][%d] = %d, want %d",
+						workers, i, j, got.Confusion[i][j], want.Confusion[i][j])
+				}
+			}
+		}
+	}
+}

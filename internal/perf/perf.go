@@ -7,8 +7,11 @@ package perf
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"math/rand/v2"
+	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -32,16 +35,18 @@ type Result struct {
 }
 
 // Report is a full kernel-suite run plus enough machine context to compare
-// trajectories across commits honestly.
+// trajectories across commits honestly. Serve holds the closed-loop load
+// harness measurements when the run included them.
 type Report struct {
-	Timestamp string   `json:"timestamp"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	NumCPU    int      `json:"num_cpu"`
-	Dim       int      `json:"dim"`
-	Classes   int      `json:"classes"`
-	Results   []Result `json:"results"`
+	Timestamp string        `json:"timestamp"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Dim       int           `json:"dim"`
+	Classes   int           `json:"classes"`
+	Results   []Result      `json:"results"`
+	Serve     []ServeResult `json:"serve,omitempty"`
 }
 
 // WriteJSON serializes the report, indented for diff-friendly check-in.
@@ -49,6 +54,56 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// Trajectory is the checked-in benchmark history (BENCH.json): one entry per
+// recorded run, oldest first, so regressions are visible as diffs instead of
+// overwrites.
+type Trajectory struct {
+	Entries []*Report `json:"entries"`
+}
+
+// LoadTrajectory reads a trajectory file. A file in the legacy single-Report
+// format (the seed's BENCH.json) is migrated to a one-entry trajectory; a
+// missing file yields an empty trajectory.
+func LoadTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &Trajectory{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var tr Trajectory
+	if err := json.Unmarshal(data, &tr); err == nil && len(tr.Entries) > 0 {
+		return &tr, nil
+	}
+	var legacy Report
+	if err := json.Unmarshal(data, &legacy); err == nil && len(legacy.Results) > 0 {
+		return &Trajectory{Entries: []*Report{&legacy}}, nil
+	}
+	return nil, fmt.Errorf("perf: %s is neither a trajectory nor a report", path)
+}
+
+// AppendReport appends rep to the trajectory at path (creating or migrating
+// the file as needed) and writes it back indented.
+func AppendReport(path string, rep *Report) error {
+	tr, err := LoadTrajectory(path)
+	if err != nil {
+		return err
+	}
+	tr.Entries = append(tr.Entries, rep)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // resultOf converts a testing.BenchmarkResult.
@@ -81,6 +136,29 @@ type fixtures struct {
 	vecs     []*hv.Vector
 	mem      *core.Memory
 	queries  []*hv.Vector
+}
+
+// benchEncoderFactory returns the encoder factory the serve harness hands
+// the engine: fresh scratch over the deterministic benchmark item memory.
+func benchEncoderFactory() func() *encoder.Encoder {
+	return func() *encoder.Encoder {
+		im := itemmem.New(benchDim, benchSeed)
+		im.Preload(itemmem.LatinAlphabet)
+		return encoder.New(im, 3)
+	}
+}
+
+// benchTexts generates n request texts from the benchmark language models.
+func benchTexts(f *fixtures, n int) []string {
+	cfg := textgen.DefaultConfig()
+	cfg.Seed = benchSeed
+	langs := textgen.Catalog(cfg)
+	rng := rand.New(rand.NewPCG(benchSeed, 0x5e12e))
+	texts := make([]string, n)
+	for i := range texts {
+		texts[i] = langs[i%len(langs)].GenerateSentence(150, rng)
+	}
+	return texts
 }
 
 func buildFixtures() *fixtures {

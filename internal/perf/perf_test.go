@@ -1,0 +1,62 @@
+package perf
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTrajectoryMigrationAndAppend(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH.json")
+
+	// Missing file: an empty trajectory, not an error.
+	tr, err := LoadTrajectory(path)
+	if err != nil || len(tr.Entries) != 0 {
+		t.Fatalf("missing file: got %v entries, err %v", tr, err)
+	}
+
+	// A legacy single-Report file (the seed's format) migrates in place.
+	legacy := &Report{GoVersion: "go1.x", NumCPU: 1, Results: []Result{{Name: "k", NsPerOp: 1}}}
+	data, _ := json.Marshal(legacy)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err = LoadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != 1 || tr.Entries[0].Results[0].Name != "k" {
+		t.Fatalf("legacy migration: got %+v", tr)
+	}
+
+	// Appending keeps the seed baseline and adds the new entry after it.
+	rep := &Report{GoVersion: "go1.y", NumCPU: 1,
+		Results: []Result{{Name: "k", NsPerOp: 2}},
+		Serve:   []ServeResult{{Name: "serve/serial-loop", QPS: 100}}}
+	if err := AppendReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	tr, err = LoadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != 2 {
+		t.Fatalf("after append: %d entries, want 2", len(tr.Entries))
+	}
+	if tr.Entries[0].GoVersion != "go1.x" || tr.Entries[1].GoVersion != "go1.y" {
+		t.Fatalf("entries out of order: %q then %q", tr.Entries[0].GoVersion, tr.Entries[1].GoVersion)
+	}
+	if len(tr.Entries[1].Serve) != 1 || tr.Entries[1].Serve[0].QPS != 100 {
+		t.Fatalf("serve section lost in round-trip: %+v", tr.Entries[1].Serve)
+	}
+
+	// Garbage is an error, not a silent reset of the history.
+	if err := os.WriteFile(path, []byte(`{"nope": true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrajectory(path); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+}

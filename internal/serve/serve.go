@@ -1,0 +1,358 @@
+// Package serve implements a concurrent throughput engine over a trained
+// hyperdimensional associative memory: the software analogue of streaming
+// batched queries through the paper's HAM hardware. Callers submit raw text
+// asynchronously; the engine coalesces requests into micro-batches under a
+// max-batch/max-delay policy and runs a pipelined encode→search flow across
+// a worker pool, amortizing per-query overhead (encoder scratch, distance
+// buffers, searcher forks) across the batch.
+//
+// The engine never changes what is computed — encoding and search are
+// bit-identical to a serial loop over the same requests with the same seed —
+// it only changes when and where the work runs. Randomized searchers follow
+// the sequential-fallback rule inherited from core.SearchAll: a searcher
+// carrying per-search randomness is safe with Workers > 1 only when it
+// implements core.ForkableSearcher (each worker then owns an independently
+// seeded PCG stream); otherwise configure Workers = 1.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdam/internal/core"
+	"hdam/internal/encoder"
+	"hdam/internal/hv"
+)
+
+// ErrClosed is returned by Submit and Go after Close.
+var ErrClosed = errors.New("serve: engine closed")
+
+// ErrNoNGrams is returned for texts too short to form a single n-gram
+// after normalization (nothing to classify).
+var ErrNoNGrams = errors.New("serve: text has no n-grams")
+
+// Config tunes the micro-batching policy and the worker pool.
+type Config struct {
+	// MaxBatch is the most requests one micro-batch may carry; a full batch
+	// dispatches immediately (default 32).
+	MaxBatch int
+	// MaxDelay is how long a non-full batch may wait for company after its
+	// first request arrives (default 200µs). Lower trades throughput for
+	// latency. The batcher is work-conserving: a batch also dispatches
+	// before the delay expires whenever the queue is empty and a worker
+	// sits idle, so an unloaded engine adds no artificial latency.
+	MaxDelay time.Duration
+	// Workers is the number of encode→search workers (default GOMAXPROCS).
+	// Use 1 for non-forkable randomized searchers (see package comment).
+	Workers int
+	// Queue is the pending-request capacity before Submit blocks
+	// (default 4×MaxBatch).
+	Queue int
+	// Seed drives encoder majority tie-breaks for every request, so engine
+	// results are bit-identical to a serial loop encoding with the same
+	// seed (default 2017).
+	Seed uint64
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 200 * time.Microsecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.MaxBatch
+	}
+	if c.Seed == 0 {
+		c.Seed = 2017
+	}
+	return c
+}
+
+// Response is the engine's answer to one submitted text.
+type Response struct {
+	// Result is the winning class exactly as the searcher reported it.
+	Result core.Result
+	// Label is the winning class label.
+	Label string
+	// NGrams is how many n-grams the text encoded to.
+	NGrams int
+	// Err is non-nil when the request was not classified (cancellation,
+	// empty text).
+	Err error
+}
+
+// request is one in-flight submission.
+type request struct {
+	ctx  context.Context
+	text string
+	done chan Response // buffered(1): workers never block on delivery
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	Submitted uint64 // requests accepted by Submit/Go
+	Completed uint64 // requests answered with a classification
+	Canceled  uint64 // requests dropped because their context ended first
+	Empty     uint64 // requests rejected with ErrNoNGrams
+	Batches   uint64 // micro-batches dispatched
+	Batched   uint64 // requests carried by those batches
+}
+
+// AvgBatch returns the mean micro-batch size so far.
+func (s Stats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Batched) / float64(s.Batches)
+}
+
+// Engine is the micro-batching query engine. Construct with New; Close
+// drains pending requests and stops the pool.
+type Engine struct {
+	cfg    Config
+	mem    *core.Memory
+	base   core.Searcher
+	newEnc func() *encoder.Encoder
+
+	encoders sync.Pool // *encoder.Encoder scratch, shared by the workers
+
+	requests chan *request
+	batches  chan []*request
+	wg       sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed vs. sends on requests
+	closed bool
+
+	submitted, completed, canceled, empty atomic.Uint64
+	nbatches, batched                     atomic.Uint64
+	idle                                  atomic.Int64 // workers parked on the batches channel
+}
+
+// New builds an engine classifying with s over mem, encoding text with
+// encoders produced by newEncoder (one call per pooled scratch instance;
+// instances must agree bit-for-bit, which deterministic item memories
+// guarantee). The worker pool starts immediately.
+func New(mem *core.Memory, s core.Searcher, newEncoder func() *encoder.Encoder, cfg Config) (*Engine, error) {
+	if mem == nil || s == nil || newEncoder == nil {
+		return nil, errors.New("serve: nil memory, searcher or encoder factory")
+	}
+	cfg = cfg.withDefaults()
+	probe := newEncoder()
+	if probe == nil || probe.Dim() != mem.Dim() {
+		return nil, fmt.Errorf("serve: encoder factory dim mismatch with memory dim %d", mem.Dim())
+	}
+	e := &Engine{
+		cfg:      cfg,
+		mem:      mem,
+		base:     s,
+		newEnc:   newEncoder,
+		requests: make(chan *request, cfg.Queue),
+		batches:  make(chan []*request, cfg.Workers),
+	}
+	e.encoders.New = func() any { return e.newEnc() }
+	e.encoders.Put(probe)
+	e.wg.Add(1 + cfg.Workers)
+	go e.batcher()
+	for w := 0; w < cfg.Workers; w++ {
+		go e.worker(w)
+	}
+	return e, nil
+}
+
+// Config returns the resolved configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Go enqueues one text for classification and returns the channel its
+// Response will arrive on (buffered; the engine never blocks on it). The
+// request is dropped with ctx.Err() if ctx ends before a worker reaches it.
+func (e *Engine) Go(ctx context.Context, text string) (<-chan Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := &request{ctx: ctx, text: text, done: make(chan Response, 1)}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case e.requests <- r:
+		e.mu.RUnlock()
+		e.submitted.Add(1)
+		return r.done, nil
+	case <-ctx.Done():
+		e.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Submit enqueues one text and waits for its classification, honoring ctx:
+// a context that ends first returns ctx.Err() immediately (the in-flight
+// work is discarded into the response's buffer, leaking nothing).
+func (e *Engine) Submit(ctx context.Context, text string) (Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done, err := e.Go(ctx, text)
+	if err != nil {
+		return Response{}, err
+	}
+	select {
+	case resp := <-done:
+		return resp, resp.Err
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+}
+
+// Close stops accepting requests, drains everything already queued and
+// waits for the pool to exit. It is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	already := e.closed
+	e.closed = true
+	if !already {
+		close(e.requests)
+	}
+	e.mu.Unlock()
+	if !already {
+		e.wg.Wait()
+	}
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Submitted: e.submitted.Load(),
+		Completed: e.completed.Load(),
+		Canceled:  e.canceled.Load(),
+		Empty:     e.empty.Load(),
+		Batches:   e.nbatches.Load(),
+		Batched:   e.batched.Load(),
+	}
+}
+
+// batcher coalesces requests into micro-batches: a batch dispatches when it
+// reaches MaxBatch or when MaxDelay has passed since its first request.
+func (e *Engine) batcher() {
+	defer e.wg.Done()
+	defer close(e.batches)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var batch []*request
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		e.nbatches.Add(1)
+		e.batched.Add(uint64(len(batch)))
+		e.batches <- batch
+		batch = nil
+	}
+	// ready reports whether the open batch should dispatch now: it is full,
+	// or holding it would waste capacity (nothing else queued and a worker
+	// parked). The idle count may be momentarily stale; the failure modes
+	// are a slightly smaller batch or one extra MaxDelay of wait — both
+	// benign.
+	ready := func() bool {
+		return len(batch) >= e.cfg.MaxBatch || (len(e.requests) == 0 && e.idle.Load() > 0)
+	}
+	for {
+		if len(batch) == 0 {
+			// Idle: block for the batch opener.
+			r, ok := <-e.requests
+			if !ok {
+				return
+			}
+			batch = append(batch, r)
+			if ready() {
+				flush()
+				continue
+			}
+			timer.Reset(e.cfg.MaxDelay)
+			continue
+		}
+		select {
+		case r, ok := <-e.requests:
+			if !ok {
+				if !timer.Stop() {
+					<-timer.C
+				}
+				flush()
+				return
+			}
+			batch = append(batch, r)
+			if ready() {
+				if !timer.Stop() {
+					<-timer.C
+				}
+				flush()
+			}
+		case <-timer.C:
+			flush()
+		}
+	}
+}
+
+// searchFunc routes through SearchBuf with a worker-local distance buffer
+// when the searcher supports it (mirrors core.SearchAll's worker setup).
+func searchFunc(s core.Searcher) func(*hv.Vector) core.Result {
+	if bs, ok := s.(core.BufferedSearcher); ok {
+		var buf []int
+		return func(q *hv.Vector) core.Result { return bs.SearchBuf(q, &buf) }
+	}
+	return s.Search
+}
+
+// worker drains micro-batches through the pipelined encode→search flow.
+// Worker w forks the searcher when it is forkable, preserving the per-worker
+// PCG stream contract of core.SearchAllWorkers.
+func (e *Engine) worker(w int) {
+	defer e.wg.Done()
+	s := e.base
+	if f, ok := s.(core.ForkableSearcher); ok {
+		if fs := f.Fork(w); fs != nil {
+			s = fs
+		}
+	}
+	search := searchFunc(s)
+	for {
+		e.idle.Add(1)
+		batch, ok := <-e.batches
+		e.idle.Add(-1)
+		if !ok {
+			return
+		}
+		enc := e.encoders.Get().(*encoder.Encoder)
+		for _, r := range batch {
+			if err := r.ctx.Err(); err != nil {
+				e.canceled.Add(1)
+				r.done <- Response{Err: err}
+				continue
+			}
+			q, n := enc.EncodeText(r.text, e.cfg.Seed)
+			if n == 0 {
+				e.empty.Add(1)
+				r.done <- Response{NGrams: 0, Err: ErrNoNGrams}
+				continue
+			}
+			res := search(q)
+			e.completed.Add(1)
+			r.done <- Response{Result: res, Label: e.mem.Label(res.Index), NGrams: n}
+		}
+		e.encoders.Put(enc)
+	}
+}
