@@ -35,9 +35,11 @@ bench-kernels:
 
 # Everything CI runs, in order: static checks, build, race-enabled tests, a
 # full (non-short) race pass over the concurrency-heavy packages (sharded
-# kernels, serve engine, robustness stack), a kernel benchmark smoke pass,
-# and a serve-path benchmark smoke so the engine can't silently rot.
+# kernels, serve engine, robustness stack), a short chaos smoke driving the
+# supervisor/hedging paths under seeded faults, a kernel benchmark smoke
+# pass, and a serve-path benchmark smoke so the engine can't silently rot.
 ci: vet build race
 	$(GO) test -race ./internal/core ./internal/serve ./internal/assoc ./internal/fault ./internal/experiments
+	$(GO) test -race -short -run 'Chaos' ./internal/serve ./internal/perf
 	$(GO) test -run xxx -bench 'Encode|Distance|Accumulate' -benchtime 10x -benchmem ./...
 	$(GO) test -run xxx -bench Serve -benchtime 1x ./internal/serve

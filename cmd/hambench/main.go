@@ -55,6 +55,8 @@ func main() {
 	jsonOut := flag.String("json", "", "run the kernel benchmark suite and append its JSON report to this trajectory file")
 	serveLoad := flag.Bool("serve", false, "also run the closed-loop serve load harness")
 	serveRequests := flag.Int("serve-requests", 2048, "requests per serve load point")
+	chaos := flag.Bool("chaos", false, "run the chaos soak: serve engine under injected worker panics, latency spikes and a slow shard")
+	chaosRequests := flag.Int("chaos-requests", 2048, "requests for the chaos soak")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
@@ -64,6 +66,12 @@ func main() {
 		}
 		return
 	}
+	if *chaos {
+		if err := runChaosSoak(*chaosRequests, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *jsonOut != "" || *serveLoad {
 		if err := runBenchSuite(*jsonOut, *serveLoad, *serveRequests); err != nil {
 			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
@@ -72,7 +80,7 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		if *jsonOut != "" || *serveLoad {
+		if *jsonOut != "" || *serveLoad || *chaos {
 			return
 		}
 		fmt.Fprintln(os.Stderr, "usage: hambench [flags] <experiment>... | all   (-list for ids)")
@@ -164,6 +172,36 @@ func runBenchSuite(path string, serveLoad bool, serveRequests int) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "[suite finished in %s → appended to %s]\n", time.Since(start).Round(time.Millisecond), path)
+	return nil
+}
+
+// runChaosSoak drives the serve engine under the seeded chaos protocol of
+// EXPERIMENTS §18 and enforces its acceptance criteria: every request
+// answered, non-faulted answers bit-identical to the serial loop, workers
+// restarted after injected panics, bounded p99, zero goroutine leaks.
+func runChaosSoak(requests int, seed uint64) error {
+	fmt.Fprintln(os.Stderr, "[running chaos soak]")
+	cfg := perf.DefaultChaosConfig()
+	cfg.Requests = requests
+	cfg.Seed = seed
+	start := time.Now()
+	r, err := perf.RunChaos(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "  %-24s %d requests: %d classified, %d faulted (typed errors), %d mismatches\n",
+		r.Name, r.Requests, r.Classified, r.Faulted, r.Mismatches)
+	fmt.Fprintf(os.Stderr, "  supervision: %d panics, %d restarts; hedging: %d re-issues, %d wins; %d shed\n",
+		r.Panics, r.Restarts, r.Hedged, r.HedgeWins, r.Shed)
+	fmt.Fprintf(os.Stderr, "  %9.0f qps  p50 %8.1fµs  p99 %8.1fµs  leaked goroutines %d\n",
+		r.QPS, r.P50Us, r.P99Us, r.Leaked)
+	if v := r.Violations(cfg); len(v) > 0 {
+		for _, line := range v {
+			fmt.Fprintf(os.Stderr, "  VIOLATED: %s\n", line)
+		}
+		return fmt.Errorf("chaos soak violated %d acceptance criteria", len(v))
+	}
+	fmt.Fprintf(os.Stderr, "[chaos soak passed in %s]\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -21,10 +21,13 @@
 //	             margin over the runner-up is below N
 //	-workers N   serve stdin through the micro-batching engine with N
 //	             encode→search workers (0 = GOMAXPROCS, 1 = serial; designs
-//	             with non-forkable randomness — rham, aham — are forced to 1)
-//	-batch N     micro-batch size for the serving engine (default 32)
+//	             with non-forkable randomness — rham, aham — are forced to 1;
+//	             negative is rejected)
+//	-batch N     micro-batch size for the serving engine (default 32; must be
+//	             at least 1)
 //	-shards N    word-range shards for the parallel distance kernel
-//	             (0 = serial kernel, <0 = GOMAXPROCS)
+//	             (0 = serial kernel, -1 = GOMAXPROCS; other negatives are
+//	             rejected)
 package main
 
 import (
@@ -52,13 +55,29 @@ func main() {
 	chain := flag.String("chain", "aham,rham,dham,exact", "comma-separated escalation chain for -resilient")
 	margin := flag.Int("margin", 32, "confidence threshold (Hamming-distance margin) for -resilient")
 	workers := flag.Int("workers", 1, "micro-batching engine workers (0 = GOMAXPROCS, 1 = serial loop)")
-	batch := flag.Int("batch", 32, "micro-batch size for the serving engine")
-	shards := flag.Int("shards", 0, "word-range shards for the distance kernel (0 = serial, <0 = GOMAXPROCS)")
+	batch := flag.Int("batch", 32, "micro-batch size for the serving engine (>= 1)")
+	shards := flag.Int("shards", 0, "word-range shards for the distance kernel (0 = serial, -1 = GOMAXPROCS)")
 	flag.Parse()
 
-	// Validate the hardware selection before spending minutes on training.
+	// Validate the hardware selection and engine shape before spending
+	// minutes on training.
 	if !knownDesign(*design) {
 		fmt.Fprintf(os.Stderr, "langid: unknown design %q (want exact, dham, rham or aham)\n\n", *design)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "langid: negative -workers %d (0 = GOMAXPROCS, 1 = serial)\n\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *batch < 1 {
+		fmt.Fprintf(os.Stderr, "langid: -batch %d below 1 (a micro-batch carries at least one request)\n\n", *batch)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *shards < -1 {
+		fmt.Fprintf(os.Stderr, "langid: -shards %d (0 = serial kernel, -1 = GOMAXPROCS, positive = shard count)\n\n", *shards)
 		flag.Usage()
 		os.Exit(2)
 	}

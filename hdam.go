@@ -298,14 +298,42 @@ type ServeResponse = serve.Response
 type ServeStats = serve.Stats
 
 // Engine is the micro-batching throughput engine: asynchronous Submit,
-// max-batch/max-delay coalescing, pipelined encode→search workers.
+// max-batch/max-delay coalescing, pipelined encode→search workers,
+// admission control under a ServePolicy, supervised workers (a panic fails
+// only its own request and the worker restarts with fresh state), optional
+// hedged dispatch for stragglers, and deadline-bounded graceful Drain.
 type Engine = serve.Engine
+
+// ServePolicy selects the engine's admission-control behavior when its
+// pending queue is full: ServeBlock applies backpressure, ServeReject fails
+// fast with ErrEngineOverloaded, ServeShedOldest drops the stalest queued
+// request to admit the newest.
+type ServePolicy = serve.Policy
+
+// Admission policies for ServeConfig.Policy.
+const (
+	ServeBlock      = serve.Block
+	ServeReject     = serve.Reject
+	ServeShedOldest = serve.ShedOldest
+)
 
 // ErrEngineClosed is returned by Engine.Submit after Close.
 var ErrEngineClosed = serve.ErrClosed
 
 // ErrNoNGrams is returned for texts too short to form a single n-gram.
 var ErrNoNGrams = serve.ErrNoNGrams
+
+// ErrEngineOverloaded is returned when admission control turns a request
+// away (Reject policy, or as the answer of a request shed by ShedOldest).
+var ErrEngineOverloaded = serve.ErrOverloaded
+
+// ErrWorkerPanic marks a response whose encode or search panicked; the
+// worker recovered and was restarted with fresh state.
+var ErrWorkerPanic = serve.ErrWorkerPanic
+
+// ErrEngineDrained marks a response abandoned by Engine.Drain after its
+// deadline.
+var ErrEngineDrained = serve.ErrDrained
 
 // NewEngine builds a micro-batching engine serving the trained language
 // pipeline with the given searcher. Each pooled encoder scratch instance is

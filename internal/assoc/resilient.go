@@ -92,10 +92,10 @@ type Resilient struct {
 
 // stageState is the mutable health record of one stage.
 type stageState struct {
-	errEWMA float64 // misread estimate vs. the chain's final answers
-	latEWMA float64 // per-search latency estimate, seconds
-	open    bool    // circuit breaker state
-	openedAt uint64 // search count when the breaker (re)opened
+	errEWMA  float64 // misread estimate vs. the chain's final answers
+	latEWMA  float64 // per-search latency estimate, seconds
+	open     bool    // circuit breaker state
+	openedAt uint64  // search count when the breaker (re)opened
 
 	answered  uint64 // searches this stage produced a result for
 	accepted  uint64 // searches this stage answered confidently
@@ -104,6 +104,7 @@ type stageState struct {
 	overruns  uint64 // searches exceeding the stage budget
 	opens     uint64 // breaker open transitions
 	degraded  uint64 // deadline-forced answers (stage 0 only)
+	panics    uint64 // recovered stage panics (isolated, then escalated)
 }
 
 // NewResilient builds the pipeline over an escalation chain, ordered
@@ -147,6 +148,19 @@ func stageMargin(s core.Searcher, q *hv.Vector, buf *[]int) (core.Result, int) {
 	}
 	// No confidence signal: trust unconditionally (ends the chain).
 	return s.Search(q), math.MaxInt
+}
+
+// stageSafe is stageMargin with failure isolation: a panicking stage is
+// reported as an error instead of unwinding the whole search, so the chain
+// can treat it like any other unhealthy backend and escalate past it.
+func stageSafe(s core.Searcher, q *hv.Vector, buf *[]int) (res core.Result, margin int, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("assoc: stage %s panicked: %v", s.Name(), v)
+		}
+	}()
+	res, margin = stageMargin(s, q, buf)
+	return res, margin, nil
 }
 
 // SearchContext answers one query under the caller's deadline, escalating
@@ -204,9 +218,20 @@ func (r *Resilient) SearchContext(ctx context.Context, q *hv.Vector) core.Result
 		}
 
 		start := time.Now()
-		res, margin := stageMargin(st.Searcher, q, bufp)
+		res, margin, perr := stageSafe(st.Searcher, q, bufp)
 		elapsed := time.Since(start)
 		overrun := budget > 0 && elapsed > budget
+
+		if perr != nil {
+			// A panicking stage is a maximally unhealthy one: charge a full
+			// misread (driving its breaker open under persistent panics) and
+			// escalate to the next stage as if it had answered ambiguously.
+			r.mu.Lock()
+			s.panics++
+			r.score(i, 1, now)
+			r.mu.Unlock()
+			continue
+		}
 
 		r.mu.Lock()
 		s.latEWMA += r.cfg.EWMAAlpha * (elapsed.Seconds() - s.latEWMA)
@@ -227,10 +252,19 @@ func (r *Resilient) SearchContext(ctx context.Context, q *hv.Vector) core.Result
 
 	var final core.Result
 	if len(attempts) == 0 {
-		// Every stage was skipped (open breakers, expired deadline):
-		// a resilient memory still answers — degrade to the cheapest
-		// stage unconditionally.
-		final, _ = stageMargin(r.stages[0].Searcher, q, bufp)
+		// Every stage was skipped (open breakers, expired deadline) or
+		// panicked: a resilient memory still answers — degrade to the
+		// cheapest stage unconditionally. Only when even that degraded
+		// attempt panics is there nothing left to answer with, and the
+		// panic propagates (annotated) for the caller's supervisor.
+		var err error
+		final, _, err = stageSafe(r.stages[0].Searcher, q, bufp)
+		if err != nil {
+			r.mu.Lock()
+			r.st[0].panics++
+			r.mu.Unlock()
+			panic(fmt.Sprintf("assoc: resilient chain exhausted, degraded stage failed too: %v", err))
+		}
 		r.mu.Lock()
 		r.st[0].answered++
 		r.st[0].degraded++
@@ -306,6 +340,7 @@ type StageStats struct {
 	Skipped     uint64 // searches bypassed (breaker open / deadline)
 	Overruns    uint64 // searches exceeding the stage budget
 	Degraded    uint64 // deadline-forced fallback answers
+	Panics      uint64 // recovered stage panics (isolated, then escalated)
 	BreakerOpen bool
 	Opens       uint64  // breaker open transitions
 	ErrEWMA     float64 // current misread estimate
@@ -327,6 +362,7 @@ func (r *Resilient) Stats() []StageStats {
 			Skipped:     s.skipped,
 			Overruns:    s.overruns,
 			Degraded:    s.degraded,
+			Panics:      s.panics,
 			BreakerOpen: s.open,
 			Opens:       s.opens,
 			ErrEWMA:     s.errEWMA,

@@ -49,7 +49,7 @@ func (f *fakeStage) set(res core.Result, margin int) {
 // plainStage has no margin signal: the pipeline must trust it outright.
 type plainStage struct{ res core.Result }
 
-func (p *plainStage) Name() string                  { return "plain" }
+func (p *plainStage) Name() string                    { return "plain" }
 func (p *plainStage) Search(q *hv.Vector) core.Result { return p.res }
 
 func TestNewResilientValidates(t *testing.T) {
@@ -318,5 +318,57 @@ func TestSearchBatchEscalatesPerQuery(t *testing.T) {
 	}
 	if got := s1.calls.Load(); got != int64(len(queries)) {
 		t.Fatalf("sure stage called %d times, want %d", got, len(queries))
+	}
+}
+
+// panicStage panics on every search: the poisoned-rung case.
+type panicStage struct{ calls atomic.Int64 }
+
+func (p *panicStage) Name() string { return "panicky" }
+func (p *panicStage) Search(q *hv.Vector) core.Result {
+	p.calls.Add(1)
+	panic("poisoned stage")
+}
+
+// TestResilientStagePanicEscalates: a panicking stage is isolated — scored
+// as a full misread and escalated past — so the chain still answers, and
+// the panic is counted in the stage's stats.
+func TestResilientStagePanicEscalates(t *testing.T) {
+	bad := &panicStage{}
+	good := &fakeStage{name: "good", res: core.Result{Index: 5, Distance: 8}, margin: 60}
+	r, err := NewResilient([]Stage{{Searcher: bad}, {Searcher: good}}, ResilientConfig{MinMargin: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := hv.New(64)
+	for i := 0; i < 4; i++ {
+		if got := r.Search(q); got.Index != 5 {
+			t.Fatalf("search %d: winner %d, want healthy stage's 5", i, got.Index)
+		}
+	}
+	st := r.Stats()
+	if st[0].Panics != 4 {
+		t.Fatalf("stage 0 stats %+v, want 4 recovered panics", st[0])
+	}
+	if st[1].Accepted != 4 {
+		t.Fatalf("stage 1 stats %+v, want 4 accepted", st[1])
+	}
+}
+
+// TestResilientAllStagesPanic: when even the degraded fallback panics the
+// chain re-raises — an engine-level supervisor's problem, not a silent
+// wrong answer.
+func TestResilientAllStagesPanic(t *testing.T) {
+	r, err := NewResilient([]Stage{{Searcher: &panicStage{}}}, ResilientConfig{MinMargin: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := func() (v any) {
+		defer func() { v = recover() }()
+		r.Search(hv.New(64))
+		return nil
+	}()
+	if recovered == nil {
+		t.Fatal("exhausted panicking chain returned instead of panicking")
 	}
 }

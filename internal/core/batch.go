@@ -101,6 +101,12 @@ func SearchAll(s Searcher, queries []*hv.Vector, parallel bool) []Result {
 // order (the safe mode for non-forkable randomized searchers). The
 // ForkableSearcher determinism contract applies: results depend on the
 // worker count but not on scheduling.
+//
+// Failure isolation: a panic inside a searcher is re-raised on the calling
+// goroutine (annotated with the worker and query index) after every worker
+// has finished, instead of killing the process from an anonymous goroutine
+// no caller can recover from. Sequential and parallel batches therefore
+// fail the same way — with a panic the caller may recover.
 func SearchAllWorkers(s Searcher, queries []*hv.Vector, workers int) []Result {
 	out := make([]Result, len(queries))
 	if workers > len(queries) {
@@ -114,6 +120,8 @@ func SearchAllWorkers(s Searcher, queries []*hv.Vector, workers int) []Result {
 		return out
 	}
 	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicked any // first worker panic, re-raised on the caller
 	chunk := (len(queries) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
@@ -126,6 +134,16 @@ func SearchAllWorkers(s Searcher, queries []*hv.Vector, workers int) []Result {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			i := lo
+			defer func() {
+				if v := recover(); v != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = fmt.Sprintf("core: batch worker %d (query %d): %v", w, i, v)
+					}
+					panicMu.Unlock()
+				}
+			}()
 			ws := s
 			if f, ok := s.(ForkableSearcher); ok {
 				if fs := f.Fork(w); fs != nil {
@@ -133,12 +151,15 @@ func SearchAllWorkers(s Searcher, queries []*hv.Vector, workers int) []Result {
 				}
 			}
 			search := searchFunc(ws)
-			for i := lo; i < hi; i++ {
+			for ; i < hi; i++ {
 				out[i] = search(queries[i])
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand/v2"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"hdam/internal/hv"
@@ -163,5 +164,50 @@ func TestReadMemoryRejectsCorrupt(t *testing.T) {
 	bad[4], bad[5], bad[6], bad[7] = 0xff, 0xff, 0xff, 0x7f
 	if _, err := ReadMemory(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "implausible") {
 		t.Errorf("implausible dimension accepted: %v", err)
+	}
+}
+
+// panicSearcher panics on one specific query index (by call order).
+type panicSearcher struct {
+	exactSearcher
+	at int
+	n  atomic.Int64
+}
+
+func (p *panicSearcher) Search(q *hv.Vector) Result {
+	if int(p.n.Add(1)-1) == p.at {
+		panic("poisoned query")
+	}
+	return p.exactSearcher.Search(q)
+}
+
+// TestSearchAllWorkersPanicReachesCaller checks the failure-isolation
+// contract: a panic inside a parallel batch is re-raised on the calling
+// goroutine — annotated, recoverable — after every worker has finished,
+// instead of crashing the process from an anonymous goroutine.
+func TestSearchAllWorkersPanicReachesCaller(t *testing.T) {
+	cs, ls := randClasses(4, 2000, 83)
+	m := MustMemory(cs, ls)
+	rng := rand.New(rand.NewPCG(84, 84))
+	queries := make([]*hv.Vector, 16)
+	for i := range queries {
+		queries[i] = hv.FlipBits(m.Class(i%4), 100, rng)
+	}
+	s := &panicSearcher{exactSearcher: exactSearcher{m}, at: 5}
+	recovered := func() (v any) {
+		defer func() { v = recover() }()
+		SearchAllWorkers(s, queries, 4)
+		return nil
+	}()
+	if recovered == nil {
+		t.Fatal("worker panic did not reach the caller")
+	}
+	if msg, ok := recovered.(string); !ok || !strings.Contains(msg, "batch worker") {
+		t.Fatalf("panic value %v not annotated with the worker", recovered)
+	}
+	// The surviving workers completed their chunks despite the panic.
+	s2 := &panicSearcher{exactSearcher: exactSearcher{m}, at: -1}
+	if got := SearchAllWorkers(s2, queries, 4); len(got) != len(queries) {
+		t.Fatalf("clean batch returned %d results", len(got))
 	}
 }

@@ -1,0 +1,229 @@
+package fault
+
+// Engine-level chaos: where the injectors of injectors.go model the paper's
+// device physics (stuck cells, counter upsets, discharge misreads), the
+// chaos injectors model the serving pathologies of a production deployment —
+// latency spikes, poisoned queries that panic a worker, a slow shard
+// stalling its searches. They strike around a search instead of inside it,
+// so they compose with any Searcher (including one already wrapped by the
+// device-fault stack) and exercise the serve engine's overload protection,
+// supervision and hedging paths.
+//
+// Determinism contract: like Counter and Discharge, every chaos injector
+// draws from a fixed per-entity PCG stream keyed by (Seed, search sequence
+// number); which searches spike, stall or panic is a pure function of the
+// seed and the arrival order, so a chaos soak is bit-reproducible at a
+// fixed seed even though parallel workers interleave the faulted searches
+// nondeterministically.
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// Chaos stream salts (disjoint from the device-fault salts of injectors.go).
+const (
+	saltLatency = 0x6c_61_74_65 // "late" — latency-spike stream
+	saltPanic   = 0x70_61_6e_63 // "panc" — worker-panic stream
+)
+
+// seqRNG returns the deterministic stream for one (seed, salt, search).
+func seqRNG(seed uint64, salt int, search uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed^uint64(salt), search))
+}
+
+// ChaosInjector is one engine-level fault process: it perturbs the serving
+// pipeline around a search (sleeping, panicking) without changing what the
+// search computes when it completes.
+type ChaosInjector interface {
+	Injector
+	// BeforeSearch runs just before the wrapped searcher, with the global
+	// search sequence number; implementations may sleep (latency spikes,
+	// stalls) or panic (poisoned queries).
+	BeforeSearch(search uint64)
+}
+
+// ---- LatencySpike: straggling searches ----
+
+// LatencySpike models tail-latency pathology — GC pauses, page faults, a
+// contended core: each search independently stalls for Spike with
+// probability Rate. The spike schedule is a pure function of (Seed, search
+// sequence number).
+type LatencySpike struct {
+	// Rate is the per-search spike probability, in [0,1].
+	Rate float64
+	// Spike is how long a hit search stalls.
+	Spike time.Duration
+	// Seed fixes the spike schedule.
+	Seed uint64
+}
+
+// Name implements Injector.
+func (f *LatencySpike) Name() string {
+	return fmt.Sprintf("latency p=%g spike=%s", f.Rate, f.Spike)
+}
+
+// BeforeSearch implements ChaosInjector.
+func (f *LatencySpike) BeforeSearch(search uint64) {
+	if f.Rate <= 0 || f.Spike <= 0 {
+		return
+	}
+	if seqRNG(f.Seed, saltLatency, search).Float64() < f.Rate {
+		time.Sleep(f.Spike)
+	}
+}
+
+// ---- WorkerPanic: poisoned queries ----
+
+// WorkerPanic models a poisoned query — input that trips a bug in the
+// encode→search flow: each search panics with probability Rate. The panic
+// schedule is a pure function of (Seed, search sequence number), so a soak
+// can assert exactly which requests fail and that every other request's
+// answer is untouched.
+type WorkerPanic struct {
+	// Rate is the per-search panic probability, in [0,1].
+	Rate float64
+	// Seed fixes the panic schedule.
+	Seed uint64
+}
+
+// Name implements Injector.
+func (f *WorkerPanic) Name() string { return fmt.Sprintf("panic p=%g", f.Rate) }
+
+// BeforeSearch implements ChaosInjector.
+func (f *WorkerPanic) BeforeSearch(search uint64) {
+	if f.Rate <= 0 {
+		return
+	}
+	if seqRNG(f.Seed, saltPanic, search).Float64() < f.Rate {
+		panic(fmt.Sprintf("fault: injected worker panic (search %d)", search))
+	}
+}
+
+// Strikes reports whether the injector panics for the given search sequence
+// number — the soak harness uses it to predict which requests must fail.
+func (f *WorkerPanic) Strikes(search uint64) bool {
+	return f.Rate > 0 && seqRNG(f.Seed, saltPanic, search).Float64() < f.Rate
+}
+
+// ---- ShardStall: one consistently slow shard ----
+
+// ShardStall models a degraded shard — a slow disk, a throttled core, a
+// remote replica on a congested link: searches routed to the slow shard
+// (search sequence number mod Shards == Slow) stall for Delay. Unlike
+// LatencySpike's independent coin flips, the stall pattern is periodic and
+// concentrated, the regime hedged dispatch is designed to absorb.
+type ShardStall struct {
+	// Shards is the modeled shard count.
+	Shards int
+	// Slow is the degraded shard index, in [0,Shards).
+	Slow int
+	// Delay is how long a search on the slow shard stalls.
+	Delay time.Duration
+}
+
+// Name implements Injector.
+func (f *ShardStall) Name() string {
+	return fmt.Sprintf("shardstall %d/%d delay=%s", f.Slow, f.Shards, f.Delay)
+}
+
+// BeforeSearch implements ChaosInjector.
+func (f *ShardStall) BeforeSearch(search uint64) {
+	if f.Shards <= 0 || f.Delay <= 0 || f.Slow < 0 || f.Slow >= f.Shards {
+		return
+	}
+	if search%uint64(f.Shards) == uint64(f.Slow) {
+		time.Sleep(f.Delay)
+	}
+}
+
+// ---- Chaotic: the wrapper ----
+
+// Chaos wraps s with engine-level chaos injectors: every search first runs
+// the injectors (in order) with a globally increasing sequence number, then
+// delegates to s. Forks share the sequence counter, so the fault schedule
+// is global across a worker pool. Chaos never changes a completed search's
+// result — only its timing, or whether it completes at all.
+func Chaos(s core.Searcher, injs ...ChaosInjector) *Chaotic {
+	return &Chaotic{inner: s, injs: injs, seq: new(atomic.Uint64)}
+}
+
+// Chaotic is a searcher operating under injected engine-level chaos. It
+// forwards the BufferedSearcher and ForkableSearcher capabilities of the
+// inner searcher, so it slots into the serve engine like the raw design;
+// the usual sequential-fallback rule still applies to the inner searcher's
+// own randomness.
+type Chaotic struct {
+	inner core.Searcher
+	injs  []ChaosInjector
+	seq   *atomic.Uint64 // shared across forks: one global search clock
+}
+
+// Name implements core.Searcher.
+func (c *Chaotic) Name() string {
+	var sb strings.Builder
+	sb.WriteString(c.inner.Name())
+	for _, in := range c.injs {
+		sb.WriteString("+")
+		sb.WriteString(in.Name())
+	}
+	return sb.String()
+}
+
+// Seq returns how many searches have started under the wrapper (shared
+// across forks).
+func (c *Chaotic) Seq() uint64 { return c.seq.Load() }
+
+// before runs the injector chain for the next sequence number.
+func (c *Chaotic) before() {
+	n := c.seq.Add(1) - 1
+	for _, in := range c.injs {
+		in.BeforeSearch(n)
+	}
+}
+
+// Search implements core.Searcher.
+func (c *Chaotic) Search(q *hv.Vector) core.Result {
+	c.before()
+	return c.inner.Search(q)
+}
+
+// SearchBuf implements core.BufferedSearcher, falling back to Search when
+// the inner searcher has no buffered path.
+func (c *Chaotic) SearchBuf(q *hv.Vector, buf *[]int) core.Result {
+	c.before()
+	if bs, ok := c.inner.(core.BufferedSearcher); ok {
+		return bs.SearchBuf(q, buf)
+	}
+	return c.inner.Search(q)
+}
+
+// Fork implements core.ForkableSearcher: the fork wraps the inner
+// searcher's fork (or the shared inner, when it cannot fork — the chaos
+// layer itself is stateless beyond the shared sequence counter) and keeps
+// the global fault schedule.
+func (c *Chaotic) Fork(worker int) core.Searcher {
+	inner := c.inner
+	if f, ok := inner.(core.ForkableSearcher); ok {
+		if fs := f.Fork(worker); fs != nil {
+			inner = fs
+		}
+	}
+	return &Chaotic{inner: inner, injs: c.injs, seq: c.seq}
+}
+
+// Compile-time capability checks.
+var (
+	_ core.Searcher         = (*Chaotic)(nil)
+	_ core.BufferedSearcher = (*Chaotic)(nil)
+	_ core.ForkableSearcher = (*Chaotic)(nil)
+	_ ChaosInjector         = (*LatencySpike)(nil)
+	_ ChaosInjector         = (*WorkerPanic)(nil)
+	_ ChaosInjector         = (*ShardStall)(nil)
+)

@@ -1,0 +1,133 @@
+package fault
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"hdam/internal/assoc"
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// TestChaosScheduleDeterministic is the chaos determinism contract: at a
+// fixed seed, which searches panic is a pure function of the search
+// sequence number, reproducible across runs and predicted by Strikes.
+func TestChaosScheduleDeterministic(t *testing.T) {
+	const n = 512
+	wp := &WorkerPanic{Rate: 0.05, Seed: 7}
+	first := make([]bool, n)
+	hits := 0
+	for i := uint64(0); i < n; i++ {
+		first[i] = wp.Strikes(i)
+		if first[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == n {
+		t.Fatalf("degenerate panic schedule: %d of %d strike at rate 0.05", hits, n)
+	}
+	wp2 := &WorkerPanic{Rate: 0.05, Seed: 7}
+	for i := uint64(0); i < n; i++ {
+		if wp2.Strikes(i) != first[i] {
+			t.Fatalf("search %d: schedule not reproducible at fixed seed", i)
+		}
+	}
+	// A different seed yields a different schedule.
+	other := &WorkerPanic{Rate: 0.05, Seed: 8}
+	same := true
+	for i := uint64(0); i < n; i++ {
+		if other.Strikes(i) != first[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produce identical panic schedules")
+	}
+}
+
+// TestChaoticPanicsOnSchedule wraps an exact searcher and checks the panics
+// actually raised match the predicted schedule, and that non-faulted
+// searches return the inner searcher's exact result.
+func TestChaoticPanicsOnSchedule(t *testing.T) {
+	mem := testMemory(t, 8, 1)
+	wp := &WorkerPanic{Rate: 0.1, Seed: 3}
+	c := Chaos(assoc.NewExact(mem), wp)
+	rng := rand.New(rand.NewPCG(9, 0))
+	exact := assoc.NewExact(mem)
+	for i := uint64(0); i < 128; i++ {
+		q := hv.Random(testDim, rng)
+		want := exact.Search(q)
+		res, panicked := func() (res core.Result, panicked bool) {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			return c.Search(q), false
+		}()
+		if panicked != wp.Strikes(i) {
+			t.Fatalf("search %d: panicked=%v, Strikes=%v", i, panicked, wp.Strikes(i))
+		}
+		if !panicked && res != want {
+			t.Fatalf("search %d: chaos changed the result: %+v, want %+v", i, res, want)
+		}
+	}
+	if c.Seq() != 128 {
+		t.Fatalf("sequence clock at %d after 128 searches", c.Seq())
+	}
+}
+
+// TestChaoticForkSharesClock forks the wrapper and checks the forks draw
+// from one global sequence clock, so the fault schedule spans the pool.
+func TestChaoticForkSharesClock(t *testing.T) {
+	mem := testMemory(t, 4, 2)
+	c := Chaos(assoc.NewExact(mem), &LatencySpike{})
+	f, ok := c.Fork(1).(*Chaotic)
+	if !ok {
+		t.Fatal("fork is not Chaotic")
+	}
+	rng := rand.New(rand.NewPCG(5, 0))
+	q := hv.Random(testDim, rng)
+	c.Search(q)
+	f.Search(q)
+	c.Search(q)
+	if c.Seq() != 3 || f.Seq() != 3 {
+		t.Fatalf("forked clocks diverged: base %d, fork %d, want 3", c.Seq(), f.Seq())
+	}
+}
+
+// TestShardStallPeriod checks the stall hits exactly the searches routed to
+// the slow shard and sleeps roughly Delay on them.
+func TestShardStallPeriod(t *testing.T) {
+	mem := testMemory(t, 4, 3)
+	const delay = 20 * time.Millisecond
+	c := Chaos(assoc.NewExact(mem), &ShardStall{Shards: 4, Slow: 2, Delay: delay})
+	rng := rand.New(rand.NewPCG(6, 0))
+	q := hv.Random(testDim, rng)
+	for i := 0; i < 8; i++ {
+		start := time.Now()
+		c.Search(q)
+		stalled := time.Since(start) >= delay
+		if want := i%4 == 2; stalled != want {
+			t.Fatalf("search %d: stalled=%v, want %v", i, stalled, want)
+		}
+	}
+}
+
+// TestChaoticCapabilities checks the wrapper forwards the buffered path and
+// degrades gracefully around a non-forkable inner searcher.
+func TestChaoticCapabilities(t *testing.T) {
+	mem := testMemory(t, 4, 4)
+	c := Chaos(assoc.NewExact(mem), &LatencySpike{})
+	rng := rand.New(rand.NewPCG(8, 0))
+	q := hv.Random(testDim, rng)
+	var buf []int
+	if got, want := c.SearchBuf(q, &buf), assoc.NewExact(mem).Search(q); got != want {
+		t.Fatalf("buffered search diverged: %+v, want %+v", got, want)
+	}
+	if name := c.Name(); name == "" || name == assoc.NewExact(mem).Name() {
+		t.Fatalf("chaos wrapper name %q does not mention its injectors", name)
+	}
+}

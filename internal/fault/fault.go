@@ -171,7 +171,7 @@ func Wrap(s core.Searcher, injs ...Injector) (core.Searcher, error) {
 func MustWrap(s core.Searcher, injs ...Injector) core.Searcher {
 	w, err := Wrap(s, injs...)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("fault: MustWrap over %s: %v", s.Name(), err))
 	}
 	return w
 }

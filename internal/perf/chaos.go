@@ -1,0 +1,226 @@
+package perf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"hdam/internal/assoc"
+	"hdam/internal/fault"
+	"hdam/internal/serve"
+)
+
+// ChaosConfig tunes the chaos soak: a closed-loop load against the serve
+// engine while seeded engine-level faults (worker panics, latency spikes, a
+// slow shard) strike the search path. The fault schedule is a pure function
+// of Seed (see internal/fault's chaos determinism contract).
+type ChaosConfig struct {
+	Requests   int           // total requests across all clients
+	Clients    int           // concurrent closed-loop clients
+	Workers    int           // engine workers
+	MaxBatch   int           // micro-batch cap
+	PanicRate  float64       // per-search injected panic probability
+	SpikeRate  float64       // per-search latency-spike probability
+	Spike      time.Duration // latency-spike length
+	StallEvery int           // every StallEvery-th search stalls (0 = off)
+	Stall      time.Duration // slow-shard stall length
+	Hedge      bool          // hedged dispatch on
+	Policy     serve.Policy  // admission policy under the soak
+	Seed       uint64        // fault-schedule seed
+	P99Bound   time.Duration // acceptance bound on p99 latency
+}
+
+// DefaultChaosConfig is the soak protocol of EXPERIMENTS §18: enough
+// injected failure to force many supervised restarts and hedges, at a load
+// that saturates the batcher.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Requests:   2048,
+		Clients:    16,
+		Workers:    4,
+		MaxBatch:   16,
+		PanicRate:  0.02,
+		SpikeRate:  0.05,
+		Spike:      2 * time.Millisecond,
+		StallEvery: 64,
+		Stall:      5 * time.Millisecond,
+		Hedge:      true,
+		Policy:     serve.Block,
+		Seed:       benchSeed,
+		P99Bound:   250 * time.Millisecond,
+	}
+}
+
+// ChaosResult is one chaos-soak measurement with its acceptance evidence.
+type ChaosResult struct {
+	Name       string  `json:"name"`
+	Requests   int     `json:"requests"`   // requests submitted
+	Answered   int     `json:"answered"`   // requests that got a Response or typed error
+	Classified int     `json:"classified"` // requests answered with a classification
+	Faulted    int     `json:"faulted"`    // requests failed by an injected panic (ErrWorkerPanic)
+	Mismatches int     `json:"mismatches"` // classified answers differing from the serial reference
+	Panics     uint64  `json:"panics"`     // engine panic counter
+	Restarts   uint64  `json:"restarts"`   // supervised worker restarts
+	Hedged     uint64  `json:"hedged"`     // straggling batches re-issued
+	HedgeWins  uint64  `json:"hedge_wins"` // requests answered by a hedge copy
+	Shed       uint64  `json:"shed"`       // requests shed by admission control
+	QPS        float64 `json:"qps"`
+	P50Us      float64 `json:"p50_us"`
+	P99Us      float64 `json:"p99_us"`
+	Leaked     int     `json:"leaked_goroutines"` // goroutines alive above the pre-engine baseline
+}
+
+// Violations checks the soak's acceptance criteria and returns a line per
+// violated one (empty means the soak passed): every request answered, no
+// silent result corruption on non-faulted requests, supervised restarts
+// actually exercised, bounded p99, zero goroutine leaks.
+func (r ChaosResult) Violations(cfg ChaosConfig) []string {
+	var v []string
+	if r.Answered != r.Requests {
+		v = append(v, fmt.Sprintf("answered %d of %d requests", r.Answered, r.Requests))
+	}
+	if r.Mismatches != 0 {
+		v = append(v, fmt.Sprintf("%d non-faulted answers differ from the serial loop", r.Mismatches))
+	}
+	if cfg.PanicRate > 0 && r.Panics == 0 {
+		v = append(v, "panic injection configured but no panic struck (soak too small?)")
+	}
+	if r.Panics > 0 && r.Restarts == 0 {
+		v = append(v, fmt.Sprintf("%d panics but no supervised restart", r.Panics))
+	}
+	if cfg.P99Bound > 0 && r.P99Us > float64(cfg.P99Bound)/1e3 {
+		v = append(v, fmt.Sprintf("p99 %.1fµs above bound %s", r.P99Us, cfg.P99Bound))
+	}
+	if r.Leaked > 0 {
+		v = append(v, fmt.Sprintf("%d goroutines leaked", r.Leaked))
+	}
+	return v
+}
+
+// RunChaos drives the serve engine under injected failure: Clients
+// closed-loop clients submit Requests texts while the chaos injectors
+// panic and stall searches on the seeded schedule. Every request must come
+// back as either a classification or a typed error; classifications are
+// checked bit-for-bit against a serial fault-free reference; the engine
+// must restart panicked workers and leak nothing.
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
+	f := buildFixtures()
+	texts := benchTexts(f, 256)
+
+	// Serial fault-free reference: the answer every non-faulted request
+	// must reproduce exactly.
+	enc := benchEncoderFactory()()
+	exact := assoc.NewExact(f.mem)
+	refIdx := make([]int, len(texts))
+	for i, text := range texts {
+		q, n := enc.EncodeText(text, benchSeed)
+		if n == 0 {
+			return ChaosResult{}, fmt.Errorf("perf: empty chaos text %d", i)
+		}
+		refIdx[i] = exact.Search(q).Index
+	}
+
+	injs := []fault.ChaosInjector{
+		&fault.WorkerPanic{Rate: cfg.PanicRate, Seed: cfg.Seed},
+		&fault.LatencySpike{Rate: cfg.SpikeRate, Spike: cfg.Spike, Seed: cfg.Seed},
+	}
+	if cfg.StallEvery > 0 && cfg.Stall > 0 {
+		injs = append(injs, &fault.ShardStall{Shards: cfg.StallEvery, Slow: 0, Delay: cfg.Stall})
+	}
+	chaotic := fault.Chaos(assoc.NewExact(f.mem), injs...)
+
+	baseline := runtime.NumGoroutine()
+	eng, err := serve.New(f.mem, chaotic, benchEncoderFactory(), serve.Config{
+		Workers:  cfg.Workers,
+		MaxBatch: cfg.MaxBatch,
+		Policy:   cfg.Policy,
+		Hedge:    cfg.Hedge,
+		Seed:     benchSeed,
+	})
+	if err != nil {
+		return ChaosResult{}, err
+	}
+
+	type outcome struct {
+		text int
+		resp serve.Response
+		err  error
+		lat  time.Duration
+	}
+	per := cfg.Requests / cfg.Clients
+	if per < 1 {
+		per = 1
+	}
+	outs := make([][]outcome, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			mine := make([]outcome, 0, per)
+			for i := 0; i < per; i++ {
+				ti := (c*per + i) % len(texts)
+				t0 := time.Now()
+				resp, err := eng.Submit(context.Background(), texts[ti])
+				mine = append(mine, outcome{text: ti, resp: resp, err: err, lat: time.Since(t0)})
+			}
+			outs[c] = mine
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	eng.Close()
+
+	// Give exiting goroutines a moment to retire before the leak census.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	res := ChaosResult{
+		Name:     fmt.Sprintf("chaos/w%d-c%d-p%g", cfg.Workers, cfg.Clients, cfg.PanicRate),
+		Requests: cfg.Clients * per,
+	}
+	var lats []time.Duration
+	for _, mine := range outs {
+		for _, o := range mine {
+			lats = append(lats, o.lat)
+			switch {
+			case o.err == nil:
+				res.Answered++
+				res.Classified++
+				if o.resp.Result.Index != refIdx[o.text] {
+					res.Mismatches++
+				}
+			case errors.Is(o.err, serve.ErrWorkerPanic):
+				res.Answered++
+				res.Faulted++
+			case errors.Is(o.err, serve.ErrOverloaded),
+				errors.Is(o.err, serve.ErrDrained),
+				errors.Is(o.err, serve.ErrNoNGrams),
+				errors.Is(o.err, context.DeadlineExceeded),
+				errors.Is(o.err, context.Canceled):
+				res.Answered++ // a typed answer, just not a classification
+			}
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	st := eng.Stats()
+	res.Panics = st.Panics
+	res.Restarts = st.Restarts
+	res.Hedged = st.Hedged
+	res.HedgeWins = st.HedgeWins
+	res.Shed = st.Shed
+	res.QPS = float64(len(lats)) / elapsed.Seconds()
+	res.P50Us = float64(percentile(lats, 50)) / 1e3
+	res.P99Us = float64(percentile(lats, 99)) / 1e3
+	if g := runtime.NumGoroutine(); g > baseline {
+		res.Leaked = g - baseline
+	}
+	return res, nil
+}

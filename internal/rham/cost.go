@@ -1,6 +1,7 @@
 package rham
 
 import (
+	"fmt"
 	"math"
 
 	"hdam/internal/circuit"
@@ -108,7 +109,7 @@ func (c Config) Cost() (circuit.Cost, error) {
 func (c Config) MustCost() circuit.Cost {
 	cost, err := c.Cost()
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("rham: MustCost on invalid config (D=%d, C=%d): %v", c.D, c.C, err))
 	}
 	return cost
 }

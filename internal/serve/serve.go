@@ -13,6 +13,29 @@
 // carrying per-search randomness is safe with Workers > 1 only when it
 // implements core.ForkableSearcher (each worker then owns an independently
 // seeded PCG stream); otherwise configure Workers = 1.
+//
+// # Overload protection and failure isolation
+//
+// The engine is built to keep answering under the serving failure modes the
+// tail-at-scale literature catalogues:
+//
+//   - Admission control: the pending queue is bounded and governed by a
+//     Policy — Block (backpressure), Reject (fail fast with ErrOverloaded)
+//     or ShedOldest (drop the stalest queued request to admit the newest).
+//     Requests whose context expires while queued are dropped before any
+//     encode work is spent on them.
+//   - Supervision: a panic in encode or search is recovered and converted
+//     into a per-request ErrWorkerPanic answer; the worker then discards its
+//     (possibly poisoned) encoder scratch and searcher fork and rebuilds
+//     both before touching the next request, so one poisoned query can never
+//     take down the engine or corrupt its neighbors.
+//   - Hedging: with Hedge enabled, a dispatched batch that straggles past a
+//     latency quantile of recent batches is re-issued to an idle worker;
+//     each request is answered by whichever copy claims it first and the
+//     loser skips it (first result wins).
+//   - Graceful drain: Drain stops intake, flushes what it can within the
+//     caller's deadline and fails the rest fast with ErrDrained, reporting
+//     how many requests were abandoned.
 package serve
 
 import (
@@ -20,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +60,50 @@ var ErrClosed = errors.New("serve: engine closed")
 // after normalization (nothing to classify).
 var ErrNoNGrams = errors.New("serve: text has no n-grams")
 
+// ErrOverloaded is returned when admission control turns a request away: by
+// Submit/Go under the Reject policy when the queue is full, and as the
+// response error of a queued request shed under the ShedOldest policy.
+var ErrOverloaded = errors.New("serve: engine overloaded")
+
+// ErrWorkerPanic marks a response whose encode or search panicked; the
+// request failed but the worker recovered and was restarted with fresh
+// state. Match with errors.Is.
+var ErrWorkerPanic = errors.New("serve: worker panic")
+
+// ErrDrained marks a response abandoned by Drain after its deadline: the
+// request was accepted but the engine shut down before doing its work.
+var ErrDrained = errors.New("serve: request abandoned by drain")
+
+// Policy selects how Submit and Go behave when the pending queue is full.
+type Policy int
+
+const (
+	// Block applies backpressure: the submitter waits for queue space or
+	// its context's end, whichever comes first (the default).
+	Block Policy = iota
+	// Reject fails fast: a full queue returns ErrOverloaded immediately,
+	// bounding submitter latency at the cost of dropped load.
+	Reject
+	// ShedOldest admits the new request by dropping the oldest queued one,
+	// which is answered with ErrOverloaded. Under sustained overload the
+	// freshest requests — the ones whose callers are most likely still
+	// waiting — are the ones that get served.
+	ShedOldest
+)
+
+// String names the policy for reports.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Reject:
+		return "reject"
+	case ShedOldest:
+		return "shed-oldest"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
 // Config tunes the micro-batching policy and the worker pool.
 type Config struct {
 	// MaxBatch is the most requests one micro-batch may carry; a full batch
@@ -50,13 +118,27 @@ type Config struct {
 	// Workers is the number of encode→search workers (default GOMAXPROCS).
 	// Use 1 for non-forkable randomized searchers (see package comment).
 	Workers int
-	// Queue is the pending-request capacity before Submit blocks
-	// (default 4×MaxBatch).
+	// Queue is the pending-request capacity before the admission Policy
+	// engages (default 4×MaxBatch).
 	Queue int
+	// Policy is the admission-control behavior when the queue is full
+	// (default Block).
+	Policy Policy
 	// Seed drives encoder majority tie-breaks for every request, so engine
 	// results are bit-identical to a serial loop encoding with the same
 	// seed (default 2017).
 	Seed uint64
+	// Hedge enables hedged dispatch: a batch still unanswered after the
+	// HedgeQuantile of recent batch service times (or HedgeAfter, when set)
+	// is re-issued to an idle worker; per request, the first copy to claim
+	// it wins and the other skips it.
+	Hedge bool
+	// HedgeAfter, when positive, is a fixed straggler threshold overriding
+	// the adaptive quantile.
+	HedgeAfter time.Duration
+	// HedgeQuantile is the quantile of recent batch service times past
+	// which a batch counts as straggling, in (0,1] (default 0.95).
+	HedgeQuantile float64
 }
 
 // withDefaults resolves zero fields.
@@ -76,6 +158,9 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 2017
 	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile > 1 {
+		c.HedgeQuantile = 0.95
+	}
 	return c
 }
 
@@ -88,7 +173,7 @@ type Response struct {
 	// NGrams is how many n-grams the text encoded to.
 	NGrams int
 	// Err is non-nil when the request was not classified (cancellation,
-	// empty text).
+	// empty text, shedding, a recovered worker panic, drain abandonment).
 	Err error
 }
 
@@ -97,6 +182,28 @@ type request struct {
 	ctx  context.Context
 	text string
 	done chan Response // buffered(1): workers never block on delivery
+	// claimed elects the one dispatch copy that answers this request; the
+	// hedge copy of a batch shares the same request pointers and skips
+	// requests the primary already claimed (and vice versa).
+	claimed atomic.Bool
+}
+
+// respond delivers the request's single answer.
+func (r *request) respond(resp Response) { r.done <- resp }
+
+// batchJob is one dispatched micro-batch, shared between its primary
+// dispatch and (under hedging) its hedge copy.
+type batchJob struct {
+	reqs    []*request
+	pending atomic.Int64  // requests not yet answered
+	start   time.Time     // dispatch time, for the hedge latency samples
+	done    chan struct{} // closed when pending reaches 0 (hedging only)
+}
+
+// dispatch is one delivery of a batch to a worker.
+type dispatch struct {
+	job   *batchJob
+	hedge bool
 }
 
 // Stats is a snapshot of the engine's counters.
@@ -107,6 +214,13 @@ type Stats struct {
 	Empty     uint64 // requests rejected with ErrNoNGrams
 	Batches   uint64 // micro-batches dispatched
 	Batched   uint64 // requests carried by those batches
+	Rejected  uint64 // submissions refused with ErrOverloaded (Reject policy)
+	Shed      uint64 // queued requests dropped by ShedOldest
+	Panics    uint64 // requests failed by a recovered worker panic
+	Restarts  uint64 // worker state rebuilds after a panic
+	Hedged    uint64 // straggling batches re-issued to an idle worker
+	HedgeWins uint64 // requests answered by the hedge copy
+	Abandoned uint64 // requests failed with ErrDrained by Drain
 }
 
 // AvgBatch returns the mean micro-batch size so far.
@@ -117,8 +231,43 @@ func (s Stats) AvgBatch() float64 {
 	return float64(s.Batched) / float64(s.Batches)
 }
 
-// Engine is the micro-batching query engine. Construct with New; Close
-// drains pending requests and stops the pool.
+// latRing is a fixed ring of recent batch service times feeding the
+// adaptive hedge threshold.
+type latRing struct {
+	mu  sync.Mutex
+	buf [64]time.Duration
+	n   int // samples stored, ≤ len(buf)
+	idx int // next write position
+}
+
+func (l *latRing) add(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.idx] = d
+	l.idx = (l.idx + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// quantile returns the q-th quantile of the stored samples and how many
+// samples back it (0 means no data yet).
+func (l *latRing) quantile(q float64) (time.Duration, int) {
+	l.mu.Lock()
+	n := l.n
+	tmp := make([]time.Duration, n)
+	copy(tmp, l.buf[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	i := int(q * float64(n-1))
+	return tmp[i], n
+}
+
+// Engine is the micro-batching query engine. Construct with New; Close (or
+// Drain) stops intake, finishes the pool and is idempotent.
 type Engine struct {
 	cfg    Config
 	mem    *core.Memory
@@ -128,14 +277,25 @@ type Engine struct {
 	encoders sync.Pool // *encoder.Encoder scratch, shared by the workers
 
 	requests chan *request
-	batches  chan []*request
+	batches  chan dispatch
 	wg       sync.WaitGroup
 
 	mu     sync.RWMutex // guards closed vs. sends on requests
 	closed bool
+	done   chan struct{} // closed when batcher and workers have exited
+
+	stopHedge chan struct{} // closed by the batcher on exit
+	hedgeWG   sync.WaitGroup
+	lats      latRing
+
+	abandoning atomic.Bool // Drain deadline passed: fail remaining work fast
 
 	submitted, completed, canceled, empty atomic.Uint64
 	nbatches, batched                     atomic.Uint64
+	rejected, shed                        atomic.Uint64
+	panics, restarts                      atomic.Uint64
+	hedged, hedgeWins                     atomic.Uint64
+	abandoned                             atomic.Uint64
 	idle                                  atomic.Int64 // workers parked on the batches channel
 }
 
@@ -153,12 +313,14 @@ func New(mem *core.Memory, s core.Searcher, newEncoder func() *encoder.Encoder, 
 		return nil, fmt.Errorf("serve: encoder factory dim mismatch with memory dim %d", mem.Dim())
 	}
 	e := &Engine{
-		cfg:      cfg,
-		mem:      mem,
-		base:     s,
-		newEnc:   newEncoder,
-		requests: make(chan *request, cfg.Queue),
-		batches:  make(chan []*request, cfg.Workers),
+		cfg:       cfg,
+		mem:       mem,
+		base:      s,
+		newEnc:    newEncoder,
+		requests:  make(chan *request, cfg.Queue),
+		batches:   make(chan dispatch, cfg.Workers),
+		done:      make(chan struct{}),
+		stopHedge: make(chan struct{}),
 	}
 	e.encoders.New = func() any { return e.newEnc() }
 	e.encoders.Put(probe)
@@ -176,30 +338,72 @@ func (e *Engine) Config() Config { return e.cfg }
 // Go enqueues one text for classification and returns the channel its
 // Response will arrive on (buffered; the engine never blocks on it). The
 // request is dropped with ctx.Err() if ctx ends before a worker reaches it.
+// When the queue is full, the configured admission Policy decides: Block
+// waits (bounded by ctx), Reject returns ErrOverloaded, ShedOldest drops
+// the stalest queued request to make room.
 func (e *Engine) Go(ctx context.Context, text string) (<-chan Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	r := &request{ctx: ctx, text: text, done: make(chan Response, 1)}
 	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.closed {
-		e.mu.RUnlock()
 		return nil, ErrClosed
 	}
-	select {
-	case e.requests <- r:
-		e.mu.RUnlock()
-		e.submitted.Add(1)
-		return r.done, nil
-	case <-ctx.Done():
-		e.mu.RUnlock()
-		return nil, ctx.Err()
+	switch e.cfg.Policy {
+	case Reject:
+		select {
+		case e.requests <- r:
+			e.submitted.Add(1)
+			return r.done, nil
+		default:
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			e.rejected.Add(1)
+			return nil, ErrOverloaded
+		}
+	case ShedOldest:
+		for {
+			select {
+			case e.requests <- r:
+				e.submitted.Add(1)
+				return r.done, nil
+			default:
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			// Full: shed the oldest queued request and retry. The receive
+			// races benignly with the batcher and other submitters — if
+			// someone else empties a slot first, the next send attempt wins.
+			select {
+			case old := <-e.requests:
+				e.shed.Add(1)
+				old.respond(Response{Err: ErrOverloaded})
+			default:
+				// Someone else freed or refilled the slot between our two
+				// attempts; yield before retrying.
+				runtime.Gosched()
+			}
+		}
+	default: // Block
+		select {
+		case e.requests <- r:
+			e.submitted.Add(1)
+			return r.done, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 }
 
 // Submit enqueues one text and waits for its classification, honoring ctx:
 // a context that ends first returns ctx.Err() immediately (the in-flight
-// work is discarded into the response's buffer, leaking nothing).
+// work is discarded into the response's buffer, leaking nothing). Under the
+// Reject and ShedOldest policies Submit never blocks on a full queue, so a
+// saturating load cannot stall submitters beyond their context deadline.
 func (e *Engine) Submit(ctx context.Context, text string) (Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -216,19 +420,48 @@ func (e *Engine) Submit(ctx context.Context, text string) (Response, error) {
 	}
 }
 
-// Close stops accepting requests, drains everything already queued and
-// waits for the pool to exit. It is idempotent.
-func (e *Engine) Close() {
+// shutdown stops intake exactly once and arranges for done to close when
+// the batcher and every worker have exited.
+func (e *Engine) shutdown() {
 	e.mu.Lock()
-	already := e.closed
-	e.closed = true
-	if !already {
+	if !e.closed {
+		e.closed = true
 		close(e.requests)
+		go func() {
+			e.wg.Wait()
+			close(e.done)
+		}()
 	}
 	e.mu.Unlock()
-	if !already {
-		e.wg.Wait()
+}
+
+// Close stops accepting requests, drains everything already queued and
+// waits for the pool to exit. It is idempotent (also with Drain).
+func (e *Engine) Close() {
+	e.shutdown()
+	<-e.done
+}
+
+// Drain gracefully shuts the engine down under a deadline: intake stops
+// immediately, queued and in-flight batches are flushed while ctx lasts,
+// and once ctx ends the remaining requests are failed fast with ErrDrained
+// instead of being computed. It returns how many requests were abandoned
+// that way and ctx's error if the deadline cut the flush short. Drain is
+// idempotent and safe to combine with Close; requests submitted after
+// either call get ErrClosed.
+func (e *Engine) Drain(ctx context.Context) (abandoned uint64, err error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	e.shutdown()
+	select {
+	case <-e.done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		e.abandoning.Store(true)
+		<-e.done
+	}
+	return e.abandoned.Load(), err
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -240,6 +473,13 @@ func (e *Engine) Stats() Stats {
 		Empty:     e.empty.Load(),
 		Batches:   e.nbatches.Load(),
 		Batched:   e.batched.Load(),
+		Rejected:  e.rejected.Load(),
+		Shed:      e.shed.Load(),
+		Panics:    e.panics.Load(),
+		Restarts:  e.restarts.Load(),
+		Hedged:    e.hedged.Load(),
+		HedgeWins: e.hedgeWins.Load(),
+		Abandoned: e.abandoned.Load(),
 	}
 }
 
@@ -248,6 +488,12 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) batcher() {
 	defer e.wg.Done()
 	defer close(e.batches)
+	defer func() {
+		// Wake every hedge monitor and wait it out before closing batches,
+		// so no monitor can send on a closed channel.
+		close(e.stopHedge)
+		e.hedgeWG.Wait()
+	}()
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
@@ -259,7 +505,17 @@ func (e *Engine) batcher() {
 		}
 		e.nbatches.Add(1)
 		e.batched.Add(uint64(len(batch)))
-		e.batches <- batch
+		job := &batchJob{reqs: batch}
+		job.pending.Store(int64(len(batch)))
+		if e.cfg.Hedge {
+			job.start = time.Now()
+			job.done = make(chan struct{})
+		}
+		e.batches <- dispatch{job: job}
+		if e.cfg.Hedge {
+			e.hedgeWG.Add(1)
+			go e.hedgeMonitor(job)
+		}
 		batch = nil
 	}
 	// ready reports whether the open batch should dispatch now: it is full,
@@ -307,6 +563,51 @@ func (e *Engine) batcher() {
 	}
 }
 
+// hedgeDelay resolves the straggler threshold: the fixed HedgeAfter when
+// set, otherwise the HedgeQuantile of recent batch service times. With too
+// few samples to trust a quantile, a generous multiple of MaxDelay keeps
+// warmup hedges rare.
+func (e *Engine) hedgeDelay() time.Duration {
+	if e.cfg.HedgeAfter > 0 {
+		return e.cfg.HedgeAfter
+	}
+	q, n := e.lats.quantile(e.cfg.HedgeQuantile)
+	if n < 16 || q <= 0 {
+		d := 20 * e.cfg.MaxDelay
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		return d
+	}
+	return q
+}
+
+// hedgeMonitor watches one dispatched batch and re-issues it to an idle
+// worker if it straggles past the hedge threshold. The re-issue is a copy
+// of the same job: per request, the first dispatch to claim it answers it.
+func (e *Engine) hedgeMonitor(job *batchJob) {
+	defer e.hedgeWG.Done()
+	t := time.NewTimer(e.hedgeDelay())
+	defer t.Stop()
+	select {
+	case <-job.done:
+		return
+	case <-e.stopHedge:
+		return
+	case <-t.C:
+	}
+	if job.pending.Load() == 0 || e.idle.Load() <= 0 {
+		return
+	}
+	// Only hedge onto genuinely free capacity: a non-blocking send that
+	// would queue behind other batches is skipped, not waited for.
+	select {
+	case e.batches <- dispatch{job: job, hedge: true}:
+		e.hedged.Add(1)
+	default:
+	}
+}
+
 // searchFunc routes through SearchBuf with a worker-local distance buffer
 // when the searcher supports it (mirrors core.SearchAll's worker setup).
 func searchFunc(s core.Searcher) func(*hv.Vector) core.Result {
@@ -317,42 +618,108 @@ func searchFunc(s core.Searcher) func(*hv.Vector) core.Result {
 	return s.Search
 }
 
-// worker drains micro-batches through the pipelined encode→search flow.
-// Worker w forks the searcher when it is forkable, preserving the per-worker
-// PCG stream contract of core.SearchAllWorkers.
-func (e *Engine) worker(w int) {
-	defer e.wg.Done()
-	s := e.base
-	if f, ok := s.(core.ForkableSearcher); ok {
+// forked returns worker w's searcher: a fresh per-worker fork when the base
+// supports it, preserving the per-worker PCG stream contract of
+// core.SearchAllWorkers, else the shared base.
+func (e *Engine) forked(w int) core.Searcher {
+	if f, ok := e.base.(core.ForkableSearcher); ok {
 		if fs := f.Fork(w); fs != nil {
-			s = fs
+			return fs
 		}
 	}
+	return e.base
+}
+
+// serveOne answers one claimed request, converting a panic anywhere in the
+// encode→search flow into a per-request ErrWorkerPanic answer. It reports
+// whether it panicked so the worker can rebuild its state.
+func (e *Engine) serveOne(r *request, enc *encoder.Encoder, search func(*hv.Vector) core.Result, hedge bool) (panicked bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			panicked = true
+			e.panics.Add(1)
+			r.respond(Response{Err: fmt.Errorf("%w: %v", ErrWorkerPanic, v)})
+		}
+	}()
+	if e.abandoning.Load() {
+		e.abandoned.Add(1)
+		r.respond(Response{Err: ErrDrained})
+		return false
+	}
+	// Deadline propagation: a request whose context ended while it queued
+	// is dropped before any encode work is spent on it.
+	if err := r.ctx.Err(); err != nil {
+		e.canceled.Add(1)
+		r.respond(Response{Err: err})
+		return false
+	}
+	q, n := enc.EncodeText(r.text, e.cfg.Seed)
+	if n == 0 {
+		e.empty.Add(1)
+		r.respond(Response{NGrams: 0, Err: ErrNoNGrams})
+		return false
+	}
+	// Re-check between encode and search: search dominates the cost, so an
+	// expiry during encode still saves the expensive half.
+	if err := r.ctx.Err(); err != nil {
+		e.canceled.Add(1)
+		r.respond(Response{Err: err})
+		return false
+	}
+	res := search(q)
+	e.completed.Add(1)
+	if hedge {
+		e.hedgeWins.Add(1)
+	}
+	r.respond(Response{Result: res, Label: e.mem.Label(res.Index), NGrams: n})
+	return false
+}
+
+// finish retires one answered request of the job and, under hedging,
+// records the batch service time and releases the monitor when the batch
+// completes.
+func (e *Engine) finish(job *batchJob) {
+	if job.pending.Add(-1) != 0 {
+		return
+	}
+	if job.done != nil {
+		e.lats.add(time.Since(job.start))
+		close(job.done)
+	}
+}
+
+// worker drains micro-batches through the pipelined encode→search flow
+// under supervision: a panic fails only its own request, after which the
+// worker restarts — it discards the possibly-poisoned encoder scratch and
+// searcher fork and rebuilds both before the next request.
+func (e *Engine) worker(w int) {
+	defer e.wg.Done()
+	s := e.forked(w)
 	search := searchFunc(s)
+	enc := e.encoders.Get().(*encoder.Encoder)
+	defer func() { e.encoders.Put(enc) }()
 	for {
 		e.idle.Add(1)
-		batch, ok := <-e.batches
+		d, ok := <-e.batches
 		e.idle.Add(-1)
 		if !ok {
 			return
 		}
-		enc := e.encoders.Get().(*encoder.Encoder)
-		for _, r := range batch {
-			if err := r.ctx.Err(); err != nil {
-				e.canceled.Add(1)
-				r.done <- Response{Err: err}
+		for _, r := range d.job.reqs {
+			// First dispatch copy to claim a request answers it; the hedge
+			// loser (or the primary, if the hedge got there first) skips.
+			if !r.claimed.CompareAndSwap(false, true) {
 				continue
 			}
-			q, n := enc.EncodeText(r.text, e.cfg.Seed)
-			if n == 0 {
-				e.empty.Add(1)
-				r.done <- Response{NGrams: 0, Err: ErrNoNGrams}
-				continue
+			if e.serveOne(r, enc, search, d.hedge) {
+				// Supervised restart: never pool or reuse state a panic ran
+				// through.
+				enc = e.newEnc()
+				s = e.forked(w)
+				search = searchFunc(s)
+				e.restarts.Add(1)
 			}
-			res := search(q)
-			e.completed.Add(1)
-			r.done <- Response{Result: res, Label: e.mem.Label(res.Index), NGrams: n}
+			e.finish(d.job)
 		}
-		e.encoders.Put(enc)
 	}
 }
