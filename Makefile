@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-kernels bench-json ci
+.PHONY: all build vet test race bench bench-kernels bench-json fmt-check ci
 
 all: build
 
@@ -33,13 +33,23 @@ bench-json: bench
 bench-kernels:
 	$(GO) test -run xxx -bench 'Encode|Distance|Accumulate' -benchmem ./...
 
-# Everything CI runs, in order: static checks, build, race-enabled tests, a
-# full (non-short) race pass over the concurrency-heavy packages (sharded
-# kernels, serve engine, robustness stack), a short chaos smoke driving the
-# supervisor/hedging paths under seeded faults, a kernel benchmark smoke
+# Fails if any tracked Go file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Everything CI runs, in order: formatting, static checks, build,
+# race-enabled tests, a full (non-short) race pass over the
+# concurrency-heavy packages (sharded kernels, serve engine incl. hot swap,
+# robustness stack, snapshot store and registry), a short chaos smoke
+# driving the supervisor/hedging paths under seeded faults, the model
+# persistence gates (train→save→load round trip, decoder corruption
+# matrix, a fuzz smoke over the snapshot decoder), a kernel benchmark smoke
 # pass, and a serve-path benchmark smoke so the engine can't silently rot.
-ci: vet build race
-	$(GO) test -race ./internal/core ./internal/serve ./internal/assoc ./internal/fault ./internal/experiments
+ci: fmt-check vet build race
+	$(GO) test -race ./internal/core ./internal/serve ./internal/assoc ./internal/fault ./internal/experiments ./internal/store
 	$(GO) test -race -short -run 'Chaos' ./internal/serve ./internal/perf
+	$(GO) test -run 'TestTrainSaveLoadGate|TestDecodeRejects|TestDecodeGiantDeclaredLengths' ./internal/store
+	$(GO) test -run xxx -fuzz FuzzDecodeSnapshot -fuzztime 5s ./internal/store
 	$(GO) test -run xxx -bench 'Encode|Distance|Accumulate' -benchtime 10x -benchmem ./...
 	$(GO) test -run xxx -bench Serve -benchtime 1x ./internal/serve

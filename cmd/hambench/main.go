@@ -26,6 +26,8 @@
 //	             p50/p95/p99 latency at several concurrencies) and record a
 //	             serve/* section in the report
 //	-serve-requests N  requests per serve load point (default 2048)
+//	-coldstart   also run the cold-start comparison (train-and-save vs.
+//	             checksummed snapshot load) and record a coldstart/* section
 //	-list        print the available experiment ids and exit
 //
 // With -json and no experiment ids, only the benchmark suite runs; this is
@@ -55,6 +57,7 @@ func main() {
 	jsonOut := flag.String("json", "", "run the kernel benchmark suite and append its JSON report to this trajectory file")
 	serveLoad := flag.Bool("serve", false, "also run the closed-loop serve load harness")
 	serveRequests := flag.Int("serve-requests", 2048, "requests per serve load point")
+	coldStart := flag.Bool("coldstart", false, "also run the cold-start comparison (train-and-save vs. snapshot load) and record a coldstart/* section in the report")
 	chaos := flag.Bool("chaos", false, "run the chaos soak: serve engine under injected worker panics, latency spikes and a slow shard")
 	chaosRequests := flag.Int("chaos-requests", 2048, "requests for the chaos soak")
 	list := flag.Bool("list", false, "list experiment ids")
@@ -72,15 +75,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *jsonOut != "" || *serveLoad {
-		if err := runBenchSuite(*jsonOut, *serveLoad, *serveRequests); err != nil {
+	if *jsonOut != "" || *serveLoad || *coldStart {
+		if err := runBenchSuite(*jsonOut, *serveLoad, *serveRequests, *coldStart); err != nil {
 			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
 			os.Exit(1)
 		}
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		if *jsonOut != "" || *serveLoad || *chaos {
+		if *jsonOut != "" || *serveLoad || *coldStart || *chaos {
 			return
 		}
 		fmt.Fprintln(os.Stderr, "usage: hambench [flags] <experiment>... | all   (-list for ids)")
@@ -143,8 +146,9 @@ func main() {
 }
 
 // runBenchSuite runs the perf kernel benchmarks (plus, optionally, the serve
-// load harness) and appends the report to the trajectory file at path.
-func runBenchSuite(path string, serveLoad bool, serveRequests int) error {
+// load harness and the cold-start comparison) and appends the report to the
+// trajectory file at path.
+func runBenchSuite(path string, serveLoad bool, serveRequests int, coldStart bool) error {
 	fmt.Fprintln(os.Stderr, "[running kernel benchmark suite]")
 	start := time.Now()
 	rep := perf.RunKernels()
@@ -161,6 +165,18 @@ func runBenchSuite(path string, serveLoad bool, serveRequests int) error {
 		for _, r := range results {
 			fmt.Fprintf(os.Stderr, "  %-28s %9.0f qps  p50 %8.1fµs  p95 %8.1fµs  p99 %8.1fµs  %5.2fx\n",
 				r.Name, r.QPS, r.P50Us, r.P95Us, r.P99Us, r.SpeedupVsSerial)
+		}
+	}
+	if coldStart {
+		fmt.Fprintln(os.Stderr, "[running cold-start comparison]")
+		results, err := perf.RunColdStart(perf.DefaultColdStartConfigs())
+		if err != nil {
+			return err
+		}
+		rep.ColdStart = results
+		for _, r := range results {
+			fmt.Fprintf(os.Stderr, "  %-28s train %9.1fms  save %7.1fms  load %7.2fms  %8.0fx  zero-copy=%v bit-identical=%v\n",
+				r.Name, r.TrainMs, r.SaveMs, r.LoadMs, r.Speedup, r.ZeroCopy, r.BitIdentical)
 		}
 	}
 	if path == "" {

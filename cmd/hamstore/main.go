@@ -1,0 +1,138 @@
+// Command hamstore inspects, verifies and converts model snapshot files.
+//
+// Usage:
+//
+//	hamstore inspect model.hds
+//	hamstore verify model.hds [more.hds ...]
+//	hamstore convert [-ngram N] [-seed N] [-note S] legacy.mem model.hds
+//
+// inspect prints a snapshot's config, provenance, labels and section table
+// after full validation. verify validates one or more snapshots end to end
+// (every checksum, every structural invariant) and exits non-zero if any
+// fail. convert rewrites a legacy SaveMemory file as a versioned snapshot;
+// the legacy format records no encoder parameters, so -ngram and -seed must
+// state what the model was trained with (defaults 3 and 2017, the pipeline
+// defaults).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hdam"
+)
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  hamstore inspect <file>                               print snapshot metadata
+  hamstore verify <file> [<file> ...]                   validate snapshots end to end
+  hamstore convert [-ngram N] [-seed N] [-note S] <legacy> <out>
+                                                        convert a legacy memory file
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "inspect":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		if err := inspect(os.Args[2]); err != nil {
+			fmt.Fprintf(os.Stderr, "hamstore: %v\n", err)
+			os.Exit(1)
+		}
+	case "verify":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		failed := 0
+		for _, path := range os.Args[2:] {
+			if _, err := hdam.VerifySnapshot(path); err != nil {
+				fmt.Printf("%s: FAILED: %v\n", path, err)
+				failed++
+				continue
+			}
+			fmt.Printf("%s: ok\n", path)
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+	case "convert":
+		fs := flag.NewFlagSet("convert", flag.ExitOnError)
+		ngram := fs.Int("ngram", 3, "n-gram order the legacy model was trained with")
+		seed := fs.Uint64("seed", 2017, "pipeline seed the legacy model was trained with")
+		note := fs.String("note", "", "free-form provenance note for the snapshot")
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 2 {
+			usage()
+		}
+		if err := convert(fs.Arg(0), fs.Arg(1), *ngram, *seed, *note); err != nil {
+			fmt.Fprintf(os.Stderr, "hamstore: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}
+
+func inspect(path string) error {
+	info, err := hdam.VerifySnapshot(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: valid snapshot, %d bytes (verified zero-copy=%v)\n", info.Path, info.Size, info.ZeroCopy)
+	fmt.Printf("  model:  %d classes at D=%d, ngram=%d, seed=%d\n",
+		info.Rows, info.Config.Dim, info.Config.NGram, info.Config.Seed)
+	p := info.Provenance
+	created := "unknown"
+	if !p.CreatedAt.IsZero() {
+		created = p.CreatedAt.UTC().Format(time.RFC3339)
+	}
+	fmt.Printf("  origin: trainer=%q corpus-seed=%d created=%s\n", p.Trainer, p.CorpusSeed, created)
+	if p.Note != "" {
+		fmt.Printf("  note:   %s\n", p.Note)
+	}
+	fmt.Printf("  labels: %v\n", info.Labels)
+	fmt.Println("  sections:")
+	for _, s := range info.Sections {
+		fmt.Printf("    %-8s offset=%-8d length=%-10d crc32c=%08x\n", s.Name, s.Offset, s.Length, s.CRC)
+	}
+	return nil
+}
+
+func convert(src, dst string, ngram int, seed uint64, note string) error {
+	f, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	mem, err := hdam.LoadMemory(f)
+	if err != nil {
+		return fmt.Errorf("reading legacy memory %s: %w", src, err)
+	}
+	if note == "" {
+		note = fmt.Sprintf("converted from legacy file %s", src)
+	}
+	snap, err := hdam.CaptureSnapshot(mem,
+		hdam.SnapshotConfig{Dim: mem.Dim(), NGram: ngram, Seed: seed},
+		hdam.SnapshotProvenance{
+			Trainer:    "hamstore convert",
+			CorpusSeed: seed,
+			CreatedAt:  time.Now().UTC(),
+			Note:       note,
+		})
+	if err != nil {
+		return err
+	}
+	if err := hdam.SaveSnapshot(dst, snap); err != nil {
+		return err
+	}
+	fmt.Printf("converted %s -> %s (%d classes at D=%d)\n", src, dst, mem.Classes(), mem.Dim())
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hdam"
+)
+
+func TestConvertRoundTrip(t *testing.T) {
+	dim, classes := 640, 5
+	rng := rand.New(rand.NewPCG(7, 7))
+	cs := make([]*hdam.Vector, classes)
+	ls := make([]string, classes)
+	for i := range cs {
+		cs[i] = hdam.RandomVector(dim, rng)
+		ls[i] = string(rune('a' + i))
+	}
+	mem, err := hdam.NewMemory(cs, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	legacy := filepath.Join(dir, "legacy.mem")
+	f, err := os.Create(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hdam.SaveMemory(f, mem); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "model.hds")
+	if err := convert(legacy, out, 4, 99, "test conversion"); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	info, err := hdam.VerifySnapshot(out)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if info.Rows != classes || info.Config.Dim != dim || info.Config.NGram != 4 || info.Config.Seed != 99 {
+		t.Fatalf("converted info %+v", info)
+	}
+	if info.Provenance.Trainer != "hamstore convert" || info.Provenance.Note != "test conversion" {
+		t.Fatalf("converted provenance %+v", info.Provenance)
+	}
+	if err := inspect(out); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+
+	snap, err := hdam.OpenSnapshot(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	got := snap.Memory()
+	for i := 0; i < classes; i++ {
+		if got.Label(i) != mem.Label(i) || !got.Class(i).Equal(mem.Class(i)) {
+			t.Fatalf("class %d differs after conversion", i)
+		}
+	}
+}
+
+func TestConvertRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "junk")
+	if err := os.WriteFile(src, []byte("not a memory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := convert(src, filepath.Join(dir, "out.hds"), 3, 1, ""); err == nil {
+		t.Fatal("garbage input converted")
+	}
+}

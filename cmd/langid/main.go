@@ -28,11 +28,17 @@
 //	-shards N    word-range shards for the parallel distance kernel
 //	             (0 = serial kernel, -1 = GOMAXPROCS; other negatives are
 //	             rejected)
+//	-save F      write the trained model as a versioned snapshot file
+//	-load F      load a model snapshot (or legacy memory file) instead of
+//	             training
+//	-watch DIR   serve stdin from the newest snapshot in DIR, hot-swapping
+//	             the model as new snapshots are published there
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand/v2"
@@ -49,8 +55,9 @@ func main() {
 	design := flag.String("design", "exact", "search hardware: exact | dham | rham | aham")
 	seed := flag.Uint64("seed", 2017, "pipeline seed")
 	demo := flag.Bool("demo", false, "classify generated demo sentences")
-	saveTo := flag.String("save", "", "write the trained memory to this file after training")
-	loadFrom := flag.String("load", "", "load a trained memory instead of training")
+	saveTo := flag.String("save", "", "write the trained model as a snapshot to this file after training")
+	loadFrom := flag.String("load", "", "load a trained model (snapshot or legacy format) instead of training")
+	watchDir := flag.String("watch", "", "serve stdin from the newest snapshot in this directory, hot-swapping as new ones appear")
 	resilient := flag.Bool("resilient", false, "serve through the confidence-gated escalation chain")
 	chain := flag.String("chain", "aham,rham,dham,exact", "comma-separated escalation chain for -resilient")
 	margin := flag.Int("margin", 32, "confidence threshold (Hamming-distance margin) for -resilient")
@@ -105,26 +112,27 @@ func main() {
 	p.Seed = *seed
 	p.TestPerLang = 1 // the test set is not used in CLI mode
 
+	if *watchDir != "" {
+		w := *workers
+		if serialOnly(*design, false, nil) {
+			fmt.Fprintln(os.Stderr, "langid: searcher carries non-forkable randomness; forcing -workers=1 (micro-batching stays on)")
+			w = 1
+		}
+		if err := serveWatch(*watchDir, *design, w, *batch, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "langid: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var tr *hdam.Trained
 	if *loadFrom != "" {
-		f, err := os.Open(*loadFrom)
+		var err error
+		tr, p, err = loadModel(*loadFrom, p)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "langid: %v\n", err)
 			os.Exit(1)
 		}
-		mem, err := hdam.LoadMemory(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "langid: loading memory: %v\n", err)
-			os.Exit(1)
-		}
-		if mem.Dim() != p.Dim {
-			p.Dim = mem.Dim()
-		}
-		// Rebuild the encoder half of the pipeline; the item memory is
-		// deterministic in the seed, so it matches the saved prototypes.
-		tr = rebuildTrained(mem, p)
-		fmt.Fprintf(os.Stderr, "loaded %d classes at D=%d from %s\n", mem.Classes(), mem.Dim(), *loadFrom)
 	} else {
 		fmt.Fprintf(os.Stderr, "training %d languages at D=%d on %d chars each...\n",
 			len(langs), p.Dim, p.TrainChars)
@@ -137,21 +145,22 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trained in %s\n", time.Since(start).Round(time.Millisecond))
 		if *saveTo != "" {
-			f, err := os.Create(*saveTo)
+			snap, err := hdam.CaptureSnapshot(tr.Memory,
+				hdam.SnapshotConfig{Dim: p.Dim, NGram: p.NGram, Seed: p.Seed},
+				hdam.SnapshotProvenance{
+					Trainer:    "langid",
+					CorpusSeed: p.Seed,
+					CreatedAt:  time.Now().UTC(),
+					Note:       fmt.Sprintf("%d languages, %d chars each", len(langs), p.TrainChars),
+				})
+			if err == nil {
+				err = hdam.SaveSnapshot(*saveTo, snap)
+			}
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "langid: %v\n", err)
+				fmt.Fprintf(os.Stderr, "langid: saving snapshot: %v\n", err)
 				os.Exit(1)
 			}
-			if err := hdam.SaveMemory(f, tr.Memory); err != nil {
-				f.Close()
-				fmt.Fprintf(os.Stderr, "langid: saving memory: %v\n", err)
-				os.Exit(1)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "langid: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "saved trained memory to %s\n", *saveTo)
+			fmt.Fprintf(os.Stderr, "saved model snapshot to %s\n", *saveTo)
 		}
 	}
 
@@ -251,6 +260,103 @@ func serialOnly(design string, resilient bool, stages []string) bool {
 	return false
 }
 
+// loadModel loads a trained model from a snapshot file, falling back to the
+// legacy SaveMemory stream format, and returns the pipeline rebuilt around
+// it. Snapshot loads take dim, n-gram order and seed from the file's own
+// recorded config (flag values are overridden); legacy loads can only
+// recover the dimensionality and trust the flags for the rest.
+func loadModel(path string, p hdam.LanguageParams) (*hdam.Trained, hdam.LanguageParams, error) {
+	snap, err := hdam.OpenSnapshot(path)
+	if err == nil {
+		// The snapshot stays open for the process lifetime: on linux the
+		// model serves zero-copy from the file mapping.
+		cfg := snap.Config()
+		p.Dim, p.NGram, p.Seed = cfg.Dim, cfg.NGram, cfg.Seed
+		mem := snap.Memory()
+		prov := snap.Provenance()
+		fmt.Fprintf(os.Stderr, "loaded snapshot %s: %d classes at D=%d (ngram=%d seed=%d trainer=%q zero-copy=%v)\n",
+			path, mem.Classes(), mem.Dim(), cfg.NGram, cfg.Seed, prov.Trainer, snap.ZeroCopy())
+		return rebuildTrained(mem, p), p, nil
+	}
+	if !errors.Is(err, hdam.ErrNotSnapshot) {
+		return nil, p, fmt.Errorf("loading snapshot %s: %w", path, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, p, err
+	}
+	defer f.Close()
+	mem, err := hdam.LoadMemory(f)
+	if err != nil {
+		return nil, p, fmt.Errorf("loading legacy memory %s: %w", path, err)
+	}
+	p.Dim = mem.Dim()
+	fmt.Fprintf(os.Stderr, "loaded legacy memory %s: %d classes at D=%d\n", path, mem.Classes(), mem.Dim())
+	return rebuildTrained(mem, p), p, nil
+}
+
+// serveWatch serves stdin from the newest snapshot in dir, hot-swapping the
+// engine as new snapshots are published (atomic rename makes partial files
+// invisible). It blocks until a first model appears.
+func serveWatch(dir, design string, workers, batch int, seed uint64) error {
+	var eng *hdam.Engine
+	reg, err := hdam.NewModelRegistry(hdam.ModelRegistryConfig{
+		Dir:      dir,
+		Interval: time.Second,
+		Swap: func(snap *hdam.Snapshot) error {
+			mem := snap.Memory()
+			searcher, err := buildSearcherMem(design, mem)
+			if err != nil {
+				return err
+			}
+			if eng == nil {
+				e, err := hdam.NewSnapshotEngine(snap, searcher, hdam.ServeConfig{
+					Workers: workers, MaxBatch: batch, Seed: seed,
+				})
+				if err != nil {
+					return err
+				}
+				eng = e
+				return nil
+			}
+			_, err = eng.Swap(mem, searcher, hdam.SnapshotEncoderFactory(snap.Config()))
+			return err
+		},
+		OnEvent: func(ev hdam.RegistryEvent) {
+			if ev.Err != nil {
+				fmt.Fprintf(os.Stderr, "langid: %s %s: %v\n", ev.Kind, ev.Path, ev.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "langid: serving %s\n", ev.Path)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+	for eng == nil {
+		if _, err := reg.Check(); err != nil {
+			return err
+		}
+		if eng != nil {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "langid: waiting for a snapshot in %s...\n", dir)
+		time.Sleep(time.Second)
+	}
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go reg.Run(ctx)
+	if err := pumpStdin(eng); err != nil {
+		return err
+	}
+	if st := eng.Stats(); st.Swaps > 0 {
+		fmt.Fprintf(os.Stderr, "hot-swapped models %d times (serving generation %d)\n", st.Swaps, eng.Gen())
+	}
+	return nil
+}
+
 // serveStdin classifies stdin through the micro-batching engine: lines are
 // submitted asynchronously and printed in input order by a reorder queue, so
 // output is byte-compatible with the serial loop (modulo the engine's fixed
@@ -265,7 +371,12 @@ func serveStdin(tr *hdam.Trained, searcher hdam.Searcher, workers, batch int, se
 		return err
 	}
 	defer eng.Close()
+	return pumpStdin(eng)
+}
 
+// pumpStdin reads stdin lines into the engine and prints responses in input
+// order.
+func pumpStdin(eng *hdam.Engine) error {
 	type pending struct {
 		text, want string
 		ch         <-chan hdam.ServeResponse
@@ -366,16 +477,23 @@ func reportStages(res *hdam.Resilient) {
 }
 
 func buildSearcher(design string, tr *hdam.Trained, p hdam.LanguageParams) (hdam.Searcher, error) {
-	c := tr.Memory.Classes()
+	return buildSearcherMem(design, tr.Memory)
+}
+
+// buildSearcherMem builds the selected design over an arbitrary memory,
+// taking its shape from the memory itself — the form hot-swapping needs,
+// where each snapshot brings its own model.
+func buildSearcherMem(design string, mem *hdam.Memory) (hdam.Searcher, error) {
+	d, c := mem.Dim(), mem.Classes()
 	switch design {
 	case "exact":
-		return hdam.NewExactSearcher(tr.Memory), nil
+		return hdam.NewExactSearcher(mem), nil
 	case "dham":
-		return hdam.NewDHAM(hdam.DHAMConfig{D: p.Dim, C: c}, tr.Memory)
+		return hdam.NewDHAM(hdam.DHAMConfig{D: d, C: c}, mem)
 	case "rham":
-		return hdam.NewRHAM(hdam.RHAMConfig{D: p.Dim, C: c}, tr.Memory)
+		return hdam.NewRHAM(hdam.RHAMConfig{D: d, C: c}, mem)
 	case "aham":
-		return hdam.NewAHAM(hdam.AHAMConfig{D: p.Dim, C: c}, tr.Memory)
+		return hdam.NewAHAM(hdam.AHAMConfig{D: d, C: c}, mem)
 	default:
 		return nil, fmt.Errorf("unknown design %q (exact|dham|rham|aham)", design)
 	}

@@ -17,6 +17,7 @@ import (
 	"hdam/internal/lang"
 	"hdam/internal/rham"
 	"hdam/internal/serve"
+	"hdam/internal/store"
 	"hdam/internal/textgen"
 )
 
@@ -356,7 +357,10 @@ func EvaluateParallel(s Searcher, mem *Memory, ts *TestSet, workers int) EvalRep
 	return lang.EvaluateParallel(s, mem, ts, workers)
 }
 
-// SaveMemory serializes a trained memory.
+// SaveMemory serializes a trained memory in the legacy HAM1 stream format.
+// New code should prefer the snapshot subsystem below (CaptureSnapshot /
+// SaveSnapshot), which adds versioning, checksums, provenance and zero-copy
+// loading.
 func SaveMemory(w io.Writer, mem *Memory) error {
 	_, err := mem.WriteTo(w)
 	return err
@@ -364,3 +368,94 @@ func SaveMemory(w io.Writer, mem *Memory) error {
 
 // LoadMemory deserializes a memory written by SaveMemory.
 func LoadMemory(r io.Reader) (*Memory, error) { return core.ReadMemory(r) }
+
+// ---- Model snapshots (versioned, checksummed, mmap-loadable) ----
+
+// Snapshot is a captured or loaded model snapshot: the class matrix plus
+// the config and provenance needed to rebuild the exact serving pipeline.
+// Close a loaded snapshot when done; on linux its matrix may be served
+// zero-copy from an mmap of the file.
+type Snapshot = store.Snapshot
+
+// SnapshotConfig records the encoder/pipeline parameters a snapshot's
+// model was trained with (dimensionality, n-gram order, seed).
+type SnapshotConfig = store.Config
+
+// SnapshotProvenance records who trained a snapshot's model, from what
+// corpus seed, and when.
+type SnapshotProvenance = store.Provenance
+
+// SnapshotInfo is the metadata view of a snapshot file from VerifySnapshot.
+type SnapshotInfo = store.Info
+
+// ModelRegistry watches a model directory and hot-swaps the newest valid
+// snapshot into a serving engine (validation happens off the serving path).
+type ModelRegistry = store.Registry
+
+// ModelRegistryConfig configures a ModelRegistry.
+type ModelRegistryConfig = store.RegistryConfig
+
+// RegistryEvent reports one registry action (load, rejection, swap failure).
+type RegistryEvent = store.Event
+
+// Typed snapshot decoding errors; match with errors.Is.
+var (
+	// ErrNotSnapshot marks input without the snapshot magic (e.g. a legacy
+	// SaveMemory file).
+	ErrNotSnapshot = store.ErrNotSnapshot
+	// ErrSnapshotVersion marks a snapshot from a future format version.
+	ErrSnapshotVersion = store.ErrVersion
+	// ErrSnapshotChecksum marks bytes damaged after writing.
+	ErrSnapshotChecksum = store.ErrChecksum
+	// ErrSnapshotTruncated marks input shorter than its declared sizes.
+	ErrSnapshotTruncated = store.ErrTruncated
+	// ErrSnapshotCorrupt marks structurally inconsistent input.
+	ErrSnapshotCorrupt = store.ErrCorrupt
+)
+
+// CaptureSnapshot wraps a trained memory with config and provenance for
+// saving. The memory is referenced, not copied.
+func CaptureSnapshot(mem *Memory, cfg SnapshotConfig, prov SnapshotProvenance) (*Snapshot, error) {
+	return store.Capture(mem, cfg, prov)
+}
+
+// SaveSnapshot atomically writes a snapshot file: a temp file in the target
+// directory is synced and renamed into place, so a watching ModelRegistry
+// never observes a partial write.
+func SaveSnapshot(path string, snap *Snapshot) error { return store.Save(path, snap) }
+
+// OpenSnapshot loads and fully validates a snapshot file; on linux the
+// class matrix is served zero-copy from an mmap when possible.
+func OpenSnapshot(path string) (*Snapshot, error) { return store.Open(path) }
+
+// DecodeSnapshot reads a snapshot from a stream (always copying).
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) { return store.Decode(r) }
+
+// VerifySnapshot validates every checksum and structural invariant of a
+// snapshot file and returns its metadata without keeping the model resident.
+func VerifySnapshot(path string) (*SnapshotInfo, error) { return store.Verify(path) }
+
+// NewModelRegistry builds a directory watcher that validates new snapshots
+// and hot-swaps them into a serving engine via cfg.Swap (typically a
+// closure over Engine.Swap).
+func NewModelRegistry(cfg ModelRegistryConfig) (*ModelRegistry, error) {
+	return store.NewRegistry(cfg)
+}
+
+// SnapshotEncoderFactory returns the encoder factory matching a snapshot's
+// recorded config: the deterministic item memory rebuilt from the seed,
+// preloaded with the language alphabet, at the recorded n-gram order.
+func SnapshotEncoderFactory(cfg SnapshotConfig) func() *Encoder {
+	return func() *Encoder {
+		im := itemmem.New(cfg.Dim, cfg.Seed)
+		im.Preload(itemmem.LatinAlphabet)
+		return encoder.New(im, cfg.NGram)
+	}
+}
+
+// NewSnapshotEngine builds a serving engine directly over a loaded
+// snapshot, with the encoder pipeline rebuilt from the snapshot's own
+// config. Swap later models in with Engine.Swap.
+func NewSnapshotEngine(snap *Snapshot, s Searcher, cfg ServeConfig) (*Engine, error) {
+	return serve.New(snap.Memory(), s, SnapshotEncoderFactory(snap.Config()), cfg)
+}

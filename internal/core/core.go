@@ -59,6 +59,41 @@ func NewMemory(classes []*hv.Vector, labels []string) (*Memory, error) {
 	return &Memory{dim: dim, classes: cs, labels: ls, cm: NewClassMatrix(cs)}, nil
 }
 
+// NewMemoryFromMatrix builds a memory directly over a packed class matrix
+// WITHOUT copying the class data: each class vector is a zero-copy view of
+// its matrix row. This is the load path of the snapshot store — cm's backing
+// words may live in an mmap-ed file, so the memory is usable the moment the
+// file is mapped. The matrix (and therefore the mapping) must stay valid and
+// unmutated for the memory's lifetime. Labels must be unique and non-empty,
+// one per matrix row.
+func NewMemoryFromMatrix(cm *ClassMatrix, labels []string) (*Memory, error) {
+	if cm == nil {
+		return nil, errors.New("core: nil class matrix")
+	}
+	if cm.Rows() != len(labels) {
+		return nil, fmt.Errorf("core: %d matrix rows but %d labels", cm.Rows(), len(labels))
+	}
+	seen := make(map[string]bool, len(labels))
+	cs := make([]*hv.Vector, cm.Rows())
+	ls := make([]string, len(labels))
+	for i := range cs {
+		if labels[i] == "" {
+			return nil, fmt.Errorf("core: class %d has empty label", i)
+		}
+		if seen[labels[i]] {
+			return nil, fmt.Errorf("core: duplicate label %q", labels[i])
+		}
+		seen[labels[i]] = true
+		ls[i] = labels[i]
+		v, err := hv.FromWords(cm.Dim(), cm.Row(i))
+		if err != nil {
+			return nil, fmt.Errorf("core: row %d: %w", i, err)
+		}
+		cs[i] = v
+	}
+	return &Memory{dim: cm.Dim(), classes: cs, labels: ls, cm: cm}, nil
+}
+
 // MustMemory is NewMemory for construction that cannot fail by design.
 func MustMemory(classes []*hv.Vector, labels []string) *Memory {
 	m, err := NewMemory(classes, labels)

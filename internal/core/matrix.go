@@ -45,6 +45,34 @@ func NewClassMatrix(classes []*hv.Vector) *ClassMatrix {
 	return cm
 }
 
+// NewClassMatrixFromWords wraps an existing packed row-major word slice as a
+// class matrix WITHOUT copying: data becomes the matrix's backing store (the
+// zero-copy path of the snapshot store, where data is a view of an mmap-ed
+// file). data must hold exactly rows × wordsPerRow(dim) words with the tail
+// bits of every row zero, and must not be mutated afterward.
+func NewClassMatrixFromWords(dim, rows int, data []uint64) (*ClassMatrix, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("core: non-positive dimension %d", dim)
+	}
+	if rows <= 0 {
+		return nil, fmt.Errorf("core: non-positive row count %d", rows)
+	}
+	words := (dim + 63) / 64
+	if len(data) != rows*words {
+		return nil, fmt.Errorf("core: %d words for %d rows of dim %d, want %d", len(data), rows, dim, rows*words)
+	}
+	tail := ^uint64(0)
+	if r := dim % 64; r != 0 {
+		tail = (uint64(1) << uint(r)) - 1
+	}
+	for i := 0; i < rows; i++ {
+		if data[(i+1)*words-1]&^tail != 0 {
+			return nil, fmt.Errorf("core: row %d has non-zero bits beyond dimension %d", i, dim)
+		}
+	}
+	return &ClassMatrix{dim: dim, words: words, rows: rows, data: data}, nil
+}
+
 // Rows returns the number of stored classes C.
 func (cm *ClassMatrix) Rows() int { return cm.rows }
 

@@ -80,6 +80,25 @@ func RandomBalanced(dim int, rng *rand.Rand) *Vector {
 	return v
 }
 
+// FromWords wraps an existing packed word slice as a hypervector WITHOUT
+// copying: the returned vector shares words as its backing store. It is the
+// zero-copy entry point used by the snapshot store to view rows of an
+// mmap-ed class matrix as vectors. The slice must hold exactly
+// wordsFor(dim) words and obey the tail invariant (no bits set at positions
+// >= dim); neither the caller nor the vector may mutate the words afterward.
+func FromWords(dim int, words []uint64) (*Vector, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("hv: non-positive dimension %d", dim)
+	}
+	if len(words) != wordsFor(dim) {
+		return nil, fmt.Errorf("hv: %d words for dim %d, want %d", len(words), dim, wordsFor(dim))
+	}
+	if words[len(words)-1]&^tailMask(dim) != 0 {
+		return nil, errors.New("hv: words have non-zero bits beyond dimension")
+	}
+	return &Vector{dim: dim, words: words}, nil
+}
+
 // FromBits builds a hypervector from a slice of 0/1 values.
 func FromBits(bits []byte) (*Vector, error) {
 	if len(bits) == 0 {

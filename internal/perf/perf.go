@@ -38,15 +38,16 @@ type Result struct {
 // trajectories across commits honestly. Serve holds the closed-loop load
 // harness measurements when the run included them.
 type Report struct {
-	Timestamp string        `json:"timestamp"`
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	NumCPU    int           `json:"num_cpu"`
-	Dim       int           `json:"dim"`
-	Classes   int           `json:"classes"`
-	Results   []Result      `json:"results"`
-	Serve     []ServeResult `json:"serve,omitempty"`
+	Timestamp string            `json:"timestamp"`
+	GoVersion string            `json:"go_version"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	NumCPU    int               `json:"num_cpu"`
+	Dim       int               `json:"dim"`
+	Classes   int               `json:"classes"`
+	Results   []Result          `json:"results"`
+	Serve     []ServeResult     `json:"serve,omitempty"`
+	ColdStart []ColdStartResult `json:"cold_start,omitempty"`
 }
 
 // WriteJSON serializes the report, indented for diff-friendly check-in.

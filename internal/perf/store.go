@@ -1,0 +1,126 @@
+package perf
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hdam/internal/assoc"
+	"hdam/internal/lang"
+	"hdam/internal/store"
+	"hdam/internal/textgen"
+)
+
+// ColdStartResult compares the two ways to get a serving model: training it
+// from the corpus versus loading a saved snapshot (mmap zero-copy on
+// linux). Load timing includes full checksum validation — the honest cost
+// of a trust-nothing cold start.
+type ColdStartResult struct {
+	Name          string  `json:"name"`
+	TrainMs       float64 `json:"train_ms"`         // training from the corpus
+	SaveMs        float64 `json:"save_ms"`          // capture + atomic write
+	LoadMs        float64 `json:"load_ms"`          // store.Open incl. validation
+	Speedup       float64 `json:"speedup_vs_train"` // (train+save) / load
+	SnapshotBytes int64   `json:"snapshot_bytes"`   // file size on disk
+	ZeroCopy      bool    `json:"zero_copy"`        // matrix served from mmap
+	BitIdentical  bool    `json:"bit_identical"`    // loaded model scores identically
+}
+
+// ColdStartConfig sizes one cold-start measurement point.
+type ColdStartConfig struct {
+	Dim         int
+	TrainChars  int
+	TestPerLang int
+	Seed        uint64
+}
+
+// DefaultColdStartConfigs is the recorded trajectory point: the paper's
+// dimensionality over a reduced corpus, enough for training to dominate.
+func DefaultColdStartConfigs() []ColdStartConfig {
+	return []ColdStartConfig{
+		{Dim: benchDim, TrainChars: 50_000, TestPerLang: 50, Seed: benchSeed},
+	}
+}
+
+// RunColdStart measures every configured point.
+func RunColdStart(cfgs []ColdStartConfig) ([]ColdStartResult, error) {
+	var out []ColdStartResult
+	for _, c := range cfgs {
+		r, err := runColdStart(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+func runColdStart(c ColdStartConfig) (*ColdStartResult, error) {
+	cfg := textgen.DefaultConfig()
+	cfg.Seed = c.Seed
+	langs := textgen.Catalog(cfg)
+	p := lang.DefaultParams()
+	p.Dim = c.Dim
+	p.TrainChars = c.TrainChars
+	p.TestPerLang = c.TestPerLang
+	p.Seed = c.Seed
+
+	t0 := time.Now()
+	tr, err := lang.Train(langs, p)
+	if err != nil {
+		return nil, err
+	}
+	trainD := time.Since(t0)
+
+	dir, err := os.MkdirTemp("", "hdam-coldstart-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "model.hds")
+
+	t1 := time.Now()
+	snap, err := store.Capture(tr.Memory,
+		store.Config{Dim: p.Dim, NGram: p.NGram, Seed: p.Seed},
+		store.Provenance{Trainer: "perf coldstart", CorpusSeed: p.Seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := store.Save(path, snap); err != nil {
+		return nil, err
+	}
+	saveD := time.Since(t1)
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+
+	t2 := time.Now()
+	loaded, err := store.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer loaded.Close()
+	loadD := time.Since(t2)
+
+	ts := lang.MakeTestSet(langs, p)
+	ts.Encode(tr)
+	want := lang.Evaluate(assoc.NewExact(tr.Memory), tr.Memory, ts)
+	got := lang.Evaluate(assoc.NewExact(loaded.Memory()), loaded.Memory(), ts)
+	identical := want.Correct == got.Correct && want.Total == got.Total
+
+	r := &ColdStartResult{
+		Name:          fmt.Sprintf("coldstart/D%d-train%dk", c.Dim, c.TrainChars/1000),
+		TrainMs:       float64(trainD.Microseconds()) / 1e3,
+		SaveMs:        float64(saveD.Microseconds()) / 1e3,
+		LoadMs:        float64(loadD.Microseconds()) / 1e3,
+		SnapshotBytes: st.Size(),
+		ZeroCopy:      loaded.ZeroCopy(),
+		BitIdentical:  identical,
+	}
+	if loadD > 0 {
+		r.Speedup = float64(trainD+saveD) / float64(loadD)
+	}
+	return r, nil
+}

@@ -36,6 +36,18 @@
 //   - Graceful drain: Drain stops intake, flushes what it can within the
 //     caller's deadline and fails the rest fast with ErrDrained, reporting
 //     how many requests were abandoned.
+//
+// # Hot model swap
+//
+// Swap atomically replaces the served model (memory, searcher, encoder
+// factory) without stopping the engine. Every micro-batch is stamped with
+// one model generation when it is flushed, so a batch — and its hedge copy —
+// is always answered entirely by one model; Swap installs the new generation
+// for subsequent batches and blocks until the last batch stamped with the
+// old one has drained, after which the old model's memory is guaranteed
+// untouched (safe to munmap a backing snapshot). No request is dropped and
+// no batch mixes generations; responses report the generation that answered
+// via Response.Gen.
 package serve
 
 import (
@@ -172,6 +184,12 @@ type Response struct {
 	Label string
 	// NGrams is how many n-grams the text encoded to.
 	NGrams int
+	// Gen is the model generation whose batch carried the request (see
+	// Engine.Swap); 0 when the request never reached a worker.
+	Gen uint64
+	// Batch is the 1-based sequence number of the micro-batch that carried
+	// the request; 0 when it never reached a worker.
+	Batch uint64
 	// Err is non-nil when the request was not classified (cancellation,
 	// empty text, shedding, a recovered worker panic, drain abandonment).
 	Err error
@@ -192,9 +210,12 @@ type request struct {
 func (r *request) respond(resp Response) { r.done <- resp }
 
 // batchJob is one dispatched micro-batch, shared between its primary
-// dispatch and (under hedging) its hedge copy.
+// dispatch and (under hedging) its hedge copy. The model is pinned when the
+// batch is flushed, so both copies answer from the same generation.
 type batchJob struct {
 	reqs    []*request
+	model   *model        // generation answering every request in the batch
+	seq     uint64        // 1-based batch sequence number
 	pending atomic.Int64  // requests not yet answered
 	start   time.Time     // dispatch time, for the hedge latency samples
 	done    chan struct{} // closed when pending reaches 0 (hedging only)
@@ -204,6 +225,51 @@ type batchJob struct {
 type dispatch struct {
 	job   *batchJob
 	hedge bool
+}
+
+// model binds one generation of servable state: the memory, the base
+// searcher workers fork from, and an encoder factory (plus scratch pool)
+// matched to the memory's dimension. Batches pin their model at flush time;
+// the in-flight count below lets Swap wait until the last batch stamped
+// with a retired generation has finished before declaring it drained.
+type model struct {
+	gen    uint64
+	mem    *core.Memory
+	base   core.Searcher
+	newEnc func() *encoder.Encoder
+
+	encoders sync.Pool // *encoder.Encoder scratch for this generation
+
+	inflight  atomic.Int64  // batches stamped with this model, not yet finished
+	retired   atomic.Bool   // a Swap installed a successor
+	drained   chan struct{} // closed once retired with nothing in flight
+	drainOnce sync.Once
+}
+
+func newModel(gen uint64, mem *core.Memory, s core.Searcher, newEnc func() *encoder.Encoder, probe *encoder.Encoder) *model {
+	m := &model{gen: gen, mem: mem, base: s, newEnc: newEnc, drained: make(chan struct{})}
+	m.encoders.New = func() any { return m.newEnc() }
+	if probe != nil {
+		m.encoders.Put(probe)
+	}
+	return m
+}
+
+// release retires one stamped batch; the last release of a retired model
+// closes its drain gate.
+func (m *model) release() {
+	if m.inflight.Add(-1) == 0 && m.retired.Load() {
+		m.drainOnce.Do(func() { close(m.drained) })
+	}
+}
+
+// retire marks the model replaced. The drain gate closes immediately when
+// nothing is in flight, else when the last stamped batch finishes.
+func (m *model) retire() {
+	m.retired.Store(true)
+	if m.inflight.Load() == 0 {
+		m.drainOnce.Do(func() { close(m.drained) })
+	}
 }
 
 // Stats is a snapshot of the engine's counters.
@@ -221,6 +287,7 @@ type Stats struct {
 	Hedged    uint64 // straggling batches re-issued to an idle worker
 	HedgeWins uint64 // requests answered by the hedge copy
 	Abandoned uint64 // requests failed with ErrDrained by Drain
+	Swaps     uint64 // completed model hot-swaps
 }
 
 // AvgBatch returns the mean micro-batch size so far.
@@ -269,12 +336,10 @@ func (l *latRing) quantile(q float64) (time.Duration, int) {
 // Engine is the micro-batching query engine. Construct with New; Close (or
 // Drain) stops intake, finishes the pool and is idempotent.
 type Engine struct {
-	cfg    Config
-	mem    *core.Memory
-	base   core.Searcher
-	newEnc func() *encoder.Encoder
+	cfg   Config
+	model atomic.Pointer[model] // current generation; batches pin it at flush
 
-	encoders sync.Pool // *encoder.Encoder scratch, shared by the workers
+	swapMu sync.Mutex // serializes Swap calls
 
 	requests chan *request
 	batches  chan dispatch
@@ -295,7 +360,7 @@ type Engine struct {
 	rejected, shed                        atomic.Uint64
 	panics, restarts                      atomic.Uint64
 	hedged, hedgeWins                     atomic.Uint64
-	abandoned                             atomic.Uint64
+	abandoned, swaps                      atomic.Uint64
 	idle                                  atomic.Int64 // workers parked on the batches channel
 }
 
@@ -314,16 +379,12 @@ func New(mem *core.Memory, s core.Searcher, newEncoder func() *encoder.Encoder, 
 	}
 	e := &Engine{
 		cfg:       cfg,
-		mem:       mem,
-		base:      s,
-		newEnc:    newEncoder,
 		requests:  make(chan *request, cfg.Queue),
 		batches:   make(chan dispatch, cfg.Workers),
 		done:      make(chan struct{}),
 		stopHedge: make(chan struct{}),
 	}
-	e.encoders.New = func() any { return e.newEnc() }
-	e.encoders.Put(probe)
+	e.model.Store(newModel(1, mem, s, newEncoder, probe))
 	e.wg.Add(1 + cfg.Workers)
 	go e.batcher()
 	for w := 0; w < cfg.Workers; w++ {
@@ -334,6 +395,58 @@ func New(mem *core.Memory, s core.Searcher, newEncoder func() *encoder.Encoder, 
 
 // Config returns the resolved configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// Gen returns the generation number of the model serving new batches (1 for
+// the model New was built with; each successful Swap increments it).
+func (e *Engine) Gen() uint64 { return e.model.Load().gen }
+
+// acquireModel pins the current model for one batch. The in-flight count is
+// bumped before re-checking retirement, so a concurrent Swap either observes
+// the batch and waits for it, or the batcher observes the successor and
+// retries — a stamped batch is never drained out from under.
+func (e *Engine) acquireModel() *model {
+	for {
+		m := e.model.Load()
+		m.inflight.Add(1)
+		if !m.retired.Load() {
+			return m
+		}
+		m.release()
+	}
+}
+
+// Swap atomically replaces the served model — the memory, the searcher over
+// it and the encoder factory for its dimension — and returns the new
+// generation number. Batches flushed before the swap are answered entirely
+// by the old model (Swap blocks until the last of them drains); batches
+// after it entirely by the new one. No request is dropped and no batch
+// mixes generations. Once Swap returns, the old model's memory is no longer
+// read, so resources backing it (e.g. a mapped snapshot) may be released.
+// Swaps are serialized; concurrent callers proceed one generation at a time.
+func (e *Engine) Swap(mem *core.Memory, s core.Searcher, newEncoder func() *encoder.Encoder) (uint64, error) {
+	if mem == nil || s == nil || newEncoder == nil {
+		return 0, errors.New("serve: nil memory, searcher or encoder factory")
+	}
+	probe := newEncoder()
+	if probe == nil || probe.Dim() != mem.Dim() {
+		return 0, fmt.Errorf("serve: encoder factory dim mismatch with memory dim %d", mem.Dim())
+	}
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	old := e.model.Load()
+	next := newModel(old.gen+1, mem, s, newEncoder, probe)
+	e.model.Store(next)
+	old.retire()
+	<-old.drained
+	e.swaps.Add(1)
+	return next.gen, nil
+}
 
 // Go enqueues one text for classification and returns the channel its
 // Response will arrive on (buffered; the engine never blocks on it). The
@@ -480,6 +593,7 @@ func (e *Engine) Stats() Stats {
 		Hedged:    e.hedged.Load(),
 		HedgeWins: e.hedgeWins.Load(),
 		Abandoned: e.abandoned.Load(),
+		Swaps:     e.swaps.Load(),
 	}
 }
 
@@ -503,9 +617,8 @@ func (e *Engine) batcher() {
 		if len(batch) == 0 {
 			return
 		}
-		e.nbatches.Add(1)
 		e.batched.Add(uint64(len(batch)))
-		job := &batchJob{reqs: batch}
+		job := &batchJob{reqs: batch, model: e.acquireModel(), seq: e.nbatches.Add(1)}
 		job.pending.Store(int64(len(batch)))
 		if e.cfg.Hedge {
 			job.start = time.Now()
@@ -621,49 +734,50 @@ func searchFunc(s core.Searcher) func(*hv.Vector) core.Result {
 // forked returns worker w's searcher: a fresh per-worker fork when the base
 // supports it, preserving the per-worker PCG stream contract of
 // core.SearchAllWorkers, else the shared base.
-func (e *Engine) forked(w int) core.Searcher {
-	if f, ok := e.base.(core.ForkableSearcher); ok {
+func forked(base core.Searcher, w int) core.Searcher {
+	if f, ok := base.(core.ForkableSearcher); ok {
 		if fs := f.Fork(w); fs != nil {
 			return fs
 		}
 	}
-	return e.base
+	return base
 }
 
 // serveOne answers one claimed request, converting a panic anywhere in the
 // encode→search flow into a per-request ErrWorkerPanic answer. It reports
 // whether it panicked so the worker can rebuild its state.
-func (e *Engine) serveOne(r *request, enc *encoder.Encoder, search func(*hv.Vector) core.Result, hedge bool) (panicked bool) {
+func (e *Engine) serveOne(r *request, job *batchJob, enc *encoder.Encoder, search func(*hv.Vector) core.Result, hedge bool) (panicked bool) {
+	gen, seq := job.model.gen, job.seq
 	defer func() {
 		if v := recover(); v != nil {
 			panicked = true
 			e.panics.Add(1)
-			r.respond(Response{Err: fmt.Errorf("%w: %v", ErrWorkerPanic, v)})
+			r.respond(Response{Gen: gen, Batch: seq, Err: fmt.Errorf("%w: %v", ErrWorkerPanic, v)})
 		}
 	}()
 	if e.abandoning.Load() {
 		e.abandoned.Add(1)
-		r.respond(Response{Err: ErrDrained})
+		r.respond(Response{Gen: gen, Batch: seq, Err: ErrDrained})
 		return false
 	}
 	// Deadline propagation: a request whose context ended while it queued
 	// is dropped before any encode work is spent on it.
 	if err := r.ctx.Err(); err != nil {
 		e.canceled.Add(1)
-		r.respond(Response{Err: err})
+		r.respond(Response{Gen: gen, Batch: seq, Err: err})
 		return false
 	}
 	q, n := enc.EncodeText(r.text, e.cfg.Seed)
 	if n == 0 {
 		e.empty.Add(1)
-		r.respond(Response{NGrams: 0, Err: ErrNoNGrams})
+		r.respond(Response{NGrams: 0, Gen: gen, Batch: seq, Err: ErrNoNGrams})
 		return false
 	}
 	// Re-check between encode and search: search dominates the cost, so an
 	// expiry during encode still saves the expensive half.
 	if err := r.ctx.Err(); err != nil {
 		e.canceled.Add(1)
-		r.respond(Response{Err: err})
+		r.respond(Response{Gen: gen, Batch: seq, Err: err})
 		return false
 	}
 	res := search(q)
@@ -671,13 +785,13 @@ func (e *Engine) serveOne(r *request, enc *encoder.Encoder, search func(*hv.Vect
 	if hedge {
 		e.hedgeWins.Add(1)
 	}
-	r.respond(Response{Result: res, Label: e.mem.Label(res.Index), NGrams: n})
+	r.respond(Response{Result: res, Label: job.model.mem.Label(res.Index), NGrams: n, Gen: gen, Batch: seq})
 	return false
 }
 
-// finish retires one answered request of the job and, under hedging,
-// records the batch service time and releases the monitor when the batch
-// completes.
+// finish retires one answered request of the job; the last one releases the
+// hedge monitor (recording the batch service time) and the job's pin on its
+// model generation.
 func (e *Engine) finish(job *batchJob) {
 	if job.pending.Add(-1) != 0 {
 		return
@@ -686,6 +800,7 @@ func (e *Engine) finish(job *batchJob) {
 		e.lats.add(time.Since(job.start))
 		close(job.done)
 	}
+	job.model.release()
 }
 
 // worker drains micro-batches through the pipelined encode→search flow
@@ -694,10 +809,19 @@ func (e *Engine) finish(job *batchJob) {
 // searcher fork and rebuilds both before the next request.
 func (e *Engine) worker(w int) {
 	defer e.wg.Done()
-	s := e.forked(w)
-	search := searchFunc(s)
-	enc := e.encoders.Get().(*encoder.Encoder)
-	defer func() { e.encoders.Put(enc) }()
+	// Per-model worker state, rebuilt lazily when a batch from a different
+	// generation arrives.
+	var (
+		m      *model
+		s      core.Searcher
+		search func(*hv.Vector) core.Result
+		enc    *encoder.Encoder
+	)
+	defer func() {
+		if m != nil {
+			m.encoders.Put(enc)
+		}
+	}()
 	for {
 		e.idle.Add(1)
 		d, ok := <-e.batches
@@ -705,17 +829,32 @@ func (e *Engine) worker(w int) {
 		if !ok {
 			return
 		}
+		jm := d.job.model
 		for _, r := range d.job.reqs {
 			// First dispatch copy to claim a request answers it; the hedge
 			// loser (or the primary, if the hedge got there first) skips.
 			if !r.claimed.CompareAndSwap(false, true) {
 				continue
 			}
-			if e.serveOne(r, enc, search, d.hedge) {
+			// Switch generations only after a claim: the claimed request
+			// keeps the job pending, so the job's model cannot finish
+			// draining — its memory stays valid — while we serve from it. A
+			// stale dispatch whose requests were all claimed elsewhere never
+			// touches the model at all.
+			if jm != m {
+				if m != nil {
+					m.encoders.Put(enc)
+				}
+				m = jm
+				s = forked(m.base, w)
+				search = searchFunc(s)
+				enc = m.encoders.Get().(*encoder.Encoder)
+			}
+			if e.serveOne(r, d.job, enc, search, d.hedge) {
 				// Supervised restart: never pool or reuse state a panic ran
 				// through.
-				enc = e.newEnc()
-				s = e.forked(w)
+				enc = m.newEnc()
+				s = forked(m.base, w)
 				search = searchFunc(s)
 				e.restarts.Add(1)
 			}

@@ -1,0 +1,171 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"runtime"
+	"testing"
+)
+
+// validSnapshotBytes builds one small valid snapshot encoding for the
+// corruption tests to damage.
+func validSnapshotBytes(t testing.TB) []byte {
+	t.Helper()
+	mem := buildMemory(t, 200, 3, 7)
+	snap := capture(t, mem, 7)
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// reseal recomputes the header CRC after a deliberate header edit, so the
+// test reaches the validation stage beyond it.
+func reseal(data []byte) {
+	binary.LittleEndian.PutUint32(data[hdrCRCOff:],
+		crc32.Checksum(data[:crcZoneLen], castagnoli))
+}
+
+// resealTable recomputes the table CRC (and then the header CRC) after a
+// deliberate section-table edit.
+func resealTable(data []byte) {
+	nsec := binary.LittleEndian.Uint32(data[sectionsOff:])
+	table := data[headerSize : headerSize+int(nsec)*sectionSize]
+	binary.LittleEndian.PutUint32(data[tableCRCOff:], crc32.Checksum(table, castagnoli))
+	reseal(data)
+}
+
+func mustDecodeErr(t *testing.T, data []byte, want error, msg string) {
+	t.Helper()
+	snap, _, _, err := decode(data, true)
+	if err == nil {
+		snap.Close()
+		t.Fatalf("%s: decode accepted corrupt input", msg)
+	}
+	if !errors.Is(err, want) {
+		t.Fatalf("%s: error %v, want %v", msg, err, want)
+	}
+}
+
+func TestDecodeRejectsBitFlippedPayload(t *testing.T) {
+	base := validSnapshotBytes(t)
+	// Flip one bit in every region past the header and expect a typed
+	// error each time — a single-bit flip can never load silently.
+	for _, off := range []int{headerSize + 1, headerSize + sectionSize + 9, len(base) / 2, len(base) - 1} {
+		data := bytes.Clone(base)
+		data[off] ^= 0x10
+		snap, _, _, err := decode(data, true)
+		if err == nil {
+			snap.Close()
+			t.Fatalf("bit flip at %d accepted", off)
+		}
+		if !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at %d: untyped error %v", off, err)
+		}
+	}
+}
+
+func TestDecodeRejectsFlippedChecksumField(t *testing.T) {
+	data := validSnapshotBytes(t)
+	// Damaging the stored matrix CRC itself must also be caught (by the
+	// table checksum guarding the table bytes).
+	data[headerSize+2*sectionSize+24] ^= 0x01
+	mustDecodeErr(t, data, ErrChecksum, "flipped stored crc")
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	base := validSnapshotBytes(t)
+	for _, n := range []int{0, 4, magicLen, headerSize - 1, headerSize, headerSize + sectionSize, len(base) - 1} {
+		data := bytes.Clone(base[:n])
+		snap, _, _, err := decode(data, true)
+		if err == nil {
+			snap.Close()
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+		if n < magicLen {
+			if !errors.Is(err, ErrNotSnapshot) {
+				t.Fatalf("truncation to %d: error %v, want ErrNotSnapshot", n, err)
+			}
+		} else if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncation to %d: error %v, want ErrTruncated", n, err)
+		}
+	}
+}
+
+func TestDecodeRejectsFutureVersion(t *testing.T) {
+	data := validSnapshotBytes(t)
+	binary.LittleEndian.PutUint32(data[versionOff:], FormatVersion+1)
+	reseal(data)
+	mustDecodeErr(t, data, ErrVersion, "future version")
+}
+
+func TestDecodeRejectsNotSnapshot(t *testing.T) {
+	mustDecodeErr(t, []byte("HAM1 some legacy memory file ..."), ErrNotSnapshot, "legacy magic")
+	mustDecodeErr(t, bytes.Repeat([]byte{0}, 256), ErrNotSnapshot, "zero input")
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	data := append(validSnapshotBytes(t), 0xde, 0xad)
+	mustDecodeErr(t, data, ErrCorrupt, "trailing bytes")
+}
+
+// TestDecodeGiantDeclaredLengths patches implausibly large declared sizes
+// into an otherwise valid snapshot and checks the decoder rejects them with
+// typed errors without ever allocating the declared amounts.
+func TestDecodeGiantDeclaredLengths(t *testing.T) {
+	base := validSnapshotBytes(t)
+
+	cases := []struct {
+		name  string
+		patch func(data []byte)
+		want  error
+	}{
+		{"file size 1TB", func(data []byte) {
+			binary.LittleEndian.PutUint64(data[fileSizeOff:], 1<<40)
+			reseal(data)
+		}, ErrTruncated},
+		{"section length 1TB", func(data []byte) {
+			binary.LittleEndian.PutUint64(data[headerSize+16:], 1<<40)
+			resealTable(data)
+		}, ErrCorrupt},
+		{"section offset+length overflow", func(data []byte) {
+			binary.LittleEndian.PutUint64(data[headerSize+8:], ^uint64(0)-16)
+			binary.LittleEndian.PutUint64(data[headerSize+16:], 1<<40)
+			resealTable(data)
+		}, ErrCorrupt},
+		{"section count huge", func(data []byte) {
+			binary.LittleEndian.PutUint32(data[sectionsOff:], 1<<30)
+			reseal(data)
+		}, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		data := bytes.Clone(base)
+		tc.patch(data)
+
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		mustDecodeErr(t, data, tc.want, tc.name)
+		runtime.ReadMemStats(&after)
+		if grew := after.TotalAlloc - before.TotalAlloc; grew > 1<<20 {
+			t.Fatalf("%s: decode allocated %d bytes rejecting the input", tc.name, grew)
+		}
+	}
+}
+
+// TestOpenRejectsCorruptFile exercises the file-backed (mmap) path with a
+// damaged payload.
+func TestOpenRejectsCorruptFile(t *testing.T) {
+	data := validSnapshotBytes(t)
+	data[len(data)-3] ^= 0x40
+	path := writeFile(t, data)
+	if _, err := Open(path); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("open of corrupt file: %v, want ErrChecksum", err)
+	}
+	if _, err := Verify(path); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("verify of corrupt file: %v, want ErrChecksum", err)
+	}
+}

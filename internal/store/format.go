@@ -1,0 +1,157 @@
+// Package store implements model persistence for trained associative
+// memories: a versioned, checksummed binary snapshot format that captures
+// everything needed to serve — the packed class matrix, class labels,
+// encoder configuration and provenance — plus a registry that watches a
+// model directory and hot-swaps validated snapshots into a live serve
+// engine.
+//
+// The paper's premise is that a trained HD associative memory is a
+// long-lived artifact: the class hypervectors are programmed once into a
+// non-volatile crossbar and then only searched. The snapshot store is the
+// software analogue of that non-volatility — training takes minutes, loading
+// a snapshot takes milliseconds, and on linux the matrix payload is mapped
+// zero-copy, so a cold process starts answering queries without ever
+// materializing the model in private memory.
+//
+// # File layout (format version 1, all integers little-endian)
+//
+//	offset 0    header (48 bytes)
+//	  +0   magic    [8]byte  "HDAMSNAP"
+//	  +8   version  uint32   format version (currently 1)
+//	  +12  sections uint32   section count
+//	  +16  fileSize uint64   declared total file size in bytes
+//	  +24  tableCRC uint32   CRC-32C over the section table
+//	  +28  hdrCRC   uint32   CRC-32C over header bytes [0,28)
+//	  +32  reserved [16]byte zero
+//	offset 48   section table (sections × 32 bytes)
+//	  +0   id       uint32   section identifier
+//	  +4   reserved uint32   zero
+//	  +8   offset   uint64   payload offset from file start
+//	  +16  length   uint64   payload length in bytes
+//	  +24  crc      uint32   CRC-32C over the payload
+//	  +28  reserved uint32   zero
+//	payloads, in table order, with zero padding permitted between them
+//
+// Sections: META (1) is a small JSON object holding the shape (dim, rows),
+// encoder parameters (n-gram order, item-memory seed) and provenance
+// (trainer version, corpus seed, creation time — all passed in by the
+// caller). LABELS (2) is uint32 count followed by uint16-length-prefixed
+// label strings. MATRIX (3) is the packed row-major class matrix, exactly
+// rows × wordsPerRow × 8 bytes; the writer aligns its offset to 64 bytes so
+// an mmap-ed file can expose the words in place (a page-aligned base plus a
+// 64-byte-aligned offset satisfies uint64 alignment).
+//
+// The decoder is strict: corrupt, truncated, oversized or future-versioned
+// input is rejected with a typed error (ErrNotSnapshot, ErrVersion,
+// ErrChecksum, ErrTruncated, ErrCorrupt) — never a panic — and declared
+// lengths are validated against the actual input size before any allocation,
+// so a hostile header cannot make the decoder allocate gigabytes.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Typed decode errors. All decoder failures wrap exactly one of these, so
+// callers can classify failures with errors.Is.
+var (
+	// ErrNotSnapshot marks input that does not start with the snapshot magic
+	// (e.g. a legacy SaveMemory file, or not a model file at all).
+	ErrNotSnapshot = errors.New("store: not a snapshot file")
+	// ErrVersion marks a snapshot written by a future format version.
+	ErrVersion = errors.New("store: unsupported snapshot format version")
+	// ErrChecksum marks a checksum mismatch: the bytes were damaged after
+	// writing (bit rot, torn write, truncated copy that kept the size).
+	ErrChecksum = errors.New("store: snapshot checksum mismatch")
+	// ErrTruncated marks input shorter than its own declared sizes.
+	ErrTruncated = errors.New("store: truncated snapshot")
+	// ErrCorrupt marks structurally inconsistent input: sections out of
+	// bounds, implausible shapes, giant declared lengths, trailing garbage.
+	ErrCorrupt = errors.New("store: corrupt snapshot")
+	// ErrClosed is returned when using a snapshot after Close unmapped it.
+	ErrClosed = errors.New("store: snapshot closed")
+)
+
+const (
+	// FormatVersion is the snapshot format this package writes.
+	FormatVersion = 1
+
+	headerSize   = 48
+	sectionSize  = 32
+	matrixAlign  = 64
+	magicLen     = 8
+	crcZoneLen   = 28 // header bytes covered by hdrCRC
+	tableCRCOff  = 24
+	hdrCRCOff    = 28
+	sectionsOff  = 12
+	versionOff   = 8
+	fileSizeOff  = 16
+	maxSections  = 16
+	maxDim       = 1 << 24
+	maxRows      = 1 << 20
+	maxNGram     = 64
+	maxLabelLen  = 1 << 16
+	maxMetaBytes = 1 << 20
+)
+
+// magic identifies the snapshot format.
+var magic = [magicLen]byte{'H', 'D', 'A', 'M', 'S', 'N', 'A', 'P'}
+
+// Section identifiers.
+const (
+	secMeta   = 1
+	secLabels = 2
+	secMatrix = 3
+)
+
+// castagnoli is the CRC-32C table used for every snapshot checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// section is one entry of the section table.
+type section struct {
+	id     uint32
+	offset uint64
+	length uint64
+	crc    uint32
+}
+
+// putSection encodes one table entry into a 32-byte slot.
+func putSection(dst []byte, s section) {
+	binary.LittleEndian.PutUint32(dst[0:], s.id)
+	binary.LittleEndian.PutUint32(dst[4:], 0)
+	binary.LittleEndian.PutUint64(dst[8:], s.offset)
+	binary.LittleEndian.PutUint64(dst[16:], s.length)
+	binary.LittleEndian.PutUint32(dst[24:], s.crc)
+	binary.LittleEndian.PutUint32(dst[28:], 0)
+}
+
+// getSection decodes one 32-byte table slot.
+func getSection(src []byte) section {
+	return section{
+		id:     binary.LittleEndian.Uint32(src[0:]),
+		offset: binary.LittleEndian.Uint64(src[8:]),
+		length: binary.LittleEndian.Uint64(src[16:]),
+		crc:    binary.LittleEndian.Uint32(src[24:]),
+	}
+}
+
+// encodeHeader builds the 48-byte header for a file of the given size with
+// the given encoded section table.
+func encodeHeader(sections int, fileSize uint64, table []byte) []byte {
+	hdr := make([]byte, headerSize)
+	copy(hdr, magic[:])
+	binary.LittleEndian.PutUint32(hdr[versionOff:], FormatVersion)
+	binary.LittleEndian.PutUint32(hdr[sectionsOff:], uint32(sections))
+	binary.LittleEndian.PutUint64(hdr[fileSizeOff:], fileSize)
+	binary.LittleEndian.PutUint32(hdr[tableCRCOff:], crc32.Checksum(table, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[hdrCRCOff:], crc32.Checksum(hdr[:crcZoneLen], castagnoli))
+	return hdr
+}
+
+// wordsPerRow is the packed word count for one row of dim bits.
+func wordsPerRow(dim int) int { return (dim + 63) / 64 }
+
+// alignUp rounds n up to the next multiple of align (a power of two).
+func alignUp(n, align uint64) uint64 { return (n + align - 1) &^ (align - 1) }

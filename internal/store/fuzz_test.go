@@ -1,0 +1,76 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeFile drops bytes into a temp file and returns its path.
+func writeFile(t testing.TB, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fuzz.hds")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("writing fuzz file: %v", err)
+	}
+	return path
+}
+
+// FuzzDecodeSnapshot throws arbitrary bytes at the strict decoder: no input
+// may panic, allocate unboundedly, or load without satisfying the format's
+// invariants. Running `go test` executes the seed corpus as unit cases (the
+// CI smoke mode); `go test -fuzz FuzzDecodeSnapshot` explores further.
+func FuzzDecodeSnapshot(f *testing.F) {
+	valid := func() []byte {
+		mem := buildMemory(f, 130, 3, 3) // partial tail word
+		snap := capture(f, mem, 3)
+		var buf bytes.Buffer
+		if _, err := snap.WriteTo(&buf); err != nil {
+			f.Fatalf("write: %v", err)
+		}
+		return buf.Bytes()
+	}()
+
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)-7])
+	f.Add(bytes.Repeat([]byte{0xff}, 512))
+	f.Add([]byte("HDAMSNAP garbage after a valid magic"))
+	// Seeded structural corruptions: version, section count, file size,
+	// section table, payload.
+	for _, off := range []int{versionOff, sectionsOff, fileSizeOff, headerSize + 8, headerSize + 16, headerSize + 2*sectionSize + 16, len(valid) - 9} {
+		c := bytes.Clone(valid)
+		c[off] ^= 0x81
+		f.Add(c)
+	}
+	huge := bytes.Clone(valid)
+	binary.LittleEndian.PutUint64(huge[fileSizeOff:], 1<<52)
+	reseal(huge)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return // keep per-case cost bounded; structure fits well within 1MB
+		}
+		snap, _, _, err := decode(bytes.Clone(data), true)
+		if err != nil {
+			return
+		}
+		// Accepted input must be internally consistent.
+		mem := snap.Memory()
+		if mem == nil {
+			t.Fatal("accepted snapshot with nil memory")
+		}
+		if mem.Classes() != snap.Classes() || len(snap.Labels()) != mem.Classes() {
+			t.Fatalf("accepted snapshot with inconsistent shape: %d classes, %d labels",
+				mem.Classes(), len(snap.Labels()))
+		}
+		if mem.Dim() != snap.Config().Dim {
+			t.Fatalf("accepted snapshot with dim mismatch: %d vs %d", mem.Dim(), snap.Config().Dim)
+		}
+		snap.Close()
+	})
+}

@@ -1,0 +1,21 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform has the zero-copy map path.
+const mmapSupported = true
+
+// mapFile maps size bytes of f read-only. The returned unmap must be called
+// exactly once when the mapping is no longer referenced.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

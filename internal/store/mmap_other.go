@@ -1,0 +1,17 @@
+//go:build !linux
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform has the zero-copy map path.
+const mmapSupported = false
+
+// mapFile is unavailable on this platform; Open falls back to reading the
+// file into a private buffer.
+func mapFile(*os.File, int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("store: mmap not supported on this platform")
+}

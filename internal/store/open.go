@@ -1,0 +1,147 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Open loads and fully validates the snapshot at path. On linux the file is
+// mapped read-only and the class matrix is served zero-copy straight from
+// the mapping (validation still streams every byte once to check the
+// checksums, which also warms the page cache); elsewhere — or when mapping
+// fails — the file is read into a private buffer. Either way the caller
+// must Close the snapshot when done, after which its Memory is invalid.
+func Open(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	size := st.Size()
+	if mmapSupported && size > 0 {
+		if data, unmap, err := mapFile(f, size); err == nil {
+			snap, _, viewed, derr := decode(data, true)
+			if derr != nil {
+				unmap()
+				return nil, derr
+			}
+			if !viewed {
+				// Decode fell back to copying (e.g. big-endian host); the
+				// mapping holds nothing the snapshot needs.
+				unmap()
+			} else {
+				snap.unmap = unmap
+				snap.zeroCopy = true
+			}
+			snap.path = path
+			return snap, nil
+		}
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	snap, _, _, err := decode(data, true)
+	if err != nil {
+		return nil, err
+	}
+	snap.path = path
+	return snap, nil
+}
+
+// SectionInfo describes one section of a snapshot file.
+type SectionInfo struct {
+	ID     uint32
+	Name   string
+	Offset uint64
+	Length uint64
+	CRC    uint32
+}
+
+// Info is the metadata view of a snapshot file produced by Verify: enough
+// to inspect a model without keeping it resident.
+type Info struct {
+	Path       string
+	Size       int64
+	Config     Config
+	Provenance Provenance
+	Rows       int
+	Labels     []string
+	Sections   []SectionInfo
+	ZeroCopy   bool // whether this verification used the mmap path
+}
+
+// sectionName names the known section ids for reports.
+func sectionName(id uint32) string {
+	switch id {
+	case secMeta:
+		return "META"
+	case secLabels:
+		return "LABELS"
+	case secMatrix:
+		return "MATRIX"
+	}
+	return fmt.Sprintf("unknown(%d)", id)
+}
+
+// Verify opens the snapshot at path, validates every checksum and
+// structural invariant, and returns its metadata. The model itself is
+// released before returning; a nil error means Open would succeed and the
+// payload is intact end to end.
+func Verify(path string) (*Info, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	size := st.Size()
+	var (
+		data  []byte
+		unmap func() error
+	)
+	zero := false
+	if mmapSupported && size > 0 {
+		if m, u, err := mapFile(f, size); err == nil {
+			data, unmap, zero = m, u, true
+		}
+	}
+	if data == nil {
+		data = make([]byte, size)
+		if _, err := io.ReadFull(f, data); err != nil {
+			return nil, fmt.Errorf("store: reading %s: %w", path, err)
+		}
+	}
+	if unmap != nil {
+		defer unmap()
+	}
+	// Viewing is fine here: the decoded memory aliases data only until this
+	// function returns, and only the metadata escapes.
+	snap, secs, _, err := decode(data, true)
+	if err != nil {
+		return nil, err
+	}
+	info := &Info{
+		Path:       path,
+		Size:       size,
+		Config:     snap.cfg,
+		Provenance: snap.prov,
+		Rows:       len(snap.labels),
+		Labels:     snap.labels,
+		ZeroCopy:   zero,
+	}
+	for _, s := range secs {
+		info.Sections = append(info.Sections, SectionInfo{
+			ID: s.id, Name: sectionName(s.id), Offset: s.offset, Length: s.length, CRC: s.crc,
+		})
+	}
+	return info, nil
+}

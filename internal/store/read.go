@@ -1,0 +1,220 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+	"unsafe"
+
+	"hdam/internal/core"
+)
+
+// hostLittleEndian reports whether the running machine stores uint64s
+// little-endian — the precondition for viewing the matrix payload in place.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// wordsView reinterprets b as a []uint64 without copying, when the host is
+// little-endian and b is 8-byte aligned; ok reports whether it could.
+func wordsView(b []byte) (words []uint64, ok bool) {
+	if !hostLittleEndian || len(b) == 0 || len(b)%8 != 0 {
+		return nil, false
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8), true
+}
+
+// decode parses and fully validates one snapshot from data. With allowView,
+// the matrix payload is exposed as a zero-copy view of data when alignment
+// and endianness permit; viewed reports whether that happened (the caller
+// then ties the snapshot's lifetime to data's). decode never panics on any
+// input and never allocates based on declared lengths before checking them
+// against len(data).
+func decode(data []byte, allowView bool) (snap *Snapshot, secs []section, viewed bool, err error) {
+	if len(data) < headerSize {
+		if len(data) < magicLen || string(data[:magicLen]) != string(magic[:]) {
+			return nil, nil, false, fmt.Errorf("%w: %d-byte input", ErrNotSnapshot, len(data))
+		}
+		return nil, nil, false, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(data), headerSize)
+	}
+	if string(data[:magicLen]) != string(magic[:]) {
+		return nil, nil, false, fmt.Errorf("%w: bad magic", ErrNotSnapshot)
+	}
+	hdr := data[:headerSize]
+	if got, want := crc32.Checksum(hdr[:crcZoneLen], castagnoli), binary.LittleEndian.Uint32(hdr[hdrCRCOff:]); got != want {
+		return nil, nil, false, fmt.Errorf("%w: header crc %08x, stored %08x", ErrChecksum, got, want)
+	}
+	version := binary.LittleEndian.Uint32(hdr[versionOff:])
+	if version > FormatVersion {
+		return nil, nil, false, fmt.Errorf("%w: version %d, this build reads up to %d", ErrVersion, version, FormatVersion)
+	}
+	if version == 0 {
+		return nil, nil, false, fmt.Errorf("%w: version 0", ErrCorrupt)
+	}
+	fileSize := binary.LittleEndian.Uint64(hdr[fileSizeOff:])
+	if uint64(len(data)) < fileSize {
+		return nil, nil, false, fmt.Errorf("%w: %d bytes, header declares %d", ErrTruncated, len(data), fileSize)
+	}
+	if uint64(len(data)) > fileSize {
+		return nil, nil, false, fmt.Errorf("%w: %d trailing bytes beyond declared size %d", ErrCorrupt, uint64(len(data))-fileSize, fileSize)
+	}
+	nsec := binary.LittleEndian.Uint32(hdr[sectionsOff:])
+	if nsec == 0 || nsec > maxSections {
+		return nil, nil, false, fmt.Errorf("%w: %d sections (limit %d)", ErrCorrupt, nsec, maxSections)
+	}
+	tableEnd := uint64(headerSize) + uint64(nsec)*sectionSize
+	if tableEnd > fileSize {
+		return nil, nil, false, fmt.Errorf("%w: section table overruns file", ErrTruncated)
+	}
+	table := data[headerSize:tableEnd]
+	if got, want := crc32.Checksum(table, castagnoli), binary.LittleEndian.Uint32(hdr[tableCRCOff:]); got != want {
+		return nil, nil, false, fmt.Errorf("%w: section table crc %08x, stored %08x", ErrChecksum, got, want)
+	}
+
+	// Bounds-check and checksum every section, then index the known ones.
+	secs = make([]section, nsec)
+	byID := map[uint32][]byte{}
+	for i := range secs {
+		s := getSection(table[i*sectionSize:])
+		if s.offset < tableEnd || s.offset > fileSize || s.length > fileSize-s.offset {
+			return nil, nil, false, fmt.Errorf("%w: section %d (id %d) spans [%d,%d+%d) outside file of %d bytes",
+				ErrCorrupt, i, s.id, s.offset, s.offset, s.length, fileSize)
+		}
+		payload := data[s.offset : s.offset+s.length]
+		if got := crc32.Checksum(payload, castagnoli); got != s.crc {
+			return nil, nil, false, fmt.Errorf("%w: section id %d crc %08x, stored %08x", ErrChecksum, s.id, got, s.crc)
+		}
+		if s.id == secMeta || s.id == secLabels || s.id == secMatrix {
+			if _, dup := byID[s.id]; dup {
+				return nil, nil, false, fmt.Errorf("%w: duplicate section id %d", ErrCorrupt, s.id)
+			}
+			byID[s.id] = payload
+		}
+		secs[i] = s
+	}
+	for _, id := range []uint32{secMeta, secLabels, secMatrix} {
+		if _, ok := byID[id]; !ok {
+			return nil, nil, false, fmt.Errorf("%w: missing section id %d", ErrCorrupt, id)
+		}
+	}
+
+	meta, err := parseMeta(byID[secMeta])
+	if err != nil {
+		return nil, nil, false, err
+	}
+	labels, err := parseLabels(byID[secLabels], meta.Rows)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	words := wordsPerRow(meta.Dim)
+	matrix := byID[secMatrix]
+	wantLen := uint64(meta.Rows) * uint64(words) * 8
+	if uint64(len(matrix)) != wantLen {
+		return nil, nil, false, fmt.Errorf("%w: matrix section %d bytes, shape %d×%d needs %d",
+			ErrCorrupt, len(matrix), meta.Rows, meta.Dim, wantLen)
+	}
+
+	var ws []uint64
+	if allowView {
+		ws, viewed = wordsView(matrix)
+	}
+	if !viewed {
+		ws = make([]uint64, len(matrix)/8)
+		for i := range ws {
+			ws[i] = binary.LittleEndian.Uint64(matrix[8*i:])
+		}
+	}
+	cm, err := core.NewClassMatrixFromWords(meta.Dim, meta.Rows, ws)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	mem, err := core.NewMemoryFromMatrix(cm, labels)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	snap = &Snapshot{
+		cfg:    Config{Dim: meta.Dim, NGram: meta.NGram, Seed: meta.Seed},
+		prov:   Provenance{Trainer: meta.Trainer, CorpusSeed: meta.CorpusSeed, Note: meta.Note},
+		mem:    mem,
+		labels: labels,
+		size:   int64(len(data)),
+	}
+	if meta.CreatedUnix != 0 {
+		snap.prov.CreatedAt = time.Unix(meta.CreatedUnix, 0).UTC()
+	}
+	return snap, secs, viewed, nil
+}
+
+// parseMeta decodes and range-checks the META section.
+func parseMeta(b []byte) (metaJSON, error) {
+	var m metaJSON
+	if len(b) > maxMetaBytes {
+		return m, fmt.Errorf("%w: meta section %d bytes (limit %d)", ErrCorrupt, len(b), maxMetaBytes)
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, fmt.Errorf("%w: meta: %v", ErrCorrupt, err)
+	}
+	switch {
+	case m.Dim <= 0 || m.Dim > maxDim:
+		return m, fmt.Errorf("%w: dim %d out of range (0,%d]", ErrCorrupt, m.Dim, maxDim)
+	case m.Rows <= 0 || m.Rows > maxRows:
+		return m, fmt.Errorf("%w: rows %d out of range (0,%d]", ErrCorrupt, m.Rows, maxRows)
+	case m.NGram < 1 || m.NGram > maxNGram:
+		return m, fmt.Errorf("%w: n-gram %d out of range [1,%d]", ErrCorrupt, m.NGram, maxNGram)
+	}
+	return m, nil
+}
+
+// parseLabels decodes the LABELS section. rows has already been validated
+// against maxRows, so the label slice allocation is bounded; every length
+// prefix is checked against the section's actual remaining bytes before use.
+func parseLabels(b []byte, rows int) ([]string, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: labels section %d bytes", ErrCorrupt, len(b))
+	}
+	count := binary.LittleEndian.Uint32(b)
+	if uint64(count) != uint64(rows) {
+		return nil, fmt.Errorf("%w: %d labels for %d rows", ErrCorrupt, count, rows)
+	}
+	labels := make([]string, 0, rows)
+	off := 4
+	for i := 0; i < rows; i++ {
+		if off+2 > len(b) {
+			return nil, fmt.Errorf("%w: labels section ends inside label %d length", ErrCorrupt, i)
+		}
+		l := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		if off+l > len(b) {
+			return nil, fmt.Errorf("%w: label %d declares %d bytes, %d remain", ErrCorrupt, i, l, len(b)-off)
+		}
+		labels = append(labels, string(b[off:off+l]))
+		off += l
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes in labels section", ErrCorrupt, len(b)-off)
+	}
+	return labels, nil
+}
+
+// Decode reads and validates one snapshot from r into memory (the portable
+// no-mmap path). The returned snapshot owns its buffer and needs no Close
+// (Close is still safe).
+func Decode(r io.Reader) (*Snapshot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	snap, _, _, err := decode(data, true)
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}

@@ -1,0 +1,257 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SwapFunc installs a fully validated snapshot into the serving side —
+// typically by building a searcher and encoder factory over snap.Memory()
+// and calling serve.Engine.Swap. Returning nil transfers ownership of snap
+// to the registry, which Closes it when a later snapshot replaces it (the
+// engine's drain-on-swap guarantees the old model is untouched by then) or
+// when the registry itself is Closed. Returning an error keeps ownership
+// with the registry, which Closes snap immediately and remembers the file
+// as bad.
+type SwapFunc func(snap *Snapshot) error
+
+// EventKind classifies a registry event.
+type EventKind int
+
+const (
+	// EventLoaded: a new snapshot validated, swapped in and now serving.
+	EventLoaded EventKind = iota
+	// EventRejected: a candidate file failed validation and was remembered
+	// as bad (it will not be retried until its size or mtime changes).
+	EventRejected
+	// EventSwapFailed: the snapshot validated but SwapFunc refused it.
+	EventSwapFailed
+)
+
+// String names the event kind for logs.
+func (k EventKind) String() string {
+	switch k {
+	case EventLoaded:
+		return "loaded"
+	case EventRejected:
+		return "rejected"
+	case EventSwapFailed:
+		return "swap-failed"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event reports one registry action to the OnEvent hook.
+type Event struct {
+	Kind EventKind
+	Path string
+	Err  error // the validation or swap error for non-loaded events
+}
+
+// RegistryConfig configures a Registry.
+type RegistryConfig struct {
+	// Dir is the model directory to watch (required).
+	Dir string
+	// Pattern is the file glob within Dir (default "*.hds"). Save publishes
+	// by atomic rename, so matching files are never partially written.
+	Pattern string
+	// Interval is Run's polling period (default 2s).
+	Interval time.Duration
+	// Swap installs a validated snapshot into the engine (required).
+	Swap SwapFunc
+	// OnEvent, when set, observes loads and rejections (called with the
+	// registry lock held; keep it fast and do not call back into the
+	// registry).
+	OnEvent func(Event)
+}
+
+// fingerprint identifies one observed file state; a changed size or mtime
+// makes a remembered-bad file eligible again.
+type fingerprint struct {
+	size int64
+	mod  int64 // mtime, ns
+}
+
+// Registry watches a model directory and hot-swaps the newest valid
+// snapshot into a serving engine. Validation happens off the serving path:
+// a candidate is fully decoded and checksummed before SwapFunc ever sees
+// it, and a corrupt file is remembered (by size+mtime) so it is logged once
+// rather than re-read every poll. Construct with NewRegistry; drive it with
+// Run, or call Check directly for tests and one-shot loads.
+type Registry struct {
+	cfg RegistryConfig
+
+	mu      sync.Mutex
+	current *Snapshot
+	curPath string
+	curFP   fingerprint
+	bad     map[string]fingerprint
+	closed  bool
+
+	scans, loads, rejects, swapFails uint64
+}
+
+// RegistryStats is a snapshot of the registry's counters.
+type RegistryStats struct {
+	Scans     uint64 // directory scans performed
+	Loads     uint64 // snapshots swapped into service
+	Rejects   uint64 // candidate files that failed validation
+	SwapFails uint64 // validated snapshots the SwapFunc refused
+	Current   string // path of the snapshot now serving ("" before first load)
+}
+
+// NewRegistry builds a registry over cfg without touching the directory;
+// the first Check or Run tick performs the initial load.
+func NewRegistry(cfg RegistryConfig) (*Registry, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("store: registry needs a model directory")
+	}
+	if cfg.Swap == nil {
+		return nil, errors.New("store: registry needs a swap function")
+	}
+	if cfg.Pattern == "" {
+		cfg.Pattern = "*.hds"
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if _, err := filepath.Match(cfg.Pattern, "probe"); err != nil {
+		return nil, fmt.Errorf("store: registry pattern %q: %w", cfg.Pattern, err)
+	}
+	return &Registry{cfg: cfg, bad: make(map[string]fingerprint)}, nil
+}
+
+func (r *Registry) emit(ev Event) {
+	if r.cfg.OnEvent != nil {
+		r.cfg.OnEvent(ev)
+	}
+}
+
+// Check performs one scan: candidates are ordered newest first by (mtime,
+// name), and the first viable one — not already serving, not remembered
+// bad, and passing full validation — is swapped in. A corrupt newest file
+// therefore never masks an older good one. It reports whether a swap
+// happened. Invalid candidates are events, not errors; the returned error
+// is reserved for the registry being closed or the directory being
+// unreadable.
+func (r *Registry) Check() (swapped bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false, ErrClosed
+	}
+	r.scans++
+	matches, err := filepath.Glob(filepath.Join(r.cfg.Dir, r.cfg.Pattern))
+	if err != nil {
+		return false, fmt.Errorf("store: registry scan: %w", err)
+	}
+	type candidate struct {
+		path string
+		fp   fingerprint
+	}
+	var cands []candidate
+	for _, p := range matches {
+		st, err := os.Stat(p)
+		if err != nil || st.IsDir() {
+			continue
+		}
+		cands = append(cands, candidate{p, fingerprint{size: st.Size(), mod: st.ModTime().UnixNano()}})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].fp.mod != cands[j].fp.mod {
+			return cands[i].fp.mod > cands[j].fp.mod
+		}
+		return cands[i].path > cands[j].path
+	})
+	for _, c := range cands {
+		if c.path == r.curPath && c.fp == r.curFP {
+			return false, nil // already serving the newest viable candidate
+		}
+		if fp, ok := r.bad[c.path]; ok && fp == c.fp {
+			continue
+		}
+		snap, err := Open(c.path)
+		if err != nil {
+			r.rejects++
+			r.bad[c.path] = c.fp
+			r.emit(Event{Kind: EventRejected, Path: c.path, Err: err})
+			continue
+		}
+		if err := r.cfg.Swap(snap); err != nil {
+			snap.Close()
+			r.swapFails++
+			r.bad[c.path] = c.fp
+			r.emit(Event{Kind: EventSwapFailed, Path: c.path, Err: err})
+			continue
+		}
+		// The swap returned: the engine serves the new model and has
+		// drained every batch pinned to the old one, so its backing can be
+		// released.
+		if r.current != nil {
+			r.current.Close()
+		}
+		r.current, r.curPath, r.curFP = snap, c.path, c.fp
+		r.loads++
+		r.emit(Event{Kind: EventLoaded, Path: c.path})
+		return true, nil
+	}
+	return false, nil
+}
+
+// Run polls the directory until ctx ends, checking once immediately. It
+// returns ctx's error, nil if the registry is Closed underneath it, or the
+// scan error that stopped it.
+func (r *Registry) Run(ctx context.Context) error {
+	t := time.NewTicker(r.cfg.Interval)
+	defer t.Stop()
+	for {
+		if _, err := r.Check(); err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Stats returns a snapshot of the registry's counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RegistryStats{
+		Scans:     r.scans,
+		Loads:     r.loads,
+		Rejects:   r.rejects,
+		SwapFails: r.swapFails,
+		Current:   r.curPath,
+	}
+}
+
+// Close stops future checks and releases the serving snapshot. Call it only
+// once the consuming engine no longer serves the registry's model — after
+// Engine.Close, or after a final Swap away from it. Idempotent.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.current == nil {
+		return nil
+	}
+	err := r.current.Close()
+	r.current = nil
+	return err
+}

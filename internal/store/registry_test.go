@@ -1,0 +1,303 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hdam/internal/assoc"
+	"hdam/internal/core"
+	"hdam/internal/encoder"
+	"hdam/internal/hv"
+	"hdam/internal/itemmem"
+	"hdam/internal/serve"
+)
+
+// taggedMemory builds a memory whose labels carry a tag, so a served
+// response proves which snapshot it came from.
+func taggedMemory(t testing.TB, dim, rows int, tag string) *core.Memory {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(uint64(len(tag)+dim), 77))
+	cs := make([]*hv.Vector, rows)
+	ls := make([]string, rows)
+	for i := range cs {
+		cs[i] = hv.Random(dim, rng)
+		ls[i] = tag + string(rune('a'+i))
+	}
+	mem, err := core.NewMemory(cs, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem
+}
+
+// publish saves a tagged snapshot into dir under name with a forced mtime,
+// so candidate ordering is deterministic despite filesystem granularity.
+func publish(t testing.TB, dir, name, tag string, mtime time.Time) string {
+	t.Helper()
+	mem := taggedMemory(t, 512, 4, tag)
+	snap, err := Capture(mem, Config{Dim: 512, NGram: 3, Seed: 9}, Provenance{Trainer: tag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRegistryPicksNewestValid(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Unix(1754352000, 0)
+
+	var mu sync.Mutex
+	var trainers []string
+	var events []Event
+	reg, err := NewRegistry(RegistryConfig{
+		Dir: dir,
+		Swap: func(s *Snapshot) error {
+			mu.Lock()
+			trainers = append(trainers, s.Provenance().Trainer)
+			mu.Unlock()
+			return nil
+		},
+		OnEvent: func(ev Event) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	if swapped, err := reg.Check(); swapped || err != nil {
+		t.Fatalf("empty dir: swapped=%v err=%v", swapped, err)
+	}
+
+	publish(t, dir, "a.hds", "modelA", t0)
+	if swapped, _ := reg.Check(); !swapped {
+		t.Fatal("first snapshot not loaded")
+	}
+	if swapped, _ := reg.Check(); swapped {
+		t.Fatal("unchanged directory re-swapped")
+	}
+
+	publish(t, dir, "b.hds", "modelB", t0.Add(2*time.Second))
+	if swapped, _ := reg.Check(); !swapped {
+		t.Fatal("newer snapshot not loaded")
+	}
+
+	// A corrupt newest file is rejected once, remembered, and must not mask
+	// the serving model or trigger re-reads.
+	badPath := filepath.Join(dir, "c.hds")
+	if err := os.WriteFile(badPath, []byte("HDAMSNAP but not really"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(badPath, t0.Add(4*time.Second), t0.Add(4*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if swapped, _ := reg.Check(); swapped {
+			t.Fatal("corrupt snapshot swapped in")
+		}
+	}
+	st := reg.Stats()
+	if st.Loads != 2 || st.Rejects != 1 {
+		t.Fatalf("stats %+v, want 2 loads and 1 reject", st)
+	}
+	if !strings.HasSuffix(st.Current, "b.hds") {
+		t.Fatalf("serving %q, want b.hds", st.Current)
+	}
+
+	// Replacing the bad file (new mtime) makes it eligible again.
+	publish(t, dir, "c.hds", "modelC", t0.Add(6*time.Second))
+	if swapped, _ := reg.Check(); !swapped {
+		t.Fatal("repaired snapshot not loaded")
+	}
+
+	mu.Lock()
+	got := strings.Join(trainers, ",")
+	mu.Unlock()
+	if got != "modelA,modelB,modelC" {
+		t.Fatalf("swap order %q", got)
+	}
+	var rejected, loaded int
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventRejected:
+			rejected++
+			if !errors.Is(ev.Err, ErrTruncated) && !errors.Is(ev.Err, ErrNotSnapshot) && !errors.Is(ev.Err, ErrCorrupt) {
+				t.Fatalf("reject event carries untyped error %v", ev.Err)
+			}
+		case EventLoaded:
+			loaded++
+		}
+	}
+	if rejected != 1 || loaded != 3 {
+		t.Fatalf("%d rejected / %d loaded events, want 1/3", rejected, loaded)
+	}
+
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Check(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("check after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestRegistryFallsBackPastBadNewest: a corrupt newest file must not stop
+// an older good snapshot from being loaded on the same scan.
+func TestRegistryFallsBackPastBadNewest(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Unix(1754352000, 0)
+	publish(t, dir, "good.hds", "good", t0)
+	badPath := filepath.Join(dir, "bad.hds")
+	if err := os.WriteFile(badPath, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(badPath, t0.Add(time.Second), t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	reg, err := NewRegistry(RegistryConfig{Dir: dir, Swap: func(s *Snapshot) error {
+		got = s.Provenance().Trainer
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	if swapped, _ := reg.Check(); !swapped || got != "good" {
+		t.Fatalf("swapped=%v trainer=%q, want fallback to the good snapshot", swapped, got)
+	}
+}
+
+// snapEngineSwap adapts a serve.Engine to the registry: searcher and
+// encoder factory are rebuilt from each snapshot's own config.
+func snapEngineSwap(eng *serve.Engine) SwapFunc {
+	return func(s *Snapshot) error {
+		cfg := s.Config()
+		mem := s.Memory()
+		newEnc := func() *encoder.Encoder {
+			im := itemmem.New(cfg.Dim, cfg.Seed)
+			im.Preload(itemmem.LatinAlphabet)
+			return encoder.New(im, cfg.NGram)
+		}
+		_, err := eng.Swap(mem, assoc.NewExact(mem), newEnc)
+		return err
+	}
+}
+
+// TestRegistryHotSwapsEngine wires the registry to a live engine end to
+// end: publishing a new snapshot file re-routes classification to the new
+// model while requests keep flowing.
+func TestRegistryHotSwapsEngine(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Unix(1754352000, 0)
+	boot := taggedMemory(t, 512, 4, "boot:")
+	newEnc := func() *encoder.Encoder {
+		im := itemmem.New(512, 9)
+		im.Preload(itemmem.LatinAlphabet)
+		return encoder.New(im, 3)
+	}
+	eng, err := serve.New(boot, assoc.NewExact(boot), newEnc, serve.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	reg, err := NewRegistry(RegistryConfig{Dir: dir, Swap: snapEngineSwap(eng)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	const text = "the quick brown fox jumps over the lazy dog"
+	resp, err := eng.Submit(context.Background(), text)
+	if err != nil || !strings.HasPrefix(resp.Label, "boot:") {
+		t.Fatalf("boot model response %+v err %v", resp, err)
+	}
+
+	publish(t, dir, "m1.hds", "gen2:", t0)
+	if swapped, err := reg.Check(); !swapped || err != nil {
+		t.Fatalf("swap to m1: swapped=%v err=%v", swapped, err)
+	}
+	resp, err = eng.Submit(context.Background(), text)
+	if err != nil || !strings.HasPrefix(resp.Label, "gen2:") || resp.Gen != 2 {
+		t.Fatalf("after first swap: %+v err %v", resp, err)
+	}
+
+	publish(t, dir, "m2.hds", "gen3:", t0.Add(2*time.Second))
+	if swapped, err := reg.Check(); !swapped || err != nil {
+		t.Fatalf("swap to m2: swapped=%v err=%v", swapped, err)
+	}
+	resp, err = eng.Submit(context.Background(), text)
+	if err != nil || !strings.HasPrefix(resp.Label, "gen3:") || resp.Gen != 3 {
+		t.Fatalf("after second swap: %+v err %v", resp, err)
+	}
+	// m1's snapshot was Closed by the registry after the engine drained it;
+	// the engine must still answer from m2's without touching freed state.
+	for i := 0; i < 32; i++ {
+		if resp, err := eng.Submit(context.Background(), text); err != nil || !strings.HasPrefix(resp.Label, "gen3:") {
+			t.Fatalf("post-close probe %d: %+v err %v", i, resp, err)
+		}
+	}
+}
+
+// TestRegistryRun drives the polling loop: a snapshot published while Run
+// is live gets picked up without explicit Check calls.
+func TestRegistryRun(t *testing.T) {
+	dir := t.TempDir()
+	loaded := make(chan string, 4)
+	reg, err := NewRegistry(RegistryConfig{
+		Dir:      dir,
+		Interval: 5 * time.Millisecond,
+		Swap: func(s *Snapshot) error {
+			loaded <- s.Provenance().Trainer
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() { runErr <- reg.Run(ctx) }()
+
+	publish(t, dir, "live.hds", "liveModel", time.Unix(1754352000, 0))
+	select {
+	case tr := <-loaded:
+		if tr != "liveModel" {
+			t.Fatalf("loaded %q", tr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run never picked up the published snapshot")
+	}
+	cancel()
+	if err := <-runErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("run returned %v", err)
+	}
+}
+
+// TestRegistryConfigValidation covers constructor rejection paths.
+func TestRegistryConfigValidation(t *testing.T) {
+	swap := func(*Snapshot) error { return nil }
+	if _, err := NewRegistry(RegistryConfig{Swap: swap}); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+	if _, err := NewRegistry(RegistryConfig{Dir: "x"}); err == nil {
+		t.Fatal("missing swap accepted")
+	}
+	if _, err := NewRegistry(RegistryConfig{Dir: "x", Swap: swap, Pattern: "[bad"}); err == nil {
+		t.Fatal("malformed pattern accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hdam/internal/core"
+)
+
+// Config is the encoder half of a serving pipeline: everything needed to
+// rebuild, bit-for-bit, the deterministic item memory and n-gram encoder
+// that produced the stored class hypervectors.
+type Config struct {
+	// Dim is the hypervector dimensionality D.
+	Dim int
+	// NGram is the n-gram order of the text encoder.
+	NGram int
+	// Seed is the item-memory / pipeline seed.
+	Seed uint64
+}
+
+// validate rejects shapes the decoder would refuse to read back.
+func (c Config) validate() error {
+	if c.Dim <= 0 || c.Dim > maxDim {
+		return fmt.Errorf("store: config dim %d out of range (0,%d]", c.Dim, maxDim)
+	}
+	if c.NGram < 1 || c.NGram > maxNGram {
+		return fmt.Errorf("store: config n-gram %d out of range [1,%d]", c.NGram, maxNGram)
+	}
+	return nil
+}
+
+// Provenance records where a snapshot came from. All fields are supplied by
+// the caller at capture time; the store never reads clocks or versions
+// itself, so snapshot bytes are a pure function of their inputs.
+type Provenance struct {
+	// Trainer identifies the trainer that produced the model (e.g. a
+	// program name and version).
+	Trainer string
+	// CorpusSeed is the seed of the training corpus generator.
+	CorpusSeed uint64
+	// CreatedAt is the caller-supplied creation time (stored with second
+	// precision as a Unix timestamp).
+	CreatedAt time.Time
+	// Note is a free-form annotation.
+	Note string
+}
+
+// Snapshot is one persisted (or about-to-be-persisted) model: the learned
+// class matrix with labels, the encoder configuration and provenance.
+//
+// A snapshot obtained from Capture references the live memory and is used
+// for writing. A snapshot obtained from Open or Decode owns its backing
+// store — possibly an mmap-ed file — and must be Closed when no longer
+// needed; its Memory (and every searcher built over it) becomes invalid at
+// that point. Engine.Swap's drain guarantee exists precisely so the previous
+// snapshot can be closed the moment a swap returns.
+type Snapshot struct {
+	cfg    Config
+	prov   Provenance
+	mem    *core.Memory
+	labels []string
+
+	zeroCopy bool   // matrix words are a view of the backing file
+	size     int64  // encoded byte size (0 for captured snapshots)
+	path     string // source path ("" for captured/decoded snapshots)
+
+	mu     sync.Mutex
+	unmap  func() error
+	closed bool
+}
+
+// Capture packages a live trained memory for writing. The memory is
+// referenced, not copied; it must not be released while the snapshot is in
+// use. cfg must describe the encoder that produced the memory (dims must
+// agree); prov is stored verbatim.
+func Capture(mem *core.Memory, cfg Config, prov Provenance) (*Snapshot, error) {
+	if mem == nil {
+		return nil, fmt.Errorf("store: nil memory")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Dim != mem.Dim() {
+		return nil, fmt.Errorf("store: config dim %d but memory dim %d", cfg.Dim, mem.Dim())
+	}
+	if mem.Classes() > maxRows {
+		return nil, fmt.Errorf("store: %d classes above format limit %d", mem.Classes(), maxRows)
+	}
+	return &Snapshot{cfg: cfg, prov: prov, mem: mem, labels: mem.Labels()}, nil
+}
+
+// Memory returns the snapshot's associative memory. For loaded snapshots
+// the class data may be a zero-copy view of the backing file: it is valid
+// only until Close.
+func (s *Snapshot) Memory() *core.Memory { return s.mem }
+
+// Config returns the encoder configuration stored with the model.
+func (s *Snapshot) Config() Config { return s.cfg }
+
+// Provenance returns the stored provenance metadata.
+func (s *Snapshot) Provenance() Provenance { return s.prov }
+
+// Labels returns a copy of the class labels in storage order.
+func (s *Snapshot) Labels() []string {
+	out := make([]string, len(s.labels))
+	copy(out, s.labels)
+	return out
+}
+
+// Classes returns the stored class count.
+func (s *Snapshot) Classes() int { return len(s.labels) }
+
+// ZeroCopy reports whether the matrix payload is served directly from the
+// backing file (the linux mmap path) rather than from a private copy.
+func (s *Snapshot) ZeroCopy() bool { return s.zeroCopy }
+
+// Size returns the encoded snapshot size in bytes (0 for captured
+// snapshots that have not been written yet).
+func (s *Snapshot) Size() int64 { return s.size }
+
+// Path returns the file the snapshot was opened from ("" otherwise).
+func (s *Snapshot) Path() string { return s.path }
+
+// Close releases the snapshot's backing store (unmapping the file on the
+// mmap path). After Close the snapshot's Memory — and anything built over
+// it — must not be used. Close is idempotent.
+func (s *Snapshot) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.unmap != nil {
+		u := s.unmap
+		s.unmap = nil
+		return u()
+	}
+	return nil
+}

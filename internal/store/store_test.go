@@ -1,0 +1,279 @@
+package store
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"hdam/internal/aham"
+	"hdam/internal/assoc"
+	"hdam/internal/core"
+	"hdam/internal/dham"
+	"hdam/internal/hv"
+	"hdam/internal/lang"
+	"hdam/internal/rham"
+	"hdam/internal/textgen"
+)
+
+// buildMemory makes a deterministic random memory of the given shape.
+func buildMemory(t testing.TB, dim, rows int, seed uint64) *core.Memory {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 42))
+	classes := make([]*hv.Vector, rows)
+	labels := make([]string, rows)
+	for i := range classes {
+		classes[i] = hv.Random(dim, rng)
+		labels[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	mem, err := core.NewMemory(classes, labels)
+	if err != nil {
+		t.Fatalf("building memory: %v", err)
+	}
+	return mem
+}
+
+// capture wraps a memory in a snapshot with standard test metadata.
+func capture(t testing.TB, mem *core.Memory, seed uint64) *Snapshot {
+	t.Helper()
+	snap, err := Capture(mem, Config{Dim: mem.Dim(), NGram: 3, Seed: seed}, Provenance{
+		Trainer:    "store_test",
+		CorpusSeed: seed,
+		CreatedAt:  time.Unix(1754352000, 0).UTC(),
+		Note:       "unit test fixture",
+	})
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	return snap
+}
+
+// assertSameModel checks the loaded snapshot serves exactly the saved model.
+func assertSameModel(t *testing.T, orig *core.Memory, got *Snapshot, seed uint64) {
+	t.Helper()
+	mem := got.Memory()
+	if mem.Dim() != orig.Dim() || mem.Classes() != orig.Classes() {
+		t.Fatalf("shape %d×%d, want %d×%d", mem.Classes(), mem.Dim(), orig.Classes(), orig.Dim())
+	}
+	for i := 0; i < orig.Classes(); i++ {
+		if mem.Label(i) != orig.Label(i) {
+			t.Fatalf("label %d = %q, want %q", i, mem.Label(i), orig.Label(i))
+		}
+		if !mem.Class(i).Equal(orig.Class(i)) {
+			t.Fatalf("class %d differs after round trip", i)
+		}
+	}
+	rng := rand.New(rand.NewPCG(seed, 7))
+	for k := 0; k < 64; k++ {
+		q := hv.Random(orig.Dim(), rng)
+		gi, gd := mem.Nearest(q)
+		wi, wd := orig.Nearest(q)
+		if gi != wi || gd != wd {
+			t.Fatalf("query %d: nearest (%d,%d), want (%d,%d)", k, gi, gd, wi, wd)
+		}
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	mem := buildMemory(t, 10000, 21, 2017)
+	snap := capture(t, mem, 2017)
+	path := filepath.Join(t.TempDir(), "model.hds")
+	if err := Save(path, snap); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer got.Close()
+	if runtime.GOOS == "linux" && !got.ZeroCopy() {
+		t.Fatalf("linux open did not take the zero-copy path")
+	}
+	if got.Config() != (Config{Dim: 10000, NGram: 3, Seed: 2017}) {
+		t.Fatalf("config %+v", got.Config())
+	}
+	p := got.Provenance()
+	if p.Trainer != "store_test" || p.CorpusSeed != 2017 || p.Note != "unit test fixture" {
+		t.Fatalf("provenance %+v", p)
+	}
+	if want := time.Unix(1754352000, 0).UTC(); !p.CreatedAt.Equal(want) {
+		t.Fatalf("created %v, want %v", p.CreatedAt, want)
+	}
+	assertSameModel(t, mem, got, 2017)
+	if err := got.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := got.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestRoundTripDecode(t *testing.T) {
+	mem := buildMemory(t, 777, 5, 99) // 777 = 12 words + 9-bit tail
+	snap := capture(t, mem, 99)
+	var buf bytes.Buffer
+	n, err := snap.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	defer got.Close()
+	assertSameModel(t, mem, got, 99)
+}
+
+// TestRoundTripDesigns checks that every hardware design built over a
+// loaded snapshot answers bit-identically to the same design built over the
+// in-process memory — including dimensions whose tail word is partial.
+func TestRoundTripDesigns(t *testing.T) {
+	for _, dim := range []int{256, 652, 1000} { // 652 and 1000 leave tail bits
+		mem := buildMemory(t, dim, 12, uint64(dim))
+		snap := capture(t, mem, uint64(dim))
+		var buf bytes.Buffer
+		if _, err := snap.WriteTo(&buf); err != nil {
+			t.Fatalf("dim %d: write: %v", dim, err)
+		}
+		loaded, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("dim %d: decode: %v", dim, err)
+		}
+		lmem := loaded.Memory()
+		c := mem.Classes()
+
+		builders := map[string]func(m *core.Memory) (core.Searcher, error){
+			"exact": func(m *core.Memory) (core.Searcher, error) { return assoc.NewExact(m), nil },
+			"dham": func(m *core.Memory) (core.Searcher, error) {
+				return dham.New(dham.Config{D: dim, C: c}, m)
+			},
+			"rham": func(m *core.Memory) (core.Searcher, error) {
+				return rham.New(rham.Config{D: dim, C: c, Seed: 5}, m)
+			},
+			"aham": func(m *core.Memory) (core.Searcher, error) {
+				return aham.New(aham.Config{D: dim, C: c, Seed: 5}, m)
+			},
+		}
+		rng := rand.New(rand.NewPCG(uint64(dim), 1234))
+		queries := make([]*hv.Vector, 32)
+		for i := range queries {
+			queries[i] = hv.Random(dim, rng)
+		}
+		for name, build := range builders {
+			want, err := build(mem)
+			if err != nil {
+				t.Fatalf("dim %d %s over original: %v", dim, name, err)
+			}
+			got, err := build(lmem)
+			if err != nil {
+				t.Fatalf("dim %d %s over loaded: %v", dim, name, err)
+			}
+			for qi, q := range queries {
+				w, g := want.Search(q), got.Search(q)
+				if w != g {
+					t.Fatalf("dim %d %s query %d: loaded %+v, original %+v", dim, name, qi, g, w)
+				}
+			}
+		}
+		loaded.Close()
+	}
+}
+
+// TestTrainSaveLoadGate is the CI round-trip gate: training the language
+// pipeline on a reduced corpus, saving, and loading back must evaluate
+// bit-identically to the in-process model.
+func TestTrainSaveLoadGate(t *testing.T) {
+	langs := textgen.Catalog(textgen.DefaultConfig())[:8]
+	p := lang.DefaultParams()
+	p.Dim = 2048
+	p.TrainChars = 20000
+	p.TestPerLang = 40
+	tr, err := lang.Train(langs, p)
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	snap, err := Capture(tr.Memory, Config{Dim: p.Dim, NGram: p.NGram, Seed: p.Seed}, Provenance{
+		Trainer: "gate", CorpusSeed: p.Seed,
+	})
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "gate.hds")
+	if err := Save(path, snap); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer loaded.Close()
+
+	ts := lang.MakeTestSet(langs, p)
+	ts.Encode(tr)
+	want := lang.Evaluate(assoc.NewExact(tr.Memory), tr.Memory, ts)
+	got := lang.Evaluate(assoc.NewExact(loaded.Memory()), loaded.Memory(), ts)
+	if want.Correct != got.Correct || want.Total != got.Total {
+		t.Fatalf("loaded model scored %d/%d, in-process %d/%d",
+			got.Correct, got.Total, want.Correct, want.Total)
+	}
+	for i := range want.Confusion {
+		for j := range want.Confusion[i] {
+			if want.Confusion[i][j] != got.Confusion[i][j] {
+				t.Fatalf("confusion[%d][%d]: loaded %d, in-process %d",
+					i, j, got.Confusion[i][j], want.Confusion[i][j])
+			}
+		}
+	}
+}
+
+func TestVerifyInfo(t *testing.T) {
+	mem := buildMemory(t, 640, 4, 11)
+	snap := capture(t, mem, 11)
+	path := filepath.Join(t.TempDir(), "model.hds")
+	if err := Save(path, snap); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	info, err := Verify(path)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if info.Rows != 4 || info.Config.Dim != 640 || len(info.Labels) != 4 {
+		t.Fatalf("info %+v", info)
+	}
+	if len(info.Sections) != 3 {
+		t.Fatalf("%d sections, want 3", len(info.Sections))
+	}
+	var matrix *SectionInfo
+	for i := range info.Sections {
+		if info.Sections[i].Name == "MATRIX" {
+			matrix = &info.Sections[i]
+		}
+	}
+	if matrix == nil {
+		t.Fatalf("no MATRIX section in %+v", info.Sections)
+	}
+	if matrix.Offset%matrixAlign != 0 {
+		t.Fatalf("matrix offset %d not %d-byte aligned", matrix.Offset, matrixAlign)
+	}
+	if matrix.Length != uint64(4*wordsPerRow(640)*8) {
+		t.Fatalf("matrix length %d", matrix.Length)
+	}
+}
+
+func TestCaptureValidation(t *testing.T) {
+	mem := buildMemory(t, 128, 3, 1)
+	if _, err := Capture(nil, Config{Dim: 128, NGram: 3}, Provenance{}); err == nil {
+		t.Fatal("nil memory accepted")
+	}
+	if _, err := Capture(mem, Config{Dim: 64, NGram: 3}, Provenance{}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := Capture(mem, Config{Dim: 128, NGram: 0}, Provenance{}); err == nil {
+		t.Fatal("zero n-gram accepted")
+	}
+}

@@ -1,0 +1,192 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// metaJSON is the wire form of the META section: shape, encoder parameters
+// and provenance in one small, forward-extensible JSON object.
+type metaJSON struct {
+	Dim         int    `json:"dim"`
+	Rows        int    `json:"rows"`
+	NGram       int    `json:"ngram"`
+	Seed        uint64 `json:"seed"`
+	Trainer     string `json:"trainer,omitempty"`
+	CorpusSeed  uint64 `json:"corpus_seed,omitempty"`
+	CreatedUnix int64  `json:"created_unix,omitempty"`
+	Note        string `json:"note,omitempty"`
+}
+
+// encodeMeta serializes the META section payload.
+func (s *Snapshot) encodeMeta() ([]byte, error) {
+	m := metaJSON{
+		Dim:        s.cfg.Dim,
+		Rows:       len(s.labels),
+		NGram:      s.cfg.NGram,
+		Seed:       s.cfg.Seed,
+		Trainer:    s.prov.Trainer,
+		CorpusSeed: s.prov.CorpusSeed,
+		Note:       s.prov.Note,
+	}
+	if !s.prov.CreatedAt.IsZero() {
+		m.CreatedUnix = s.prov.CreatedAt.Unix()
+	}
+	return json.Marshal(m)
+}
+
+// encodeLabels serializes the LABELS section payload: uint32 count, then
+// uint16-length-prefixed UTF-8 labels.
+func (s *Snapshot) encodeLabels() ([]byte, error) {
+	n := 4
+	for _, l := range s.labels {
+		if len(l) >= maxLabelLen {
+			return nil, fmt.Errorf("store: label %q longer than %d bytes", l[:32], maxLabelLen)
+		}
+		n += 2 + len(l)
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.labels)))
+	for _, l := range s.labels {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(l)))
+		buf = append(buf, l...)
+	}
+	return buf, nil
+}
+
+// matrixCRC streams the packed class matrix once to checksum it without
+// materializing the payload; rowBuf is reused for every row.
+func (s *Snapshot) matrixCRC(rowBuf []byte) uint32 {
+	cm := s.mem.ClassMatrix()
+	crc := uint32(0)
+	for r := 0; r < cm.Rows(); r++ {
+		encodeRow(rowBuf, cm.Row(r))
+		crc = crc32.Update(crc, castagnoli, rowBuf)
+	}
+	return crc
+}
+
+// encodeRow packs one row of words into dst little-endian.
+func encodeRow(dst []byte, row []uint64) {
+	for i, w := range row {
+		binary.LittleEndian.PutUint64(dst[8*i:], w)
+	}
+}
+
+// WriteTo streams the snapshot in format version 1, returning the byte
+// count written. The matrix payload is streamed row by row — memory use is
+// O(one row), not O(model) — after a first pass that computes its checksum.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	if s.mem == nil {
+		return 0, fmt.Errorf("store: snapshot has no memory to write")
+	}
+	meta, err := s.encodeMeta()
+	if err != nil {
+		return 0, fmt.Errorf("store: encoding meta: %w", err)
+	}
+	labels, err := s.encodeLabels()
+	if err != nil {
+		return 0, err
+	}
+	cm := s.mem.ClassMatrix()
+	words := wordsPerRow(cm.Dim())
+	rowBytes := make([]byte, 8*words)
+	matrixLen := uint64(cm.Rows()) * uint64(8*words)
+
+	// Lay the sections out: meta and labels right after the table, then the
+	// matrix payload aligned to 64 bytes so mmap can expose it in place.
+	tableLen := uint64(3 * sectionSize)
+	metaOff := uint64(headerSize) + tableLen
+	labelsOff := metaOff + uint64(len(meta))
+	matrixOff := alignUp(labelsOff+uint64(len(labels)), matrixAlign)
+	fileSize := matrixOff + matrixLen
+
+	table := make([]byte, tableLen)
+	putSection(table[0*sectionSize:], section{
+		id: secMeta, offset: metaOff, length: uint64(len(meta)),
+		crc: crc32.Checksum(meta, castagnoli),
+	})
+	putSection(table[1*sectionSize:], section{
+		id: secLabels, offset: labelsOff, length: uint64(len(labels)),
+		crc: crc32.Checksum(labels, castagnoli),
+	})
+	putSection(table[2*sectionSize:], section{
+		id: secMatrix, offset: matrixOff, length: matrixLen,
+		crc: s.matrixCRC(rowBytes),
+	})
+
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.Write(encodeHeader(3, fileSize, table))); err != nil {
+		return n, err
+	}
+	if err := count(bw.Write(table)); err != nil {
+		return n, err
+	}
+	if err := count(bw.Write(meta)); err != nil {
+		return n, err
+	}
+	if err := count(bw.Write(labels)); err != nil {
+		return n, err
+	}
+	if pad := int(matrixOff - (labelsOff + uint64(len(labels)))); pad > 0 {
+		if err := count(bw.Write(make([]byte, pad))); err != nil {
+			return n, err
+		}
+	}
+	for r := 0; r < cm.Rows(); r++ {
+		encodeRow(rowBytes, cm.Row(r))
+		if err := count(bw.Write(rowBytes)); err != nil {
+			return n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Save writes the snapshot to path atomically: the bytes land in a
+// temporary file in the same directory, are synced, and only then renamed
+// over the destination. A directory watcher (store.Registry) therefore
+// never observes a half-written model, and a crash mid-save leaves any
+// previous snapshot at path intact.
+func Save(path string, s *Snapshot) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".hdam-snap-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := s.WriteTo(tmp); err != nil {
+		cleanup()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	return nil
+}
