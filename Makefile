@@ -19,19 +19,21 @@ race:
 	$(GO) test -race -short ./...
 
 # Regenerate the benchmark trajectory file checked in at BENCH.json: run the
-# kernel suite plus the closed-loop serve load harness and APPEND the report
-# as a new trajectory entry — the seed's num_cpu:1 baseline entry is kept, so
+# kernel suite plus the closed-loop serve load harness and the cascaded-search
+# harness (single-core qps, stage-1 hit-rate, widen-rate and the mismatch
+# audit on the trained langid workload) and APPEND the report as a new
+# trajectory entry — the seed's num_cpu:1 baseline entry is kept, so
 # regressions show up as diffs, never as overwrites.
 bench:
-	$(GO) run ./cmd/hambench -serve -json BENCH.json
+	$(GO) run ./cmd/hambench -serve -cascade -json BENCH.json
 
 # bench-json is the historical name for the same regeneration.
 bench-json: bench
 
-# Hot-path kernels with allocation accounting; the accumulator and distance
-# kernels must report 0 allocs/op.
+# Hot-path kernels with allocation accounting; the accumulator, distance and
+# cascade kernels must report 0 allocs/op.
 bench-kernels:
-	$(GO) test -run xxx -bench 'Encode|Distance|Accumulate' -benchmem ./...
+	$(GO) test -run xxx -bench 'Encode|Distance|Accumulate|Cascade' -benchmem ./...
 
 # Fails if any tracked Go file is not gofmt-clean.
 fmt-check:
@@ -44,12 +46,17 @@ fmt-check:
 # robustness stack, snapshot store and registry), a short chaos smoke
 # driving the supervisor/hedging paths under seeded faults, the model
 # persistence gates (train→save→load round trip, decoder corruption
-# matrix, a fuzz smoke over the snapshot decoder), a kernel benchmark smoke
-# pass, and a serve-path benchmark smoke so the engine can't silently rot.
+# matrix, a fuzz smoke over the snapshot decoder), the kernel and cascade
+# equivalence tests under BOTH popcount kernels (generic csa16 and
+# GOAMD64=v3 popcnt8 — bit-identity must hold on either build path), a
+# kernel benchmark smoke pass, and a serve-path benchmark smoke so the
+# engine can't silently rot.
 ci: fmt-check vet build race
 	$(GO) test -race ./internal/core ./internal/serve ./internal/assoc ./internal/fault ./internal/experiments ./internal/store
 	$(GO) test -race -short -run 'Chaos' ./internal/serve ./internal/perf
 	$(GO) test -run 'TestTrainSaveLoadGate|TestDecodeRejects|TestDecodeGiantDeclaredLengths' ./internal/store
 	$(GO) test -run xxx -fuzz FuzzDecodeSnapshot -fuzztime 5s ./internal/store
-	$(GO) test -run xxx -bench 'Encode|Distance|Accumulate' -benchtime 10x -benchmem ./...
+	GOAMD64=v1 $(GO) test -run 'Kernel|RowDistance|Cascade' ./internal/core ./internal/assoc
+	GOAMD64=v3 $(GO) test -run 'Kernel|RowDistance|Cascade' ./internal/core ./internal/assoc
+	$(GO) test -run xxx -bench 'Encode|Distance|Accumulate|Cascade' -benchtime 10x -benchmem ./...
 	$(GO) test -run xxx -bench Serve -benchtime 1x ./internal/serve

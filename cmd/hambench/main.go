@@ -26,6 +26,10 @@
 //	             p50/p95/p99 latency at several concurrencies) and record a
 //	             serve/* section in the report
 //	-serve-requests N  requests per serve load point (default 2048)
+//	-cascade     also run the cascaded-search harness on the trained langid
+//	             workload (single-core qps, p50/p95/p99, stage-1 hit-rate,
+//	             widen-rate, speedup over the exact scan, mismatch audit) and
+//	             record a cascade/* section in the report
 //	-coldstart   also run the cold-start comparison (train-and-save vs.
 //	             checksummed snapshot load) and record a coldstart/* section
 //	-list        print the available experiment ids and exit
@@ -57,6 +61,7 @@ func main() {
 	jsonOut := flag.String("json", "", "run the kernel benchmark suite and append its JSON report to this trajectory file")
 	serveLoad := flag.Bool("serve", false, "also run the closed-loop serve load harness")
 	serveRequests := flag.Int("serve-requests", 2048, "requests per serve load point")
+	cascadeBench := flag.Bool("cascade", false, "also run the cascaded-search harness on the trained langid workload")
 	coldStart := flag.Bool("coldstart", false, "also run the cold-start comparison (train-and-save vs. snapshot load) and record a coldstart/* section in the report")
 	chaos := flag.Bool("chaos", false, "run the chaos soak: serve engine under injected worker panics, latency spikes and a slow shard")
 	chaosRequests := flag.Int("chaos-requests", 2048, "requests for the chaos soak")
@@ -75,15 +80,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *jsonOut != "" || *serveLoad || *coldStart {
-		if err := runBenchSuite(*jsonOut, *serveLoad, *serveRequests, *coldStart); err != nil {
+	if *jsonOut != "" || *serveLoad || *coldStart || *cascadeBench {
+		if err := runBenchSuite(*jsonOut, *serveLoad, *serveRequests, *coldStart, *cascadeBench, *trainChars, *testPerLang); err != nil {
 			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
 			os.Exit(1)
 		}
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		if *jsonOut != "" || *serveLoad || *coldStart || *chaos {
+		if *jsonOut != "" || *serveLoad || *coldStart || *chaos || *cascadeBench {
 			return
 		}
 		fmt.Fprintln(os.Stderr, "usage: hambench [flags] <experiment>... | all   (-list for ids)")
@@ -146,10 +151,10 @@ func main() {
 }
 
 // runBenchSuite runs the perf kernel benchmarks (plus, optionally, the serve
-// load harness and the cold-start comparison) and appends the report to the
-// trajectory file at path.
-func runBenchSuite(path string, serveLoad bool, serveRequests int, coldStart bool) error {
-	fmt.Fprintln(os.Stderr, "[running kernel benchmark suite]")
+// load harness, the cascaded-search harness and the cold-start comparison)
+// and appends the report to the trajectory file at path.
+func runBenchSuite(path string, serveLoad bool, serveRequests int, coldStart, cascade bool, trainChars, testPerLang int) error {
+	fmt.Fprintf(os.Stderr, "[running kernel benchmark suite (kernel %s)]\n", perf.KernelName)
 	start := time.Now()
 	rep := perf.RunKernels()
 	for _, r := range rep.Results {
@@ -165,6 +170,22 @@ func runBenchSuite(path string, serveLoad bool, serveRequests int, coldStart boo
 		for _, r := range results {
 			fmt.Fprintf(os.Stderr, "  %-28s %9.0f qps  p50 %8.1fµs  p95 %8.1fµs  p99 %8.1fµs  %5.2fx\n",
 				r.Name, r.QPS, r.P50Us, r.P95Us, r.P99Us, r.SpeedupVsSerial)
+		}
+	}
+	if cascade {
+		fmt.Fprintln(os.Stderr, "[running cascaded-search harness]")
+		results, err := perf.RunCascade(trainChars, testPerLang, 0)
+		if err != nil {
+			return err
+		}
+		rep.Cascade = results
+		for _, r := range results {
+			fmt.Fprintf(os.Stderr, "  %-28s %9.0f qps  p50 %8.1fµs  p95 %8.1fµs  p99 %8.1fµs  %5.2fx", r.Name, r.QPS, r.P50Us, r.P95Us, r.P99Us, r.SpeedupVsExact)
+			if r.SampledBits > 0 {
+				fmt.Fprintf(os.Stderr, "  stage1-hit %5.1f%%  widen %4.1f%%  shortlist %.1f  mismatches %d",
+					100*r.Stage1HitRate, 100*r.WidenRate, r.AvgShortlist, r.Mismatches)
+			}
+			fmt.Fprintln(os.Stderr)
 		}
 	}
 	if coldStart {

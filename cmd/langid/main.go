@@ -12,7 +12,11 @@
 //
 //	-dim N       hypervector dimensionality (default 10,000)
 //	-train N     training characters per language (default 200,000)
-//	-design S    search hardware: exact | dham | rham | aham (default exact)
+//	-design S    search hardware: exact | dham | rham | aham | cascade
+//	             (default exact)
+//	-cascade     shorthand for -design cascade: the two-stage d-sampled
+//	             searcher, bit-identical to exact search (snapshot loads
+//	             reuse the slice recorded at training time)
 //	-seed N      pipeline seed
 //	-demo        classify generated demo sentences instead of stdin
 //	-resilient   serve through the confidence-gated escalation chain
@@ -52,7 +56,8 @@ import (
 func main() {
 	dim := flag.Int("dim", hdam.Dim, "hypervector dimensionality")
 	train := flag.Int("train", 200_000, "training characters per language")
-	design := flag.String("design", "exact", "search hardware: exact | dham | rham | aham")
+	design := flag.String("design", "exact", "search hardware: exact | dham | rham | aham | cascade")
+	cascade := flag.Bool("cascade", false, "serve through the cascaded d-sampled searcher (shorthand for -design cascade)")
 	seed := flag.Uint64("seed", 2017, "pipeline seed")
 	demo := flag.Bool("demo", false, "classify generated demo sentences")
 	saveTo := flag.String("save", "", "write the trained model as a snapshot to this file after training")
@@ -68,8 +73,17 @@ func main() {
 
 	// Validate the hardware selection and engine shape before spending
 	// minutes on training.
+	if *cascade {
+		*design = "cascade"
+	}
 	if !knownDesign(*design) {
-		fmt.Fprintf(os.Stderr, "langid: unknown design %q (want exact, dham, rham or aham)\n\n", *design)
+		fmt.Fprintf(os.Stderr, "langid: unknown design %q (want exact, dham, rham, aham or cascade)\n\n", *design)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *resilient && *design == "cascade" {
+		fmt.Fprintln(os.Stderr, "langid: -cascade is already margin-gated and cannot combine with -resilient")
+		fmt.Fprintln(os.Stderr)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -92,7 +106,7 @@ func main() {
 	if *resilient {
 		stages = strings.Split(*chain, ",")
 		for _, st := range stages {
-			if !knownDesign(strings.TrimSpace(st)) {
+			if !knownDesign(strings.TrimSpace(st)) || strings.TrimSpace(st) == "cascade" {
 				fmt.Fprintf(os.Stderr, "langid: unknown design %q in -chain %q (want exact, dham, rham or aham)\n\n", st, *chain)
 				flag.Usage()
 				os.Exit(2)
@@ -126,9 +140,10 @@ func main() {
 	}
 
 	var tr *hdam.Trained
+	casc := hdam.CascadeConfig{SliceOffset: -1}
 	if *loadFrom != "" {
 		var err error
-		tr, p, err = loadModel(*loadFrom, p)
+		tr, p, casc, err = loadModel(*loadFrom, p)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "langid: %v\n", err)
 			os.Exit(1)
@@ -145,8 +160,14 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trained in %s\n", time.Since(start).Round(time.Millisecond))
 		if *saveTo != "" {
-			snap, err := hdam.CaptureSnapshot(tr.Memory,
-				hdam.SnapshotConfig{Dim: p.Dim, NGram: p.NGram, Seed: p.Seed},
+			// Select and record the cascade slice at save time: a reloaded
+			// model then cascades over the exact components this one would.
+			cfg := hdam.SnapshotConfig{Dim: p.Dim, NGram: p.NGram, Seed: p.Seed}
+			if cas, err := hdam.NewCascadeSearcher(tr.Memory, casc); err == nil {
+				cfg.SliceOffset, cfg.SliceWords = cas.SliceOffset(), cas.SliceWords()
+				casc = hdam.CascadeConfig{SliceOffset: cas.SliceOffset(), SliceWords: cas.SliceWords()}
+			}
+			snap, err := hdam.CaptureSnapshot(tr.Memory, cfg,
 				hdam.SnapshotProvenance{
 					Trainer:    "langid",
 					CorpusSeed: p.Seed,
@@ -175,10 +196,10 @@ func main() {
 	var res *hdam.Resilient
 	var err error
 	if *resilient {
-		res, err = buildChain(stages, *margin, tr, p)
+		res, err = buildChain(stages, *margin, tr)
 		searcher = res
 	} else {
-		searcher, err = buildSearcher(*design, tr, p)
+		searcher, err = buildSearcherMem(*design, tr.Memory, casc)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "langid: %v\n", err)
@@ -188,6 +209,7 @@ func main() {
 	if *demo {
 		runDemo(tr, searcher, langs, *seed)
 		reportStages(res)
+		reportCascade(searcher)
 		return
 	}
 
@@ -202,6 +224,7 @@ func main() {
 			os.Exit(1)
 		}
 		reportStages(res)
+		reportCascade(searcher)
 		return
 	}
 
@@ -241,6 +264,7 @@ func main() {
 			correct, labeled, 100*float64(correct)/float64(labeled))
 	}
 	reportStages(res)
+	reportCascade(searcher)
 }
 
 // serialOnly reports whether the selected searcher carries per-search
@@ -260,12 +284,24 @@ func serialOnly(design string, resilient bool, stages []string) bool {
 	return false
 }
 
+// cascadeConfigFor derives the cascade configuration from a snapshot's
+// recorded slice, falling back to build-time slice selection when the
+// snapshot predates the slice fields.
+func cascadeConfigFor(cfg hdam.SnapshotConfig) hdam.CascadeConfig {
+	if cfg.SliceWords > 0 {
+		return hdam.CascadeConfig{SliceOffset: cfg.SliceOffset, SliceWords: cfg.SliceWords}
+	}
+	return hdam.CascadeConfig{SliceOffset: -1}
+}
+
 // loadModel loads a trained model from a snapshot file, falling back to the
 // legacy SaveMemory stream format, and returns the pipeline rebuilt around
-// it. Snapshot loads take dim, n-gram order and seed from the file's own
-// recorded config (flag values are overridden); legacy loads can only
-// recover the dimensionality and trust the flags for the rest.
-func loadModel(path string, p hdam.LanguageParams) (*hdam.Trained, hdam.LanguageParams, error) {
+// it plus the cascade configuration the model was saved with. Snapshot loads
+// take dim, n-gram order and seed from the file's own recorded config (flag
+// values are overridden); legacy loads can only recover the dimensionality
+// and trust the flags for the rest.
+func loadModel(path string, p hdam.LanguageParams) (*hdam.Trained, hdam.LanguageParams, hdam.CascadeConfig, error) {
+	casc := hdam.CascadeConfig{SliceOffset: -1}
 	snap, err := hdam.OpenSnapshot(path)
 	if err == nil {
 		// The snapshot stays open for the process lifetime: on linux the
@@ -276,23 +312,23 @@ func loadModel(path string, p hdam.LanguageParams) (*hdam.Trained, hdam.Language
 		prov := snap.Provenance()
 		fmt.Fprintf(os.Stderr, "loaded snapshot %s: %d classes at D=%d (ngram=%d seed=%d trainer=%q zero-copy=%v)\n",
 			path, mem.Classes(), mem.Dim(), cfg.NGram, cfg.Seed, prov.Trainer, snap.ZeroCopy())
-		return rebuildTrained(mem, p), p, nil
+		return rebuildTrained(mem, p), p, cascadeConfigFor(cfg), nil
 	}
 	if !errors.Is(err, hdam.ErrNotSnapshot) {
-		return nil, p, fmt.Errorf("loading snapshot %s: %w", path, err)
+		return nil, p, casc, fmt.Errorf("loading snapshot %s: %w", path, err)
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, p, err
+		return nil, p, casc, err
 	}
 	defer f.Close()
 	mem, err := hdam.LoadMemory(f)
 	if err != nil {
-		return nil, p, fmt.Errorf("loading legacy memory %s: %w", path, err)
+		return nil, p, casc, fmt.Errorf("loading legacy memory %s: %w", path, err)
 	}
 	p.Dim = mem.Dim()
 	fmt.Fprintf(os.Stderr, "loaded legacy memory %s: %d classes at D=%d\n", path, mem.Classes(), mem.Dim())
-	return rebuildTrained(mem, p), p, nil
+	return rebuildTrained(mem, p), p, casc, nil
 }
 
 // serveWatch serves stdin from the newest snapshot in dir, hot-swapping the
@@ -305,7 +341,7 @@ func serveWatch(dir, design string, workers, batch int, seed uint64) error {
 		Interval: time.Second,
 		Swap: func(snap *hdam.Snapshot) error {
 			mem := snap.Memory()
-			searcher, err := buildSearcherMem(design, mem)
+			searcher, err := buildSearcherMem(design, mem, cascadeConfigFor(snap.Config()))
 			if err != nil {
 				return err
 			}
@@ -440,17 +476,17 @@ func pumpStdin(eng *hdam.Engine) error {
 // knownDesign reports whether a -design / -chain entry names a searcher.
 func knownDesign(d string) bool {
 	switch d {
-	case "exact", "dham", "rham", "aham":
+	case "exact", "dham", "rham", "aham", "cascade":
 		return true
 	}
 	return false
 }
 
 // buildChain assembles the resilient escalation pipeline.
-func buildChain(designs []string, margin int, tr *hdam.Trained, p hdam.LanguageParams) (*hdam.Resilient, error) {
+func buildChain(designs []string, margin int, tr *hdam.Trained) (*hdam.Resilient, error) {
 	stages := make([]hdam.ResilientStage, len(designs))
 	for i, d := range designs {
-		s, err := buildSearcher(strings.TrimSpace(d), tr, p)
+		s, err := buildSearcherMem(strings.TrimSpace(d), tr.Memory, hdam.CascadeConfig{})
 		if err != nil {
 			return nil, err
 		}
@@ -476,14 +512,12 @@ func reportStages(res *hdam.Resilient) {
 	}
 }
 
-func buildSearcher(design string, tr *hdam.Trained, p hdam.LanguageParams) (hdam.Searcher, error) {
-	return buildSearcherMem(design, tr.Memory)
-}
-
 // buildSearcherMem builds the selected design over an arbitrary memory,
 // taking its shape from the memory itself — the form hot-swapping needs,
-// where each snapshot brings its own model.
-func buildSearcherMem(design string, mem *hdam.Memory) (hdam.Searcher, error) {
+// where each snapshot brings its own model. casc only applies to the
+// cascade design (the zero value selects error-model defaults with a
+// negative offset meaning build-time slice selection).
+func buildSearcherMem(design string, mem *hdam.Memory, casc hdam.CascadeConfig) (hdam.Searcher, error) {
 	d, c := mem.Dim(), mem.Classes()
 	switch design {
 	case "exact":
@@ -494,9 +528,25 @@ func buildSearcherMem(design string, mem *hdam.Memory) (hdam.Searcher, error) {
 		return hdam.NewRHAM(hdam.RHAMConfig{D: d, C: c}, mem)
 	case "aham":
 		return hdam.NewAHAM(hdam.AHAMConfig{D: d, C: c}, mem)
+	case "cascade":
+		return hdam.NewCascadeSearcher(mem, casc)
 	default:
-		return nil, fmt.Errorf("unknown design %q (exact|dham|rham|aham)", design)
+		return nil, fmt.Errorf("unknown design %q (exact|dham|rham|aham|cascade)", design)
 	}
+}
+
+// reportCascade prints the cascaded searcher's stage counters.
+func reportCascade(s hdam.Searcher) {
+	c, ok := s.(*hdam.CascadeSearcher)
+	if !ok {
+		return
+	}
+	st := c.Stats()
+	if st.Queries == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s over slice [%d,+%d): %d searches, avg shortlist %.1f, widened %.2f%%\n",
+		c.Name(), c.SliceOffset(), c.SliceWords(), st.Queries, st.AvgShortlist(), 100*st.WidenRate())
 }
 
 func runDemo(tr *hdam.Trained, searcher hdam.Searcher, langs []*hdam.Language, seed uint64) {

@@ -103,6 +103,34 @@ func NewNoisySearcher(mem *Memory, errorBits int, rng *rand.Rand) Searcher {
 	return assoc.NewNoisy(mem, errorBits, rng)
 }
 
+// CascadeSearcher is the two-stage cascaded searcher: stage 1 scans one
+// contiguous sampled slice of every class row (the paper's d-sampling,
+// §III-A1, restricted to a dense word-aligned slice), stage 2 rescores only
+// the shortlisted rows at full D, and an error-model certificate widens to
+// the exact scan whenever the shortlist cannot be trusted — so answers are
+// always bit-identical to the exact search.
+type CascadeSearcher = assoc.Cascade
+
+// CascadeConfig tunes the cascade's slice geometry, shortlist radius and
+// certificate bound; the zero value selects error-model defaults.
+type CascadeConfig = assoc.CascadeConfig
+
+// CascadeStats is a snapshot of a cascade's search counters.
+type CascadeStats = assoc.CascadeStats
+
+// DefaultCascadeSliceWords is the default stage-1 slice width in packed
+// 64-bit words.
+const DefaultCascadeSliceWords = assoc.DefaultSliceWords
+
+// NewCascadeSearcher builds the cascaded searcher over a trained memory.
+func NewCascadeSearcher(mem *Memory, cfg CascadeConfig) (*CascadeSearcher, error) {
+	return assoc.NewCascade(mem, cfg)
+}
+
+// KernelName identifies the popcount distance kernel this build dispatches
+// to (build-tag selected; all kernels are bit-identical).
+const KernelName = core.KernelName
+
 // ---- Fault injection and resilient search ----
 
 // FaultInjector is one deterministic fault process (see internal/fault for

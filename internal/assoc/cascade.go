@@ -1,0 +1,352 @@
+package assoc
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// Cascade is the two-stage cascaded searcher: stage 1 scans one contiguous
+// word-aligned slice of every class row (the software form of the paper's
+// d-sampling, §III-A1, except that the components are a dense slice instead
+// of gated columns, so the scan stays a streaming kernel), producing sampled
+// distances; stage 2 rescores a shortlist of rows at full D by scanning only
+// the words *outside* the slice — a rescored row's exact distance is its
+// sampled distance plus its rest-of-row distance, so no word is ever read
+// twice.
+//
+// The shortlist is the certificate. Under the paper's d-sampling error model
+// (the hypergeometric distribution of a sampled distance around B·d/D,
+// §III-A1 — the same model behind hypergeometric above), a row whose true
+// distance beats or ties the best rescored distance B̂ samples a sliced
+// distance with mean at most B̂·d/D and worst-case standard deviation σ.
+// Stage 2 therefore rescores exactly the rows whose sampled distance falls
+// below the threshold T = ⌈B̂·d/D⌉ + t*, where t* = σ·√2·erfcinv(2ε/(C−1))
+// makes each unrescored row a ≥ t*/σ-sigma event: by a union bound the
+// modeled probability that any unrescored row actually beats or ties the
+// winner is at most ε = MaxFailProb. Rescoring only improves B̂, so the
+// threshold computed from the first candidate is a conservative superset.
+// When the shortlist exceeds MaxShortlist the query is margin-poor and the
+// cascade widens to the exact answer by completing every row's distance
+// incrementally (sampled value plus rest-of-row), which costs no more than
+// the exact scan it replaces.
+//
+// Answers are bit-identical to ClassMatrix.Nearest — winner index, lowest-
+// index tie-breaking and reported distance — whenever the certificate holds,
+// which the error model guarantees with per-query failure probability ≤ ε;
+// margin-poor queries degenerate to the exact scan and are identical by
+// construction. The property, fuzz and full-protocol tests pin this identity
+// empirically across designs, dimensions and adversarial near-tie queries.
+//
+// A Cascade is safe for concurrent use: scratch comes from an internal pool
+// (SearchBuf reuses the caller's buffer instead) and statistics are atomic.
+// Steady-state searches allocate nothing.
+type Cascade struct {
+	mem  *core.Memory
+	cm   *core.ClassMatrix
+	rows int
+	dim  int
+
+	lo, hi int // packed-word slice [lo,hi)
+	d      int // sampled bits in the slice (the tail word may pad)
+	tstar  int // certificate slack t* in sampled-distance units
+
+	maxShort int
+	eps      float64
+
+	scratch sync.Pool // *[]int, rows-sized
+
+	queries  atomic.Uint64
+	rescored atomic.Uint64
+	widened  atomic.Uint64
+}
+
+// CascadeConfig tunes the cascade. The zero value selects defaults derived
+// from the error model; only explicitly-set fields override them.
+type CascadeConfig struct {
+	// SliceWords is the stage-1 slice width in packed 64-bit words (so the
+	// sampled dimensionality d is up to 64·SliceWords). 0 selects
+	// DefaultSliceWords; the value is clamped to the row width, at which
+	// point stage 1 is itself the exact scan.
+	SliceWords int
+	// SliceOffset is the slice's packed-word offset within each row. A
+	// negative offset asks the constructor to select the offset that
+	// maximizes the minimum pairwise sampled separation between the stored
+	// classes — the slice under which the classes are most distinguishable.
+	// The chosen offset is a build-time model property; persist it (the
+	// snapshot store's slice fields) so a reloaded model cascades over the
+	// same components.
+	SliceOffset int
+	// MaxFailProb is the per-query certificate bound ε: the modeled
+	// probability that a row outside the rescored shortlist actually beats
+	// or ties the answer (default 1e-3). Smaller values rescore more rows.
+	MaxFailProb float64
+	// MaxShortlist widens to the exact answer when more rows fall below the
+	// certificate threshold (default C/2, minimum 2): a shortlist that
+	// large means the query has no margin for the cascade to exploit, and
+	// completing every row costs no more than rescoring most of them.
+	MaxShortlist int
+}
+
+// DefaultSliceWords is the default stage-1 slice width: 40 packed words
+// (2,560 of the paper's 10,000 components), the region of the paper's
+// d-sampling curve where the sampled argmin is near-exact while the scan
+// touches ~1/4 of the memory. Measured on the trained langid workload this
+// width dominates both narrower slices (whose looser sampled margins inflate
+// the shortlist and the widen rate) and wider ones (which scan words the
+// certificate never needs).
+const DefaultSliceWords = 40
+
+// NewCascade builds a cascaded searcher over mem. The memory must hold at
+// least two classes (with one class there is nothing to shortlist).
+func NewCascade(mem *core.Memory, cfg CascadeConfig) (*Cascade, error) {
+	if mem == nil {
+		return nil, fmt.Errorf("assoc: cascade over nil memory")
+	}
+	if mem.Classes() < 2 {
+		return nil, fmt.Errorf("assoc: cascade needs at least two classes, have %d", mem.Classes())
+	}
+	cm := mem.ClassMatrix()
+	words := cm.Words()
+	sw := cfg.SliceWords
+	if sw == 0 {
+		sw = DefaultSliceWords
+	}
+	if sw < 0 {
+		return nil, fmt.Errorf("assoc: negative slice width %d words", sw)
+	}
+	if sw > words {
+		sw = words
+	}
+	lo := cfg.SliceOffset
+	if lo < 0 {
+		lo = selectSliceOffset(mem, sw)
+	}
+	if lo+sw > words {
+		return nil, fmt.Errorf("assoc: slice [%d,%d) outside row of %d words", lo, lo+sw, words)
+	}
+	hi := lo + sw
+	dim := mem.Dim()
+	d := hi * 64
+	if d > dim {
+		d = dim // the slice includes the zero-padded tail word
+	}
+	d -= lo * 64
+
+	c := &Cascade{
+		mem:  mem,
+		cm:   cm,
+		rows: mem.Classes(),
+		dim:  dim,
+		lo:   lo,
+		hi:   hi,
+		d:    d,
+		eps:  cfg.MaxFailProb,
+	}
+	if c.eps <= 0 {
+		c.eps = 1e-3
+	}
+	// Finite-population-corrected worst-case variance of one sampled
+	// distance: d·p(1−p)·(D−d)/(D−1) maximized at p = ½. d = D makes the
+	// sample exact, the variance zero and the certificate slack vanish.
+	var sigma2 float64
+	if dim > 1 {
+		sigma2 = float64(d) * 0.25 * float64(dim-d) / float64(dim-1)
+	}
+	if sigma2 > 0 {
+		perRow := 2 * c.eps / float64(c.rows-1)
+		if perRow < 2 {
+			c.tstar = int(math.Ceil(math.Erfcinv(perRow) * math.Sqrt(2*sigma2)))
+		}
+	}
+	c.maxShort = cfg.MaxShortlist
+	if c.maxShort <= 0 {
+		c.maxShort = c.rows / 2
+		if c.maxShort < 2 {
+			c.maxShort = 2
+		}
+	}
+	c.scratch.New = func() any {
+		b := make([]int, c.rows)
+		return &b
+	}
+	return c, nil
+}
+
+// selectSliceOffset picks the word offset whose slice maximizes the minimum
+// pairwise sampled distance between the stored classes: the slice under
+// which the learned classes are hardest to confuse, mirroring how the paper
+// reads class separability off the minimum pairwise distance (§III-D2). Ties
+// resolve to the lowest offset, so selection is deterministic.
+func selectSliceOffset(mem *core.Memory, sliceWords int) int {
+	cm := mem.ClassMatrix()
+	words := cm.Words()
+	if sliceWords >= words {
+		return 0
+	}
+	best, bestSep := 0, -1
+	for off := 0; off+sliceWords <= words; off++ {
+		sep := math.MaxInt
+		for i := 0; i < mem.Classes() && sep > bestSep; i++ {
+			qi := mem.Class(i)
+			for j := i + 1; j < mem.Classes(); j++ {
+				if d := cm.RowRangeDistance(j, qi, off, off+sliceWords); d < sep {
+					sep = d
+				}
+			}
+		}
+		if sep > bestSep {
+			best, bestSep = off, sep
+		}
+	}
+	return best
+}
+
+// SliceOffset returns the packed-word offset of the stage-1 slice.
+func (c *Cascade) SliceOffset() int { return c.lo }
+
+// SliceWords returns the stage-1 slice width in packed words.
+func (c *Cascade) SliceWords() int { return c.hi - c.lo }
+
+// SampledBits returns d, the number of real components in the slice.
+func (c *Cascade) SampledBits() int { return c.d }
+
+// CertMargin returns the certificate slack t* in sampled-distance units:
+// rows whose sampled distance clears the candidate's scaled distance by at
+// least t* are certified losers and never rescored.
+func (c *Cascade) CertMargin() int { return c.tstar }
+
+// Name implements core.Searcher.
+func (c *Cascade) Name() string {
+	return fmt.Sprintf("cascade d=%d t*=%d", c.d, c.tstar)
+}
+
+// Search implements core.Searcher: the cascaded search, bit-identical to the
+// exact nearest search whenever the certificate holds.
+func (c *Cascade) Search(q *hv.Vector) core.Result {
+	bp := c.scratch.Get().(*[]int)
+	r := c.search(q, *bp)
+	c.scratch.Put(bp)
+	return r
+}
+
+// SearchBuf implements core.BufferedSearcher.
+func (c *Cascade) SearchBuf(q *hv.Vector, buf *[]int) core.Result {
+	return c.search(q, growInts(buf, c.rows))
+}
+
+// restOfRow is the stage-2 rescore: the row's Hamming contribution from the
+// words outside the sampled slice, in one fused kernel call.
+func (c *Cascade) restOfRow(r int, q *hv.Vector) int {
+	return c.cm.RowComplementDistance(r, q, c.lo, c.hi)
+}
+
+// search runs the cascade with s as the rows-sized scratch row holding the
+// sampled distances.
+func (c *Cascade) search(q *hv.Vector, s []int) core.Result {
+	c.queries.Add(1)
+	c.cm.RangeDistancesInto(s, q, c.lo, c.hi)
+
+	// The sampled argmin (strict <, index order: the lowest-index minimum,
+	// like ClassMatrix.Nearest) seeds the candidate full distance B̂.
+	si := 0
+	for r := 1; r < c.rows; r++ {
+		if s[r] < s[si] {
+			si = r
+		}
+	}
+	seedFull := s[si] + c.restOfRow(si, q)
+
+	// Certificate threshold: an unrescored row must show a sampled distance
+	// of at least ⌈B̂·d/D⌉ + t*. B̂ only improves during rescoring, so the
+	// threshold from the seed candidate is a conservative superset; with
+	// d = D the slack is zero and the threshold admits no row below the
+	// already-exact minimum. Integer ceiling: seedFull·d ≤ 10⁴·10⁴ ≪ 2⁶³.
+	threshold := (seedFull*c.d+c.dim-1)/c.dim + c.tstar
+
+	short := 1
+	for r, sr := range s {
+		if r != si && sr < threshold {
+			short++
+		}
+	}
+	if short > c.maxShort {
+		// Margin-poor query: the certificate cannot exclude enough rows, so
+		// widen to the exact answer by completing every row incrementally.
+		c.widened.Add(1)
+		for r := range s {
+			s[r] += c.restOfRow(r, q)
+		}
+		i, fd := ExactWinner(s)
+		return core.Result{Index: i, Distance: fd}
+	}
+
+	// Rescore the shortlist in index order with a strict <, preserving the
+	// lowest-index tie-break of the exact scan.
+	best, bestD := si, seedFull
+	for r, sr := range s {
+		if r == si || sr >= threshold {
+			continue
+		}
+		if full := sr + c.restOfRow(r, q); full < bestD || (full == bestD && r < best) {
+			best, bestD = r, full
+		}
+	}
+	c.rescored.Add(uint64(short))
+	return core.Result{Index: best, Distance: bestD}
+}
+
+// CascadeStats is a snapshot of a cascade's counters.
+type CascadeStats struct {
+	// Queries is the number of searches served.
+	Queries uint64
+	// RescoredRows is the total number of shortlisted rows rescored at full
+	// D (excluding widened searches).
+	RescoredRows uint64
+	// Widened counts margin-poor searches whose shortlist exceeded
+	// MaxShortlist and degenerated to the exact answer.
+	Widened uint64
+}
+
+// FullScans is the number of searches that degenerated to the exact answer.
+func (s CascadeStats) FullScans() uint64 { return s.Widened }
+
+// WidenRate is the fraction of searches that degenerated to the exact
+// answer.
+func (s CascadeStats) WidenRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Widened) / float64(s.Queries)
+}
+
+// AvgShortlist is the mean shortlist size over cascaded (non-widened)
+// searches, including the seed candidate.
+func (s CascadeStats) AvgShortlist() float64 {
+	n := s.Queries - s.Widened
+	if n == 0 {
+		return 0
+	}
+	return float64(s.RescoredRows) / float64(n)
+}
+
+// Stats returns a snapshot of the cascade's counters.
+func (c *Cascade) Stats() CascadeStats {
+	return CascadeStats{
+		Queries:      c.queries.Load(),
+		RescoredRows: c.rescored.Load(),
+		Widened:      c.widened.Load(),
+	}
+}
+
+// Compile-time interface checks. Cascade is deliberately not a
+// MarginSearcher: it does not compute runner-up distances for rows outside
+// the shortlist, so it cannot report exact margins.
+var (
+	_ core.Searcher         = (*Cascade)(nil)
+	_ core.BufferedSearcher = (*Cascade)(nil)
+)

@@ -1,0 +1,78 @@
+package assoc_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/assoc"
+	"hdam/internal/hv"
+)
+
+// BenchmarkCascade measures the cascaded searcher against the exact scan on
+// the searcher grain — one query answered end to end — across
+// dimensionalities, class counts and slice widths, in the two regimes that
+// bound real behavior: "near" queries close to a stored class (large margins,
+// the fast path that should never widen) and "random" queries with no margin
+// structure (the widen-prone worst case). Visible in `make bench-kernels`.
+func BenchmarkCascade(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2017, 0xbcade))
+	for _, shape := range []struct{ dim, rows, slice int }{
+		{10000, 21, 32},  // the paper's shape, default slice
+		{10000, 21, 16},  // tighter slice: cheaper stage 1, wider gate
+		{10000, 100, 32}, // more classes
+		{65536, 21, 32},  // large-D
+	} {
+		mem := randomMemory(b, shape.dim, shape.rows, rng)
+		c, err := assoc.NewCascade(mem, assoc.CascadeConfig{
+			SliceWords:  shape.slice,
+			SliceOffset: 0, // offset selection is a build-time cost, not a search cost
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		exact := assoc.NewExact(mem)
+		regimes := []struct {
+			name string
+			qs   []*hv.Vector
+		}{
+			{"near", func() []*hv.Vector {
+				qs := make([]*hv.Vector, 64)
+				for i := range qs {
+					qs[i] = flipBits(mem.Class(i%shape.rows), shape.dim/20, rng)
+				}
+				return qs
+			}()},
+			{"random", func() []*hv.Vector {
+				qs := make([]*hv.Vector, 64)
+				for i := range qs {
+					qs[i] = hv.Random(shape.dim, rng)
+				}
+				return qs
+			}()},
+		}
+		for _, reg := range regimes {
+			tag := fmt.Sprintf("d%d-c%d-s%d/%s", shape.dim, shape.rows, shape.slice, reg.name)
+			b.Run("cascade/"+tag, func(b *testing.B) {
+				var buf []int
+				sink := 0
+				for i := 0; i < b.N; i++ {
+					sink += c.SearchBuf(reg.qs[i%len(reg.qs)], &buf).Index
+				}
+				if sink < 0 {
+					b.Fatal("impossible")
+				}
+			})
+			b.Run("exact/"+tag, func(b *testing.B) {
+				var buf []int
+				sink := 0
+				for i := 0; i < b.N; i++ {
+					sink += exact.SearchBuf(reg.qs[i%len(reg.qs)], &buf).Index
+				}
+				if sink < 0 {
+					b.Fatal("impossible")
+				}
+			})
+		}
+	}
+}

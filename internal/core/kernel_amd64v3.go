@@ -1,0 +1,17 @@
+//go:build amd64.v3
+
+package core
+
+// GOAMD64=v3 guarantees a single-cycle hardware POPCNT (and compiles
+// OnesCount64 straight to it, no CPUID guard), which flips the trade-off:
+// eight pipelined popcounts per block beat the CSA tree's extra logic ops,
+// so this build path dispatches to the wide-unrolled kernel.
+
+// KernelName identifies the distance kernel this build dispatches to, for
+// benchmark reports.
+const KernelName = "popcnt8"
+
+// rowDistance is the popcount-of-XOR inner kernel behind every distance
+// computation. The build tag selects the implementation; all variants are
+// bit-identical for every word count.
+func rowDistance(row, qw []uint64) int { return rowDistancePopcnt(row, qw) }

@@ -1,0 +1,17 @@
+//go:build !amd64.v3
+
+package core
+
+// On the portable build path math/bits.OnesCount64 may compile to a
+// multi-instruction fallback (or a CPUID-guarded POPCNT), so the Harley-Seal
+// CSA kernel — which popcounts one word per 16-word block instead of all
+// sixteen — is the right default.
+
+// KernelName identifies the distance kernel this build dispatches to, for
+// benchmark reports.
+const KernelName = "csa16"
+
+// rowDistance is the popcount-of-XOR inner kernel behind every distance
+// computation. The build tag selects the implementation; all variants are
+// bit-identical for every word count.
+func rowDistance(row, qw []uint64) int { return rowDistanceCSA(row, qw) }

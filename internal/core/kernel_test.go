@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+	"testing"
+
+	"hdam/internal/hv"
+)
+
+// refDistance is the obviously-correct scalar reference every kernel variant
+// is judged against.
+func refDistance(row, qw []uint64) int {
+	d := 0
+	for i := range row {
+		d += bits.OnesCount64(row[i] ^ qw[i])
+	}
+	return d
+}
+
+// kernelVariants enumerates every rowDistance implementation plus the
+// build-selected dispatch itself, so `make ci` proves equivalence on
+// whichever path GOAMD64 selects.
+func kernelVariants() map[string]func(row, qw []uint64) int {
+	return map[string]func(row, qw []uint64) int{
+		"csa16":                  rowDistanceCSA,
+		"popcnt8":                rowDistancePopcnt,
+		"dispatch-" + KernelName: rowDistance,
+	}
+}
+
+// kernelTestLengths covers all tail residues of both block sizes (0–3 past a
+// 4-block, 0–7 past an 8-block, 0–15 past a 16-block) plus the packed width
+// of the paper's D = 10,000 (157 words).
+var kernelTestLengths = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 19, 31, 32, 33, 47, 48, 63, 64, 65, 100, 127, 128, 157, 256, 1024}
+
+// TestKernelEquivalence proves every kernel variant bit-identical to the
+// scalar reference on random, all-zero, saturated and single-bit patterns.
+func TestKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2017, 0xbead))
+	for _, n := range kernelTestLengths {
+		row := make([]uint64, n)
+		qw := make([]uint64, n)
+		patterns := []struct {
+			name string
+			fill func()
+		}{
+			{"random", func() {
+				for i := range row {
+					row[i], qw[i] = rng.Uint64(), rng.Uint64()
+				}
+			}},
+			{"zeros", func() {
+				for i := range row {
+					row[i], qw[i] = 0, 0
+				}
+			}},
+			{"saturated", func() {
+				for i := range row {
+					row[i], qw[i] = ^uint64(0), 0
+				}
+			}},
+			{"single-bit", func() {
+				for i := range row {
+					row[i], qw[i] = 0, 0
+				}
+				if n > 0 {
+					row[rng.IntN(n)] = 1 << uint(rng.IntN(64))
+				}
+			}},
+		}
+		for _, p := range patterns {
+			p.fill()
+			want := refDistance(row, qw)
+			for kname, kernel := range kernelVariants() {
+				if got := kernel(row, qw); got != want {
+					t.Errorf("%s: %d words, %s pattern: got %d, want %d", kname, n, p.name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelEquivalenceSubranges exercises the kernels the way the sharded
+// matrix and the cascade call them: on word subranges of a larger backing
+// array, where the slice base is not the allocation start and lengths take
+// every residue.
+func TestKernelEquivalenceSubranges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2017, 0x5ab))
+	const total = 257
+	row := make([]uint64, total)
+	qw := make([]uint64, total)
+	for i := range row {
+		row[i], qw[i] = rng.Uint64(), rng.Uint64()
+	}
+	for trial := 0; trial < 500; trial++ {
+		lo := rng.IntN(total)
+		hi := lo + rng.IntN(total-lo)
+		want := refDistance(row[lo:hi], qw[lo:hi])
+		for kname, kernel := range kernelVariants() {
+			if got := kernel(row[lo:hi], qw[lo:hi]); got != want {
+				t.Fatalf("%s: subrange [%d,%d): got %d, want %d", kname, lo, hi, got, want)
+			}
+		}
+	}
+}
+
+// TestRangeDistances proves the cascade's two primitives consistent with the
+// full kernel: a row's partial distances over a word partition sum to the
+// exact Hamming distance, for dimensions with and without tail words.
+func TestRangeDistances(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2017, 0x4a17))
+	for _, dim := range []int{64, 100, 127, 128, 1000, 4096, 10000} {
+		const rows = 7
+		classes := make([]*hv.Vector, rows)
+		for i := range classes {
+			classes[i] = hv.Random(dim, rng)
+		}
+		cm := NewClassMatrix(classes)
+		q := hv.Random(dim, rng)
+		full := make([]int, rows)
+		cm.DistancesInto(full, q)
+
+		words := cm.Words()
+		for trial := 0; trial < 20; trial++ {
+			lo := rng.IntN(words)
+			hi := lo + 1 + rng.IntN(words-lo)
+			part := make([]int, rows)
+			cm.RangeDistancesInto(part, q, lo, hi)
+			for r := 0; r < rows; r++ {
+				got := part[r]
+				if lo > 0 {
+					got += cm.RowRangeDistance(r, q, 0, lo)
+				}
+				if hi < words {
+					got += cm.RowRangeDistance(r, q, hi, words)
+				}
+				if got != full[r] {
+					t.Fatalf("dim %d row %d slice [%d,%d): partials sum to %d, full distance %d",
+						dim, r, lo, hi, got, full[r])
+				}
+				if want := hv.Hamming(q, classes[r]); full[r] != want {
+					t.Fatalf("dim %d row %d: matrix distance %d, hv.Hamming %d", dim, r, full[r], want)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkRowDistance measures every kernel variant at the distance-scan
+// grain the searchers use — one query against C packed rows — across
+// dimensionalities with and without tail words and across class counts, so a
+// kernel regression on any build path is visible in `make bench-kernels`.
+func BenchmarkRowDistance(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2017, 0xbe4c))
+	kernels := []struct {
+		name string
+		fn   func(row, qw []uint64) int
+	}{
+		{"dispatch-" + KernelName, rowDistance},
+		{"csa16", rowDistanceCSA},
+		{"popcnt8", rowDistancePopcnt},
+	}
+	for _, shape := range []struct{ dim, rows int }{
+		{1024, 21},  // 16 words, no tail
+		{10000, 21}, // the paper's shape: 157 words, 16-bit tail word
+		{10000, 100},
+		{65536, 21}, // 1024 words, cache-resident large-D
+	} {
+		words := (shape.dim + 63) / 64
+		data := make([]uint64, shape.rows*words)
+		for i := range data {
+			data[i] = rng.Uint64()
+		}
+		qw := make([]uint64, words)
+		for i := range qw {
+			qw[i] = rng.Uint64()
+		}
+		for _, k := range kernels {
+			b.Run(fmt.Sprintf("%s/d%d-c%d", k.name, shape.dim, shape.rows), func(b *testing.B) {
+				b.SetBytes(int64(shape.rows * words * 8))
+				sink := 0
+				for i := 0; i < b.N; i++ {
+					for r := 0; r < shape.rows; r++ {
+						sink += k.fn(data[r*words:(r+1)*words], qw)
+					}
+				}
+				if sink < 0 {
+					b.Fatal("impossible")
+				}
+			})
+		}
+	}
+}

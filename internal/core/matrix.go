@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/bits"
 
 	"hdam/internal/hv"
 )
@@ -79,6 +78,9 @@ func (cm *ClassMatrix) Rows() int { return cm.rows }
 // Dim returns the hypervector dimensionality D.
 func (cm *ClassMatrix) Dim() int { return cm.dim }
 
+// Words returns the packed word count per row, ⌈D/64⌉.
+func (cm *ClassMatrix) Words() int { return cm.words }
+
 // Row exposes the packed words of row i for read-only scanning. Callers
 // must not mutate the slice.
 func (cm *ClassMatrix) Row(i int) []uint64 {
@@ -93,23 +95,6 @@ func (cm *ClassMatrix) checkQuery(q *hv.Vector) {
 	if q.Dim() != cm.dim {
 		panic(fmt.Sprintf("core: query dim %d, matrix dim %d", q.Dim(), cm.dim))
 	}
-}
-
-// rowDistance is the popcount-of-XOR inner kernel, unrolled four words wide
-// so the popcounts pipeline.
-func rowDistance(row, qw []uint64) int {
-	d := 0
-	w := 0
-	for ; w+4 <= len(row); w += 4 {
-		d += bits.OnesCount64(row[w]^qw[w]) +
-			bits.OnesCount64(row[w+1]^qw[w+1]) +
-			bits.OnesCount64(row[w+2]^qw[w+2]) +
-			bits.OnesCount64(row[w+3]^qw[w+3])
-	}
-	for ; w < len(row); w++ {
-		d += bits.OnesCount64(row[w] ^ qw[w])
-	}
-	return d
 }
 
 // DistancesInto writes the exact Hamming distance from q to every row into
@@ -139,6 +124,68 @@ func (cm *ClassMatrix) Nearest(q *hv.Vector) (int, int) {
 		}
 	}
 	return best, bestD
+}
+
+// checkWordRange validates a [lo,hi) packed-word range.
+func (cm *ClassMatrix) checkWordRange(lo, hi int) {
+	if lo < 0 || hi > cm.words || lo >= hi {
+		panic(fmt.Sprintf("core: word range [%d,%d) outside [0,%d)", lo, hi, cm.words))
+	}
+}
+
+// RangeDistancesInto writes, for every row, the popcount of the XOR between
+// q and the row restricted to packed words [lo,hi): the partial Hamming
+// distance over one contiguous component slice. This is the stage-1 kernel
+// of the cascaded searcher (the software form of the paper's d-sampling,
+// §III-A1, restricted to a word-aligned slice so the scan stays a dense
+// streaming pass) and the same primitive the sharded kernel reduces over.
+// len(dst) must equal Rows.
+func (cm *ClassMatrix) RangeDistancesInto(dst []int, q *hv.Vector, lo, hi int) {
+	cm.checkQuery(q)
+	cm.checkWordRange(lo, hi)
+	if len(dst) != cm.rows {
+		panic(fmt.Sprintf("core: distance buffer len %d, want %d", len(dst), cm.rows))
+	}
+	rangeDistancesStride(dst[:cm.rows], cm.data, q.Words()[lo:hi], lo, cm.words)
+}
+
+// RowRangeDistance returns the popcount of the XOR between q and row r
+// restricted to packed words [lo,hi): the stage-2 rescore primitive —
+// summing it over the word ranges outside the sampled slice turns a stage-1
+// partial distance into the exact full-D distance without re-reading the
+// slice.
+func (cm *ClassMatrix) RowRangeDistance(r int, q *hv.Vector, lo, hi int) int {
+	cm.checkQuery(q)
+	cm.checkWordRange(lo, hi)
+	if r < 0 || r >= cm.rows {
+		panic(fmt.Sprintf("core: row %d out of range [0,%d)", r, cm.rows))
+	}
+	w := cm.words
+	return rangeDistance(cm.data[r*w+lo:r*w+hi], q.Words()[lo:hi])
+}
+
+// RowComplementDistance returns the popcount of the XOR between q and row r
+// restricted to the words *outside* [lo,hi): the fused stage-2 rescore — one
+// validated call per shortlisted row instead of one per flanking segment.
+// Adding it to a stage-1 partial distance over [lo,hi) yields the exact
+// full-D distance without re-reading the slice.
+func (cm *ClassMatrix) RowComplementDistance(r int, q *hv.Vector, lo, hi int) int {
+	cm.checkQuery(q)
+	cm.checkWordRange(lo, hi)
+	if r < 0 || r >= cm.rows {
+		panic(fmt.Sprintf("core: row %d out of range [0,%d)", r, cm.rows))
+	}
+	w := cm.words
+	row := cm.data[r*w : (r+1)*w]
+	qw := q.Words()
+	d := 0
+	if lo > 0 {
+		d = rangeDistance(row[:lo], qw[:lo])
+	}
+	if hi < cm.words {
+		d += rangeDistance(row[hi:], qw[hi:])
+	}
+	return d
 }
 
 // batchBlock is how many queries the batched kernel carries through one

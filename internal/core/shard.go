@@ -110,11 +110,7 @@ func (sm *ShardedMatrix) serial() bool {
 // partialDistances scores one word-range shard: dst[r] = popcount of the
 // XOR between q and row r restricted to words [lo,hi).
 func (sm *ShardedMatrix) partialDistances(dst []int, qw []uint64, lo, hi int) {
-	w := sm.cm.words
-	qs := qw[lo:hi]
-	for r := 0; r < sm.cm.rows; r++ {
-		dst[r] = rowDistance(sm.cm.data[r*w+lo:r*w+hi], qs)
-	}
+	rangeDistancesStride(dst[:sm.cm.rows], sm.cm.data, qw[lo:hi], lo, sm.cm.words)
 }
 
 // DistancesInto writes the exact Hamming distance from q to every row into

@@ -38,15 +38,19 @@ type Result struct {
 // trajectories across commits honestly. Serve holds the closed-loop load
 // harness measurements when the run included them.
 type Report struct {
-	Timestamp string            `json:"timestamp"`
-	GoVersion string            `json:"go_version"`
-	GOOS      string            `json:"goos"`
-	GOARCH    string            `json:"goarch"`
-	NumCPU    int               `json:"num_cpu"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// Kernel is the popcount kernel the build selected (core.KernelName), so
+	// trajectory entries from generic and GOAMD64=v3 builds stay attributable.
+	Kernel    string            `json:"kernel,omitempty"`
 	Dim       int               `json:"dim"`
 	Classes   int               `json:"classes"`
 	Results   []Result          `json:"results"`
 	Serve     []ServeResult     `json:"serve,omitempty"`
+	Cascade   []CascadeResult   `json:"cascade,omitempty"`
 	ColdStart []ColdStartResult `json:"cold_start,omitempty"`
 }
 
@@ -127,6 +131,10 @@ const (
 	benchClasses = 21     // the paper's language count
 	benchSeed    = 2017
 )
+
+// KernelName re-exports the popcount kernel this build selected, so commands
+// that already depend on perf need not import internal/core for the label.
+const KernelName = core.KernelName
 
 // fixtures holds everything the kernel benchmarks share; building it is
 // untimed.
@@ -292,6 +300,7 @@ func RunKernels() *Report {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
+		Kernel:    core.KernelName,
 		Dim:       benchDim,
 		Classes:   benchClasses,
 	}

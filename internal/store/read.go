@@ -141,7 +141,7 @@ func decode(data []byte, allowView bool) (snap *Snapshot, secs []section, viewed
 	}
 
 	snap = &Snapshot{
-		cfg:    Config{Dim: meta.Dim, NGram: meta.NGram, Seed: meta.Seed},
+		cfg:    Config{Dim: meta.Dim, NGram: meta.NGram, Seed: meta.Seed, SliceOffset: meta.SliceOff, SliceWords: meta.SliceWords},
 		prov:   Provenance{Trainer: meta.Trainer, CorpusSeed: meta.CorpusSeed, Note: meta.Note},
 		mem:    mem,
 		labels: labels,
@@ -169,6 +169,13 @@ func parseMeta(b []byte) (metaJSON, error) {
 		return m, fmt.Errorf("%w: rows %d out of range (0,%d]", ErrCorrupt, m.Rows, maxRows)
 	case m.NGram < 1 || m.NGram > maxNGram:
 		return m, fmt.Errorf("%w: n-gram %d out of range [1,%d]", ErrCorrupt, m.NGram, maxNGram)
+	case m.SliceWords < 0 || m.SliceOff < 0:
+		return m, fmt.Errorf("%w: negative cascade slice [%d,+%d)", ErrCorrupt, m.SliceOff, m.SliceWords)
+	case m.SliceWords == 0 && m.SliceOff != 0:
+		return m, fmt.Errorf("%w: cascade slice offset %d without a width", ErrCorrupt, m.SliceOff)
+	case m.SliceWords > 0 && m.SliceOff+m.SliceWords > wordsPerRow(m.Dim):
+		return m, fmt.Errorf("%w: cascade slice [%d,%d) outside row of %d words",
+			ErrCorrupt, m.SliceOff, m.SliceOff+m.SliceWords, wordsPerRow(m.Dim))
 	}
 	return m, nil
 }

@@ -18,6 +18,14 @@ type Config struct {
 	NGram int
 	// Seed is the item-memory / pipeline seed.
 	Seed uint64
+	// SliceOffset and SliceWords record the cascaded searcher's stage-1
+	// sampled slice — packed-word offset and width within each class row —
+	// chosen at model build time. Persisting them means a reloaded model
+	// (including the zero-copy mmap path and hot swaps) cascades over the
+	// same components it was validated with. SliceWords == 0 means no slice
+	// was recorded; loaders then fall back to selecting one.
+	SliceOffset int
+	SliceWords  int
 }
 
 // validate rejects shapes the decoder would refuse to read back.
@@ -27,6 +35,16 @@ func (c Config) validate() error {
 	}
 	if c.NGram < 1 || c.NGram > maxNGram {
 		return fmt.Errorf("store: config n-gram %d out of range [1,%d]", c.NGram, maxNGram)
+	}
+	if c.SliceWords < 0 || c.SliceOffset < 0 {
+		return fmt.Errorf("store: negative cascade slice [%d,+%d)", c.SliceOffset, c.SliceWords)
+	}
+	if c.SliceWords == 0 && c.SliceOffset != 0 {
+		return fmt.Errorf("store: cascade slice offset %d without a width", c.SliceOffset)
+	}
+	if c.SliceWords > 0 && c.SliceOffset+c.SliceWords > wordsPerRow(c.Dim) {
+		return fmt.Errorf("store: cascade slice [%d,%d) outside row of %d words",
+			c.SliceOffset, c.SliceOffset+c.SliceWords, wordsPerRow(c.Dim))
 	}
 	return nil
 }

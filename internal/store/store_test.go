@@ -129,6 +129,58 @@ func TestRoundTripDecode(t *testing.T) {
 	assertSameModel(t, mem, got, 99)
 }
 
+// TestRoundTripCascadeSlice checks that a build-time cascade slice survives
+// the save/load round trip — including the zero-copy mmap path — and that a
+// cascade rebuilt from the stored slice answers bit-identically over the
+// loaded matrix.
+func TestRoundTripCascadeSlice(t *testing.T) {
+	mem := buildMemory(t, 10000, 21, 31)
+	cfg := Config{Dim: 10000, NGram: 3, Seed: 31, SliceOffset: 40, SliceWords: 32}
+	snap, err := Capture(mem, cfg, Provenance{Trainer: "store_test"})
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "model.hds")
+	if err := Save(path, snap); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer got.Close()
+	if gc := got.Config(); gc != cfg {
+		t.Fatalf("config %+v, want %+v", gc, cfg)
+	}
+	c, err := assoc.NewCascade(got.Memory(), assoc.CascadeConfig{
+		SliceWords:  got.Config().SliceWords,
+		SliceOffset: got.Config().SliceOffset,
+	})
+	if err != nil {
+		t.Fatalf("cascade over loaded snapshot: %v", err)
+	}
+	if c.SliceOffset() != 40 || c.SliceWords() != 32 {
+		t.Fatalf("cascade slice [%d,+%d), want [40,+32)", c.SliceOffset(), c.SliceWords())
+	}
+	rng := rand.New(rand.NewPCG(31, 9))
+	for k := 0; k < 64; k++ {
+		q := hv.Random(10000, rng)
+		wi, wd := mem.Nearest(q)
+		if got := c.Search(q); got.Index != wi || got.Distance != wd {
+			t.Fatalf("query %d: cascade (%d,%d), exact (%d,%d)", k, got.Index, got.Distance, wi, wd)
+		}
+	}
+
+	// Slices the decoder could not honor are rejected at both ends.
+	bad := Config{Dim: 10000, NGram: 3, Seed: 31, SliceOffset: 150, SliceWords: 32}
+	if _, err := Capture(mem, bad, Provenance{}); err == nil {
+		t.Fatal("out-of-row slice accepted by Capture")
+	}
+	if _, err := Capture(mem, Config{Dim: 10000, NGram: 3, SliceOffset: 3}, Provenance{}); err == nil {
+		t.Fatal("slice offset without width accepted by Capture")
+	}
+}
+
 // TestRoundTripDesigns checks that every hardware design built over a
 // loaded snapshot answers bit-identically to the same design built over the
 // in-process memory — including dimensions whose tail word is partial.

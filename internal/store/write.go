@@ -18,6 +18,8 @@ type metaJSON struct {
 	Rows        int    `json:"rows"`
 	NGram       int    `json:"ngram"`
 	Seed        uint64 `json:"seed"`
+	SliceOff    int    `json:"slice_off,omitempty"`
+	SliceWords  int    `json:"slice_words,omitempty"`
 	Trainer     string `json:"trainer,omitempty"`
 	CorpusSeed  uint64 `json:"corpus_seed,omitempty"`
 	CreatedUnix int64  `json:"created_unix,omitempty"`
@@ -31,6 +33,8 @@ func (s *Snapshot) encodeMeta() ([]byte, error) {
 		Rows:       len(s.labels),
 		NGram:      s.cfg.NGram,
 		Seed:       s.cfg.Seed,
+		SliceOff:   s.cfg.SliceOffset,
+		SliceWords: s.cfg.SliceWords,
 		Trainer:    s.prov.Trainer,
 		CorpusSeed: s.prov.CorpusSeed,
 		Note:       s.prov.Note,
