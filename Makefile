@@ -19,13 +19,15 @@ race:
 	$(GO) test -race -short ./...
 
 # Regenerate the benchmark trajectory file checked in at BENCH.json: run the
-# kernel suite plus the closed-loop serve load harness and the cascaded-search
+# kernel suite plus the closed-loop serve load harness, the cascaded-search
 # harness (single-core qps, stage-1 hit-rate, widen-rate and the mismatch
-# audit on the trained langid workload) and APPEND the report as a new
-# trajectory entry — the seed's num_cpu:1 baseline entry is kept, so
-# regressions show up as diffs, never as overwrites.
+# audit on the trained langid workload) and the scatter-gather fleet harness
+# (healthy and one-stall-one-crash points with qps, latency percentiles and
+# the degraded-answer-rate) and APPEND the report as a new trajectory entry —
+# the seed's num_cpu:1 baseline entry is kept, so regressions show up as
+# diffs, never as overwrites.
 bench:
-	$(GO) run ./cmd/hambench -serve -cascade -json BENCH.json
+	$(GO) run ./cmd/hambench -serve -cascade -fleet -json BENCH.json
 
 # bench-json is the historical name for the same regeneration.
 bench-json: bench
@@ -43,20 +45,22 @@ fmt-check:
 # Everything CI runs, in order: formatting, static checks, build,
 # race-enabled tests, a full (non-short) race pass over the
 # concurrency-heavy packages (sharded kernels, serve engine incl. hot swap,
-# robustness stack, snapshot store and registry), a short chaos smoke
-# driving the supervisor/hedging paths under seeded faults, the model
-# persistence gates (train→save→load round trip, decoder corruption
-# matrix, a fuzz smoke over the snapshot decoder), the kernel and cascade
-# equivalence tests under BOTH popcount kernels (generic csa16 and
-# GOAMD64=v3 popcnt8 — bit-identity must hold on either build path), a
-# kernel benchmark smoke pass, and a serve-path benchmark smoke so the
-# engine can't silently rot.
+# the scatter-gather replica fleet incl. its chaos soak, robustness stack,
+# snapshot store and registry), a short chaos smoke driving the
+# supervisor/hedging paths and the fleet's degraded-mode path under seeded
+# faults, the model persistence gates (train→save→load round trip, decoder
+# corruption matrix, a fuzz smoke over the snapshot decoder), the kernel,
+# cascade and fleet-equivalence tests under BOTH popcount kernels (generic
+# csa16 and GOAMD64=v3 popcnt8 — bit-identity must hold on either build
+# path, and the fleet's scatter-gather reduction must stay bit-identical to
+# the single-engine scan on both), a kernel benchmark smoke pass, and a
+# serve-path benchmark smoke so the engine can't silently rot.
 ci: fmt-check vet build race
-	$(GO) test -race ./internal/core ./internal/serve ./internal/assoc ./internal/fault ./internal/experiments ./internal/store
-	$(GO) test -race -short -run 'Chaos' ./internal/serve ./internal/perf
+	$(GO) test -race ./internal/core ./internal/serve ./internal/assoc ./internal/fault ./internal/fleet ./internal/experiments ./internal/store
+	$(GO) test -race -short -run 'Chaos|FleetHarness' ./internal/serve ./internal/perf
 	$(GO) test -run 'TestTrainSaveLoadGate|TestDecodeRejects|TestDecodeGiantDeclaredLengths' ./internal/store
 	$(GO) test -run xxx -fuzz FuzzDecodeSnapshot -fuzztime 5s ./internal/store
-	GOAMD64=v1 $(GO) test -run 'Kernel|RowDistance|Cascade' ./internal/core ./internal/assoc
-	GOAMD64=v3 $(GO) test -run 'Kernel|RowDistance|Cascade' ./internal/core ./internal/assoc
+	GOAMD64=v1 $(GO) test -run 'Kernel|RowDistance|Cascade|BitIdentical|Degraded' ./internal/core ./internal/assoc ./internal/fleet
+	GOAMD64=v3 $(GO) test -run 'Kernel|RowDistance|Cascade|BitIdentical|Degraded' ./internal/core ./internal/assoc ./internal/fleet
 	$(GO) test -run xxx -bench 'Encode|Distance|Accumulate|Cascade' -benchtime 10x -benchmem ./...
 	$(GO) test -run xxx -bench Serve -benchtime 1x ./internal/serve

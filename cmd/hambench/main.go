@@ -30,6 +30,11 @@
 //	             workload (single-core qps, p50/p95/p99, stage-1 hit-rate,
 //	             widen-rate, speedup over the exact scan, mismatch audit) and
 //	             record a cascade/* section in the report
+//	-fleet       also run the scatter-gather fleet harness (a healthy replica
+//	             fleet, then the same fleet with one replica stalled and one
+//	             crashed) and record a fleet/* section with qps, p50/p95/p99
+//	             and the degraded-answer-rate
+//	-fleet-requests N  requests per fleet load point (default 2048)
 //	-coldstart   also run the cold-start comparison (train-and-save vs.
 //	             checksummed snapshot load) and record a coldstart/* section
 //	-list        print the available experiment ids and exit
@@ -65,6 +70,8 @@ func main() {
 	coldStart := flag.Bool("coldstart", false, "also run the cold-start comparison (train-and-save vs. snapshot load) and record a coldstart/* section in the report")
 	chaos := flag.Bool("chaos", false, "run the chaos soak: serve engine under injected worker panics, latency spikes and a slow shard")
 	chaosRequests := flag.Int("chaos-requests", 2048, "requests for the chaos soak")
+	fleetBench := flag.Bool("fleet", false, "also run the scatter-gather fleet harness (healthy and one-stall-one-crash points) and record a fleet/* section in the report")
+	fleetRequests := flag.Int("fleet-requests", 2048, "requests per fleet load point")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
@@ -80,15 +87,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *jsonOut != "" || *serveLoad || *coldStart || *cascadeBench {
-		if err := runBenchSuite(*jsonOut, *serveLoad, *serveRequests, *coldStart, *cascadeBench, *trainChars, *testPerLang); err != nil {
+	if *jsonOut != "" || *serveLoad || *coldStart || *cascadeBench || *fleetBench {
+		if err := runBenchSuite(*jsonOut, *serveLoad, *serveRequests, *coldStart, *cascadeBench, *fleetBench, *fleetRequests, *trainChars, *testPerLang); err != nil {
 			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
 			os.Exit(1)
 		}
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		if *jsonOut != "" || *serveLoad || *coldStart || *chaos || *cascadeBench {
+		if *jsonOut != "" || *serveLoad || *coldStart || *chaos || *cascadeBench || *fleetBench {
 			return
 		}
 		fmt.Fprintln(os.Stderr, "usage: hambench [flags] <experiment>... | all   (-list for ids)")
@@ -153,7 +160,7 @@ func main() {
 // runBenchSuite runs the perf kernel benchmarks (plus, optionally, the serve
 // load harness, the cascaded-search harness and the cold-start comparison)
 // and appends the report to the trajectory file at path.
-func runBenchSuite(path string, serveLoad bool, serveRequests int, coldStart, cascade bool, trainChars, testPerLang int) error {
+func runBenchSuite(path string, serveLoad bool, serveRequests int, coldStart, cascade, fleetBench bool, fleetRequests, trainChars, testPerLang int) error {
 	fmt.Fprintf(os.Stderr, "[running kernel benchmark suite (kernel %s)]\n", perf.KernelName)
 	start := time.Now()
 	rep := perf.RunKernels()
@@ -170,6 +177,27 @@ func runBenchSuite(path string, serveLoad bool, serveRequests int, coldStart, ca
 		for _, r := range results {
 			fmt.Fprintf(os.Stderr, "  %-28s %9.0f qps  p50 %8.1fµs  p95 %8.1fµs  p99 %8.1fµs  %5.2fx\n",
 				r.Name, r.QPS, r.P50Us, r.P95Us, r.P99Us, r.SpeedupVsSerial)
+		}
+	}
+	if fleetBench {
+		fmt.Fprintln(os.Stderr, "[running scatter-gather fleet harness]")
+		points := perf.DefaultFleetPoints(fleetRequests)
+		results, err := perf.RunFleet(points)
+		if err != nil {
+			return err
+		}
+		rep.Fleet = results
+		var violated int
+		for i, r := range results {
+			fmt.Fprintf(os.Stderr, "  %-28s %9.0f qps  p50 %8.1fµs  p95 %8.1fµs  p99 %8.1fµs  degraded %5.1f%%  erasures %d\n",
+				r.Name, r.QPS, r.P50Us, r.P95Us, r.P99Us, 100*r.DegradedRate, r.Erasures)
+			for _, line := range r.Violations(points[i]) {
+				fmt.Fprintf(os.Stderr, "  VIOLATED: %s\n", line)
+				violated++
+			}
+		}
+		if violated > 0 {
+			return fmt.Errorf("fleet harness violated %d acceptance criteria", violated)
 		}
 	}
 	if cascade {

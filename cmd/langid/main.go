@@ -37,6 +37,14 @@
 //	             training
 //	-watch DIR   serve stdin from the newest snapshot in DIR, hot-swapping
 //	             the model as new snapshots are published there
+//	-fleet N     serve stdin through a scatter-gather fleet of N replica
+//	             engines over a partitioned class matrix: exact answers when
+//	             healthy, degraded-but-correct answers (erasures scored,
+//	             coverage reported) when replicas fail; combines with -watch
+//	             (snapshots roll through the whole fleet atomically)
+//	-fleet-scheme S  fleet partition scheme: words (lost partition degrades
+//	             to a d-sampled answer) or classes (lost partition excludes
+//	             its classes); default words
 package main
 
 import (
@@ -69,6 +77,8 @@ func main() {
 	workers := flag.Int("workers", 1, "micro-batching engine workers (0 = GOMAXPROCS, 1 = serial loop)")
 	batch := flag.Int("batch", 32, "micro-batch size for the serving engine (>= 1)")
 	shards := flag.Int("shards", 0, "word-range shards for the distance kernel (0 = serial, -1 = GOMAXPROCS)")
+	fleetN := flag.Int("fleet", 0, "serve stdin through a scatter-gather fleet of N replica engines (0 = off)")
+	fleetScheme := flag.String("fleet-scheme", "words", "fleet partition scheme: words | classes")
 	flag.Parse()
 
 	// Validate the hardware selection and engine shape before spending
@@ -102,6 +112,30 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var scheme hdam.FleetScheme
+	if *fleetN != 0 {
+		if *fleetN < 0 {
+			fmt.Fprintf(os.Stderr, "langid: negative -fleet %d\n\n", *fleetN)
+			flag.Usage()
+			os.Exit(2)
+		}
+		switch *fleetScheme {
+		case "words":
+			scheme = hdam.FleetByWords
+		case "classes":
+			scheme = hdam.FleetByClasses
+		default:
+			fmt.Fprintf(os.Stderr, "langid: unknown -fleet-scheme %q (want words or classes)\n\n", *fleetScheme)
+			flag.Usage()
+			os.Exit(2)
+		}
+		if *design != "exact" || *resilient || *demo || *workers != 1 || *shards != 0 {
+			fmt.Fprintln(os.Stderr, "langid: -fleet partitions the exact scan across replica engines and cannot combine with -design, -resilient, -demo, -workers or -shards")
+			fmt.Fprintln(os.Stderr)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
 	var stages []string
 	if *resilient {
 		stages = strings.Split(*chain, ",")
@@ -127,6 +161,13 @@ func main() {
 	p.TestPerLang = 1 // the test set is not used in CLI mode
 
 	if *watchDir != "" {
+		if *fleetN > 0 {
+			if err := serveFleetWatch(*watchDir, *fleetN, scheme); err != nil {
+				fmt.Fprintf(os.Stderr, "langid: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
 		w := *workers
 		if serialOnly(*design, false, nil) {
 			fmt.Fprintln(os.Stderr, "langid: searcher carries non-forkable randomness; forcing -workers=1 (micro-batching stays on)")
@@ -183,6 +224,20 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "saved model snapshot to %s\n", *saveTo)
 		}
+	}
+
+	if *fleetN > 0 {
+		fl, err := hdam.NewFleet(tr, hdam.FleetConfig{Replicas: *fleetN, Scheme: scheme, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "langid: %v\n", err)
+			os.Exit(1)
+		}
+		defer fl.Close()
+		if err := pumpStdinFleet(fl); err != nil {
+			fmt.Fprintf(os.Stderr, "langid: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *shards != 0 {
@@ -389,6 +444,111 @@ func serveWatch(dir, design string, workers, batch int, seed uint64) error {
 	}
 	if st := eng.Stats(); st.Swaps > 0 {
 		fmt.Fprintf(os.Stderr, "hot-swapped models %d times (serving generation %d)\n", st.Swaps, eng.Gen())
+	}
+	return nil
+}
+
+// serveFleetWatch serves stdin through a scatter-gather replica fleet fed
+// from the newest snapshot in dir: the first valid snapshot builds the
+// fleet, later ones roll through every replica as one generation (no answer
+// mixes generations). It blocks until a first model appears.
+func serveFleetWatch(dir string, replicas int, scheme hdam.FleetScheme) error {
+	var fl *hdam.Fleet
+	reg, err := hdam.NewModelRegistry(hdam.ModelRegistryConfig{
+		Dir:      dir,
+		Interval: time.Second,
+		Swap: func(snap *hdam.Snapshot) error {
+			if fl == nil {
+				f, err := hdam.NewSnapshotFleet(snap, hdam.FleetConfig{
+					Replicas: replicas, Scheme: scheme, Seed: snap.Config().Seed,
+				})
+				if err != nil {
+					return err
+				}
+				fl = f
+				return nil
+			}
+			_, err := fl.Swap(snap.Memory())
+			return err
+		},
+		OnEvent: func(ev hdam.RegistryEvent) {
+			if ev.Err != nil {
+				fmt.Fprintf(os.Stderr, "langid: %s %s: %v\n", ev.Kind, ev.Path, ev.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "langid: serving %s\n", ev.Path)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+	for fl == nil {
+		if _, err := reg.Check(); err != nil {
+			return err
+		}
+		if fl != nil {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "langid: waiting for a snapshot in %s...\n", dir)
+		time.Sleep(time.Second)
+	}
+	defer fl.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go reg.Run(ctx)
+	if err := pumpStdinFleet(fl); err != nil {
+		return err
+	}
+	if st := fl.Stats(); st.Swaps > 0 {
+		fmt.Fprintf(os.Stderr, "rolled the fleet %d times (serving generation %d)\n", st.Swaps, fl.Gen())
+	}
+	return nil
+}
+
+// pumpStdinFleet classifies stdin lines through the fleet, annotating
+// degraded answers with their coverage fraction.
+func pumpStdinFleet(fl *hdam.Fleet) error {
+	classified, correct, labeled, degraded := 0, 0, 0, 0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		want, text := "", line
+		if i := strings.IndexByte(line, '\t'); i >= 0 {
+			want, text = line[:i], line[i+1:]
+		}
+		ans, err := fl.Ask(context.Background(), text)
+		if err != nil {
+			fmt.Printf("?\t%s\n", text)
+			continue
+		}
+		if ans.Degraded {
+			degraded++
+			fmt.Printf("%s\t%s\t(degraded, coverage %.2f)\n", ans.Label, text, ans.Coverage)
+		} else {
+			fmt.Printf("%s\t%s\n", ans.Label, text)
+		}
+		classified++
+		if want != "" {
+			labeled++
+			if ans.Label == want {
+				correct++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading stdin: %v", err)
+	}
+	st := fl.Stats()
+	fmt.Fprintf(os.Stderr, "fleet of %d replicas over %d partitions (%v): %d answered, %d degraded (%.1f%%), %d erasures, %d retried, %d hedged\n",
+		fl.Replicas(), fl.Partitions(), fl.Scheme(), st.Answered, degraded, 100*st.DegradedRate(), st.Erasures, st.Retried, st.Hedged)
+	if labeled > 0 {
+		fmt.Fprintf(os.Stderr, "accuracy: %d/%d (%.1f%%)\n",
+			correct, labeled, 100*float64(correct)/float64(labeled))
 	}
 	return nil
 }

@@ -1,0 +1,91 @@
+// Fault-tolerant scatter-gather serving: the class matrix partitioned
+// across a fleet of replica engines, each query scattered to one replica
+// per partition and the partial distance reductions gathered back into an
+// answer.
+//
+// The demo trains the language recognizer, serves a stream of sentences
+// through a four-replica fleet, then kills one replica mid-stream: answers
+// keep flowing, now flagged Degraded with the surviving coverage fraction
+// (a lost word-range partition is an erasure — the answer becomes the exact
+// d-sampled classification over the surviving bits, with the confidence
+// margin widened by the d-sampling certificate). Restarting the replica
+// restores full-coverage answers bit-identical to a single-engine scan.
+//
+// Run:
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"hdam"
+)
+
+func main() {
+	langs := hdam.Languages()
+	p := hdam.DefaultLanguageParams()
+	p.Dim = 4096
+	p.TrainChars = 30_000
+	p.TestPerLang = 1
+	fmt.Printf("training %d languages at D=%d...\n", len(langs), p.Dim)
+	tr, err := hdam.TrainLanguages(langs, p)
+	check(err)
+
+	fl, err := hdam.NewFleet(tr, hdam.FleetConfig{Replicas: 4, Scheme: hdam.FleetByWords, Seed: p.Seed})
+	check(err)
+	defer fl.Close()
+	fmt.Printf("fleet up: %d replicas, one word-range partition each\n\n", fl.Replicas())
+
+	// A stream of sentences with known languages.
+	rng := rand.New(rand.NewPCG(p.Seed, 0xf1ee7))
+	type sample struct{ text, want string }
+	var stream []sample
+	for round := 0; round < 4; round++ {
+		for _, l := range langs[:6] {
+			stream = append(stream, sample{l.GenerateSentence(120, rng), l.Name})
+		}
+	}
+
+	classify := func(from, to int) {
+		for i := from; i < to; i++ {
+			ans, err := fl.Ask(context.Background(), stream[i].text)
+			check(err)
+			mark := "✗"
+			if ans.Label == stream[i].want {
+				mark = "✓"
+			}
+			if ans.Degraded {
+				fmt.Printf("%s %-11s DEGRADED coverage %.2f (%d/%d bits, margin %d widened to %d)\n",
+					mark, ans.Label, ans.Coverage, ans.CoveredBits, p.Dim, ans.Margin, ans.WidenedMargin)
+			} else {
+				fmt.Printf("%s %-11s exact (full coverage, margin %d)\n", mark, ans.Label, ans.Margin)
+			}
+		}
+	}
+
+	third := len(stream) / 3
+	fmt.Println("-- all replicas healthy --")
+	classify(0, third)
+
+	fmt.Println("\n-- killing replica 2 mid-stream --")
+	check(fl.StopReplica(2))
+	classify(third, 2*third)
+
+	fmt.Println("\n-- restarting replica 2 --")
+	check(fl.StartReplica(2))
+	classify(2*third, len(stream))
+
+	st := fl.Stats()
+	fmt.Printf("\nfleet stats: %d answered, %d degraded (%.1f%%), %d erasures\n",
+		st.Answered, st.Degraded, 100*st.DegradedRate(), st.Erasures)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

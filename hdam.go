@@ -12,6 +12,7 @@ import (
 	"hdam/internal/dham"
 	"hdam/internal/encoder"
 	"hdam/internal/fault"
+	"hdam/internal/fleet"
 	"hdam/internal/hv"
 	"hdam/internal/itemmem"
 	"hdam/internal/lang"
@@ -487,3 +488,98 @@ func SnapshotEncoderFactory(cfg SnapshotConfig) func() *Encoder {
 func NewSnapshotEngine(snap *Snapshot, s Searcher, cfg ServeConfig) (*Engine, error) {
 	return serve.New(snap.Memory(), s, SnapshotEncoderFactory(snap.Config()), cfg)
 }
+
+// ---- Scatter-gather replica fleet ----
+
+// Fleet is the fault-tolerant scatter-gather coordinator: the class matrix
+// is partitioned across replica engines (by word range or by class rows),
+// every query is scattered to one replica per partition, and the partial
+// distance reductions are gathered into an exact answer when all partitions
+// respond — or a degraded-but-correct one (erasures scored, confidence
+// widened, coverage reported) when some are lost. Replicas are deadline-
+// bounded, retried with backoff, hedged to mirrors on stragglers, and
+// circuit-broken on sustained failure with cooldown probes.
+type Fleet = fleet.Fleet
+
+// FleetConfig shapes a Fleet: replica and partition counts, the partition
+// scheme, dispatch deadlines, retry/backoff, hedging, breaker tuning and an
+// optional replica-fault injection schedule for tests.
+type FleetConfig = fleet.Config
+
+// FleetAnswer is one gathered classification with its degraded-mode
+// evidence: coverage fraction, erasure count, confidence margin and the
+// generation that answered.
+type FleetAnswer = fleet.Answer
+
+// FleetStats is a snapshot of a fleet's counters.
+type FleetStats = fleet.Stats
+
+// FleetReplicaStats is one replica's health and traffic counters.
+type FleetReplicaStats = fleet.ReplicaStats
+
+// FleetScheme selects how the class matrix is split across partitions.
+type FleetScheme = fleet.Scheme
+
+// Partition schemes for FleetConfig.Scheme: by word ranges (partials sum to
+// the exact full-dimension distances; a lost partition degrades to a
+// d-sampled answer over the surviving bits) or by class rows (a lost
+// partition excludes only its classes, and the answer is never Confident).
+const (
+	FleetByWords   = fleet.ByWords
+	FleetByClasses = fleet.ByClasses
+)
+
+// ErrFleetClosed is returned by Fleet.Ask after Close or Drain.
+var ErrFleetClosed = fleet.ErrClosed
+
+// ErrFleetNoCoverage is returned when every partition is erased — the fleet
+// refuses to answer from nothing.
+var ErrFleetNoCoverage = fleet.ErrNoCoverage
+
+// ErrFleetDeadline marks a replica dispatch abandoned at its deadline.
+var ErrFleetDeadline = fleet.ErrDeadline
+
+// NewFleet builds a replica fleet serving the trained language pipeline,
+// with each replica's encoder rebuilt from the pipeline's deterministic
+// item memory — healthy-path answers are bit-identical to a serial exact
+// scan with the same tie-break seed.
+func NewFleet(tr *Trained, cfg FleetConfig) (*Fleet, error) {
+	p := tr.Params
+	return fleet.New(tr.Memory, func() *encoder.Encoder {
+		im := itemmem.New(p.Dim, p.Seed)
+		im.Preload(itemmem.LatinAlphabet)
+		return encoder.New(im, p.NGram)
+	}, cfg)
+}
+
+// NewSnapshotFleet builds a replica fleet directly over a loaded snapshot,
+// with the encoder pipeline rebuilt from the snapshot's own config. Roll
+// later models in with Fleet.Swap.
+func NewSnapshotFleet(snap *Snapshot, cfg FleetConfig) (*Fleet, error) {
+	return fleet.New(snap.Memory(), SnapshotEncoderFactory(snap.Config()), cfg)
+}
+
+// ReplicaInjector is a replica-level fault injector for FleetConfig.Chaos;
+// implementations strike dispatches before they reach a replica engine or
+// damage the partial they return.
+type ReplicaInjector = fault.ReplicaInjector
+
+// ReplicaStallFault delays every dispatch to one replica past a request
+// sequence — the straggler/network-stall model.
+type ReplicaStallFault = fault.ReplicaStall
+
+// ReplicaCrashFault fails every dispatch to one replica from a request
+// sequence on — the hard-crash model.
+type ReplicaCrashFault = fault.ReplicaCrash
+
+// SlowRestartFault fails dispatches to one replica during a bounded outage
+// window, then recovers — the restart model the breaker's cooldown probes
+// are tested against.
+type SlowRestartFault = fault.SlowRestart
+
+// CorruptPartialFault damages the partial distances one replica returns on
+// a deterministic schedule; the fleet's bounds validation must reject them.
+type CorruptPartialFault = fault.CorruptPartial
+
+// ErrReplicaDown marks a dispatch failed by an injected replica fault.
+var ErrReplicaDown = fault.ErrReplicaDown

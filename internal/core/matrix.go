@@ -90,6 +90,23 @@ func (cm *ClassMatrix) Row(i int) []uint64 {
 	return cm.data[i*cm.words : (i+1)*cm.words]
 }
 
+// SliceRows returns a ClassMatrix over rows [lo,hi) that shares the
+// receiver's packed backing words WITHOUT copying: the class-row partition
+// primitive of the scatter-gather fleet, where each replica serves a
+// contiguous row band of one learned model (possibly an mmap-ed snapshot).
+// The view stays valid exactly as long as the parent matrix does.
+func (cm *ClassMatrix) SliceRows(lo, hi int) (*ClassMatrix, error) {
+	if lo < 0 || hi > cm.rows || lo >= hi {
+		return nil, fmt.Errorf("core: row range [%d,%d) outside [0,%d)", lo, hi, cm.rows)
+	}
+	return &ClassMatrix{
+		dim:   cm.dim,
+		words: cm.words,
+		rows:  hi - lo,
+		data:  cm.data[lo*cm.words : hi*cm.words],
+	}, nil
+}
+
 // checkQuery validates a query's dimensionality.
 func (cm *ClassMatrix) checkQuery(q *hv.Vector) {
 	if q.Dim() != cm.dim {

@@ -156,3 +156,39 @@ func FuzzClassMatrixDistances(f *testing.F) {
 		}
 	})
 }
+
+func TestClassMatrixSliceRows(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 7))
+	for _, dim := range tailDims {
+		const rows = 9
+		classes := make([]*hv.Vector, rows)
+		for i := range classes {
+			classes[i] = hv.Random(dim, rng)
+		}
+		cm := NewClassMatrix(classes)
+		for _, band := range [][2]int{{0, rows}, {0, 3}, {3, 7}, {7, rows}, {4, 5}} {
+			lo, hi := band[0], band[1]
+			sub, err := cm.SliceRows(lo, hi)
+			if err != nil {
+				t.Fatalf("D=%d SliceRows(%d,%d): %v", dim, lo, hi, err)
+			}
+			if sub.Rows() != hi-lo || sub.Dim() != dim || sub.Words() != cm.Words() {
+				t.Fatalf("D=%d SliceRows(%d,%d): shape (%d,%d,%d)", dim, lo, hi, sub.Rows(), sub.Dim(), sub.Words())
+			}
+			q := hv.Random(dim, rng)
+			got := make([]int, sub.Rows())
+			sub.DistancesInto(got, q)
+			for r := lo; r < hi; r++ {
+				if want := hv.Hamming(q, classes[r]); got[r-lo] != want {
+					t.Fatalf("D=%d SliceRows(%d,%d) row %d: got %d, want %d", dim, lo, hi, r, got[r-lo], want)
+				}
+			}
+		}
+	}
+	cm := NewClassMatrix([]*hv.Vector{hv.Random(64, rng), hv.Random(64, rng)})
+	for _, band := range [][2]int{{-1, 1}, {0, 3}, {1, 1}, {2, 1}} {
+		if _, err := cm.SliceRows(band[0], band[1]); err == nil {
+			t.Fatalf("SliceRows(%d,%d): expected error", band[0], band[1])
+		}
+	}
+}

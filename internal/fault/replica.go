@@ -1,0 +1,200 @@
+package fault
+
+// Replica-level chaos: the chaos injectors of chaos.go strike around one
+// engine's searches; these strike around one *replica* of a scatter-gather
+// fleet, at request granularity. They model the failure modes a distributed
+// deployment adds on top of single-process serving — a replica that stalls
+// on every dispatch (GC death spiral, congested link), one that crashes and
+// never comes back, one that crashes and restarts slowly, and one that
+// returns corrupted partial reductions (a bad NIC, a bit-flipped buffer).
+//
+// Determinism contract: a replica injector's behavior is a pure function of
+// (replica id, request sequence number) — plus Seed for the randomized
+// corruption schedule — so a fleet chaos soak is reproducible: the same
+// seed and arrival order fault the same requests, however the coordinator's
+// goroutines interleave.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrReplicaDown is the dispatch error crash-style injectors report: the
+// replica is unreachable for this dispatch. The coordinator treats it like
+// any other replica failure (health strike, retry elsewhere, erasure).
+var ErrReplicaDown = errors.New("fault: replica down")
+
+// ReplicaInjector is one replica-level fault process in a scatter-gather
+// fleet. Implementations must be safe for concurrent use: the coordinator
+// calls them from every in-flight request's dispatch goroutines.
+type ReplicaInjector interface {
+	Injector
+	// BeforeDispatch runs just before request seq is dispatched to the
+	// replica. It may sleep (a stalled replica holds the dispatch until the
+	// coordinator's deadline abandons it) or return an error (a crashed or
+	// restarting replica is unreachable). A nil return lets the dispatch
+	// proceed.
+	BeforeDispatch(replica int, seq uint64) error
+	// AfterPartial runs on the partial distance reduction the replica
+	// returned for request seq; implementations may corrupt it in place.
+	// The coordinator bounds-checks every partial, so detectable corruption
+	// becomes an erasure plus a health strike rather than a wrong answer.
+	AfterPartial(replica int, seq uint64, ds []int)
+}
+
+// passPartial is the no-op AfterPartial shared by the timing/liveness
+// injectors.
+type passPartial struct{}
+
+func (passPartial) AfterPartial(int, uint64, []int) {}
+
+// ---- ReplicaStall: a consistently slow replica ----
+
+// ReplicaStall models a replica gone slow — every dispatch to Replica from
+// request From onward stalls for Stall before proceeding. Unlike
+// LatencySpike's independent coin flips this is the sustained-straggler
+// regime: the coordinator's per-replica deadline must cut the stall short
+// and its hedged re-dispatch or retry must find another path to the
+// partition.
+type ReplicaStall struct {
+	passPartial
+	// Replica is the stalled replica's id.
+	Replica int
+	// From is the first request sequence number the stall applies to.
+	From uint64
+	// Stall is how long each dispatch stalls.
+	Stall time.Duration
+}
+
+// Name implements Injector.
+func (f *ReplicaStall) Name() string {
+	return fmt.Sprintf("replica-stall r=%d from=%d stall=%s", f.Replica, f.From, f.Stall)
+}
+
+// BeforeDispatch implements ReplicaInjector.
+func (f *ReplicaStall) BeforeDispatch(replica int, seq uint64) error {
+	if replica == f.Replica && seq >= f.From && f.Stall > 0 {
+		time.Sleep(f.Stall)
+	}
+	return nil
+}
+
+// ---- ReplicaCrash: a replica lost for good ----
+
+// ReplicaCrash models a hard replica failure: every dispatch to Replica
+// from request At onward fails immediately with ErrReplicaDown. The
+// partition it held becomes an erasure unless a mirror replica covers it.
+type ReplicaCrash struct {
+	passPartial
+	// Replica is the crashed replica's id.
+	Replica int
+	// At is the first request sequence number the crash applies to.
+	At uint64
+}
+
+// Name implements Injector.
+func (f *ReplicaCrash) Name() string {
+	return fmt.Sprintf("replica-crash r=%d at=%d", f.Replica, f.At)
+}
+
+// BeforeDispatch implements ReplicaInjector.
+func (f *ReplicaCrash) BeforeDispatch(replica int, seq uint64) error {
+	if replica == f.Replica && seq >= f.At {
+		return fmt.Errorf("%w: injected crash (replica %d, request %d)", ErrReplicaDown, replica, seq)
+	}
+	return nil
+}
+
+// ---- SlowRestart: a crash followed by a long recovery ----
+
+// SlowRestart models a replica that crashes and takes its time coming back:
+// dispatches in the request window [At, At+Down) fail with ErrReplicaDown,
+// then the replica serves normally again. The coordinator's circuit breaker
+// should open during the outage and its cooldown probes should re-admit the
+// replica once the window passes.
+type SlowRestart struct {
+	passPartial
+	// Replica is the restarting replica's id.
+	Replica int
+	// At is the first request sequence number of the outage.
+	At uint64
+	// Down is how many request sequence numbers the outage spans.
+	Down uint64
+}
+
+// Name implements Injector.
+func (f *SlowRestart) Name() string {
+	return fmt.Sprintf("slow-restart r=%d at=%d down=%d", f.Replica, f.At, f.Down)
+}
+
+// BeforeDispatch implements ReplicaInjector.
+func (f *SlowRestart) BeforeDispatch(replica int, seq uint64) error {
+	if replica == f.Replica && seq >= f.At && seq < f.At+f.Down {
+		return fmt.Errorf("%w: injected restart (replica %d, request %d of outage [%d,%d))",
+			ErrReplicaDown, replica, seq, f.At, f.At+f.Down)
+	}
+	return nil
+}
+
+// ---- CorruptPartial: damaged partial reductions ----
+
+// saltPartial keys the corruption stream (disjoint from the other salts).
+const saltPartial = 0x70_61_72_74 // "part"
+
+// CorruptPartial models a replica whose answers arrive damaged: each
+// partial reduction from Replica is, with probability Rate, overwritten at
+// one position with an out-of-range value. The corruption is detectable by
+// construction — a Hamming partial can never be negative — so a validating
+// coordinator scores it as a replica failure (erasure + health strike)
+// instead of folding garbage into the answer. Which requests are struck,
+// and at which position, is a pure function of (Seed, request sequence
+// number).
+//
+// In-range corruption (plausible but wrong distances) is deliberately out
+// of scope: defending against it needs end-to-end checksums or redundant
+// dispatch, not bounds validation.
+type CorruptPartial struct {
+	// Replica is the corrupting replica's id.
+	Replica int
+	// Rate is the per-request corruption probability, in [0,1].
+	Rate float64
+	// Seed fixes the corruption schedule.
+	Seed uint64
+}
+
+// Name implements Injector.
+func (f *CorruptPartial) Name() string {
+	return fmt.Sprintf("corrupt-partial r=%d p=%g", f.Replica, f.Rate)
+}
+
+// BeforeDispatch implements ReplicaInjector (corruption strikes on the way
+// back, not the way out).
+func (f *CorruptPartial) BeforeDispatch(int, uint64) error { return nil }
+
+// AfterPartial implements ReplicaInjector.
+func (f *CorruptPartial) AfterPartial(replica int, seq uint64, ds []int) {
+	if replica != f.Replica || f.Rate <= 0 || len(ds) == 0 {
+		return
+	}
+	rng := seqRNG(f.Seed, saltPartial, seq)
+	if rng.Float64() >= f.Rate {
+		return
+	}
+	ds[rng.IntN(len(ds))] = -1
+}
+
+// Strikes reports whether the injector corrupts the partial of the given
+// request sequence number — soak harnesses use it to predict which partials
+// must be discarded.
+func (f *CorruptPartial) Strikes(seq uint64) bool {
+	return f.Rate > 0 && seqRNG(f.Seed, saltPartial, seq).Float64() < f.Rate
+}
+
+// Compile-time capability checks.
+var (
+	_ ReplicaInjector = (*ReplicaStall)(nil)
+	_ ReplicaInjector = (*ReplicaCrash)(nil)
+	_ ReplicaInjector = (*SlowRestart)(nil)
+	_ ReplicaInjector = (*CorruptPartial)(nil)
+)

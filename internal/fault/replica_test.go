@@ -1,0 +1,95 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestReplicaCrashWindow(t *testing.T) {
+	crash := &ReplicaCrash{Replica: 2, At: 10}
+	for seq := uint64(0); seq < 30; seq++ {
+		err := crash.BeforeDispatch(2, seq)
+		if want := seq >= 10; (err != nil) != want {
+			t.Fatalf("crash at seq %d: err=%v, want down=%v", seq, err, want)
+		}
+		if err != nil && !errors.Is(err, ErrReplicaDown) {
+			t.Fatalf("crash error %v is not ErrReplicaDown", err)
+		}
+		if err := crash.BeforeDispatch(1, seq); err != nil {
+			t.Fatalf("crash struck wrong replica at seq %d: %v", seq, err)
+		}
+	}
+}
+
+func TestSlowRestartWindow(t *testing.T) {
+	sr := &SlowRestart{Replica: 0, At: 5, Down: 7}
+	for seq := uint64(0); seq < 20; seq++ {
+		err := sr.BeforeDispatch(0, seq)
+		if want := seq >= 5 && seq < 12; (err != nil) != want {
+			t.Fatalf("restart at seq %d: err=%v, want down=%v", seq, err, want)
+		}
+		if err != nil && !errors.Is(err, ErrReplicaDown) {
+			t.Fatalf("restart error %v is not ErrReplicaDown", err)
+		}
+	}
+}
+
+func TestReplicaStallSleepsOnlyItsReplica(t *testing.T) {
+	stall := &ReplicaStall{Replica: 1, From: 3, Stall: 30 * time.Millisecond}
+	start := time.Now()
+	if err := stall.BeforeDispatch(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := stall.BeforeDispatch(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("non-target dispatches stalled for %s", d)
+	}
+	start = time.Now()
+	if err := stall.BeforeDispatch(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < stall.Stall {
+		t.Fatalf("target dispatch stalled only %s, want >= %s", d, stall.Stall)
+	}
+}
+
+func TestCorruptPartialDeterministicAndDetectable(t *testing.T) {
+	cp := &CorruptPartial{Replica: 3, Rate: 0.5, Seed: 42}
+	struck := 0
+	for seq := uint64(0); seq < 256; seq++ {
+		ds := []int{10, 20, 30, 40}
+		cp.AfterPartial(3, seq, ds)
+		bad := -1
+		for i, v := range ds {
+			if v < 0 {
+				bad = i
+			}
+		}
+		if want := cp.Strikes(seq); (bad >= 0) != want {
+			t.Fatalf("seq %d: corrupted=%v, Strikes=%v", seq, bad >= 0, want)
+		}
+		if bad >= 0 {
+			struck++
+			// Replay must corrupt the same position.
+			ds2 := []int{10, 20, 30, 40}
+			cp.AfterPartial(3, seq, ds2)
+			if ds2[bad] >= 0 {
+				t.Fatalf("seq %d: replay corrupted a different position", seq)
+			}
+		}
+		// Other replicas' partials are untouched.
+		other := []int{1, 2, 3}
+		cp.AfterPartial(0, seq, other)
+		for _, v := range other {
+			if v < 0 {
+				t.Fatalf("seq %d: corruption struck wrong replica", seq)
+			}
+		}
+	}
+	if struck == 0 || struck == 256 {
+		t.Fatalf("corruption struck %d of 256 at rate 0.5", struck)
+	}
+}

@@ -1,0 +1,131 @@
+package fleet
+
+// health.go: the coordinator's per-replica health view — an EWMA failure
+// estimate with circuit breaking and cooldown probes. This is the
+// assoc.Resilient idiom promoted from searcher granularity to replica
+// granularity: every dispatch outcome is folded into an exponentially
+// weighted failure estimate; when the estimate crosses the bound the
+// replica's breaker opens and dispatches route to mirrors (or become
+// erasures) until a cooldown — measured on the fleet's request clock —
+// admits a probe. A successful probe decays the estimate toward closing
+// the breaker; a failed one restarts the cooldown.
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"hdam/internal/serve"
+)
+
+// replica is one engine replica plus the coordinator's health view of it.
+type replica struct {
+	id   int
+	part int // partition index served (id mod Partitions)
+
+	mu         sync.Mutex
+	eng        *serve.Engine // nil while administratively stopped
+	errEWMA    float64       // EWMA failure estimate in [0,1]
+	open       bool          // breaker open: dispatches rejected except probes
+	openedAt   uint64        // fleet request clock when the breaker (re)opened
+	opens      uint64        // breaker open transitions
+	probes     uint64        // dispatches admitted through an open breaker
+	dispatches uint64        // dispatch outcomes scored
+	failures   uint64        // of which failures
+}
+
+// engine snapshots the replica's engine (nil while stopped).
+func (r *replica) engine() *serve.Engine {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eng
+}
+
+// score folds one dispatch outcome into the failure estimate and runs the
+// breaker transitions. miss is 1 for a replica failure, 0 for a success;
+// now is the fleet request clock at scoring time.
+func (r *replica) score(miss, alpha, bound float64, now uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dispatches++
+	if miss > 0 {
+		r.failures++
+	}
+	r.errEWMA = (1-alpha)*r.errEWMA + alpha*miss
+	switch {
+	case !r.open && r.errEWMA > bound:
+		r.open = true
+		r.openedAt = now
+		r.opens++
+	case r.open && miss > 0:
+		r.openedAt = now // a failed probe restarts the cooldown
+	case r.open && r.errEWMA <= bound:
+		r.open = false // enough successful probes: close the breaker
+	}
+}
+
+// healthy reports whether the replica is running with a closed breaker.
+func (r *replica) healthy() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eng != nil && !r.open
+}
+
+// probeDue reports whether an open breaker's cooldown has elapsed at fleet
+// clock now, admitting one dispatch as a probe (counted when admitted).
+func (r *replica) probeDue(now, cooldown uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.eng == nil || !r.open || now-r.openedAt < cooldown {
+		return false
+	}
+	r.probes++
+	return true
+}
+
+// reset clears the health view; StartReplica installs eng as the replica's
+// fresh engine with a clean slate.
+func (r *replica) reset(eng *serve.Engine) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.eng = eng
+	r.errEWMA = 0
+	r.open = false
+	r.openedAt = 0
+}
+
+// latRing is a fixed ring of recent partition-dispatch service times
+// feeding the adaptive hedge threshold — the serve engine's straggler
+// detector at fleet granularity.
+type latRing struct {
+	mu  sync.Mutex
+	buf [64]time.Duration
+	n   int // samples stored, ≤ len(buf)
+	idx int // next write position
+}
+
+func (l *latRing) add(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.idx] = d
+	l.idx = (l.idx + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// quantile returns the q-th quantile of the stored samples and how many
+// samples back it (0 means no data yet).
+func (l *latRing) quantile(q float64) (time.Duration, int) {
+	l.mu.Lock()
+	n := l.n
+	tmp := make([]time.Duration, n)
+	copy(tmp, l.buf[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	i := int(q * float64(n-1))
+	return tmp[i], n
+}

@@ -1,0 +1,173 @@
+package fleet
+
+// partition.go: how one learned model splits across replicas.
+//
+// Two schemes, with opposite failure semantics:
+//
+//   - ByWords slices the packed word axis. Every partition scores every
+//     class over one contiguous word range, so the partials SUM to the
+//     exact full-D Hamming distances. Losing a partition erases its bits:
+//     the surviving sum is exactly the paper's d-sampled distance over the
+//     covered bits (§III-A1), so the reduce can keep answering with the
+//     d-sampling error model and a widened confidence margin.
+//   - ByClasses slices the row axis. Every partition scores its band of
+//     classes at full dimensionality, so covered classes keep exact
+//     distances. Losing a partition excludes exactly its classes from the
+//     answer — correct over what survives, silent about the rest.
+
+import (
+	"fmt"
+
+	"hdam/internal/assoc"
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// Scheme selects how the class matrix splits across partitions.
+type Scheme int
+
+const (
+	// ByWords partitions the packed word axis: partial distances sum to
+	// the exact full-dimension distances, and a lost partition degrades
+	// the answer to a d-sampled one over the surviving bits (the default).
+	ByWords Scheme = iota
+	// ByClasses partitions the class-row axis: each partition answers
+	// exactly for its band of classes, and a lost partition excludes its
+	// classes from the answer.
+	ByClasses
+)
+
+// String names the scheme for reports.
+func (s Scheme) String() string {
+	switch s {
+	case ByWords:
+		return "by-words"
+	case ByClasses:
+		return "by-classes"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// part is one partition of the model. ByWords partitions use the packed
+// word range [lo,hi) covering bits query bits; ByClasses partitions use the
+// global class-row range [rlo,rhi).
+type part struct {
+	index  int
+	lo, hi int // ByWords: packed-word range [lo,hi)
+	bits   int // ByWords: query bits the range covers (tail word aware)
+	rlo    int // ByClasses: first global class row
+	rhi    int // ByClasses: one past the last global class row
+}
+
+// span splits total into n near-equal contiguous pieces and returns piece
+// i's [lo,hi) bounds.
+func span(total, n, i int) (lo, hi int) {
+	return i * total / n, (i + 1) * total / n
+}
+
+// planParts computes the n partitions of a memory under the scheme.
+func planParts(mem *core.Memory, n int, sc Scheme) ([]part, error) {
+	dim, words, rows := mem.Dim(), mem.ClassMatrix().Words(), mem.Classes()
+	parts := make([]part, n)
+	switch sc {
+	case ByWords:
+		if n > words {
+			return nil, fmt.Errorf("fleet: %d partitions over %d packed words", n, words)
+		}
+		for i := range parts {
+			lo, hi := span(words, n, i)
+			bits := hi * 64
+			if bits > dim {
+				bits = dim // the last range includes the zero-padded tail word
+			}
+			parts[i] = part{index: i, lo: lo, hi: hi, bits: bits - lo*64}
+		}
+	case ByClasses:
+		if n > rows {
+			return nil, fmt.Errorf("fleet: %d partitions over %d classes", n, rows)
+		}
+		for i := range parts {
+			rlo, rhi := span(rows, n, i)
+			parts[i] = part{index: i, rlo: rlo, rhi: rhi}
+		}
+	default:
+		return nil, fmt.Errorf("fleet: unknown scheme %v", sc)
+	}
+	return parts, nil
+}
+
+// buildModel constructs the memory and searcher one replica engine serves
+// for its partition of mem. Both schemes are zero-copy over mem's packed
+// class matrix (which may itself be a view of an mmap-ed snapshot): ByWords
+// replicas serve the full memory through a word-range searcher; ByClasses
+// replicas serve a row-band view built with core.ClassMatrix.SliceRows.
+func buildModel(mem *core.Memory, sc Scheme, p part) (*core.Memory, core.Searcher, error) {
+	switch sc {
+	case ByWords:
+		return mem, &rangeSearcher{cm: mem.ClassMatrix(), lo: p.lo, hi: p.hi}, nil
+	case ByClasses:
+		sub, err := mem.ClassMatrix().SliceRows(p.rlo, p.rhi)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := core.NewMemoryFromMatrix(sub, mem.Labels()[p.rlo:p.rhi])
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, assoc.NewExact(m), nil
+	}
+	return nil, nil, fmt.Errorf("fleet: unknown scheme %v", sc)
+}
+
+// rangeSearcher scores every class over one packed-word range of the class
+// matrix: the word-range replica's partial-distance kernel. It implements
+// core.RowSearcher — the capability the replica engine's ReportDistances
+// mode needs — and its own Search answers the argmin of the partials, the
+// best the partition alone can say.
+type rangeSearcher struct {
+	cm     *core.ClassMatrix
+	lo, hi int
+}
+
+// Name implements core.Searcher.
+func (r *rangeSearcher) Name() string {
+	return fmt.Sprintf("range[%d,%d)", r.lo, r.hi)
+}
+
+// ObservedDistances implements core.RowSearcher: the partial Hamming
+// distance from q to every class, restricted to words [lo,hi).
+func (r *rangeSearcher) ObservedDistances(dst []int, q *hv.Vector) []int {
+	rows := r.cm.Rows()
+	if cap(dst) < rows {
+		dst = make([]int, rows)
+	}
+	dst = dst[:rows]
+	r.cm.RangeDistancesInto(dst, q, r.lo, r.hi)
+	return dst
+}
+
+// Search implements core.Searcher.
+func (r *rangeSearcher) Search(q *hv.Vector) core.Result {
+	var buf []int
+	return r.SearchBuf(q, &buf)
+}
+
+// SearchBuf implements core.BufferedSearcher: the deterministic
+// lowest-index argmin over the partial distances.
+func (r *rangeSearcher) SearchBuf(q *hv.Vector, buf *[]int) core.Result {
+	*buf = r.ObservedDistances(*buf, q)
+	ds := *buf
+	best, bestD := 0, ds[0]
+	for i, d := range ds[1:] {
+		if d < bestD {
+			best, bestD = i+1, d
+		}
+	}
+	return core.Result{Index: best, Distance: bestD}
+}
+
+// Compile-time capability checks.
+var (
+	_ core.RowSearcher      = (*rangeSearcher)(nil)
+	_ core.BufferedSearcher = (*rangeSearcher)(nil)
+)

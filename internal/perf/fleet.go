@@ -1,0 +1,240 @@
+package perf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"hdam/internal/assoc"
+	"hdam/internal/fault"
+	"hdam/internal/fleet"
+	"hdam/internal/serve"
+)
+
+// FleetPoint configures one measurement of the scatter-gather replica
+// fleet: a replica/partition shape, a closed-loop client load and an
+// optional replica-fault schedule.
+type FleetPoint struct {
+	Name       string
+	Replicas   int
+	Partitions int
+	Scheme     fleet.Scheme
+	Clients    int
+	Requests   int
+	Deadline   time.Duration // per-dispatch deadline (0 = 5ms)
+	Chaos      []fault.ReplicaInjector
+}
+
+// DefaultFleetPoints is the sweep hambench -fleet records: the healthy
+// fleet first (every answer must stay bit-identical to the single-engine
+// scan), then the same fleet with one replica stalled past the dispatch
+// deadline and another crashed outright — the degraded-answer-rate point.
+func DefaultFleetPoints(requests int) []FleetPoint {
+	return []FleetPoint{
+		{
+			Name:     "fleet/healthy-r4",
+			Replicas: 4, Clients: 8, Requests: requests,
+		},
+		{
+			Name:     "fleet/stall+crash-r4",
+			Replicas: 4, Clients: 8, Requests: requests,
+			Chaos: []fault.ReplicaInjector{
+				&fault.ReplicaStall{Replica: 1, From: 0, Stall: 20 * time.Millisecond},
+				&fault.ReplicaCrash{Replica: 2, At: 0},
+			},
+		},
+	}
+}
+
+// FleetResult is one fleet load-point measurement with its degraded-mode
+// evidence.
+type FleetResult struct {
+	Name         string  `json:"name"`
+	Replicas     int     `json:"replicas"`
+	Partitions   int     `json:"partitions"`
+	Clients      int     `json:"clients"`
+	Requests     int     `json:"requests"`
+	Answered     int     `json:"answered"`
+	Degraded     int     `json:"degraded"`      // answered with at least one erased partition
+	DegradedRate float64 `json:"degraded_rate"` // Degraded / Answered
+	Mismatches   int     `json:"mismatches"`    // undegraded answers differing from the exact scan
+	Erasures     uint64  `json:"erasures"`      // partition results lost after retries
+	Retried      uint64  `json:"retried"`       // dispatch retries performed
+	Hedged       uint64  `json:"hedged"`        // straggling dispatches re-issued
+	QPS          float64 `json:"qps"`
+	P50Us        float64 `json:"p50_us"`
+	P95Us        float64 `json:"p95_us"`
+	P99Us        float64 `json:"p99_us"`
+	Leaked       int     `json:"leaked_goroutines"` // goroutines alive above the pre-fleet baseline
+}
+
+// Violations checks a fleet point's acceptance criteria and returns a line
+// per violated one: every request answered, healthy-path answers
+// bit-identical to the exact scan, faults actually degrading something when
+// injected, nothing leaked.
+func (r FleetResult) Violations(p FleetPoint) []string {
+	var v []string
+	if r.Answered != r.Requests {
+		v = append(v, fmt.Sprintf("answered %d of %d requests", r.Answered, r.Requests))
+	}
+	if r.Mismatches != 0 {
+		v = append(v, fmt.Sprintf("%d undegraded answers differ from the exact scan", r.Mismatches))
+	}
+	if len(p.Chaos) > 0 && r.Degraded == 0 {
+		v = append(v, "replica faults injected but no answer degraded (soak too small?)")
+	}
+	if len(p.Chaos) == 0 && r.Degraded != 0 {
+		v = append(v, fmt.Sprintf("%d answers degraded with no fault injected", r.Degraded))
+	}
+	if r.Leaked > 0 {
+		v = append(v, fmt.Sprintf("%d goroutines leaked", r.Leaked))
+	}
+	return v
+}
+
+// RunFleet measures the scatter-gather fleet at every load point: Clients
+// closed-loop clients ask Requests texts, with per-request latency and the
+// fleet's degraded-answer-rate recorded. Undegraded answers are checked
+// bit-for-bit against a fault-free exact scan.
+func RunFleet(points []FleetPoint) ([]FleetResult, error) {
+	f := buildFixtures()
+	texts := benchTexts(f, 256)
+
+	// The exact-scan reference every undegraded answer must reproduce.
+	enc := benchEncoderFactory()()
+	exact := assoc.NewExact(f.mem)
+	refIdx := make([]int, len(texts))
+	for i, text := range texts {
+		q, n := enc.EncodeText(text, benchSeed)
+		if n == 0 {
+			return nil, fmt.Errorf("perf: empty fleet text %d", i)
+		}
+		refIdx[i] = exact.Search(q).Index
+	}
+
+	var out []FleetResult
+	for _, p := range points {
+		r, err := runFleetPoint(f, texts, refIdx, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func runFleetPoint(f *fixtures, texts []string, refIdx []int, p FleetPoint) (FleetResult, error) {
+	dispatchDeadline := p.Deadline
+	if dispatchDeadline == 0 {
+		dispatchDeadline = 5 * time.Millisecond
+	}
+	baseline := runtime.NumGoroutine()
+	fl, err := fleet.New(f.mem, benchEncoderFactory(), fleet.Config{
+		Replicas:   p.Replicas,
+		Partitions: p.Partitions,
+		Scheme:     p.Scheme,
+		Seed:       benchSeed,
+		Deadline:   dispatchDeadline,
+		Backoff:    500 * time.Microsecond,
+		Cooldown:   16,
+		Chaos:      p.Chaos,
+	})
+	if err != nil {
+		return FleetResult{}, err
+	}
+
+	type outcome struct {
+		text     int
+		ans      fleet.Answer
+		err      error
+		lat      time.Duration
+		answered bool
+	}
+	per := p.Requests / p.Clients
+	if per < 1 {
+		per = 1
+	}
+	outs := make([][]outcome, p.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < p.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			mine := make([]outcome, 0, per)
+			for i := 0; i < per; i++ {
+				ti := (c*per + i) % len(texts)
+				t0 := time.Now()
+				ans, err := fl.Ask(context.Background(), texts[ti])
+				mine = append(mine, outcome{text: ti, ans: ans, err: err, lat: time.Since(t0),
+					answered: err == nil || errors.Is(err, serve.ErrNoNGrams)})
+			}
+			outs[c] = mine
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := fl.Stats()
+	dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_, derr := fl.Drain(dctx)
+	cancel()
+	if derr != nil {
+		return FleetResult{}, fmt.Errorf("perf: fleet drain: %w", derr)
+	}
+
+	// Abandoned stall dispatches need their sleep to expire before the
+	// leak census.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	name := p.Name
+	if name == "" {
+		name = fmt.Sprintf("fleet/r%d-p%d-c%d", fl.Replicas(), fl.Partitions(), p.Clients)
+	}
+	res := FleetResult{
+		Name:       name,
+		Replicas:   fl.Replicas(),
+		Partitions: fl.Partitions(),
+		Clients:    p.Clients,
+		Requests:   p.Clients * per,
+		Erasures:   st.Erasures,
+		Retried:    st.Retried,
+		Hedged:     st.Hedged,
+	}
+	var lats []time.Duration
+	for _, mine := range outs {
+		for _, o := range mine {
+			lats = append(lats, o.lat)
+			if !o.answered {
+				continue
+			}
+			res.Answered++
+			if o.err != nil {
+				continue
+			}
+			if o.ans.Degraded {
+				res.Degraded++
+			} else if o.ans.Result.Index != refIdx[o.text] {
+				res.Mismatches++
+			}
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if res.Answered > 0 {
+		res.DegradedRate = float64(res.Degraded) / float64(res.Answered)
+	}
+	res.QPS = float64(len(lats)) / elapsed.Seconds()
+	res.P50Us = float64(percentile(lats, 50)) / 1e3
+	res.P95Us = float64(percentile(lats, 95)) / 1e3
+	res.P99Us = float64(percentile(lats, 99)) / 1e3
+	if g := runtime.NumGoroutine(); g > baseline {
+		res.Leaked = g - baseline
+	}
+	return res, nil
+}

@@ -1,0 +1,32 @@
+package perf
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFleetHarnessShort runs a reduced fleet sweep and enforces the same
+// acceptance criteria as hambench -fleet: every request answered, healthy
+// answers bit-identical to the exact scan, faults degrading answers when
+// injected and never otherwise, zero goroutine leaks. Short-mode friendly
+// so `make ci` can use it as the fleet smoke.
+func TestFleetHarnessShort(t *testing.T) {
+	points := DefaultFleetPoints(256)
+	for i := range points {
+		// The race detector inflates dispatch latency ~10x; a production
+		// deadline would misread that as replica failure. The crashed
+		// replica still degrades the faulted point.
+		points[i].Deadline = 2 * time.Second
+	}
+	results, err := RunFleet(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		for _, line := range r.Violations(points[i]) {
+			t.Errorf("%s violated: %s", r.Name, line)
+		}
+		t.Logf("%s: %d answered, %d degraded (%.1f%%), %d erasures, %d retried, qps %.0f, p99 %.1fµs",
+			r.Name, r.Answered, r.Degraded, 100*r.DegradedRate, r.Erasures, r.Retried, r.QPS, r.P99Us)
+	}
+}

@@ -50,6 +50,7 @@ type Report struct {
 	Classes   int               `json:"classes"`
 	Results   []Result          `json:"results"`
 	Serve     []ServeResult     `json:"serve,omitempty"`
+	Fleet     []FleetResult     `json:"fleet,omitempty"`
 	Cascade   []CascadeResult   `json:"cascade,omitempty"`
 	ColdStart []ColdStartResult `json:"cold_start,omitempty"`
 }

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"hdam/internal/assoc"
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// TestReportDistances: with Config.ReportDistances and a core.RowSearcher,
+// every classified response carries the full observed distance row, the
+// winner matches the lowest-index argmin of that row, and the rows are
+// bit-identical to a serial DistancesInto pass.
+func TestReportDistances(t *testing.T) {
+	f := buildFixture(t, 7, 48)
+	eng, err := New(f.mem, assoc.NewExact(f.mem), f.newEnc, Config{
+		Workers:         2,
+		ReportDistances: true,
+		Seed:            testSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	enc := f.newEnc()
+	for _, text := range f.texts {
+		resp, err := eng.Submit(context.Background(), text)
+		if err != nil {
+			t.Fatalf("submit %q: %v", text[:12], err)
+		}
+		if len(resp.Distances) != f.mem.Classes() {
+			t.Fatalf("distances len %d, want %d", len(resp.Distances), f.mem.Classes())
+		}
+		q, n := enc.EncodeText(text, testSeed)
+		if n == 0 {
+			t.Fatal("reference encode produced no n-grams")
+		}
+		want := f.mem.Distances(q)
+		for i := range want {
+			if resp.Distances[i] != want[i] {
+				t.Fatalf("distances[%d]=%d, want %d", i, resp.Distances[i], want[i])
+			}
+		}
+		wi, wd := f.mem.Nearest(q)
+		if resp.Result.Index != wi || resp.Result.Distance != wd {
+			t.Fatalf("winner (%d,%d), want (%d,%d)", resp.Result.Index, resp.Result.Distance, wi, wd)
+		}
+	}
+}
+
+// TestReportDistancesNoCapability: a searcher without the row capability
+// serves normally with no distance payload.
+func TestReportDistancesNoCapability(t *testing.T) {
+	f := buildFixture(t, 5, 4)
+	eng, err := New(f.mem, nameOnly{assoc.NewExact(f.mem)}, f.newEnc, Config{
+		Workers:         1,
+		ReportDistances: true,
+		Seed:            testSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, text := range f.texts {
+		resp, err := eng.Submit(context.Background(), text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Distances != nil {
+			t.Fatalf("capability-less searcher reported distances: %v", resp.Distances)
+		}
+	}
+}
+
+// nameOnly strips every capability beyond plain Search.
+type nameOnly struct{ inner *assoc.Exact }
+
+func (n nameOnly) Search(q *hv.Vector) core.Result { return n.inner.Search(q) }
+func (n nameOnly) Name() string                    { return "name-only" }

@@ -151,6 +151,22 @@ type Config struct {
 	// HedgeQuantile is the quantile of recent batch service times past
 	// which a batch counts as straggling, in (0,1] (default 0.95).
 	HedgeQuantile float64
+	// FirstGen is the generation number the model New is built with serves
+	// under (default 1; each Swap increments from there). A restarted
+	// member of a replica fleet passes the fleet's current generation so
+	// its answers reduce consistently with replicas that lived through the
+	// intervening swaps.
+	FirstGen uint64
+	// ReportDistances asks workers to attach the full per-row observed
+	// distance reduction to every classified Response (Response.Distances).
+	// It takes effect only when the served searcher implements
+	// core.RowSearcher; the winner is then selected from the reported row by
+	// the deterministic lowest-index argmin, exactly as the searcher's own
+	// Search would. This is the partial-reduction hook of the scatter-gather
+	// fleet: a replica engine over a class-row or word-range partition
+	// reports the distances its partition observed so a coordinator can
+	// reduce them across replicas.
+	ReportDistances bool
 }
 
 // withDefaults resolves zero fields.
@@ -173,6 +189,9 @@ func (c Config) withDefaults() Config {
 	if c.HedgeQuantile <= 0 || c.HedgeQuantile > 1 {
 		c.HedgeQuantile = 0.95
 	}
+	if c.FirstGen == 0 {
+		c.FirstGen = 1
+	}
 	return c
 }
 
@@ -190,6 +209,11 @@ type Response struct {
 	// Batch is the 1-based sequence number of the micro-batch that carried
 	// the request; 0 when it never reached a worker.
 	Batch uint64
+	// Distances is the per-row observed distance reduction behind Result,
+	// present only when Config.ReportDistances is set and the served
+	// searcher implements core.RowSearcher. The slice is freshly allocated
+	// per response and owned by the receiver.
+	Distances []int
 	// Err is non-nil when the request was not classified (cancellation,
 	// empty text, shedding, a recovered worker panic, drain abandonment).
 	Err error
@@ -384,7 +408,7 @@ func New(mem *core.Memory, s core.Searcher, newEncoder func() *encoder.Encoder, 
 		done:      make(chan struct{}),
 		stopHedge: make(chan struct{}),
 	}
-	e.model.Store(newModel(1, mem, s, newEncoder, probe))
+	e.model.Store(newModel(cfg.FirstGen, mem, s, newEncoder, probe))
 	e.wg.Add(1 + cfg.Workers)
 	go e.batcher()
 	for w := 0; w < cfg.Workers; w++ {
@@ -731,6 +755,29 @@ func searchFunc(s core.Searcher) func(*hv.Vector) core.Result {
 	return s.Search
 }
 
+// rowFunc returns the distance-reporting search closure for a searcher, or
+// nil when the searcher has no row capability. The winner is selected from
+// the observed row by the deterministic lowest-index argmin — the same
+// comparator-tree rule ClassMatrix.Nearest implements — and the row is
+// freshly allocated per call because it crosses the API boundary in the
+// Response.
+func rowFunc(s core.Searcher) func(*hv.Vector) (core.Result, []int) {
+	rs, ok := s.(core.RowSearcher)
+	if !ok {
+		return nil
+	}
+	return func(q *hv.Vector) (core.Result, []int) {
+		ds := rs.ObservedDistances(nil, q)
+		best, bestD := 0, ds[0]
+		for i, d := range ds[1:] {
+			if d < bestD {
+				best, bestD = i+1, d
+			}
+		}
+		return core.Result{Index: best, Distance: bestD}, ds
+	}
+}
+
 // forked returns worker w's searcher: a fresh per-worker fork when the base
 // supports it, preserving the per-worker PCG stream contract of
 // core.SearchAllWorkers, else the shared base.
@@ -746,7 +793,7 @@ func forked(base core.Searcher, w int) core.Searcher {
 // serveOne answers one claimed request, converting a panic anywhere in the
 // encode→search flow into a per-request ErrWorkerPanic answer. It reports
 // whether it panicked so the worker can rebuild its state.
-func (e *Engine) serveOne(r *request, job *batchJob, enc *encoder.Encoder, search func(*hv.Vector) core.Result, hedge bool) (panicked bool) {
+func (e *Engine) serveOne(r *request, job *batchJob, enc *encoder.Encoder, search func(*hv.Vector) core.Result, rows func(*hv.Vector) (core.Result, []int), hedge bool) (panicked bool) {
 	gen, seq := job.model.gen, job.seq
 	defer func() {
 		if v := recover(); v != nil {
@@ -780,12 +827,20 @@ func (e *Engine) serveOne(r *request, job *batchJob, enc *encoder.Encoder, searc
 		r.respond(Response{Gen: gen, Batch: seq, Err: err})
 		return false
 	}
-	res := search(q)
+	var (
+		res core.Result
+		ds  []int
+	)
+	if rows != nil {
+		res, ds = rows(q)
+	} else {
+		res = search(q)
+	}
 	e.completed.Add(1)
 	if hedge {
 		e.hedgeWins.Add(1)
 	}
-	r.respond(Response{Result: res, Label: job.model.mem.Label(res.Index), NGrams: n, Gen: gen, Batch: seq})
+	r.respond(Response{Result: res, Label: job.model.mem.Label(res.Index), NGrams: n, Gen: gen, Batch: seq, Distances: ds})
 	return false
 }
 
@@ -815,6 +870,7 @@ func (e *Engine) worker(w int) {
 		m      *model
 		s      core.Searcher
 		search func(*hv.Vector) core.Result
+		rows   func(*hv.Vector) (core.Result, []int)
 		enc    *encoder.Encoder
 	)
 	defer func() {
@@ -848,14 +904,21 @@ func (e *Engine) worker(w int) {
 				m = jm
 				s = forked(m.base, w)
 				search = searchFunc(s)
+				rows = nil
+				if e.cfg.ReportDistances {
+					rows = rowFunc(s)
+				}
 				enc = m.encoders.Get().(*encoder.Encoder)
 			}
-			if e.serveOne(r, d.job, enc, search, d.hedge) {
+			if e.serveOne(r, d.job, enc, search, rows, d.hedge) {
 				// Supervised restart: never pool or reuse state a panic ran
 				// through.
 				enc = m.newEnc()
 				s = forked(m.base, w)
 				search = searchFunc(s)
+				if e.cfg.ReportDistances {
+					rows = rowFunc(s)
+				}
 				e.restarts.Add(1)
 			}
 			e.finish(d.job)

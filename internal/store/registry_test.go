@@ -301,3 +301,76 @@ func TestRegistryConfigValidation(t *testing.T) {
 		t.Fatal("malformed pattern accepted")
 	}
 }
+
+// TestRegistryIgnoresHalfWrittenSnapshot: a writer that died between
+// CreateTemp and the atomic rename leaves a ".hdam-snap-*" temp file in
+// the model directory. The registry scan must never see it — not serve
+// it, not reject it, not fingerprint it as bad — because the "*.hds"
+// contract is that only renamed (and therefore complete) files match.
+func TestRegistryIgnoresHalfWrittenSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Unix(1754352000, 0)
+
+	// A good snapshot, published the normal way.
+	publish(t, dir, "good.hds", "goodModel", t0)
+
+	// A half-written one: the first half of a valid snapshot's bytes
+	// sitting in the temp file Save would have used, rename never reached.
+	whole, err := os.ReadFile(filepath.Join(dir, "good.hds"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := os.CreateTemp(dir, ".hdam-snap-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.Write(whole[:len(whole)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Make the orphan the newest file in the directory, where a scan that
+	// globbed too widely would trip over it first.
+	if err := os.Chtimes(tmp.Name(), t0.Add(time.Hour), t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []Event
+	var trainers []string
+	reg, err := NewRegistry(RegistryConfig{
+		Dir: dir,
+		Swap: func(s *Snapshot) error {
+			trainers = append(trainers, s.Provenance().Trainer)
+			return nil
+		},
+		OnEvent: func(ev Event) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	if swapped, err := reg.Check(); err != nil || !swapped {
+		t.Fatalf("good snapshot not loaded past the orphan: swapped=%v err=%v", swapped, err)
+	}
+	if len(trainers) != 1 || trainers[0] != "goodModel" {
+		t.Fatalf("served %v, want the good snapshot only", trainers)
+	}
+	st := reg.Stats()
+	if st.Rejects != 0 || st.SwapFails != 0 {
+		t.Fatalf("half-written temp file was fingerprinted as bad: %+v", st)
+	}
+	for _, ev := range events {
+		if ev.Kind != EventLoaded {
+			t.Fatalf("orphan produced a %v event for %s", ev.Kind, ev.Path)
+		}
+	}
+	// Steady state: the orphan must not cause rescans or re-rejections.
+	if swapped, err := reg.Check(); err != nil || swapped {
+		t.Fatalf("second scan not steady: swapped=%v err=%v", swapped, err)
+	}
+	if st := reg.Stats(); st.Rejects != 0 {
+		t.Fatalf("second scan rejected the orphan: %+v", st)
+	}
+}
