@@ -21,13 +21,15 @@ race:
 # Regenerate the benchmark trajectory file checked in at BENCH.json: run the
 # kernel suite plus the closed-loop serve load harness, the cascaded-search
 # harness (single-core qps, stage-1 hit-rate, widen-rate and the mismatch
-# audit on the trained langid workload) and the scatter-gather fleet harness
+# audit on the trained langid workload), the scatter-gather fleet harness
 # (healthy and one-stall-one-crash points with qps, latency percentiles and
-# the degraded-answer-rate) and APPEND the report as a new trajectory entry —
-# the seed's num_cpu:1 baseline entry is kept, so regressions show up as
-# diffs, never as overwrites.
+# the degraded-answer-rate) and the open-loop network harness (binary and
+# HTTP/JSON wire protocols at increasing offered load with zipfian keys and
+# a deliberate overload point) and APPEND the report as a new trajectory
+# entry — the seed's num_cpu:1 baseline entry is kept, so regressions show
+# up as diffs, never as overwrites.
 bench:
-	$(GO) run ./cmd/hambench -serve -cascade -fleet -json BENCH.json
+	$(GO) run ./cmd/hambench -serve -cascade -fleet -net -json BENCH.json
 
 # bench-json is the historical name for the same regeneration.
 bench-json: bench
@@ -54,13 +56,18 @@ fmt-check:
 # csa16 and GOAMD64=v3 popcnt8 — bit-identity must hold on either build
 # path, and the fleet's scatter-gather reduction must stay bit-identical to
 # the single-engine scan on both), a kernel benchmark smoke pass, and a
-# serve-path benchmark smoke so the engine can't silently rot.
+# serve-path benchmark smoke so the engine can't silently rot, a fuzz
+# smoke over the network frame decoder, and the network-serving smoke
+# (hamserve booted on loopback, hamload over both wire protocols, SIGTERM
+# drain with every accepted request answered).
 ci: fmt-check vet build race
-	$(GO) test -race ./internal/core ./internal/serve ./internal/assoc ./internal/fault ./internal/fleet ./internal/experiments ./internal/store
+	$(GO) test -race ./internal/core ./internal/serve ./internal/assoc ./internal/fault ./internal/fleet ./internal/experiments ./internal/store ./internal/netserve
 	$(GO) test -race -short -run 'Chaos|FleetHarness' ./internal/serve ./internal/perf
 	$(GO) test -run 'TestTrainSaveLoadGate|TestDecodeRejects|TestDecodeGiantDeclaredLengths' ./internal/store
 	$(GO) test -run xxx -fuzz FuzzDecodeSnapshot -fuzztime 5s ./internal/store
+	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/netserve
 	GOAMD64=v1 $(GO) test -run 'Kernel|RowDistance|Cascade|BitIdentical|Degraded' ./internal/core ./internal/assoc ./internal/fleet
 	GOAMD64=v3 $(GO) test -run 'Kernel|RowDistance|Cascade|BitIdentical|Degraded' ./internal/core ./internal/assoc ./internal/fleet
 	$(GO) test -run xxx -bench 'Encode|Distance|Accumulate|Cascade' -benchtime 10x -benchmem ./...
 	$(GO) test -run xxx -bench Serve -benchtime 1x ./internal/serve
+	sh scripts/netsmoke.sh

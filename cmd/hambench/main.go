@@ -35,6 +35,12 @@
 //	             crashed) and record a fleet/* section with qps, p50/p95/p99
 //	             and the degraded-answer-rate
 //	-fleet-requests N  requests per fleet load point (default 2048)
+//	-net         also run the open-loop network load harness (the binary
+//	             wire protocol and HTTP/JSON at increasing offered load,
+//	             zipfian keys, one deliberate overload point) and record a
+//	             net/* section with offered vs. achieved qps,
+//	             p50/p95/p99/p999 and shed/error rates
+//	-net-duration D  measurement window per net load point (default 2s)
 //	-coldstart   also run the cold-start comparison (train-and-save vs.
 //	             checksummed snapshot load) and record a coldstart/* section
 //	-list        print the available experiment ids and exit
@@ -72,6 +78,8 @@ func main() {
 	chaosRequests := flag.Int("chaos-requests", 2048, "requests for the chaos soak")
 	fleetBench := flag.Bool("fleet", false, "also run the scatter-gather fleet harness (healthy and one-stall-one-crash points) and record a fleet/* section in the report")
 	fleetRequests := flag.Int("fleet-requests", 2048, "requests per fleet load point")
+	netBench := flag.Bool("net", false, "also run the open-loop network load harness (binary and HTTP protocols at increasing offered load) and record a net/* section in the report")
+	netDuration := flag.Duration("net-duration", 2*time.Second, "measurement window per net load point")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
@@ -87,15 +95,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *jsonOut != "" || *serveLoad || *coldStart || *cascadeBench || *fleetBench {
-		if err := runBenchSuite(*jsonOut, *serveLoad, *serveRequests, *coldStart, *cascadeBench, *fleetBench, *fleetRequests, *trainChars, *testPerLang); err != nil {
+	if *jsonOut != "" || *serveLoad || *coldStart || *cascadeBench || *fleetBench || *netBench {
+		if err := runBenchSuite(*jsonOut, *serveLoad, *serveRequests, *coldStart, *cascadeBench, *fleetBench, *fleetRequests, *netBench, *netDuration, *trainChars, *testPerLang); err != nil {
 			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
 			os.Exit(1)
 		}
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		if *jsonOut != "" || *serveLoad || *coldStart || *chaos || *cascadeBench || *fleetBench {
+		if *jsonOut != "" || *serveLoad || *coldStart || *chaos || *cascadeBench || *fleetBench || *netBench {
 			return
 		}
 		fmt.Fprintln(os.Stderr, "usage: hambench [flags] <experiment>... | all   (-list for ids)")
@@ -160,7 +168,7 @@ func main() {
 // runBenchSuite runs the perf kernel benchmarks (plus, optionally, the serve
 // load harness, the cascaded-search harness and the cold-start comparison)
 // and appends the report to the trajectory file at path.
-func runBenchSuite(path string, serveLoad bool, serveRequests int, coldStart, cascade, fleetBench bool, fleetRequests, trainChars, testPerLang int) error {
+func runBenchSuite(path string, serveLoad bool, serveRequests int, coldStart, cascade, fleetBench bool, fleetRequests int, netBench bool, netDuration time.Duration, trainChars, testPerLang int) error {
 	fmt.Fprintf(os.Stderr, "[running kernel benchmark suite (kernel %s)]\n", perf.KernelName)
 	start := time.Now()
 	rep := perf.RunKernels()
@@ -198,6 +206,18 @@ func runBenchSuite(path string, serveLoad bool, serveRequests int, coldStart, ca
 		}
 		if violated > 0 {
 			return fmt.Errorf("fleet harness violated %d acceptance criteria", violated)
+		}
+	}
+	if netBench {
+		fmt.Fprintln(os.Stderr, "[running open-loop network load harness]")
+		results, err := perf.RunNet(perf.DefaultNetLoads(netDuration))
+		if err != nil {
+			return err
+		}
+		rep.Net = results
+		for _, r := range results {
+			fmt.Fprintf(os.Stderr, "  %-28s offered %8.0f  %9.0f qps  p50 %8.1fµs  p99 %8.1fµs  p999 %9.1fµs  shed %5.1f%%  err %5.1f%%\n",
+				r.Name, r.OfferedQPS, r.QPS, r.P50Us, r.P99Us, r.P999Us, 100*r.ShedRate, 100*r.ErrorRate)
 		}
 	}
 	if cascade {

@@ -1,0 +1,174 @@
+// Command hamserve serves a hyperdimensional associative-memory model over
+// TCP: the length-prefixed binary protocol for throughput and HTTP/JSON
+// for debuggability (/classify, /statsz, /healthz). The model is loaded
+// from a snapshot (-load) or trained fresh from the synthetic language
+// corpus; requests flow through the micro-batching serve engine (or a
+// scatter-gather fleet with -fleet).
+//
+// On SIGINT/SIGTERM the server drains: listeners close, connected clients
+// are told to stop submitting, and every accepted request is answered —
+// classified within the drain deadline, failed fast as drained after.
+//
+// Usage:
+//
+//	hamserve                              # train, serve on the default ports
+//	hamserve -load model.ham              # serve a snapshot
+//	hamserve -listen :0 -http :0          # ephemeral ports (printed on stdout)
+//	hamserve -fleet 4                     # serve through a replica fleet
+//
+// The resolved addresses are printed to stdout as "listening proto=addr"
+// lines, so scripts can scrape ephemeral ports.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"hdam"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7401", "binary-protocol listen address (empty to disable)")
+	httpAddr := flag.String("http", "127.0.0.1:7402", "HTTP/JSON listen address (empty to disable)")
+	load := flag.String("load", "", "serve this model snapshot instead of training")
+	dim := flag.Int("dim", hdam.Dim, "hypervector dimensionality (training only)")
+	train := flag.Int("train", 50_000, "training characters per language (training only)")
+	seed := flag.Uint64("seed", 2017, "pipeline seed")
+	workers := flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+	batch := flag.Int("batch", 64, "engine micro-batch size")
+	queue := flag.Int("queue", 512, "engine pending-request queue")
+	policy := flag.String("policy", "reject", "admission policy when the queue fills: block | reject | shed")
+	fleetN := flag.Int("fleet", 0, "serve through a scatter-gather fleet of N replicas (0 = engine)")
+	maxConns := flag.Int("max-conns", 256, "binary connection limit")
+	maxInflight := flag.Int("max-inflight", 256, "in-flight frames per binary connection")
+	maxHTTPInflight := flag.Int("max-http-inflight", 256, "concurrent /classify requests before 503 shedding")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM")
+	flag.Parse()
+
+	var pol hdam.ServePolicy
+	switch *policy {
+	case "block":
+		pol = hdam.ServeBlock
+	case "reject":
+		pol = hdam.ServeReject
+	case "shed":
+		pol = hdam.ServeShedOldest
+	default:
+		fmt.Fprintf(os.Stderr, "hamserve: unknown -policy %q (want block, reject or shed)\n", *policy)
+		os.Exit(2)
+	}
+
+	tr, err := model(*load, *dim, *train, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	netCfg := hdam.NetConfig{
+		BinaryAddr:      *listen,
+		HTTPAddr:        *httpAddr,
+		MaxConns:        *maxConns,
+		MaxInflight:     *maxInflight,
+		MaxHTTPInflight: *maxHTTPInflight,
+	}
+	var srv *hdam.NetServer
+	if *fleetN > 0 {
+		fl, err := hdam.NewFleet(tr, hdam.FleetConfig{Replicas: *fleetN, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
+			os.Exit(1)
+		}
+		srv, err = hdam.ServeFleet(fl, netCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		eng, err := hdam.NewEngine(tr, hdam.NewExactSearcher(tr.Memory), hdam.ServeConfig{
+			Workers:  *workers,
+			MaxBatch: *batch,
+			Queue:    *queue,
+			Policy:   pol,
+			Seed:     *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
+			os.Exit(1)
+		}
+		srv, err = hdam.ServeEngine(eng, netCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if a := srv.BinaryAddr(); a != nil {
+		fmt.Printf("listening binary=%s\n", a)
+	}
+	if a := srv.HTTPAddr(); a != nil {
+		fmt.Printf("listening http=%s\n", a)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "hamserve: %v, draining (deadline %s)...\n", s, *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "hamserve: drain: %v\n", err)
+		srv.Close()
+		os.Exit(1)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr,
+		"hamserve: drained clean: %d conns accepted (%d rejected), %d frames, %d queries, %d answered, %d http requests\n",
+		st.Accepted, st.RejectedConns, st.Frames, st.Queries, st.Answered, st.HTTPRequests)
+}
+
+// model loads a snapshot or trains the language pipeline fresh.
+func model(load string, dim, train int, seed uint64) (*hdam.Trained, error) {
+	if load != "" {
+		snap, err := hdam.OpenSnapshot(load)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", load, err)
+		}
+		cfg := snap.Config()
+		fmt.Fprintf(os.Stderr, "hamserve: loaded %s: %d classes at D=%d (zero-copy=%v)\n",
+			load, snap.Memory().Classes(), cfg.Dim, snap.ZeroCopy())
+		p := hdam.DefaultLanguageParams()
+		p.Dim, p.NGram, p.Seed = cfg.Dim, cfg.NGram, cfg.Seed
+		p.TestPerLang = 1
+		return rebuildTrained(snap.Memory(), p), nil
+	}
+	p := hdam.DefaultLanguageParams()
+	p.Dim = dim
+	p.TrainChars = train
+	p.Seed = seed
+	p.TestPerLang = 1
+	langs := hdam.Languages()
+	fmt.Fprintf(os.Stderr, "hamserve: training %d languages at D=%d on %d chars each (%d workers)...\n",
+		len(langs), p.Dim, p.TrainChars, runtime.GOMAXPROCS(0))
+	start := time.Now()
+	tr, err := hdam.TrainLanguages(langs, p)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "hamserve: trained in %s\n", time.Since(start).Round(time.Millisecond))
+	return tr, nil
+}
+
+// rebuildTrained reconstructs the encoder half of a pipeline around a
+// loaded memory; item memories are deterministic in the seed, so the
+// encoder matches the one that produced the saved prototypes.
+func rebuildTrained(mem *hdam.Memory, p hdam.LanguageParams) *hdam.Trained {
+	im := hdam.NewItemMemory(p.Dim, p.Seed)
+	im.Preload(hdam.LatinAlphabet)
+	return &hdam.Trained{Memory: mem, Encoder: hdam.NewEncoder(im, p.NGram), Params: p}
+}

@@ -45,6 +45,12 @@
 //	-fleet-scheme S  fleet partition scheme: words (lost partition degrades
 //	             to a d-sampled answer) or classes (lost partition excludes
 //	             its classes); default words
+//	-listen A    serve the model over TCP on address A with the binary wire
+//	             protocol instead of classifying stdin; combines with
+//	             -load, -watch, -fleet, -workers and -batch. SIGINT/SIGTERM
+//	             drains: every accepted request is answered before exit
+//	-listen-http A  also (or instead) serve HTTP/JSON on address A
+//	             (/classify, /statsz, /healthz)
 package main
 
 import (
@@ -55,7 +61,9 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"hdam"
@@ -79,6 +87,8 @@ func main() {
 	shards := flag.Int("shards", 0, "word-range shards for the distance kernel (0 = serial, -1 = GOMAXPROCS)")
 	fleetN := flag.Int("fleet", 0, "serve stdin through a scatter-gather fleet of N replica engines (0 = off)")
 	fleetScheme := flag.String("fleet-scheme", "words", "fleet partition scheme: words | classes")
+	listen := flag.String("listen", "", "serve over TCP with the binary wire protocol on this address instead of classifying stdin")
+	listenHTTP := flag.String("listen-http", "", "serve HTTP/JSON (/classify, /statsz, /healthz) on this address")
 	flag.Parse()
 
 	// Validate the hardware selection and engine shape before spending
@@ -112,6 +122,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if (*listen != "" || *listenHTTP != "") && *demo {
+		fmt.Fprintln(os.Stderr, "langid: -listen serves sockets and cannot combine with -demo")
+		fmt.Fprintln(os.Stderr)
+		flag.Usage()
+		os.Exit(2)
+	}
+	netCfg := hdam.NetConfig{BinaryAddr: *listen, HTTPAddr: *listenHTTP}
+	serveNet := *listen != "" || *listenHTTP != ""
 	var scheme hdam.FleetScheme
 	if *fleetN != 0 {
 		if *fleetN < 0 {
@@ -162,7 +180,7 @@ func main() {
 
 	if *watchDir != "" {
 		if *fleetN > 0 {
-			if err := serveFleetWatch(*watchDir, *fleetN, scheme); err != nil {
+			if err := serveFleetWatch(*watchDir, *fleetN, scheme, serveNet, netCfg); err != nil {
 				fmt.Fprintf(os.Stderr, "langid: %v\n", err)
 				os.Exit(1)
 			}
@@ -173,7 +191,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "langid: searcher carries non-forkable randomness; forcing -workers=1 (micro-batching stays on)")
 			w = 1
 		}
-		if err := serveWatch(*watchDir, *design, w, *batch, *seed); err != nil {
+		if err := serveWatch(*watchDir, *design, w, *batch, *seed, serveNet, netCfg); err != nil {
 			fmt.Fprintf(os.Stderr, "langid: %v\n", err)
 			os.Exit(1)
 		}
@@ -233,6 +251,17 @@ func main() {
 			os.Exit(1)
 		}
 		defer fl.Close()
+		if serveNet {
+			srv, err := hdam.ServeFleet(fl, netCfg)
+			if err == nil {
+				err = runNetServer(srv)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "langid: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := pumpStdinFleet(fl); err != nil {
 			fmt.Fprintf(os.Stderr, "langid: %v\n", err)
 			os.Exit(1)
@@ -259,6 +288,29 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "langid: %v\n", err)
 		os.Exit(1)
+	}
+
+	if serveNet {
+		w := *workers
+		if w != 1 && serialOnly(*design, *resilient, stages) {
+			fmt.Fprintln(os.Stderr, "langid: searcher carries non-forkable randomness; forcing -workers=1 (micro-batching stays on)")
+			w = 1
+		}
+		eng, err := hdam.NewEngine(tr, searcher, hdam.ServeConfig{
+			Workers: w, MaxBatch: *batch, Seed: *seed,
+		})
+		if err == nil {
+			var srv *hdam.NetServer
+			srv, err = hdam.ServeEngine(eng, netCfg)
+			if err == nil {
+				err = runNetServer(srv)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "langid: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *demo {
@@ -389,7 +441,7 @@ func loadModel(path string, p hdam.LanguageParams) (*hdam.Trained, hdam.Language
 // serveWatch serves stdin from the newest snapshot in dir, hot-swapping the
 // engine as new snapshots are published (atomic rename makes partial files
 // invisible). It blocks until a first model appears.
-func serveWatch(dir, design string, workers, batch int, seed uint64) error {
+func serveWatch(dir, design string, workers, batch int, seed uint64, serveNet bool, netCfg hdam.NetConfig) error {
 	var eng *hdam.Engine
 	reg, err := hdam.NewModelRegistry(hdam.ModelRegistryConfig{
 		Dir:      dir,
@@ -439,7 +491,15 @@ func serveWatch(dir, design string, workers, batch int, seed uint64) error {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go reg.Run(ctx)
-	if err := pumpStdin(eng); err != nil {
+	if serveNet {
+		srv, err := hdam.ServeEngine(eng, netCfg)
+		if err != nil {
+			return err
+		}
+		if err := runNetServer(srv); err != nil {
+			return err
+		}
+	} else if err := pumpStdin(eng); err != nil {
 		return err
 	}
 	if st := eng.Stats(); st.Swaps > 0 {
@@ -452,7 +512,7 @@ func serveWatch(dir, design string, workers, batch int, seed uint64) error {
 // from the newest snapshot in dir: the first valid snapshot builds the
 // fleet, later ones roll through every replica as one generation (no answer
 // mixes generations). It blocks until a first model appears.
-func serveFleetWatch(dir string, replicas int, scheme hdam.FleetScheme) error {
+func serveFleetWatch(dir string, replicas int, scheme hdam.FleetScheme, serveNet bool, netCfg hdam.NetConfig) error {
 	var fl *hdam.Fleet
 	reg, err := hdam.NewModelRegistry(hdam.ModelRegistryConfig{
 		Dir:      dir,
@@ -497,7 +557,15 @@ func serveFleetWatch(dir string, replicas int, scheme hdam.FleetScheme) error {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go reg.Run(ctx)
-	if err := pumpStdinFleet(fl); err != nil {
+	if serveNet {
+		srv, err := hdam.ServeFleet(fl, netCfg)
+		if err != nil {
+			return err
+		}
+		if err := runNetServer(srv); err != nil {
+			return err
+		}
+	} else if err := pumpStdinFleet(fl); err != nil {
 		return err
 	}
 	if st := fl.Stats(); st.Swaps > 0 {
@@ -744,4 +812,30 @@ func rebuildTrained(mem *hdam.Memory, p hdam.LanguageParams) *hdam.Trained {
 	im := hdam.NewItemMemory(p.Dim, p.Seed)
 	im.Preload(hdam.LatinAlphabet)
 	return &hdam.Trained{Memory: mem, Encoder: hdam.NewEncoder(im, p.NGram), Params: p}
+}
+
+// runNetServer announces the resolved listener addresses and serves until
+// SIGINT/SIGTERM, then drains: listeners close, connected clients are told
+// to stop submitting, and every accepted request is answered before exit.
+func runNetServer(srv *hdam.NetServer) error {
+	if a := srv.BinaryAddr(); a != nil {
+		fmt.Printf("listening binary=%s\n", a)
+	}
+	if a := srv.HTTPAddr(); a != nil {
+		fmt.Printf("listening http=%s\n", a)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "langid: %v, draining...\n", s)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "langid: drained clean: %d queries answered over %d connections (%d http requests)\n",
+		st.Answered, st.Accepted, st.HTTPRequests)
+	return nil
 }

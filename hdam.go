@@ -3,6 +3,7 @@ package hdam
 import (
 	"io"
 	"math/rand/v2"
+	"time"
 
 	"hdam/internal/aham"
 	"hdam/internal/analog"
@@ -16,6 +17,7 @@ import (
 	"hdam/internal/hv"
 	"hdam/internal/itemmem"
 	"hdam/internal/lang"
+	"hdam/internal/netserve"
 	"hdam/internal/rham"
 	"hdam/internal/serve"
 	"hdam/internal/store"
@@ -583,3 +585,51 @@ type CorruptPartialFault = fault.CorruptPartial
 
 // ErrReplicaDown marks a dispatch failed by an injected replica fault.
 var ErrReplicaDown = fault.ErrReplicaDown
+
+// ---- Network serving ----
+
+// NetServer exposes an Engine or Fleet over TCP: a length-prefixed binary
+// protocol for throughput (versioned frames, pipelined batches, responses
+// matched by request id) and HTTP/JSON for debuggability, with connection
+// limits, per-connection deadlines, a /statsz endpoint and graceful drain.
+type NetServer = netserve.Server
+
+// NetConfig shapes a NetServer: listener addresses (":0" for ephemeral,
+// empty to disable), connection and in-flight caps, deadlines.
+type NetConfig = netserve.Config
+
+// NetStats is a snapshot of a NetServer's socket-level counters.
+type NetStats = netserve.Stats
+
+// NetClient is one binary-protocol connection; many frames may be in
+// flight at once and responses are matched by id regardless of order.
+type NetClient = netserve.Client
+
+// NetBatch is the client-side result of one query frame.
+type NetBatch = netserve.Batch
+
+// NetAnswer is one wire answer: a status byte plus the classification.
+type NetAnswer = netserve.WireAnswer
+
+// ServeEngine exposes a micro-batching engine over the network. Binary
+// answers are bit-identical to in-process Engine results; closing or
+// draining the server closes the engine through its own drain path.
+func ServeEngine(eng *Engine, cfg NetConfig) (*NetServer, error) {
+	return netserve.New(netserve.EngineBackend(eng), cfg)
+}
+
+// ServeFleet exposes a scatter-gather replica fleet over the network.
+func ServeFleet(fl *Fleet, cfg NetConfig) (*NetServer, error) {
+	return netserve.New(netserve.FleetBackend(fl), cfg)
+}
+
+// DialNet connects a binary-protocol client to a NetServer.
+func DialNet(addr string, timeout time.Duration) (*NetClient, error) {
+	return netserve.Dial(addr, timeout)
+}
+
+// NetAnswerError converts a wire answer's status back into the typed error
+// an in-process caller would see (nil for an OK answer), so socket clients
+// errors.Is-match ErrNoNGrams, ErrEngineOverloaded, ErrEngineDrained and
+// friends exactly like local ones.
+func NetAnswerError(a NetAnswer) error { return netserve.AnswerError(a) }

@@ -1,0 +1,99 @@
+package netserve
+
+import (
+	"context"
+
+	"hdam/internal/fleet"
+	"hdam/internal/serve"
+)
+
+// Backend is what the server serves: the micro-batching engine or the
+// scatter-gather fleet, behind one asynchronous submission contract.
+type Backend interface {
+	// Go submits one text and returns the buffered channel its response
+	// arrives on. A submit-time refusal (admission control, closed backend)
+	// is returned as the error; everything accepted is eventually answered
+	// on the channel — possibly with a typed per-request failure — which is
+	// the property the drain path relies on.
+	Go(ctx context.Context, text string) (<-chan serve.Response, error)
+	// Drain stops intake and flushes what fits ctx, failing the rest fast
+	// with the backend's drained error; it reports how many requests were
+	// abandoned that way (see serve.Engine.Drain / fleet.Fleet.Drain).
+	Drain(ctx context.Context) (abandoned uint64, err error)
+	// Close stops the backend, answering everything already accepted.
+	Close()
+	// Stats returns the backend's counters for the /statsz endpoint.
+	Stats() any
+}
+
+// engineBackend adapts a serve.Engine. Engine responses pass through
+// untouched, so socket answers are bit-identical to in-process Submit.
+type engineBackend struct{ eng *serve.Engine }
+
+// EngineBackend serves a micro-batching engine over the network.
+func EngineBackend(eng *serve.Engine) Backend { return engineBackend{eng} }
+
+func (b engineBackend) Go(ctx context.Context, text string) (<-chan serve.Response, error) {
+	return b.eng.Go(ctx, text)
+}
+
+func (b engineBackend) Drain(ctx context.Context) (uint64, error) { return b.eng.Drain(ctx) }
+func (b engineBackend) Close()                                    { b.eng.Close() }
+func (b engineBackend) Stats() any                                { return b.eng.Stats() }
+
+// fleetBackend adapts a fleet.Fleet: one gather goroutine per request
+// (the fleet's Ask is synchronous), answers carrying the fleet's reduced
+// result. Degraded-mode metadata stays on /statsz; the wire answer carries
+// the winner exactly as Ask reported it.
+type fleetBackend struct{ fl *fleet.Fleet }
+
+// FleetBackend serves a scatter-gather replica fleet over the network.
+func FleetBackend(fl *fleet.Fleet) Backend { return fleetBackend{fl} }
+
+func (b fleetBackend) Go(ctx context.Context, text string) (<-chan serve.Response, error) {
+	ch := make(chan serve.Response, 1)
+	go func() {
+		ans, err := b.fl.Ask(ctx, text)
+		ch <- serve.Response{
+			Result: ans.Result,
+			Label:  ans.Label,
+			NGrams: ans.NGrams,
+			Gen:    ans.Gen,
+			Err:    err,
+		}
+	}()
+	return ch, nil
+}
+
+func (b fleetBackend) Drain(ctx context.Context) (uint64, error) { return b.fl.Drain(ctx) }
+func (b fleetBackend) Close()                                    { b.fl.Close() }
+
+// fleetStats pairs the coordinator counters with the per-replica health
+// view for /statsz.
+type fleetStats struct {
+	Fleet    fleet.Stats
+	Replicas []fleet.ReplicaStats
+}
+
+func (b fleetBackend) Stats() any {
+	return fleetStats{Fleet: b.fl.Stats(), Replicas: b.fl.ReplicaStats()}
+}
+
+// answerOf converts an engine response to its wire form.
+func answerOf(r serve.Response) WireAnswer {
+	if r.Err != nil {
+		a := WireAnswer{Status: StatusOf(r.Err)}
+		if a.Status == StatusInternal {
+			a.Msg = r.Err.Error()
+		}
+		return a
+	}
+	return WireAnswer{
+		Status:   StatusOK,
+		Index:    uint32(r.Result.Index),
+		Distance: uint32(r.Result.Distance),
+		NGrams:   uint32(r.NGrams),
+		Gen:      r.Gen,
+		Label:    r.Label,
+	}
+}

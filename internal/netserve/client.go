@@ -1,0 +1,215 @@
+package netserve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClientClosed is returned by client calls after Close, or after the
+// connection died; pending batches are failed with the underlying cause.
+var ErrClientClosed = errors.New("netserve: client closed")
+
+// Batch is the client-side result of one query frame: the answers in
+// query order, or the connection-level error that killed the frame.
+type Batch struct {
+	Answers []WireAnswer
+	Err     error
+}
+
+// Client is one binary-protocol connection. It is safe for concurrent
+// use: many frames may be in flight at once, and responses are matched to
+// callers by frame id regardless of arrival order.
+type Client struct {
+	nc net.Conn
+
+	wmu  sync.Mutex // serializes frame writes
+	wbuf []byte
+
+	mu      sync.Mutex // pending map + close state
+	pending map[uint64]chan Batch
+	dead    error // non-nil once the connection is unusable
+
+	nextID   atomic.Uint64
+	draining atomic.Bool
+	rbuf     []byte
+	readerWG sync.WaitGroup
+}
+
+// Dial connects to a binary-protocol server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // latency benchmark traffic: don't Nagle small frames
+	}
+	c := &Client{nc: nc, pending: make(map[uint64]chan Batch)}
+	c.readerWG.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Draining reports whether the server announced a drain; new submissions
+// should go elsewhere, in-flight ones will still be answered.
+func (c *Client) Draining() bool { return c.draining.Load() }
+
+// Go submits one frame of queries and returns the channel its Batch
+// arrives on (buffered; the reader never blocks on it). budget caps the
+// server-side time per query; 0 means no deadline.
+func (c *Client) Go(texts []string, budget time.Duration) (<-chan Batch, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan Batch, 1)
+
+	c.mu.Lock()
+	if c.dead != nil {
+		err := c.dead
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[id] = ch // registered before the write: the answer may race back
+	c.mu.Unlock()
+
+	if err := c.writeQuery(id, texts, budget); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Ask is the synchronous form of Go.
+func (c *Client) Ask(texts []string, budget time.Duration) ([]WireAnswer, error) {
+	ch, err := c.Go(texts, budget)
+	if err != nil {
+		return nil, err
+	}
+	b := <-ch
+	return b.Answers, b.Err
+}
+
+// Ping round-trips a control frame, bounding the wait by timeout.
+func (c *Client) Ping(timeout time.Duration) error {
+	id := c.nextID.Add(1)
+	ch := make(chan Batch, 1)
+	c.mu.Lock()
+	if c.dead != nil {
+		err := c.dead
+		c.mu.Unlock()
+		return err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	c.wbuf = AppendControlFrame(c.wbuf[:0], TypePing, id)
+	_, err := c.nc.Write(c.wbuf)
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("netserve: ping write: %w", err))
+		return err
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case b := <-ch:
+		return b.Err
+	case <-t.C:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("netserve: ping: %w", ErrTimeout)
+	}
+}
+
+// ErrTimeout marks a client-side wait that expired.
+var ErrTimeout = errors.New("timed out")
+
+// Close tears the connection down; every in-flight batch fails with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	err := c.nc.Close()
+	c.readerWG.Wait()
+	return err
+}
+
+// writeQuery encodes and writes one query frame under the write lock,
+// reusing the client's encode buffer.
+func (c *Client) writeQuery(id uint64, texts []string, budget time.Duration) error {
+	budgetUs := uint64(budget / time.Microsecond)
+	if budgetUs > 1<<32-1 {
+		budgetUs = 1<<32 - 1
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	raw, err := AppendQueryFrame(c.wbuf[:0], id, uint32(budgetUs), texts)
+	if err != nil {
+		return err
+	}
+	c.wbuf = raw
+	if _, err := c.nc.Write(raw); err != nil {
+		werr := fmt.Errorf("netserve: write: %w", err)
+		c.fail(werr)
+		return werr
+	}
+	return nil
+}
+
+// readLoop matches incoming frames to pending callers by id until the
+// connection dies; then it fails everything still waiting.
+func (c *Client) readLoop() {
+	defer c.readerWG.Done()
+	for {
+		f, nbuf, err := ReadFrame(c.nc, c.rbuf)
+		c.rbuf = nbuf
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				err = ErrClientClosed
+			}
+			c.fail(err)
+			return
+		}
+		switch f.Type {
+		case TypeAnswer, TypePong:
+			c.mu.Lock()
+			ch := c.pending[f.ID]
+			delete(c.pending, f.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- Batch{Answers: f.Answers}
+			}
+		case TypeDrain:
+			c.draining.Store(true)
+		default:
+			// Server-bound frame types on the client stream are ignored.
+		}
+	}
+}
+
+// fail marks the client dead and delivers err to every pending batch.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.dead == nil {
+		c.dead = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan Batch)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		ch <- Batch{Err: err}
+	}
+}
+
+// AnswerError converts one wire answer's status back into the typed error
+// an in-process serve.Engine caller would have seen (nil for StatusOK), so
+// socket clients errors.Is-match exactly like local ones.
+func AnswerError(a WireAnswer) error {
+	return StatusError(a.Status, a.Msg)
+}

@@ -1,0 +1,94 @@
+package netserve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the wire decoder: no input may
+// panic or force an allocation beyond the declared-and-verified payload,
+// and anything the decoder accepts must re-encode to a frame it accepts
+// again. Running `go test` executes the seed corpus as unit cases (the CI
+// smoke mode); `go test -fuzz FuzzDecodeFrame` explores further.
+func FuzzDecodeFrame(f *testing.F) {
+	query, err := AppendQueryFrame(nil, 42, 2500, []string{"the quick brown fox", "", "päätös"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	answer, err := AppendAnswerFrame(nil, 42, []WireAnswer{
+		{Status: StatusOK, Index: 3, Distance: 4200, NGrams: 17, Gen: 1, Label: "english"},
+		{Status: StatusOverloaded, Msg: "queue full"},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(query[lenSize:])
+	f.Add(answer[lenSize:])
+	f.Add(AppendControlFrame(nil, TypePing, 7)[lenSize:])
+	f.Add(AppendControlFrame(nil, TypeDrain, 0)[lenSize:])
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Add([]byte("hw then garbage that is not a frame at all"))
+	// Seeded structural corruptions: version, type, counts, inner lengths.
+	for _, off := range []int{2, 3, headerSize + 4, headerSize + 6, len(query) - lenSize - 1} {
+		c := bytes.Clone(query[lenSize:])
+		c[off] ^= 0x81
+		f.Add(c)
+	}
+	// A query frame whose inner length field declares far more than the
+	// payload carries.
+	inflated := bytes.Clone(query[lenSize:])
+	binary.LittleEndian.PutUint16(inflated[headerSize+6:], 0xffff)
+	f.Add(inflated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > MaxFrame {
+			return // ReadFrame's length prefix rejects these before decode
+		}
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must be internally consistent and re-encodable.
+		switch fr.Type {
+		case TypeQuery:
+			if len(fr.Queries) == 0 || len(fr.Queries) > MaxBatchPerFrame {
+				t.Fatalf("accepted query frame with %d queries", len(fr.Queries))
+			}
+			for _, q := range fr.Queries {
+				if len(q) > MaxTextLen {
+					t.Fatalf("accepted %d-byte query text", len(q))
+				}
+			}
+			raw, err := AppendQueryFrame(nil, fr.ID, fr.BudgetUs, fr.Queries)
+			if err != nil {
+				t.Fatalf("re-encode accepted query frame: %v", err)
+			}
+			if !bytes.Equal(raw[lenSize:], data) {
+				t.Fatal("query frame round trip is not canonical")
+			}
+		case TypeAnswer:
+			if len(fr.Answers) == 0 || len(fr.Answers) > MaxBatchPerFrame {
+				t.Fatalf("accepted answer frame with %d answers", len(fr.Answers))
+			}
+			for _, a := range fr.Answers {
+				if len(a.Label) > MaxLabelLen || len(a.Msg) > MaxMsgLen {
+					t.Fatalf("accepted oversized label/msg: %d/%d", len(a.Label), len(a.Msg))
+				}
+				if a.Status == StatusOK && a.Msg != "" {
+					t.Fatal("OK answer decoded a message")
+				}
+			}
+			if _, err := AppendAnswerFrame(nil, fr.ID, fr.Answers); err != nil {
+				t.Fatalf("re-encode accepted answer frame: %v", err)
+			}
+		case TypePing, TypePong, TypeDrain:
+			if len(fr.Queries) != 0 || len(fr.Answers) != 0 {
+				t.Fatal("control frame decoded a body")
+			}
+		default:
+			t.Fatalf("accepted unknown frame type %d", fr.Type)
+		}
+	})
+}

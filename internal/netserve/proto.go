@@ -1,0 +1,448 @@
+// Package netserve exposes a trained hyperdimensional associative memory —
+// a serve.Engine or a fleet.Fleet — over TCP, so the paper's "millions of
+// users" serving scenario is measurable at the socket boundary instead of
+// only in-process.
+//
+// Two protocols share one server:
+//
+//   - HTTP/JSON (POST /classify, GET /statsz, GET /healthz) for
+//     debuggability: curl-able, self-describing, slow.
+//   - A length-prefixed compact binary protocol for throughput: versioned
+//     frame header, per-frame request id, a deadline budget the server
+//     propagates into the engine's context, and batched queries per frame.
+//     A connection is a full-duplex stream — many query frames may be in
+//     flight at once and answer frames come back in completion order,
+//     matched to their query by id — so one socket carries the pipelined
+//     load of many closed-loop clients without coordinated waiting.
+//
+// Admission control, overload shedding, hedging and graceful drain are the
+// engine's own (serve.Config.Policy and Engine.Drain); the server only adds
+// the socket-level guards around them: connection limits, per-connection
+// read/write deadlines, per-connection in-flight caps, and a drain path
+// that answers every accepted frame — with the classification when it fits
+// the deadline, with a typed drained status when it does not.
+//
+// This file is the wire codec. Frames are length-prefixed:
+//
+//	uint32 LE  payload length N (bounds-checked before any allocation)
+//	payload    N bytes, laid out as:
+//	  [0]  magic 'h'
+//	  [1]  magic 'w'
+//	  [2]  protocol version (1)
+//	  [3]  frame type
+//	  [4:12] request id, uint64 LE
+//	  [12:]  type-specific body
+//
+// TypeQuery body:
+//
+//	uint32 LE  deadline budget in microseconds (0 = none)
+//	uint16 LE  query count (1..MaxBatchPerFrame)
+//	repeat count times: uint16 LE text length, then the UTF-8 bytes
+//
+// TypeAnswer body:
+//
+//	uint16 LE  answer count, one per query, in query order
+//	repeat count times:
+//	  byte   status (StatusOK or a typed failure)
+//	  StatusOK:  uint32 index, uint32 distance, uint32 ngrams,
+//	             uint64 gen, byte label length, label bytes
+//	  else:      uint16 message length, message bytes
+//
+// TypePing and TypePong carry no body; TypeDrain (server → client, no body)
+// announces that the server is draining and no further query frames will be
+// accepted. Every declared length is validated against the remaining
+// payload before allocation, and a malformed frame yields a typed error,
+// never a panic — FuzzDecodeFrame enforces this.
+package netserve
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hdam/internal/serve"
+)
+
+// Protocol limits. MaxFrame bounds the payload a peer may declare (and
+// therefore the allocation a frame can force); the rest bound the fields
+// inside it.
+const (
+	Version = 1
+
+	MaxFrame         = 1 << 20   // payload bytes
+	MaxBatchPerFrame = 1024      // queries per frame
+	MaxTextLen       = 1<<16 - 1 // bytes per query text (length field is uint16)
+	MaxLabelLen      = 255       // bytes per answer label
+	MaxMsgLen        = 1024      // bytes per error message
+
+	magic0 = 'h'
+	magic1 = 'w'
+
+	headerSize = 12 // magic(2) + version(1) + type(1) + id(8)
+	lenSize    = 4  // the uint32 length prefix
+)
+
+// Frame types.
+const (
+	TypeQuery  byte = 1 // client → server: a batch of texts to classify
+	TypeAnswer byte = 2 // server → client: per-query answers, same id
+	TypePing   byte = 3 // client → server: liveness probe
+	TypePong   byte = 4 // server → client: probe reply, same id
+	TypeDrain  byte = 5 // server → client: draining, stop submitting
+)
+
+// Typed decode errors. Match with errors.Is.
+var (
+	// ErrFrameTooLarge reports a length prefix beyond the frame cap.
+	ErrFrameTooLarge = errors.New("netserve: frame exceeds size cap")
+	// ErrBadMagic reports a payload that does not start with the protocol
+	// magic — the peer is not speaking this protocol.
+	ErrBadMagic = errors.New("netserve: bad frame magic")
+	// ErrVersion reports a protocol version this build does not speak.
+	ErrVersion = errors.New("netserve: unsupported protocol version")
+	// ErrTruncated reports a payload shorter than its declared contents.
+	ErrTruncated = errors.New("netserve: truncated frame")
+	// ErrBadFrame reports a structurally invalid frame: unknown type,
+	// zero or oversized counts, out-of-range field lengths.
+	ErrBadFrame = errors.New("netserve: malformed frame")
+)
+
+// Answer statuses. StatusOK carries a classification; the rest are the
+// engine's typed failures, carried across the wire so the client can
+// errors.Is-match them exactly as an in-process caller would.
+const (
+	StatusOK         byte = 0
+	StatusNoNGrams   byte = 1 // text too short to form one n-gram
+	StatusOverloaded byte = 2 // admission control turned the request away
+	StatusDrained    byte = 3 // accepted, then abandoned by graceful drain
+	StatusDeadline   byte = 4 // the request's deadline budget ran out
+	StatusCanceled   byte = 5 // the request's context was canceled
+	StatusPanic      byte = 6 // a recovered worker panic failed the request
+	StatusClosed     byte = 7 // the backend was closed before the request ran
+	StatusInternal   byte = 8 // any other server-side failure
+)
+
+// ErrRemote is the client-side error wrapping a StatusInternal answer.
+var ErrRemote = errors.New("netserve: remote error")
+
+// StatusOf maps a backend error to its wire status.
+func StatusOf(err error) byte {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, serve.ErrNoNGrams):
+		return StatusNoNGrams
+	case errors.Is(err, serve.ErrOverloaded):
+		return StatusOverloaded
+	case errors.Is(err, serve.ErrDrained):
+		return StatusDrained
+	case errors.Is(err, context.DeadlineExceeded):
+		return StatusDeadline
+	case errors.Is(err, context.Canceled):
+		return StatusCanceled
+	case errors.Is(err, serve.ErrWorkerPanic):
+		return StatusPanic
+	case errors.Is(err, serve.ErrClosed):
+		return StatusClosed
+	default:
+		return StatusInternal
+	}
+}
+
+// StatusError maps a wire status back to the typed error an in-process
+// caller would have seen (nil for StatusOK).
+func StatusError(status byte, msg string) error {
+	switch status {
+	case StatusOK:
+		return nil
+	case StatusNoNGrams:
+		return serve.ErrNoNGrams
+	case StatusOverloaded:
+		return serve.ErrOverloaded
+	case StatusDrained:
+		return serve.ErrDrained
+	case StatusDeadline:
+		return context.DeadlineExceeded
+	case StatusCanceled:
+		return context.Canceled
+	case StatusPanic:
+		return serve.ErrWorkerPanic
+	case StatusClosed:
+		return serve.ErrClosed
+	default:
+		if msg == "" {
+			return ErrRemote
+		}
+		return fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+}
+
+// WireAnswer is one query's answer as it crosses the wire.
+type WireAnswer struct {
+	Status   byte
+	Index    uint32
+	Distance uint32
+	NGrams   uint32
+	Gen      uint64
+	Label    string
+	Msg      string // failure detail for non-OK statuses (may be empty)
+}
+
+// Frame is one decoded frame. Type selects which fields are meaningful:
+// Queries for TypeQuery (with BudgetUs), Answers for TypeAnswer, neither
+// for the control types.
+type Frame struct {
+	Version  byte
+	Type     byte
+	ID       uint64
+	BudgetUs uint32
+	Queries  []string
+	Answers  []WireAnswer
+}
+
+// AppendQueryFrame appends one length-prefixed query frame to dst and
+// returns the extended slice. The texts must fit the protocol limits.
+func AppendQueryFrame(dst []byte, id uint64, budgetUs uint32, texts []string) ([]byte, error) {
+	if len(texts) == 0 || len(texts) > MaxBatchPerFrame {
+		return dst, fmt.Errorf("%w: %d queries in one frame (limit %d)", ErrBadFrame, len(texts), MaxBatchPerFrame)
+	}
+	n := headerSize + 4 + 2
+	for _, t := range texts {
+		if len(t) > MaxTextLen {
+			return dst, fmt.Errorf("%w: %d-byte query text (limit %d)", ErrBadFrame, len(t), MaxTextLen)
+		}
+		n += 2 + len(t)
+	}
+	if n > MaxFrame {
+		return dst, fmt.Errorf("%w: %d-byte query frame (limit %d)", ErrFrameTooLarge, n, MaxFrame)
+	}
+	dst = appendHeader(dst, uint32(n), TypeQuery, id)
+	dst = binary.LittleEndian.AppendUint32(dst, budgetUs)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(texts)))
+	for _, t := range texts {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(t)))
+		dst = append(dst, t...)
+	}
+	return dst, nil
+}
+
+// AppendAnswerFrame appends one length-prefixed answer frame to dst and
+// returns the extended slice. Oversized labels and messages are clipped to
+// the protocol limits rather than failing the frame: an answer must always
+// be deliverable.
+func AppendAnswerFrame(dst []byte, id uint64, answers []WireAnswer) ([]byte, error) {
+	if len(answers) == 0 || len(answers) > MaxBatchPerFrame {
+		return dst, fmt.Errorf("%w: %d answers in one frame (limit %d)", ErrBadFrame, len(answers), MaxBatchPerFrame)
+	}
+	n := headerSize + 2
+	for i := range answers {
+		a := &answers[i]
+		if a.Status == StatusOK {
+			n += 1 + 4 + 4 + 4 + 8 + 1 + min(len(a.Label), MaxLabelLen)
+		} else {
+			n += 1 + 2 + min(len(a.Msg), MaxMsgLen)
+		}
+	}
+	if n > MaxFrame {
+		return dst, fmt.Errorf("%w: %d-byte answer frame (limit %d)", ErrFrameTooLarge, n, MaxFrame)
+	}
+	dst = appendHeader(dst, uint32(n), TypeAnswer, id)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(answers)))
+	for i := range answers {
+		a := &answers[i]
+		dst = append(dst, a.Status)
+		if a.Status == StatusOK {
+			dst = binary.LittleEndian.AppendUint32(dst, a.Index)
+			dst = binary.LittleEndian.AppendUint32(dst, a.Distance)
+			dst = binary.LittleEndian.AppendUint32(dst, a.NGrams)
+			dst = binary.LittleEndian.AppendUint64(dst, a.Gen)
+			label := clip(a.Label, MaxLabelLen)
+			dst = append(dst, byte(len(label)))
+			dst = append(dst, label...)
+		} else {
+			msg := clip(a.Msg, MaxMsgLen)
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(msg)))
+			dst = append(dst, msg...)
+		}
+	}
+	return dst, nil
+}
+
+// AppendControlFrame appends one body-less frame (ping, pong, drain).
+func AppendControlFrame(dst []byte, typ byte, id uint64) []byte {
+	return appendHeader(dst, headerSize, typ, id)
+}
+
+// appendHeader appends the length prefix and the fixed frame header.
+func appendHeader(dst []byte, payloadLen uint32, typ byte, id uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, payloadLen)
+	dst = append(dst, magic0, magic1, Version, typ)
+	return binary.LittleEndian.AppendUint64(dst, id)
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// DecodeFrame decodes one frame payload (the bytes after the length
+// prefix). Every declared count and length is validated against the
+// remaining payload before any allocation; malformed input returns a typed
+// error and never panics. This is the fuzz target.
+func DecodeFrame(payload []byte) (Frame, error) {
+	var f Frame
+	if len(payload) < headerSize {
+		return f, fmt.Errorf("%w: %d-byte payload, header needs %d", ErrTruncated, len(payload), headerSize)
+	}
+	if payload[0] != magic0 || payload[1] != magic1 {
+		return f, fmt.Errorf("%w: 0x%02x%02x", ErrBadMagic, payload[0], payload[1])
+	}
+	f.Version = payload[2]
+	if f.Version != Version {
+		return f, fmt.Errorf("%w: %d (this build speaks %d)", ErrVersion, f.Version, Version)
+	}
+	f.Type = payload[3]
+	f.ID = binary.LittleEndian.Uint64(payload[4:12])
+	body := payload[headerSize:]
+	switch f.Type {
+	case TypeQuery:
+		return decodeQuery(f, body)
+	case TypeAnswer:
+		return decodeAnswer(f, body)
+	case TypePing, TypePong, TypeDrain:
+		if len(body) != 0 {
+			return f, fmt.Errorf("%w: control frame with %d body bytes", ErrBadFrame, len(body))
+		}
+		return f, nil
+	default:
+		return f, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, f.Type)
+	}
+}
+
+func decodeQuery(f Frame, body []byte) (Frame, error) {
+	if len(body) < 6 {
+		return f, fmt.Errorf("%w: query body %d bytes, want at least 6", ErrTruncated, len(body))
+	}
+	f.BudgetUs = binary.LittleEndian.Uint32(body[0:4])
+	count := int(binary.LittleEndian.Uint16(body[4:6]))
+	if count == 0 || count > MaxBatchPerFrame {
+		return f, fmt.Errorf("%w: %d queries in one frame (limit %d)", ErrBadFrame, count, MaxBatchPerFrame)
+	}
+	body = body[6:]
+	// The count is bounded and each entry needs ≥ 2 bytes, so this
+	// allocation is capped before any per-entry length is trusted.
+	if len(body) < 2*count {
+		return f, fmt.Errorf("%w: %d queries declared, %d body bytes left", ErrTruncated, count, len(body))
+	}
+	f.Queries = make([]string, count)
+	for i := 0; i < count; i++ {
+		if len(body) < 2 {
+			return f, fmt.Errorf("%w: query %d length missing", ErrTruncated, i)
+		}
+		n := int(binary.LittleEndian.Uint16(body[0:2]))
+		body = body[2:]
+		if n > len(body) {
+			return f, fmt.Errorf("%w: query %d declares %d bytes, %d left", ErrTruncated, i, n, len(body))
+		}
+		f.Queries[i] = string(body[:n])
+		body = body[n:]
+	}
+	if len(body) != 0 {
+		return f, fmt.Errorf("%w: %d trailing bytes after last query", ErrBadFrame, len(body))
+	}
+	return f, nil
+}
+
+func decodeAnswer(f Frame, body []byte) (Frame, error) {
+	if len(body) < 2 {
+		return f, fmt.Errorf("%w: answer body %d bytes, want at least 2", ErrTruncated, len(body))
+	}
+	count := int(binary.LittleEndian.Uint16(body[0:2]))
+	if count == 0 || count > MaxBatchPerFrame {
+		return f, fmt.Errorf("%w: %d answers in one frame (limit %d)", ErrBadFrame, count, MaxBatchPerFrame)
+	}
+	body = body[2:]
+	// Every answer needs ≥ 3 bytes (status + the shorter length field), so
+	// the slice allocation is bounded before any declared length is read.
+	if len(body) < 3*count {
+		return f, fmt.Errorf("%w: %d answers declared, %d body bytes left", ErrTruncated, count, len(body))
+	}
+	f.Answers = make([]WireAnswer, count)
+	for i := 0; i < count; i++ {
+		if len(body) < 1 {
+			return f, fmt.Errorf("%w: answer %d status missing", ErrTruncated, i)
+		}
+		a := &f.Answers[i]
+		a.Status = body[0]
+		body = body[1:]
+		if a.Status == StatusOK {
+			const fixed = 4 + 4 + 4 + 8 + 1
+			if len(body) < fixed {
+				return f, fmt.Errorf("%w: answer %d has %d bytes, fixed fields need %d", ErrTruncated, i, len(body), fixed)
+			}
+			a.Index = binary.LittleEndian.Uint32(body[0:4])
+			a.Distance = binary.LittleEndian.Uint32(body[4:8])
+			a.NGrams = binary.LittleEndian.Uint32(body[8:12])
+			a.Gen = binary.LittleEndian.Uint64(body[12:20])
+			n := int(body[20])
+			body = body[fixed:]
+			if n > len(body) {
+				return f, fmt.Errorf("%w: answer %d label declares %d bytes, %d left", ErrTruncated, i, n, len(body))
+			}
+			a.Label = string(body[:n])
+			body = body[n:]
+		} else {
+			if len(body) < 2 {
+				return f, fmt.Errorf("%w: answer %d message length missing", ErrTruncated, i)
+			}
+			n := int(binary.LittleEndian.Uint16(body[0:2]))
+			body = body[2:]
+			if n > MaxMsgLen {
+				return f, fmt.Errorf("%w: answer %d message declares %d bytes (limit %d)", ErrBadFrame, i, n, MaxMsgLen)
+			}
+			if n > len(body) {
+				return f, fmt.Errorf("%w: answer %d message declares %d bytes, %d left", ErrTruncated, i, n, len(body))
+			}
+			a.Msg = string(body[:n])
+			body = body[n:]
+		}
+	}
+	if len(body) != 0 {
+		return f, fmt.Errorf("%w: %d trailing bytes after last answer", ErrBadFrame, len(body))
+	}
+	return f, nil
+}
+
+// ReadFrame reads one length-prefixed frame from r into buf (grown as
+// needed, returned for reuse) and decodes it. The length prefix is
+// bounds-checked against MaxFrame before any allocation, so a hostile peer
+// cannot force an unbounded read.
+func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
+	var lenb [lenSize]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return Frame{}, buf, err
+	}
+	n := binary.LittleEndian.Uint32(lenb[:])
+	if n > MaxFrame {
+		return Frame{}, buf, fmt.Errorf("%w: peer declared %d-byte payload (limit %d)", ErrFrameTooLarge, n, MaxFrame)
+	}
+	if n < headerSize {
+		return Frame{}, buf, fmt.Errorf("%w: peer declared %d-byte payload, header needs %d", ErrTruncated, n, headerSize)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, buf, err
+	}
+	f, err := DecodeFrame(buf)
+	return f, buf, err
+}

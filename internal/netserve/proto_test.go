@@ -1,0 +1,221 @@
+package netserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"hdam/internal/serve"
+)
+
+// TestQueryFrameRoundTrip encodes and decodes query frames across the
+// protocol's edge shapes: one query, a full batch, empty texts, the largest
+// legal text.
+func TestQueryFrameRoundTrip(t *testing.T) {
+	cases := [][]string{
+		{"the quick brown fox"},
+		{"", "a", strings.Repeat("x", MaxTextLen)},
+		make([]string, MaxBatchPerFrame),
+	}
+	for ci, texts := range cases {
+		for i := range texts {
+			if texts[i] == "" && ci == 2 {
+				texts[i] = "q"
+			}
+		}
+		raw, err := AppendQueryFrame(nil, uint64(ci)+7, 1500, texts)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", ci, err)
+		}
+		f, _, err := ReadFrame(bytes.NewReader(raw), nil)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", ci, err)
+		}
+		if f.Type != TypeQuery || f.ID != uint64(ci)+7 || f.BudgetUs != 1500 {
+			t.Fatalf("case %d: header round trip: %+v", ci, f)
+		}
+		if len(f.Queries) != len(texts) {
+			t.Fatalf("case %d: %d queries, want %d", ci, len(f.Queries), len(texts))
+		}
+		for i := range texts {
+			if f.Queries[i] != texts[i] {
+				t.Fatalf("case %d: query %d = %q, want %q", ci, i, f.Queries[i], texts[i])
+			}
+		}
+	}
+}
+
+// TestAnswerFrameRoundTrip covers mixed OK and failure answers.
+func TestAnswerFrameRoundTrip(t *testing.T) {
+	in := []WireAnswer{
+		{Status: StatusOK, Index: 3, Distance: 4211, NGrams: 17, Gen: 2, Label: "english"},
+		{Status: StatusNoNGrams},
+		{Status: StatusOverloaded, Msg: "queue full"},
+		{Status: StatusInternal, Msg: "boom"},
+	}
+	raw, err := AppendAnswerFrame(nil, 99, in)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	f, _, err := ReadFrame(bytes.NewReader(raw), nil)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if f.Type != TypeAnswer || f.ID != 99 {
+		t.Fatalf("header round trip: %+v", f)
+	}
+	if len(f.Answers) != len(in) {
+		t.Fatalf("%d answers, want %d", len(f.Answers), len(in))
+	}
+	for i, a := range f.Answers {
+		if a != in[i] {
+			t.Fatalf("answer %d = %+v, want %+v", i, a, in[i])
+		}
+	}
+}
+
+// TestControlFrames round-trips the body-less frame types.
+func TestControlFrames(t *testing.T) {
+	for _, typ := range []byte{TypePing, TypePong, TypeDrain} {
+		raw := AppendControlFrame(nil, typ, 5)
+		f, _, err := ReadFrame(bytes.NewReader(raw), nil)
+		if err != nil {
+			t.Fatalf("type %d: %v", typ, err)
+		}
+		if f.Type != typ || f.ID != 5 {
+			t.Fatalf("type %d: round trip %+v", typ, f)
+		}
+	}
+}
+
+// TestDecodeRejectsMalformed drives the decoder through the corruption
+// matrix: every structural invariant violated must surface as its typed
+// error, never as a panic or a silent accept.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid, err := AppendQueryFrame(nil, 1, 0, []string{"hello", "world"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := valid[lenSize:] // DecodeFrame operates past the length prefix
+
+	mut := func(off int, b byte) []byte {
+		c := bytes.Clone(payload)
+		c[off] = b
+		return c
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short-header", payload[:headerSize-1], ErrTruncated},
+		{"bad-magic", mut(0, 'X'), ErrBadMagic},
+		{"bad-version", mut(2, 9), ErrVersion},
+		{"bad-type", mut(3, 200), ErrBadFrame},
+		{"zero-count", mut(headerSize+4, 0), ErrBadFrame},
+		{"truncated-text", payload[:len(payload)-3], ErrTruncated},
+		{"overdeclared-count", mut(headerSize+5, 0xff), ErrBadFrame},
+		{"control-with-body", append(AppendControlFrame(nil, TypePing, 1)[lenSize:], 0xaa), ErrBadFrame},
+	}
+	// An inflated inner text length must be caught against the remaining
+	// body, not trusted.
+	inflated := bytes.Clone(payload)
+	binary.LittleEndian.PutUint16(inflated[headerSize+6:], MaxTextLen-1)
+	cases = append(cases, struct {
+		name string
+		data []byte
+		want error
+	}{"inflated-text-len", inflated, ErrTruncated})
+
+	for _, tc := range cases {
+		if _, err := DecodeFrame(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestReadFrameBoundsLength verifies the reader refuses a hostile length
+// prefix before allocating anything.
+func TestReadFrameBoundsLength(t *testing.T) {
+	var raw [lenSize]byte
+	binary.LittleEndian.PutUint32(raw[:], MaxFrame+1)
+	if _, _, err := ReadFrame(bytes.NewReader(raw[:]), nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized prefix: err = %v, want ErrFrameTooLarge", err)
+	}
+	binary.LittleEndian.PutUint32(raw[:], headerSize-1)
+	if _, _, err := ReadFrame(bytes.NewReader(raw[:]), nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("undersized prefix: err = %v, want ErrTruncated", err)
+	}
+	// A declared payload the stream cannot deliver is an unexpected EOF.
+	valid, _ := AppendQueryFrame(nil, 1, 0, []string{"hello"})
+	if _, _, err := ReadFrame(bytes.NewReader(valid[:len(valid)-2]), nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("short stream: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestEncodeRejectsOversized verifies the encoder enforces the same limits
+// the decoder does.
+func TestEncodeRejectsOversized(t *testing.T) {
+	if _, err := AppendQueryFrame(nil, 1, 0, nil); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("empty batch: err = %v", err)
+	}
+	if _, err := AppendQueryFrame(nil, 1, 0, make([]string, MaxBatchPerFrame+1)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized batch: err = %v", err)
+	}
+	if _, err := AppendQueryFrame(nil, 1, 0, []string{strings.Repeat("x", MaxTextLen+1)}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized text: err = %v", err)
+	}
+	if _, err := AppendAnswerFrame(nil, 1, nil); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("empty answers: err = %v", err)
+	}
+	// Labels and messages clip rather than fail: an answer must deliver.
+	raw, err := AppendAnswerFrame(nil, 1, []WireAnswer{
+		{Status: StatusOK, Label: strings.Repeat("l", MaxLabelLen+40)},
+		{Status: StatusInternal, Msg: strings.Repeat("m", MaxMsgLen+40)},
+	})
+	if err != nil {
+		t.Fatalf("clipped answers: %v", err)
+	}
+	f, err := DecodeFrame(raw[lenSize:])
+	if err != nil {
+		t.Fatalf("decode clipped: %v", err)
+	}
+	if len(f.Answers[0].Label) != MaxLabelLen || len(f.Answers[1].Msg) != MaxMsgLen {
+		t.Fatalf("clip lengths: label %d, msg %d", len(f.Answers[0].Label), len(f.Answers[1].Msg))
+	}
+}
+
+// TestStatusMapping round-trips every typed backend error through its wire
+// status, so a socket client can errors.Is-match exactly like an in-process
+// caller.
+func TestStatusMapping(t *testing.T) {
+	cases := []error{
+		serve.ErrNoNGrams,
+		serve.ErrOverloaded,
+		serve.ErrDrained,
+		context.DeadlineExceeded,
+		context.Canceled,
+		serve.ErrWorkerPanic,
+		serve.ErrClosed,
+	}
+	for _, want := range cases {
+		s := StatusOf(want)
+		if s == StatusOK || s == StatusInternal {
+			t.Fatalf("%v mapped to status %d", want, s)
+		}
+		if got := StatusError(s, ""); !errors.Is(got, want) {
+			t.Errorf("status %d: round trip %v, want %v", s, got, want)
+		}
+	}
+	if StatusOf(nil) != StatusOK || StatusError(StatusOK, "") != nil {
+		t.Error("StatusOK must round-trip to nil")
+	}
+	if got := StatusError(StatusInternal, "boom"); !errors.Is(got, ErrRemote) {
+		t.Errorf("internal status: %v, want ErrRemote", got)
+	}
+}

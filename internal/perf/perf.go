@@ -53,6 +53,7 @@ type Report struct {
 	Fleet     []FleetResult     `json:"fleet,omitempty"`
 	Cascade   []CascadeResult   `json:"cascade,omitempty"`
 	ColdStart []ColdStartResult `json:"cold_start,omitempty"`
+	Net       []NetResult       `json:"net,omitempty"`
 }
 
 // WriteJSON serializes the report, indented for diff-friendly check-in.

@@ -49,15 +49,6 @@ func DefaultServeLoads(requests int) []ServeLoad {
 	}
 }
 
-// percentile returns the p-th percentile (0..100) of sorted durations.
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p / 100 * float64(len(sorted)-1))
-	return sorted[i]
-}
-
 // runServeLoad drives one closed-loop load point: Clients goroutines each
 // submit Requests/Clients texts back-to-back, recording per-request latency.
 func runServeLoad(f *fixtures, texts []string, load ServeLoad) (ServeResult, error) {

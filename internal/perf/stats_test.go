@@ -1,0 +1,53 @@
+package perf
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentileRoundsRank pins the rounded nearest-rank semantics,
+// including the exact shapes the old truncating version got wrong.
+func TestPercentileRoundsRank(t *testing.T) {
+	ladder := func(n int) []time.Duration {
+		s := make([]time.Duration, n)
+		for i := range s {
+			s[i] = time.Duration(i+1) * time.Millisecond
+		}
+		return s
+	}
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		p      float64
+		want   time.Duration
+	}{
+		{"empty", nil, 99, 0},
+		{"single", ladder(1), 99, ms(1)},
+		{"p0", ladder(10), 0, ms(1)},
+		{"p100", ladder(10), 100, ms(10)},
+		{"p50-odd", ladder(11), 50, ms(6)},
+		// 10 samples, p99: rank 0.99*9 = 8.91 → rounds to 9 (the max).
+		// The truncating version returned index 8 — the 90th percentile.
+		{"p99-ten-samples", ladder(10), 99, ms(10)},
+		// 10 samples, p95: rank 8.55 → 9. Truncation also said 8.
+		{"p95-ten-samples", ladder(10), 95, ms(10)},
+		// 10 samples, p50: rank 4.5 → 5 (round half away from zero).
+		{"p50-even", ladder(10), 50, ms(6)},
+		// 101 samples: ranks are integral, both methods agree.
+		{"p99-exact", ladder(101), 99, ms(100)},
+		{"p95-exact", ladder(101), 95, ms(96)},
+		// 1000 samples, p999: rank 0.999*999 = 998.001 → 998.
+		{"p999-thousand", ladder(1000), 99.9, ms(999)},
+		// Out-of-range p clamps instead of panicking.
+		{"p-negative", ladder(10), -5, ms(1)},
+		{"p-over-100", ladder(10), 120, ms(10)},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("%s: percentile(%d samples, %v) = %v, want %v",
+				tc.name, len(tc.sorted), tc.p, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package perf
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Zipf draws ranks 0..n-1 with the power-law skew of Gray et al.'s
+// "Quickly Generating Billion-Record Synthetic Databases" (the shape used
+// by YCSB and ddtxn): rank k is drawn with probability proportional to
+// 1/(k+1)^theta, via the closed-form inverse-CDF approximation — O(n) zeta
+// precompute once, O(1) per draw, no allocation. theta in (0,1); 0.99 is
+// the customary "hot head" skew where a handful of ranks absorb most
+// draws.
+type Zipf struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   *rand.Rand
+}
+
+// NewZipf builds a generator over ranks [0, n). It panics on n == 0 or
+// theta outside (0, 1) — both are construction bugs, not load conditions.
+func NewZipf(n uint64, theta float64, rng *rand.Rand) *Zipf {
+	if n == 0 {
+		panic("perf: zipf over zero ranks")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("perf: zipf theta must be in (0, 1)")
+	}
+	zetan := zeta(n, theta)
+	return &Zipf{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/zetan),
+		rng:   rng,
+	}
+}
+
+// zeta is the generalized harmonic number H_{n,theta}.
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next rank; rank 0 is the hottest.
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	r := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n { // guard the approximation's edge at u → 1
+		r = z.n - 1
+	}
+	return r
+}
+
+// PMF returns the exact probability of rank k under this distribution —
+// the reference the sampler's head frequencies are tested against.
+func (z *Zipf) PMF(k uint64) float64 {
+	if k >= z.n {
+		return 0
+	}
+	return 1 / (math.Pow(float64(k+1), z.theta) * z.zetan)
+}

@@ -1,0 +1,111 @@
+package perf
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestZipfDeterministic: a fixed seed yields an identical sequence — the
+// property the load generator's reproducibility rests on.
+func TestZipfDeterministic(t *testing.T) {
+	mk := func() *Zipf { return NewZipf(1000, 0.99, rand.New(rand.NewPCG(2017, 42))) }
+	a, b := mk(), mk()
+	for i := 0; i < 10_000; i++ {
+		va, vb := a.Next(), b.Next()
+		if va != vb {
+			t.Fatalf("draw %d: %d != %d under the same seed", i, va, vb)
+		}
+		if va >= 1000 {
+			t.Fatalf("draw %d: rank %d out of range", i, va)
+		}
+	}
+	// A different seed stream must not replay the same sequence.
+	c := NewZipf(1000, 0.99, rand.New(rand.NewPCG(2017, 43)))
+	same := 0
+	a2 := mk()
+	for i := 0; i < 1000; i++ {
+		if a2.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// TestZipfHeadFrequencies draws a large fixed-seed sample and checks the
+// hottest ranks' empirical frequencies against the exact PMF: the head is
+// what an associative-memory cache or batch coalescer actually sees, so
+// the approximation must be tight there.
+func TestZipfHeadFrequencies(t *testing.T) {
+	const (
+		n     = 100
+		theta = 0.99
+		draws = 200_000
+	)
+	z := NewZipf(n, theta, rand.New(rand.NewPCG(2017, 7)))
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Ranks 0 and 1 are handled by exact thresholds in Next(), so their
+	// frequencies sit within sampling noise of the PMF; ranks beyond come
+	// from the continuous inverse-CDF approximation, which Gray et al.
+	// accept ~15-20% relative bias on for small ranks — bound it at 25%.
+	for k := uint64(0); k < 5; k++ {
+		want := z.PMF(k)
+		got := float64(counts[k]) / draws
+		tol := 0.05
+		if k >= 2 {
+			tol = 0.25
+		}
+		if rel := math.Abs(got-want) / want; rel > tol {
+			t.Errorf("rank %d: frequency %.4f, PMF %.4f (rel err %.1f%%, tol %.0f%%)",
+				k, got, want, 100*rel, 100*tol)
+		}
+	}
+	// The skew shape itself: rank 0 beats rank 9 by roughly 10^theta.
+	if counts[0] < 5*counts[9] {
+		t.Errorf("head not skewed: rank0 %d, rank9 %d", counts[0], counts[9])
+	}
+	// Mass is normalized: every draw landed in range and the top ranks
+	// dominate (with theta=.99, n=100 the top 10 carry >50%).
+	top10 := 0
+	for k := 0; k < 10; k++ {
+		top10 += counts[k]
+	}
+	if float64(top10)/draws < 0.5 {
+		t.Errorf("top-10 mass %.3f, want > 0.5", float64(top10)/draws)
+	}
+	// PMF sums to 1 over the support.
+	var sum float64
+	for k := uint64(0); k < n; k++ {
+		sum += z.PMF(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PMF sums to %.12f", sum)
+	}
+}
+
+// TestZipfConstructionPanics pins the misuse guards.
+func TestZipfConstructionPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		n     uint64
+		theta float64
+	}{
+		{"zero-n", 0, 0.99},
+		{"theta-zero", 10, 0},
+		{"theta-one", 10, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			NewZipf(tc.n, tc.theta, rand.New(rand.NewPCG(1, 2)))
+		}()
+	}
+}
