@@ -23,13 +23,15 @@ race:
 # harness (single-core qps, stage-1 hit-rate, widen-rate and the mismatch
 # audit on the trained langid workload), the scatter-gather fleet harness
 # (healthy and one-stall-one-crash points with qps, latency percentiles and
-# the degraded-answer-rate) and the open-loop network harness (binary and
+# the degraded-answer-rate), the remote-fleet chaos soak (a coordinator
+# scatter-gathering over real TCP to replica servers with one killed and
+# one blackholed mid-run) and the open-loop network harness (binary and
 # HTTP/JSON wire protocols at increasing offered load with zipfian keys and
 # a deliberate overload point) and APPEND the report as a new trajectory
 # entry — the seed's num_cpu:1 baseline entry is kept, so regressions show
 # up as diffs, never as overwrites.
 bench:
-	$(GO) run ./cmd/hambench -serve -cascade -fleet -net -json BENCH.json
+	$(GO) run ./cmd/hambench -serve -cascade -fleet -remotefleet -net -json BENCH.json
 
 # bench-json is the historical name for the same regeneration.
 bench-json: bench
@@ -57,9 +59,15 @@ fmt-check:
 # path, and the fleet's scatter-gather reduction must stay bit-identical to
 # the single-engine scan on both), a kernel benchmark smoke pass, and a
 # serve-path benchmark smoke so the engine can't silently rot, a fuzz
-# smoke over the network frame decoder, and the network-serving smoke
+# smoke over the network frame decoder, the network-serving smoke
 # (hamserve booted on loopback, hamload over both wire protocols, SIGTERM
-# drain with every accepted request answered).
+# drain with every accepted request answered), and the remote-fleet smoke
+# (a coordinator scatter-gathering over TCP to real hamserve -replica
+# subprocesses, one SIGKILLed mid-stream, every request still answered
+# with the lost partition certified as degraded coverage). The 'Chaos|
+# FleetHarness' race pass also runs TestRemoteFleetHarnessShort: the
+# in-process remote-fleet soak with a kill, a blackhole, bit-identity and
+# leak accounting.
 ci: fmt-check vet build race
 	$(GO) test -race ./internal/core ./internal/serve ./internal/assoc ./internal/fault ./internal/fleet ./internal/experiments ./internal/store ./internal/netserve
 	$(GO) test -race -short -run 'Chaos|FleetHarness' ./internal/serve ./internal/perf
@@ -71,3 +79,4 @@ ci: fmt-check vet build race
 	$(GO) test -run xxx -bench 'Encode|Distance|Accumulate|Cascade' -benchtime 10x -benchmem ./...
 	$(GO) test -run xxx -bench Serve -benchtime 1x ./internal/serve
 	sh scripts/netsmoke.sh
+	sh scripts/remotefleet-smoke.sh

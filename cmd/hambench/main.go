@@ -35,6 +35,13 @@
 //	             crashed) and record a fleet/* section with qps, p50/p95/p99
 //	             and the degraded-answer-rate
 //	-fleet-requests N  requests per fleet load point (default 2048)
+//	-remotefleet also run the remote-fleet chaos soak (a coordinator
+//	             scatter-gathering over TCP to replica servers, with one
+//	             replica killed and one link blackholed for the middle
+//	             third of the run) and record a remote_fleet/* section
+//	-remotefleet-requests N  requests per remote-fleet soak point (default 2048)
+//	-remotefleet-binary P    hamserve binary: replicas run as real -replica
+//	             subprocesses instead of in-process servers
 //	-net         also run the open-loop network load harness (the binary
 //	             wire protocol and HTTP/JSON at increasing offered load,
 //	             zipfian keys, one deliberate overload point) and record a
@@ -78,6 +85,9 @@ func main() {
 	chaosRequests := flag.Int("chaos-requests", 2048, "requests for the chaos soak")
 	fleetBench := flag.Bool("fleet", false, "also run the scatter-gather fleet harness (healthy and one-stall-one-crash points) and record a fleet/* section in the report")
 	fleetRequests := flag.Int("fleet-requests", 2048, "requests per fleet load point")
+	remoteFleet := flag.Bool("remotefleet", false, "also run the remote-fleet chaos soak (coordinator and TCP replica servers under a kill and a blackhole) and record a remote_fleet/* section in the report")
+	remoteFleetRequests := flag.Int("remotefleet-requests", 2048, "requests per remote-fleet soak point")
+	remoteFleetBinary := flag.String("remotefleet-binary", "", "hamserve binary for the remote-fleet soak: replicas run as real -replica subprocesses (default in-process servers over TCP)")
 	netBench := flag.Bool("net", false, "also run the open-loop network load harness (binary and HTTP protocols at increasing offered load) and record a net/* section in the report")
 	netDuration := flag.Duration("net-duration", 2*time.Second, "measurement window per net load point")
 	list := flag.Bool("list", false, "list experiment ids")
@@ -95,15 +105,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *jsonOut != "" || *serveLoad || *coldStart || *cascadeBench || *fleetBench || *netBench {
-		if err := runBenchSuite(*jsonOut, *serveLoad, *serveRequests, *coldStart, *cascadeBench, *fleetBench, *fleetRequests, *netBench, *netDuration, *trainChars, *testPerLang); err != nil {
+	if *jsonOut != "" || *serveLoad || *coldStart || *cascadeBench || *fleetBench || *remoteFleet || *netBench {
+		if err := runBenchSuite(*jsonOut, *serveLoad, *serveRequests, *coldStart, *cascadeBench, *fleetBench, *fleetRequests, *remoteFleet, *remoteFleetRequests, *remoteFleetBinary, *netBench, *netDuration, *trainChars, *testPerLang); err != nil {
 			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
 			os.Exit(1)
 		}
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		if *jsonOut != "" || *serveLoad || *coldStart || *chaos || *cascadeBench || *fleetBench || *netBench {
+		if *jsonOut != "" || *serveLoad || *coldStart || *chaos || *cascadeBench || *fleetBench || *remoteFleet || *netBench {
 			return
 		}
 		fmt.Fprintln(os.Stderr, "usage: hambench [flags] <experiment>... | all   (-list for ids)")
@@ -168,7 +178,7 @@ func main() {
 // runBenchSuite runs the perf kernel benchmarks (plus, optionally, the serve
 // load harness, the cascaded-search harness and the cold-start comparison)
 // and appends the report to the trajectory file at path.
-func runBenchSuite(path string, serveLoad bool, serveRequests int, coldStart, cascade, fleetBench bool, fleetRequests int, netBench bool, netDuration time.Duration, trainChars, testPerLang int) error {
+func runBenchSuite(path string, serveLoad bool, serveRequests int, coldStart, cascade, fleetBench bool, fleetRequests int, remoteFleet bool, remoteFleetRequests int, remoteFleetBinary string, netBench bool, netDuration time.Duration, trainChars, testPerLang int) error {
 	fmt.Fprintf(os.Stderr, "[running kernel benchmark suite (kernel %s)]\n", perf.KernelName)
 	start := time.Now()
 	rep := perf.RunKernels()
@@ -206,6 +216,27 @@ func runBenchSuite(path string, serveLoad bool, serveRequests int, coldStart, ca
 		}
 		if violated > 0 {
 			return fmt.Errorf("fleet harness violated %d acceptance criteria", violated)
+		}
+	}
+	if remoteFleet {
+		fmt.Fprintln(os.Stderr, "[running remote-fleet chaos soak]")
+		points := perf.DefaultRemoteFleetPoints(remoteFleetRequests, remoteFleetBinary)
+		results, err := perf.RunRemoteFleet(points)
+		if err != nil {
+			return err
+		}
+		rep.RemoteFleet = results
+		var violated int
+		for i, r := range results {
+			fmt.Fprintf(os.Stderr, "  %-28s %9.0f qps  p50 %8.1fµs  p99 %8.1fµs  degraded %5.1f%%  reconnects %d  failovers %d  subprocess=%v\n",
+				r.Name, r.QPS, r.P50Us, r.P99Us, 100*r.DegradedRate, r.Reconnects, r.Failovers, r.Subprocess)
+			for _, line := range r.Violations(points[i]) {
+				fmt.Fprintf(os.Stderr, "  VIOLATED: %s\n", line)
+				violated++
+			}
+		}
+		if violated > 0 {
+			return fmt.Errorf("remote-fleet soak violated %d acceptance criteria", violated)
 		}
 	}
 	if netBench {

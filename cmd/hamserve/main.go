@@ -16,6 +16,15 @@
 //	hamserve -listen :0 -http :0          # ephemeral ports (printed on stdout)
 //	hamserve -fleet 4                     # serve through a replica fleet
 //
+// Distributed deployment splits the fleet across processes: each replica
+// serves one partition of a shared snapshot and answers partial queries
+// (per-class distances) over the binary protocol, and a coordinator
+// scatter-gathers across them with self-healing connections:
+//
+//	hamserve -replica -partition 0 -partitions 2 -load model.ham -listen :7411
+//	hamserve -replica -partition 1 -partitions 2 -load model.ham -listen :7412
+//	hamserve -remote 127.0.0.1:7411,127.0.0.1:7412 -partitions 2 -load model.ham
+//
 // The resolved addresses are printed to stdout as "listening proto=addr"
 // lines, so scripts can scrape ephemeral ports.
 package main
@@ -27,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,6 +55,11 @@ func main() {
 	queue := flag.Int("queue", 512, "engine pending-request queue")
 	policy := flag.String("policy", "reject", "admission policy when the queue fills: block | reject | shed")
 	fleetN := flag.Int("fleet", 0, "serve through a scatter-gather fleet of N replicas (0 = engine)")
+	replica := flag.Bool("replica", false, "serve one partition of the model as a remote-fleet replica (answers partial queries with per-class distances)")
+	partition := flag.Int("partition", 0, "this replica's partition index (with -replica)")
+	partitions := flag.Int("partitions", 1, "total partitions in the fleet (with -replica)")
+	scheme := flag.String("scheme", "by-words", "partition scheme: by-words | by-classes (with -replica or -remote)")
+	remote := flag.String("remote", "", "serve through a remote fleet: comma-separated replica addresses, address i serving partition i mod -partitions")
 	maxConns := flag.Int("max-conns", 256, "binary connection limit")
 	maxInflight := flag.Int("max-inflight", 256, "in-flight frames per binary connection")
 	maxHTTPInflight := flag.Int("max-http-inflight", 256, "concurrent /classify requests before 503 shedding")
@@ -78,7 +93,65 @@ func main() {
 		MaxHTTPInflight: *maxHTTPInflight,
 	}
 	var srv *hdam.NetServer
-	if *fleetN > 0 {
+	switch {
+	case *replica && *remote != "":
+		fmt.Fprintln(os.Stderr, "hamserve: -replica and -remote are mutually exclusive")
+		os.Exit(2)
+	case *replica:
+		sc, err := hdam.ParseFleetScheme(*scheme)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
+			os.Exit(2)
+		}
+		eng, err := hdam.NewReplicaEngine(tr, sc, *partition, *partitions, hdam.ServeConfig{
+			Workers:  *workers,
+			MaxBatch: *batch,
+			Queue:    *queue,
+			Policy:   pol,
+			Seed:     *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hamserve: replica for partition %d of %d (%s)\n", *partition, *partitions, sc)
+		srv, err = hdam.ServeEngine(eng, netCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
+			os.Exit(1)
+		}
+	case *remote != "":
+		sc, err := hdam.ParseFleetScheme(*scheme)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
+			os.Exit(2)
+		}
+		addrs := strings.Split(*remote, ",")
+		transports := make([]hdam.ReplicaTransport, len(addrs))
+		for i, addr := range addrs {
+			transports[i] = hdam.NewRemoteTransport(hdam.RemoteConfig{
+				Addr: strings.TrimSpace(addr),
+				Seed: *seed,
+				Link: uint64(i),
+			})
+		}
+		fl, err := hdam.NewRemoteFleet(tr.Memory, transports, hdam.FleetConfig{
+			Partitions: *partitions,
+			Scheme:     sc,
+			Seed:       *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hamserve: remote fleet over %d replicas, %d partitions (%s)\n",
+			len(addrs), *partitions, sc)
+		srv, err = hdam.ServeFleet(fl, netCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
+			os.Exit(1)
+		}
+	case *fleetN > 0:
 		fl, err := hdam.NewFleet(tr, hdam.FleetConfig{Replicas: *fleetN, Seed: *seed})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
@@ -89,7 +162,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
 			os.Exit(1)
 		}
-	} else {
+	default:
 		eng, err := hdam.NewEngine(tr, hdam.NewExactSearcher(tr.Memory), hdam.ServeConfig{
 			Workers:  *workers,
 			MaxBatch: *batch,

@@ -45,6 +45,12 @@
 //	-fleet-scheme S  fleet partition scheme: words (lost partition degrades
 //	             to a d-sampled answer) or classes (lost partition excludes
 //	             its classes); default words
+//	-connect A1,A2,...  classify through a remote replica fleet: each
+//	             address is a hamserve -replica process, address i serving
+//	             partition i mod -partitions; the local model copy (-load
+//	             the replicas' shared snapshot) provides the partition
+//	             geometry, labels and the gather reduce
+//	-partitions N  partition count for -connect (0 = one per address)
 //	-listen A    serve the model over TCP on address A with the binary wire
 //	             protocol instead of classifying stdin; combines with
 //	             -load, -watch, -fleet, -workers and -batch. SIGINT/SIGTERM
@@ -87,6 +93,8 @@ func main() {
 	shards := flag.Int("shards", 0, "word-range shards for the distance kernel (0 = serial, -1 = GOMAXPROCS)")
 	fleetN := flag.Int("fleet", 0, "serve stdin through a scatter-gather fleet of N replica engines (0 = off)")
 	fleetScheme := flag.String("fleet-scheme", "words", "fleet partition scheme: words | classes")
+	connect := flag.String("connect", "", "classify through a remote replica fleet: comma-separated hamserve -replica addresses, address i serving partition i mod -partitions")
+	connectParts := flag.Int("partitions", 0, "partition count for -connect (0 = one per address)")
 	listen := flag.String("listen", "", "serve over TCP with the binary wire protocol on this address instead of classifying stdin")
 	listenHTTP := flag.String("listen-http", "", "serve HTTP/JSON (/classify, /statsz, /healthz) on this address")
 	flag.Parse()
@@ -150,6 +158,24 @@ func main() {
 		if *design != "exact" || *resilient || *demo || *workers != 1 || *shards != 0 {
 			fmt.Fprintln(os.Stderr, "langid: -fleet partitions the exact scan across replica engines and cannot combine with -design, -resilient, -demo, -workers or -shards")
 			fmt.Fprintln(os.Stderr)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+	if *connect != "" {
+		if *fleetN != 0 || *design != "exact" || *resilient || *demo || *workers != 1 || *shards != 0 || *watchDir != "" {
+			fmt.Fprintln(os.Stderr, "langid: -connect scatter-gathers the exact scan over remote replicas and cannot combine with -fleet, -design, -resilient, -demo, -workers, -shards or -watch")
+			fmt.Fprintln(os.Stderr)
+			flag.Usage()
+			os.Exit(2)
+		}
+		switch *fleetScheme {
+		case "words":
+			scheme = hdam.FleetByWords
+		case "classes":
+			scheme = hdam.FleetByClasses
+		default:
+			fmt.Fprintf(os.Stderr, "langid: unknown -fleet-scheme %q (want words or classes)\n\n", *fleetScheme)
 			flag.Usage()
 			os.Exit(2)
 		}
@@ -242,6 +268,47 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "saved model snapshot to %s\n", *saveTo)
 		}
+	}
+
+	if *connect != "" {
+		addrs := strings.Split(*connect, ",")
+		parts := *connectParts
+		if parts <= 0 {
+			parts = len(addrs)
+		}
+		transports := make([]hdam.ReplicaTransport, len(addrs))
+		for i, addr := range addrs {
+			transports[i] = hdam.NewRemoteTransport(hdam.RemoteConfig{
+				Addr: strings.TrimSpace(addr),
+				Seed: *seed,
+				Link: uint64(i),
+			})
+		}
+		fl, err := hdam.NewRemoteFleet(tr.Memory, transports, hdam.FleetConfig{
+			Partitions: parts, Scheme: scheme, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "langid: %v\n", err)
+			os.Exit(1)
+		}
+		defer fl.Close()
+		fmt.Fprintf(os.Stderr, "connected to %d remote replicas over %d partitions\n", len(addrs), parts)
+		if serveNet {
+			srv, err := hdam.ServeFleet(fl, netCfg)
+			if err == nil {
+				err = runNetServer(srv)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "langid: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		if err := pumpStdinFleet(fl); err != nil {
+			fmt.Fprintf(os.Stderr, "langid: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *fleetN > 0 {

@@ -3,6 +3,7 @@ package hdam
 import (
 	"io"
 	"math/rand/v2"
+	"net"
 	"time"
 
 	"hdam/internal/aham"
@@ -633,3 +634,108 @@ func DialNet(addr string, timeout time.Duration) (*NetClient, error) {
 // errors.Is-match ErrNoNGrams, ErrEngineOverloaded, ErrEngineDrained and
 // friends exactly like local ones.
 func NetAnswerError(a NetAnswer) error { return netserve.AnswerError(a) }
+
+// ---- Remote replica fleet (scatter-gather over the wire) ----
+
+// ReplicaTransport delivers one partition's gen-stamped partial distance
+// reduction for a query text — in-process for engine replicas, over the
+// binary wire protocol for remote ones.
+type ReplicaTransport = fleet.ReplicaTransport
+
+// FleetPartial is one replica's answer to a scattered query: per-class
+// distances over its partition, the model generation that produced them
+// and the query's n-gram count.
+type FleetPartial = fleet.Partial
+
+// ErrFleetTransport marks a dispatch that failed at the transport layer
+// (dead connection, write timeout, truncated frame) rather than inside the
+// replica; the fleet counts these as RemoteErrors and fails over to
+// mirrors.
+var ErrFleetTransport = fleet.ErrTransport
+
+// RemoteTransport is a self-healing connection to one hamserve -replica
+// process: jittered exponential-backoff redials, per-request write
+// deadlines, a ping probe that detects black holes, and fail-fast asks
+// while disconnected.
+type RemoteTransport = netserve.RemoteTransport
+
+// RemoteConfig shapes a RemoteTransport: the replica address, dial/write/
+// ping timeouts, the redial backoff window and the deterministic jitter
+// seed.
+type RemoteConfig = netserve.RemoteConfig
+
+// NewRemoteTransport opens a self-healing transport to one remote replica.
+// It returns immediately; the transport dials in the background and
+// reports health through the fleet's ReplicaStats.
+func NewRemoteTransport(cfg RemoteConfig) *RemoteTransport {
+	return netserve.NewRemoteTransport(cfg)
+}
+
+// NewRemoteFleet builds a scatter-gather coordinator over remote replica
+// transports: transport i serves partition i mod cfg.Partitions, and mem
+// is the coordinator's copy of the model, used for partition geometry,
+// labels and the reduce — every transport must front a replica serving the
+// same model (hamserve -replica -load with a shared snapshot).
+func NewRemoteFleet(mem *Memory, transports []ReplicaTransport, cfg FleetConfig) (*Fleet, error) {
+	return fleet.NewRemote(mem, transports, cfg)
+}
+
+// ParseFleetScheme maps a partition-scheme name ("by-words", "by-classes")
+// to its FleetScheme — the -scheme flag's parser.
+func ParseFleetScheme(name string) (FleetScheme, error) { return fleet.ParseScheme(name) }
+
+// NewReplicaEngine builds the engine a standalone replica process serves
+// for partition p of n under sc: the same partition plan the coordinator
+// computes, with distance reporting on so partial queries can be answered
+// over the wire.
+func NewReplicaEngine(tr *Trained, sc FleetScheme, p, n int, cfg ServeConfig) (*Engine, error) {
+	mem, s, err := fleet.PartitionModel(tr.Memory, sc, p, n)
+	if err != nil {
+		return nil, err
+	}
+	params := tr.Params
+	cfg.ReportDistances = true
+	return serve.New(mem, s, func() *encoder.Encoder {
+		im := itemmem.New(params.Dim, params.Seed)
+		im.Preload(itemmem.LatinAlphabet)
+		return encoder.New(im, params.NGram)
+	}, cfg)
+}
+
+// ---- Network fault injection ----
+
+// NetFaultInjector is a connection-level fault injector: WrapNetConn and
+// WrapNetDialer consult it on every read and write.
+type NetFaultInjector = fault.NetInjector
+
+// ConnDropFault kills a connection on a deterministic per-write schedule —
+// the flaky-link model the redial loop is tested against.
+type ConnDropFault = fault.ConnDrop
+
+// BlackholeFault, while armed, swallows every byte in both directions
+// without erroring — the silent-partition model the ping probe detects.
+type BlackholeFault = fault.Blackhole
+
+// SlowLinkFault adds a deterministic base-plus-jitter delay to writes (and
+// optionally reads) — the congested-link model.
+type SlowLinkFault = fault.SlowLink
+
+// TricklePartialFault cuts a struck write after a few bytes and kills the
+// connection — the truncated-frame model the decoder must reject.
+type TricklePartialFault = fault.TricklePartial
+
+// ErrInjectedDrop marks I/O failed by an injected connection fault.
+var ErrInjectedDrop = fault.ErrInjectedDrop
+
+// WrapNetConn layers fault injectors over a connection; link tags which
+// injector schedules apply.
+func WrapNetConn(nc net.Conn, link uint64, injs ...NetFaultInjector) net.Conn {
+	return fault.WrapConn(nc, link, injs...)
+}
+
+// WrapNetDialer wraps a dial function (nil for plain TCP) so every
+// connection it produces — including redials — carries the injectors; use
+// it as a RemoteConfig.Dial to chaos-test a remote fleet.
+func WrapNetDialer(dial func(addr string, timeout time.Duration) (net.Conn, error), link uint64, injs ...NetFaultInjector) func(string, time.Duration) (net.Conn, error) {
+	return fault.WrapDialer(dial, link, injs...)
+}

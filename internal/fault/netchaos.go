@@ -1,0 +1,532 @@
+package fault
+
+// Network-level chaos: the injectors of replica.go strike around an
+// in-process dispatch; these strike the wire itself. They wrap a net.Conn
+// (WrapConn, or WrapDialer for a redialing transport) and fault individual
+// I/O operations — a connection that dies mid-stream, a link that goes
+// black and swallows bytes without closing, a link with jittered delay, a
+// write cut mid-frame so the peer sees a truncated partial. Process-level
+// chaos (killing and restarting a real replica binary) is Subprocess.
+//
+// Determinism contract: which operations are struck, and with what delay,
+// is a pure function of (Seed, link, operation index) through per-entity
+// PCG streams — the fault package's contract at the socket layer. The same
+// seed replays the same drop/jitter schedule regardless of goroutine
+// interleaving, because each connection counts its own reads and writes.
+// Blackhole is the deliberate exception: it is armed and disarmed by the
+// harness (an operator action, not a stochastic schedule), and only its
+// on/off state is outside the PCG contract.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Net stream salts (disjoint from the device-fault and chaos salts).
+const (
+	saltConnDrop = 0x63_64_72_70 // "cdrp" — connection-drop schedule
+	saltSlowLink = 0x73_6c_6e_6b // "slnk" — per-op jitter stream
+	saltTrickle  = 0x74_72_6b_6c // "trkl" — mid-frame cut schedule
+)
+
+// linkRNG returns the deterministic stream for one (seed, salt, link, op):
+// the searchRowRNG idiom with the link in the high stream bits, so two ops
+// on two links never share a stream.
+func linkRNG(seed uint64, salt int, link, op uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed^uint64(salt), link<<24|op))
+}
+
+// NetVerdict is one injector's decision for one I/O operation. Verdicts
+// from stacked injectors merge: delays add, and any Drop/Block/Cut fires.
+type NetVerdict struct {
+	// Delay sleeps before the operation proceeds (a slow link).
+	Delay time.Duration
+	// Drop kills the connection before the operation: the op fails and
+	// every later one sees a closed conn.
+	Drop bool
+	// Block parks the operation until its deadline expires (timeout error)
+	// or the connection closes — a blackholed link: open, silent, lossy.
+	Block bool
+	// Cut, when positive on a write, delivers only the first Cut bytes and
+	// then kills the connection: the peer sees a truncated frame.
+	Cut int
+}
+
+// NetInjector is one deterministic network fault process. Implementations
+// must be safe for concurrent use across connections; per-connection op
+// counters make each connection's schedule independent.
+type NetInjector interface {
+	Injector
+	// WriteVerdict decides the fate of write op (0-based) on link.
+	WriteVerdict(link, op uint64) NetVerdict
+	// ReadVerdict decides the fate of read op (0-based) on link.
+	ReadVerdict(link, op uint64) NetVerdict
+}
+
+// WrapConn wraps nc so every read and write passes through the injectors.
+// link identifies the connection's logical link for targeting and for the
+// deterministic schedules.
+func WrapConn(nc net.Conn, link uint64, injs ...NetInjector) net.Conn {
+	return &faultConn{Conn: nc, link: link, injs: injs, closed: make(chan struct{})}
+}
+
+// WrapDialer returns a dialer whose every established connection is
+// wrapped with the injectors — the seam a self-healing remote transport's
+// Dial hook plugs into, so redialed connections are faulted like the
+// first.
+func WrapDialer(dial func(addr string, timeout time.Duration) (net.Conn, error), link uint64, injs ...NetInjector) func(string, time.Duration) (net.Conn, error) {
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		nc, err := dial(addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return WrapConn(nc, link, injs...), nil
+	}
+}
+
+// ErrInjectedDrop marks a connection killed by ConnDrop or TricklePartial.
+var ErrInjectedDrop = errors.New("fault: injected connection drop")
+
+// timeoutError is the net.Error a blackholed operation returns when its
+// deadline expires — indistinguishable from a real socket timeout, so the
+// caller's deadline path is exercised for real.
+type timeoutError struct{ op string }
+
+func (e *timeoutError) Error() string   { return "fault: blackholed " + e.op + " timed out" }
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+
+// faultConn runs the injector verdicts around an inner connection. It
+// tracks the deadlines set on it so a blackholed operation can honor them
+// without the inner socket's help.
+type faultConn struct {
+	net.Conn
+	link uint64
+	injs []NetInjector
+
+	wops, rops atomic.Uint64
+
+	mu       sync.Mutex
+	rdl, wdl time.Time
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+func (c *faultConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl, c.wdl = t, t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *faultConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *faultConn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdl = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	op := c.wops.Add(1) - 1
+	var v NetVerdict
+	for _, inj := range c.injs {
+		w := inj.WriteVerdict(c.link, op)
+		v.Delay += w.Delay
+		v.Drop = v.Drop || w.Drop
+		v.Block = v.Block || w.Block
+		if w.Cut > 0 && (v.Cut == 0 || w.Cut < v.Cut) {
+			v.Cut = w.Cut
+		}
+	}
+	if err := c.apply(v, "write", func() time.Time { c.mu.Lock(); defer c.mu.Unlock(); return c.wdl }); err != nil {
+		return 0, err
+	}
+	if v.Cut > 0 && v.Cut < len(p) {
+		n, err := c.Conn.Write(p[:v.Cut])
+		c.Close()
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w: cut after %d of %d bytes (link %d, write %d)", ErrInjectedDrop, n, len(p), c.link, op)
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	op := c.rops.Add(1) - 1
+	var v NetVerdict
+	for _, inj := range c.injs {
+		r := inj.ReadVerdict(c.link, op)
+		v.Delay += r.Delay
+		v.Drop = v.Drop || r.Drop
+		v.Block = v.Block || r.Block
+	}
+	if err := c.apply(v, "read", func() time.Time { c.mu.Lock(); defer c.mu.Unlock(); return c.rdl }); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+// apply runs the merged verdict's delay/drop/block phases for one op.
+func (c *faultConn) apply(v NetVerdict, opName string, deadline func() time.Time) error {
+	if v.Delay > 0 {
+		t := time.NewTimer(v.Delay)
+		select {
+		case <-t.C:
+		case <-c.closed:
+			t.Stop()
+			return net.ErrClosed
+		}
+	}
+	if v.Drop {
+		c.Close()
+		return fmt.Errorf("%w (link %d, %s)", ErrInjectedDrop, c.link, opName)
+	}
+	if v.Block {
+		return c.block(opName, deadline)
+	}
+	return nil
+}
+
+// block parks until the op's deadline expires or the connection closes —
+// re-reading the deadline each pass, because a peer under test may extend
+// it while we are parked.
+func (c *faultConn) block(opName string, deadline func() time.Time) error {
+	for {
+		dl := deadline()
+		if dl.IsZero() {
+			<-c.closed
+			return net.ErrClosed
+		}
+		wait := time.Until(dl)
+		if wait <= 0 {
+			return &timeoutError{op: opName}
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+			// The deadline may have moved while parked; loop and re-check.
+		case <-c.closed:
+			t.Stop()
+			return net.ErrClosed
+		}
+	}
+}
+
+// ---- ConnDrop: a connection that dies mid-stream ----
+
+// ConnDrop kills the connection at deterministically chosen writes: write
+// op on link Link is struck with probability Rate from op From onward, a
+// pure function of (Seed, Link, op). The peer sees an abrupt close —
+// possibly with frames in flight — and a redialing transport must fail
+// pending work over and reconnect.
+type ConnDrop struct {
+	// Link is the targeted link id (as passed to WrapConn).
+	Link uint64
+	// Rate is the per-write drop probability, in [0,1].
+	Rate float64
+	// From is the first write op eligible (0 strikes from the start).
+	From uint64
+	// Seed fixes the drop schedule.
+	Seed uint64
+}
+
+// Name implements Injector.
+func (f *ConnDrop) Name() string {
+	return fmt.Sprintf("conn-drop link=%d p=%g from=%d", f.Link, f.Rate, f.From)
+}
+
+// WriteVerdict implements NetInjector.
+func (f *ConnDrop) WriteVerdict(link, op uint64) NetVerdict {
+	return NetVerdict{Drop: f.Strikes(link, op)}
+}
+
+// ReadVerdict implements NetInjector (drops strike on the way out).
+func (f *ConnDrop) ReadVerdict(uint64, uint64) NetVerdict { return NetVerdict{} }
+
+// Strikes reports whether the injector drops write op on link — harnesses
+// use it to predict the fault schedule.
+func (f *ConnDrop) Strikes(link, op uint64) bool {
+	return link == f.Link && op >= f.From && f.Rate > 0 &&
+		linkRNG(f.Seed, saltConnDrop, link, op).Float64() < f.Rate
+}
+
+// ---- Blackhole: a link that swallows bytes without closing ----
+
+// Blackhole models a link gone silently dark: while armed, every read and
+// write on Link parks until its deadline expires (surfacing a timeout
+// net.Error exactly like a real dead socket) or the connection closes.
+// Nothing crosses, nothing errors early — the failure mode write deadlines
+// and ping probes exist for. Arm and Disarm are the harness's operator
+// actions; a zero Blackhole starts disarmed.
+type Blackhole struct {
+	// Link is the targeted link id.
+	Link uint64
+
+	on atomic.Bool
+}
+
+// Name implements Injector.
+func (f *Blackhole) Name() string { return fmt.Sprintf("blackhole link=%d", f.Link) }
+
+// Arm starts swallowing I/O on the link.
+func (f *Blackhole) Arm() { f.on.Store(true) }
+
+// Disarm lets I/O flow again (operations already parked stay parked until
+// deadline or close: the bytes they carried are gone).
+func (f *Blackhole) Disarm() { f.on.Store(false) }
+
+// Armed reports the current state.
+func (f *Blackhole) Armed() bool { return f.on.Load() }
+
+// WriteVerdict implements NetInjector.
+func (f *Blackhole) WriteVerdict(link, _ uint64) NetVerdict {
+	return NetVerdict{Block: link == f.Link && f.on.Load()}
+}
+
+// ReadVerdict implements NetInjector.
+func (f *Blackhole) ReadVerdict(link, _ uint64) NetVerdict {
+	return NetVerdict{Block: link == f.Link && f.on.Load()}
+}
+
+// ---- SlowLink: jittered per-operation delay ----
+
+// SlowLink models a congested link: every write on Link (and every read,
+// when Reads is set) is delayed by Base plus a uniform jitter in [0,
+// Jitter), the jitter a pure function of (Seed, Link, op). Stragglers past
+// the coordinator's hedge threshold are re-dispatched to mirrors; this is
+// the injector that makes that path fire over real sockets.
+type SlowLink struct {
+	// Link is the targeted link id.
+	Link uint64
+	// Base is the fixed per-op delay.
+	Base time.Duration
+	// Jitter is the width of the uniform jitter added to Base.
+	Jitter time.Duration
+	// Reads also delays read operations (writes are always delayed).
+	Reads bool
+	// Seed fixes the jitter schedule.
+	Seed uint64
+}
+
+// Name implements Injector.
+func (f *SlowLink) Name() string {
+	return fmt.Sprintf("slow-link link=%d base=%s jitter=%s", f.Link, f.Base, f.Jitter)
+}
+
+// Delay returns the deterministic delay for op on link (0 when untargeted).
+func (f *SlowLink) Delay(link, op uint64) time.Duration {
+	if link != f.Link {
+		return 0
+	}
+	d := f.Base
+	if f.Jitter > 0 {
+		d += time.Duration(linkRNG(f.Seed, saltSlowLink, link, op).Int64N(int64(f.Jitter)))
+	}
+	return d
+}
+
+// WriteVerdict implements NetInjector.
+func (f *SlowLink) WriteVerdict(link, op uint64) NetVerdict {
+	return NetVerdict{Delay: f.Delay(link, op)}
+}
+
+// ReadVerdict implements NetInjector.
+func (f *SlowLink) ReadVerdict(link, op uint64) NetVerdict {
+	if !f.Reads {
+		return NetVerdict{}
+	}
+	return NetVerdict{Delay: f.Delay(link, op)}
+}
+
+// ---- TricklePartial: a frame cut mid-write ----
+
+// TricklePartial cuts struck writes mid-frame: the peer receives only the
+// first CutBytes bytes — enough for a length prefix promising more — and
+// then the connection dies. A frame decoder must reject the truncation and
+// the transport must fail over, never deliver a short partial. Struck
+// writes are a pure function of (Seed, Link, op).
+type TricklePartial struct {
+	// Link is the targeted link id.
+	Link uint64
+	// Rate is the per-write strike probability, in [0,1].
+	Rate float64
+	// From is the first write op eligible.
+	From uint64
+	// CutBytes is how many bytes of a struck write are delivered before
+	// the cut (default 5: a full length prefix plus one payload byte).
+	CutBytes int
+	// Seed fixes the strike schedule.
+	Seed uint64
+}
+
+// Name implements Injector.
+func (f *TricklePartial) Name() string {
+	return fmt.Sprintf("trickle-partial link=%d p=%g cut=%d", f.Link, f.Rate, f.cut())
+}
+
+func (f *TricklePartial) cut() int {
+	if f.CutBytes <= 0 {
+		return 5
+	}
+	return f.CutBytes
+}
+
+// WriteVerdict implements NetInjector.
+func (f *TricklePartial) WriteVerdict(link, op uint64) NetVerdict {
+	if !f.Strikes(link, op) {
+		return NetVerdict{}
+	}
+	return NetVerdict{Cut: f.cut()}
+}
+
+// ReadVerdict implements NetInjector (cuts strike outbound frames).
+func (f *TricklePartial) ReadVerdict(uint64, uint64) NetVerdict { return NetVerdict{} }
+
+// Strikes reports whether the injector cuts write op on link.
+func (f *TricklePartial) Strikes(link, op uint64) bool {
+	return link == f.Link && op >= f.From && f.Rate > 0 &&
+		linkRNG(f.Seed, saltTrickle, link, op).Float64() < f.Rate
+}
+
+// ---- Subprocess: process-level chaos for real replica binaries ----
+
+// Subprocess manages one external process (a hamserve -replica binary) for
+// process-level chaos: start it, scrape its stdout for the line announcing
+// readiness, kill it mid-stream, start it again. This is the injector that
+// makes "replica crash" mean a real SIGKILL on a real process instead of a
+// simulated error.
+type Subprocess struct {
+	path string
+	args []string
+
+	mu    sync.Mutex
+	cmd   *exec.Cmd
+	lines chan string
+}
+
+// StartSubprocess launches path with args, scanning its stdout line by
+// line (stderr is discarded). The returned Subprocess is running; pair
+// with Kill.
+func StartSubprocess(path string, args ...string) (*Subprocess, error) {
+	p := &Subprocess{path: path, args: args}
+	if err := p.Start(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Start launches (or relaunches after Kill) the process.
+func (p *Subprocess) Start() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cmd != nil {
+		return fmt.Errorf("fault: subprocess %s already running", p.path)
+	}
+	cmd := exec.Command(p.path, p.args...)
+	cmd.Stderr = io.Discard
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			default: // a slow harness must not wedge the child's stdout
+			}
+		}
+		close(lines)
+	}()
+	p.cmd, p.lines = cmd, lines
+	return nil
+}
+
+// WaitLine waits for a stdout line with the given prefix (readiness
+// announcements like "listening binary=...") and returns it.
+func (p *Subprocess) WaitLine(prefix string, timeout time.Duration) (string, error) {
+	p.mu.Lock()
+	lines := p.lines
+	p.mu.Unlock()
+	if lines == nil {
+		return "", fmt.Errorf("fault: subprocess %s not running", p.path)
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				return "", fmt.Errorf("fault: subprocess %s exited before %q", p.path, prefix)
+			}
+			if strings.HasPrefix(line, prefix) {
+				return line, nil
+			}
+		case <-t.C:
+			return "", fmt.Errorf("fault: subprocess %s: no %q line within %s", p.path, prefix, timeout)
+		}
+	}
+}
+
+// Kill SIGKILLs the process and reaps it; Start may then relaunch it.
+func (p *Subprocess) Kill() error {
+	p.mu.Lock()
+	cmd := p.cmd
+	p.cmd, p.lines = nil, nil
+	p.mu.Unlock()
+	if cmd == nil {
+		return nil
+	}
+	cmd.Process.Kill()
+	cmd.Wait() // reap; the error is the kill signal, not a failure
+	return nil
+}
+
+// Running reports whether the process is currently launched.
+func (p *Subprocess) Running() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cmd != nil
+}
+
+// Compile-time capability checks.
+var (
+	_ NetInjector = (*ConnDrop)(nil)
+	_ NetInjector = (*Blackhole)(nil)
+	_ NetInjector = (*SlowLink)(nil)
+	_ NetInjector = (*TricklePartial)(nil)
+	_ net.Conn    = (*faultConn)(nil)
+	_ net.Error   = (*timeoutError)(nil)
+)

@@ -1,0 +1,315 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestConnDropScheduleDeterministic is the wire-chaos determinism
+// contract: at a fixed seed, which writes drop the connection is a pure
+// function of (link, op), reproducible across runs, predicted by Strikes,
+// and decorrelated across seeds and links.
+func TestConnDropScheduleDeterministic(t *testing.T) {
+	const n = 512
+	cd := &ConnDrop{Link: 3, Rate: 0.05, Seed: 11}
+	first := make([]bool, n)
+	hits := 0
+	for op := uint64(0); op < n; op++ {
+		first[op] = cd.Strikes(3, op)
+		if first[op] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == n {
+		t.Fatalf("degenerate drop schedule: %d of %d strike at rate 0.05", hits, n)
+	}
+	cd2 := &ConnDrop{Link: 3, Rate: 0.05, Seed: 11}
+	for op := uint64(0); op < n; op++ {
+		if cd2.Strikes(3, op) != first[op] {
+			t.Fatalf("write %d: drop schedule not reproducible at fixed seed", op)
+		}
+		if cd2.Strikes(4, op) {
+			t.Fatalf("write %d: untargeted link 4 struck", op)
+		}
+	}
+	other := &ConnDrop{Link: 3, Rate: 0.05, Seed: 12}
+	same := true
+	for op := uint64(0); op < n; op++ {
+		if other.Strikes(3, op) != first[op] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 11 and 12 produce identical drop schedules")
+	}
+	// Per-entity streams: the same seed on a sibling link targeted by its
+	// own injector yields its own schedule, not a copy of link 3's.
+	sibling := &ConnDrop{Link: 4, Rate: 0.05, Seed: 11}
+	same = true
+	for op := uint64(0); op < n; op++ {
+		if sibling.Strikes(4, op) != first[op] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("links 3 and 4 share one drop stream at the same seed")
+	}
+	// From gates the schedule's start.
+	gated := &ConnDrop{Link: 3, Rate: 1, From: 100, Seed: 11}
+	if gated.Strikes(3, 99) || !gated.Strikes(3, 100) {
+		t.Fatal("From=100 gate not honored")
+	}
+}
+
+// TestSlowLinkJitterDeterministic: the per-op jitter is a reproducible
+// per-(seed, link, op) stream within [Base, Base+Jitter).
+func TestSlowLinkJitterDeterministic(t *testing.T) {
+	sl := &SlowLink{Link: 1, Base: time.Millisecond, Jitter: 4 * time.Millisecond, Seed: 5}
+	var first [256]time.Duration
+	distinct := false
+	for op := uint64(0); op < 256; op++ {
+		d := sl.Delay(1, op)
+		if d < sl.Base || d >= sl.Base+sl.Jitter {
+			t.Fatalf("op %d: delay %s outside [%s, %s)", op, d, sl.Base, sl.Base+sl.Jitter)
+		}
+		first[op] = d
+		if op > 0 && d != first[0] {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("jitter stream is constant")
+	}
+	sl2 := &SlowLink{Link: 1, Base: time.Millisecond, Jitter: 4 * time.Millisecond, Seed: 5}
+	for op := uint64(0); op < 256; op++ {
+		if sl2.Delay(1, op) != first[op] {
+			t.Fatalf("op %d: jitter not reproducible at fixed seed", op)
+		}
+	}
+	if sl.Delay(2, 0) != 0 {
+		t.Fatal("untargeted link delayed")
+	}
+}
+
+// TestTricklePartialScheduleDeterministic mirrors the ConnDrop contract
+// for mid-frame cuts, on its own decorrelated salt stream.
+func TestTricklePartialScheduleDeterministic(t *testing.T) {
+	const n = 512
+	tp := &TricklePartial{Link: 2, Rate: 0.1, Seed: 7}
+	cd := &ConnDrop{Link: 2, Rate: 0.1, Seed: 7}
+	first := make([]bool, n)
+	hits, overlap := 0, true
+	for op := uint64(0); op < n; op++ {
+		first[op] = tp.Strikes(2, op)
+		if first[op] {
+			hits++
+		}
+		if first[op] != cd.Strikes(2, op) {
+			overlap = false
+		}
+	}
+	if hits == 0 || hits == n {
+		t.Fatalf("degenerate cut schedule: %d of %d strike at rate 0.1", hits, n)
+	}
+	if overlap {
+		t.Fatal("trickle and conn-drop salts share one stream")
+	}
+	tp2 := &TricklePartial{Link: 2, Rate: 0.1, Seed: 7}
+	for op := uint64(0); op < n; op++ {
+		if tp2.Strikes(2, op) != first[op] {
+			t.Fatalf("write %d: cut schedule not reproducible at fixed seed", op)
+		}
+	}
+}
+
+// pipeConn returns the two ends of an in-memory full-duplex connection.
+func pipeConn() (net.Conn, net.Conn) { return net.Pipe() }
+
+// TestWrapConnDropsOnSchedule runs writes through a wrapped pipe and
+// checks the connection dies exactly at the first struck op.
+func TestWrapConnDropsOnSchedule(t *testing.T) {
+	cd := &ConnDrop{Link: 9, Rate: 0.15, Seed: 21}
+	firstStrike := uint64(0)
+	for cd.Strikes(9, firstStrike) == false {
+		firstStrike++
+		if firstStrike > 1<<12 {
+			t.Fatal("no strike in 4096 ops at rate 0.15")
+		}
+	}
+	a, b := pipeConn()
+	defer b.Close()
+	wc := WrapConn(a, 9, cd)
+	defer wc.Close()
+	go io.Copy(io.Discard, b) // drain so unstruck writes complete
+	msg := []byte("frame")
+	for op := uint64(0); ; op++ {
+		_, err := wc.Write(msg)
+		switch {
+		case op < firstStrike:
+			if err != nil {
+				t.Fatalf("write %d failed before scheduled strike %d: %v", op, firstStrike, err)
+			}
+		case op == firstStrike:
+			if !errors.Is(err, ErrInjectedDrop) {
+				t.Fatalf("write %d: want ErrInjectedDrop at scheduled strike, got %v", op, err)
+			}
+		default:
+			if err == nil {
+				t.Fatalf("write %d succeeded on a dropped connection", op)
+			}
+			return
+		}
+		if op > firstStrike {
+			return
+		}
+	}
+}
+
+// TestTricklePartialCutsMidWrite: a struck write delivers exactly CutBytes
+// bytes to the peer, then the connection dies.
+func TestTricklePartialCutsMidWrite(t *testing.T) {
+	tp := &TricklePartial{Link: 1, Rate: 1, CutBytes: 3, Seed: 1}
+	a, b := pipeConn()
+	defer b.Close()
+	wc := WrapConn(a, 1, tp)
+	defer wc.Close()
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf, _ := io.ReadAll(b)
+		got <- buf
+	}()
+	n, err := wc.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("cut write: want ErrInjectedDrop, got n=%d err=%v", n, err)
+	}
+	if n != 3 {
+		t.Fatalf("cut write delivered %d bytes, want 3", n)
+	}
+	if buf := <-got; !bytes.Equal(buf, []byte("012")) {
+		t.Fatalf("peer received %q, want %q", buf, "012")
+	}
+}
+
+// TestBlackholeHonorsWriteDeadline: an armed blackhole parks a write until
+// the recorded deadline and surfaces a timeout net.Error — the same shape
+// a real dead socket produces — while a disarmed one passes I/O through.
+func TestBlackholeHonorsWriteDeadline(t *testing.T) {
+	bh := &Blackhole{Link: 5}
+	a, b := pipeConn()
+	defer b.Close()
+	wc := WrapConn(a, 5, bh)
+	defer wc.Close()
+	go io.Copy(io.Discard, b)
+
+	if _, err := wc.Write([]byte("ok")); err != nil {
+		t.Fatalf("disarmed blackhole blocked a write: %v", err)
+	}
+	bh.Arm()
+	if !bh.Armed() {
+		t.Fatal("Arm did not arm")
+	}
+	wc.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := wc.Write([]byte("lost"))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("blackholed write: want timeout net.Error, got %v", err)
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("blackholed write returned after %s, before the deadline", el)
+	}
+	bh.Disarm()
+	wc.SetWriteDeadline(time.Time{})
+	if _, err := wc.Write([]byte("ok again")); err != nil {
+		t.Fatalf("disarmed blackhole still blocking: %v", err)
+	}
+}
+
+// TestBlackholeUnblocksOnClose: with no deadline recorded, a blackholed
+// read parks until the connection closes rather than spinning or erroring.
+func TestBlackholeUnblocksOnClose(t *testing.T) {
+	bh := &Blackhole{Link: 2}
+	bh.Arm()
+	a, b := pipeConn()
+	defer b.Close()
+	wc := WrapConn(a, 2, bh)
+
+	errc := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := wc.Read(buf)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("blackholed read returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	wc.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("blackholed read after close: want net.ErrClosed, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blackholed read did not unblock on close")
+	}
+}
+
+// TestSlowLinkDelaysWrites: a wrapped write takes at least the scheduled
+// deterministic delay.
+func TestSlowLinkDelaysWrites(t *testing.T) {
+	sl := &SlowLink{Link: 1, Base: 15 * time.Millisecond, Seed: 3}
+	a, b := pipeConn()
+	defer b.Close()
+	wc := WrapConn(a, 1, sl)
+	defer wc.Close()
+	go io.Copy(io.Discard, b)
+
+	start := time.Now()
+	if _, err := wc.Write([]byte("slow")); err != nil {
+		t.Fatalf("delayed write failed: %v", err)
+	}
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("write took %s, want >= 15ms", el)
+	}
+}
+
+// TestWrapDialerWrapsEveryConn: connections from a wrapped dialer carry
+// the injectors, including redials.
+func TestWrapDialerWrapsEveryConn(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+
+	tp := &TricklePartial{Link: 7, Rate: 1, CutBytes: 2, Seed: 9}
+	dial := WrapDialer(nil, 7, tp)
+	for redial := 0; redial < 2; redial++ {
+		nc, err := dial(ln.Addr().String(), time.Second)
+		if err != nil {
+			t.Fatalf("dial %d: %v", redial, err)
+		}
+		if _, err := nc.Write([]byte("frame")); !errors.Is(err, ErrInjectedDrop) {
+			t.Fatalf("dial %d: wrapped conn did not cut: %v", redial, err)
+		}
+		nc.Close()
+	}
+}

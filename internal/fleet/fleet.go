@@ -262,7 +262,7 @@ type Fleet struct {
 	empty, erasures, retried             atomic.Uint64
 	hedged, hedgeWins                    atomic.Uint64
 	genDropped, corrupt, probes          atomic.Uint64
-	swaps                                atomic.Uint64
+	swaps, failovers, remoteErrors       atomic.Uint64
 }
 
 // New builds a fleet serving mem, encoding text with encoders from newEnc
@@ -299,16 +299,65 @@ func New(mem *core.Memory, newEnc func() *encoder.Encoder, cfg Config) (*Fleet, 
 			var eng *serve.Engine
 			eng, err = serve.New(m, s, newEnc, f.engineConfig(1))
 			if err == nil {
-				r := &replica{id: i, part: p.index, eng: eng}
+				r := &replica{id: i, part: p.index, tr: engineTransport{eng}}
 				f.replicas = append(f.replicas, r)
 				f.holders[p.index] = append(f.holders[p.index], r)
 				continue
 			}
 		}
 		for _, r := range f.replicas { // unwind the engines already started
-			r.eng.Close()
+			r.tr.Close()
 		}
 		return nil, fmt.Errorf("fleet: replica %d: %w", i, err)
+	}
+	return f, nil
+}
+
+// NewRemote builds a fleet whose replicas are remote processes reached
+// through transports (netserve.RemoteTransport speaking the binary partial
+// protocol to hamserve -replica processes, or anything else implementing
+// ReplicaTransport). Transport i serves partition i mod cfg.Partitions and
+// must front a replica built over the SAME model with the matching
+// partition plan — mem here is the coordinator's copy, used only for the
+// partition geometry, labels and the reduce. Replica lifecycle is the
+// remote side's own: Swap, StopReplica and StartReplica refuse remote
+// replicas, and a dead connection heals through the transport's redial
+// loop, surfacing here as !Connected until it does.
+func NewRemote(mem *core.Memory, transports []ReplicaTransport, cfg Config) (*Fleet, error) {
+	if mem == nil {
+		return nil, errors.New("fleet: nil memory")
+	}
+	if len(transports) == 0 {
+		return nil, errors.New("fleet: no transports")
+	}
+	cfg.Replicas = len(transports)
+	cfg = cfg.withDefaults()
+	if cfg.Partitions > cfg.Replicas {
+		return nil, fmt.Errorf("fleet: %d partitions need at least as many replicas, have %d", cfg.Partitions, cfg.Replicas)
+	}
+	parts, err := planParts(mem, cfg.Partitions, cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		cfg:     cfg,
+		scheme:  cfg.Scheme,
+		parts:   parts,
+		dim:     mem.Dim(),
+		classes: mem.Classes(),
+		labels:  mem.Labels(),
+		curMem:  mem,
+		holders: make([][]*replica, cfg.Partitions),
+	}
+	f.gen.Store(1)
+	for i, tr := range transports {
+		if tr == nil {
+			return nil, fmt.Errorf("fleet: nil transport %d", i)
+		}
+		p := parts[i%cfg.Partitions]
+		r := &replica{id: i, part: p.index, remote: true, tr: tr}
+		f.replicas = append(f.replicas, r)
+		f.holders[p.index] = append(f.holders[p.index], r)
 	}
 	return f, nil
 }
@@ -376,6 +425,7 @@ func (f *Fleet) askPartition(ctx context.Context, p int, text string, seq uint64
 	hs := f.holders[p]
 	backoff := f.cfg.Backoff
 	last := partial{part: p, err: fmt.Errorf("%w %d", errNoReplica, p)}
+	failedOver := false // a transport failure preceded this attempt
 	for a := 0; a <= f.cfg.Retries; a++ {
 		if err := ctx.Err(); err != nil {
 			return partial{part: p, err: err}
@@ -397,7 +447,13 @@ func (f *Fleet) askPartition(ctx context.Context, p int, text string, seq uint64
 		}
 		pr := f.attempt(ctx, r, hs, p, text, seq)
 		if pr.err == nil || requestError(ctx, pr.err) {
+			if pr.err == nil && failedOver {
+				f.failovers.Add(1) // a mirror answered what a dead transport lost
+			}
 			return pr
+		}
+		if errors.Is(pr.err, ErrTransport) {
+			failedOver = true
 		}
 		last = pr
 	}
@@ -539,12 +595,12 @@ func (f *Fleet) dispatchAsync(ctx context.Context, r *replica, p int, text strin
 	}()
 }
 
-// dispatch submits one request to a replica engine under the per-replica
-// deadline, running the chaos injectors around it, and bounds-validates the
-// partial that comes back.
+// dispatch submits one request to a replica's transport under the
+// per-replica deadline, running the chaos injectors around it, and
+// bounds-validates the partial that comes back.
 func (f *Fleet) dispatch(ctx context.Context, r *replica, p int, text string, seq uint64) partial {
-	eng := r.engine()
-	if eng == nil {
+	tr := r.transport()
+	if tr == nil {
 		return partial{part: p, err: fmt.Errorf("fleet: replica %d stopped", r.id)}
 	}
 	dctx, cancel := context.WithTimeout(ctx, f.cfg.Deadline)
@@ -557,11 +613,14 @@ func (f *Fleet) dispatch(ctx context.Context, r *replica, p int, text string, se
 	if err := dctx.Err(); err != nil {
 		return partial{part: p, err: err} // a stall consumed the deadline
 	}
-	resp, err := eng.Submit(dctx, text)
+	pt, err := tr.Ask(dctx, text)
 	if err != nil {
+		if errors.Is(err, ErrTransport) {
+			f.remoteErrors.Add(1)
+		}
 		return partial{part: p, err: err}
 	}
-	ds := resp.Distances
+	ds := pt.Distances
 	for _, inj := range f.cfg.Chaos {
 		inj.AfterPartial(r.id, seq, ds)
 	}
@@ -569,7 +628,7 @@ func (f *Fleet) dispatch(ctx context.Context, r *replica, p int, text string, se
 		f.corrupt.Add(1)
 		return partial{part: p, err: err}
 	}
-	return partial{part: p, ds: ds, gen: resp.Gen, ngrams: resp.NGrams}
+	return partial{part: p, ds: ds, gen: pt.Gen, ngrams: pt.NGrams}
 }
 
 // validatePartial bounds-checks a replica's partial reduction: the right
@@ -614,6 +673,16 @@ func (f *Fleet) Swap(mem *core.Memory) (uint64, error) {
 	if closed {
 		return 0, ErrClosed
 	}
+	local := false
+	for _, r := range f.replicas {
+		if !r.remote {
+			local = true
+			break
+		}
+	}
+	if !local {
+		return 0, errors.New("fleet: remote replicas roll their own generations; swap the snapshot on the replica processes")
+	}
 	if mem.Dim() != f.dim {
 		return 0, fmt.Errorf("fleet: swap dim %d, fleet dim %d", mem.Dim(), f.dim)
 	}
@@ -642,8 +711,14 @@ func (f *Fleet) Swap(mem *core.Memory) (uint64, error) {
 	}
 	next := f.gen.Load() + 1
 	for _, r := range f.replicas {
+		if r.remote {
+			// Remote processes roll their own generations (hamserve -load of
+			// a new snapshot); the gather's generation filter keeps answers
+			// consistent while local and remote gens disagree.
+			continue
+		}
 		r.mu.Lock()
-		eng := r.eng
+		eng := serveEngine(r.tr)
 		if eng == nil {
 			r.mu.Unlock()
 			continue // stopped: StartReplica rejoins it at the fleet generation
@@ -663,25 +738,24 @@ func (f *Fleet) Swap(mem *core.Memory) (uint64, error) {
 	return next, nil
 }
 
-// StopReplica administratively stops one replica: its engine is closed
-// (queued work is still answered) and the replica takes no dispatches
-// until StartReplica. Stopping every holder of a partition degrades
-// answers, not availability — the reduce scores the partition as an
-// erasure.
+// StopReplica administratively stops one replica: its transport is closed
+// (an engine still answers queued work) and the replica takes no
+// dispatches until StartReplica. Stopping every holder of a partition
+// degrades answers, not availability — the reduce scores the partition as
+// an erasure.
 func (f *Fleet) StopReplica(id int) error {
 	if id < 0 || id >= len(f.replicas) {
 		return fmt.Errorf("fleet: replica %d out of range [0,%d)", id, len(f.replicas))
 	}
 	r := f.replicas[id]
 	r.mu.Lock()
-	eng := r.eng
-	r.eng = nil
+	tr := r.tr
+	r.tr = nil
 	r.mu.Unlock()
-	if eng == nil {
+	if tr == nil {
 		return fmt.Errorf("fleet: replica %d already stopped", id)
 	}
-	eng.Close()
-	return nil
+	return tr.Close()
 }
 
 // StartReplica restarts a stopped replica with a fresh engine over the
@@ -701,7 +775,10 @@ func (f *Fleet) StartReplica(id int) error {
 		return ErrClosed
 	}
 	r := f.replicas[id]
-	if r.engine() != nil {
+	if r.remote {
+		return fmt.Errorf("fleet: replica %d is remote; restart its process or transport instead", id)
+	}
+	if r.transport() != nil {
 		return fmt.Errorf("fleet: replica %d already running", id)
 	}
 	m, s, err := buildModel(f.curMem, f.scheme, f.parts[r.part])
@@ -712,24 +789,24 @@ func (f *Fleet) StartReplica(id int) error {
 	if err != nil {
 		return err
 	}
-	r.reset(eng)
+	r.reset(engineTransport{eng})
 	return nil
 }
 
-// Close stops intake and closes every replica engine, answering everything
-// already queued. It is idempotent (also with Drain).
+// Close stops intake and closes every replica transport (an engine still
+// answers everything already queued). It is idempotent (also with Drain).
 func (f *Fleet) Close() {
 	f.mu.Lock()
 	f.closed = true
 	f.mu.Unlock()
 	var wg sync.WaitGroup
 	for _, r := range f.replicas {
-		if eng := r.engine(); eng != nil {
+		if tr := r.transport(); tr != nil {
 			wg.Add(1)
-			go func(e *serve.Engine) {
+			go func(tr ReplicaTransport) {
 				defer wg.Done()
-				e.Close()
-			}(eng)
+				tr.Close()
+			}(tr)
 		}
 	}
 	wg.Wait()
@@ -750,14 +827,20 @@ func (f *Fleet) Drain(ctx context.Context) (abandoned uint64, err error) {
 	var total atomic.Uint64
 	errs := make([]error, len(f.replicas))
 	for i, r := range f.replicas {
-		if eng := r.engine(); eng != nil {
+		if tr := r.transport(); tr != nil {
 			wg.Add(1)
-			go func(i int, e *serve.Engine) {
+			go func(i int, tr ReplicaTransport) {
 				defer wg.Done()
-				n, derr := e.Drain(ctx)
-				total.Add(n)
-				errs[i] = derr
-			}(i, eng)
+				if d, ok := tr.(drainableTransport); ok {
+					n, derr := d.Drain(ctx)
+					total.Add(n)
+					errs[i] = derr
+					return
+				}
+				// Remote replicas drain on their own side; the coordinator
+				// just releases the connection.
+				errs[i] = tr.Close()
+			}(i, tr)
 		}
 	}
 	wg.Wait()
@@ -779,6 +862,11 @@ type Stats struct {
 	Corrupt    uint64 // partials rejected by bounds validation
 	Probes     uint64 // dispatches admitted through open breakers
 	Swaps      uint64 // completed fleet generation rolls
+
+	// Remote-transport counters (zero for all-in-process fleets).
+	Failovers    uint64 // partition asks rescued by a mirror after a transport failure
+	RemoteErrors uint64 // dispatches failed at the transport layer (ErrTransport)
+	Reconnects   uint64 // connections re-established across all transports
 }
 
 // DegradedRate is the fraction of answered requests that were degraded.
@@ -791,20 +879,29 @@ func (s Stats) DegradedRate() float64 {
 
 // Stats returns a snapshot of the coordinator's counters.
 func (f *Fleet) Stats() Stats {
+	var reconnects uint64
+	for _, r := range f.replicas {
+		if h, ok := r.transport().(TransportHealth); ok {
+			reconnects += h.Reconnects()
+		}
+	}
 	return Stats{
-		Asks:       f.asks.Load(),
-		Answered:   f.answered.Load(),
-		Degraded:   f.degraded.Load(),
-		NoCoverage: f.noCoverage.Load(),
-		Empty:      f.empty.Load(),
-		Erasures:   f.erasures.Load(),
-		Retried:    f.retried.Load(),
-		Hedged:     f.hedged.Load(),
-		HedgeWins:  f.hedgeWins.Load(),
-		GenDropped: f.genDropped.Load(),
-		Corrupt:    f.corrupt.Load(),
-		Probes:     f.probes.Load(),
-		Swaps:      f.swaps.Load(),
+		Asks:         f.asks.Load(),
+		Answered:     f.answered.Load(),
+		Degraded:     f.degraded.Load(),
+		NoCoverage:   f.noCoverage.Load(),
+		Empty:        f.empty.Load(),
+		Erasures:     f.erasures.Load(),
+		Retried:      f.retried.Load(),
+		Hedged:       f.hedged.Load(),
+		HedgeWins:    f.hedgeWins.Load(),
+		GenDropped:   f.genDropped.Load(),
+		Corrupt:      f.corrupt.Load(),
+		Probes:       f.probes.Load(),
+		Swaps:        f.swaps.Load(),
+		Failovers:    f.failovers.Load(),
+		RemoteErrors: f.remoteErrors.Load(),
+		Reconnects:   reconnects,
 	}
 }
 
@@ -813,13 +910,16 @@ type ReplicaStats struct {
 	ID              int
 	Partition       int
 	Running         bool
+	Remote          bool   // served through a remote transport
+	Connected       bool   // transport can carry a dispatch right now
+	Reconnects      uint64 // transport connections re-established
 	BreakerOpen     bool
-	Opens           uint64  // breaker open transitions
-	Probes          uint64  // dispatches admitted as probes
-	FailureEstimate float64 // current EWMA failure estimate
-	Dispatches      uint64  // dispatch outcomes scored
-	Failures        uint64  // of which failures
-	Engine          serve.Stats
+	Opens           uint64      // breaker open transitions
+	Probes          uint64      // dispatches admitted as probes
+	FailureEstimate float64     // current EWMA failure estimate
+	Dispatches      uint64      // dispatch outcomes scored
+	Failures        uint64      // of which failures
+	Engine          serve.Stats // in-process replicas only
 }
 
 // ReplicaStats snapshots every replica's health view.
@@ -830,7 +930,8 @@ func (f *Fleet) ReplicaStats() []ReplicaStats {
 		out[i] = ReplicaStats{
 			ID:              r.id,
 			Partition:       r.part,
-			Running:         r.eng != nil,
+			Running:         r.tr != nil,
+			Remote:          r.remote,
 			BreakerOpen:     r.open,
 			Opens:           r.opens,
 			Probes:          r.probes,
@@ -838,9 +939,13 @@ func (f *Fleet) ReplicaStats() []ReplicaStats {
 			Dispatches:      r.dispatches,
 			Failures:        r.failures,
 		}
-		eng := r.eng
+		tr := r.tr
 		r.mu.Unlock()
-		if eng != nil {
+		if h, ok := tr.(TransportHealth); ok {
+			out[i].Connected = h.Connected()
+			out[i].Reconnects = h.Reconnects()
+		}
+		if eng := serveEngine(tr); eng != nil {
 			out[i].Engine = eng.Stats()
 		}
 	}

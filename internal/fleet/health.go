@@ -18,27 +18,38 @@ import (
 	"hdam/internal/serve"
 )
 
-// replica is one engine replica plus the coordinator's health view of it.
+// replica is one replica transport plus the coordinator's health view of
+// it. The health machinery is transport-agnostic: an in-process engine and
+// a remote hamserve process score, break and probe identically.
 type replica struct {
-	id   int
-	part int // partition index served (id mod Partitions)
+	id     int
+	part   int  // partition index served (id mod Partitions)
+	remote bool // true for transports the fleet cannot rebuild itself
 
 	mu         sync.Mutex
-	eng        *serve.Engine // nil while administratively stopped
-	errEWMA    float64       // EWMA failure estimate in [0,1]
-	open       bool          // breaker open: dispatches rejected except probes
-	openedAt   uint64        // fleet request clock when the breaker (re)opened
-	opens      uint64        // breaker open transitions
-	probes     uint64        // dispatches admitted through an open breaker
-	dispatches uint64        // dispatch outcomes scored
-	failures   uint64        // of which failures
+	tr         ReplicaTransport // nil while administratively stopped
+	errEWMA    float64          // EWMA failure estimate in [0,1]
+	open       bool             // breaker open: dispatches rejected except probes
+	openedAt   uint64           // fleet request clock when the breaker (re)opened
+	opens      uint64           // breaker open transitions
+	probes     uint64           // dispatches admitted through an open breaker
+	dispatches uint64           // dispatch outcomes scored
+	failures   uint64           // of which failures
 }
 
-// engine snapshots the replica's engine (nil while stopped).
+// transport snapshots the replica's transport (nil while stopped).
+func (r *replica) transport() ReplicaTransport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tr
+}
+
+// engine snapshots the in-process engine behind the transport (nil while
+// stopped or remote) — the handle Swap and the stats view need.
 func (r *replica) engine() *serve.Engine {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.eng
+	return serveEngine(r.tr)
 }
 
 // score folds one dispatch outcome into the failure estimate and runs the
@@ -64,31 +75,44 @@ func (r *replica) score(miss, alpha, bound float64, now uint64) {
 	}
 }
 
-// healthy reports whether the replica is running with a closed breaker.
+// healthy reports whether the replica is running, connected and has a
+// closed breaker. A transport mid-redial reports !Connected, so dispatches
+// route to a mirror immediately instead of queueing behind the backoff.
 func (r *replica) healthy() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.eng != nil && !r.open
+	if r.tr == nil || r.open {
+		return false
+	}
+	if h, ok := r.tr.(TransportHealth); ok && !h.Connected() {
+		return false
+	}
+	return true
 }
 
 // probeDue reports whether an open breaker's cooldown has elapsed at fleet
-// clock now, admitting one dispatch as a probe (counted when admitted).
+// clock now, admitting one dispatch as a probe (counted when admitted). A
+// disconnected transport is never probed — the redial loop, not a doomed
+// dispatch, is what brings it back.
 func (r *replica) probeDue(now, cooldown uint64) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.eng == nil || !r.open || now-r.openedAt < cooldown {
+	if r.tr == nil || !r.open || now-r.openedAt < cooldown {
+		return false
+	}
+	if h, ok := r.tr.(TransportHealth); ok && !h.Connected() {
 		return false
 	}
 	r.probes++
 	return true
 }
 
-// reset clears the health view; StartReplica installs eng as the replica's
-// fresh engine with a clean slate.
-func (r *replica) reset(eng *serve.Engine) {
+// reset clears the health view; StartReplica installs tr as the replica's
+// fresh transport with a clean slate.
+func (r *replica) reset(tr ReplicaTransport) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.eng = eng
+	r.tr = tr
 	r.errEWMA = 0
 	r.open = false
 	r.openedAt = 0

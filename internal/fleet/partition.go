@@ -48,6 +48,34 @@ func (s Scheme) String() string {
 	return fmt.Sprintf("scheme(%d)", int(s))
 }
 
+// ParseScheme maps a scheme name (as String prints it, with "words" and
+// "classes" accepted as shorthand) back to the Scheme — the -scheme flag's
+// parser.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "by-words", "words":
+		return ByWords, nil
+	case "by-classes", "classes":
+		return ByClasses, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown scheme %q (want by-words or by-classes)", name)
+}
+
+// PartitionModel builds the memory and searcher a standalone replica
+// process (hamserve -replica) serves for partition p of n under sc: the
+// same plan the coordinator computes, so remote partials line up with the
+// reduce's partition geometry bit for bit.
+func PartitionModel(mem *core.Memory, sc Scheme, p, n int) (*core.Memory, core.Searcher, error) {
+	parts, err := planParts(mem, n, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p < 0 || p >= n {
+		return nil, nil, fmt.Errorf("fleet: partition %d out of range [0,%d)", p, n)
+	}
+	return buildModel(mem, sc, parts[p])
+}
+
 // part is one partition of the model. ByWords partitions use the packed
 // word range [lo,hi) covering bits query bits; ByClasses partitions use the
 // global class-row range [rlo,rhi).

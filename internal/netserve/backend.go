@@ -26,12 +26,29 @@ type Backend interface {
 	Stats() any
 }
 
+// PartialBackend is the optional capability a Backend implements to answer
+// TypePartialQuery frames: replica mode, serving gen-stamped per-row
+// distance partials to a remote coordinator. The backend must report
+// distances (serve.Config.ReportDistances) or partial queries fail typed.
+type PartialBackend interface {
+	// GoPartial submits one text and returns the channel its response —
+	// carrying Distances, Gen and NGrams — arrives on, under the same
+	// always-answered contract as Go.
+	GoPartial(ctx context.Context, text string) (<-chan serve.Response, error)
+}
+
 // engineBackend adapts a serve.Engine. Engine responses pass through
 // untouched, so socket answers are bit-identical to in-process Submit.
 type engineBackend struct{ eng *serve.Engine }
 
 // EngineBackend serves a micro-batching engine over the network.
 func EngineBackend(eng *serve.Engine) Backend { return engineBackend{eng} }
+
+// GoPartial implements PartialBackend: an engine response already carries
+// the partial when the engine runs with ReportDistances.
+func (b engineBackend) GoPartial(ctx context.Context, text string) (<-chan serve.Response, error) {
+	return b.eng.Go(ctx, text)
+}
 
 func (b engineBackend) Go(ctx context.Context, text string) (<-chan serve.Response, error) {
 	return b.eng.Go(ctx, text)
@@ -77,6 +94,27 @@ type fleetStats struct {
 
 func (b fleetBackend) Stats() any {
 	return fleetStats{Fleet: b.fl.Stats(), Replicas: b.fl.ReplicaStats()}
+}
+
+// partialOf converts a backend response to its wire partial form. A
+// backend that is not reporting distances yields a typed failure, never an
+// empty partial the decoder would reject.
+func partialOf(r serve.Response) WirePartial {
+	if r.Err != nil {
+		p := WirePartial{Status: StatusOf(r.Err)}
+		if p.Status == StatusInternal {
+			p.Msg = r.Err.Error()
+		}
+		return p
+	}
+	if len(r.Distances) == 0 || len(r.Distances) > MaxPartialRows {
+		return WirePartial{Status: StatusInternal, Msg: "replica backend is not reporting distances"}
+	}
+	ds := make([]uint32, len(r.Distances))
+	for i, d := range r.Distances {
+		ds[i] = uint32(d)
+	}
+	return WirePartial{Status: StatusOK, Gen: r.Gen, NGrams: uint32(r.NGrams), Distances: ds}
 }
 
 // answerOf converts an engine response to its wire form.

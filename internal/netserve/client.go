@@ -14,10 +14,18 @@ import (
 // connection died; pending batches are failed with the underlying cause.
 var ErrClientClosed = errors.New("netserve: client closed")
 
-// Batch is the client-side result of one query frame: the answers in
-// query order, or the connection-level error that killed the frame.
+// DefaultWriteTimeout bounds one frame write when the caller does not
+// choose a tighter bound. A blackholed peer whose receive window fills
+// stalls Write forever without it; the deadline turns that stall into a
+// connection failure the redial machinery can act on.
+const DefaultWriteTimeout = 5 * time.Second
+
+// Batch is the client-side result of one frame: for query frames the
+// answers in query order, for partial-query frames the gen-stamped
+// partial, or the connection-level error that killed the frame.
 type Batch struct {
 	Answers []WireAnswer
+	Partial *WirePartial
 	Err     error
 }
 
@@ -25,7 +33,8 @@ type Batch struct {
 // use: many frames may be in flight at once, and responses are matched to
 // callers by frame id regardless of arrival order.
 type Client struct {
-	nc net.Conn
+	nc           net.Conn
+	writeTimeout time.Duration
 
 	wmu  sync.Mutex // serializes frame writes
 	wbuf []byte
@@ -33,52 +42,74 @@ type Client struct {
 	mu      sync.Mutex // pending map + close state
 	pending map[uint64]chan Batch
 	dead    error // non-nil once the connection is unusable
+	failed  bool  // fail already ran: nc closed, done closed, waiters drained
 
 	nextID   atomic.Uint64
 	draining atomic.Bool
+	done     chan struct{} // closed when the connection dies
 	rbuf     []byte
 	readerWG sync.WaitGroup
 }
 
-// Dial connects to a binary-protocol server.
+// Dial connects to a binary-protocol server. timeout bounds the dial and
+// becomes the per-frame write deadline (0 means DefaultWriteTimeout).
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	nc, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
+	c := NewClient(nc, timeout)
+	return c, nil
+}
+
+// NewClient wraps an established connection — dialed elsewhere, or wrapped
+// by a fault injector — in the frame-matching client machinery.
+// writeTimeout bounds each frame write (0 means DefaultWriteTimeout).
+func NewClient(nc net.Conn, writeTimeout time.Duration) *Client {
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true) // latency benchmark traffic: don't Nagle small frames
 	}
-	c := &Client{nc: nc, pending: make(map[uint64]chan Batch)}
+	if writeTimeout <= 0 {
+		writeTimeout = DefaultWriteTimeout
+	}
+	c := &Client{
+		nc:           nc,
+		writeTimeout: writeTimeout,
+		pending:      make(map[uint64]chan Batch),
+		done:         make(chan struct{}),
+	}
 	c.readerWG.Add(1)
 	go c.readLoop()
-	return c, nil
+	return c
 }
 
 // Draining reports whether the server announced a drain; new submissions
 // should go elsewhere, in-flight ones will still be answered.
 func (c *Client) Draining() bool { return c.draining.Load() }
 
+// Done is closed when the connection dies (peer close, frame error, Close);
+// Err then reports why.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// Err reports why the connection died, or nil while it is still usable.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
 // Go submits one frame of queries and returns the channel its Batch
 // arrives on (buffered; the reader never blocks on it). budget caps the
 // server-side time per query; 0 means no deadline.
 func (c *Client) Go(texts []string, budget time.Duration) (<-chan Batch, error) {
-	id := c.nextID.Add(1)
-	ch := make(chan Batch, 1)
-
-	c.mu.Lock()
-	if c.dead != nil {
-		err := c.dead
-		c.mu.Unlock()
+	id, ch, err := c.register()
+	if err != nil {
 		return nil, err
 	}
-	c.pending[id] = ch // registered before the write: the answer may race back
-	c.mu.Unlock()
-
-	if err := c.writeQuery(id, texts, budget); err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+	if err := c.writeFrame(func(dst []byte) ([]byte, error) {
+		return AppendQueryFrame(dst, id, budgetUs(budget), texts)
+	}); err != nil {
+		c.unregister(id)
 		return nil, err
 	}
 	return ch, nil
@@ -94,25 +125,48 @@ func (c *Client) Ask(texts []string, budget time.Duration) ([]WireAnswer, error)
 	return b.Answers, b.Err
 }
 
+// GoPartial submits one partial-query frame — the remote replica fleet's
+// scatter leg — and returns the channel its Batch (carrying the Partial)
+// arrives on.
+func (c *Client) GoPartial(text string, budget time.Duration) (<-chan Batch, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.writeFrame(func(dst []byte) ([]byte, error) {
+		return AppendPartialQueryFrame(dst, id, budgetUs(budget), text)
+	}); err != nil {
+		c.unregister(id)
+		return nil, err
+	}
+	return ch, nil
+}
+
+// AskPartial is the synchronous form of GoPartial.
+func (c *Client) AskPartial(text string, budget time.Duration) (WirePartial, error) {
+	ch, err := c.GoPartial(text, budget)
+	if err != nil {
+		return WirePartial{}, err
+	}
+	b := <-ch
+	if b.Err != nil {
+		return WirePartial{}, b.Err
+	}
+	if b.Partial == nil {
+		return WirePartial{}, fmt.Errorf("%w: answer frame for a partial query", ErrBadFrame)
+	}
+	return *b.Partial, nil
+}
+
 // Ping round-trips a control frame, bounding the wait by timeout.
 func (c *Client) Ping(timeout time.Duration) error {
-	id := c.nextID.Add(1)
-	ch := make(chan Batch, 1)
-	c.mu.Lock()
-	if c.dead != nil {
-		err := c.dead
-		c.mu.Unlock()
+	id, ch, err := c.register()
+	if err != nil {
 		return err
 	}
-	c.pending[id] = ch
-	c.mu.Unlock()
-
-	c.wmu.Lock()
-	c.wbuf = AppendControlFrame(c.wbuf[:0], TypePing, id)
-	_, err := c.nc.Write(c.wbuf)
-	c.wmu.Unlock()
-	if err != nil {
-		c.fail(fmt.Errorf("netserve: ping write: %w", err))
+	if err := c.writeFrame(func(dst []byte) ([]byte, error) {
+		return AppendControlFrame(dst, TypePing, id), nil
+	}); err != nil {
 		return err
 	}
 	t := time.NewTimer(timeout)
@@ -121,9 +175,7 @@ func (c *Client) Ping(timeout time.Duration) error {
 	case b := <-ch:
 		return b.Err
 	case <-t.C:
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+		c.unregister(id)
 		return fmt.Errorf("netserve: ping: %w", ErrTimeout)
 	}
 }
@@ -135,31 +187,61 @@ var ErrTimeout = errors.New("timed out")
 // ErrClientClosed.
 func (c *Client) Close() error {
 	c.fail(ErrClientClosed)
-	err := c.nc.Close()
 	c.readerWG.Wait()
-	return err
+	return nil
 }
 
-// writeQuery encodes and writes one query frame under the write lock,
-// reusing the client's encode buffer.
-func (c *Client) writeQuery(id uint64, texts []string, budget time.Duration) error {
-	budgetUs := uint64(budget / time.Microsecond)
-	if budgetUs > 1<<32-1 {
-		budgetUs = 1<<32 - 1
+// register allocates a frame id and parks its result channel in the
+// pending map — before the write, because the answer may race back.
+func (c *Client) register() (uint64, chan Batch, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan Batch, 1)
+	c.mu.Lock()
+	if c.dead != nil {
+		err := c.dead
+		c.mu.Unlock()
+		return 0, nil, err
 	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+	return id, ch, nil
+}
+
+func (c *Client) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// writeFrame encodes one frame into the client's reusable buffer and
+// writes it under the write lock with a write deadline, so a blackholed
+// socket fails the connection instead of wedging the caller. An encode
+// error only fails the call; a write error kills the whole connection,
+// because a partial frame on the stream would desynchronize every later
+// frame.
+func (c *Client) writeFrame(encode func(dst []byte) ([]byte, error)) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	raw, err := AppendQueryFrame(c.wbuf[:0], id, uint32(budgetUs), texts)
+	raw, err := encode(c.wbuf[:0])
 	if err != nil {
 		return err
 	}
 	c.wbuf = raw
+	c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout))
 	if _, err := c.nc.Write(raw); err != nil {
 		werr := fmt.Errorf("netserve: write: %w", err)
 		c.fail(werr)
 		return werr
 	}
 	return nil
+}
+
+func budgetUs(budget time.Duration) uint32 {
+	us := uint64(budget / time.Microsecond)
+	if us > 1<<32-1 {
+		us = 1<<32 - 1
+	}
+	return uint32(us)
 }
 
 // readLoop matches incoming frames to pending callers by id until the
@@ -177,13 +259,13 @@ func (c *Client) readLoop() {
 			return
 		}
 		switch f.Type {
-		case TypeAnswer, TypePong:
+		case TypeAnswer, TypePong, TypePartial:
 			c.mu.Lock()
 			ch := c.pending[f.ID]
 			delete(c.pending, f.ID)
 			c.mu.Unlock()
 			if ch != nil {
-				ch <- Batch{Answers: f.Answers}
+				ch <- Batch{Answers: f.Answers, Partial: f.Partial}
 			}
 		case TypeDrain:
 			c.draining.Store(true)
@@ -193,15 +275,23 @@ func (c *Client) readLoop() {
 	}
 }
 
-// fail marks the client dead and delivers err to every pending batch.
+// fail marks the client dead exactly once: it closes the connection (which
+// unblocks the read loop and any deadline-stalled writer), closes Done,
+// and delivers err to every pending batch. Later calls are no-ops, so a
+// write failure racing the read loop's EOF cannot double-deliver.
 func (c *Client) fail(err error) {
 	c.mu.Lock()
-	if c.dead == nil {
-		c.dead = err
+	if c.failed {
+		c.mu.Unlock()
+		return
 	}
+	c.failed = true
+	c.dead = err
 	pending := c.pending
-	c.pending = make(map[uint64]chan Batch)
+	c.pending = nil
 	c.mu.Unlock()
+	c.nc.Close()
+	close(c.done)
 	for _, ch := range pending {
 		ch <- Batch{Err: err}
 	}

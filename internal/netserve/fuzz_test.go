@@ -23,9 +23,26 @@ func FuzzDecodeFrame(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	pquery, err := AppendPartialQueryFrame(nil, 43, 1500, "der schnelle braune fuchs")
+	if err != nil {
+		f.Fatal(err)
+	}
+	partial, err := AppendPartialFrame(nil, 43, WirePartial{
+		Status: StatusOK, Gen: 3, NGrams: 23, Distances: []uint32{120, 440, 87, 310},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	pfail, err := AppendPartialFrame(nil, 44, WirePartial{Status: StatusDrained, Msg: "draining"})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add([]byte{})
 	f.Add(query[lenSize:])
 	f.Add(answer[lenSize:])
+	f.Add(pquery[lenSize:])
+	f.Add(partial[lenSize:])
+	f.Add(pfail[lenSize:])
 	f.Add(AppendControlFrame(nil, TypePing, 7)[lenSize:])
 	f.Add(AppendControlFrame(nil, TypeDrain, 0)[lenSize:])
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
@@ -41,6 +58,17 @@ func FuzzDecodeFrame(f *testing.F) {
 	inflated := bytes.Clone(query[lenSize:])
 	binary.LittleEndian.PutUint16(inflated[headerSize+6:], 0xffff)
 	f.Add(inflated)
+	// A partial whose row count declares far more rows than the payload
+	// carries, and structural corruptions of the partial frames.
+	pinflated := bytes.Clone(partial[lenSize:])
+	binary.LittleEndian.PutUint32(pinflated[headerSize+13:], MaxPartialRows)
+	f.Add(pinflated)
+	for _, off := range []int{headerSize, headerSize + 13, len(partial) - lenSize - 1} {
+		c := bytes.Clone(partial[lenSize:])
+		c[off] ^= 0x81
+		f.Add(c)
+	}
+	f.Add(pquery[lenSize : len(pquery)-lenSize-3]) // truncated partial query
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > MaxFrame {
@@ -82,6 +110,42 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 			if _, err := AppendAnswerFrame(nil, fr.ID, fr.Answers); err != nil {
 				t.Fatalf("re-encode accepted answer frame: %v", err)
+			}
+		case TypePartialQuery:
+			if len(fr.Queries) != 1 {
+				t.Fatalf("accepted partial query frame with %d texts", len(fr.Queries))
+			}
+			if len(fr.Queries[0]) > MaxTextLen {
+				t.Fatalf("accepted %d-byte partial query text", len(fr.Queries[0]))
+			}
+			raw, err := AppendPartialQueryFrame(nil, fr.ID, fr.BudgetUs, fr.Queries[0])
+			if err != nil {
+				t.Fatalf("re-encode accepted partial query frame: %v", err)
+			}
+			if !bytes.Equal(raw[lenSize:], data) {
+				t.Fatal("partial query frame round trip is not canonical")
+			}
+		case TypePartial:
+			p := fr.Partial
+			if p == nil {
+				t.Fatal("accepted partial frame without a partial body")
+			}
+			if p.Status == StatusOK {
+				if len(p.Distances) == 0 || len(p.Distances) > MaxPartialRows {
+					t.Fatalf("accepted partial with %d distance rows", len(p.Distances))
+				}
+				if p.Msg != "" {
+					t.Fatal("OK partial decoded a message")
+				}
+			} else if len(p.Msg) > MaxMsgLen {
+				t.Fatalf("accepted %d-byte partial message", len(p.Msg))
+			}
+			raw, err := AppendPartialFrame(nil, fr.ID, *p)
+			if err != nil {
+				t.Fatalf("re-encode accepted partial frame: %v", err)
+			}
+			if !bytes.Equal(raw[lenSize:], data) {
+				t.Fatal("partial frame round trip is not canonical")
 			}
 		case TypePing, TypePong, TypeDrain:
 			if len(fr.Queries) != 0 || len(fr.Answers) != 0 {

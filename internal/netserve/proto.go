@@ -48,6 +48,20 @@
 //	             uint64 gen, byte label length, label bytes
 //	  else:      uint16 message length, message bytes
 //
+// TypePartialQuery body (the remote replica fleet's scatter leg — one text
+// whose partial distance reduction the replica must return):
+//
+//	uint32 LE  deadline budget in microseconds (0 = none)
+//	uint16 LE  text length, then the UTF-8 bytes
+//
+// TypePartial body (the gather leg — a gen-stamped partition
+// distance-vector answer):
+//
+//	byte       status (StatusOK or a typed failure)
+//	StatusOK:  uint64 gen, uint32 ngrams, uint32 row count
+//	           (1..MaxPartialRows), then row count uint32 LE distances
+//	else:      uint16 message length, message bytes
+//
 // TypePing and TypePong carry no body; TypeDrain (server → client, no body)
 // announces that the server is draining and no further query frames will be
 // accepted. Every declared length is validated against the remaining
@@ -76,6 +90,7 @@ const (
 	MaxTextLen       = 1<<16 - 1 // bytes per query text (length field is uint16)
 	MaxLabelLen      = 255       // bytes per answer label
 	MaxMsgLen        = 1024      // bytes per error message
+	MaxPartialRows   = 1 << 17   // distance rows per partial answer (classes)
 
 	magic0 = 'h'
 	magic1 = 'w'
@@ -86,11 +101,13 @@ const (
 
 // Frame types.
 const (
-	TypeQuery  byte = 1 // client → server: a batch of texts to classify
-	TypeAnswer byte = 2 // server → client: per-query answers, same id
-	TypePing   byte = 3 // client → server: liveness probe
-	TypePong   byte = 4 // server → client: probe reply, same id
-	TypeDrain  byte = 5 // server → client: draining, stop submitting
+	TypeQuery        byte = 1 // client → server: a batch of texts to classify
+	TypeAnswer       byte = 2 // server → client: per-query answers, same id
+	TypePing         byte = 3 // client → server: liveness probe
+	TypePong         byte = 4 // server → client: probe reply, same id
+	TypeDrain        byte = 5 // server → client: draining, stop submitting
+	TypePartialQuery byte = 6 // coordinator → replica: one text to reduce
+	TypePartial      byte = 7 // replica → coordinator: gen-stamped partial
 )
 
 // Typed decode errors. Match with errors.Is.
@@ -190,9 +207,22 @@ type WireAnswer struct {
 	Msg      string // failure detail for non-OK statuses (may be empty)
 }
 
+// WirePartial is one partition's gen-stamped distance-vector answer as it
+// crosses the wire: the remote replica fleet's gather leg. Distances[i] is
+// the partition's observed Hamming partial for global (or band-local) class
+// row i, at model generation Gen.
+type WirePartial struct {
+	Status    byte
+	Gen       uint64
+	NGrams    uint32
+	Distances []uint32
+	Msg       string // failure detail for non-OK statuses (may be empty)
+}
+
 // Frame is one decoded frame. Type selects which fields are meaningful:
-// Queries for TypeQuery (with BudgetUs), Answers for TypeAnswer, neither
-// for the control types.
+// Queries for TypeQuery (with BudgetUs), Answers for TypeAnswer, Queries[0]
+// (with BudgetUs) for TypePartialQuery, Partial for TypePartial, none for
+// the control types.
 type Frame struct {
 	Version  byte
 	Type     byte
@@ -200,6 +230,7 @@ type Frame struct {
 	BudgetUs uint32
 	Queries  []string
 	Answers  []WireAnswer
+	Partial  *WirePartial
 }
 
 // AppendQueryFrame appends one length-prefixed query frame to dst and
@@ -270,6 +301,56 @@ func AppendAnswerFrame(dst []byte, id uint64, answers []WireAnswer) ([]byte, err
 	return dst, nil
 }
 
+// AppendPartialQueryFrame appends one length-prefixed partial-query frame:
+// one text whose partial distance reduction the replica must return.
+func AppendPartialQueryFrame(dst []byte, id uint64, budgetUs uint32, text string) ([]byte, error) {
+	if len(text) > MaxTextLen {
+		return dst, fmt.Errorf("%w: %d-byte query text (limit %d)", ErrBadFrame, len(text), MaxTextLen)
+	}
+	n := headerSize + 4 + 2 + len(text)
+	if n > MaxFrame {
+		return dst, fmt.Errorf("%w: %d-byte partial-query frame (limit %d)", ErrFrameTooLarge, n, MaxFrame)
+	}
+	dst = appendHeader(dst, uint32(n), TypePartialQuery, id)
+	dst = binary.LittleEndian.AppendUint32(dst, budgetUs)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(text)))
+	return append(dst, text...), nil
+}
+
+// AppendPartialFrame appends one length-prefixed partial-answer frame: the
+// replica's gen-stamped distance vector, or a typed failure. Oversized
+// messages are clipped rather than failing the frame: an answer must always
+// be deliverable.
+func AppendPartialFrame(dst []byte, id uint64, p WirePartial) ([]byte, error) {
+	var n int
+	if p.Status == StatusOK {
+		if len(p.Distances) == 0 || len(p.Distances) > MaxPartialRows {
+			return dst, fmt.Errorf("%w: %d distance rows in one partial (limit %d)", ErrBadFrame, len(p.Distances), MaxPartialRows)
+		}
+		n = headerSize + 1 + 8 + 4 + 4 + 4*len(p.Distances)
+	} else {
+		n = headerSize + 1 + 2 + min(len(p.Msg), MaxMsgLen)
+	}
+	if n > MaxFrame {
+		return dst, fmt.Errorf("%w: %d-byte partial frame (limit %d)", ErrFrameTooLarge, n, MaxFrame)
+	}
+	dst = appendHeader(dst, uint32(n), TypePartial, id)
+	dst = append(dst, p.Status)
+	if p.Status == StatusOK {
+		dst = binary.LittleEndian.AppendUint64(dst, p.Gen)
+		dst = binary.LittleEndian.AppendUint32(dst, p.NGrams)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Distances)))
+		for _, d := range p.Distances {
+			dst = binary.LittleEndian.AppendUint32(dst, d)
+		}
+	} else {
+		msg := clip(p.Msg, MaxMsgLen)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(msg)))
+		dst = append(dst, msg...)
+	}
+	return dst, nil
+}
+
 // AppendControlFrame appends one body-less frame (ping, pong, drain).
 func AppendControlFrame(dst []byte, typ byte, id uint64) []byte {
 	return appendHeader(dst, headerSize, typ, id)
@@ -313,6 +394,10 @@ func DecodeFrame(payload []byte) (Frame, error) {
 		return decodeQuery(f, body)
 	case TypeAnswer:
 		return decodeAnswer(f, body)
+	case TypePartialQuery:
+		return decodePartialQuery(f, body)
+	case TypePartial:
+		return decodePartial(f, body)
 	case TypePing, TypePong, TypeDrain:
 		if len(body) != 0 {
 			return f, fmt.Errorf("%w: control frame with %d body bytes", ErrBadFrame, len(body))
@@ -414,6 +499,65 @@ func decodeAnswer(f Frame, body []byte) (Frame, error) {
 	if len(body) != 0 {
 		return f, fmt.Errorf("%w: %d trailing bytes after last answer", ErrBadFrame, len(body))
 	}
+	return f, nil
+}
+
+func decodePartialQuery(f Frame, body []byte) (Frame, error) {
+	if len(body) < 6 {
+		return f, fmt.Errorf("%w: partial-query body %d bytes, want at least 6", ErrTruncated, len(body))
+	}
+	f.BudgetUs = binary.LittleEndian.Uint32(body[0:4])
+	n := int(binary.LittleEndian.Uint16(body[4:6]))
+	body = body[6:]
+	if n != len(body) {
+		return f, fmt.Errorf("%w: partial query declares %d text bytes, %d in frame", ErrTruncated, n, len(body))
+	}
+	f.Queries = []string{string(body)}
+	return f, nil
+}
+
+func decodePartial(f Frame, body []byte) (Frame, error) {
+	if len(body) < 1 {
+		return f, fmt.Errorf("%w: partial body empty, status missing", ErrTruncated)
+	}
+	p := &WirePartial{Status: body[0]}
+	body = body[1:]
+	if p.Status == StatusOK {
+		const fixed = 8 + 4 + 4
+		if len(body) < fixed {
+			return f, fmt.Errorf("%w: partial has %d bytes, fixed fields need %d", ErrTruncated, len(body), fixed)
+		}
+		p.Gen = binary.LittleEndian.Uint64(body[0:8])
+		p.NGrams = binary.LittleEndian.Uint32(body[8:12])
+		count := int(binary.LittleEndian.Uint32(body[12:16]))
+		body = body[fixed:]
+		if count == 0 || count > MaxPartialRows {
+			return f, fmt.Errorf("%w: %d distance rows in one partial (limit %d)", ErrBadFrame, count, MaxPartialRows)
+		}
+		// The row bytes must already be present, so this allocation is
+		// bounded by the validated frame length before the count is trusted.
+		if len(body) != 4*count {
+			return f, fmt.Errorf("%w: partial declares %d rows (%d bytes), %d in frame", ErrTruncated, count, 4*count, len(body))
+		}
+		p.Distances = make([]uint32, count)
+		for i := range p.Distances {
+			p.Distances[i] = binary.LittleEndian.Uint32(body[4*i:])
+		}
+	} else {
+		if len(body) < 2 {
+			return f, fmt.Errorf("%w: partial message length missing", ErrTruncated)
+		}
+		n := int(binary.LittleEndian.Uint16(body[0:2]))
+		body = body[2:]
+		if n > MaxMsgLen {
+			return f, fmt.Errorf("%w: partial message declares %d bytes (limit %d)", ErrBadFrame, n, MaxMsgLen)
+		}
+		if n != len(body) {
+			return f, fmt.Errorf("%w: partial message declares %d bytes, %d in frame", ErrTruncated, n, len(body))
+		}
+		p.Msg = string(body)
+	}
+	f.Partial = p
 	return f, nil
 }
 

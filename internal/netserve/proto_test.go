@@ -78,6 +78,132 @@ func TestAnswerFrameRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPartialFrameRoundTrip covers the remote-fleet scatter/gather frames:
+// partial queries at the text-length edges, OK partials at the row-count
+// edges, and typed-failure partials.
+func TestPartialFrameRoundTrip(t *testing.T) {
+	for ci, text := range []string{"", "ein kleiner text", strings.Repeat("x", MaxTextLen)} {
+		raw, err := AppendPartialQueryFrame(nil, uint64(ci)+3, 900, text)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", ci, err)
+		}
+		f, _, err := ReadFrame(bytes.NewReader(raw), nil)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", ci, err)
+		}
+		if f.Type != TypePartialQuery || f.ID != uint64(ci)+3 || f.BudgetUs != 900 {
+			t.Fatalf("case %d: header round trip: %+v", ci, f)
+		}
+		if len(f.Queries) != 1 || f.Queries[0] != text {
+			t.Fatalf("case %d: text round trip: %q", ci, f.Queries)
+		}
+	}
+	partials := []WirePartial{
+		{Status: StatusOK, Gen: 7, NGrams: 42, Distances: []uint32{0}},
+		{Status: StatusOK, Gen: 1, NGrams: 3, Distances: []uint32{4200, 17, 1 << 30, 9}},
+		{Status: StatusDrained, Msg: "draining"},
+		{Status: StatusInternal},
+	}
+	for ci, in := range partials {
+		raw, err := AppendPartialFrame(nil, uint64(ci)+11, in)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", ci, err)
+		}
+		f, _, err := ReadFrame(bytes.NewReader(raw), nil)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", ci, err)
+		}
+		if f.Type != TypePartial || f.ID != uint64(ci)+11 || f.Partial == nil {
+			t.Fatalf("case %d: header round trip: %+v", ci, f)
+		}
+		got := *f.Partial
+		if got.Status != in.Status || got.Gen != in.Gen || got.NGrams != in.NGrams || got.Msg != in.Msg {
+			t.Fatalf("case %d: partial round trip: %+v, want %+v", ci, got, in)
+		}
+		if len(got.Distances) != len(in.Distances) {
+			t.Fatalf("case %d: %d rows, want %d", ci, len(got.Distances), len(in.Distances))
+		}
+		for i := range in.Distances {
+			if got.Distances[i] != in.Distances[i] {
+				t.Fatalf("case %d: row %d = %d, want %d", ci, i, got.Distances[i], in.Distances[i])
+			}
+		}
+	}
+}
+
+// TestPartialFrameRejectsMalformed drives the partial decoder through its
+// corruption matrix.
+func TestPartialFrameRejectsMalformed(t *testing.T) {
+	ok, err := AppendPartialFrame(nil, 1, WirePartial{
+		Status: StatusOK, Gen: 2, NGrams: 5, Distances: []uint32{10, 20, 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := ok[lenSize:]
+	inflate := func(count uint32) []byte {
+		c := bytes.Clone(payload)
+		binary.LittleEndian.PutUint32(c[headerSize+13:], count)
+		return c
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"status-only", payload[:headerSize+1], ErrTruncated},
+		{"truncated-rows", payload[:len(payload)-2], ErrTruncated},
+		{"zero-rows", inflate(0), ErrBadFrame},
+		{"inflated-rows", inflate(4), ErrTruncated},
+		{"overdeclared-rows", inflate(MaxPartialRows + 1), ErrBadFrame},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeFrame(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Encoder side: empty and oversized row vectors must be refused, a
+	// too-long failure message clips rather than fails.
+	if _, err := AppendPartialFrame(nil, 1, WirePartial{Status: StatusOK}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("empty rows: err = %v", err)
+	}
+	if _, err := AppendPartialFrame(nil, 1, WirePartial{
+		Status: StatusOK, Distances: make([]uint32, MaxPartialRows+1),
+	}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized rows: err = %v", err)
+	}
+	clipped, err := AppendPartialFrame(nil, 1, WirePartial{
+		Status: StatusInternal, Msg: strings.Repeat("m", MaxMsgLen+40),
+	})
+	if err != nil {
+		t.Fatalf("clipped msg: %v", err)
+	}
+	f, err := DecodeFrame(clipped[lenSize:])
+	if err != nil {
+		t.Fatalf("decode clipped: %v", err)
+	}
+	if len(f.Partial.Msg) != MaxMsgLen {
+		t.Fatalf("clip length: %d", len(f.Partial.Msg))
+	}
+	// Partial-query side: a declared text length that disagrees with the
+	// frame body must be refused in both directions.
+	pq, err := AppendPartialQueryFrame(nil, 2, 0, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFrame(pq[lenSize : len(pq)-2]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated partial query: err = %v", err)
+	}
+	long := bytes.Clone(pq[lenSize:])
+	binary.LittleEndian.PutUint16(long[headerSize+4:], 900)
+	if _, err := DecodeFrame(long); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("inflated partial query text: err = %v", err)
+	}
+	if _, err := AppendPartialQueryFrame(nil, 2, 0, strings.Repeat("x", MaxTextLen+1)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized partial query text: err = %v", err)
+	}
+}
+
 // TestControlFrames round-trips the body-less frame types.
 func TestControlFrames(t *testing.T) {
 	for _, typ := range []byte{TypePing, TypePong, TypeDrain} {

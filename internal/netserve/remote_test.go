@@ -1,0 +1,481 @@
+package netserve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdam/internal/assoc"
+	"hdam/internal/core"
+	"hdam/internal/encoder"
+	"hdam/internal/fleet"
+	"hdam/internal/serve"
+)
+
+// startPartialServer serves partition p of n of mem over the binary
+// protocol: the in-test stand-in for one hamserve -replica process.
+func startPartialServer(t *testing.T, mem *core.Memory, newEnc func() *encoder.Encoder, sc fleet.Scheme, p, n int) *Server {
+	t.Helper()
+	m, s, err := fleet.PartitionModel(mem, sc, p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.New(m, s, newEnc, serve.Config{Workers: 1, Seed: testSeed, ReportDistances: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return startServer(t, EngineBackend(eng), Config{})
+}
+
+// remoteT starts a RemoteTransport with test-fast timing, captures every
+// connection it dials (so tests can kill them), and registers cleanup.
+type remoteT struct {
+	*RemoteTransport
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func dialRemote(t *testing.T, addr string, link uint64) *remoteT {
+	t.Helper()
+	rt := &remoteT{}
+	rt.RemoteTransport = NewRemoteTransport(RemoteConfig{
+		Addr:         addr,
+		PingInterval: 20 * time.Millisecond,
+		PingTimeout:  500 * time.Millisecond,
+		BackoffMin:   2 * time.Millisecond,
+		BackoffMax:   20 * time.Millisecond,
+		Seed:         testSeed,
+		Link:         link,
+		Dial: func(a string, timeout time.Duration) (net.Conn, error) {
+			nc, err := net.DialTimeout("tcp", a, timeout)
+			if err != nil {
+				return nil, err
+			}
+			rt.mu.Lock()
+			rt.conns = append(rt.conns, nc)
+			rt.mu.Unlock()
+			return nc, nil
+		},
+	})
+	t.Cleanup(func() { rt.Close() })
+	return rt
+}
+
+// killConn closes the transport's newest connection out from under it.
+func (rt *remoteT) killConn(t *testing.T) {
+	t.Helper()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.conns) == 0 {
+		t.Fatal("no connection to kill")
+	}
+	rt.conns[len(rt.conns)-1].Close()
+}
+
+func waitConnected(t *testing.T, tr *remoteT) {
+	t.Helper()
+	waitFor(t, func() bool { return tr.Connected() })
+}
+
+// partialStub is a scriptable PartialBackend: held texts park until
+// release, everything else answers a fixed in-range partial immediately.
+type partialStub struct {
+	hold     func(string) bool
+	release  chan struct{}
+	once     sync.Once
+	accepted atomic.Int64
+	ds       []int
+}
+
+func newPartialStub(ds []int, hold func(string) bool) *partialStub {
+	if hold == nil {
+		hold = func(string) bool { return false }
+	}
+	return &partialStub{hold: hold, release: make(chan struct{}), ds: ds}
+}
+
+func (b *partialStub) GoPartial(ctx context.Context, text string) (<-chan serve.Response, error) {
+	b.accepted.Add(1)
+	ch := make(chan serve.Response, 1)
+	resp := serve.Response{Distances: b.ds, Gen: 1, NGrams: 3}
+	if !b.hold(text) {
+		ch <- resp
+		return ch, nil
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			ch <- serve.Response{Err: ctx.Err()}
+		case <-b.release:
+			ch <- resp
+		}
+	}()
+	return ch, nil
+}
+
+func (b *partialStub) Go(ctx context.Context, text string) (<-chan serve.Response, error) {
+	return b.GoPartial(ctx, text)
+}
+
+func (b *partialStub) Drain(ctx context.Context) (uint64, error) {
+	b.once.Do(func() { close(b.release) })
+	return 0, nil
+}
+func (b *partialStub) Close()     { b.Drain(context.Background()) }
+func (b *partialStub) Stats() any { return nil }
+
+// TestRemoteTransportRedial is the reconnect state machine end to end: a
+// connected transport answers bit-identically to the serial reference;
+// killing the connection mid-batch fails the pending ask with
+// fleet.ErrTransport (never silently loses it); the manager redials and
+// counts exactly one reconnect per kill; answers after healing are again
+// bit-identical; and teardown leaks no goroutines.
+func TestRemoteTransportRedial(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	mem, newEnc, texts := buildFixture(t, 8, 8)
+	s := startPartialServer(t, mem, newEnc, fleet.ByWords, 0, 1)
+	tr := dialRemote(t, s.BinaryAddr().String(), 0)
+	waitConnected(t, tr)
+
+	enc := newEnc()
+	searcher := assoc.NewExact(mem)
+	askAndCheck := func(text string) {
+		t.Helper()
+		p, err := tr.Ask(context.Background(), text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, n := enc.EncodeText(text, testSeed)
+		if n == 0 {
+			t.Fatal("fixture text encodes to zero n-grams")
+		}
+		want := searcher.ObservedDistances(nil, q)
+		if p.Gen != 1 || p.NGrams != n || len(p.Distances) != len(want) {
+			t.Fatalf("partial meta %+v, want gen 1, %d ngrams, %d rows", p, n, len(want))
+		}
+		for i := range want {
+			if p.Distances[i] != want[i] {
+				t.Fatalf("row %d: remote partial %d, serial %d", i, p.Distances[i], want[i])
+			}
+		}
+	}
+	askAndCheck(texts[0])
+
+	// Kill the connection with an ask parked on it: the pending ask must
+	// fail typed (ready for the coordinator's mirror failover), not hang.
+	const kills = 3
+	for k := 1; k <= kills; k++ {
+		tr.killConn(t)
+		waitFor(t, func() bool { return tr.Reconnects() == uint64(k) })
+		waitConnected(t, tr)
+		askAndCheck(texts[k%len(texts)])
+	}
+	if got := tr.Reconnects(); got != kills {
+		t.Fatalf("Reconnects = %d, want %d (one per injected kill)", got, kills)
+	}
+
+	tr.Close()
+	s.Close()
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= baseline })
+}
+
+// TestRemoteTransportPendingFailsTyped parks an ask on a stub replica,
+// kills the connection underneath it, and requires the pending ask to
+// surface fleet.ErrTransport promptly — the contract the coordinator's
+// failover path consumes.
+func TestRemoteTransportPendingFailsTyped(t *testing.T) {
+	b := newPartialStub([]int{1, 2, 3}, func(string) bool { return true })
+	s := startServer(t, b, Config{})
+	tr := dialRemote(t, s.BinaryAddr().String(), 1)
+	waitConnected(t, tr)
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := tr.Ask(context.Background(), "parked")
+		errc <- err
+	}()
+	waitFor(t, func() bool { return b.accepted.Load() == 1 })
+	tr.killConn(t)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, fleet.ErrTransport) {
+			t.Fatalf("pending ask after conn kill: %v, want fleet.ErrTransport", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending ask hung after its connection died")
+	}
+	// Disconnected asks fail fast without touching the wire.
+	start := time.Now()
+	waitConnected(t, tr) // healed; now close the server so it goes dark
+	s.Close()
+	waitFor(t, func() bool { return !tr.Connected() })
+	if _, err := tr.Ask(context.Background(), "dark"); !errors.Is(err, fleet.ErrTransport) {
+		t.Fatalf("disconnected ask: %v, want fleet.ErrTransport", err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("disconnected ask took %s, want fail-fast", el)
+	}
+}
+
+// remoteFleet builds a remote fleet over per-partition servers, returning
+// the fleet and its transports.
+func remoteFleet(t *testing.T, mem *core.Memory, newEnc func() *encoder.Encoder, parts int, servers []*Server, cfg fleet.Config) (*fleet.Fleet, []*remoteT) {
+	t.Helper()
+	trs := make([]fleet.ReplicaTransport, len(servers))
+	rts := make([]*remoteT, len(servers))
+	for i, s := range servers {
+		rt := dialRemote(t, s.BinaryAddr().String(), uint64(i))
+		waitConnected(t, rt)
+		trs[i], rts[i] = rt, rt
+	}
+	cfg.Partitions = parts
+	fl, err := fleet.NewRemote(mem, trs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fl.Close)
+	return fl, rts
+}
+
+// TestRemoteFleetBitIdentical scatters over two remote partition servers
+// and checks every healthy answer against the single-threaded serial
+// reference: same index, distance, label, n-grams, full coverage. The wire
+// may not perturb the reduce.
+func TestRemoteFleetBitIdentical(t *testing.T) {
+	mem, newEnc, texts := buildFixture(t, 8, 32)
+	servers := []*Server{
+		startPartialServer(t, mem, newEnc, fleet.ByWords, 0, 2),
+		startPartialServer(t, mem, newEnc, fleet.ByWords, 1, 2),
+	}
+	fl, _ := remoteFleet(t, mem, newEnc, 2, servers, fleet.Config{
+		Scheme: fleet.ByWords, Seed: testSeed, Deadline: 2 * time.Second,
+	})
+
+	enc := newEnc()
+	searcher := assoc.NewExact(mem)
+	for i, text := range texts {
+		ans, err := fl.Ask(context.Background(), text)
+		q, n := enc.EncodeText(text, testSeed)
+		if n == 0 {
+			if !errors.Is(err, serve.ErrNoNGrams) {
+				t.Fatalf("text %d: err %v, want ErrNoNGrams", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("text %d: %v", i, err)
+		}
+		want := searcher.Search(q)
+		if ans.Result != want || ans.Label != mem.Label(want.Index) || ans.NGrams != n ||
+			ans.Gen != 1 || ans.Degraded || ans.Coverage != 1 {
+			t.Fatalf("text %d: remote answer %+v, want %+v label %q (%d ngrams)",
+				i, ans, want, mem.Label(want.Index), n)
+		}
+	}
+	st := fl.Stats()
+	if st.Erasures != 0 || st.RemoteErrors != 0 || st.Failovers != 0 {
+		t.Fatalf("healthy run counted faults: %+v", st)
+	}
+	for _, rs := range fl.ReplicaStats() {
+		if !rs.Remote || !rs.Connected {
+			t.Fatalf("replica %d: Remote=%v Connected=%v, want remote and connected", rs.ID, rs.Remote, rs.Connected)
+		}
+	}
+}
+
+// TestRemoteFleetDegradedCertificate kills one of two partitions' only
+// server and requires every answer to keep coming — degraded, coverage
+// under 1, bit-identical to the surviving partition's d-sampled argmin,
+// with the widened-margin certificate attached.
+func TestRemoteFleetDegradedCertificate(t *testing.T) {
+	mem, newEnc, texts := buildFixture(t, 8, 16)
+	servers := []*Server{
+		startPartialServer(t, mem, newEnc, fleet.ByWords, 0, 2),
+		startPartialServer(t, mem, newEnc, fleet.ByWords, 1, 2),
+	}
+	fl, rts := remoteFleet(t, mem, newEnc, 2, servers, fleet.Config{
+		Scheme: fleet.ByWords, Seed: testSeed,
+		Deadline: time.Second, Retries: 1, Backoff: time.Millisecond,
+	})
+
+	servers[1].Close() // partition 1 goes dark for good
+	waitFor(t, func() bool { return !rts[1].Connected() })
+
+	_, ps, err := fleet.PartitionModel(mem, fleet.ByWords, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := newEnc()
+	answered := 0
+	for i, text := range texts {
+		ans, err := fl.Ask(context.Background(), text)
+		q, n := enc.EncodeText(text, testSeed)
+		if n == 0 {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("text %d: degraded fleet refused to answer: %v", i, err)
+		}
+		answered++
+		want := ps.Search(q) // the surviving partition's d-sampled argmin
+		if ans.Result != want {
+			t.Fatalf("text %d: degraded answer %+v, want surviving-partition %+v", i, ans.Result, want)
+		}
+		if !ans.Degraded || ans.Erasures != 1 || ans.Coverage >= 1 || ans.Coverage <= 0 ||
+			ans.CoveredBits >= testDim {
+			t.Fatalf("text %d: degraded metadata %+v", i, ans)
+		}
+		if ans.WidenedMargin > ans.Margin {
+			t.Fatalf("text %d: widened margin %d exceeds margin %d", i, ans.WidenedMargin, ans.Margin)
+		}
+		if ans.Confident != (ans.WidenedMargin > 0) {
+			t.Fatalf("text %d: Confident=%v with widened margin %d", i, ans.Confident, ans.WidenedMargin)
+		}
+	}
+	if answered == 0 {
+		t.Fatal("no fixture text encoded")
+	}
+	// The dead partition is skipped at pick time (its transport reports
+	// disconnected), so erasures are counted without a single doomed
+	// dispatch reaching the transport layer.
+	st := fl.Stats()
+	if st.Erasures == 0 || st.Degraded == 0 {
+		t.Fatalf("degraded run stats %+v: want erasures and degraded counted", st)
+	}
+}
+
+// TestRemoteFleetFailover parks a request on one mirror of a partition,
+// kills that mirror's connection, and requires the request to be rescued
+// by the other mirror within the same ask — answered bit-identically, with
+// the failover counted.
+func TestRemoteFleetFailover(t *testing.T) {
+	mem, newEnc, texts := buildFixture(t, 8, 4)
+	// Mirror 0: a stub that parks everything. Mirror 1: a real partition
+	// server. Both hold partition 0 of 1 (the full model).
+	stub := newPartialStub(make([]int, mem.Classes()), func(string) bool { return true })
+	s0 := startServer(t, stub, Config{})
+	s1 := startPartialServer(t, mem, newEnc, fleet.ByWords, 0, 1)
+	fl, rts := remoteFleet(t, mem, newEnc, 1, []*Server{s0, s1}, fleet.Config{
+		Scheme: fleet.ByWords, Seed: testSeed,
+		Deadline: 5 * time.Second, Retries: 2, Backoff: time.Millisecond,
+	})
+
+	// The first ask (seq 0) picks holder 0 — the parked stub.
+	done := make(chan fleet.Answer, 1)
+	go func() {
+		ans, err := fl.Ask(context.Background(), texts[0])
+		if err != nil {
+			t.Errorf("failover ask: %v", err)
+		}
+		done <- ans
+	}()
+	waitFor(t, func() bool { return stub.accepted.Load() >= 1 })
+	rts[0].killConn(t)
+
+	select {
+	case ans := <-done:
+		enc := newEnc()
+		q, n := enc.EncodeText(texts[0], testSeed)
+		if n == 0 {
+			t.Fatal("fixture text encodes to zero n-grams")
+		}
+		want := assoc.NewExact(mem).Search(q)
+		if ans.Result != want || ans.Degraded {
+			t.Fatalf("failover answer %+v, want healthy %+v", ans, want)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ask never failed over to the surviving mirror")
+	}
+	st := fl.Stats()
+	if st.Failovers != 1 {
+		t.Fatalf("Failovers = %d, want 1 (the rescued ask)", st.Failovers)
+	}
+	if st.RemoteErrors == 0 {
+		t.Fatalf("RemoteErrors = 0, want the dead mirror's failure counted")
+	}
+	if st.Reconnects == 0 {
+		waitFor(t, func() bool { return fl.Stats().Reconnects >= 1 })
+	}
+}
+
+// TestRemoteFleetGenFilter swaps one of two remote replicas to generation
+// 2 (its process rolling its own snapshot) and requires the gather to
+// never mix generations: the answer comes from one generation's partials
+// only, with the dropped group counted.
+func TestRemoteFleetGenFilter(t *testing.T) {
+	mem, newEnc, texts := buildFixture(t, 8, 8)
+	m0, s0, err := fleet.PartitionModel(mem, fleet.ByWords, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, s1, err := fleet.PartitionModel(mem, fleet.ByWords, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng0, err := serve.New(m0, s0, newEnc, serve.Config{Workers: 1, Seed: testSeed, ReportDistances: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng1, err := serve.New(m1, s1, newEnc, serve.Config{Workers: 1, Seed: testSeed, ReportDistances: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := []*Server{
+		startServer(t, EngineBackend(eng0), Config{}),
+		startServer(t, EngineBackend(eng1), Config{}),
+	}
+	fl, _ := remoteFleet(t, mem, newEnc, 2, servers, fleet.Config{
+		Scheme: fleet.ByWords, Seed: testSeed, Deadline: 2 * time.Second,
+	})
+
+	// Replica 1's process rolls to generation 2 on its own schedule.
+	if _, err := eng1.Swap(m1, s1, newEnc); err != nil {
+		t.Fatal(err)
+	}
+	answered := false
+	for i, text := range texts {
+		ans, err := fl.Ask(context.Background(), text)
+		if err != nil {
+			if errors.Is(err, serve.ErrNoNGrams) {
+				continue
+			}
+			t.Fatalf("text %d: %v", i, err)
+		}
+		// Partition 0 covers 512 of 1000 bits, partition 1 the other 488, so
+		// the best-covered group is partition 0's at gen 1: the gen-2 partial
+		// is dropped and the answer never mixes the two.
+		if ans.Gen != 1 {
+			t.Fatalf("text %d: answer claims gen %d, want the best-covered gen 1", i, ans.Gen)
+		}
+		if !ans.Degraded || ans.Erasures != 1 {
+			t.Fatalf("text %d: gen-filtered answer not marked degraded: %+v", i, ans)
+		}
+		answered = true
+	}
+	if !answered {
+		t.Fatal("no fixture text encoded")
+	}
+	if st := fl.Stats(); st.GenDropped == 0 {
+		t.Fatalf("GenDropped = 0, want stale partials counted: %+v", st)
+	}
+}
+
+// TestRemoteFleetSwapRefused: an all-remote fleet cannot roll generations
+// from the coordinator — replica processes own their snapshots.
+func TestRemoteFleetSwapRefused(t *testing.T) {
+	mem, newEnc, _ := buildFixture(t, 8, 1)
+	s := startPartialServer(t, mem, newEnc, fleet.ByWords, 0, 1)
+	fl, _ := remoteFleet(t, mem, newEnc, 1, []*Server{s}, fleet.Config{Seed: testSeed})
+	if _, err := fl.Swap(mem); err == nil {
+		t.Fatal("Swap succeeded on an all-remote fleet")
+	}
+	if err := fl.StartReplica(0); err == nil {
+		t.Fatal("StartReplica succeeded on a remote replica")
+	}
+}

@@ -425,6 +425,9 @@ func (c *srvConn) readLoop() {
 		case TypeQuery:
 			c.s.frames.Add(1)
 			c.handleQuery(f)
+		case TypePartialQuery:
+			c.s.frames.Add(1)
+			c.handlePartial(f)
 		default:
 			// Client-bound or unknown-but-valid frames are ignored.
 		}
@@ -482,6 +485,60 @@ func (c *srvConn) handleQuery(f Frame) {
 		c.s.answered.Add(uint64(len(answers)))
 		c.enqueue(raw)
 	}(f.ID)
+}
+
+// handlePartial answers one partial-query frame: the replica-mode path,
+// submitting the text to the backend and returning its gen-stamped per-row
+// distance partial. It shares the query path's in-flight cap, budget
+// clamping, and always-answered drain guarantee.
+func (c *srvConn) handlePartial(f Frame) {
+	pb, ok := c.s.backend.(PartialBackend)
+	if !ok {
+		c.respondPartial(f.ID, WirePartial{Status: StatusInternal, Msg: "backend does not serve partials"})
+		return
+	}
+	if c.inflight.Load() >= int64(c.s.cfg.MaxInflight) {
+		c.s.inflightShed.Add(1)
+		c.respondPartial(f.ID, WirePartial{Status: StatusOverloaded, Msg: "connection in-flight cap"})
+		return
+	}
+	qctx, qcancel := context.Background(), context.CancelFunc(func() {})
+	if f.BudgetUs > 0 {
+		budget := time.Duration(f.BudgetUs) * time.Microsecond
+		if budget > c.s.cfg.MaxBudget {
+			budget = c.s.cfg.MaxBudget
+		}
+		qctx, qcancel = context.WithTimeout(context.Background(), budget)
+	}
+	ch, err := pb.GoPartial(qctx, f.Queries[0])
+	if err != nil {
+		qcancel()
+		p := WirePartial{Status: StatusOf(err)}
+		if p.Status == StatusInternal {
+			p.Msg = err.Error()
+		}
+		c.respondPartial(f.ID, p)
+		return
+	}
+	c.s.queries.Add(1)
+	c.inflight.Add(1)
+	c.gathers.Add(1)
+	go func(id uint64) {
+		defer c.gathers.Done()
+		defer c.inflight.Add(-1)
+		defer qcancel()
+		c.respondPartial(id, partialOf(<-ch))
+	}(f.ID)
+}
+
+// respondPartial encodes and enqueues one partial answer.
+func (c *srvConn) respondPartial(id uint64, p WirePartial) {
+	raw, err := AppendPartialFrame(nil, id, p)
+	if err != nil {
+		return // unreachable: partialOf bounds the row count
+	}
+	c.s.answered.Add(1)
+	c.enqueue(raw)
 }
 
 // respondAll answers every query of a frame with one status, bypassing the

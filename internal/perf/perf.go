@@ -54,6 +54,9 @@ type Report struct {
 	Cascade   []CascadeResult   `json:"cascade,omitempty"`
 	ColdStart []ColdStartResult `json:"cold_start,omitempty"`
 	Net       []NetResult       `json:"net,omitempty"`
+	// RemoteFleet is the over-the-wire scatter-gather chaos soak:
+	// coordinator plus TCP replica servers under kills and blackholes.
+	RemoteFleet []RemoteFleetResult `json:"remote_fleet,omitempty"`
 }
 
 // WriteJSON serializes the report, indented for diff-friendly check-in.

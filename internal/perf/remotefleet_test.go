@@ -1,0 +1,34 @@
+package perf
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRemoteFleetHarnessShort runs the over-the-wire soak small: the name
+// matches the `make ci` -run pattern alongside the in-process harnesses.
+// In-process replica servers over real TCP here; the subprocess path is
+// scripts/remotefleet-smoke.sh and hambench -remotefleet.
+func TestRemoteFleetHarnessShort(t *testing.T) {
+	if testing.Short() {
+		t.Log("short mode: trimmed remote-fleet soak")
+	}
+	points := DefaultRemoteFleetPoints(512, "")
+	for i := range points {
+		// The race detector inflates wire latency ~10x; a production
+		// deadline would misread that as replica failure. The killed and
+		// blackholed replicas still degrade the faulted point.
+		points[i].Deadline = 2 * time.Second
+	}
+	results, err := RunRemoteFleet(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		for _, line := range r.Violations(points[i]) {
+			t.Errorf("%s violated: %s", r.Name, line)
+		}
+		t.Logf("%s: %d answered, %d degraded (%.1f%%), %d reconnects, %d failovers, %d remote errors, qps %.0f, p99 %.1fµs",
+			r.Name, r.Answered, r.Degraded, 100*r.DegradedRate, r.Reconnects, r.Failovers, r.RemoteErrors, r.QPS, r.P99Us)
+	}
+}
