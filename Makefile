@@ -25,13 +25,15 @@ race:
 # (healthy and one-stall-one-crash points with qps, latency percentiles and
 # the degraded-answer-rate), the remote-fleet chaos soak (a coordinator
 # scatter-gathering over real TCP to replica servers with one killed and
-# one blackholed mid-run) and the open-loop network harness (binary and
+# one blackholed mid-run), the open-loop network harness (binary and
 # HTTP/JSON wire protocols at increasing offered load with zipfian keys and
-# a deliberate overload point) and APPEND the report as a new trajectory
-# entry — the seed's num_cpu:1 baseline entry is kept, so regressions show
-# up as diffs, never as overwrites.
+# a deliberate overload point) and the train-while-serve harness (search
+# qps/latency with ingest off vs on, reconcile latency, hot-swap count and
+# the new-language accuracy trajectory, recorded as learn/*) and APPEND the
+# report as a new trajectory entry — the seed's num_cpu:1 baseline entry is
+# kept, so regressions show up as diffs, never as overwrites.
 bench:
-	$(GO) run ./cmd/hambench -serve -cascade -fleet -remotefleet -net -json BENCH.json
+	$(GO) run ./cmd/hambench -serve -cascade -fleet -remotefleet -net -learn -json BENCH.json
 
 # bench-json is the historical name for the same regeneration.
 bench-json: bench
@@ -50,7 +52,11 @@ fmt-check:
 # race-enabled tests, a full (non-short) race pass over the
 # concurrency-heavy packages (sharded kernels, serve engine incl. hot swap,
 # the scatter-gather replica fleet incl. its chaos soak, robustness stack,
-# snapshot store and registry), a short chaos smoke driving the
+# snapshot store and registry), the train-while-serve learner (striped
+# ingest, phased reconcile, offline bit-identity) including its
+# learn-reconcile-swap soak — concurrent search + ingest with >=3 hot
+# swaps, zero drops and generation monotonicity — plus the short learn
+# harness smoke, a short chaos smoke driving the
 # supervisor/hedging paths and the fleet's degraded-mode path under seeded
 # faults, the model persistence gates (train→save→load round trip, decoder
 # corruption matrix, a fuzz smoke over the snapshot decoder), the kernel,
@@ -69,8 +75,10 @@ fmt-check:
 # in-process remote-fleet soak with a kill, a blackhole, bit-identity and
 # leak accounting.
 ci: fmt-check vet build race
-	$(GO) test -race ./internal/core ./internal/serve ./internal/assoc ./internal/fault ./internal/fleet ./internal/experiments ./internal/store ./internal/netserve
+	$(GO) test -race ./internal/core ./internal/serve ./internal/assoc ./internal/fault ./internal/fleet ./internal/experiments ./internal/store ./internal/netserve ./internal/learn
 	$(GO) test -race -short -run 'Chaos|FleetHarness' ./internal/serve ./internal/perf
+	$(GO) test -race -run 'TestTrainWhileServeSoak' ./internal/learn
+	$(GO) test -race -short -run 'TestLearnHarnessShort' ./internal/perf
 	$(GO) test -run 'TestTrainSaveLoadGate|TestDecodeRejects|TestDecodeGiantDeclaredLengths' ./internal/store
 	$(GO) test -run xxx -fuzz FuzzDecodeSnapshot -fuzztime 5s ./internal/store
 	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/netserve

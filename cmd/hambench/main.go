@@ -50,6 +50,11 @@
 //	-net-duration D  measurement window per net load point (default 2s)
 //	-coldstart   also run the cold-start comparison (train-and-save vs.
 //	             checksummed snapshot load) and record a coldstart/* section
+//	-learn       also run the train-while-serve harness (closed-loop search
+//	             qps and p50/p95/p99 with ingest off vs on, reconcile
+//	             latency, and the accuracy-vs-examples trajectory as new
+//	             languages arrive mid-run) and record a learn/* section
+//	-learn-duration D  measurement window per learn phase (default 2s)
 //	-list        print the available experiment ids and exit
 //
 // With -json and no experiment ids, only the benchmark suite runs; this is
@@ -90,6 +95,8 @@ func main() {
 	remoteFleetBinary := flag.String("remotefleet-binary", "", "hamserve binary for the remote-fleet soak: replicas run as real -replica subprocesses (default in-process servers over TCP)")
 	netBench := flag.Bool("net", false, "also run the open-loop network load harness (binary and HTTP protocols at increasing offered load) and record a net/* section in the report")
 	netDuration := flag.Duration("net-duration", 2*time.Second, "measurement window per net load point")
+	learnBench := flag.Bool("learn", false, "also run the train-while-serve harness (search qps/p99 with ingest off vs on, reconcile latency, accuracy-vs-examples) and record a learn/* section in the report")
+	learnDuration := flag.Duration("learn-duration", 2*time.Second, "measurement window per learn phase")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
@@ -105,15 +112,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *jsonOut != "" || *serveLoad || *coldStart || *cascadeBench || *fleetBench || *remoteFleet || *netBench {
-		if err := runBenchSuite(*jsonOut, *serveLoad, *serveRequests, *coldStart, *cascadeBench, *fleetBench, *fleetRequests, *remoteFleet, *remoteFleetRequests, *remoteFleetBinary, *netBench, *netDuration, *trainChars, *testPerLang); err != nil {
+	if *jsonOut != "" || *serveLoad || *coldStart || *cascadeBench || *fleetBench || *remoteFleet || *netBench || *learnBench {
+		if err := runBenchSuite(*jsonOut, *serveLoad, *serveRequests, *coldStart, *cascadeBench, *fleetBench, *fleetRequests, *remoteFleet, *remoteFleetRequests, *remoteFleetBinary, *netBench, *netDuration, *learnBench, *learnDuration, *trainChars, *testPerLang); err != nil {
 			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
 			os.Exit(1)
 		}
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		if *jsonOut != "" || *serveLoad || *coldStart || *chaos || *cascadeBench || *fleetBench || *remoteFleet || *netBench {
+		if *jsonOut != "" || *serveLoad || *coldStart || *chaos || *cascadeBench || *fleetBench || *remoteFleet || *netBench || *learnBench {
 			return
 		}
 		fmt.Fprintln(os.Stderr, "usage: hambench [flags] <experiment>... | all   (-list for ids)")
@@ -178,7 +185,7 @@ func main() {
 // runBenchSuite runs the perf kernel benchmarks (plus, optionally, the serve
 // load harness, the cascaded-search harness and the cold-start comparison)
 // and appends the report to the trajectory file at path.
-func runBenchSuite(path string, serveLoad bool, serveRequests int, coldStart, cascade, fleetBench bool, fleetRequests int, remoteFleet bool, remoteFleetRequests int, remoteFleetBinary string, netBench bool, netDuration time.Duration, trainChars, testPerLang int) error {
+func runBenchSuite(path string, serveLoad bool, serveRequests int, coldStart, cascade, fleetBench bool, fleetRequests int, remoteFleet bool, remoteFleetRequests int, remoteFleetBinary string, netBench bool, netDuration time.Duration, learnBench bool, learnDuration time.Duration, trainChars, testPerLang int) error {
 	fmt.Fprintf(os.Stderr, "[running kernel benchmark suite (kernel %s)]\n", perf.KernelName)
 	start := time.Now()
 	rep := perf.RunKernels()
@@ -249,6 +256,27 @@ func runBenchSuite(path string, serveLoad bool, serveRequests int, coldStart, ca
 		for _, r := range results {
 			fmt.Fprintf(os.Stderr, "  %-28s offered %8.0f  %9.0f qps  p50 %8.1fµs  p99 %8.1fµs  p999 %9.1fµs  shed %5.1f%%  err %5.1f%%\n",
 				r.Name, r.OfferedQPS, r.QPS, r.P50Us, r.P99Us, r.P999Us, 100*r.ShedRate, 100*r.ErrorRate)
+		}
+	}
+	if learnBench {
+		fmt.Fprintln(os.Stderr, "[running train-while-serve harness]")
+		results, err := perf.RunLearn(perf.LearnLoad{Duration: learnDuration})
+		if err != nil {
+			return err
+		}
+		rep.Learn = results
+		for _, r := range results {
+			fmt.Fprintf(os.Stderr, "  %-28s %9.0f qps  p50 %8.1fµs  p95 %8.1fµs  p99 %8.1fµs",
+				r.Name, r.SearchQPS, r.P50Us, r.P95Us, r.P99Us)
+			if r.IngestOn {
+				fmt.Fprintf(os.Stderr, "  p99 %+5.1f%%  ingest %7.0f/s  reconciles %d (p50 %.0fµs, max %.0fµs)  swaps %d",
+					r.P99DeltaPct, r.IngestQPS, r.Reconciles, r.ReconcileP50Us, r.ReconcileMaxUs, r.Swaps)
+			}
+			fmt.Fprintln(os.Stderr)
+			for _, a := range r.Accuracy {
+				fmt.Fprintf(os.Stderr, "    gen %-3d %7d examples  %2d classes  new-language accuracy %5.1f%%\n",
+					a.Gen, a.Examples, a.Classes, 100*a.Accuracy)
+			}
 		}
 	}
 	if cascade {

@@ -15,6 +15,16 @@
 //	hamserve -load model.ham              # serve a snapshot
 //	hamserve -listen :0 -http :0          # ephemeral ports (printed on stdout)
 //	hamserve -fleet 4                     # serve through a replica fleet
+//	hamserve -learn -learn-dir models/    # accept labeled examples while serving
+//
+// With -learn the server also accepts labeled training examples (binary
+// learn frames and POST /learn) while answering queries. Examples stream
+// into striped accumulators; a background reconcile loop folds them into a
+// new snapshot generation in -learn-dir, which the model registry validates
+// and hot-swaps into the serving engine with zero downtime. Learning is an
+// engine-only mode: it is mutually exclusive with -fleet, -replica and
+// -remote (fleet coordinators refuse learn traffic by design — see
+// internal/fleet).
 //
 // Distributed deployment splits the fleet across processes: each replica
 // serves one partition of a shared snapshot and answers partial queries
@@ -64,7 +74,18 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 256, "in-flight frames per binary connection")
 	maxHTTPInflight := flag.Int("max-http-inflight", 256, "concurrent /classify requests before 503 shedding")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM")
+	learnOn := flag.Bool("learn", false, "accept labeled examples while serving and fold them into new model generations")
+	learnDir := flag.String("learn-dir", "", "directory for reconciled snapshot generations (default: a fresh temp dir)")
+	learnInterval := flag.Duration("learn-interval", 2*time.Second, "auto-reconcile period (with -learn)")
+	learnCentroids := flag.Int("learn-centroids", 1, "accumulators per class, MEMHD-style multi-centroid mode when >1 (with -learn)")
+	learnStripes := flag.Int("learn-stripes", 0, "ingest stripes (0 = GOMAXPROCS; with -learn)")
+	learnBaseWeight := flag.Int("learn-base-weight", 1, "majority-vote weight of the base model's rows (with -learn)")
 	flag.Parse()
+
+	if *learnOn && (*fleetN > 0 || *replica || *remote != "") {
+		fmt.Fprintln(os.Stderr, "hamserve: -learn serves a whole-model engine; it cannot combine with -fleet, -replica or -remote (fleet coordinators refuse learn traffic)")
+		os.Exit(2)
+	}
 
 	var pol hdam.ServePolicy
 	switch *policy {
@@ -93,6 +114,8 @@ func main() {
 		MaxHTTPInflight: *maxHTTPInflight,
 	}
 	var srv *hdam.NetServer
+	var learner *hdam.Learner
+	var learnReg *hdam.ModelRegistry
 	switch {
 	case *replica && *remote != "":
 		fmt.Fprintln(os.Stderr, "hamserve: -replica and -remote are mutually exclusive")
@@ -174,6 +197,64 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
 			os.Exit(1)
 		}
+		if *learnOn {
+			dir := *learnDir
+			if dir == "" {
+				dir, err = os.MkdirTemp("", "hamserve-learn-*")
+			} else {
+				err = os.MkdirAll(dir, 0o755)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
+				os.Exit(1)
+			}
+			reg, err := hdam.NewModelRegistry(hdam.ModelRegistryConfig{
+				Dir: dir,
+				Swap: func(snap *hdam.Snapshot) error {
+					m, s, err := hdam.SnapshotModel(snap)
+					if err != nil {
+						return err
+					}
+					_, err = eng.Swap(m, s, hdam.SnapshotEncoderFactory(snap.Config()))
+					return err
+				},
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
+				os.Exit(1)
+			}
+			p := tr.Params
+			lr, err := hdam.NewLearner(tr.Memory, hdam.LearnConfig{
+				Dim:        p.Dim,
+				NGram:      p.NGram,
+				Seed:       p.Seed,
+				Dir:        dir,
+				Interval:   *learnInterval,
+				Centroids:  *learnCentroids,
+				Stripes:    *learnStripes,
+				BaseWeight: *learnBaseWeight,
+				Trainer:    "hamserve",
+				OnSnapshot: func(string) {
+					if _, err := reg.Check(); err != nil {
+						fmt.Fprintf(os.Stderr, "hamserve: registry: %v\n", err)
+					}
+				},
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
+				os.Exit(1)
+			}
+			go lr.Run(context.Background())
+			fmt.Fprintf(os.Stderr, "hamserve: learning into %s (interval %s, %d centroid(s)/class)\n",
+				dir, *learnInterval, *learnCentroids)
+			learner, learnReg = lr, reg
+			srv, err = hdam.ServeLearningEngine(eng, lr, netCfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
+				os.Exit(1)
+			}
+			break
+		}
 		srv, err = hdam.ServeEngine(eng, netCfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hamserve: %v\n", err)
@@ -198,6 +279,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hamserve: drain: %v\n", err)
 		srv.Close()
 		os.Exit(1)
+	}
+	if learner != nil {
+		// No ingest can arrive after the drain; fold the tail so nothing
+		// accepted is lost, then retire the learner and its registry.
+		if rep, err := learner.Reconcile(); err != nil {
+			fmt.Fprintf(os.Stderr, "hamserve: final reconcile: %v\n", err)
+		} else if !rep.Skipped {
+			fmt.Fprintf(os.Stderr, "hamserve: final reconcile: gen %d (%d classes, %d new examples) at %s\n",
+				rep.Gen, rep.Classes, rep.NewExamples, rep.Path)
+		}
+		learner.Close()
+		learnReg.Close()
 	}
 	st := srv.Stats()
 	fmt.Fprintf(os.Stderr,

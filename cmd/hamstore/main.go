@@ -18,7 +18,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"time"
 
 	"hdam"
@@ -99,6 +101,25 @@ func inspect(path string) error {
 		fmt.Printf("  note:   %s\n", p.Note)
 	}
 	fmt.Printf("  labels: %v\n", info.Labels)
+	if len(info.Meta) > 0 {
+		// Print every META key the file carries, not just the ones this
+		// build's Config models, so forward-extension fields (cascade
+		// slices, learn centroid layout, future additions) always show.
+		keys := make([]string, 0, len(info.Meta))
+		for k := range info.Meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Println("  meta:")
+		for _, k := range keys {
+			v := info.Meta[k]
+			// JSON numbers decode as float64; print integral ones whole.
+			if f, ok := v.(float64); ok && f == math.Trunc(f) && math.Abs(f) < 1<<53 {
+				v = int64(f)
+			}
+			fmt.Printf("    %-16s %v\n", k, v)
+		}
+	}
 	fmt.Println("  sections:")
 	for _, s := range info.Sections {
 		fmt.Printf("    %-8s offset=%-8d length=%-10d crc32c=%08x\n", s.Name, s.Offset, s.Length, s.CRC)

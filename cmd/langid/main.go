@@ -57,6 +57,11 @@
 //	             drains: every accepted request is answered before exit
 //	-listen-http A  also (or instead) serve HTTP/JSON on address A
 //	             (/classify, /statsz, /healthz)
+//	-learn DIR   with -listen/-listen-http: also accept labeled examples
+//	             (binary learn frames, POST /learn) while serving, folding
+//	             them into new snapshot generations in DIR that hot-swap
+//	             into the engine; exact search only, exclusive with -fleet,
+//	             -connect, -watch, -resilient and -demo
 package main
 
 import (
@@ -97,6 +102,7 @@ func main() {
 	connectParts := flag.Int("partitions", 0, "partition count for -connect (0 = one per address)")
 	listen := flag.String("listen", "", "serve over TCP with the binary wire protocol on this address instead of classifying stdin")
 	listenHTTP := flag.String("listen-http", "", "serve HTTP/JSON (/classify, /statsz, /healthz) on this address")
+	learnDir := flag.String("learn", "", "accept labeled examples while serving and fold new model generations into this directory (requires -listen or -listen-http)")
 	flag.Parse()
 
 	// Validate the hardware selection and engine shape before spending
@@ -138,6 +144,20 @@ func main() {
 	}
 	netCfg := hdam.NetConfig{BinaryAddr: *listen, HTTPAddr: *listenHTTP}
 	serveNet := *listen != "" || *listenHTTP != ""
+	if *learnDir != "" {
+		if !serveNet {
+			fmt.Fprintln(os.Stderr, "langid: -learn ingests over the network and needs -listen or -listen-http")
+			fmt.Fprintln(os.Stderr)
+			flag.Usage()
+			os.Exit(2)
+		}
+		if *fleetN != 0 || *connect != "" || *watchDir != "" || *resilient || *demo || *design != "exact" {
+			fmt.Fprintln(os.Stderr, "langid: -learn serves a whole-model exact engine and cannot combine with -fleet, -connect, -watch, -resilient, -demo or -design")
+			fmt.Fprintln(os.Stderr)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
 	var scheme hdam.FleetScheme
 	if *fleetN != 0 {
 		if *fleetN < 0 {
@@ -367,10 +387,14 @@ func main() {
 			Workers: w, MaxBatch: *batch, Seed: *seed,
 		})
 		if err == nil {
-			var srv *hdam.NetServer
-			srv, err = hdam.ServeEngine(eng, netCfg)
-			if err == nil {
-				err = runNetServer(srv)
+			if *learnDir != "" {
+				err = serveLearn(eng, tr, *learnDir, netCfg)
+			} else {
+				var srv *hdam.NetServer
+				srv, err = hdam.ServeEngine(eng, netCfg)
+				if err == nil {
+					err = runNetServer(srv)
+				}
 			}
 		}
 		if err != nil {
@@ -879,6 +903,67 @@ func rebuildTrained(mem *hdam.Memory, p hdam.LanguageParams) *hdam.Trained {
 	im := hdam.NewItemMemory(p.Dim, p.Seed)
 	im.Preload(hdam.LatinAlphabet)
 	return &hdam.Trained{Memory: mem, Encoder: hdam.NewEncoder(im, p.NGram), Params: p}
+}
+
+// serveLearn serves the engine with an attached online learner: learn
+// frames and POST /learn ingest labeled examples, a background reconcile
+// loop folds them into snapshot generations in dir, and the model registry
+// hot-swaps each generation into the engine while queries keep flowing.
+func serveLearn(eng *hdam.Engine, tr *hdam.Trained, dir string, netCfg hdam.NetConfig) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	reg, err := hdam.NewModelRegistry(hdam.ModelRegistryConfig{
+		Dir: dir,
+		Swap: func(snap *hdam.Snapshot) error {
+			m, s, err := hdam.SnapshotModel(snap)
+			if err != nil {
+				return err
+			}
+			_, err = eng.Swap(m, s, hdam.SnapshotEncoderFactory(snap.Config()))
+			return err
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+	p := tr.Params
+	lr, err := hdam.NewLearner(tr.Memory, hdam.LearnConfig{
+		Dim:     p.Dim,
+		NGram:   p.NGram,
+		Seed:    p.Seed,
+		Dir:     dir,
+		Trainer: "langid",
+		OnSnapshot: func(string) {
+			if _, err := reg.Check(); err != nil {
+				fmt.Fprintf(os.Stderr, "langid: registry: %v\n", err)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer lr.Close()
+	go lr.Run(context.Background())
+	srv, err := hdam.ServeLearningEngine(eng, lr, netCfg)
+	if err != nil {
+		return err
+	}
+	if err := runNetServer(srv); err != nil {
+		return err
+	}
+	// The drain finished, so no more ingest can arrive: fold the tail.
+	if rep, err := lr.Reconcile(); err != nil {
+		fmt.Fprintf(os.Stderr, "langid: final reconcile: %v\n", err)
+	} else if !rep.Skipped {
+		fmt.Fprintf(os.Stderr, "langid: final reconcile: gen %d (%d classes, %d new examples) at %s\n",
+			rep.Gen, rep.Classes, rep.NewExamples, rep.Path)
+	}
+	st := lr.Stats()
+	fmt.Fprintf(os.Stderr, "langid: learned %d examples over %d reconciles (%d classes served)\n",
+		st.Examples, st.Reconciles, st.Classes)
+	return nil
 }
 
 // runNetServer announces the resolved listener addresses and serves until

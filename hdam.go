@@ -18,6 +18,7 @@ import (
 	"hdam/internal/hv"
 	"hdam/internal/itemmem"
 	"hdam/internal/lang"
+	"hdam/internal/learn"
 	"hdam/internal/netserve"
 	"hdam/internal/rham"
 	"hdam/internal/serve"
@@ -738,4 +739,64 @@ func WrapNetConn(nc net.Conn, link uint64, injs ...NetFaultInjector) net.Conn {
 // it as a RemoteConfig.Dial to chaos-test a remote fleet.
 func WrapNetDialer(dial func(addr string, timeout time.Duration) (net.Conn, error), link uint64, injs ...NetFaultInjector) func(string, time.Duration) (net.Conn, error) {
 	return fault.WrapDialer(dial, link, injs...)
+}
+
+// ---- Online learning (train-while-serve) ----
+
+// Learner ingests labeled examples concurrently with search traffic and
+// periodically folds them — striped per-writer accumulators, a phased
+// freeze/merge/fold reconcile — into a new snapshot generation the model
+// registry hot-swaps into a serving engine with zero downtime.
+type Learner = learn.Learner
+
+// LearnConfig shapes a Learner: pipeline parameters, stripe and queue
+// sizing, the admission policy, the per-class centroid count, the snapshot
+// output directory and the auto-reconcile interval.
+type LearnConfig = learn.Config
+
+// LearnStats is a snapshot of a Learner's counters.
+type LearnStats = learn.Stats
+
+// LearnExample is one labeled training example.
+type LearnExample = learn.Example
+
+// LearnReport describes one reconcile: the generation published, its path,
+// class/row counts and how many examples it folded.
+type LearnReport = learn.Report
+
+// ErrLearnOverloaded is returned by Learner.Ingest when every stripe queue
+// is full under the fail-fast admission policy.
+var ErrLearnOverloaded = learn.ErrOverloaded
+
+// ErrLearnClosed is returned by Learner calls after Close.
+var ErrLearnClosed = learn.ErrClosed
+
+// ErrLearnInvalid rejects an example the learner will not accept (empty or
+// oversized label, reserved characters, empty text).
+var ErrLearnInvalid = learn.ErrInvalidExample
+
+// NewLearner builds an online learner seeded with a base model (may be
+// nil for a cold start); each base class starts as a weight-BaseWeight
+// prior, so untouched classes fold back to exactly their base rows.
+func NewLearner(base *Memory, cfg LearnConfig) (*Learner, error) { return learn.New(base, cfg) }
+
+// LearnOffline is the single-centroid offline reference trainer: the same
+// fold a Learner reconcile produces from the same example multiset, bit for
+// bit, computed in one pass (the determinism oracle).
+func LearnOffline(base *Memory, examples []LearnExample, cfg LearnConfig) (*Memory, error) {
+	return learn.TrainOffline(base, examples, cfg)
+}
+
+// SnapshotModel builds the servable (memory, searcher) pair for a loaded
+// snapshot, resolving its centroid layout: plain snapshots get the exact
+// searcher, multi-centroid ones a class-level memory with clean labels and
+// a min-over-centroids searcher.
+func SnapshotModel(snap *Snapshot) (*Memory, Searcher, error) { return learn.Model(snap) }
+
+// ServeLearningEngine exposes an engine plus an online learner over the
+// network: query frames hit the engine, learn frames (and POST /learn) feed
+// the learner, and reconciled generations reach the engine through the
+// model registry like any other snapshot swap.
+func ServeLearningEngine(eng *Engine, lr *Learner, cfg NetConfig) (*NetServer, error) {
+	return netserve.New(netserve.LearnEngineBackend(eng, lr), cfg)
 }

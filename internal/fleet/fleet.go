@@ -39,6 +39,17 @@
 // group (ties to the newer) is reduced, so no Answer ever mixes model
 // generations — the property that makes hot snapshot rollover via
 // store.Registry safe at fleet scale.
+//
+// # Online learning
+//
+// A fleet does not ingest training examples. Replicas hold partitions of
+// one folded model, so examples accepted at the coordinator could not be
+// bundled into a consistent cross-replica generation without a consensus
+// layer this design deliberately lacks; the netserve front-end therefore
+// refuses learn traffic on a fleet backend with a typed answer. The
+// supported shape is to run an internal/learn Learner beside a whole-model
+// engine (or offline), let it publish reconciled generations as snapshots,
+// and roll them across the fleet through Swap like any other model update.
 package fleet
 
 import (

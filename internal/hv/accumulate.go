@@ -226,6 +226,19 @@ func (a *Accumulator) Merge(b *Accumulator) {
 	a.planes() // overflow check
 }
 
+// Clone returns a deep copy of the accumulator: same dimensionality, seed,
+// weight and per-component counters, sharing no storage with the receiver.
+// Reconciliation uses it to export a live stripe's counters while the
+// original keeps accumulating.
+func (a *Accumulator) Clone() *Accumulator {
+	b := &Accumulator{dim: a.dim, nw: a.nw, n: a.n, seed: a.seed}
+	if a.data != nil {
+		b.data = make([]uint64, len(a.data))
+		copy(b.data, a.data)
+	}
+	return b
+}
+
 // Reset empties the accumulator for reuse. The counter storage is kept, so
 // a reused accumulator runs at a zero-allocation steady state.
 func (a *Accumulator) Reset() {
@@ -302,9 +315,19 @@ func (a *Accumulator) Majority() *Vector {
 // Counts materializes the per-component ones counters. It allocates; use it
 // for inspection and tests, not in hot loops.
 func (a *Accumulator) Counts() []int32 {
-	counts := make([]int32, a.dim)
+	return a.CountsInto(make([]int32, a.dim))
+}
+
+// CountsInto is Counts into a caller-provided buffer, which must have length
+// Dim. It returns dst. This is the zero-allocation counter-export path the
+// learn reconciliation uses to audit stripe merges.
+func (a *Accumulator) CountsInto(dst []int32) []int32 {
+	if len(dst) != a.dim {
+		panic(fmt.Sprintf("hv: counts buffer length %d, dim %d", len(dst), a.dim))
+	}
 	if a.data == nil {
-		return counts
+		clear(dst)
+		return dst
 	}
 	np := a.planes()
 	for i := 0; i < a.dim; i++ {
@@ -314,9 +337,9 @@ func (a *Accumulator) Counts() []int32 {
 		for p := 0; p < np; p++ {
 			c += int32(a.data[base+p]>>off&1) << uint(p)
 		}
-		counts[i] = c
+		dst[i] = c
 	}
-	return counts
+	return dst
 }
 
 // Margin returns, for component i, the signed margin 2·ones − n: positive

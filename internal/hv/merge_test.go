@@ -1,0 +1,156 @@
+package hv
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestMergeFoldBitIdentical is the reconciliation correctness property: for
+// any partition of a vector multiset across striped accumulators, merging
+// the stripes and folding yields the exact bits single-accumulator bundling
+// would. Counter addition is commutative and Majority depends only on
+// (counters, n, seed), so this must hold for every dimension (including
+// tail-word dims), every stripe count, every merge order, and both odd and
+// even totals (even totals exercise the tie-break path).
+func TestMergeFoldBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	for _, dim := range []int{63, 64, 65, 127, 128, 200, 1000} {
+		for _, total := range []int{1, 2, 3, 4, 7, 8, 31, 32, 100} {
+			for _, stripes := range []int{1, 2, 3, 5} {
+				vs := make([]*Vector, total)
+				for i := range vs {
+					vs[i] = Random(dim, rng)
+				}
+				const seed = 0xfeed
+				ref := NewAccumulator(dim, seed)
+				for _, v := range vs {
+					ref.Add(v)
+				}
+
+				parts := make([]*Accumulator, stripes)
+				for i := range parts {
+					// Stripe seeds are irrelevant: only the merged
+					// accumulator's seed drives tie-breaks.
+					parts[i] = NewAccumulator(dim, uint64(1000+i))
+				}
+				for _, v := range vs {
+					parts[rng.IntN(stripes)].Add(v)
+				}
+				merged := NewAccumulator(dim, seed)
+				// Merge in a shuffled order: order must not matter.
+				for _, i := range rng.Perm(stripes) {
+					merged.Merge(parts[i])
+				}
+				if merged.Count() != ref.Count() {
+					t.Fatalf("dim %d total %d stripes %d: merged count %d, want %d",
+						dim, total, stripes, merged.Count(), ref.Count())
+				}
+				if !merged.Majority().Equal(ref.Majority()) {
+					t.Fatalf("dim %d total %d stripes %d: merged majority differs from single-accumulator bundling",
+						dim, total, stripes)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeWeightedEquivalence checks that merging pre-aggregated
+// accumulators matches AddWeighted-style bundling with mixed weights.
+func TestMergeWeightedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	const dim, seed = 130, 77
+	v1, v2, v3 := Random(dim, rng), Random(dim, rng), Random(dim, rng)
+
+	ref := NewAccumulator(dim, seed)
+	ref.AddWeighted(v1, 5)
+	ref.AddWeighted(v2, 2)
+	ref.Add(v3)
+
+	a := NewAccumulator(dim, seed)
+	a.AddWeighted(v1, 3)
+	b := NewAccumulator(dim, 0)
+	b.AddWeighted(v1, 2)
+	b.AddWeighted(v2, 2)
+	c := NewAccumulator(dim, 0)
+	c.Add(v3)
+	a.Merge(b)
+	a.Merge(c)
+
+	if got, want := a.Counts(), ref.Counts(); len(got) == len(want) {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("component %d: merged count %d, want %d", i, got[i], want[i])
+			}
+		}
+	}
+	if !a.Majority().Equal(ref.Majority()) {
+		t.Fatal("merged weighted majority differs from direct bundling")
+	}
+}
+
+// TestCloneIndependent checks Clone exports a frozen copy: adds to the
+// original after cloning do not leak into the clone, and the clone folds
+// exactly as the original would have at clone time.
+func TestCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 1))
+	const dim = 190 // tail-word dim: 190 % 64 != 0
+	a := NewAccumulator(dim, 5)
+	for i := 0; i < 6; i++ { // even count: tie-break path live
+		a.Add(Random(dim, rng))
+	}
+	want := a.Majority()
+	wantCounts := a.Counts()
+
+	c := a.Clone()
+	if c.Count() != a.Count() || c.Dim() != a.Dim() {
+		t.Fatalf("clone shape (%d,%d), want (%d,%d)", c.Dim(), c.Count(), a.Dim(), a.Count())
+	}
+	// Mutate the original; the clone must not move.
+	for i := 0; i < 3; i++ {
+		a.Add(Random(dim, rng))
+	}
+	if !c.Majority().Equal(want) {
+		t.Fatal("clone majority changed when the original accumulated more")
+	}
+	got := c.Counts()
+	for i := range got {
+		if got[i] != wantCounts[i] {
+			t.Fatalf("clone counter %d is %d, want %d", i, got[i], wantCounts[i])
+		}
+	}
+	// And an empty clone of an empty accumulator stays empty.
+	e := NewAccumulator(dim, 5).Clone()
+	if e.Count() != 0 || !e.Majority().Equal(New(dim)) {
+		t.Fatal("clone of empty accumulator is not empty")
+	}
+}
+
+// TestCountsInto checks the buffer-reusing export path matches Counts.
+func TestCountsInto(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 2))
+	for _, dim := range []int{64, 65, 129} {
+		a := NewAccumulator(dim, 1)
+		for i := 0; i < 9; i++ {
+			a.Add(Random(dim, rng))
+		}
+		buf := make([]int32, dim)
+		got := a.CountsInto(buf)
+		want := a.Counts()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("dim %d component %d: CountsInto %d, Counts %d", dim, i, got[i], want[i])
+			}
+		}
+		// Empty accumulator clears a dirty buffer.
+		e := NewAccumulator(dim, 1)
+		for i := range buf {
+			buf[i] = -1
+		}
+		e.CountsInto(buf)
+		for i := range buf {
+			if buf[i] != 0 {
+				t.Fatalf("dim %d: empty CountsInto left %d at %d", dim, buf[i], i)
+			}
+		}
+	}
+}

@@ -1,0 +1,465 @@
+package learn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hdam/internal/core"
+	"hdam/internal/hv"
+	"hdam/internal/store"
+)
+
+const (
+	testDim   = 1024
+	testNGram = 3
+	testSeed  = 0xfeed
+)
+
+// testBase builds a small deterministic base model.
+func testBase(t *testing.T, classes int) *core.Memory {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(77, 13))
+	rows := make([]*hv.Vector, classes)
+	labels := make([]string, classes)
+	for i := range rows {
+		rows[i] = hv.Random(testDim, rng)
+		labels[i] = fmt.Sprintf("base%02d", i)
+	}
+	mem, err := core.NewMemory(rows, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem
+}
+
+// corpus synthesizes a deterministic labeled example set: per class a
+// distinct alphabet bias so classes are actually separable.
+func corpus(seed uint64, labels []string, perClass int) []Example {
+	rng := rand.New(rand.NewPCG(seed, 0x5eed))
+	letters := "abcdefghijklmnopqrstuvwxyz "
+	var out []Example
+	for ci, label := range labels {
+		for e := 0; e < perClass; e++ {
+			var b strings.Builder
+			for w := 0; w < 80; w++ {
+				// Bias each class heavily toward its own slice of the
+				// alphabet so classes are separable by trigram statistics.
+				if rng.IntN(8) > 0 {
+					b.WriteByte(letters[(ci*5+rng.IntN(4))%26])
+				} else {
+					b.WriteByte(letters[rng.IntN(len(letters))])
+				}
+			}
+			out = append(out, Example{Label: label, Text: b.String()})
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{Dim: testDim, NGram: testNGram, Seed: testSeed, Dir: t.TempDir()}
+}
+
+// memEqual asserts two memories are bit-identical with identical labels.
+func memEqual(t *testing.T, got, want *core.Memory, what string) {
+	t.Helper()
+	if got.Classes() != want.Classes() {
+		t.Fatalf("%s: %d classes, want %d\ngot %v\nwant %v", what, got.Classes(), want.Classes(), got.Labels(), want.Labels())
+	}
+	for i := 0; i < want.Classes(); i++ {
+		if got.Label(i) != want.Label(i) {
+			t.Fatalf("%s: label[%d] = %q, want %q", what, i, got.Label(i), want.Label(i))
+		}
+		if !got.Class(i).Equal(want.Class(i)) {
+			t.Fatalf("%s: class %q not bit-identical", what, want.Label(i))
+		}
+	}
+}
+
+// TestReconcileBitIdenticalToOffline is the subsystem's central determinism
+// claim: concurrent striped ingest, split across several reconciles in a
+// shuffled order, folds to exactly the matrix the single-threaded offline
+// reference produces from the same example multiset.
+func TestReconcileBitIdenticalToOffline(t *testing.T) {
+	base := testBase(t, 4)
+	cfg := testConfig(t)
+	cfg.Stripes = 4
+	cfg.Queue = 64
+	cfg.Block = true
+
+	labels := []string{"base00", "base02", "newlang", "otherlang"}
+	examples := corpus(101, labels, 50)
+
+	lr, err := New(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.Close()
+
+	// Ingest from several goroutines, reconciling mid-stream ≥3 times so the
+	// fold is exercised across multiple epochs.
+	chunks := 4
+	per := len(examples) / chunks
+	for c := 0; c < chunks; c++ {
+		part := examples[c*per:]
+		if c < chunks-1 {
+			part = part[:per]
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(part); i += 3 {
+					if err := lr.Ingest(context.Background(), part[i].Label, part[i].Text); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		rep, err := lr.Reconcile()
+		if err != nil {
+			t.Fatalf("reconcile %d: %v", c, err)
+		}
+		if rep.Skipped {
+			t.Fatalf("reconcile %d skipped with new examples", c)
+		}
+	}
+
+	st := lr.Stats()
+	if st.Reconciles < 3 || st.Gen != uint64(chunks) {
+		t.Fatalf("stats %+v, want ≥3 reconciles and gen %d", st, chunks)
+	}
+	if st.Examples != uint64(len(examples)) {
+		t.Fatalf("folded %d examples, want %d", st.Examples, len(examples))
+	}
+
+	ref, err := TrainOffline(base, examples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := store.Open(filepath.Join(cfg.Dir, fmt.Sprintf("learn-%06d.hds", chunks)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	memEqual(t, snap.Memory(), ref, "online vs offline")
+	if snap.Provenance().LearnExamples != uint64(len(examples)) {
+		t.Fatalf("snapshot learn_examples = %d, want %d", snap.Provenance().LearnExamples, len(examples))
+	}
+
+	// Order independence of the reference itself: reversed multiset, same fold.
+	rev := make([]Example, len(examples))
+	for i, ex := range examples {
+		rev[len(examples)-1-i] = ex
+	}
+	ref2, err := TrainOffline(base, rev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memEqual(t, ref2, ref, "offline order independence")
+}
+
+// TestFirstGenerationIsBase checks the bootstrap: a reconcile before any
+// examples publishes the base model verbatim (weight-1 prior folds back to
+// exactly the base rows, in base order).
+func TestFirstGenerationIsBase(t *testing.T) {
+	base := testBase(t, 5)
+	cfg := testConfig(t)
+	var published []string
+	cfg.OnSnapshot = func(p string) { published = append(published, p) }
+	lr, err := New(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.Close()
+
+	rep, err := lr.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped || rep.Gen != 1 || len(published) != 1 || published[0] != rep.Path {
+		t.Fatalf("bootstrap reconcile: %+v, published %v", rep, published)
+	}
+	snap, err := store.Open(rep.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	memEqual(t, snap.Memory(), base, "bootstrap generation")
+
+	// With nothing new, the next reconcile is a skip — no snapshot churn.
+	rep2, err := lr.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Skipped || len(published) != 1 {
+		t.Fatalf("idle reconcile not skipped: %+v, published %v", rep2, published)
+	}
+}
+
+// TestNewClassLearned checks that a class unseen in the base model becomes
+// answerable after one reconcile: its fresh examples classify to it.
+func TestNewClassLearned(t *testing.T) {
+	base := testBase(t, 3)
+	cfg := testConfig(t)
+	lr, err := New(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.Close()
+
+	train := corpus(7, []string{"martian"}, 60)
+	for _, ex := range train {
+		if err := lr.Ingest(context.Background(), ex.Label, ex.Text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := lr.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Classes != 4 {
+		t.Fatalf("classes = %d, want 4 (3 base + martian)", rep.Classes)
+	}
+	snap, err := store.Open(rep.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	mem, searcher, err := Model(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncoderFactory(testDim, testNGram, testSeed)()
+	held := corpus(8, []string{"martian"}, 20)
+	correct := 0
+	for _, ex := range held {
+		q, n := enc.EncodeText(ex.Text, testSeed)
+		if n == 0 {
+			t.Fatal("held-out example encoded empty")
+		}
+		if mem.Label(searcher.Search(q).Index) == "martian" {
+			correct++
+		}
+	}
+	if correct < len(held)*9/10 {
+		t.Fatalf("new class recall %d/%d, want ≥90%%", correct, len(held))
+	}
+}
+
+// TestMultiCentroid checks the MEMHD-style layout end to end: k accumulators
+// per class, C·k rows class-major with "#j" labels and META centroids, a
+// class-level Model with clean labels, and min-over-centroid search that
+// still classifies.
+func TestMultiCentroid(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Centroids = 3
+	lr, err := New(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.Close()
+
+	labels := []string{"alpha", "beta", "gamma"}
+	for _, ex := range corpus(21, labels, 80) {
+		if err := lr.Ingest(context.Background(), ex.Label, ex.Text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := lr.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	// A second round exercises assign-to-nearest against the published view.
+	for _, ex := range corpus(22, labels, 80) {
+		if err := lr.Ingest(context.Background(), ex.Label, ex.Text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := lr.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows != 9 || rep.Classes != 3 {
+		t.Fatalf("report %+v, want 3 classes × 3 centroids = 9 rows", rep)
+	}
+
+	snap, err := store.Open(rep.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if snap.Config().Centroids != 3 {
+		t.Fatalf("snapshot centroids = %d", snap.Config().Centroids)
+	}
+	raw := snap.Memory()
+	if raw.Classes() != 9 || raw.Label(0) != "alpha#0" || raw.Label(5) != "beta#2" {
+		t.Fatalf("row layout: %v", raw.Labels())
+	}
+
+	mem, searcher, err := Model(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Classes() != 3 || mem.Label(0) != "alpha" {
+		t.Fatalf("class-level memory: %v", mem.Labels())
+	}
+	if !strings.Contains(searcher.Name(), "centroid") {
+		t.Fatalf("searcher %q", searcher.Name())
+	}
+
+	enc := EncoderFactory(testDim, testNGram, testSeed)()
+	correct, total := 0, 0
+	for _, ex := range corpus(23, labels, 20) {
+		q, n := enc.EncodeText(ex.Text, testSeed)
+		if n == 0 {
+			continue
+		}
+		total++
+		res := searcher.Search(q)
+		if res.Index < 0 || res.Index >= 3 {
+			t.Fatalf("class index %d out of range", res.Index)
+		}
+		if mem.Label(res.Index) == ex.Label {
+			correct++
+		}
+	}
+	if correct < total*8/10 {
+		t.Fatalf("multi-centroid accuracy %d/%d", correct, total)
+	}
+
+	// SearchBuf agrees with Search and reuses the buffer.
+	bs := searcher.(core.BufferedSearcher)
+	var buf []int
+	q, _ := enc.EncodeText("the quick brown fox", testSeed)
+	if a, b := searcher.Search(q), bs.SearchBuf(q, &buf); a != b || len(buf) != 9 {
+		t.Fatalf("SearchBuf %+v vs Search %+v, buf %d", b, a, len(buf))
+	}
+}
+
+// TestAdmissionControl checks both policies on saturated stripe queues, and
+// example validation.
+func TestAdmissionControl(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Stripes = 1
+	cfg.Queue = 1
+
+	lr, err := New(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stall the single stripe worker with a freeze barrier nobody answers
+	// yet, so queued examples cannot drain.
+	fz := make(chan *stripeEpoch, 1)
+	stall := make(chan *stripeEpoch)
+	lr.stripes[0].ch <- stripeMsg{freeze: fz}
+	<-fz
+	lr.stripes[0].ch <- stripeMsg{freeze: stall} // worker blocks sending this
+
+	// One slot fills, then fail-fast admission must refuse.
+	if err := lr.Ingest(context.Background(), "x", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lr.Ingest(context.Background(), "x", "hello"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full queue: %v, want ErrOverloaded", err)
+	}
+
+	// Block policy: bounded by context.
+	lr.cfg.Block = true
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := lr.Ingest(ctx, "x", "hello"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked ingest: %v, want deadline", err)
+	}
+	<-stall // release the worker
+
+	// Validation rejections.
+	for _, bad := range []struct{ label, text string }{
+		{"", "text"},
+		{"has#sep", "text"},
+		{strings.Repeat("x", 300), "text"},
+		{"ok", ""},
+	} {
+		if err := lr.Ingest(context.Background(), bad.label, bad.text); !errors.Is(err, ErrInvalidExample) {
+			t.Fatalf("Ingest(%q, %q) = %v, want ErrInvalidExample", bad.label, bad.text, err)
+		}
+	}
+
+	st := lr.Stats()
+	if st.Rejected != 2 || st.Invalid != 4 {
+		t.Fatalf("stats %+v, want 2 rejected, 4 invalid", st)
+	}
+
+	lr.Close()
+	lr.Close() // idempotent
+	if err := lr.Ingest(context.Background(), "x", "hello"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close ingest: %v, want ErrClosed", err)
+	}
+	if _, err := lr.Reconcile(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close reconcile: %v, want ErrClosed", err)
+	}
+}
+
+// TestRunLoop drives the ticker loop: examples ingested while Run owns
+// reconciliation must be published without explicit Reconcile calls.
+func TestRunLoop(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Interval = 10 * time.Millisecond
+	gens := make(chan string, 64)
+	cfg.OnSnapshot = func(p string) { gens <- p }
+	lr, err := New(testBase(t, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- lr.Run(ctx) }()
+
+	for _, ex := range corpus(31, []string{"fresh"}, 30) {
+		if err := lr.Ingest(context.Background(), ex.Label, ex.Text); err != nil && !errors.Is(err, ErrOverloaded) {
+			t.Error(err)
+		}
+	}
+	select {
+	case <-gens:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run produced no generation")
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v", err)
+	}
+}
+
+// TestConfigValidation covers constructor rejection paths.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nil, Config{NGram: 3, Dir: t.TempDir()}); err == nil {
+		t.Fatal("accepted zero dim with nil base")
+	}
+	if _, err := New(testBase(t, 2), Config{Dim: testDim, NGram: 3}); err == nil {
+		t.Fatal("accepted empty snapshot directory")
+	}
+	if _, err := New(testBase(t, 2), Config{Dim: testDim / 2, NGram: 3, Dir: t.TempDir()}); err == nil {
+		t.Fatal("accepted dim mismatch with base")
+	}
+	if _, err := TrainOffline(nil, nil, Config{Dim: testDim, NGram: 3, Centroids: 2}); err == nil {
+		t.Fatal("offline reference accepted multi-centroid mode")
+	}
+	if _, err := TrainOffline(nil, nil, Config{Dim: testDim, NGram: 3}); err == nil {
+		t.Fatal("offline reference accepted an empty fold")
+	}
+}

@@ -1,0 +1,118 @@
+package learn
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hdam/internal/assoc"
+	"hdam/internal/core"
+	"hdam/internal/hv"
+	"hdam/internal/store"
+)
+
+// Model builds the servable (memory, searcher) pair for a snapshot,
+// resolving its centroid layout. A plain snapshot (Centroids ≤ 1) serves
+// directly with the exact searcher. A multi-centroid snapshot serves a
+// class-level memory — one representative row and a clean label per class,
+// so answer labels stay "spanish", never "spanish#2" — paired with a
+// CentroidSearcher that still scans all C·k rows and scores each class by
+// its best centroid.
+func Model(snap *store.Snapshot) (*core.Memory, core.Searcher, error) {
+	k := snap.Config().Centroids
+	rows := snap.Memory()
+	if k <= 1 {
+		return rows, assoc.NewExact(rows), nil
+	}
+	if rows.Classes()%k != 0 {
+		return nil, nil, fmt.Errorf("learn: %d rows not divisible by centroid count %d", rows.Classes(), k)
+	}
+	classes := rows.Classes() / k
+	reps := make([]*hv.Vector, classes)
+	labels := make([]string, classes)
+	for c := 0; c < classes; c++ {
+		for j := 0; j < k; j++ {
+			label, idx, err := splitCentroidLabel(rows.Label(c*k + j))
+			if err != nil {
+				return nil, nil, err
+			}
+			if idx != j {
+				return nil, nil, fmt.Errorf("learn: row %d labeled %q, want centroid %d", c*k+j, rows.Label(c*k+j), j)
+			}
+			if j == 0 {
+				labels[c] = label
+			} else if label != labels[c] {
+				return nil, nil, fmt.Errorf("learn: class %d mixes labels %q and %q", c, labels[c], label)
+			}
+		}
+		reps[c] = rows.Class(c * k)
+	}
+	mem, err := core.NewMemory(reps, labels)
+	if err != nil {
+		return nil, nil, fmt.Errorf("learn: class-level memory: %w", err)
+	}
+	return mem, &CentroidSearcher{cm: rows.ClassMatrix(), k: k, classes: classes}, nil
+}
+
+// splitCentroidLabel parses "<class>#<j>".
+func splitCentroidLabel(row string) (label string, j int, err error) {
+	i := strings.LastIndex(row, centroidSep)
+	if i <= 0 || i == len(row)-1 {
+		return "", 0, fmt.Errorf("learn: row label %q is not <class>%s<centroid>", row, centroidSep)
+	}
+	j, err = strconv.Atoi(row[i+1:])
+	if err != nil || j < 0 {
+		return "", 0, fmt.Errorf("learn: row label %q has no centroid index", row)
+	}
+	return row[:i], j, nil
+}
+
+// CentroidSearcher is the exact multi-centroid searcher: one streaming
+// distance pass over the full C·k row matrix, then each class scored by the
+// minimum over its k centroids. Result.Index is the class index (matching
+// the class-level memory Model returns) and Result.Distance the winning
+// centroid's exact Hamming distance. Ties resolve to the lowest class index,
+// matching the deterministic comparator-tree rule everywhere else.
+type CentroidSearcher struct {
+	cm      *core.ClassMatrix
+	k       int
+	classes int
+}
+
+var _ core.BufferedSearcher = (*CentroidSearcher)(nil)
+
+// Search returns the winning class for q.
+func (s *CentroidSearcher) Search(q *hv.Vector) core.Result {
+	var buf []int
+	return s.SearchBuf(q, &buf)
+}
+
+// SearchBuf is Search with a reusable distance buffer (resized to C·k).
+func (s *CentroidSearcher) SearchBuf(q *hv.Vector, buf *[]int) core.Result {
+	rows := s.classes * s.k
+	ds := *buf
+	if cap(ds) < rows {
+		ds = make([]int, rows)
+	}
+	ds = ds[:rows]
+	*buf = ds
+	s.cm.DistancesInto(ds, q)
+	best, bestD := 0, -1
+	for c := 0; c < s.classes; c++ {
+		cd := ds[c*s.k]
+		for j := 1; j < s.k; j++ {
+			if d := ds[c*s.k+j]; d < cd {
+				cd = d
+			}
+		}
+		if bestD < 0 || cd < bestD {
+			best, bestD = c, cd
+		}
+	}
+	return core.Result{Index: best, Distance: bestD}
+}
+
+// Name identifies the design for reports.
+func (s *CentroidSearcher) Name() string {
+	return fmt.Sprintf("centroid-exact k=%d", s.k)
+}

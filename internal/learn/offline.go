@@ -1,0 +1,83 @@
+package learn
+
+import (
+	"errors"
+	"fmt"
+
+	"hdam/internal/core"
+	"hdam/internal/hv"
+)
+
+// TrainOffline is the single-centroid reference trainer that online
+// reconciliation is audited against: one accumulator per class, the base
+// model's rows as weight-BaseWeight priors, the same label-derived tie-break
+// seeds and the same row ordering (base order, then new labels sorted) as
+// the Learner. Because bundling counters commute, ingesting exactly this
+// example multiset — in any order, across any number of stripes and
+// reconciles — and folding yields a bit-identical class matrix.
+//
+// It exists as the correctness oracle, not a performance path; it is
+// single-threaded and holds every class's counters at once. Multi-centroid
+// mode has no offline reference: centroid assignment depends on which
+// generation an example raced against, so only k = 1 is deterministic
+// end-to-end.
+func TrainOffline(base *core.Memory, examples []Example, cfg Config) (*core.Memory, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Centroids > 1 {
+		return nil, errors.New("learn: offline reference supports single-centroid mode only")
+	}
+	if base != nil && cfg.Dim == 0 {
+		cfg.Dim = base.Dim()
+	}
+	if cfg.Dim <= 0 || cfg.NGram < 1 {
+		return nil, fmt.Errorf("learn: offline config dim %d n-gram %d", cfg.Dim, cfg.NGram)
+	}
+	if base != nil && base.Dim() != cfg.Dim {
+		return nil, fmt.Errorf("learn: base dim %d, config dim %d", base.Dim(), cfg.Dim)
+	}
+
+	master := make(map[string]*hv.Accumulator)
+	counts := make(map[string]uint64)
+	var baseLabels []string
+	if base != nil {
+		baseLabels = base.Labels()
+		for i, label := range baseLabels {
+			acc := hv.NewAccumulator(cfg.Dim, tieSeed(cfg.Seed, label, 0))
+			acc.AddWeighted(base.Class(i), cfg.BaseWeight)
+			master[label] = acc
+			counts[label] = uint64(cfg.BaseWeight)
+		}
+	}
+
+	enc := EncoderFactory(cfg.Dim, cfg.NGram, cfg.Seed)()
+	for i, ex := range examples {
+		if err := checkExample(ex.Label, ex.Text); err != nil {
+			return nil, fmt.Errorf("example %d: %w", i, err)
+		}
+		acc := master[ex.Label]
+		if acc == nil {
+			acc = hv.NewAccumulator(cfg.Dim, tieSeed(cfg.Seed, ex.Label, 0))
+			master[ex.Label] = acc
+		}
+		// Zero-n-gram examples leave the counters untouched, matching the
+		// online path's accounting.
+		if n := enc.AccumulateText(acc, ex.Text); n > 0 {
+			counts[ex.Label]++
+		}
+	}
+
+	labels := orderLabels(baseLabels, master)
+	rows := make([]*hv.Vector, 0, len(labels))
+	kept := labels[:0:0]
+	for _, label := range labels {
+		if counts[label] == 0 {
+			continue
+		}
+		rows = append(rows, master[label].Majority())
+		kept = append(kept, label)
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("learn: nothing to fold (no base model and no encodable examples)")
+	}
+	return core.NewMemory(rows, kept)
+}

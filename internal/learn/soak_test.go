@@ -1,0 +1,213 @@
+package learn_test
+
+import (
+	"context"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdam/internal/assoc"
+	"hdam/internal/encoder"
+	"hdam/internal/itemmem"
+	"hdam/internal/learn"
+	"hdam/internal/serve"
+	"hdam/internal/store"
+	"hdam/internal/textgen"
+)
+
+const (
+	soakDim   = 2048
+	soakNGram = 3
+	soakSeed  = 0x50a1
+)
+
+// TestTrainWhileServeSoak is the acceptance soak of the train-while-serve
+// loop, run under the race detector by make ci: closed-loop search clients
+// and ingest writers hammer one engine while periodic reconciles publish
+// and hot-swap at least three generations. It enforces the invariants that
+// must hold under concurrency:
+//
+//   - zero dropped answers: every submitted search returns a classification;
+//   - no mixed-generation answers: each client's observed generation is
+//     monotone, and the mid-run class only ever appears in answers stamped
+//     with a post-swap generation;
+//   - the class ingested mid-run is answered correctly after its reconcile.
+func TestTrainWhileServeSoak(t *testing.T) {
+	cfg := textgen.DefaultConfig()
+	cfg.Seed = soakSeed
+	langs := textgen.Catalog(cfg)
+	base, fresh := langs[:4], langs[4]
+
+	lcfg := learn.Config{
+		Dim: soakDim, NGram: soakNGram, Seed: soakSeed,
+		Dir: t.TempDir(), Block: true, Trainer: "soak",
+	}
+	rng := rand.New(rand.NewPCG(soakSeed, 1))
+	var offline []learn.Example
+	for _, l := range base {
+		for i := 0; i < 40; i++ {
+			offline = append(offline, learn.Example{Label: l.Name, Text: l.GenerateSentence(80, rng)})
+		}
+	}
+	mem, err := learn.TrainOffline(nil, offline, lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newEnc := func() *encoder.Encoder {
+		im := itemmem.New(soakDim, soakSeed)
+		im.Preload(itemmem.LatinAlphabet)
+		return encoder.New(im, soakNGram)
+	}
+	eng, err := serve.New(mem, assoc.NewExact(mem), newEnc, serve.Config{
+		Workers: 2, Policy: serve.Block, Seed: soakSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	reg, err := store.NewRegistry(store.RegistryConfig{
+		Dir: lcfg.Dir,
+		Swap: func(snap *store.Snapshot) error {
+			m, s, err := learn.Model(snap)
+			if err != nil {
+				return err
+			}
+			_, err = eng.Swap(m, s, newEnc)
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	lr, err := learn.New(mem, learn.Config{
+		Dim: lcfg.Dim, NGram: lcfg.NGram, Seed: lcfg.Seed, Dir: lcfg.Dir,
+		Block: true, Trainer: lcfg.Trainer,
+		OnSnapshot: func(string) {
+			if _, err := reg.Check(); err != nil {
+				t.Errorf("registry check: %v", err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.Close()
+
+	// The engine starts at generation 1; every answer naming the mid-run
+	// class must carry a generation from after the first swap.
+	firstSwapGen := eng.Gen() + 1
+
+	stop := make(chan struct{})
+	var answered, dropped, earlyFresh atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(soakSeed, uint64(100+c)))
+			var lastGen uint64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l := base[(c+i)%len(base)]
+				resp, err := eng.Submit(context.Background(), l.GenerateSentence(60, rng))
+				if err != nil {
+					dropped.Add(1)
+					continue
+				}
+				answered.Add(1)
+				if resp.Gen < lastGen {
+					t.Errorf("client %d: generation went backwards: %d after %d", c, resp.Gen, lastGen)
+					return
+				}
+				lastGen = resp.Gen
+				if resp.Label == fresh.Name && resp.Gen < firstSwapGen {
+					earlyFresh.Add(1)
+				}
+			}
+		}(c)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(soakSeed, uint64(200+w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Mostly the new class, with refresh examples mixed in.
+				l := fresh
+				if i%3 == w%3 {
+					l = base[i%len(base)]
+				}
+				if err := lr.Ingest(context.Background(), l.Name, l.GenerateSentence(80, rng)); err != nil {
+					t.Errorf("ingest: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Four reconcile cuts while the load runs; ingest is continuous, so
+	// each cut folds fresh examples and publishes a generation.
+	swaps := 0
+	for i := 0; i < 4; i++ {
+		time.Sleep(80 * time.Millisecond)
+		rep, err := lr.Reconcile()
+		if err != nil {
+			t.Fatalf("reconcile %d: %v", i, err)
+		}
+		if !rep.Skipped {
+			swaps++
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if swaps < 3 {
+		t.Errorf("published %d generations under load, want >= 3", swaps)
+	}
+	if got := eng.Stats().Swaps; got < 3 {
+		t.Errorf("engine swapped %d times, want >= 3", got)
+	}
+	if dropped.Load() != 0 {
+		t.Errorf("%d searches dropped (of %d answered), want 0", dropped.Load(), answered.Load())
+	}
+	if answered.Load() == 0 {
+		t.Fatal("no searches answered during the soak")
+	}
+	if earlyFresh.Load() != 0 {
+		t.Errorf("%d answers named the mid-run class before any swap generation", earlyFresh.Load())
+	}
+
+	// Post-reconcile, the engine classifies the mid-run class correctly.
+	evalRng := rand.New(rand.NewPCG(soakSeed, 999))
+	correct := 0
+	const evalN = 20
+	for i := 0; i < evalN; i++ {
+		resp, err := eng.Submit(context.Background(), fresh.GenerateSentence(60, evalRng))
+		if err != nil {
+			t.Fatalf("post-swap submit: %v", err)
+		}
+		if resp.Label == fresh.Name {
+			correct++
+		}
+	}
+	if correct < evalN*8/10 {
+		t.Errorf("mid-run class recall %d/%d after reconcile, want >= 80%%", correct, evalN)
+	}
+	t.Logf("soak: %d answered, %d generations, final recall %d/%d, learner %+v",
+		answered.Load(), swaps, correct, evalN, lr.Stats())
+}

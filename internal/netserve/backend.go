@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"hdam/internal/fleet"
+	"hdam/internal/learn"
 	"hdam/internal/serve"
 )
 
@@ -37,12 +38,59 @@ type PartialBackend interface {
 	GoPartial(ctx context.Context, text string) (<-chan serve.Response, error)
 }
 
+// LearnBackend is the optional capability a Backend implements to answer
+// TypeLearn frames (and the HTTP /learn endpoint): train-while-serve
+// ingestion into an online learner. A backend without it refuses learn
+// traffic with a typed answer — notably the fleet backend: replicas hold
+// partitions of one model, so examples ingested at the coordinator could
+// not produce a consistent cross-replica generation. Learning happens where
+// a whole model lives (a single engine); fleets pick up new generations the
+// same way they pick up any other snapshot.
+type LearnBackend interface {
+	// Learn submits one labeled example to the online learner under the
+	// learner's admission policy; ctx bounds any backpressure wait.
+	Learn(ctx context.Context, label, text string) error
+	// LearnStats returns the learner's counters for /statsz.
+	LearnStats() learn.Stats
+}
+
 // engineBackend adapts a serve.Engine. Engine responses pass through
 // untouched, so socket answers are bit-identical to in-process Submit.
 type engineBackend struct{ eng *serve.Engine }
 
 // EngineBackend serves a micro-batching engine over the network.
 func EngineBackend(eng *serve.Engine) Backend { return engineBackend{eng} }
+
+// learnBackend pairs an engine with an online learner, adding the
+// LearnBackend capability to the engine's serving contract.
+type learnBackend struct {
+	engineBackend
+	lr *learn.Learner
+}
+
+// LearnEngineBackend serves a micro-batching engine with train-while-serve
+// ingestion: queries hit the engine, learn frames hit the learner, and the
+// learner's reconciled generations reach the engine through the snapshot
+// registry like any other swap.
+func LearnEngineBackend(eng *serve.Engine, lr *learn.Learner) Backend {
+	return learnBackend{engineBackend{eng}, lr}
+}
+
+func (b learnBackend) Learn(ctx context.Context, label, text string) error {
+	return b.lr.Ingest(ctx, label, text)
+}
+
+func (b learnBackend) LearnStats() learn.Stats { return b.lr.Stats() }
+
+// learnStats pairs the engine counters with the learner's for /statsz.
+type learnStats struct {
+	Engine  serve.Stats
+	Learner learn.Stats
+}
+
+func (b learnBackend) Stats() any {
+	return learnStats{Engine: b.eng.Stats(), Learner: b.lr.Stats()}
+}
 
 // GoPartial implements PartialBackend: an engine response already carries
 // the partial when the engine runs with ReportDistances.

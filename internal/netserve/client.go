@@ -22,11 +22,13 @@ const DefaultWriteTimeout = 5 * time.Second
 
 // Batch is the client-side result of one frame: for query frames the
 // answers in query order, for partial-query frames the gen-stamped
-// partial, or the connection-level error that killed the frame.
+// partial, for learn frames the ingest ack, or the connection-level error
+// that killed the frame.
 type Batch struct {
-	Answers []WireAnswer
-	Partial *WirePartial
-	Err     error
+	Answers  []WireAnswer
+	Partial  *WirePartial
+	LearnAck *WireLearnAck
+	Err      error
 }
 
 // Client is one binary-protocol connection. It is safe for concurrent
@@ -158,6 +160,41 @@ func (c *Client) AskPartial(text string, budget time.Duration) (WirePartial, err
 	return *b.Partial, nil
 }
 
+// GoLearn submits one learn frame — a class label and a batch of example
+// texts for the server's online learner — and returns the channel its Batch
+// (carrying the LearnAck) arrives on. budget bounds the server-side
+// backpressure wait; 0 means fail-fast admission only.
+func (c *Client) GoLearn(label string, texts []string, budget time.Duration) (<-chan Batch, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.writeFrame(func(dst []byte) ([]byte, error) {
+		return AppendLearnFrame(dst, id, budgetUs(budget), label, texts)
+	}); err != nil {
+		c.unregister(id)
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Learn is the synchronous form of GoLearn: it reports how many examples
+// the learner admitted and the typed error that stopped the batch, if any.
+func (c *Client) Learn(label string, texts []string, budget time.Duration) (accepted int, err error) {
+	ch, err := c.GoLearn(label, texts, budget)
+	if err != nil {
+		return 0, err
+	}
+	b := <-ch
+	if b.Err != nil {
+		return 0, b.Err
+	}
+	if b.LearnAck == nil {
+		return 0, fmt.Errorf("%w: answer frame for a learn request", ErrBadFrame)
+	}
+	return int(b.LearnAck.Accepted), StatusError(b.LearnAck.Status, b.LearnAck.Msg)
+}
+
 // Ping round-trips a control frame, bounding the wait by timeout.
 func (c *Client) Ping(timeout time.Duration) error {
 	id, ch, err := c.register()
@@ -259,13 +296,13 @@ func (c *Client) readLoop() {
 			return
 		}
 		switch f.Type {
-		case TypeAnswer, TypePong, TypePartial:
+		case TypeAnswer, TypePong, TypePartial, TypeLearnAck:
 			c.mu.Lock()
 			ch := c.pending[f.ID]
 			delete(c.pending, f.ID)
 			c.mu.Unlock()
 			if ch != nil {
-				ch <- Batch{Answers: f.Answers, Partial: f.Partial}
+				ch <- Batch{Answers: f.Answers, Partial: f.Partial, LearnAck: f.LearnAck}
 			}
 		case TypeDrain:
 			c.draining.Store(true)

@@ -37,6 +37,12 @@ func FuzzDecodeFrame(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	lrn, err := AppendLearnFrame(nil, 45, 3000, "esperanto", []string{"saluton mondo", "kiel vi fartas"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	lack := AppendLearnAckFrame(nil, 45, WireLearnAck{Status: StatusOK, Accepted: 2})
+	lfail := AppendLearnAckFrame(nil, 46, WireLearnAck{Status: StatusOverloaded, Accepted: 1, Msg: "queue full"})
 	f.Add([]byte{})
 	f.Add(query[lenSize:])
 	f.Add(answer[lenSize:])
@@ -69,6 +75,17 @@ func FuzzDecodeFrame(f *testing.F) {
 		f.Add(c)
 	}
 	f.Add(pquery[lenSize : len(pquery)-lenSize-3]) // truncated partial query
+	// Learn frames: intact, corrupted label length, corrupted example count,
+	// truncated acks.
+	f.Add(lrn[lenSize:])
+	f.Add(lack[lenSize:])
+	f.Add(lfail[lenSize:])
+	for _, off := range []int{headerSize + 4, headerSize + 5, len(lrn) - lenSize - 1} {
+		c := bytes.Clone(lrn[lenSize:])
+		c[off] ^= 0x81
+		f.Add(c)
+	}
+	f.Add(lack[lenSize : len(lack)-lenSize-2])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > MaxFrame {
@@ -146,6 +163,34 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 			if !bytes.Equal(raw[lenSize:], data) {
 				t.Fatal("partial frame round trip is not canonical")
+			}
+		case TypeLearn:
+			if fr.Label == "" || len(fr.Label) > MaxLabelLen {
+				t.Fatalf("accepted learn frame with %d-byte label", len(fr.Label))
+			}
+			if len(fr.Queries) == 0 || len(fr.Queries) > MaxBatchPerFrame {
+				t.Fatalf("accepted learn frame with %d examples", len(fr.Queries))
+			}
+			raw, err := AppendLearnFrame(nil, fr.ID, fr.BudgetUs, fr.Label, fr.Queries)
+			if err != nil {
+				t.Fatalf("re-encode accepted learn frame: %v", err)
+			}
+			if !bytes.Equal(raw[lenSize:], data) {
+				t.Fatal("learn frame round trip is not canonical")
+			}
+		case TypeLearnAck:
+			a := fr.LearnAck
+			if a == nil {
+				t.Fatal("accepted learn-ack frame without an ack body")
+			}
+			if a.Status == StatusOK && a.Msg != "" {
+				t.Fatal("OK learn ack decoded a message")
+			}
+			if len(a.Msg) > MaxMsgLen {
+				t.Fatalf("accepted %d-byte learn-ack message", len(a.Msg))
+			}
+			if !bytes.Equal(AppendLearnAckFrame(nil, fr.ID, *a)[lenSize:], data) {
+				t.Fatal("learn-ack frame round trip is not canonical")
 			}
 		case TypePing, TypePong, TypeDrain:
 			if len(fr.Queries) != 0 || len(fr.Answers) != 0 {

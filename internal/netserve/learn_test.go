@@ -1,0 +1,180 @@
+package netserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"testing"
+	"time"
+
+	"hdam/internal/assoc"
+	"hdam/internal/learn"
+	"hdam/internal/serve"
+	"hdam/internal/store"
+	"hdam/internal/textgen"
+)
+
+// TestLearnFrameRoundTrip round-trips the learn codec directly.
+func TestLearnFrameRoundTrip(t *testing.T) {
+	raw, err := AppendLearnFrame(nil, 99, 1234, "volapuk", []string{"one", "two", ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := DecodeFrame(raw[lenSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != TypeLearn || f.ID != 99 || f.BudgetUs != 1234 || f.Label != "volapuk" || len(f.Queries) != 3 {
+		t.Fatalf("decoded %+v", f)
+	}
+	ack := AppendLearnAckFrame(nil, 99, WireLearnAck{Status: StatusOverloaded, Accepted: 2, Msg: "full"})
+	g, err := DecodeFrame(ack[lenSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LearnAck == nil || g.LearnAck.Accepted != 2 || g.LearnAck.Status != StatusOverloaded || g.LearnAck.Msg != "full" {
+		t.Fatalf("decoded ack %+v", g.LearnAck)
+	}
+	if _, err := AppendLearnFrame(nil, 1, 0, "", []string{"x"}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("empty label: %v", err)
+	}
+	if _, err := AppendLearnFrame(nil, 1, 0, "x", nil); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("no examples: %v", err)
+	}
+}
+
+// TestServerLearnEndToEnd wires the whole train-while-serve loop over the
+// socket: learn frames ingest a class the base model has never seen, a
+// reconcile folds and publishes a new generation, the registry swaps it into
+// the engine, and the very same connection then classifies that class — at a
+// bumped generation — without any restart.
+func TestServerLearnEndToEnd(t *testing.T) {
+	mem, newEnc, _ := buildFixture(t, 3, 0)
+	eng, err := serve.New(mem, assoc.NewExact(mem), newEnc, serve.Config{Workers: 2, Seed: testSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	reg, err := store.NewRegistry(store.RegistryConfig{
+		Dir: dir,
+		Swap: func(snap *store.Snapshot) error {
+			m, s, err := learn.Model(snap)
+			if err != nil {
+				return err
+			}
+			_, err = eng.Swap(m, s, newEnc)
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	lr, err := learn.New(mem, learn.Config{
+		Dim: testDim, NGram: 3, Seed: testSeed, Dir: dir, Block: true,
+		OnSnapshot: func(string) {
+			if _, err := reg.Check(); err != nil {
+				t.Errorf("registry check: %v", err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.Close()
+
+	srv := startServer(t, LearnEngineBackend(eng, lr), Config{BinaryAddr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0"})
+	cl := dialT(t, srv)
+
+	// Train a textgen language as a brand-new class over the wire.
+	cfg := textgen.DefaultConfig()
+	cfg.Seed = testSeed
+	lang := textgen.Catalog(cfg)[0]
+	rng := rand.New(rand.NewPCG(5, 5))
+	var texts []string
+	for i := 0; i < 80; i++ {
+		texts = append(texts, lang.GenerateSentence(60, rng))
+	}
+	accepted, err := cl.Learn("neolang", texts, time.Second)
+	if err != nil || accepted != len(texts) {
+		t.Fatalf("Learn = %d, %v (want %d accepted)", accepted, err, len(texts))
+	}
+
+	// Invalid examples come back as the typed error, batch position intact.
+	if acc, err := cl.Learn("bad#label", []string{"x"}, 0); !errors.Is(err, learn.ErrInvalidExample) || acc != 0 {
+		t.Fatalf("invalid label: %d, %v", acc, err)
+	}
+
+	rep, err := lr.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Classes != 4 {
+		t.Fatalf("reconciled %d classes, want 4", rep.Classes)
+	}
+	if eng.Stats().Swaps != 1 {
+		t.Fatalf("swaps = %d, want 1 (registry pickup)", eng.Stats().Swaps)
+	}
+
+	// The same connection now answers the learned class at the new gen.
+	answers, err := cl.Ask([]string{lang.GenerateSentence(60, rng)}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := answers[0]
+	if a.Status != StatusOK || a.Label != "neolang" {
+		t.Fatalf("post-swap answer %+v, want neolang", a)
+	}
+	if a.Gen < 2 {
+		t.Fatalf("post-swap gen %d, want ≥2", a.Gen)
+	}
+
+	// HTTP ingestion shares the learner and the stats.
+	body, _ := json.Marshal(learnRequest{Label: "neolang", Texts: texts[:5]})
+	resp, err := http.Post(fmt.Sprintf("http://%s/learn", srv.HTTPAddr()), "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lresp learnResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lresp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || lresp.Accepted != 5 || lresp.Err != "" {
+		t.Fatalf("POST /learn: %d %+v", resp.StatusCode, lresp)
+	}
+
+	st := srv.Stats()
+	if st.LearnFrames != 3 || st.LearnAccepted != uint64(len(texts)+5) {
+		t.Fatalf("server stats %+v, want 3 learn frames and %d accepted", st, len(texts)+5)
+	}
+	ls := lr.Stats()
+	if ls.Ingested != uint64(len(texts)+5) || ls.Invalid != 1 {
+		t.Fatalf("learner stats %+v", ls)
+	}
+}
+
+// TestServerLearnRefusal covers backends without the learn capability: the
+// binary path answers a typed refusal and HTTP answers 501 — the documented
+// fleet-coordinator behavior (see LearnBackend).
+func TestServerLearnRefusal(t *testing.T) {
+	srv := startServer(t, newStub(nil), Config{BinaryAddr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0"})
+	cl := dialT(t, srv)
+	if _, err := cl.Learn("x", []string{"y"}, 0); !errors.Is(err, ErrRemote) {
+		t.Fatalf("learn on non-learning backend: %v, want ErrRemote", err)
+	}
+	resp, err := http.Post(fmt.Sprintf("http://%s/learn", srv.HTTPAddr()), "application/json",
+		bytes.NewReader([]byte(`{"label":"x","text":"y"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("POST /learn on non-learning backend: %d, want 501", resp.StatusCode)
+	}
+}

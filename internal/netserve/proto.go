@@ -62,6 +62,21 @@
 //	           (1..MaxPartialRows), then row count uint32 LE distances
 //	else:      uint16 message length, message bytes
 //
+// TypeLearn body (train-while-serve ingest: a batch of labeled examples for
+// one class, fed to the server's online learner):
+//
+//	uint32 LE  deadline budget in microseconds (0 = none)
+//	byte       label length, then the label bytes (1..MaxLabelLen)
+//	uint16 LE  example count (1..MaxBatchPerFrame)
+//	repeat count times: uint16 LE text length, then the UTF-8 bytes
+//
+// TypeLearnAck body:
+//
+//	byte       status (StatusOK or a typed failure)
+//	uint32 LE  examples accepted (meaningful for any status: a batch can be
+//	           partially admitted before backpressure refuses the rest)
+//	non-OK:    uint16 message length, message bytes
+//
 // TypePing and TypePong carry no body; TypeDrain (server → client, no body)
 // announces that the server is draining and no further query frames will be
 // accepted. Every declared length is validated against the remaining
@@ -76,6 +91,7 @@ import (
 	"fmt"
 	"io"
 
+	"hdam/internal/learn"
 	"hdam/internal/serve"
 )
 
@@ -108,6 +124,8 @@ const (
 	TypeDrain        byte = 5 // server → client: draining, stop submitting
 	TypePartialQuery byte = 6 // coordinator → replica: one text to reduce
 	TypePartial      byte = 7 // replica → coordinator: gen-stamped partial
+	TypeLearn        byte = 8 // client → server: labeled examples to ingest
+	TypeLearnAck     byte = 9 // server → client: ingest outcome, same id
 )
 
 // Typed decode errors. Match with errors.Is.
@@ -139,19 +157,22 @@ const (
 	StatusPanic      byte = 6 // a recovered worker panic failed the request
 	StatusClosed     byte = 7 // the backend was closed before the request ran
 	StatusInternal   byte = 8 // any other server-side failure
+	StatusInvalid    byte = 9 // a learn example the learner refuses to accept
 )
 
 // ErrRemote is the client-side error wrapping a StatusInternal answer.
 var ErrRemote = errors.New("netserve: remote error")
 
-// StatusOf maps a backend error to its wire status.
+// StatusOf maps a backend error to its wire status. The learner's typed
+// failures share the engine's statuses where the semantics match (overload,
+// closed), so one client-side error mapping serves both paths.
 func StatusOf(err error) byte {
 	switch {
 	case err == nil:
 		return StatusOK
 	case errors.Is(err, serve.ErrNoNGrams):
 		return StatusNoNGrams
-	case errors.Is(err, serve.ErrOverloaded):
+	case errors.Is(err, serve.ErrOverloaded), errors.Is(err, learn.ErrOverloaded):
 		return StatusOverloaded
 	case errors.Is(err, serve.ErrDrained):
 		return StatusDrained
@@ -161,8 +182,10 @@ func StatusOf(err error) byte {
 		return StatusCanceled
 	case errors.Is(err, serve.ErrWorkerPanic):
 		return StatusPanic
-	case errors.Is(err, serve.ErrClosed):
+	case errors.Is(err, serve.ErrClosed), errors.Is(err, learn.ErrClosed):
 		return StatusClosed
+	case errors.Is(err, learn.ErrInvalidExample):
+		return StatusInvalid
 	default:
 		return StatusInternal
 	}
@@ -188,6 +211,11 @@ func StatusError(status byte, msg string) error {
 		return serve.ErrWorkerPanic
 	case StatusClosed:
 		return serve.ErrClosed
+	case StatusInvalid:
+		if msg == "" {
+			return learn.ErrInvalidExample
+		}
+		return fmt.Errorf("%w: %s", learn.ErrInvalidExample, msg)
 	default:
 		if msg == "" {
 			return ErrRemote
@@ -219,18 +247,30 @@ type WirePartial struct {
 	Msg       string // failure detail for non-OK statuses (may be empty)
 }
 
+// WireLearnAck is the outcome of one learn frame as it crosses the wire.
+// Accepted counts examples admitted to the learner before any failure, so a
+// client can resume a partially refused batch without re-sending.
+type WireLearnAck struct {
+	Status   byte
+	Accepted uint32
+	Msg      string // failure detail for non-OK statuses (may be empty)
+}
+
 // Frame is one decoded frame. Type selects which fields are meaningful:
 // Queries for TypeQuery (with BudgetUs), Answers for TypeAnswer, Queries[0]
-// (with BudgetUs) for TypePartialQuery, Partial for TypePartial, none for
-// the control types.
+// (with BudgetUs) for TypePartialQuery, Partial for TypePartial, Label and
+// Queries (with BudgetUs) for TypeLearn, LearnAck for TypeLearnAck, none
+// for the control types.
 type Frame struct {
 	Version  byte
 	Type     byte
 	ID       uint64
 	BudgetUs uint32
+	Label    string
 	Queries  []string
 	Answers  []WireAnswer
 	Partial  *WirePartial
+	LearnAck *WireLearnAck
 }
 
 // AppendQueryFrame appends one length-prefixed query frame to dst and
@@ -351,6 +391,58 @@ func AppendPartialFrame(dst []byte, id uint64, p WirePartial) ([]byte, error) {
 	return dst, nil
 }
 
+// AppendLearnFrame appends one length-prefixed learn frame to dst and
+// returns the extended slice: one class label and a batch of example texts
+// for the server's online learner.
+func AppendLearnFrame(dst []byte, id uint64, budgetUs uint32, label string, texts []string) ([]byte, error) {
+	if len(label) == 0 || len(label) > MaxLabelLen {
+		return dst, fmt.Errorf("%w: %d-byte learn label (limit %d)", ErrBadFrame, len(label), MaxLabelLen)
+	}
+	if len(texts) == 0 || len(texts) > MaxBatchPerFrame {
+		return dst, fmt.Errorf("%w: %d examples in one frame (limit %d)", ErrBadFrame, len(texts), MaxBatchPerFrame)
+	}
+	n := headerSize + 4 + 1 + len(label) + 2
+	for _, t := range texts {
+		if len(t) > MaxTextLen {
+			return dst, fmt.Errorf("%w: %d-byte example text (limit %d)", ErrBadFrame, len(t), MaxTextLen)
+		}
+		n += 2 + len(t)
+	}
+	if n > MaxFrame {
+		return dst, fmt.Errorf("%w: %d-byte learn frame (limit %d)", ErrFrameTooLarge, n, MaxFrame)
+	}
+	dst = appendHeader(dst, uint32(n), TypeLearn, id)
+	dst = binary.LittleEndian.AppendUint32(dst, budgetUs)
+	dst = append(dst, byte(len(label)))
+	dst = append(dst, label...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(texts)))
+	for _, t := range texts {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(t)))
+		dst = append(dst, t...)
+	}
+	return dst, nil
+}
+
+// AppendLearnAckFrame appends one length-prefixed learn-ack frame. Oversized
+// messages are clipped rather than failing the frame: an answer must always
+// be deliverable.
+func AppendLearnAckFrame(dst []byte, id uint64, ack WireLearnAck) []byte {
+	n := headerSize + 1 + 4
+	var msg string
+	if ack.Status != StatusOK {
+		msg = clip(ack.Msg, MaxMsgLen)
+		n += 2 + len(msg)
+	}
+	dst = appendHeader(dst, uint32(n), TypeLearnAck, id)
+	dst = append(dst, ack.Status)
+	dst = binary.LittleEndian.AppendUint32(dst, ack.Accepted)
+	if ack.Status != StatusOK {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(msg)))
+		dst = append(dst, msg...)
+	}
+	return dst
+}
+
 // AppendControlFrame appends one body-less frame (ping, pong, drain).
 func AppendControlFrame(dst []byte, typ byte, id uint64) []byte {
 	return appendHeader(dst, headerSize, typ, id)
@@ -398,6 +490,10 @@ func DecodeFrame(payload []byte) (Frame, error) {
 		return decodePartialQuery(f, body)
 	case TypePartial:
 		return decodePartial(f, body)
+	case TypeLearn:
+		return decodeLearn(f, body)
+	case TypeLearnAck:
+		return decodeLearnAck(f, body)
 	case TypePing, TypePong, TypeDrain:
 		if len(body) != 0 {
 			return f, fmt.Errorf("%w: control frame with %d body bytes", ErrBadFrame, len(body))
@@ -558,6 +654,81 @@ func decodePartial(f Frame, body []byte) (Frame, error) {
 		p.Msg = string(body)
 	}
 	f.Partial = p
+	return f, nil
+}
+
+func decodeLearn(f Frame, body []byte) (Frame, error) {
+	if len(body) < 5 {
+		return f, fmt.Errorf("%w: learn body %d bytes, want at least 5", ErrTruncated, len(body))
+	}
+	f.BudgetUs = binary.LittleEndian.Uint32(body[0:4])
+	ll := int(body[4])
+	body = body[5:]
+	if ll == 0 {
+		return f, fmt.Errorf("%w: empty learn label", ErrBadFrame)
+	}
+	if ll > len(body) {
+		return f, fmt.Errorf("%w: learn label declares %d bytes, %d left", ErrTruncated, ll, len(body))
+	}
+	f.Label = string(body[:ll])
+	body = body[ll:]
+	if len(body) < 2 {
+		return f, fmt.Errorf("%w: learn example count missing", ErrTruncated)
+	}
+	count := int(binary.LittleEndian.Uint16(body[0:2]))
+	if count == 0 || count > MaxBatchPerFrame {
+		return f, fmt.Errorf("%w: %d examples in one frame (limit %d)", ErrBadFrame, count, MaxBatchPerFrame)
+	}
+	body = body[2:]
+	// The count is bounded and each entry needs ≥ 2 bytes, so this
+	// allocation is capped before any per-entry length is trusted.
+	if len(body) < 2*count {
+		return f, fmt.Errorf("%w: %d examples declared, %d body bytes left", ErrTruncated, count, len(body))
+	}
+	f.Queries = make([]string, count)
+	for i := 0; i < count; i++ {
+		if len(body) < 2 {
+			return f, fmt.Errorf("%w: example %d length missing", ErrTruncated, i)
+		}
+		n := int(binary.LittleEndian.Uint16(body[0:2]))
+		body = body[2:]
+		if n > len(body) {
+			return f, fmt.Errorf("%w: example %d declares %d bytes, %d left", ErrTruncated, i, n, len(body))
+		}
+		f.Queries[i] = string(body[:n])
+		body = body[n:]
+	}
+	if len(body) != 0 {
+		return f, fmt.Errorf("%w: %d trailing bytes after last example", ErrBadFrame, len(body))
+	}
+	return f, nil
+}
+
+func decodeLearnAck(f Frame, body []byte) (Frame, error) {
+	if len(body) < 5 {
+		return f, fmt.Errorf("%w: learn-ack body %d bytes, want at least 5", ErrTruncated, len(body))
+	}
+	ack := &WireLearnAck{Status: body[0], Accepted: binary.LittleEndian.Uint32(body[1:5])}
+	body = body[5:]
+	if ack.Status == StatusOK {
+		if len(body) != 0 {
+			return f, fmt.Errorf("%w: %d trailing bytes after learn ack", ErrBadFrame, len(body))
+		}
+	} else {
+		if len(body) < 2 {
+			return f, fmt.Errorf("%w: learn-ack message length missing", ErrTruncated)
+		}
+		n := int(binary.LittleEndian.Uint16(body[0:2]))
+		body = body[2:]
+		if n > MaxMsgLen {
+			return f, fmt.Errorf("%w: learn-ack message declares %d bytes (limit %d)", ErrBadFrame, n, MaxMsgLen)
+		}
+		if n != len(body) {
+			return f, fmt.Errorf("%w: learn-ack message declares %d bytes, %d in frame", ErrTruncated, n, len(body))
+		}
+		ack.Msg = string(body)
+	}
+	f.LearnAck = ack
 	return f, nil
 }
 

@@ -79,6 +79,8 @@ type Stats struct {
 	Active        int64  // binary connections open now
 	Frames        uint64 // query frames decoded
 	Queries       uint64 // queries submitted to the backend
+	LearnFrames   uint64 // learn frames decoded (plus /learn requests)
+	LearnAccepted uint64 // learn examples admitted to the learner
 	Answered      uint64 // answers written back (classifications and typed failures)
 	InflightShed  uint64 // frames answered overloaded at the per-connection cap
 	ProtoErrors   uint64 // connections dropped on malformed frames
@@ -108,6 +110,7 @@ type Server struct {
 
 	accepted, rejectedConns     atomic.Uint64
 	frames, queries             atomic.Uint64
+	learnFrames, learnAccepted  atomic.Uint64
 	answered, inflightShed      atomic.Uint64
 	protoErrors, httpReqs       atomic.Uint64
 	httpShed                    atomic.Uint64
@@ -152,6 +155,7 @@ func New(b Backend, cfg Config) (*Server, error) {
 		s.httpLn = ln
 		mux := http.NewServeMux()
 		mux.HandleFunc("/classify", s.handleClassify)
+		mux.HandleFunc("/learn", s.handleLearnHTTP)
 		mux.HandleFunc("/statsz", s.handleStatsz)
 		mux.HandleFunc("/healthz", s.handleHealthz)
 		s.httpSrv = &http.Server{
@@ -194,6 +198,8 @@ func (s *Server) Stats() Stats {
 		Active:        s.active.Load(),
 		Frames:        s.frames.Load(),
 		Queries:       s.queries.Load(),
+		LearnFrames:   s.learnFrames.Load(),
+		LearnAccepted: s.learnAccepted.Load(),
 		Answered:      s.answered.Load(),
 		InflightShed:  s.inflightShed.Load(),
 		ProtoErrors:   s.protoErrors.Load(),
@@ -428,6 +434,9 @@ func (c *srvConn) readLoop() {
 		case TypePartialQuery:
 			c.s.frames.Add(1)
 			c.handlePartial(f)
+		case TypeLearn:
+			c.s.learnFrames.Add(1)
+			c.handleLearn(f)
 		default:
 			// Client-bound or unknown-but-valid frames are ignored.
 		}
@@ -529,6 +538,58 @@ func (c *srvConn) handlePartial(f Frame) {
 		defer qcancel()
 		c.respondPartial(id, partialOf(<-ch))
 	}(f.ID)
+}
+
+// handleLearn feeds one learn frame's examples to the backend's online
+// learner and acks with how many were admitted. It shares the query path's
+// in-flight cap, budget clamping, and always-answered drain guarantee; a
+// backend without the learn capability (notably the fleet coordinator —
+// see LearnBackend) refuses with a typed answer.
+func (c *srvConn) handleLearn(f Frame) {
+	lb, ok := c.s.backend.(LearnBackend)
+	if !ok {
+		c.respondLearn(f.ID, WireLearnAck{Status: StatusInternal, Msg: "backend does not learn"})
+		return
+	}
+	if c.inflight.Load() >= int64(c.s.cfg.MaxInflight) {
+		c.s.inflightShed.Add(1)
+		c.respondLearn(f.ID, WireLearnAck{Status: StatusOverloaded, Msg: "connection in-flight cap"})
+		return
+	}
+	qctx, qcancel := context.Background(), context.CancelFunc(func() {})
+	if f.BudgetUs > 0 {
+		budget := time.Duration(f.BudgetUs) * time.Microsecond
+		if budget > c.s.cfg.MaxBudget {
+			budget = c.s.cfg.MaxBudget
+		}
+		qctx, qcancel = context.WithTimeout(context.Background(), budget)
+	}
+	c.inflight.Add(1)
+	c.gathers.Add(1)
+	go func(id uint64, label string, texts []string) {
+		defer c.gathers.Done()
+		defer c.inflight.Add(-1)
+		defer qcancel()
+		ack := WireLearnAck{Status: StatusOK}
+		for _, text := range texts {
+			if err := lb.Learn(qctx, label, text); err != nil {
+				ack.Status = StatusOf(err)
+				if ack.Status == StatusInternal {
+					ack.Msg = err.Error()
+				}
+				break
+			}
+			ack.Accepted++
+		}
+		c.s.learnAccepted.Add(uint64(ack.Accepted))
+		c.respondLearn(id, ack)
+	}(f.ID, f.Label, f.Queries)
+}
+
+// respondLearn encodes and enqueues one learn ack.
+func (c *srvConn) respondLearn(id uint64, ack WireLearnAck) {
+	c.s.answered.Add(1)
+	c.enqueue(AppendLearnAckFrame(nil, id, ack))
 }
 
 // respondPartial encodes and enqueues one partial answer.
@@ -681,6 +742,79 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.answered.Add(uint64(len(texts)))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// learnRequest is the POST /learn body: one class label and one text or a
+// batch, with an optional backpressure budget (microseconds).
+type learnRequest struct {
+	Label    string   `json:"label"`
+	Text     string   `json:"text,omitempty"`
+	Texts    []string `json:"texts,omitempty"`
+	BudgetUs uint32   `json:"budget_us,omitempty"`
+}
+
+// learnResponse is the POST /learn response body.
+type learnResponse struct {
+	Accepted int    `json:"accepted"`
+	Err      string `json:"err,omitempty"`
+}
+
+func (s *Server) handleLearnHTTP(w http.ResponseWriter, r *http.Request) {
+	s.httpReqs.Add(1)
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	lb, ok := s.backend.(LearnBackend)
+	if !ok {
+		http.Error(w, "backend does not learn", http.StatusNotImplemented)
+		return
+	}
+	// Same explicit shed as /classify: learn traffic must not collapse the
+	// listener either.
+	if s.httpInflight.Add(1) > int64(s.cfg.MaxHTTPInflight) {
+		s.httpInflight.Add(-1)
+		s.httpShed.Add(1)
+		http.Error(w, "overloaded: http in-flight cap", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.httpInflight.Add(-1)
+	var req learnRequest
+	body := http.MaxBytesReader(w, r.Body, MaxFrame)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	texts := req.Texts
+	if req.Text != "" {
+		texts = append([]string{req.Text}, texts...)
+	}
+	if len(texts) == 0 || len(texts) > MaxBatchPerFrame {
+		http.Error(w, fmt.Sprintf("need 1..%d texts", MaxBatchPerFrame), http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	if req.BudgetUs > 0 {
+		budget := time.Duration(req.BudgetUs) * time.Microsecond
+		if budget > s.cfg.MaxBudget {
+			budget = s.cfg.MaxBudget
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	s.learnFrames.Add(1)
+	resp := learnResponse{}
+	for _, text := range texts {
+		if err := lb.Learn(ctx, req.Label, text); err != nil {
+			resp.Err = err.Error()
+			break
+		}
+		resp.Accepted++
+	}
+	s.learnAccepted.Add(uint64(resp.Accepted))
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }

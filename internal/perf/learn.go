@@ -1,0 +1,408 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdam/internal/assoc"
+	"hdam/internal/core"
+	"hdam/internal/learn"
+	"hdam/internal/serve"
+	"hdam/internal/store"
+	"hdam/internal/textgen"
+)
+
+// LearnAccuracyPoint is one step of the accuracy-vs-examples trajectory:
+// the model right after one reconciled generation, evaluated on held-out
+// sentences of the languages that arrived mid-run.
+type LearnAccuracyPoint struct {
+	Gen      uint64  `json:"gen"`
+	Examples uint64  `json:"examples"` // cumulative examples folded
+	Classes  int     `json:"classes"`
+	Accuracy float64 `json:"new_lang_accuracy"` // held-out, new languages only
+}
+
+// LearnResult is one measured phase of the train-while-serve harness. The
+// ingest-off phase is the search baseline; the ingest-on phase serves the
+// same closed-loop search load while labeled examples stream in and
+// reconciles hot-swap new generations under it.
+type LearnResult struct {
+	Name      string  `json:"name"`
+	IngestOn  bool    `json:"ingest_on"`
+	Clients   int     `json:"clients"` // closed-loop search clients
+	Requests  int     `json:"requests"`
+	SearchQPS float64 `json:"search_qps"`
+	P50Us     float64 `json:"p50_us"`
+	P95Us     float64 `json:"p95_us"`
+	P99Us     float64 `json:"p99_us"`
+	// P99DeltaPct is the ingest-on p99 over the ingest-off baseline of the
+	// same run, in percent (0 for the baseline itself).
+	P99DeltaPct float64 `json:"p99_delta_pct,omitempty"`
+	// Ingest-side counters; zero in the baseline phase.
+	IngestQPS      float64 `json:"ingest_qps,omitempty"`
+	Ingested       uint64  `json:"ingested,omitempty"`
+	Reconciles     uint64  `json:"reconciles,omitempty"`
+	Swaps          uint64  `json:"swaps,omitempty"`
+	ReconcileP50Us float64 `json:"reconcile_p50_us,omitempty"`
+	ReconcileMaxUs float64 `json:"reconcile_max_us,omitempty"`
+	// Accuracy is the accuracy-vs-examples trajectory on the languages that
+	// arrived mid-run (gen 0 is the pre-ingest base model: always 0).
+	Accuracy []LearnAccuracyPoint `json:"accuracy,omitempty"`
+}
+
+// LearnLoad configures the train-while-serve harness.
+type LearnLoad struct {
+	Duration  time.Duration // measurement window per phase (default 2s)
+	Clients   int           // closed-loop search clients (default 8)
+	Ingesters int           // concurrent ingest writers (default 4)
+	// IngestRate paces the ingest side (examples/s across all writers,
+	// default 2000): train-while-serve workloads arrive at a bounded rate,
+	// so the measured search impact is at a stated ingest throughput rather
+	// than at ingest saturation.
+	IngestRate float64
+	BaseLangs  int // languages trained before serving starts (default 18)
+	NewLangs   int // languages arriving mid-run (default 3)
+	PerLang    int // offline training examples per base language (default 60)
+	Eval       int // held-out sentences per new language (default 40)
+}
+
+func (l LearnLoad) withDefaults() LearnLoad {
+	if l.Duration <= 0 {
+		l.Duration = 2 * time.Second
+	}
+	if l.Clients <= 0 {
+		l.Clients = 8
+	}
+	if l.Ingesters <= 0 {
+		l.Ingesters = 4
+	}
+	if l.IngestRate <= 0 {
+		l.IngestRate = 2000
+	}
+	if l.BaseLangs <= 0 {
+		l.BaseLangs = 18
+	}
+	if l.NewLangs <= 0 {
+		l.NewLangs = 3
+	}
+	if l.PerLang <= 0 {
+		l.PerLang = 60
+	}
+	if l.Eval <= 0 {
+		l.Eval = 40
+	}
+	return l
+}
+
+// RunLearn measures search service quality with online learning off and
+// then on: one engine per phase under the same closed-loop search load; the
+// on-phase adds concurrent ingest of refresh examples for the base
+// languages plus brand-new languages, with periodic reconciles hot-swapping
+// each folded generation into the live engine. The returned pair is
+// (ingest-off, ingest-on).
+func RunLearn(load LearnLoad) ([]LearnResult, error) {
+	load = load.withDefaults()
+	cfg := textgen.DefaultConfig()
+	cfg.Seed = benchSeed
+	langs := textgen.Catalog(cfg)
+	if load.BaseLangs+load.NewLangs > len(langs) {
+		return nil, fmt.Errorf("perf: %d+%d languages exceed the %d-language catalog",
+			load.BaseLangs, load.NewLangs, len(langs))
+	}
+	base, fresh := langs[:load.BaseLangs], langs[load.BaseLangs:load.BaseLangs+load.NewLangs]
+
+	lcfg := learn.Config{Dim: benchDim, NGram: 3, Seed: benchSeed, Trainer: "perf"}
+
+	// The base model, trained through the same fold the learner uses.
+	rng := rand.New(rand.NewPCG(benchSeed, 0x1ea5))
+	var offline []learn.Example
+	for _, l := range base {
+		for i := 0; i < load.PerLang; i++ {
+			offline = append(offline, learn.Example{Label: l.Name, Text: l.GenerateSentence(100, rng)})
+		}
+	}
+	mem, err := learn.TrainOffline(nil, offline, lcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Search queries over the base languages; the mid-run languages are
+	// queried only by the accuracy evaluation, not the latency load.
+	queries := make([]string, 512)
+	for i := range queries {
+		queries[i] = base[i%len(base)].GenerateSentence(60, rng)
+	}
+
+	off, _, err := runLearnPhase(mem, queries, load, nil)
+	if err != nil {
+		return nil, fmt.Errorf("perf: learn baseline: %w", err)
+	}
+	off.Name = "learn/search-ingest-off"
+
+	// Ingest stream: refresh examples for every base language plus the new
+	// ones, shuffled so stripes see a realistic mix.
+	var stream []learn.Example
+	for _, l := range append(append([]*textgen.Language{}, base...), fresh...) {
+		for i := 0; i < 4*load.PerLang; i++ {
+			stream = append(stream, learn.Example{Label: l.Name, Text: l.GenerateSentence(100, rng)})
+		}
+	}
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+
+	// The snapshot directory outlives the measured phase: the accuracy
+	// trajectory reads the published generations back after the window.
+	dir, err := os.MkdirTemp("", "perf-learn-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	on, snaps, err := runLearnPhase(mem, queries, load, &learnIngest{cfg: lcfg, stream: stream, dir: dir})
+	if err != nil {
+		return nil, fmt.Errorf("perf: learn ingest-on: %w", err)
+	}
+	on.Name = "learn/search-ingest-on"
+	if off.P99Us > 0 {
+		on.P99DeltaPct = 100 * (on.P99Us - off.P99Us) / off.P99Us
+	}
+
+	// The accuracy trajectory, evaluated offline after the measured window
+	// so the evaluation never perturbs the latency numbers.
+	evalRng := rand.New(rand.NewPCG(benchSeed, 0xe7a1))
+	var held []learn.Example
+	for _, l := range fresh {
+		for i := 0; i < load.Eval; i++ {
+			held = append(held, learn.Example{Label: l.Name, Text: l.GenerateSentence(60, evalRng)})
+		}
+	}
+	on.Accuracy = append(on.Accuracy, LearnAccuracyPoint{Gen: 0, Classes: mem.Classes()})
+	for _, sp := range snaps {
+		pt, err := evalSnapshot(sp, held)
+		if err != nil {
+			return nil, fmt.Errorf("perf: evaluating %s: %w", sp.path, err)
+		}
+		on.Accuracy = append(on.Accuracy, pt)
+	}
+
+	return []LearnResult{*off, *on}, nil
+}
+
+// learnIngest carries the ingest side of the on-phase.
+type learnIngest struct {
+	cfg    learn.Config
+	stream []learn.Example
+	dir    string // snapshot directory, owned by the caller
+}
+
+// learnSnap remembers one published generation for post-run evaluation.
+type learnSnap struct {
+	path     string
+	gen      uint64
+	classes  int
+	examples uint64
+}
+
+// runLearnPhase drives one phase: closed-loop search clients against a
+// fresh engine for the window, with the ingest machinery (learner, registry,
+// reconcile ticks) running concurrently when ing is non-nil.
+func runLearnPhase(mem *core.Memory, queries []string, load LearnLoad, ing *learnIngest) (*LearnResult, []learnSnap, error) {
+	eng, err := serve.New(mem, assoc.NewExact(mem), benchEncoderFactory(), serve.Config{
+		Workers:  runtime.GOMAXPROCS(0),
+		MaxBatch: 64,
+		Queue:    512,
+		Seed:     benchSeed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer eng.Close()
+
+	var snaps []learnSnap
+	var lr *learn.Learner
+	var recLats []time.Duration
+	ingestStop := make(chan struct{})
+	var ingested atomic.Uint64
+	var ingestWG sync.WaitGroup
+	if ing != nil {
+		reg, err := store.NewRegistry(store.RegistryConfig{
+			Dir: ing.dir,
+			Swap: func(snap *store.Snapshot) error {
+				m, s, err := learn.Model(snap)
+				if err != nil {
+					return err
+				}
+				_, err = eng.Swap(m, s, benchEncoderFactory())
+				return err
+			},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		defer reg.Close()
+		cfg := ing.cfg
+		cfg.Dir = ing.dir
+		cfg.Block = true // ingest backpressure: a full stripe waits, never errors
+		cfg.OnSnapshot = func(string) { reg.Check() }
+		lr, err = learn.New(mem, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer lr.Close()
+
+		// Each writer paces its share of the ingest rate; an example overdue
+		// at wake-up submits immediately.
+		gap := time.Duration(float64(load.Ingesters) / load.IngestRate * float64(time.Second))
+		for w := 0; w < load.Ingesters; w++ {
+			ingestWG.Add(1)
+			go func(w int) {
+				defer ingestWG.Done()
+				t := time.NewTicker(gap)
+				defer t.Stop()
+				for i := w; ; i += load.Ingesters {
+					select {
+					case <-ingestStop:
+						return
+					case <-t.C:
+					}
+					ex := ing.stream[i%len(ing.stream)]
+					if err := lr.Ingest(context.Background(), ex.Label, ex.Text); err != nil {
+						return
+					}
+					ingested.Add(1)
+				}
+			}(w)
+		}
+	}
+
+	// Warm the engine's hot paths closed-loop before the window opens, so
+	// worker spin-up and first-use allocation land outside the percentiles.
+	var warmWG sync.WaitGroup
+	for c := 0; c < load.Clients; c++ {
+		warmWG.Add(1)
+		go func(c int) {
+			defer warmWG.Done()
+			for i := 0; i < 16; i++ {
+				eng.Submit(context.Background(), queries[(c*16+i)%len(queries)])
+			}
+		}(c)
+	}
+	warmWG.Wait()
+
+	// Closed-loop search clients for the window.
+	deadline := time.Now().Add(load.Duration)
+	lats := make([][]time.Duration, load.Clients)
+	errs := make(chan error, load.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < load.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var mine []time.Duration
+			for i := c; time.Now().Before(deadline); i += load.Clients {
+				t0 := time.Now()
+				if _, err := eng.Submit(context.Background(), queries[i%len(queries)]); err != nil {
+					errs <- err
+					return
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			lats[c] = mine
+		}(c)
+	}
+
+	// Reconcile ticks inside the window: four cuts, so the engine hot-swaps
+	// several generations while the latency measurement is live.
+	if lr != nil {
+		tick := load.Duration / 5
+		for i := 0; i < 4; i++ {
+			time.Sleep(tick)
+			rep, err := lr.Reconcile()
+			if err != nil {
+				errs <- err
+				break
+			}
+			if !rep.Skipped {
+				recLats = append(recLats, rep.Duration)
+				snaps = append(snaps, learnSnap{
+					path: rep.Path, gen: rep.Gen, classes: rep.Classes, examples: rep.Examples,
+				})
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(ingestStop)
+	ingestWG.Wait()
+	select {
+	case err := <-errs:
+		return nil, nil, err
+	default:
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := &LearnResult{
+		IngestOn:  ing != nil,
+		Clients:   load.Clients,
+		Requests:  len(all),
+		SearchQPS: float64(len(all)) / elapsed.Seconds(),
+		P50Us:     float64(percentile(all, 50)) / 1e3,
+		P95Us:     float64(percentile(all, 95)) / 1e3,
+		P99Us:     float64(percentile(all, 99)) / 1e3,
+	}
+	if lr != nil {
+		sort.Slice(recLats, func(i, j int) bool { return recLats[i] < recLats[j] })
+		st := lr.Stats()
+		res.IngestQPS = float64(ingested.Load()) / elapsed.Seconds()
+		res.Ingested = st.Ingested
+		res.Reconciles = st.Reconciles
+		res.Swaps = eng.Stats().Swaps
+		res.ReconcileP50Us = float64(percentile(recLats, 50)) / 1e3
+		if n := len(recLats); n > 0 {
+			res.ReconcileMaxUs = float64(recLats[n-1]) / 1e3
+		}
+	}
+	return res, snaps, nil
+}
+
+// evalSnapshot loads one published generation and scores the held-out
+// examples of the mid-run languages against it.
+func evalSnapshot(sp learnSnap, held []learn.Example) (LearnAccuracyPoint, error) {
+	snap, err := store.Open(sp.path)
+	if err != nil {
+		return LearnAccuracyPoint{}, err
+	}
+	defer snap.Close()
+	mem, searcher, err := learn.Model(snap)
+	if err != nil {
+		return LearnAccuracyPoint{}, err
+	}
+	enc := benchEncoderFactory()()
+	correct := 0
+	for _, ex := range held {
+		q, n := enc.EncodeText(ex.Text, benchSeed)
+		if n == 0 {
+			continue
+		}
+		if mem.Label(searcher.Search(q).Index) == ex.Label {
+			correct++
+		}
+	}
+	return LearnAccuracyPoint{
+		Gen:      sp.gen,
+		Examples: sp.examples,
+		Classes:  sp.classes,
+		Accuracy: float64(correct) / float64(len(held)),
+	}, nil
+}

@@ -1,0 +1,66 @@
+package perf
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLearnHarnessShort runs a reduced train-while-serve sweep and checks
+// the invariants hambench -learn relies on: the baseline phase carries no
+// ingest counters, the on-phase hot-swaps several generations into the
+// live engine, and the accuracy trajectory actually learns the languages
+// that arrive mid-run. Short-mode friendly so `make ci` can use it as the
+// learn smoke.
+func TestLearnHarnessShort(t *testing.T) {
+	results, err := RunLearn(LearnLoad{
+		Duration:  time.Second,
+		Clients:   4,
+		Ingesters: 2,
+		BaseLangs: 6,
+		NewLangs:  2,
+		PerLang:   30,
+		Eval:      15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want baseline + ingest-on", len(results))
+	}
+	off, on := results[0], results[1]
+	if off.IngestOn || off.Ingested != 0 || off.Reconciles != 0 {
+		t.Errorf("baseline carries ingest counters: %+v", off)
+	}
+	if off.Requests == 0 || on.Requests == 0 {
+		t.Fatalf("empty measurement: off %d, on %d requests", off.Requests, on.Requests)
+	}
+	if !on.IngestOn {
+		t.Error("second phase not marked ingest-on")
+	}
+	if on.Swaps < 3 {
+		t.Errorf("ingest-on phase swapped %d generations, want >= 3", on.Swaps)
+	}
+	if on.Ingested == 0 {
+		t.Error("ingest-on phase ingested nothing")
+	}
+	if len(on.Accuracy) < 2 {
+		t.Fatalf("accuracy trajectory has %d points, want base + >=1 generation", len(on.Accuracy))
+	}
+	if first := on.Accuracy[0]; first.Gen != 0 || first.Accuracy != 0 {
+		t.Errorf("trajectory must start at the ignorant base model, got %+v", first)
+	}
+	last := on.Accuracy[len(on.Accuracy)-1]
+	if last.Accuracy < 0.6 {
+		t.Errorf("final new-language accuracy %.2f, want >= 0.6", last.Accuracy)
+	}
+	if last.Classes != 8 {
+		t.Errorf("final generation serves %d classes, want 8", last.Classes)
+	}
+	for _, r := range results {
+		t.Logf("%s: %.0f qps, p50 %.1fµs p99 %.1fµs, ingest %.0f/s, swaps %d",
+			r.Name, r.SearchQPS, r.P50Us, r.P99Us, r.IngestQPS, r.Swaps)
+	}
+	for _, a := range on.Accuracy {
+		t.Logf("  gen %d: %d examples, %d classes, accuracy %.2f", a.Gen, a.Examples, a.Classes, a.Accuracy)
+	}
+}

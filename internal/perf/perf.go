@@ -57,6 +57,10 @@ type Report struct {
 	// RemoteFleet is the over-the-wire scatter-gather chaos soak:
 	// coordinator plus TCP replica servers under kills and blackholes.
 	RemoteFleet []RemoteFleetResult `json:"remote_fleet,omitempty"`
+	// Learn is the train-while-serve harness: search qps/p99 with ingest
+	// off vs on, reconcile latency, and the accuracy-vs-examples trajectory
+	// as new classes arrive mid-run.
+	Learn []LearnResult `json:"learn,omitempty"`
 }
 
 // WriteJSON serializes the report, indented for diff-friendly check-in.

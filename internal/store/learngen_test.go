@@ -1,0 +1,162 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryRapidGenerations drives the registry the way an online
+// learner does: successive generations landing faster than filesystem mtime
+// granularity (all files share one mtime), each followed by an immediate
+// Check (the learner's publish hook). Every generation must swap in, in
+// order — none silently skipped.
+func TestRegistryRapidGenerations(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Unix(1754352000, 0)
+
+	var mu sync.Mutex
+	var served []string
+	reg, err := NewRegistry(RegistryConfig{
+		Dir: dir,
+		Swap: func(s *Snapshot) error {
+			mu.Lock()
+			served = append(served, s.Provenance().Trainer)
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	const gens = 8
+	for g := 1; g <= gens; g++ {
+		// Zero-padded names: with equal mtimes the registry's name-descending
+		// tiebreak must still rank a later generation newer.
+		name := fmt.Sprintf("learn-%06d.hds", g)
+		publish(t, dir, name, fmt.Sprintf("gen%02d", g), t0)
+		swapped, err := reg.Check()
+		if err != nil {
+			t.Fatalf("gen %d: %v", g, err)
+		}
+		if !swapped {
+			t.Fatalf("gen %d: not swapped in", g)
+		}
+	}
+	if len(served) != gens {
+		t.Fatalf("served %d generations, want %d: %v", len(served), gens, served)
+	}
+	for g := 1; g <= gens; g++ {
+		if want := fmt.Sprintf("gen%02d", g); served[g-1] != want {
+			t.Fatalf("generation order: served[%d] = %q, want %q (%v)", g-1, served[g-1], want, served)
+		}
+	}
+	st := reg.Stats()
+	if st.Loads != gens || st.Rejects != 0 || st.SwapFails != 0 {
+		t.Fatalf("stats: %+v, want %d clean loads", st, gens)
+	}
+	if want := filepath.Join(dir, fmt.Sprintf("learn-%06d.hds", gens)); st.Current != want {
+		t.Fatalf("current = %q, want %q", st.Current, want)
+	}
+}
+
+// TestRegistryBurstNewestWins covers the other rapid-emission shape: many
+// generations land between two watcher polls. One Check must jump straight
+// to the newest (skipping the stale intermediates is correct — they were
+// already superseded when observed), and a repeat Check must be a no-op.
+func TestRegistryBurstNewestWins(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Unix(1754352000, 0)
+
+	var mu sync.Mutex
+	var served []string
+	reg, err := NewRegistry(RegistryConfig{
+		Dir: dir,
+		Swap: func(s *Snapshot) error {
+			mu.Lock()
+			served = append(served, s.Provenance().Trainer)
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	for g := 1; g <= 5; g++ {
+		publish(t, dir, fmt.Sprintf("learn-%06d.hds", g), fmt.Sprintf("gen%02d", g), t0)
+	}
+	if swapped, err := reg.Check(); !swapped || err != nil {
+		t.Fatalf("burst check: swapped=%v err=%v", swapped, err)
+	}
+	if len(served) != 1 || served[0] != "gen05" {
+		t.Fatalf("served %v, want exactly the newest generation gen05", served)
+	}
+	if swapped, _ := reg.Check(); swapped {
+		t.Fatal("unchanged directory re-swapped after burst")
+	}
+	// A newer generation arriving later (same mtime again) still wins.
+	publish(t, dir, "learn-000006.hds", "gen06", t0)
+	if swapped, _ := reg.Check(); !swapped {
+		t.Fatal("post-burst generation not picked up")
+	}
+	if served[len(served)-1] != "gen06" {
+		t.Fatalf("served %v, want gen06 last", served)
+	}
+}
+
+// TestSnapshotCentroidMeta round-trips the learn/centroid META fields and
+// checks the layout validation on both the capture and decode paths.
+func TestSnapshotCentroidMeta(t *testing.T) {
+	dir := t.TempDir()
+	mem := taggedMemory(t, 256, 6, "cent")
+	cfg := Config{Dim: 256, NGram: 3, Seed: 11, Centroids: 3}
+	prov := Provenance{Trainer: "learner", LearnExamples: 1234}
+	snap, err := Capture(mem, cfg, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "cent.hds")
+	if err := Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	if got.Config().Centroids != 3 {
+		t.Fatalf("centroids = %d, want 3", got.Config().Centroids)
+	}
+	if got.Provenance().LearnExamples != 1234 {
+		t.Fatalf("learn examples = %d, want 1234", got.Provenance().LearnExamples)
+	}
+
+	info, err := Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"centroids", "learn_examples", "dim", "rows", "ngram"} {
+		if _, ok := info.Meta[key]; !ok {
+			t.Fatalf("Info.Meta missing %q: %v", key, info.Meta)
+		}
+	}
+
+	// Rows not divisible by k: refused at capture.
+	if _, err := Capture(taggedMemory(t, 256, 4, "bad"), Config{Dim: 256, NGram: 3, Centroids: 3}, Provenance{}); err == nil {
+		t.Fatal("capture accepted 4 rows with 3 centroids per class")
+	} else if !strings.Contains(err.Error(), "centroid") {
+		t.Fatalf("unexpected capture error: %v", err)
+	}
+	// Negative k: refused by config validation.
+	if _, err := Capture(mem, Config{Dim: 256, NGram: 3, Centroids: -1}, Provenance{}); err == nil {
+		t.Fatal("capture accepted a negative centroid count")
+	}
+}

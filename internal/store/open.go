@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -74,6 +75,11 @@ type Info struct {
 	Labels     []string
 	Sections   []SectionInfo
 	ZeroCopy   bool // whether this verification used the mmap path
+	// Meta is the META section decoded generically: every key the file
+	// carries, including ones this build's Config does not model. Inspection
+	// tools print it so forward-extension fields (cascade slices, learn
+	// centroid layout, future additions) are never silently hidden.
+	Meta map[string]any
 }
 
 // sectionName names the known section ids for reports.
@@ -142,6 +148,13 @@ func Verify(path string) (*Info, error) {
 		info.Sections = append(info.Sections, SectionInfo{
 			ID: s.id, Name: sectionName(s.id), Offset: s.offset, Length: s.length, CRC: s.crc,
 		})
+		if s.id == secMeta && info.Meta == nil {
+			// decode already validated the section's bounds and checksum.
+			var m map[string]any
+			if json.Unmarshal(data[s.offset:s.offset+s.length], &m) == nil {
+				info.Meta = m
+			}
+		}
 	}
 	return info, nil
 }

@@ -141,8 +141,8 @@ func decode(data []byte, allowView bool) (snap *Snapshot, secs []section, viewed
 	}
 
 	snap = &Snapshot{
-		cfg:    Config{Dim: meta.Dim, NGram: meta.NGram, Seed: meta.Seed, SliceOffset: meta.SliceOff, SliceWords: meta.SliceWords},
-		prov:   Provenance{Trainer: meta.Trainer, CorpusSeed: meta.CorpusSeed, Note: meta.Note},
+		cfg:    Config{Dim: meta.Dim, NGram: meta.NGram, Seed: meta.Seed, SliceOffset: meta.SliceOff, SliceWords: meta.SliceWords, Centroids: meta.Centroids},
+		prov:   Provenance{Trainer: meta.Trainer, CorpusSeed: meta.CorpusSeed, Note: meta.Note, LearnExamples: meta.LearnEx},
 		mem:    mem,
 		labels: labels,
 		size:   int64(len(data)),
@@ -176,6 +176,10 @@ func parseMeta(b []byte) (metaJSON, error) {
 	case m.SliceWords > 0 && m.SliceOff+m.SliceWords > wordsPerRow(m.Dim):
 		return m, fmt.Errorf("%w: cascade slice [%d,%d) outside row of %d words",
 			ErrCorrupt, m.SliceOff, m.SliceOff+m.SliceWords, wordsPerRow(m.Dim))
+	case m.Centroids < 0 || m.Centroids > maxRows:
+		return m, fmt.Errorf("%w: centroid count %d out of range [0,%d]", ErrCorrupt, m.Centroids, maxRows)
+	case m.Centroids > 1 && m.Rows%m.Centroids != 0:
+		return m, fmt.Errorf("%w: %d rows not divisible by centroid count %d", ErrCorrupt, m.Rows, m.Centroids)
 	}
 	return m, nil
 }

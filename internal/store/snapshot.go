@@ -26,6 +26,12 @@ type Config struct {
 	// was recorded; loaders then fall back to selecting one.
 	SliceOffset int
 	SliceWords  int
+	// Centroids is the per-class centroid count k of an online-learned
+	// multi-centroid model (MEMHD-style): the matrix holds Classes×k rows
+	// grouped class-major, row c·k+j being class c's j-th centroid, with row
+	// labels "<class>#<j>". 0 and 1 both mean the ordinary one-row-per-class
+	// layout with plain labels.
+	Centroids int
 }
 
 // validate rejects shapes the decoder would refuse to read back.
@@ -46,6 +52,9 @@ func (c Config) validate() error {
 		return fmt.Errorf("store: cascade slice [%d,%d) outside row of %d words",
 			c.SliceOffset, c.SliceOffset+c.SliceWords, wordsPerRow(c.Dim))
 	}
+	if c.Centroids < 0 || c.Centroids > maxRows {
+		return fmt.Errorf("store: centroid count %d out of range [0,%d]", c.Centroids, maxRows)
+	}
 	return nil
 }
 
@@ -63,6 +72,10 @@ type Provenance struct {
 	CreatedAt time.Time
 	// Note is a free-form annotation.
 	Note string
+	// LearnExamples is how many labeled examples an online learner had
+	// folded into the model when the snapshot was written (0 for offline
+	// train-then-freeze models).
+	LearnExamples uint64
 }
 
 // Snapshot is one persisted (or about-to-be-persisted) model: the learned
@@ -105,6 +118,9 @@ func Capture(mem *core.Memory, cfg Config, prov Provenance) (*Snapshot, error) {
 	}
 	if mem.Classes() > maxRows {
 		return nil, fmt.Errorf("store: %d classes above format limit %d", mem.Classes(), maxRows)
+	}
+	if cfg.Centroids > 1 && mem.Classes()%cfg.Centroids != 0 {
+		return nil, fmt.Errorf("store: %d rows not divisible by centroid count %d", mem.Classes(), cfg.Centroids)
 	}
 	return &Snapshot{cfg: cfg, prov: prov, mem: mem, labels: mem.Labels()}, nil
 }

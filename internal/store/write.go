@@ -20,10 +20,12 @@ type metaJSON struct {
 	Seed        uint64 `json:"seed"`
 	SliceOff    int    `json:"slice_off,omitempty"`
 	SliceWords  int    `json:"slice_words,omitempty"`
+	Centroids   int    `json:"centroids,omitempty"`
 	Trainer     string `json:"trainer,omitempty"`
 	CorpusSeed  uint64 `json:"corpus_seed,omitempty"`
 	CreatedUnix int64  `json:"created_unix,omitempty"`
 	Note        string `json:"note,omitempty"`
+	LearnEx     uint64 `json:"learn_examples,omitempty"`
 }
 
 // encodeMeta serializes the META section payload.
@@ -35,9 +37,11 @@ func (s *Snapshot) encodeMeta() ([]byte, error) {
 		Seed:       s.cfg.Seed,
 		SliceOff:   s.cfg.SliceOffset,
 		SliceWords: s.cfg.SliceWords,
+		Centroids:  s.cfg.Centroids,
 		Trainer:    s.prov.Trainer,
 		CorpusSeed: s.prov.CorpusSeed,
 		Note:       s.prov.Note,
+		LearnEx:    s.prov.LearnExamples,
 	}
 	if !s.prov.CreatedAt.IsZero() {
 		m.CreatedUnix = s.prov.CreatedAt.Unix()
